@@ -1,0 +1,50 @@
+//! Re-implementations of the six comparator DNE methods of §5.1.2.
+//!
+//! Each module re-implements the *published objective* of one baseline
+//! (the paper compares methods, not codebases); the module docs state
+//! the objective and every simplification made relative to the original
+//! release. All methods implement
+//! [`glodyne_embed::DynamicEmbedder`], so the experiment harness treats
+//! them identically to GloDyNE.
+//!
+//! | Module | Method | Core objective |
+//! |---|---|---|
+//! | [`bcgd`]     | BCGDg / BCGDl | non-negative temporal latent space `min Σ_t ‖A_t − Z_t Z_tᵀ‖² + λ Σ ‖z_i^t − z_i^{t−1}‖²` via block-coordinate gradient descent |
+//! | [`dyngem`]   | DynGEM        | warm-started deep auto-encoder reconstructing adjacency rows |
+//! | [`dynline`]  | DynLINE       | LINE edge-sampling objective, incrementally updating only the most-affected nodes |
+//! | [`dyntriad`] | DynTriad      | edge likelihood + triadic-closure + temporal-smoothness SGD |
+//! | [`tne`]      | tNE           | per-snapshot static SGNS + RNN over each node's embedding history, trained with a link-prediction loss |
+//!
+//! `capabilities` records which methods cannot handle node deletions —
+//! the reason DynLINE and tNE are "n/a" on AS733 in the paper's tables.
+
+pub mod bcgd;
+pub mod dyngem;
+pub mod dynline;
+pub mod dyntriad;
+pub mod tne;
+
+pub use bcgd::{BcgdGlobal, BcgdLocal};
+pub use dyngem::DynGem;
+pub use dynline::DynLine;
+pub use dyntriad::DynTriad;
+pub use tne::TNE;
+
+/// Whether a method (by table-row name) supports node deletions.
+/// DynLINE and tNE cannot ("The n/a values for DynLINE and tNE on AS733
+/// are due to the inability of handling node deletions", §5.2).
+pub fn supports_node_deletions(method_name: &str) -> bool {
+    !matches!(method_name, "DynLINE" | "tNE")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn deletion_capability_matches_paper() {
+        assert!(!super::supports_node_deletions("DynLINE"));
+        assert!(!super::supports_node_deletions("tNE"));
+        assert!(super::supports_node_deletions("GloDyNE"));
+        assert!(super::supports_node_deletions("BCGDg"));
+        assert!(super::supports_node_deletions("DynGEM"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Ablation: how much do the multilevel partitioner's design choices
+//! matter to GloDyNE's Step 1?
+//!
+//! Three knobs are ablated on the largest snapshot of each dataset
+//! analogue:
+//! 1. **FM refinement** (`refine_passes` 0 vs 4) — the uncoarsening
+//!    phase's boundary swaps (§4.1.1's third phase);
+//! 2. **balance tolerance** ε (0.02 / 0.1 / 0.5) — Eq. 2's constraint
+//!    tightness vs cut quality;
+//! 3. **multilevel vs flat** — the full coarsen/refine pipeline against
+//!    one-shot greedy growing (coarsen_threshold = |V| disables
+//!    coarsening).
+//!
+//! Run: `cargo run -p glodyne-bench --release --bin ablation_partition
+//!       [--scale 0.5] [--seed 42]`
+
+use glodyne_bench::args::{Args, Common};
+use glodyne_partition::{partition, PartitionConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let common = Common::from(&args);
+    let scale = args.get("scale", 0.5);
+
+    for dataset in [
+        glodyne_datasets::fbw(scale, common.seed),
+        glodyne_datasets::elec(scale, common.seed + 3),
+    ] {
+        let net = &dataset.network;
+        let g = net
+            .snapshots()
+            .iter()
+            .max_by_key(|s| s.num_nodes())
+            .unwrap();
+        let k = (g.num_nodes() / 10).max(2);
+        println!(
+            "\n# Ablation — {} largest snapshot: |V|={} |E|={} K={k}",
+            dataset.name,
+            g.num_nodes(),
+            g.num_edges()
+        );
+
+        // 1. refinement passes
+        println!("{:<34}{:>10}{:>12}", "variant", "edge cut", "imbalance");
+        let mut cuts = Vec::new();
+        for passes in [0usize, 1, 4] {
+            let cfg = PartitionConfig {
+                k,
+                refine_passes: passes,
+                seed: common.seed,
+                ..Default::default()
+            };
+            let p = partition(g, &cfg);
+            println!(
+                "{:<34}{:>10}{:>12.3}",
+                format!("refine_passes = {passes}"),
+                p.edge_cut(g),
+                p.imbalance(g.num_nodes())
+            );
+            cuts.push(p.edge_cut(g));
+        }
+        println!(
+            "shape: refinement reduces the cut ({} -> {}): {}",
+            cuts[0],
+            cuts[2],
+            if cuts[2] <= cuts[0] { "PASS" } else { "FAIL" }
+        );
+
+        // 2. balance tolerance
+        for eps in [0.02f64, 0.1, 0.5] {
+            let cfg = PartitionConfig {
+                k,
+                epsilon: eps,
+                seed: common.seed,
+                ..Default::default()
+            };
+            let p = partition(g, &cfg);
+            println!(
+                "{:<34}{:>10}{:>12.3}",
+                format!("epsilon = {eps}"),
+                p.edge_cut(g),
+                p.imbalance(g.num_nodes())
+            );
+        }
+
+        // 3. multilevel vs flat
+        let flat = partition(
+            g,
+            &PartitionConfig {
+                k,
+                coarsen_threshold: g.num_nodes(), // disables coarsening
+                seed: common.seed,
+                ..Default::default()
+            },
+        );
+        let multi = partition(g, &PartitionConfig { k, seed: common.seed, ..Default::default() });
+        println!(
+            "{:<34}{:>10}{:>12.3}",
+            "flat (no coarsening)",
+            flat.edge_cut(g),
+            flat.imbalance(g.num_nodes())
+        );
+        println!(
+            "{:<34}{:>10}{:>12.3}",
+            "multilevel (default)",
+            multi.edge_cut(g),
+            multi.imbalance(g.num_nodes())
+        );
+    }
+}

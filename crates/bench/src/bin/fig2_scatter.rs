@@ -1,0 +1,77 @@
+//! Figure 2: effectiveness (LP AUC) vs efficiency (wall-clock seconds)
+//! scatter data — the "top-left corner is best" plots.
+//!
+//! Emits one `(method, dataset, seconds, auc)` record per point, plus a
+//! JSON dump for external plotting.
+//!
+//! Run: `cargo run -p glodyne-bench --release --bin fig2_scatter
+//!       [--scale 0.25] [--runs 2] [--dim 64] [--seed 42]`
+
+use glodyne_bench::args::{Args, Common};
+use glodyne_bench::eval::{lp_mean_over_time, total_seconds};
+use glodyne_bench::methods::{build, MethodKind, MethodParams};
+use glodyne_bench::runner::{has_node_deletions, run_timed};
+use glodyne_baselines::supports_node_deletions;
+use glodyne_tasks::stats;
+
+fn main() {
+    let args = Args::from_env();
+    let common = Common::from(&args);
+    let runs = args.get("runs", 2usize);
+
+    let datasets = glodyne_datasets::standard_suite(common.scale, common.seed);
+    let methods = MethodKind::comparative();
+
+    println!("# Figure 2 — LP AUC vs wall-clock seconds (one point per method per dataset)");
+    println!("{:<12}{:<12}{:>12}{:>10}", "dataset", "method", "seconds", "auc%");
+    let mut json_points = Vec::new();
+    for dataset in &datasets {
+        let snaps = dataset.network.snapshots();
+        let deletions = has_node_deletions(snaps);
+        let mut best_auc = f64::MIN;
+        let mut glodyne_point = (0.0, 0.0);
+        let mut fastest = f64::INFINITY;
+        for &kind in &methods {
+            if deletions && !supports_node_deletions(kind.label()) {
+                continue;
+            }
+            let mut secs = Vec::new();
+            let mut aucs = Vec::new();
+            for run in 0..runs {
+                let params = MethodParams {
+                    dim: common.dim,
+                    seed: common.seed + run as u64 * 1000,
+                    ..Default::default()
+                };
+                let mut method = build(kind, &params);
+                let results = run_timed(method.as_mut(), snaps);
+                secs.push(total_seconds(&results));
+                aucs.push(lp_mean_over_time(&results, snaps, common.seed + run as u64) * 100.0);
+            }
+            let (s, a) = (stats::mean(&secs), stats::mean(&aucs));
+            println!("{:<12}{:<12}{:>12.3}{:>10.2}", dataset.name, kind.label(), s, a);
+            json_points.push(format!(
+                "{{\"dataset\":\"{}\",\"method\":\"{}\",\"seconds\":{s:.4},\"auc\":{a:.3}}}",
+                dataset.name,
+                kind.label()
+            ));
+            best_auc = best_auc.max(a);
+            fastest = fastest.min(s);
+            if kind == MethodKind::GloDyNE {
+                glodyne_point = (s, a);
+            }
+        }
+        let top_left = glodyne_point.0 <= fastest * 1.05 && glodyne_point.1 >= best_auc - 5.0;
+        println!(
+            "  -> GloDyNE at ({:.2}s, {:.1}%): {}",
+            glodyne_point.0,
+            glodyne_point.1,
+            if top_left {
+                "top-left region (paper shape holds)"
+            } else {
+                "check: expected near the top-left corner"
+            }
+        );
+    }
+    println!("\nJSON: [{}]", json_points.join(","));
+}

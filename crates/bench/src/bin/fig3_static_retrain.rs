@@ -1,0 +1,63 @@
+//! Figure 3: SGNS-static vs SGNS-retrain per-time-step MeanP@{10,40} on
+//! the AS733 and Elec analogues — the necessity of dynamic embedding.
+//!
+//! Expected shape (§5.3.1): retrain holds a high level at every step;
+//! static collapses (sharply on AS733, whose topology churns; gradually
+//! on Elec).
+//!
+//! Run: `cargo run -p glodyne-bench --release --bin fig3_static_retrain
+//!       [--scale 0.25] [--runs 2] [--dim 64] [--seed 42]`
+
+use glodyne_bench::args::{Args, Common};
+use glodyne_bench::eval::gr_series;
+use glodyne_bench::methods::{build, MethodKind, MethodParams};
+use glodyne_bench::runner::run_timed;
+
+fn main() {
+    let args = Args::from_env();
+    let common = Common::from(&args);
+
+    for dataset in [
+        glodyne_datasets::as733(common.scale, common.seed),
+        glodyne_datasets::elec(common.scale, common.seed + 3),
+    ] {
+        let snaps = dataset.network.snapshots();
+        for k in [10usize, 40] {
+            println!("\n# Figure 3 — {} GR MeanP@{k} per time step", dataset.name);
+            println!("{:<6}{:>14}{:>14}", "t", "SGNS-static", "SGNS-retrain");
+            let mut series: Vec<Vec<f64>> = Vec::new();
+            for kind in [MethodKind::SgnsStatic, MethodKind::SgnsRetrain] {
+                let mut acc = vec![0.0; snaps.len()];
+                for run in 0..common.runs {
+                    let params = MethodParams {
+                        dim: common.dim,
+                        seed: common.seed + run as u64 * 1000,
+                        ..Default::default()
+                    };
+                    let mut method = build(kind, &params);
+                    let results = run_timed(method.as_mut(), snaps);
+                    for (a, v) in acc.iter_mut().zip(gr_series(&results, snaps, k)) {
+                        *a += v;
+                    }
+                }
+                acc.iter_mut().for_each(|a| *a /= common.runs as f64);
+                series.push(acc);
+            }
+            for t in 0..snaps.len() {
+                println!("{:<6}{:>14.4}{:>14.4}", t, series[0][t], series[1][t]);
+            }
+            // Shape checks.
+            let static_last = series[0].last().copied().unwrap_or(0.0);
+            let retrain_last = series[1].last().copied().unwrap_or(0.0);
+            let static_first = series[0][0];
+            println!(
+                "shape: retrain_final {retrain_last:.3} > static_final {static_last:.3}: {}",
+                if retrain_last > static_last { "PASS" } else { "FAIL" }
+            );
+            println!(
+                "shape: static degrades from t=0 ({static_first:.3} -> {static_last:.3}): {}",
+                if static_last < static_first { "PASS" } else { "FAIL" }
+            );
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Figure 4: SGNS-increment vs SGNS-retrain per-time-step MeanP@{10,40}
+//! — the advantage of reusing the previous model (§5.3.2).
+//!
+//! Expected shape: increment ≥ retrain at most time steps on both the
+//! AS733 and Elec analogues.
+//!
+//! The advantage of warm-starting needs |V| ≫ d (as in the paper's
+//! setups: thousands of nodes, d = 128); at tiny scales a fresh random
+//! init is competitive, so this binary defaults to a larger scale and a
+//! smaller dimension than the table binaries.
+//!
+//! Run: `cargo run -p glodyne-bench --release --bin fig4_increment_retrain
+//!       [--scale 0.6] [--runs 2] [--dim 32] [--seed 42]`
+
+use glodyne_bench::args::{Args, Common};
+use glodyne_bench::eval::gr_series;
+use glodyne_bench::methods::{build, MethodKind, MethodParams};
+use glodyne_bench::runner::run_timed;
+
+fn main() {
+    let args = Args::from_env();
+    let mut common = Common::from(&args);
+    common.scale = args.get("scale", 0.6);
+    common.dim = args.get("dim", 32);
+
+    for dataset in [
+        glodyne_datasets::as733(common.scale, common.seed),
+        glodyne_datasets::elec(common.scale, common.seed + 3),
+    ] {
+        let snaps = dataset.network.snapshots();
+        for k in [10usize, 40] {
+            println!("\n# Figure 4 — {} GR MeanP@{k} per time step", dataset.name);
+            println!("{:<6}{:>16}{:>14}", "t", "SGNS-increment", "SGNS-retrain");
+            let mut series: Vec<Vec<f64>> = Vec::new();
+            for kind in [MethodKind::SgnsIncrement, MethodKind::SgnsRetrain] {
+                let mut acc = vec![0.0; snaps.len()];
+                for run in 0..common.runs {
+                    let params = MethodParams {
+                        dim: common.dim,
+                        seed: common.seed + run as u64 * 1000,
+                        ..Default::default()
+                    };
+                    let mut method = build(kind, &params);
+                    let results = run_timed(method.as_mut(), snaps);
+                    for (a, v) in acc.iter_mut().zip(gr_series(&results, snaps, k)) {
+                        *a += v;
+                    }
+                }
+                acc.iter_mut().for_each(|a| *a /= common.runs as f64);
+                series.push(acc);
+            }
+            let mut wins = 0usize;
+            for t in 0..snaps.len() {
+                println!("{:<6}{:>16.4}{:>14.4}", t, series[0][t], series[1][t]);
+                if series[0][t] >= series[1][t] {
+                    wins += 1;
+                }
+            }
+            println!(
+                "shape: increment >= retrain at {wins}/{} steps (paper: increment wins overall): {}",
+                snaps.len(),
+                if wins * 2 >= snaps.len() { "PASS" } else { "FAIL" }
+            );
+        }
+    }
+}

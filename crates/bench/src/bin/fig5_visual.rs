@@ -1,0 +1,70 @@
+//! Figure 5: embedding-evolution visualisation, GloDyNE vs SGNS-retrain
+//! on the Elec analogue over six consecutive time steps.
+//!
+//! The paper's figure shows GloDyNE keeping both relative *and absolute*
+//! positions of the 2-D PCA projection across steps, while SGNS-retrain
+//! rotates arbitrarily. We print the per-step 2-D PCA coordinates (first
+//! few nodes) and quantify the claim with two metrics per transition:
+//! the optimal rigid-rotation angle between consecutive projections and
+//! the mean absolute drift in the full embedding space.
+//!
+//! Run: `cargo run -p glodyne-bench --release --bin fig5_visual
+//!       [--scale 0.25] [--dim 64] [--seed 42]`
+
+use glodyne_bench::args::{Args, Common};
+use glodyne_bench::methods::{build, MethodKind, MethodParams};
+use glodyne_bench::runner::run_timed;
+use glodyne_tasks::stability::{absolute_drift, project_2d, rotation_angle_2d};
+
+fn main() {
+    let args = Args::from_env();
+    let common = Common::from(&args);
+    let dataset = glodyne_datasets::elec(common.scale, common.seed + 3);
+    let snaps = dataset.network.snapshots();
+    let window = 8..(8 + 6).min(snaps.len()); // steps 8..13 as in the figure
+
+    let mut summaries = Vec::new();
+    for kind in [MethodKind::GloDyNE, MethodKind::SgnsRetrain] {
+        let params = MethodParams {
+            dim: common.dim,
+            seed: common.seed,
+            ..Default::default()
+        };
+        let mut method = build(kind, &params);
+        let results = run_timed(method.as_mut(), snaps);
+
+        println!("\n# Figure 5 — {} on Elec, steps {:?}", kind.label(), window);
+        let mut prev_proj: Option<(Vec<glodyne_graph::NodeId>, glodyne_linalg::Matrix)> = None;
+        let mut angles = Vec::new();
+        let mut drifts = Vec::new();
+        for t in window.clone() {
+            let emb = &results[t].embedding;
+            let (ids, proj) = project_2d(emb, common.seed);
+            print!("t={t}: ");
+            for i in 0..3.min(ids.len()) {
+                print!("{}:({:+.2},{:+.2}) ", ids[i], proj[(i, 0)], proj[(i, 1)]);
+            }
+            println!("... ({} nodes)", ids.len());
+            if let Some((pids, pproj)) = &prev_proj {
+                if let Some(theta) = rotation_angle_2d(pids, pproj, &ids, &proj) {
+                    angles.push(theta.to_degrees());
+                }
+                if let Some(d) = absolute_drift(&results[t - 1].embedding, emb) {
+                    drifts.push(d);
+                }
+            }
+            prev_proj = Some((ids, proj));
+        }
+        let mean_angle = angles.iter().sum::<f64>() / angles.len().max(1) as f64;
+        let mean_drift = drifts.iter().sum::<f64>() / drifts.len().max(1) as f64;
+        println!("mean rotation between consecutive projections: {mean_angle:.1} deg");
+        println!("mean absolute drift in embedding space: {mean_drift:.4}");
+        summaries.push((kind.label(), mean_angle, mean_drift));
+    }
+
+    let (g, r) = (&summaries[0], &summaries[1]);
+    println!("\nshape: GloDyNE drift {:.4} < retrain drift {:.4}: {}",
+        g.2, r.2, if g.2 < r.2 { "PASS" } else { "FAIL" });
+    println!("shape: GloDyNE rotation {:.1} deg <= retrain rotation {:.1} deg: {}",
+        g.1, r.1, if g.1 <= r.1 + 1.0 { "PASS" } else { "FAIL" });
+}

@@ -1,0 +1,71 @@
+//! Figure 6: the free hyper-parameter α — effectiveness (MeanP@k) and
+//! efficiency (wall-clock) as α sweeps from 0.001 to 1.0 (§5.3.5).
+//!
+//! Expected shape: score rises steeply then saturates well below α=1;
+//! time grows roughly linearly with α.
+//!
+//! Run: `cargo run -p glodyne-bench --release --bin fig6_alpha
+//!       [--scale 0.25] [--runs 2] [--dim 64] [--seed 42]`
+
+use glodyne_bench::args::{Args, Common};
+use glodyne_bench::eval::{gr_mean_over_time, total_seconds};
+use glodyne_bench::methods::{build, MethodKind, MethodParams};
+use glodyne_bench::runner::run_timed;
+use glodyne_tasks::stats;
+
+fn main() {
+    let args = Args::from_env();
+    let common = Common::from(&args);
+    let alphas = [0.001, 0.005, 0.01, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0];
+
+    for dataset in [
+        glodyne_datasets::as733(common.scale, common.seed),
+        glodyne_datasets::elec(common.scale, common.seed + 3),
+    ] {
+        let snaps = dataset.network.snapshots();
+        for k in [10usize, 40] {
+            println!("\n# Figure 6 — {} MeanP@{k} (%) and time (s) vs α", dataset.name);
+            println!("{:<8}{:>12}{:>12}", "alpha", "MeanP@k%", "seconds");
+            let mut scores = Vec::new();
+            let mut times = Vec::new();
+            for &alpha in &alphas {
+                let mut s_samples = Vec::new();
+                let mut t_samples = Vec::new();
+                for run in 0..common.runs {
+                    let params = MethodParams {
+                        dim: common.dim,
+                        alpha,
+                        seed: common.seed + run as u64 * 1000,
+                        ..Default::default()
+                    };
+                    let mut method = build(MethodKind::GloDyNE, &params);
+                    let results = run_timed(method.as_mut(), snaps);
+                    s_samples.push(gr_mean_over_time(&results, snaps, &[k])[0] * 100.0);
+                    t_samples.push(total_seconds(&results));
+                }
+                let (s, t) = (stats::mean(&s_samples), stats::mean(&t_samples));
+                println!("{:<8}{:>12.3}{:>12.3}", alpha, s, t);
+                scores.push(s);
+                times.push(t);
+            }
+            // Shape checks.
+            let tiny = scores[0];
+            let at_01 = scores[4];
+            let full = *scores.last().unwrap();
+            println!(
+                "shape: score(α=0.1)={at_01:.2} within 10% of score(α=1.0)={full:.2}: {}",
+                if at_01 >= full * 0.9 { "PASS" } else { "FAIL" }
+            );
+            println!(
+                "shape: score(α=0.001)={tiny:.2} < score(α=1.0)={full:.2}: {}",
+                if tiny < full { "PASS" } else { "FAIL" }
+            );
+            println!(
+                "shape: time(α=1.0)={:.2}s > time(α=0.01)={:.2}s: {}",
+                times.last().unwrap(),
+                times[2],
+                if times.last().unwrap() > &times[2] { "PASS" } else { "FAIL" }
+            );
+        }
+    }
+}

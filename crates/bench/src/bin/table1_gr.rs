@@ -1,0 +1,71 @@
+//! Table 1: MeanP@k graph reconstruction, 7 methods × 6 datasets.
+//!
+//! Reports MeanP@{1,5,10,20,40} (in %) averaged over all time steps and
+//! over `--runs` independent runs, with the paper's n/a cells (DynLINE
+//! and tNE on node-deleting datasets) and significance markers.
+//!
+//! Run: `cargo run -p glodyne-bench --release --bin table1_gr
+//!       [--scale 0.25] [--runs 3] [--dim 64] [--seed 42]`
+
+use glodyne_bench::args::{Args, Common};
+use glodyne_bench::eval::gr_mean_over_time;
+use glodyne_bench::methods::{build, MethodKind, MethodParams};
+use glodyne_bench::runner::{has_node_deletions, run_timed};
+use glodyne_bench::table::{render, Cell};
+use glodyne_baselines::supports_node_deletions;
+
+fn main() {
+    let args = Args::from_env();
+    let common = Common::from(&args);
+    let ks = [1usize, 5, 10, 20, 40];
+
+    let datasets = glodyne_datasets::standard_suite(common.scale, common.seed);
+    let methods = MethodKind::comparative();
+    let col_labels: Vec<&str> = datasets.iter().map(|d| d.name).collect();
+    let row_labels: Vec<&str> = methods.iter().map(|m| m.label()).collect();
+
+    // cells[k_index][method][dataset]
+    let mut cells: Vec<Vec<Vec<Cell>>> =
+        vec![vec![vec![Cell::NotApplicable; datasets.len()]; methods.len()]; ks.len()];
+
+    for (di, dataset) in datasets.iter().enumerate() {
+        let snaps = dataset.network.snapshots();
+        let deletions = has_node_deletions(snaps);
+        for (mi, &kind) in methods.iter().enumerate() {
+            if deletions && !supports_node_deletions(kind.label()) {
+                continue; // stays n/a
+            }
+            let mut samples: Vec<Vec<f64>> = vec![Vec::new(); ks.len()];
+            for run in 0..common.runs {
+                let params = MethodParams {
+                    dim: common.dim,
+                    seed: common.seed + run as u64 * 1000,
+                    ..Default::default()
+                };
+                let mut method = build(kind, &params);
+                let results = run_timed(method.as_mut(), snaps);
+                let scores = gr_mean_over_time(&results, snaps, &ks);
+                for (s, v) in samples.iter_mut().zip(scores) {
+                    s.push(v * 100.0);
+                }
+            }
+            for (ki, s) in samples.into_iter().enumerate() {
+                cells[ki][mi][di] = Cell::Runs(s);
+            }
+            eprintln!("done: {} on {}", kind.label(), dataset.name);
+        }
+    }
+
+    for (ki, &k) in ks.iter().enumerate() {
+        println!(
+            "\n{}",
+            render(
+                &format!("Table 1 — MeanP@{k} (%) graph reconstruction"),
+                &row_labels,
+                &col_labels,
+                &cells[ki],
+            )
+        );
+    }
+    println!("Shape check vs paper: GloDyNE should be best (or near-best) in most cells.");
+}

@@ -1,0 +1,88 @@
+//! Table 3: node classification Micro/Macro-F1 on Cora and DBLP, train
+//! ratios 0.5 / 0.7 / 0.9.
+//!
+//! At each time step the latest embeddings feed a one-vs-rest logistic
+//! regression; F1 is averaged over time steps and runs.
+//!
+//! Run: `cargo run -p glodyne-bench --release --bin table3_nc
+//!       [--scale 0.25] [--runs 3] [--dim 64] [--seed 42]`
+
+use glodyne_bench::args::{Args, Common};
+use glodyne_bench::methods::{build, MethodKind, MethodParams};
+use glodyne_bench::runner::run_timed;
+use glodyne_bench::table::{render, Cell};
+use glodyne_tasks::nc::node_classification;
+
+fn main() {
+    let args = Args::from_env();
+    let common = Common::from(&args);
+    let ratios = [0.5, 0.7, 0.9];
+
+    let datasets = [
+        glodyne_datasets::cora(common.scale, common.seed + 1),
+        glodyne_datasets::dblp(common.scale, common.seed + 2),
+    ];
+    let methods = MethodKind::comparative();
+    let row_labels: Vec<&str> = methods.iter().map(|m| m.label()).collect();
+    let col_labels: Vec<String> = datasets
+        .iter()
+        .flat_map(|d| ratios.iter().map(move |r| format!("{} {r}", d.name)))
+        .collect();
+    let col_refs: Vec<&str> = col_labels.iter().map(|s| s.as_str()).collect();
+
+    // [micro/macro][method][dataset*ratio]
+    let mut micro = vec![vec![Cell::NotApplicable; col_labels.len()]; methods.len()];
+    let mut macro_ = vec![vec![Cell::NotApplicable; col_labels.len()]; methods.len()];
+
+    for (di, dataset) in datasets.iter().enumerate() {
+        let snaps = dataset.network.snapshots();
+        let labels = dataset.labels.as_ref().unwrap();
+        for (mi, &kind) in methods.iter().enumerate() {
+            let mut micro_samples = vec![Vec::new(); ratios.len()];
+            let mut macro_samples = vec![Vec::new(); ratios.len()];
+            for run in 0..common.runs {
+                let params = MethodParams {
+                    dim: common.dim,
+                    seed: common.seed + run as u64 * 1000,
+                    ..Default::default()
+                };
+                let mut method = build(kind, &params);
+                let results = run_timed(method.as_mut(), snaps);
+                for (ri, &ratio) in ratios.iter().enumerate() {
+                    let mut mi_acc = 0.0;
+                    let mut ma_acc = 0.0;
+                    for (t, r) in results.iter().enumerate() {
+                        let f1 = node_classification(
+                            &r.embedding,
+                            &snaps[t],
+                            labels,
+                            dataset.num_classes,
+                            ratio,
+                            common.seed + (run * 100 + t) as u64,
+                        );
+                        mi_acc += f1.micro;
+                        ma_acc += f1.macro_;
+                    }
+                    micro_samples[ri].push(mi_acc / results.len() as f64 * 100.0);
+                    macro_samples[ri].push(ma_acc / results.len() as f64 * 100.0);
+                }
+            }
+            for ri in 0..ratios.len() {
+                micro[mi][di * ratios.len() + ri] = Cell::Runs(micro_samples[ri].clone());
+                macro_[mi][di * ratios.len() + ri] = Cell::Runs(macro_samples[ri].clone());
+            }
+            eprintln!("done: {} on {}", kind.label(), dataset.name);
+        }
+    }
+
+    println!(
+        "\n{}",
+        render("Table 3 — Micro-F1 (%)", &row_labels, &col_refs, &micro)
+    );
+    println!(
+        "\n{}",
+        render("Table 3 — Macro-F1 (%)", &row_labels, &col_refs, &macro_)
+    );
+    println!("Shape check vs paper: GloDyNE (and walk-based methods generally)");
+    println!("lead; Macro-F1 below Micro-F1 for every method.");
+}

@@ -1,0 +1,82 @@
+//! Table 4: wall-clock seconds to obtain embeddings over all time
+//! steps (downstream tasks excluded), plus the dataset-size footer.
+//!
+//! Run: `cargo run -p glodyne-bench --release --bin table4_time
+//!       [--scale 0.25] [--runs 3] [--dim 64] [--seed 42]`
+
+use glodyne_bench::args::{Args, Common};
+use glodyne_bench::eval::total_seconds;
+use glodyne_bench::methods::{build, MethodKind, MethodParams};
+use glodyne_bench::runner::{has_node_deletions, run_timed};
+use glodyne_baselines::supports_node_deletions;
+use glodyne_tasks::stats;
+
+fn main() {
+    let args = Args::from_env();
+    let common = Common::from(&args);
+
+    let datasets = glodyne_datasets::standard_suite(common.scale, common.seed);
+    let methods = MethodKind::comparative();
+
+    println!("# Table 4 — wall-clock seconds of obtaining embeddings (all time steps, mean over runs)");
+    print!("{:<16}", "");
+    for d in &datasets {
+        print!("{:<12}", d.name);
+    }
+    println!();
+
+    let mut glodyne_row: Vec<f64> = Vec::new();
+    let mut min_other: Vec<f64> = vec![f64::INFINITY; datasets.len()];
+
+    for &kind in &methods {
+        print!("{:<16}", kind.label());
+        for (di, dataset) in datasets.iter().enumerate() {
+            let snaps = dataset.network.snapshots();
+            if has_node_deletions(snaps) && !supports_node_deletions(kind.label()) {
+                print!("{:<12}", "n/a");
+                continue;
+            }
+            let mut samples = Vec::with_capacity(common.runs);
+            for run in 0..common.runs {
+                let params = MethodParams {
+                    dim: common.dim,
+                    seed: common.seed + run as u64 * 1000,
+                    ..Default::default()
+                };
+                let mut method = build(kind, &params);
+                let results = run_timed(method.as_mut(), snaps);
+                samples.push(total_seconds(&results));
+            }
+            let mean = stats::mean(&samples);
+            if kind == MethodKind::GloDyNE {
+                glodyne_row.push(mean);
+            } else {
+                min_other[di] = min_other[di].min(mean);
+            }
+            print!("{:<12.3}", mean);
+        }
+        println!();
+    }
+
+    // Dataset-size footer as in the paper.
+    print!("{:<16}", "# nodes (all t)");
+    for d in &datasets {
+        print!("{:<12}", d.network.totals().0);
+    }
+    println!();
+    print!("{:<16}", "# edges (all t)");
+    for d in &datasets {
+        print!("{:<12}", d.network.totals().1);
+    }
+    println!();
+
+    let wins = glodyne_row
+        .iter()
+        .zip(&min_other)
+        .filter(|(g, o)| g < o)
+        .count();
+    println!(
+        "\nShape check vs paper (GloDyNE fastest everywhere): fastest on {wins}/{} datasets",
+        datasets.len()
+    );
+}

@@ -1,0 +1,69 @@
+//! Table 5: node-selection strategies S1–S4 × walk length `l` in graph
+//! reconstruction (§5.3.4).
+//!
+//! Expected shape: S1 < S2 < S3 < S4 at short walk lengths, converging
+//! as `l` grows (a long-enough walker explores the global topology from
+//! anywhere).
+//!
+//! Run: `cargo run -p glodyne-bench --release --bin table5_strategies
+//!       [--scale 0.25] [--runs 2] [--dim 64] [--seed 42]`
+
+use glodyne::Strategy;
+use glodyne_bench::args::{Args, Common};
+use glodyne_bench::eval::gr_mean_over_time;
+use glodyne_bench::methods::{build, MethodKind, MethodParams};
+use glodyne_bench::runner::run_timed;
+use glodyne_tasks::stats;
+
+fn main() {
+    let args = Args::from_env();
+    let common = Common::from(&args);
+    let lengths = [3usize, 5, 10, 20, 40, 80];
+    let strategies = [Strategy::S1, Strategy::S2, Strategy::S3, Strategy::S4];
+
+    for dataset in [
+        glodyne_datasets::as733(common.scale, common.seed),
+        glodyne_datasets::elec(common.scale, common.seed + 3),
+    ] {
+        let snaps = dataset.network.snapshots();
+        for k in [10usize, 40] {
+            println!("\n# Table 5 — {} GR MeanP@{k} (%), strategies × walk length", dataset.name);
+            println!(
+                "{:<6}{:>10}{:>10}{:>10}{:>10}",
+                "l", "S1", "S2", "S3", "S4"
+            );
+            let mut s4_wins = 0usize;
+            for &l in &lengths {
+                let mut row = Vec::new();
+                for &strat in &strategies {
+                    let mut samples = Vec::new();
+                    for run in 0..common.runs {
+                        let params = MethodParams {
+                            dim: common.dim,
+                            walk_length: l,
+                            strategy: strat,
+                            seed: common.seed + run as u64 * 1000,
+                            ..Default::default()
+                        };
+                        let mut method = build(MethodKind::GloDyNE, &params);
+                        let results = run_timed(method.as_mut(), snaps);
+                        samples.push(gr_mean_over_time(&results, snaps, &[k])[0] * 100.0);
+                    }
+                    row.push(stats::mean(&samples));
+                }
+                println!(
+                    "{:<6}{:>10.3}{:>10.3}{:>10.3}{:>10.3}",
+                    l, row[0], row[1], row[2], row[3]
+                );
+                if row[3] >= row[0] {
+                    s4_wins += 1;
+                }
+            }
+            println!(
+                "shape: S4 >= S1 at {s4_wins}/{} walk lengths (paper: S1<S2<S3<S4): {}",
+                lengths.len(),
+                if s4_wins * 2 >= lengths.len() { "PASS" } else { "FAIL" }
+            );
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Tables 1, 2 and 4 from a single sweep: each (method, dataset, run)
+//! embedding sequence is computed once and scored for graph
+//! reconstruction (Table 1), link prediction (Table 2) and wall-clock
+//! time (Table 4) simultaneously — the tables share the embedding runs
+//! in the paper too.
+//!
+//! Run: `cargo run -p glodyne-bench --release --bin tables_all
+//!       [--scale 0.2] [--runs 2] [--dim 64] [--seed 42]`
+
+use glodyne_baselines::supports_node_deletions;
+use glodyne_bench::args::{Args, Common};
+use glodyne_bench::eval::{gr_mean_over_time, lp_mean_over_time, total_seconds};
+use glodyne_bench::methods::{build, MethodKind, MethodParams};
+use glodyne_bench::runner::{has_node_deletions, run_timed};
+use glodyne_bench::table::{render, Cell};
+
+fn main() {
+    let args = Args::from_env();
+    let common = Common::from(&args);
+    let scale = args.get("scale", 0.2);
+    let ks = [1usize, 5, 10, 20, 40];
+
+    let datasets = glodyne_datasets::standard_suite(scale, common.seed);
+    let methods = MethodKind::comparative();
+    let col_labels: Vec<&str> = datasets.iter().map(|d| d.name).collect();
+    let row_labels: Vec<&str> = methods.iter().map(|m| m.label()).collect();
+
+    let na_row = || vec![Cell::NotApplicable; datasets.len()];
+    let mut gr_cells: Vec<Vec<Vec<Cell>>> = vec![vec![na_row(); methods.len()]; ks.len()];
+    let mut lp_cells: Vec<Vec<Cell>> = vec![na_row(); methods.len()];
+    let mut time_cells: Vec<Vec<Cell>> = vec![na_row(); methods.len()];
+
+    for (di, dataset) in datasets.iter().enumerate() {
+        let snaps = dataset.network.snapshots();
+        let deletions = has_node_deletions(snaps);
+        for (mi, &kind) in methods.iter().enumerate() {
+            if deletions && !supports_node_deletions(kind.label()) {
+                continue;
+            }
+            let mut gr_samples: Vec<Vec<f64>> = vec![Vec::new(); ks.len()];
+            let mut lp_samples = Vec::new();
+            let mut time_samples = Vec::new();
+            for run in 0..common.runs {
+                let params = MethodParams {
+                    dim: common.dim,
+                    seed: common.seed + run as u64 * 1000,
+                    ..Default::default()
+                };
+                let mut method = build(kind, &params);
+                let results = run_timed(method.as_mut(), snaps);
+                let gr = gr_mean_over_time(&results, snaps, &ks);
+                for (s, v) in gr_samples.iter_mut().zip(gr) {
+                    s.push(v * 100.0);
+                }
+                lp_samples.push(lp_mean_over_time(&results, snaps, common.seed + run as u64) * 100.0);
+                time_samples.push(total_seconds(&results));
+            }
+            for (ki, s) in gr_samples.into_iter().enumerate() {
+                gr_cells[ki][mi][di] = Cell::Runs(s);
+            }
+            lp_cells[mi][di] = Cell::Runs(lp_samples);
+            time_cells[mi][di] = Cell::Runs(time_samples);
+            eprintln!("done: {} on {}", kind.label(), dataset.name);
+        }
+    }
+
+    for (ki, &k) in ks.iter().enumerate() {
+        println!(
+            "\n{}",
+            render(
+                &format!("Table 1 — MeanP@{k} (%) graph reconstruction"),
+                &row_labels,
+                &col_labels,
+                &gr_cells[ki],
+            )
+        );
+    }
+    println!(
+        "\n{}",
+        render(
+            "Table 2 — link prediction AUC (%)",
+            &row_labels,
+            &col_labels,
+            &lp_cells,
+        )
+    );
+    println!(
+        "\n{}",
+        render(
+            "Table 4 — wall-clock seconds (embedding only, all time steps)",
+            &row_labels,
+            &col_labels,
+            &time_cells,
+        )
+    );
+    print!("{:<16}", "# nodes (all t)");
+    for d in &datasets {
+        print!("{:<12}", d.network.totals().0);
+    }
+    println!();
+    print!("{:<16}", "# edges (all t)");
+    for d in &datasets {
+        print!("{:<12}", d.network.totals().1);
+    }
+    println!();
+
+    // Shape checks.
+    let glodyne_row = methods
+        .iter()
+        .position(|&m| m == MethodKind::GloDyNE)
+        .unwrap();
+    let mut gr_wins = 0;
+    let mut cells_total = 0;
+    for ki in 0..ks.len() {
+        for di in 0..datasets.len() {
+            let Some(g) = gr_cells[ki][glodyne_row][di].mean() else { continue };
+            cells_total += 1;
+            let best_other = (0..methods.len())
+                .filter(|&mi| mi != glodyne_row)
+                .filter_map(|mi| gr_cells[ki][mi][di].mean())
+                .fold(f64::MIN, f64::max);
+            if g >= best_other {
+                gr_wins += 1;
+            }
+        }
+    }
+    println!("\nshape (Table 1, paper: GloDyNE best in 28/30 cells): best in {gr_wins}/{cells_total}");
+    // Table 4's absolute row order in the paper compares the *released
+    // implementations* (Python/TF/MATLAB, where GloDyNE's gensim core is
+    // the only optimised one); all methods here share one Rust substrate,
+    // so the like-for-like claim is GloDyNE vs the other walk-based
+    // method (tNE does full walks + static SGNS per step plus an RNN).
+    let tne_row = methods.iter().position(|&m| m == MethodKind::Tne).unwrap();
+    let mut faster_than_tne = 0;
+    let mut comparable = 0;
+    for di in 0..datasets.len() {
+        let (Some(g), Some(t)) = (
+            time_cells[glodyne_row][di].mean(),
+            time_cells[tne_row][di].mean(),
+        ) else {
+            continue;
+        };
+        comparable += 1;
+        if g < t {
+            faster_than_tne += 1;
+        }
+    }
+    println!(
+        "shape (Table 4, paper: GloDyNE much faster than the other walk-based \
+         method): faster than tNE on {faster_than_tne}/{comparable} datasets"
+    );
+    println!(
+        "note: absolute row order vs the matrix baselines is implementation-bound \
+         (all methods share one optimised Rust substrate here; the paper compares \
+         heterogeneous released codebases)."
+    );
+}

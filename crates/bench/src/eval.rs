@@ -1,0 +1,91 @@
+//! Shared evaluation drivers: tie the runner's step results to the task
+//! metrics the paper reports per table.
+
+use crate::runner::StepResult;
+use glodyne_graph::Snapshot;
+use glodyne_tasks::{gr, lp};
+
+/// Table-1 protocol: MeanP@k at every time step, averaged over steps.
+/// Returns one value per `k`.
+pub fn gr_mean_over_time(results: &[StepResult], snapshots: &[Snapshot], ks: &[usize]) -> Vec<f64> {
+    let mut acc = vec![0.0; ks.len()];
+    for (r, s) in results.iter().zip(snapshots) {
+        let scores = gr::mean_precision_at_k(&r.embedding, s, ks);
+        for (a, v) in acc.iter_mut().zip(scores) {
+            *a += v;
+        }
+    }
+    let n = results.len().max(1) as f64;
+    acc.iter_mut().for_each(|a| *a /= n);
+    acc
+}
+
+/// Per-step MeanP@k series (Figures 3/4).
+pub fn gr_series(results: &[StepResult], snapshots: &[Snapshot], k: usize) -> Vec<f64> {
+    results
+        .iter()
+        .zip(snapshots)
+        .map(|(r, s)| gr::mean_precision_at_k(&r.embedding, s, &[k])[0])
+        .collect()
+}
+
+/// Table-2 protocol: embeddings at `t` predict edges of `t+1`; AUC
+/// averaged over all transitions.
+pub fn lp_mean_over_time(results: &[StepResult], snapshots: &[Snapshot], seed: u64) -> f64 {
+    let mut acc = 0.0;
+    let mut n = 0usize;
+    for t in 0..snapshots.len().saturating_sub(1) {
+        let test = lp::build_test_set(&snapshots[t], &snapshots[t + 1], seed ^ (t as u64));
+        if test.is_empty() {
+            continue;
+        }
+        acc += lp::link_prediction_auc(&results[t].embedding, &test);
+        n += 1;
+    }
+    if n == 0 {
+        0.5
+    } else {
+        acc / n as f64
+    }
+}
+
+/// Table-4 protocol: total embedding seconds over all steps.
+pub fn total_seconds(results: &[StepResult]) -> f64 {
+    results.iter().map(|r| r.seconds).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glodyne_embed::Embedding;
+    use glodyne_graph::id::{Edge, NodeId};
+
+    fn step(e: Embedding, s: f64) -> StepResult {
+        StepResult {
+            embedding: e,
+            seconds: s,
+        }
+    }
+
+    #[test]
+    fn totals_and_series_shapes() {
+        let g = Snapshot::from_edges(&[Edge::new(NodeId(0), NodeId(1))], &[]);
+        let mut e = Embedding::new(2);
+        e.set(NodeId(0), &[1.0, 0.0]);
+        e.set(NodeId(1), &[1.0, 0.1]);
+        let results = vec![step(e.clone(), 0.5), step(e, 0.25)];
+        let snaps = vec![g.clone(), g];
+        assert_eq!(total_seconds(&results), 0.75);
+        assert_eq!(gr_series(&results, &snaps, 1).len(), 2);
+        let m = gr_mean_over_time(&results, &snaps, &[1, 5]);
+        assert_eq!(m.len(), 2);
+        assert!(m[0] > 0.99, "adjacent pair is each other's top-1");
+    }
+
+    #[test]
+    fn lp_over_single_snapshot_is_chance() {
+        let g = Snapshot::from_edges(&[Edge::new(NodeId(0), NodeId(1))], &[]);
+        let results = vec![step(Embedding::new(2), 0.0)];
+        assert_eq!(lp_mean_over_time(&results, &[g], 0), 0.5);
+    }
+}

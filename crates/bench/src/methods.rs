@@ -1,0 +1,234 @@
+//! Method factory: all embedders behind one constructor.
+
+use glodyne::{GloDyNE, GloDyNEConfig, SgnsIncrement, SgnsRetrain, SgnsStatic, Strategy};
+use glodyne::variants::VariantConfig;
+use glodyne_baselines::{
+    bcgd::BcgdConfig, dyngem::DynGemConfig, dynline::DynLineConfig, dyntriad::DynTriadConfig,
+    tne::TneConfig, BcgdGlobal, BcgdLocal, DynGem, DynLine, DynTriad, TNE,
+};
+use glodyne_embed::traits::DynamicEmbedder;
+use glodyne_embed::walks::WalkConfig;
+use glodyne_embed::SgnsConfig;
+
+/// All method identities of the paper's comparison (§5.1.2) and the
+/// §5.3 variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodKind {
+    /// BCGD-global \[9\].
+    BcgdG,
+    /// BCGD-local \[9\].
+    BcgdL,
+    /// DynGEM \[11\].
+    DynGem,
+    /// DynLINE \[14\].
+    DynLine,
+    /// DynTriad \[15\].
+    DynTriad,
+    /// tNE \[18\].
+    Tne,
+    /// GloDyNE (this paper), strategy S4.
+    GloDyNE,
+    /// SGNS-static variant (§5.3.1).
+    SgnsStatic,
+    /// SGNS-retrain variant (§5.3.1).
+    SgnsRetrain,
+    /// SGNS-increment variant (§5.3.2).
+    SgnsIncrement,
+}
+
+impl MethodKind {
+    /// The seven methods of the comparative tables, in the paper's row
+    /// order.
+    pub fn comparative() -> [MethodKind; 7] {
+        [
+            MethodKind::BcgdG,
+            MethodKind::BcgdL,
+            MethodKind::DynGem,
+            MethodKind::DynLine,
+            MethodKind::DynTriad,
+            MethodKind::Tne,
+            MethodKind::GloDyNE,
+        ]
+    }
+
+    /// Table-row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MethodKind::BcgdG => "BCGDg",
+            MethodKind::BcgdL => "BCGDl",
+            MethodKind::DynGem => "DynGEM",
+            MethodKind::DynLine => "DynLINE",
+            MethodKind::DynTriad => "DynTriad",
+            MethodKind::Tne => "tNE",
+            MethodKind::GloDyNE => "GloDyNE",
+            MethodKind::SgnsStatic => "SGNS-static",
+            MethodKind::SgnsRetrain => "SGNS-retrain",
+            MethodKind::SgnsIncrement => "SGNS-increment",
+        }
+    }
+}
+
+/// Harness-wide method parameters (a laptop-scaled version of §5.1.2:
+/// the paper uses d=128, r=10, l=80, s=10, q=5).
+#[derive(Debug, Clone)]
+pub struct MethodParams {
+    /// Embedding dimensionality for every method.
+    pub dim: usize,
+    /// Walks per node `r`.
+    pub walks_per_node: usize,
+    /// Walk length `l`.
+    pub walk_length: usize,
+    /// Window size `s`.
+    pub window: usize,
+    /// Negative samples `q`.
+    pub negatives: usize,
+    /// GloDyNE's α.
+    pub alpha: f64,
+    /// GloDyNE's selection strategy.
+    pub strategy: Strategy,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for MethodParams {
+    fn default() -> Self {
+        MethodParams {
+            dim: 64,
+            walks_per_node: 6,
+            walk_length: 40,
+            window: 6,
+            negatives: 5,
+            alpha: 0.1,
+            strategy: Strategy::S4,
+            seed: 0,
+        }
+    }
+}
+
+impl MethodParams {
+    /// Walk config derived from the shared parameters.
+    pub fn walk(&self) -> WalkConfig {
+        WalkConfig {
+            walks_per_node: self.walks_per_node,
+            walk_length: self.walk_length,
+            seed: self.seed,
+        }
+    }
+
+    /// SGNS config derived from the shared parameters.
+    pub fn sgns(&self) -> SgnsConfig {
+        SgnsConfig {
+            dim: self.dim,
+            window: self.window,
+            negatives: self.negatives,
+            epochs: 2,
+            seed: self.seed,
+            parallel: true,
+            ..Default::default()
+        }
+    }
+
+    /// GloDyNE config derived from the shared parameters.
+    pub fn glodyne(&self) -> GloDyNEConfig {
+        GloDyNEConfig {
+            alpha: self.alpha,
+            epsilon: 0.1,
+            walk: self.walk(),
+            sgns: self.sgns(),
+            strategy: self.strategy,
+            seed: self.seed,
+        }
+    }
+
+    fn variant(&self) -> VariantConfig {
+        VariantConfig {
+            walk: self.walk(),
+            sgns: self.sgns(),
+        }
+    }
+}
+
+/// Instantiate a method.
+pub fn build(kind: MethodKind, p: &MethodParams) -> Box<dyn DynamicEmbedder> {
+    match kind {
+        MethodKind::GloDyNE => Box::new(GloDyNE::new(p.glodyne())),
+        MethodKind::SgnsStatic => Box::new(SgnsStatic::new(p.variant())),
+        MethodKind::SgnsRetrain => Box::new(SgnsRetrain::new(p.variant())),
+        MethodKind::SgnsIncrement => Box::new(SgnsIncrement::new(p.variant())),
+        MethodKind::BcgdG => Box::new(BcgdGlobal::new(BcgdConfig {
+            dim: p.dim,
+            iterations: 8,
+            global_cycles: 1,
+            seed: p.seed,
+            ..Default::default()
+        })),
+        MethodKind::BcgdL => Box::new(BcgdLocal::new(BcgdConfig {
+            dim: p.dim,
+            seed: p.seed,
+            ..Default::default()
+        })),
+        MethodKind::DynGem => Box::new(DynGem::new(DynGemConfig {
+            dim: p.dim,
+            hidden: (2 * p.dim).max(32),
+            // generous for the laptop-scale analogues; the real DynGEM
+            // hits GPU OOM at the paper's HepPh/FBW sizes (n/a cells)
+            capacity: 1024,
+            epochs: 3,
+            seed: p.seed,
+            ..Default::default()
+        })),
+        MethodKind::DynLine => Box::new(DynLine::new(DynLineConfig {
+            dim: p.dim,
+            negatives: p.negatives,
+            seed: p.seed,
+            ..Default::default()
+        })),
+        MethodKind::DynTriad => Box::new(DynTriad::new(DynTriadConfig {
+            dim: p.dim,
+            negatives: p.negatives,
+            seed: p.seed,
+            ..Default::default()
+        })),
+        MethodKind::Tne => Box::new(TNE::new(TneConfig {
+            static_dim: p.dim,
+            hidden: p.dim,
+            dim: p.dim,
+            walk: p.walk(),
+            sgns: p.sgns(),
+            rnn_samples: 150,
+            seed: p.seed,
+            ..Default::default()
+        })),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_methods_buildable_with_distinct_names() {
+        let p = MethodParams {
+            dim: 8,
+            ..Default::default()
+        };
+        let mut names = std::collections::HashSet::new();
+        for kind in [
+            MethodKind::BcgdG,
+            MethodKind::BcgdL,
+            MethodKind::DynGem,
+            MethodKind::DynLine,
+            MethodKind::DynTriad,
+            MethodKind::Tne,
+            MethodKind::GloDyNE,
+            MethodKind::SgnsStatic,
+            MethodKind::SgnsRetrain,
+            MethodKind::SgnsIncrement,
+        ] {
+            let m = build(kind, &p);
+            assert_eq!(m.name(), kind.label());
+            names.insert(m.name());
+        }
+        assert_eq!(names.len(), 10);
+    }
+}

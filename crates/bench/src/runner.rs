@@ -1,0 +1,76 @@
+//! Drives methods over snapshot sequences with per-step timing.
+
+use glodyne_embed::traits::DynamicEmbedder;
+use glodyne_embed::Embedding;
+use glodyne_graph::Snapshot;
+use std::time::Instant;
+
+/// One time step's output: embedding plus wall-clock seconds spent
+/// obtaining it (embedding only — downstream-task time is excluded, as
+/// in Table 4).
+pub struct StepResult {
+    /// `Z^t`.
+    pub embedding: Embedding,
+    /// Seconds spent in `advance` for this step.
+    pub seconds: f64,
+}
+
+/// Run a method across a snapshot sequence.
+pub fn run_timed(method: &mut dyn DynamicEmbedder, snapshots: &[Snapshot]) -> Vec<StepResult> {
+    let mut out = Vec::with_capacity(snapshots.len());
+    let mut prev: Option<&Snapshot> = None;
+    for snap in snapshots {
+        let t = Instant::now();
+        method.advance(prev, snap);
+        let seconds = t.elapsed().as_secs_f64();
+        out.push(StepResult {
+            embedding: method.embedding(),
+            seconds,
+        });
+        prev = Some(snap);
+    }
+    out
+}
+
+/// Whether a snapshot sequence contains node deletions (the condition
+/// under which DynLINE and tNE are n/a in the paper's tables).
+pub fn has_node_deletions(snapshots: &[Snapshot]) -> bool {
+    snapshots.windows(2).any(|w| {
+        w[0].node_ids()
+            .iter()
+            .any(|id| w[1].local_of(*id).is_none())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glodyne_graph::id::{Edge, NodeId};
+
+    struct Noop;
+    impl DynamicEmbedder for Noop {
+        fn advance(&mut self, _p: Option<&Snapshot>, _c: &Snapshot) {}
+        fn embedding(&self) -> Embedding {
+            Embedding::new(2)
+        }
+        fn name(&self) -> &'static str {
+            "noop"
+        }
+    }
+
+    #[test]
+    fn run_timed_counts_steps() {
+        let s = Snapshot::from_edges(&[Edge::new(NodeId(0), NodeId(1))], &[]);
+        let results = run_timed(&mut Noop, &[s.clone(), s]);
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().all(|r| r.seconds >= 0.0));
+    }
+
+    #[test]
+    fn detects_deletions() {
+        let a = Snapshot::from_edges(&[Edge::new(NodeId(0), NodeId(1))], &[]);
+        let b = Snapshot::from_edges(&[Edge::new(NodeId(0), NodeId(2))], &[]);
+        assert!(has_node_deletions(&[a.clone(), b]));
+        assert!(!has_node_deletions(&[a.clone(), a]));
+    }
+}

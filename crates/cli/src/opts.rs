@@ -1,0 +1,84 @@
+//! Minimal `--key value` option parsing for the CLI (kept free of
+//! external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed options.
+#[derive(Debug, Default, Clone)]
+pub struct Opts {
+    values: HashMap<String, String>,
+}
+
+impl Opts {
+    /// Parse a token list of `--key value` pairs (bare `--flag` maps to
+    /// "true").
+    pub fn parse(tokens: &[String]) -> Self {
+        let mut values = HashMap::new();
+        let mut key: Option<String> = None;
+        for tok in tokens {
+            if let Some(stripped) = tok.strip_prefix("--") {
+                if let Some(k) = key.take() {
+                    values.insert(k, "true".into());
+                }
+                key = Some(stripped.to_string());
+            } else if let Some(k) = key.take() {
+                values.insert(k, tok.clone());
+            }
+        }
+        if let Some(k) = key {
+            values.insert(k, "true".into());
+        }
+        Opts { values }
+    }
+
+    /// Required string option.
+    pub fn require(&self, key: &str) -> Result<&str, crate::CliError> {
+        self.values
+            .get(key)
+            .map(|s| s.as_str())
+            .ok_or_else(|| crate::CliError(format!("missing required option --{key}")))
+    }
+
+    /// Optional parsed value with default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Optional string with default.
+    pub fn get_str<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.values.get(key).map(|s| s.as_str()).unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Opts {
+        Opts::parse(&s.split_whitespace().map(String::from).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn require_present_and_missing() {
+        let o = parse("--input foo.txt");
+        assert_eq!(o.require("input").unwrap(), "foo.txt");
+        assert!(o.require("output").is_err());
+    }
+
+    #[test]
+    fn typed_defaults() {
+        let o = parse("--alpha 0.25 --dim 32");
+        assert_eq!(o.get("alpha", 0.1), 0.25);
+        assert_eq!(o.get("dim", 128usize), 32);
+        assert_eq!(o.get("walks", 10usize), 10);
+    }
+
+    #[test]
+    fn string_default() {
+        let o = parse("");
+        assert_eq!(o.get_str("out-dir", "."), ".");
+    }
+}

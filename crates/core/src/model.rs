@@ -1,0 +1,333 @@
+//! The GloDyNE embedder (Algorithm 1).
+
+use crate::reservoir::Reservoir;
+use crate::select::{select_nodes, Strategy};
+use glodyne_embed::traits::DynamicEmbedder;
+use glodyne_embed::walks::{generate_walks, generate_walks_all, WalkConfig};
+use glodyne_embed::{Embedding, SgnsConfig, SgnsModel};
+use glodyne_graph::{Snapshot, SnapshotDiff};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::{Duration, Instant};
+
+/// Full GloDyNE configuration (Algorithm 1's inputs).
+#[derive(Debug, Clone)]
+pub struct GloDyNEConfig {
+    /// The free hyper-parameter `α ∈ (0, 1]` determining the number of
+    /// selected nodes `K = α·|V^t|` (§5.3.5; paper default 0.1).
+    pub alpha: f64,
+    /// Balance tolerance ε of the partition constraint (Eq. 2).
+    pub epsilon: f64,
+    /// Random-walk parameters (`r`, `l`).
+    pub walk: WalkConfig,
+    /// SGNS parameters (`d`, `s`, `q`, learning rate, epochs).
+    pub sgns: SgnsConfig,
+    /// Node-selection strategy (S4 is the paper's method).
+    pub strategy: Strategy,
+    /// Seed for selection randomness.
+    pub seed: u64,
+}
+
+impl Default for GloDyNEConfig {
+    fn default() -> Self {
+        GloDyNEConfig {
+            alpha: 0.1,
+            epsilon: 0.1,
+            walk: WalkConfig::default(),
+            sgns: SgnsConfig::default(),
+            strategy: Strategy::S4,
+            seed: 0,
+        }
+    }
+}
+
+/// Wall-clock breakdown of one online step, matching the §5.2.4 scale
+/// test's reporting (partition+selection / walks / training).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimes {
+    /// Steps 1–2: partition and node selection.
+    pub select: Duration,
+    /// Step 3: random walks.
+    pub walks: Duration,
+    /// Step 4: SGNS training.
+    pub train: Duration,
+}
+
+impl PhaseTimes {
+    /// Total step time.
+    pub fn total(&self) -> Duration {
+        self.select + self.walks + self.train
+    }
+}
+
+/// The GloDyNE dynamic network embedder.
+#[derive(Debug)]
+pub struct GloDyNE {
+    cfg: GloDyNEConfig,
+    model: SgnsModel,
+    reservoir: Reservoir,
+    rng: ChaCha8Rng,
+    step: usize,
+    last_phases: PhaseTimes,
+    last_selected: usize,
+}
+
+impl GloDyNE {
+    /// Build an embedder from a configuration.
+    pub fn new(cfg: GloDyNEConfig) -> Self {
+        assert!(
+            cfg.alpha > 0.0 && cfg.alpha <= 1.0,
+            "alpha must be in (0, 1], got {}",
+            cfg.alpha
+        );
+        let rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x610D_19E5);
+        let model = SgnsModel::new(cfg.sgns.clone());
+        GloDyNE {
+            cfg,
+            model,
+            reservoir: Reservoir::new(),
+            rng,
+            step: 0,
+            last_phases: PhaseTimes::default(),
+            last_selected: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GloDyNEConfig {
+        &self.cfg
+    }
+
+    /// Phase timing of the most recent step (zeroes before any step).
+    pub fn last_phase_times(&self) -> PhaseTimes {
+        self.last_phases
+    }
+
+    /// Number of nodes selected in the most recent online step
+    /// (`|V^t_sel| ≈ K = α·|V^t|`; equals `|V^0|` after the offline
+    /// step).
+    pub fn last_selected_count(&self) -> usize {
+        self.last_selected
+    }
+
+    /// Read-only view of the reservoir (diagnostics/tests).
+    pub fn reservoir(&self) -> &Reservoir {
+        &self.reservoir
+    }
+
+    /// Offline stage (Algorithm 1 lines 1–5): walks from every node and
+    /// initial SGNS training.
+    fn offline(&mut self, g0: &Snapshot) {
+        let t0 = Instant::now();
+        let walk_cfg = WalkConfig {
+            seed: self.cfg.walk.seed ^ (self.step as u64),
+            ..self.cfg.walk
+        };
+        let walks = generate_walks_all(g0, &walk_cfg);
+        let t1 = Instant::now();
+        self.model.train(&walks);
+        let t2 = Instant::now();
+        self.last_phases = PhaseTimes {
+            select: Duration::ZERO,
+            walks: t1 - t0,
+            train: t2 - t1,
+        };
+        self.last_selected = g0.num_nodes();
+    }
+
+    /// Online stage (Algorithm 1 lines 6–18).
+    fn online(&mut self, prev: &Snapshot, curr: &Snapshot) {
+        // Lines 7, 9–10: K, edge streams, reservoir update.
+        let t0 = Instant::now();
+        let k = ((self.cfg.alpha * curr.num_nodes() as f64).round() as usize)
+            .clamp(1, curr.num_nodes());
+        let diff = SnapshotDiff::compute(prev, curr);
+        self.reservoir.absorb(&diff);
+
+        // Lines 8, 11–13: partition + select representatives.
+        let selected = select_nodes(
+            self.cfg.strategy,
+            curr,
+            prev,
+            &self.reservoir,
+            k,
+            self.cfg.epsilon,
+            &mut self.rng,
+        );
+        // Line 14: remove selected nodes from the reservoir.
+        for &l in &selected {
+            self.reservoir.clear_node(curr.node_id(l as usize));
+        }
+        let t1 = Instant::now();
+
+        // Line 15: walks from the selected nodes.
+        let walk_cfg = WalkConfig {
+            seed: self.cfg.walk.seed ^ ((self.step as u64) << 32),
+            ..self.cfg.walk
+        };
+        let walks = generate_walks(curr, &selected, &walk_cfg);
+        let t2 = Instant::now();
+
+        // Lines 16–17: incremental SGNS training (f^t = f^{t-1}).
+        self.model.train(&walks);
+        let t3 = Instant::now();
+
+        self.last_phases = PhaseTimes {
+            select: t1 - t0,
+            walks: t2 - t1,
+            train: t3 - t2,
+        };
+        self.last_selected = selected.len();
+    }
+}
+
+impl DynamicEmbedder for GloDyNE {
+    fn advance(&mut self, prev: Option<&Snapshot>, curr: &Snapshot) {
+        match prev {
+            None => self.offline(curr),
+            Some(p) => self.online(p, curr),
+        }
+        self.step += 1;
+    }
+
+    fn embedding(&self) -> Embedding {
+        self.model.embedding()
+    }
+
+    fn name(&self) -> &'static str {
+        "GloDyNE"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glodyne_embed::traits::run_over;
+    use glodyne_graph::id::{Edge, NodeId};
+
+    fn small_cfg() -> GloDyNEConfig {
+        GloDyNEConfig {
+            alpha: 0.2,
+            walk: WalkConfig {
+                walks_per_node: 4,
+                walk_length: 12,
+                seed: 3,
+            },
+            sgns: SgnsConfig {
+                dim: 16,
+                window: 3,
+                negatives: 3,
+                epochs: 2,
+                parallel: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    fn ring(n: u32, extra: &[(u32, u32)]) -> Snapshot {
+        let mut edges: Vec<Edge> = (0..n)
+            .map(|i| Edge::new(NodeId(i), NodeId((i + 1) % n)))
+            .collect();
+        edges.extend(extra.iter().map(|&(a, b)| Edge::new(NodeId(a), NodeId(b))));
+        Snapshot::from_edges(&edges, &[])
+    }
+
+    #[test]
+    fn covers_all_snapshots_and_new_nodes() {
+        let snaps = vec![
+            ring(20, &[]),
+            ring(20, &[(0, 20), (20, 21)]),
+            ring(20, &[(0, 20), (20, 21), (21, 22)]),
+        ];
+        let mut m = GloDyNE::new(small_cfg());
+        let embs = run_over(&mut m, &snaps);
+        assert_eq!(embs.len(), 3);
+        // new node 22 appears only at t=2; it will have an embedding iff a
+        // walk reached it — with alpha=0.2 and active-node bias it should.
+        assert!(embs[2].get(NodeId(21)).is_some() || embs[2].get(NodeId(22)).is_some());
+        // all original nodes embedded from the offline stage
+        for i in 0..20 {
+            assert!(embs[0].get(NodeId(i)).is_some(), "node {i} missing at t=0");
+        }
+    }
+
+    #[test]
+    fn online_selects_about_alpha_fraction() {
+        let snaps = [ring(50, &[]), ring(50, &[(0, 25)])];
+        let mut m = GloDyNE::new(GloDyNEConfig {
+            alpha: 0.1,
+            ..small_cfg()
+        });
+        m.advance(None, &snaps[0]);
+        assert_eq!(m.last_selected_count(), 50, "offline uses all nodes");
+        m.advance(Some(&snaps[0]), &snaps[1]);
+        assert_eq!(m.last_selected_count(), 5, "K = α|V| = 5");
+    }
+
+    #[test]
+    fn selected_nodes_leave_reservoir() {
+        let g0 = ring(30, &[]);
+        let g1 = ring(30, &[(0, 15), (3, 18)]);
+        let mut m = GloDyNE::new(GloDyNEConfig {
+            alpha: 1.0, // select everything => reservoir fully drained
+            ..small_cfg()
+        });
+        m.advance(None, &g0);
+        m.advance(Some(&g0), &g1);
+        assert!(
+            m.reservoir().is_empty(),
+            "alpha=1 must clear the whole reservoir"
+        );
+    }
+
+    #[test]
+    fn phase_times_are_populated() {
+        let g0 = ring(20, &[]);
+        let g1 = ring(20, &[(0, 10)]);
+        let mut m = GloDyNE::new(small_cfg());
+        m.advance(None, &g0);
+        let offline = m.last_phase_times();
+        assert!(offline.train > Duration::ZERO);
+        m.advance(Some(&g0), &g1);
+        let online = m.last_phase_times();
+        assert!(online.total() > Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn zero_alpha_rejected() {
+        GloDyNE::new(GloDyNEConfig {
+            alpha: 0.0,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn embedding_quality_neighbors_closer_than_strangers() {
+        // After offline training on a two-community graph, a node should
+        // be closer to its community than to the other one.
+        let mut edges = Vec::new();
+        for c in 0..2u32 {
+            let base = c * 8;
+            for i in 0..8 {
+                for j in (i + 1)..8 {
+                    edges.push(Edge::new(NodeId(base + i), NodeId(base + j)));
+                }
+            }
+        }
+        edges.push(Edge::new(NodeId(0), NodeId(8)));
+        let g = Snapshot::from_edges(&edges, &[]);
+        let mut cfg = small_cfg();
+        cfg.sgns.epochs = 6;
+        let mut m = GloDyNE::new(cfg);
+        m.advance(None, &g);
+        let e = m.embedding();
+        let intra = e.cosine(NodeId(1), NodeId(2)).unwrap();
+        let inter = e.cosine(NodeId(1), NodeId(14)).unwrap();
+        assert!(
+            intra > inter,
+            "intra {intra} should exceed inter {inter} after offline stage"
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! The accumulated-change reservoir and the scoring function of Eq. 3.
+//!
+//! The reservoir `R` stores, per node, the accumulated topological
+//! changes "up to t−1 ... to handle the case when a node has small
+//! changes at each time step for a long time, which greatly affects
+//! network topology but maybe ignored if not recorded" (footnote 2).
+//! Algorithm 1 line 10 folds the current step's changes in
+//! (`R^t_i = |ΔE^t_i| + R^{t-1}_i`); line 14 clears the entries of
+//! selected nodes once their topology has been re-captured.
+
+use glodyne_graph::{NodeId, Snapshot, SnapshotDiff};
+use std::collections::HashMap;
+
+/// Per-node accumulated topological change.
+#[derive(Debug, Clone, Default)]
+pub struct Reservoir {
+    changes: HashMap<NodeId, u64>,
+}
+
+impl Reservoir {
+    /// Empty reservoir.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one step's edge changes into the reservoir
+    /// (Algorithm 1 line 10).
+    pub fn absorb(&mut self, diff: &SnapshotDiff) {
+        for (&id, &delta) in &diff.changed_degree {
+            *self.changes.entry(id).or_insert(0) += delta as u64;
+        }
+    }
+
+    /// Accumulated change of a node (0 if never touched).
+    pub fn get(&self, id: NodeId) -> u64 {
+        self.changes.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Remove a node's entry after it has been selected
+    /// (Algorithm 1 line 14). Returns the removed amount.
+    pub fn clear_node(&mut self, id: NodeId) -> u64 {
+        self.changes.remove(&id).unwrap_or(0)
+    }
+
+    /// Nodes currently holding accumulated change, in unspecified order.
+    pub fn touched_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.changes.keys().copied()
+    }
+
+    /// Number of nodes with non-zero accumulated change.
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// Whether no node holds accumulated change.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// Total accumulated mass (for accounting tests).
+    pub fn total(&self) -> u64 {
+        self.changes.values().sum()
+    }
+
+    /// The scoring function of Eq. 3 for a node in the current snapshot:
+    ///
+    /// `S(v) = (|ΔE^t_v| + R^{t-1}_v) / Deg^{t-1}(v)`
+    ///
+    /// By the time this is called the reservoir has already absorbed the
+    /// current diff, so the numerator is simply `R^t_v`. The denominator
+    /// is the node's degree in the *previous* snapshot (its "inertia");
+    /// nodes absent from the previous snapshot (newcomers) take degree 1,
+    /// which gives them the full weight of their accumulated changes.
+    pub fn score(&self, id: NodeId, prev: &Snapshot) -> f64 {
+        let numerator = self.get(id) as f64;
+        let inertia = prev
+            .local_of(id)
+            .map(|l| prev.degree(l).max(1) as f64)
+            .unwrap_or(1.0);
+        numerator / inertia
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glodyne_graph::id::Edge;
+
+    fn snap(edges: &[(u32, u32)]) -> Snapshot {
+        let es: Vec<Edge> = edges
+            .iter()
+            .map(|&(a, b)| Edge::new(NodeId(a), NodeId(b)))
+            .collect();
+        Snapshot::from_edges(&es, &[])
+    }
+
+    #[test]
+    fn absorb_accumulates_across_steps() {
+        let g0 = snap(&[(0, 1)]);
+        let g1 = snap(&[(0, 1), (1, 2)]);
+        let g2 = snap(&[(0, 1), (1, 2), (1, 3)]);
+        let mut r = Reservoir::new();
+        r.absorb(&SnapshotDiff::compute(&g0, &g1));
+        assert_eq!(r.get(NodeId(1)), 1);
+        r.absorb(&SnapshotDiff::compute(&g1, &g2));
+        assert_eq!(r.get(NodeId(1)), 2, "changes accumulate");
+        assert_eq!(r.get(NodeId(0)), 0, "untouched node stays at zero");
+    }
+
+    #[test]
+    fn clear_node_removes_entry() {
+        let mut r = Reservoir::new();
+        r.absorb(&SnapshotDiff::compute(&snap(&[(0, 1)]), &snap(&[(0, 1), (0, 2)])));
+        assert_eq!(r.clear_node(NodeId(0)), 1);
+        assert_eq!(r.get(NodeId(0)), 0);
+        assert_eq!(r.clear_node(NodeId(0)), 0, "double clear is harmless");
+    }
+
+    #[test]
+    fn total_mass_accounting() {
+        let g0 = snap(&[(0, 1)]);
+        let g1 = snap(&[(0, 1), (2, 3)]);
+        let mut r = Reservoir::new();
+        r.absorb(&SnapshotDiff::compute(&g0, &g1));
+        // one added edge touches two endpoints
+        assert_eq!(r.total(), 2);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn score_divides_by_previous_degree() {
+        // prev: node 1 has degree 3 (hub), node 4 degree 1 (leaf)
+        let prev = snap(&[(1, 0), (1, 2), (1, 3), (4, 0)]);
+        let curr = snap(&[(1, 0), (1, 2), (1, 3), (4, 0), (1, 5), (4, 5)]);
+        let mut r = Reservoir::new();
+        r.absorb(&SnapshotDiff::compute(&prev, &curr));
+        // both gained exactly one edge, but the leaf has less inertia
+        let hub = r.score(NodeId(1), &prev);
+        let leaf = r.score(NodeId(4), &prev);
+        assert!((hub - 1.0 / 3.0).abs() < 1e-12);
+        assert!((leaf - 1.0).abs() < 1e-12);
+        assert!(leaf > hub, "low-inertia node scores higher per change");
+    }
+
+    #[test]
+    fn newcomer_gets_unit_inertia() {
+        let prev = snap(&[(0, 1)]);
+        let curr = snap(&[(0, 1), (0, 2), (1, 2)]);
+        let mut r = Reservoir::new();
+        r.absorb(&SnapshotDiff::compute(&prev, &curr));
+        // node 2 is new with 2 fresh edges => score 2/1
+        assert!((r.score(NodeId(2), &prev) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_score_for_inactive_node() {
+        let prev = snap(&[(0, 1), (2, 3)]);
+        let r = Reservoir::new();
+        assert_eq!(r.score(NodeId(2), &prev), 0.0);
+    }
+}

@@ -1,0 +1,306 @@
+//! Node-selection strategies (Step 2, Eq. 4, and the S1–S4 comparison
+//! of §5.3.4).
+//!
+//! All strategies select (about) `K = α·|V^t|` nodes. Ranked by the
+//! diversity of the selected nodes: S1 < S2 < S3 < S4.
+//!
+//! - **S1** — random *with* replacement from the reservoir (most-affected
+//!   nodes only; unaware of inactive sub-networks; duplicates collapse).
+//! - **S2** — random *without* replacement from the reservoir, topping up
+//!   from all nodes when the reservoir is smaller than `K`.
+//! - **S3** — random without replacement from all nodes of the snapshot.
+//! - **S4** — GloDyNE's strategy: partition into `K` balanced
+//!   sub-networks and sample one representative per sub-network from the
+//!   softmax of accumulated-change scores (Eq. 4).
+
+use crate::reservoir::Reservoir;
+use glodyne_graph::Snapshot;
+use glodyne_partition::{partition, PartitionConfig};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Which node-selection strategy to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Random with replacement from the reservoir.
+    S1,
+    /// Random without replacement from the reservoir, topped up from all
+    /// nodes.
+    S2,
+    /// Random without replacement from all nodes.
+    S3,
+    /// Partition + per-sub-network softmax selection (the paper's
+    /// method).
+    S4,
+}
+
+impl Strategy {
+    /// Table-row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::S1 => "S1",
+            Strategy::S2 => "S2",
+            Strategy::S3 => "S3",
+            Strategy::S4 => "S4",
+        }
+    }
+}
+
+/// Select (about) `k` node *local indices* of `curr` according to the
+/// strategy. `prev` supplies the inertia denominators of Eq. 3.
+///
+/// The returned list is deduplicated; S1 may therefore return fewer than
+/// `k` nodes, which is inherent to sampling with replacement.
+pub fn select_nodes(
+    strategy: Strategy,
+    curr: &Snapshot,
+    prev: &Snapshot,
+    reservoir: &Reservoir,
+    k: usize,
+    epsilon: f64,
+    rng: &mut impl Rng,
+) -> Vec<u32> {
+    let n = curr.num_nodes();
+    if n == 0 || k == 0 {
+        return Vec::new();
+    }
+    let k = k.min(n);
+    match strategy {
+        Strategy::S1 => {
+            let pool: Vec<u32> = reservoir
+                .touched_nodes()
+                .filter_map(|id| curr.local_of(id).map(|l| l as u32))
+                .collect();
+            if pool.is_empty() {
+                return Vec::new();
+            }
+            let mut picked: Vec<u32> =
+                (0..k).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
+            picked.sort_unstable();
+            picked.dedup();
+            picked
+        }
+        Strategy::S2 => {
+            let mut pool: Vec<u32> = reservoir
+                .touched_nodes()
+                .filter_map(|id| curr.local_of(id).map(|l| l as u32))
+                .collect();
+            pool.sort_unstable(); // determinism: HashMap order varies
+            pool.shuffle(rng);
+            let mut picked: Vec<u32> = pool.into_iter().take(k).collect();
+            if picked.len() < k {
+                let mut rest: Vec<u32> = (0..n as u32)
+                    .filter(|l| !picked.contains(l))
+                    .collect();
+                rest.shuffle(rng);
+                picked.extend(rest.into_iter().take(k - picked.len()));
+            }
+            picked
+        }
+        Strategy::S3 => {
+            let mut all: Vec<u32> = (0..n as u32).collect();
+            all.shuffle(rng);
+            all.truncate(k);
+            all
+        }
+        Strategy::S4 => {
+            let cfg = PartitionConfig {
+                k,
+                epsilon,
+                seed: rng.gen(),
+                ..Default::default()
+            };
+            let parts = partition(curr, &cfg).parts();
+            let mut picked = Vec::with_capacity(parts.len());
+            for members in &parts {
+                if members.is_empty() {
+                    continue;
+                }
+                picked.push(softmax_pick(members, curr, prev, reservoir, rng));
+            }
+            picked
+        }
+    }
+}
+
+/// Sample one representative from a sub-network via the softmax of
+/// Eq. 4: `P(v) = e^{S(v)} / Σ e^{S(u)}`. Max-shifted for numerical
+/// stability; an all-zero-score (inactive) sub-network degenerates to
+/// the uniform distribution, exactly the `e^0 = 1` property the paper
+/// relies on.
+fn softmax_pick(
+    members: &[u32],
+    curr: &Snapshot,
+    prev: &Snapshot,
+    reservoir: &Reservoir,
+    rng: &mut impl Rng,
+) -> u32 {
+    debug_assert!(!members.is_empty());
+    let scores: Vec<f64> = members
+        .iter()
+        .map(|&l| reservoir.score(curr.node_id(l as usize), prev))
+        .collect();
+    let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = scores.iter().map(|&s| (s - max).exp()).collect();
+    let total: f64 = exps.iter().sum();
+    let mut draw = rng.gen::<f64>() * total;
+    for (i, &e) in exps.iter().enumerate() {
+        draw -= e;
+        if draw <= 0.0 {
+            return members[i];
+        }
+    }
+    *members.last().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glodyne_graph::id::{Edge, NodeId};
+    use glodyne_graph::SnapshotDiff;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn ring(n: u32) -> Snapshot {
+        let edges: Vec<Edge> = (0..n)
+            .map(|i| Edge::new(NodeId(i), NodeId((i + 1) % n)))
+            .collect();
+        Snapshot::from_edges(&edges, &[])
+    }
+
+    fn setup() -> (Snapshot, Snapshot, Reservoir) {
+        let prev = ring(30);
+        // current adds a chord at node 3
+        let mut edges: Vec<Edge> = prev.edges().collect();
+        edges.push(Edge::new(NodeId(3), NodeId(20)));
+        let curr = Snapshot::from_edges(&edges, &[]);
+        let mut r = Reservoir::new();
+        r.absorb(&SnapshotDiff::compute(&prev, &curr));
+        (prev, curr, r)
+    }
+
+    #[test]
+    fn s3_and_s4_select_exactly_k() {
+        let (prev, curr, r) = setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for strat in [Strategy::S3, Strategy::S4] {
+            let sel = select_nodes(strat, &curr, &prev, &r, 6, 0.1, &mut rng);
+            assert_eq!(sel.len(), 6, "{:?}", strat);
+            let mut uniq = sel.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(uniq.len(), 6, "{:?} produced duplicates", strat);
+        }
+    }
+
+    #[test]
+    fn s1_only_draws_from_reservoir() {
+        let (prev, curr, r) = setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let sel = select_nodes(Strategy::S1, &curr, &prev, &r, 10, 0.1, &mut rng);
+        let touched: std::collections::HashSet<u32> = r
+            .touched_nodes()
+            .filter_map(|id| curr.local_of(id).map(|l| l as u32))
+            .collect();
+        assert!(!sel.is_empty());
+        for s in sel {
+            assert!(touched.contains(&s), "S1 picked untouched node {s}");
+        }
+    }
+
+    #[test]
+    fn s2_tops_up_beyond_reservoir() {
+        let (prev, curr, r) = setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        // reservoir only has 2 nodes; ask for 8
+        let sel = select_nodes(Strategy::S2, &curr, &prev, &r, 8, 0.1, &mut rng);
+        assert_eq!(sel.len(), 8);
+    }
+
+    #[test]
+    fn s1_empty_reservoir_selects_nothing() {
+        let g = ring(10);
+        let r = Reservoir::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert!(select_nodes(Strategy::S1, &g, &g, &r, 4, 0.1, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn s4_diversity_beats_s1() {
+        // Diversity measure: number of distinct partition cells hit.
+        // S4 hits every cell by construction; S1 concentrates on the
+        // single active region.
+        let (prev, curr, r) = setup();
+        let k = 6;
+        let cfg = PartitionConfig::with_k(k);
+        let parts = partition(&curr, &cfg);
+        let cells = |sel: &[u32]| {
+            let mut cs: Vec<u32> = sel.iter().map(|&l| parts.assignment[l as usize]).collect();
+            cs.sort_unstable();
+            cs.dedup();
+            cs.len()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let s4 = select_nodes(Strategy::S4, &curr, &prev, &r, k, 0.1, &mut rng);
+        let s1 = select_nodes(Strategy::S1, &curr, &prev, &r, k, 0.1, &mut rng);
+        assert!(
+            cells(&s4) >= cells(&s1),
+            "S4 cells {} < S1 cells {}",
+            cells(&s4),
+            cells(&s1)
+        );
+        assert!(cells(&s4) >= k - 1, "S4 should cover nearly all cells");
+    }
+
+    #[test]
+    fn softmax_biases_toward_high_scores() {
+        // Within one sub-network of two nodes where one has a large
+        // accumulated change, that node should be picked most of the time.
+        let prev = ring(10);
+        let mut edges: Vec<Edge> = prev.edges().collect();
+        for j in 3..8 {
+            edges.push(Edge::new(NodeId(0), NodeId(j)));
+        }
+        let curr = Snapshot::from_edges(&edges, &[]);
+        let mut r = Reservoir::new();
+        r.absorb(&SnapshotDiff::compute(&prev, &curr));
+        let members: Vec<u32> = vec![
+            curr.local_of(NodeId(0)).unwrap() as u32,
+            curr.local_of(NodeId(9)).unwrap() as u32,
+        ];
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut hot = 0;
+        for _ in 0..500 {
+            if softmax_pick(&members, &curr, &prev, &r, &mut rng) == members[0] {
+                hot += 1;
+            }
+        }
+        assert!(hot > 350, "high-score node picked only {hot}/500 times");
+    }
+
+    #[test]
+    fn inactive_subnetwork_uniform_pick() {
+        let g = ring(10);
+        let r = Reservoir::new(); // all scores zero
+        let members: Vec<u32> = (0..5).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut counts = [0usize; 5];
+        for _ in 0..2000 {
+            counts[softmax_pick(&members, &g, &g, &r, &mut rng) as usize] += 1;
+        }
+        for c in counts {
+            assert!(
+                (c as f64 - 400.0).abs() < 100.0,
+                "uniform fallback broken: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let (prev, curr, r) = setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let sel = select_nodes(Strategy::S3, &curr, &prev, &r, 1000, 0.1, &mut rng);
+        assert_eq!(sel.len(), curr.num_nodes());
+    }
+}

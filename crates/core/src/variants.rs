@@ -1,0 +1,225 @@
+//! The ablation variants of §5.3.1–5.3.2.
+//!
+//! - [`SgnsStatic`] — train once at `t = 0`, reuse those embeddings
+//!   forever (shows the *necessity* of DNE, Figure 3).
+//! - [`SgnsRetrain`] — retrain a fresh model from scratch on every
+//!   snapshot (the "naive DNE" of §2.1; no knowledge transfer).
+//! - [`SgnsIncrement`] — keep one model and continue training it on
+//!   walks from *all* nodes each step (`V^t_sel = V^t_all`); equivalent
+//!   to GloDyNE with α = 1.0 minus the partitioning overhead
+//!   (Figure 4, §5.3.2).
+
+use glodyne_embed::traits::DynamicEmbedder;
+use glodyne_embed::walks::{generate_walks_all, WalkConfig};
+use glodyne_embed::{Embedding, SgnsConfig, SgnsModel};
+use glodyne_graph::Snapshot;
+
+/// Shared configuration for the SGNS variants.
+#[derive(Debug, Clone, Default)]
+pub struct VariantConfig {
+    /// Random-walk parameters.
+    pub walk: WalkConfig,
+    /// SGNS parameters.
+    pub sgns: SgnsConfig,
+}
+
+/// SGNS-static: embeddings learned at `t = 0` and frozen.
+#[derive(Debug)]
+pub struct SgnsStatic {
+    cfg: VariantConfig,
+    model: SgnsModel,
+    trained: bool,
+}
+
+impl SgnsStatic {
+    /// Build from a variant configuration.
+    pub fn new(cfg: VariantConfig) -> Self {
+        let model = SgnsModel::new(cfg.sgns.clone());
+        SgnsStatic {
+            cfg,
+            model,
+            trained: false,
+        }
+    }
+}
+
+impl DynamicEmbedder for SgnsStatic {
+    fn advance(&mut self, _prev: Option<&Snapshot>, curr: &Snapshot) {
+        if !self.trained {
+            let walks = generate_walks_all(curr, &self.cfg.walk);
+            self.model.train(&walks);
+            self.trained = true;
+        }
+    }
+
+    fn embedding(&self) -> Embedding {
+        self.model.embedding()
+    }
+
+    fn name(&self) -> &'static str {
+        "SGNS-static"
+    }
+}
+
+/// SGNS-retrain: a fresh model trained from random init every step.
+#[derive(Debug)]
+pub struct SgnsRetrain {
+    cfg: VariantConfig,
+    model: SgnsModel,
+    step: u64,
+}
+
+impl SgnsRetrain {
+    /// Build from a variant configuration.
+    pub fn new(cfg: VariantConfig) -> Self {
+        let model = SgnsModel::new(cfg.sgns.clone());
+        SgnsRetrain { cfg, model, step: 0 }
+    }
+}
+
+impl DynamicEmbedder for SgnsRetrain {
+    fn advance(&mut self, _prev: Option<&Snapshot>, curr: &Snapshot) {
+        // Fresh random initialisation each step: no knowledge transfer.
+        let mut sgns = self.cfg.sgns.clone();
+        sgns.seed = sgns.seed.wrapping_add(self.step.wrapping_mul(0x5851_F42D));
+        self.model = SgnsModel::new(sgns);
+        let walk_cfg = WalkConfig {
+            seed: self.cfg.walk.seed ^ (self.step << 16),
+            ..self.cfg.walk
+        };
+        let walks = generate_walks_all(curr, &walk_cfg);
+        self.model.train(&walks);
+        self.step += 1;
+    }
+
+    fn embedding(&self) -> Embedding {
+        self.model.embedding()
+    }
+
+    fn name(&self) -> &'static str {
+        "SGNS-retrain"
+    }
+}
+
+/// SGNS-increment: one model, continued training on all nodes each step.
+#[derive(Debug)]
+pub struct SgnsIncrement {
+    cfg: VariantConfig,
+    model: SgnsModel,
+    step: u64,
+}
+
+impl SgnsIncrement {
+    /// Build from a variant configuration.
+    pub fn new(cfg: VariantConfig) -> Self {
+        let model = SgnsModel::new(cfg.sgns.clone());
+        SgnsIncrement { cfg, model, step: 0 }
+    }
+}
+
+impl DynamicEmbedder for SgnsIncrement {
+    fn advance(&mut self, _prev: Option<&Snapshot>, curr: &Snapshot) {
+        let walk_cfg = WalkConfig {
+            seed: self.cfg.walk.seed ^ (self.step << 16),
+            ..self.cfg.walk
+        };
+        let walks = generate_walks_all(curr, &walk_cfg);
+        self.model.train(&walks);
+        self.step += 1;
+    }
+
+    fn embedding(&self) -> Embedding {
+        self.model.embedding()
+    }
+
+    fn name(&self) -> &'static str {
+        "SGNS-increment"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glodyne_embed::traits::run_over;
+    use glodyne_graph::id::{Edge, NodeId};
+
+    fn cfg() -> VariantConfig {
+        VariantConfig {
+            walk: WalkConfig {
+                walks_per_node: 3,
+                walk_length: 10,
+                seed: 1,
+            },
+            sgns: SgnsConfig {
+                dim: 8,
+                window: 2,
+                negatives: 2,
+                epochs: 2,
+                parallel: false,
+                ..Default::default()
+            },
+        }
+    }
+
+    fn ring(n: u32, extra: &[(u32, u32)]) -> Snapshot {
+        let mut edges: Vec<Edge> = (0..n)
+            .map(|i| Edge::new(NodeId(i), NodeId((i + 1) % n)))
+            .collect();
+        edges.extend(extra.iter().map(|&(a, b)| Edge::new(NodeId(a), NodeId(b))));
+        Snapshot::from_edges(&edges, &[])
+    }
+
+    #[test]
+    fn static_never_embeds_new_nodes() {
+        let snaps = vec![ring(10, &[]), ring(10, &[(0, 10)])];
+        let mut m = SgnsStatic::new(cfg());
+        let embs = run_over(&mut m, &snaps);
+        assert!(embs[1].get(NodeId(10)).is_none(), "static must stay frozen");
+        // And frozen vectors are bit-identical across steps.
+        assert_eq!(embs[0].get(NodeId(0)), embs[1].get(NodeId(0)));
+    }
+
+    #[test]
+    fn retrain_embeds_new_nodes() {
+        let snaps = vec![ring(10, &[]), ring(10, &[(0, 10)])];
+        let mut m = SgnsRetrain::new(cfg());
+        let embs = run_over(&mut m, &snaps);
+        assert!(embs[1].get(NodeId(10)).is_some());
+    }
+
+    #[test]
+    fn retrain_vectors_change_across_steps() {
+        let snaps = vec![ring(10, &[]), ring(10, &[])];
+        let mut m = SgnsRetrain::new(cfg());
+        let embs = run_over(&mut m, &snaps);
+        assert_ne!(
+            embs[0].get(NodeId(0)),
+            embs[1].get(NodeId(0)),
+            "fresh init each step implies different vectors"
+        );
+    }
+
+    #[test]
+    fn increment_preserves_and_extends() {
+        let snaps = vec![ring(10, &[]), ring(10, &[(0, 10)])];
+        let mut m = SgnsIncrement::new(cfg());
+        let embs = run_over(&mut m, &snaps);
+        assert!(embs[1].get(NodeId(10)).is_some(), "new node embedded");
+        // Warm start: old vectors evolve but stay correlated.
+        let v0 = embs[0].get(NodeId(5)).unwrap();
+        let v1 = embs[1].get(NodeId(5)).unwrap();
+        let cos = glodyne_embed::embedding::cosine(v0, v1);
+        assert!(cos > 0.5, "warm-started vector drifted too far: cos={cos}");
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            SgnsStatic::new(cfg()).name(),
+            SgnsRetrain::new(cfg()).name(),
+            SgnsIncrement::new(cfg()).name(),
+        ];
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), 3);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for GloDyNE's selection and reservoir invariants.
+
+use glodyne::reservoir::Reservoir;
+use glodyne::select::{select_nodes, Strategy as Sel};
+use glodyne_graph::id::{Edge, NodeId};
+use glodyne_graph::{Snapshot, SnapshotDiff};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn arb_snapshot_pair() -> impl Strategy<Value = (Snapshot, Snapshot)> {
+    (
+        prop::collection::vec((0u32..30, 0u32..30), 5..60),
+        prop::collection::vec((0u32..30, 0u32..30), 5..60),
+    )
+        .prop_map(|(e1, e2)| {
+            let to_edges = |pairs: Vec<(u32, u32)>| -> Vec<Edge> {
+                pairs
+                    .into_iter()
+                    .filter(|(a, b)| a != b)
+                    .map(|(a, b)| Edge::new(NodeId(a), NodeId(b)))
+                    .collect()
+            };
+            // Current snapshot shares a prefix of prev's edges so diffs
+            // are non-trivial but related.
+            let prev_edges = to_edges(e1);
+            let mut curr_edges = prev_edges[..prev_edges.len() / 2].to_vec();
+            curr_edges.extend(to_edges(e2));
+            (
+                Snapshot::from_edges(&prev_edges, &[]),
+                Snapshot::from_edges(&curr_edges, &[]),
+            )
+        })
+        .prop_filter("both non-empty", |(a, b)| a.num_nodes() > 2 && b.num_nodes() > 2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Selected nodes are always valid local indices of the current
+    /// snapshot and contain no duplicates, for every strategy.
+    #[test]
+    fn selection_valid_and_unique((prev, curr) in arb_snapshot_pair(), k in 1usize..10, seed in 0u64..50) {
+        let mut reservoir = Reservoir::new();
+        reservoir.absorb(&SnapshotDiff::compute(&prev, &curr));
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for strat in [Sel::S1, Sel::S2, Sel::S3, Sel::S4] {
+            let sel = select_nodes(strat, &curr, &prev, &reservoir, k, 0.1, &mut rng);
+            let mut sorted = sel.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), sel.len(), "{:?} duplicated", strat);
+            for &l in &sel {
+                prop_assert!((l as usize) < curr.num_nodes(), "{:?} out of range", strat);
+            }
+            prop_assert!(sel.len() <= k.min(curr.num_nodes()));
+        }
+    }
+
+    /// S3 and S4 always deliver exactly min(k, |V|) nodes.
+    #[test]
+    fn s3_s4_exact_count((prev, curr) in arb_snapshot_pair(), k in 1usize..12) {
+        let mut reservoir = Reservoir::new();
+        reservoir.absorb(&SnapshotDiff::compute(&prev, &curr));
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for strat in [Sel::S3, Sel::S4] {
+            let sel = select_nodes(strat, &curr, &prev, &reservoir, k, 0.1, &mut rng);
+            prop_assert_eq!(sel.len(), k.min(curr.num_nodes()), "{:?}", strat);
+        }
+    }
+
+    /// Reservoir totals equal the sum of per-node diff changes, and
+    /// clearing is exact.
+    #[test]
+    fn reservoir_accounting((prev, curr) in arb_snapshot_pair()) {
+        let diff = SnapshotDiff::compute(&prev, &curr);
+        let mut r = Reservoir::new();
+        r.absorb(&diff);
+        let expected: u64 = diff.changed_degree.values().map(|&v| v as u64).sum();
+        prop_assert_eq!(r.total(), expected);
+        // absorb twice => doubles
+        r.absorb(&diff);
+        prop_assert_eq!(r.total(), expected * 2);
+        // clearing all touched nodes empties it
+        let ids: Vec<NodeId> = r.touched_nodes().collect();
+        for id in ids {
+            r.clear_node(id);
+        }
+        prop_assert!(r.is_empty());
+    }
+
+    /// Scores are finite and non-negative; zero for untouched nodes.
+    #[test]
+    fn scores_well_formed((prev, curr) in arb_snapshot_pair()) {
+        let mut r = Reservoir::new();
+        r.absorb(&SnapshotDiff::compute(&prev, &curr));
+        for l in 0..curr.num_nodes() {
+            let s = r.score(curr.node_id(l), &prev);
+            prop_assert!(s.is_finite() && s >= 0.0);
+            if r.get(curr.node_id(l)) == 0 {
+                prop_assert_eq!(s, 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Alias method for O(1) sampling from a fixed discrete distribution.
+//!
+//! The paper cites node2vec's alias sampling for its O(|V|) selection
+//! step (§4.3). Construction is O(n), each draw is O(1).
+
+use rand::Rng;
+
+/// Pre-processed discrete distribution supporting O(1) draws.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Build from unnormalised non-negative weights. Panics if the
+    /// weights are empty or sum to zero/NaN.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "weights must sum to a positive finite value"
+        );
+        let n = weights.len();
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers are 1.0 up to float error.
+        for i in small.into_iter().chain(large) {
+            prob[i as usize] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Draw one index.
+    #[inline]
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn empirical(weights: &[f64], draws: usize, seed: u64) -> Vec<f64> {
+        let table = AliasTable::new(weights);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn uniform_distribution() {
+        let freqs = empirical(&[1.0, 1.0, 1.0, 1.0], 40_000, 0);
+        for f in freqs {
+            assert!((f - 0.25).abs() < 0.02, "freq {f}");
+        }
+    }
+
+    #[test]
+    fn skewed_distribution() {
+        let freqs = empirical(&[8.0, 1.0, 1.0], 50_000, 1);
+        assert!((freqs[0] - 0.8).abs() < 0.02);
+        assert!((freqs[1] - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn zero_weight_entries_never_sampled() {
+        let freqs = empirical(&[1.0, 0.0, 1.0], 20_000, 2);
+        assert_eq!(freqs[1], 0.0);
+    }
+
+    #[test]
+    fn single_outcome() {
+        let freqs = empirical(&[3.5], 100, 3);
+        assert_eq!(freqs[0], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn all_zero_weights_panic() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_weights_panic() {
+        AliasTable::new(&[]);
+    }
+}

@@ -1,0 +1,249 @@
+//! node2vec-style biased second-order random walks (Grover & Leskovec
+//! 2016 — the paper's [7], whose hyper-parameter defaults GloDyNE
+//! adopts).
+//!
+//! The paper's §6 positions GloDyNE as "a general DNE framework" in
+//! which the topology-capturing component is swappable; biased walks
+//! are the most common swap. The return parameter `p` and in-out
+//! parameter `q` reshape the walk distribution:
+//!
+//! ```text
+//! P(next = x | prev = t, cur = v) ∝  1/p   if x = t        (return)
+//!                                    1     if d(t, x) = 1  (stay close)
+//!                                    1/q   otherwise       (explore)
+//! ```
+//!
+//! `p = q = 1` reduces exactly to the uniform first-order walk of
+//! Eq. 5 (DeepWalk), which the tests verify.
+
+use glodyne_graph::{NodeId, Snapshot};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+/// node2vec walk parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BiasedWalkConfig {
+    /// Walks per start node.
+    pub walks_per_node: usize,
+    /// Walk length.
+    pub walk_length: usize,
+    /// Return parameter `p` (likelihood of revisiting the previous
+    /// node; higher = less backtracking).
+    pub p: f64,
+    /// In-out parameter `q` (< 1 favours outward DFS-like exploration,
+    /// > 1 favours BFS-like locality).
+    pub q: f64,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for BiasedWalkConfig {
+    fn default() -> Self {
+        BiasedWalkConfig {
+            walks_per_node: 10,
+            walk_length: 80,
+            p: 1.0,
+            q: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+/// One biased walk from `start` (local index), returning global ids.
+pub fn biased_walk(
+    g: &Snapshot,
+    start: usize,
+    cfg: &BiasedWalkConfig,
+    rng: &mut impl Rng,
+) -> Vec<NodeId> {
+    let mut walk = Vec::with_capacity(cfg.walk_length);
+    walk.push(g.node_id(start));
+    if cfg.walk_length == 1 {
+        return walk;
+    }
+    // First hop: uniform.
+    let ns = g.neighbors(start);
+    if ns.is_empty() {
+        return walk;
+    }
+    let mut prev = start;
+    let mut cur = ns[rng.gen_range(0..ns.len())] as usize;
+    walk.push(g.node_id(cur));
+
+    let inv_p = 1.0 / cfg.p;
+    let inv_q = 1.0 / cfg.q;
+    let mut weights: Vec<f64> = Vec::new();
+    while walk.len() < cfg.walk_length {
+        let ns = g.neighbors(cur);
+        if ns.is_empty() {
+            break;
+        }
+        weights.clear();
+        let mut total = 0.0;
+        for &x in ns {
+            let x = x as usize;
+            let w = if x == prev {
+                inv_p
+            } else if g.has_edge(prev, x) {
+                1.0
+            } else {
+                inv_q
+            };
+            weights.push(w);
+            total += w;
+        }
+        let mut draw = rng.gen::<f64>() * total;
+        let mut picked = ns.len() - 1;
+        for (i, &w) in weights.iter().enumerate() {
+            draw -= w;
+            if draw <= 0.0 {
+                picked = i;
+                break;
+            }
+        }
+        prev = cur;
+        cur = ns[picked] as usize;
+        walk.push(g.node_id(cur));
+    }
+    walk
+}
+
+/// `r` biased walks from each start node, in parallel, deterministic
+/// per (seed, start, repetition).
+pub fn generate_biased_walks(
+    g: &Snapshot,
+    starts: &[u32],
+    cfg: &BiasedWalkConfig,
+) -> Vec<Vec<NodeId>> {
+    starts
+        .par_iter()
+        .flat_map_iter(|&start| {
+            (0..cfg.walks_per_node).map(move |rep| {
+                let mut rng = ChaCha8Rng::seed_from_u64(
+                    cfg.seed
+                        .wrapping_mul(0xA076_1D64_78BD_642F)
+                        .wrapping_add((start as u64) << 16)
+                        .wrapping_add(rep as u64),
+                );
+                biased_walk(g, start as usize, cfg, &mut rng)
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glodyne_graph::id::Edge;
+
+    /// Path with a triangle at one end:
+    /// 0 - 1 - 2 - 3, plus edge 0-2 (so 0,1,2 form a triangle).
+    fn lollipop() -> Snapshot {
+        Snapshot::from_edges(
+            &[
+                Edge::new(NodeId(0), NodeId(1)),
+                Edge::new(NodeId(1), NodeId(2)),
+                Edge::new(NodeId(2), NodeId(3)),
+                Edge::new(NodeId(0), NodeId(2)),
+            ],
+            &[],
+        )
+    }
+
+    #[test]
+    fn walks_follow_edges() {
+        let g = lollipop();
+        let cfg = BiasedWalkConfig {
+            walk_length: 20,
+            p: 0.5,
+            q: 2.0,
+            ..Default::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for start in 0..g.num_nodes() {
+            let w = biased_walk(&g, start, &cfg, &mut rng);
+            for pair in w.windows(2) {
+                assert!(g.has_edge_ids(pair[0], pair[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn low_p_increases_backtracking() {
+        // With p << 1 the walker returns to the previous node often;
+        // with p >> 1 it rarely does. Measure immediate backtrack rate.
+        let g = lollipop();
+        let rate = |p: f64| {
+            let cfg = BiasedWalkConfig {
+                walk_length: 400,
+                walks_per_node: 1,
+                p,
+                q: 1.0,
+                seed: 4,
+            };
+            let mut rng = ChaCha8Rng::seed_from_u64(9);
+            let w = biased_walk(&g, 0, &cfg, &mut rng);
+            let mut back = 0usize;
+            let mut total = 0usize;
+            for win in w.windows(3) {
+                total += 1;
+                if win[0] == win[2] {
+                    back += 1;
+                }
+            }
+            back as f64 / total as f64
+        };
+        let low_p = rate(0.1);
+        let high_p = rate(10.0);
+        assert!(
+            low_p > high_p + 0.1,
+            "backtrack rates: p=0.1 -> {low_p:.3}, p=10 -> {high_p:.3}"
+        );
+    }
+
+    #[test]
+    fn p_q_one_matches_uniform_distribution() {
+        // On the triangle node 2 (neighbours 0, 1, 3), with p=q=1 every
+        // neighbour is equally likely regardless of the previous node.
+        let g = lollipop();
+        let cfg = BiasedWalkConfig {
+            walk_length: 3,
+            p: 1.0,
+            q: 1.0,
+            walks_per_node: 1,
+            seed: 0,
+        };
+        let mut counts = std::collections::HashMap::new();
+        for s in 0..6000u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(s);
+            let w = biased_walk(&g, g.local_of(NodeId(2)).unwrap(), &cfg, &mut rng);
+            if w.len() == 3 {
+                *counts.entry(w[2]).or_insert(0usize) += 1;
+            }
+        }
+        // every second-hop endpoint should appear with similar frequency
+        // to its unbiased expectation — just check nothing is starved
+        for (_, c) in counts {
+            assert!(c > 300, "second-order uniformity broken: {c}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_counted() {
+        let g = lollipop();
+        let cfg = BiasedWalkConfig {
+            walks_per_node: 3,
+            walk_length: 8,
+            p: 2.0,
+            q: 0.5,
+            seed: 11,
+        };
+        let starts = [0u32, 2];
+        let a = generate_biased_walks(&g, &starts, &cfg);
+        let b = generate_biased_walks(&g, &starts, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6);
+    }
+}

@@ -1,0 +1,158 @@
+//! The `NodeId`-keyed embedding matrix handed to downstream tasks.
+
+use glodyne_graph::NodeId;
+use std::collections::HashMap;
+
+/// A set of `d`-dimensional node embeddings (`Z^t ∈ R^{|V^t| × d}` of
+/// Definition 4), keyed by stable [`NodeId`].
+#[derive(Debug, Clone, Default)]
+pub struct Embedding {
+    dim: usize,
+    index: HashMap<NodeId, u32>,
+    ids: Vec<NodeId>,
+    data: Vec<f32>,
+}
+
+impl Embedding {
+    /// Empty embedding store of dimensionality `dim`.
+    pub fn new(dim: usize) -> Self {
+        Embedding {
+            dim,
+            index: HashMap::new(),
+            ids: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+
+    /// Embedding dimensionality `d`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of embedded nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether no node has an embedding.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The vector for `id`, if present.
+    pub fn get(&self, id: NodeId) -> Option<&[f32]> {
+        self.index
+            .get(&id)
+            .map(|&i| &self.data[i as usize * self.dim..(i as usize + 1) * self.dim])
+    }
+
+    /// Insert or overwrite the vector for `id`.
+    pub fn set(&mut self, id: NodeId, vector: &[f32]) {
+        assert_eq!(vector.len(), self.dim, "vector dimension mismatch");
+        match self.index.get(&id) {
+            Some(&i) => {
+                self.data[i as usize * self.dim..(i as usize + 1) * self.dim]
+                    .copy_from_slice(vector);
+            }
+            None => {
+                let i = self.ids.len() as u32;
+                self.index.insert(id, i);
+                self.ids.push(id);
+                self.data.extend_from_slice(vector);
+            }
+        }
+    }
+
+    /// Iterate `(id, vector)` in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &[f32])> {
+        self.ids
+            .iter()
+            .enumerate()
+            .map(move |(i, &id)| (id, &self.data[i * self.dim..(i + 1) * self.dim]))
+    }
+
+    /// All embedded node ids in insertion order.
+    pub fn ids(&self) -> &[NodeId] {
+        &self.ids
+    }
+
+    /// Cosine similarity between two embedded nodes; `None` if either is
+    /// missing. Zero vectors yield similarity 0.
+    pub fn cosine(&self, a: NodeId, b: NodeId) -> Option<f32> {
+        let va = self.get(a)?;
+        let vb = self.get(b)?;
+        Some(cosine(va, vb))
+    }
+}
+
+/// Cosine similarity of two equal-length vectors (0 for zero vectors).
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut dot = 0.0f32;
+    let mut na = 0.0f32;
+    let mut nb = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut e = Embedding::new(3);
+        e.set(NodeId(5), &[1.0, 2.0, 3.0]);
+        assert_eq!(e.get(NodeId(5)), Some(&[1.0, 2.0, 3.0][..]));
+        assert_eq!(e.get(NodeId(6)), None);
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn overwrite_keeps_count() {
+        let mut e = Embedding::new(2);
+        e.set(NodeId(1), &[1.0, 0.0]);
+        e.set(NodeId(1), &[0.0, 1.0]);
+        assert_eq!(e.len(), 1);
+        assert_eq!(e.get(NodeId(1)), Some(&[0.0, 1.0][..]));
+    }
+
+    #[test]
+    fn cosine_identities() {
+        let mut e = Embedding::new(2);
+        e.set(NodeId(0), &[1.0, 0.0]);
+        e.set(NodeId(1), &[0.0, 1.0]);
+        e.set(NodeId(2), &[2.0, 0.0]);
+        e.set(NodeId(3), &[0.0, 0.0]);
+        assert!((e.cosine(NodeId(0), NodeId(1)).unwrap()).abs() < 1e-6);
+        assert!((e.cosine(NodeId(0), NodeId(2)).unwrap() - 1.0).abs() < 1e-6);
+        assert_eq!(e.cosine(NodeId(0), NodeId(3)), Some(0.0));
+        assert_eq!(e.cosine(NodeId(0), NodeId(9)), None);
+    }
+
+    #[test]
+    fn iter_in_insertion_order() {
+        let mut e = Embedding::new(1);
+        e.set(NodeId(9), &[9.0]);
+        e.set(NodeId(3), &[3.0]);
+        let ids: Vec<NodeId> = e.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![NodeId(9), NodeId(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dim_panics() {
+        let mut e = Embedding::new(2);
+        e.set(NodeId(0), &[1.0]);
+    }
+}

@@ -1,0 +1,29 @@
+//! Random-walk + Skip-Gram Negative Sampling embedding machinery —
+//! Steps 3 and 4 of GloDyNE (§4.1.3–4.1.4), shared by the core method,
+//! its variants, and several baselines.
+//!
+//! - [`alias`] — O(1) discrete sampling (alias method), used for negative
+//!   sampling and for the paper's per-sub-network node selection.
+//! - [`walks`] — truncated random walks (Eq. 5).
+//! - [`pairs`] — sliding-window positive-pair extraction (§4.1.4).
+//! - [`sgns`] — the incremental SGNS model (Eq. 6–11): warm-startable,
+//!   Hogwild-parallel, with new-node vocabulary growth.
+//! - [`embedding`] — the `NodeId`-keyed embedding matrix handed to
+//!   downstream tasks, plus cosine-similarity helpers.
+//! - [`traits`] — the `DynamicEmbedder` interface every method in this
+//!   workspace implements, mirroring the paper's protocol of feeding
+//!   every method's output to identical downstream tasks.
+
+pub mod alias;
+pub mod biased_walks;
+pub mod embedding;
+pub mod pairs;
+pub mod persist;
+pub mod sgns;
+pub mod traits;
+pub mod walks;
+pub mod weighted_walks;
+
+pub use embedding::Embedding;
+pub use sgns::{SgnsConfig, SgnsModel};
+pub use traits::DynamicEmbedder;

@@ -1,0 +1,105 @@
+//! Sliding-window positive-pair extraction (§4.1.4).
+//!
+//! "A sliding window with length s+1+s is used to slide along each walk,
+//! and the positive node-pair samples in a set D^t are built via
+//! (v_center+i, v_center) where i ∈ [−s, +s], i ≠ 0." Pairs encode
+//! 1st…s-th order proximity of the centre node.
+
+use glodyne_graph::NodeId;
+
+/// Enumerate positive (context, center) pairs from one walk with window
+/// radius `s`, invoking `f(center, context)` for each.
+///
+/// Using a callback (rather than materialising `D^t`) keeps the training
+/// loop allocation-free; `#(v_i, v_j)` of Eq. 10 is realised by the
+/// number of callback invocations per pair.
+pub fn for_each_pair(walk: &[NodeId], s: usize, mut f: impl FnMut(NodeId, NodeId)) {
+    for (center_idx, &center) in walk.iter().enumerate() {
+        let lo = center_idx.saturating_sub(s);
+        let hi = (center_idx + s).min(walk.len().saturating_sub(1));
+        for ctx_idx in lo..=hi {
+            if ctx_idx != center_idx {
+                f(center, walk[ctx_idx]);
+            }
+        }
+    }
+}
+
+/// Materialised pair list — convenient for tests and small corpora.
+pub fn pairs(walk: &[NodeId], s: usize) -> Vec<(NodeId, NodeId)> {
+    let mut out = Vec::new();
+    for_each_pair(walk, s, |c, x| out.push((c, x)));
+    out
+}
+
+/// Total number of pairs that `for_each_pair` yields for a walk of
+/// length `n` and window radius `s` (used for LR-decay scheduling).
+pub fn pair_count(n: usize, s: usize) -> usize {
+    if n <= 1 {
+        return 0;
+    }
+    (0..n)
+        .map(|i| i.min(s) + (n - 1 - i).min(s))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<NodeId> {
+        v.iter().map(|&x| NodeId(x)).collect()
+    }
+
+    #[test]
+    fn window_one_gives_adjacent_pairs() {
+        let walk = ids(&[1, 2, 3]);
+        let p = pairs(&walk, 1);
+        assert_eq!(
+            p,
+            vec![
+                (NodeId(1), NodeId(2)),
+                (NodeId(2), NodeId(1)),
+                (NodeId(2), NodeId(3)),
+                (NodeId(3), NodeId(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn window_covers_higher_orders() {
+        let walk = ids(&[1, 2, 3, 4]);
+        let p = pairs(&walk, 2);
+        // node 1 pairs with 2 (1st order) and 3 (2nd order) but not 4
+        assert!(p.contains(&(NodeId(1), NodeId(3))));
+        assert!(!p.contains(&(NodeId(1), NodeId(4))));
+    }
+
+    #[test]
+    fn short_walks_yield_no_pairs() {
+        assert!(pairs(&ids(&[7]), 5).is_empty());
+        assert!(pairs(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn pair_count_matches_enumeration() {
+        for n in 0..12 {
+            for s in 1..5 {
+                let walk: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+                assert_eq!(pairs(&walk, s).len(), pair_count(n, s), "n={n}, s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_nodes_produce_repeated_pairs() {
+        // Eq. 10's #(v_i, v_j) frequency weighting arises naturally.
+        let walk = ids(&[1, 2, 1, 2]);
+        let p = pairs(&walk, 1);
+        let count = p
+            .iter()
+            .filter(|&&(a, b)| a == NodeId(1) && b == NodeId(2))
+            .count();
+        assert_eq!(count, 3);
+    }
+}

@@ -1,0 +1,197 @@
+//! Embedding persistence: a human-readable TSV format (the layout the
+//! original GloDyNE release and word2vec use: one node per line,
+//! `id\tv1\tv2...`) and a compact binary format for production reuse.
+//!
+//! Binary layout (little-endian, via `bytes`):
+//! `magic "GDNE" | u32 version | u32 dim | u64 count | count × (u32 id,
+//! dim × f32)`.
+
+use crate::embedding::Embedding;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use glodyne_graph::NodeId;
+use std::io::{self, BufRead, Write};
+
+const MAGIC: &[u8; 4] = b"GDNE";
+const VERSION: u32 = 1;
+
+/// Write an embedding as TSV: `node_id \t v0 \t v1 ...` per line.
+pub fn write_tsv<W: Write>(writer: &mut W, emb: &Embedding) -> io::Result<()> {
+    for (id, vector) in emb.iter() {
+        write!(writer, "{}", id.0)?;
+        for v in vector {
+            write!(writer, "\t{v}")?;
+        }
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+/// Read a TSV embedding; dimension is inferred from the first line and
+/// enforced on the rest.
+pub fn read_tsv<R: BufRead>(reader: R) -> io::Result<Embedding> {
+    let mut emb: Option<Embedding> = None;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split('\t');
+        let bad = |what: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {what}", lineno + 1),
+            )
+        };
+        let id: u32 = parts
+            .next()
+            .ok_or_else(|| bad("missing id"))?
+            .parse()
+            .map_err(|_| bad("bad node id"))?;
+        let vector: Vec<f32> = parts
+            .map(|t| t.parse::<f32>().map_err(|_| bad("bad float")))
+            .collect::<io::Result<_>>()?;
+        if vector.is_empty() {
+            return Err(bad("empty vector"));
+        }
+        let emb = emb.get_or_insert_with(|| Embedding::new(vector.len()));
+        if vector.len() != emb.dim() {
+            return Err(bad(&format!(
+                "dimension {} != expected {}",
+                vector.len(),
+                emb.dim()
+            )));
+        }
+        emb.set(NodeId(id), &vector);
+    }
+    Ok(emb.unwrap_or_else(|| Embedding::new(0)))
+}
+
+/// Serialise an embedding to the compact binary format.
+pub fn to_bytes(emb: &Embedding) -> Bytes {
+    let dim = emb.dim();
+    let mut buf = BytesMut::with_capacity(16 + emb.len() * (4 + 4 * dim));
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(dim as u32);
+    buf.put_u64_le(emb.len() as u64);
+    for (id, vector) in emb.iter() {
+        buf.put_u32_le(id.0);
+        for &v in vector {
+            buf.put_f32_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserialise the binary format, validating header and length.
+pub fn from_bytes(mut data: Bytes) -> io::Result<Embedding> {
+    let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+    if data.remaining() < 20 {
+        return Err(bad("truncated header"));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(bad("bad magic (not a GDNE embedding file)"));
+    }
+    let version = data.get_u32_le();
+    if version != VERSION {
+        return Err(bad("unsupported version"));
+    }
+    let dim = data.get_u32_le() as usize;
+    let count = data.get_u64_le() as usize;
+    let need = count
+        .checked_mul(4 + 4 * dim)
+        .ok_or_else(|| bad("size overflow"))?;
+    if data.remaining() < need {
+        return Err(bad("truncated body"));
+    }
+    let mut emb = Embedding::new(dim);
+    let mut vector = vec![0.0f32; dim];
+    for _ in 0..count {
+        let id = data.get_u32_le();
+        for v in vector.iter_mut() {
+            *v = data.get_f32_le();
+        }
+        emb.set(NodeId(id), &vector);
+    }
+    Ok(emb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn sample() -> Embedding {
+        let mut e = Embedding::new(3);
+        e.set(NodeId(7), &[1.5, -2.0, 0.25]);
+        e.set(NodeId(0), &[0.0, 0.0, 1.0]);
+        e.set(NodeId(42), &[9.0, 8.0, 7.0]);
+        e
+    }
+
+    fn assert_same(a: &Embedding, b: &Embedding) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.dim(), b.dim());
+        for (id, v) in a.iter() {
+            assert_eq!(b.get(id), Some(v));
+        }
+    }
+
+    #[test]
+    fn tsv_round_trip() {
+        let e = sample();
+        let mut buf = Vec::new();
+        write_tsv(&mut buf, &e).unwrap();
+        let parsed = read_tsv(BufReader::new(buf.as_slice())).unwrap();
+        assert_same(&e, &parsed);
+    }
+
+    #[test]
+    fn tsv_rejects_ragged_dimensions() {
+        let text = "1\t1.0\t2.0\n2\t3.0\n";
+        let err = read_tsv(BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("dimension"));
+    }
+
+    #[test]
+    fn tsv_skips_comments_and_blank_lines() {
+        let text = "# header\n\n5\t1.0\t2.0\n";
+        let e = read_tsv(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(e.len(), 1);
+        assert_eq!(e.get(NodeId(5)), Some(&[1.0f32, 2.0][..]));
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let e = sample();
+        let bytes = to_bytes(&e);
+        let parsed = from_bytes(bytes).unwrap();
+        assert_same(&e, &parsed);
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let e = sample();
+        let bytes = to_bytes(&e);
+        // flip the magic
+        let mut corrupt = bytes.to_vec();
+        corrupt[0] = b'X';
+        assert!(from_bytes(Bytes::from(corrupt)).is_err());
+        // truncate the body
+        let short = bytes.slice(0..bytes.len() - 3);
+        assert!(from_bytes(short).is_err());
+        // truncated header
+        assert!(from_bytes(Bytes::from_static(b"GD")).is_err());
+    }
+
+    #[test]
+    fn empty_embedding_round_trips() {
+        let e = Embedding::new(4);
+        let parsed = from_bytes(to_bytes(&e)).unwrap();
+        assert_eq!(parsed.len(), 0);
+        assert_eq!(parsed.dim(), 4);
+    }
+}

@@ -1,0 +1,471 @@
+//! The incremental Skip-Gram Negative Sampling model (Eq. 6–11).
+//!
+//! The model holds two weight matrices ("input"/center vectors — the
+//! embeddings `Z` — and "output"/context vectors) over a growable
+//! vocabulary of [`NodeId`]s. Training maximises Eq. 9/10 with SGD:
+//!
+//! ```text
+//! max log σ(Z_i · Z'_j) + Σ_q E_{j'~P_D} [log σ(−Z_i · Z'_j')]
+//! ```
+//!
+//! Negatives are drawn from the unigram distribution of the current
+//! corpus raised to the 3/4 power (word2vec's `P_D`). The incremental
+//! paradigm (Eq. 11) falls out naturally: call [`SgnsModel::train`]
+//! again with a new corpus — existing vectors are reused (`f^t = f^{t-1}`,
+//! Algorithm 1 line 17) and new nodes get fresh random rows.
+//!
+//! Parallelism is word2vec-style Hogwild: threads update the shared
+//! matrices without locks. Races lose the occasional update, which SGD
+//! tolerates; set [`SgnsConfig::parallel`] to `false` for bit-exact
+//! deterministic runs (tests, debugging).
+
+use crate::alias::AliasTable;
+use crate::embedding::Embedding;
+use crate::pairs;
+use glodyne_graph::NodeId;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use std::cell::UnsafeCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// SGNS hyper-parameters. Paper defaults (§5.1.2): `d=128`, window
+/// `s=10`, `q=5` negatives; walks provide the corpus.
+#[derive(Debug, Clone)]
+pub struct SgnsConfig {
+    /// Embedding dimensionality `d`.
+    pub dim: usize,
+    /// Sliding-window radius `s`.
+    pub window: usize,
+    /// Negative samples per positive sample `q`.
+    pub negatives: usize,
+    /// Passes over the walk corpus per `train` call.
+    pub epochs: usize,
+    /// Initial learning rate (word2vec default 0.025); decays linearly
+    /// to `0.0001` over the scheduled updates.
+    pub initial_lr: f32,
+    /// RNG seed for initialisation and negative draws.
+    pub seed: u64,
+    /// Hogwild-parallel training (non-deterministic but fast). When
+    /// false, training is sequential and bit-exact reproducible.
+    pub parallel: bool,
+}
+
+impl Default for SgnsConfig {
+    fn default() -> Self {
+        SgnsConfig {
+            dim: 128,
+            window: 10,
+            negatives: 5,
+            epochs: 1,
+            initial_lr: 0.025,
+            seed: 0,
+            parallel: true,
+        }
+    }
+}
+
+/// Growable two-matrix SGNS model.
+#[derive(Debug, Clone)]
+pub struct SgnsModel {
+    cfg: SgnsConfig,
+    vocab: HashMap<NodeId, u32>,
+    ids: Vec<NodeId>,
+    /// Center ("input") vectors — the embeddings. Row-major `n × d`.
+    input: Vec<f32>,
+    /// Context ("output") vectors. Row-major `n × d`.
+    output: Vec<f32>,
+    /// Per-`train`-call corpus frequencies (the unigram table is built
+    /// from the *current* corpus `D^t`, per Eq. 9's `P_{D^t}`).
+    counts: Vec<u64>,
+    init_rng: ChaCha8Rng,
+}
+
+impl SgnsModel {
+    /// Fresh model with an empty vocabulary.
+    pub fn new(cfg: SgnsConfig) -> Self {
+        let init_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xD1F3_5A7E);
+        SgnsModel {
+            cfg,
+            vocab: HashMap::new(),
+            ids: Vec::new(),
+            input: Vec::new(),
+            output: Vec::new(),
+            counts: Vec::new(),
+            init_rng,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SgnsConfig {
+        &self.cfg
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Register `id`, creating a randomly-initialised row on first sight
+    /// (word2vec init: input uniform in ±0.5/d, output zero).
+    fn intern(&mut self, id: NodeId) -> u32 {
+        if let Some(&i) = self.vocab.get(&id) {
+            return i;
+        }
+        let i = self.ids.len() as u32;
+        self.vocab.insert(id, i);
+        self.ids.push(id);
+        let d = self.cfg.dim;
+        let half = 0.5 / d as f32;
+        for _ in 0..d {
+            self.input.push(self.init_rng.gen_range(-half..half));
+        }
+        self.output.extend(std::iter::repeat_n(0.0, d));
+        self.counts.push(0);
+        i
+    }
+
+    /// Train on a walk corpus (one incremental step). Returns the number
+    /// of positive pairs processed.
+    pub fn train(&mut self, walks: &[Vec<NodeId>]) -> usize {
+        if walks.is_empty() {
+            return 0;
+        }
+        // Intern corpus, count frequencies, and translate to indices.
+        // Counts are reset per call: Eq. 9 samples negatives from the
+        // unigram distribution of the *current* `D^t`, which also keeps
+        // long-dead nodes (AS733 churn) out of the negative table.
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        let indexed: Vec<Vec<u32>> = walks
+            .iter()
+            .map(|walk| {
+                walk.iter()
+                    .map(|&id| {
+                        let i = self.intern(id);
+                        self.counts[i as usize] += 1;
+                        i
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Unigram^0.75 negative table over the current corpus.
+        let weights: Vec<f64> = self
+            .counts
+            .iter()
+            .map(|&c| (c as f64).powf(0.75))
+            .collect();
+        let negative_table = AliasTable::new(&weights);
+
+        let total_pairs: usize = indexed
+            .iter()
+            .map(|w| pairs::pair_count(w.len(), self.cfg.window))
+            .sum::<usize>()
+            * self.cfg.epochs;
+        if total_pairs == 0 {
+            return 0;
+        }
+
+        let shared = SharedWeights {
+            input: UnsafeCell::new(std::mem::take(&mut self.input)),
+            output: UnsafeCell::new(std::mem::take(&mut self.output)),
+        };
+        let progress = AtomicUsize::new(0);
+        let cfg = &self.cfg;
+        let dim = cfg.dim;
+        // Capture the whole struct reference (not its non-Sync fields)
+        // so the closure is Sync via SharedWeights' unsafe impl.
+        let shared_ref: &SharedWeights = &shared;
+
+        let run_walk = |epoch: usize, wi: usize, walk: &Vec<u32>| {
+            // SAFETY: Hogwild — concurrent unsynchronised f32 writes are
+            // tolerated by SGD (word2vec). Rows are disjoint per update
+            // except when threads collide on a node, which is rare and
+            // only perturbs the stochastic gradient.
+            let input = unsafe { &mut *shared_ref.input.get() };
+            let output = unsafe { &mut *shared_ref.output.get() };
+            let mut rng = ChaCha8Rng::seed_from_u64(
+                cfg.seed
+                    .wrapping_add((epoch as u64) << 40)
+                    .wrapping_add((wi as u64).wrapping_mul(0x9E37_79B9)),
+            );
+            let mut grad_acc = vec![0.0f32; dim];
+            let n = walk.len();
+            for ci in 0..n {
+                let center = walk[ci] as usize;
+                let lo = ci.saturating_sub(cfg.window);
+                let hi = (ci + cfg.window).min(n - 1);
+                for xi in lo..=hi {
+                    if xi == ci {
+                        continue;
+                    }
+                    let context = walk[xi] as usize;
+                    let done = progress.fetch_add(1, Ordering::Relaxed);
+                    let lr = (cfg.initial_lr
+                        * (1.0 - done as f32 / total_pairs as f32))
+                        .max(cfg.initial_lr * 1e-2);
+                    grad_acc.iter_mut().for_each(|g| *g = 0.0);
+                    let crow = ci_row(input, center, dim);
+                    // positive sample + q negatives
+                    for neg in 0..=cfg.negatives {
+                        let (target, label) = if neg == 0 {
+                            (context, 1.0f32)
+                        } else {
+                            let t = negative_table.sample(&mut rng);
+                            if t == context {
+                                continue;
+                            }
+                            (t, 0.0f32)
+                        };
+                        let trow = ci_row(output, target, dim);
+                        let mut dot = 0.0f32;
+                        for k in 0..dim {
+                            dot += crow[k] * trow[k];
+                        }
+                        let g = (label - sigmoid32(dot)) * lr;
+                        for k in 0..dim {
+                            grad_acc[k] += g * trow[k];
+                        }
+                        let trow = ci_row_mut(output, target, dim);
+                        for k in 0..dim {
+                            trow[k] += g * crow_cached(input, center, dim, k);
+                        }
+                    }
+                    let crow = ci_row_mut(input, center, dim);
+                    for k in 0..dim {
+                        crow[k] += grad_acc[k];
+                    }
+                }
+            }
+        };
+
+        for epoch in 0..cfg.epochs {
+            if cfg.parallel {
+                indexed
+                    .par_iter()
+                    .enumerate()
+                    .for_each(|(wi, walk)| run_walk(epoch, wi, walk));
+            } else {
+                for (wi, walk) in indexed.iter().enumerate() {
+                    run_walk(epoch, wi, walk);
+                }
+            }
+        }
+
+        self.input = shared.input.into_inner();
+        self.output = shared.output.into_inner();
+        total_pairs
+    }
+
+    /// Current embedding (`Z^t` = the input/center vectors).
+    pub fn embedding(&self) -> Embedding {
+        let mut e = Embedding::new(self.cfg.dim);
+        for (i, &id) in self.ids.iter().enumerate() {
+            e.set(id, &self.input[i * self.cfg.dim..(i + 1) * self.cfg.dim]);
+        }
+        e
+    }
+
+    /// Average SGNS loss (negative Eq. 9) over a sample of pairs — a
+    /// diagnostic used by tests to check training progress.
+    pub fn corpus_loss(&self, walks: &[Vec<NodeId>]) -> f64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.cfg.seed ^ 0xBEEF);
+        let mut total = 0.0f64;
+        let mut count = 0usize;
+        for walk in walks {
+            let idx: Vec<Option<&u32>> = walk.iter().map(|id| self.vocab.get(id)).collect();
+            for ci in 0..walk.len() {
+                let Some(&c) = idx[ci] else { continue };
+                let lo = ci.saturating_sub(self.cfg.window);
+                let hi = (ci + self.cfg.window).min(walk.len().saturating_sub(1));
+                for xi in lo..=hi {
+                    if xi == ci {
+                        continue;
+                    }
+                    let Some(&o) = idx[xi] else { continue };
+                    let dot = self.dot_io(c as usize, o as usize);
+                    total -= (sigmoid32(dot) as f64).max(1e-9).ln();
+                    for _ in 0..self.cfg.negatives {
+                        let t = rng.gen_range(0..self.ids.len());
+                        let dot = self.dot_io(c as usize, t);
+                        total -= (1.0 - sigmoid32(dot) as f64).max(1e-9).ln();
+                    }
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+
+    fn dot_io(&self, center: usize, target: usize) -> f32 {
+        let d = self.cfg.dim;
+        let a = &self.input[center * d..(center + 1) * d];
+        let b = &self.output[target * d..(target + 1) * d];
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+}
+
+/// Shared Hogwild weight buffers.
+struct SharedWeights {
+    input: UnsafeCell<Vec<f32>>,
+    output: UnsafeCell<Vec<f32>>,
+}
+// SAFETY: see the Hogwild comment in `train` — racy f32 updates are an
+// accepted part of the algorithm, as in the reference word2vec code.
+unsafe impl Sync for SharedWeights {}
+
+#[inline]
+fn ci_row(buf: &[f32], row: usize, dim: usize) -> &[f32] {
+    &buf[row * dim..(row + 1) * dim]
+}
+
+#[inline]
+fn ci_row_mut(buf: &mut [f32], row: usize, dim: usize) -> &mut [f32] {
+    &mut buf[row * dim..(row + 1) * dim]
+}
+
+#[inline]
+fn crow_cached(buf: &[f32], row: usize, dim: usize, k: usize) -> f32 {
+    buf[row * dim + k]
+}
+
+#[inline]
+fn sigmoid32(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_cfg(dim: usize) -> SgnsConfig {
+        SgnsConfig {
+            dim,
+            window: 2,
+            negatives: 3,
+            epochs: 5,
+            initial_lr: 0.05,
+            seed: 1,
+            parallel: false,
+        }
+    }
+
+    /// Walks alternating inside two disjoint "communities".
+    fn two_community_walks() -> Vec<Vec<NodeId>> {
+        let mut walks = Vec::new();
+        for rep in 0..30 {
+            let a: Vec<NodeId> = (0..10).map(|i| NodeId((rep + i) % 5)).collect();
+            let b: Vec<NodeId> = (0..10).map(|i| NodeId(5 + (rep + i) % 5)).collect();
+            walks.push(a);
+            walks.push(b);
+        }
+        walks
+    }
+
+    #[test]
+    fn vocabulary_grows_with_corpus() {
+        let mut m = SgnsModel::new(seq_cfg(8));
+        m.train(&[vec![NodeId(0), NodeId(1), NodeId(2)]]);
+        assert_eq!(m.vocab_len(), 3);
+        m.train(&[vec![NodeId(2), NodeId(3)]]);
+        assert_eq!(m.vocab_len(), 4);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let walks = two_community_walks();
+        let mut m = SgnsModel::new(seq_cfg(16));
+        m.train(&walks[..2]); // intern vocab, minimal training
+        let before = m.corpus_loss(&walks);
+        m.train(&walks);
+        m.train(&walks);
+        let after = m.corpus_loss(&walks);
+        assert!(after < before, "loss {before} -> {after}");
+    }
+
+    #[test]
+    fn communities_separate_in_embedding_space() {
+        let walks = two_community_walks();
+        let mut m = SgnsModel::new(SgnsConfig {
+            epochs: 20,
+            ..seq_cfg(16)
+        });
+        m.train(&walks);
+        let e = m.embedding();
+        let intra = e.cosine(NodeId(0), NodeId(1)).unwrap();
+        let inter = e.cosine(NodeId(0), NodeId(6)).unwrap();
+        assert!(
+            intra > inter,
+            "intra-community cosine {intra} should exceed inter {inter}"
+        );
+    }
+
+    #[test]
+    fn sequential_training_is_deterministic() {
+        let walks = two_community_walks();
+        let run = || {
+            let mut m = SgnsModel::new(seq_cfg(8));
+            m.train(&walks);
+            m.embedding()
+        };
+        let (a, b) = (run(), run());
+        for (id, va) in a.iter() {
+            assert_eq!(va, b.get(id).unwrap());
+        }
+    }
+
+    #[test]
+    fn incremental_training_preserves_old_vectors_roughly() {
+        // Warm-start: vectors of untouched nodes must be identical after
+        // a second train call on a disjoint corpus.
+        let mut m = SgnsModel::new(seq_cfg(8));
+        m.train(&two_community_walks());
+        let before = m.embedding();
+        m.train(&[vec![NodeId(100), NodeId(101), NodeId(100), NodeId(101)]]);
+        let after = m.embedding();
+        // old node 0..4 only move if they were sampled as negatives; with
+        // a tiny new corpus the drift must be small
+        let drift: f32 = before
+            .iter()
+            .map(|(id, v)| {
+                let w = after.get(id).unwrap();
+                v.iter().zip(w).map(|(a, b)| (a - b).abs()).sum::<f32>()
+            })
+            .sum();
+        assert!(drift < 1.0, "warm-start drift too large: {drift}");
+        assert!(after.get(NodeId(100)).is_some());
+    }
+
+    #[test]
+    fn empty_corpus_is_noop() {
+        let mut m = SgnsModel::new(seq_cfg(4));
+        assert_eq!(m.train(&[]), 0);
+        assert_eq!(m.vocab_len(), 0);
+    }
+
+    #[test]
+    fn parallel_training_matches_quality() {
+        let walks = two_community_walks();
+        let mut m = SgnsModel::new(SgnsConfig {
+            parallel: true,
+            epochs: 20,
+            ..seq_cfg(16)
+        });
+        m.train(&walks);
+        let e = m.embedding();
+        let intra = e.cosine(NodeId(0), NodeId(1)).unwrap();
+        let inter = e.cosine(NodeId(0), NodeId(6)).unwrap();
+        assert!(intra > inter);
+    }
+}

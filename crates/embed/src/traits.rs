@@ -1,0 +1,80 @@
+//! The common interface every dynamic-network-embedding method
+//! implements, mirroring Definition 4:
+//! `Z^t = f^t(G^t, G^{t-1}, f^{t-1}, Z^{t-1})`.
+
+use crate::embedding::Embedding;
+use glodyne_graph::Snapshot;
+
+/// A dynamic network embedding method under the incremental protocol.
+///
+/// The harness drives each method through the snapshot sequence with
+/// [`DynamicEmbedder::advance`]; after each call the method's latest
+/// embeddings are read with [`DynamicEmbedder::embedding`] and fed to
+/// the downstream tasks — exactly the paper's evaluation protocol
+/// ("we first take out the node embeddings obtained by each method ...
+/// and then feed them to exactly the same downstream tasks", §5.2).
+pub trait DynamicEmbedder {
+    /// Consume the next snapshot. `prev` is `None` at `t = 0` (the
+    /// offline stage of Algorithm 1).
+    fn advance(&mut self, prev: Option<&Snapshot>, curr: &Snapshot);
+
+    /// The current embeddings `Z^t`.
+    fn embedding(&self) -> Embedding;
+
+    /// Human-readable method name (table row label).
+    fn name(&self) -> &'static str;
+}
+
+/// Drive an embedder across an entire snapshot sequence, returning the
+/// embedding after each step.
+pub fn run_over<E: DynamicEmbedder>(embedder: &mut E, snapshots: &[Snapshot]) -> Vec<Embedding> {
+    let mut out = Vec::with_capacity(snapshots.len());
+    let mut prev: Option<&Snapshot> = None;
+    for snap in snapshots {
+        embedder.advance(prev, snap);
+        out.push(embedder.embedding());
+        prev = Some(snap);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glodyne_graph::id::{Edge, NodeId};
+
+    /// A trivial embedder: every node's vector is its degree.
+    struct DegreeEmbedder {
+        emb: Embedding,
+    }
+
+    impl DynamicEmbedder for DegreeEmbedder {
+        fn advance(&mut self, _prev: Option<&Snapshot>, curr: &Snapshot) {
+            for l in 0..curr.num_nodes() {
+                self.emb.set(curr.node_id(l), &[curr.degree(l) as f32]);
+            }
+        }
+        fn embedding(&self) -> Embedding {
+            self.emb.clone()
+        }
+        fn name(&self) -> &'static str {
+            "degree"
+        }
+    }
+
+    #[test]
+    fn run_over_visits_all_snapshots() {
+        let s0 = Snapshot::from_edges(&[Edge::new(NodeId(0), NodeId(1))], &[]);
+        let s1 = Snapshot::from_edges(
+            &[Edge::new(NodeId(0), NodeId(1)), Edge::new(NodeId(1), NodeId(2))],
+            &[],
+        );
+        let mut e = DegreeEmbedder {
+            emb: Embedding::new(1),
+        };
+        let embs = run_over(&mut e, &[s0, s1]);
+        assert_eq!(embs.len(), 2);
+        assert_eq!(embs[0].get(NodeId(1)), Some(&[1.0f32][..]));
+        assert_eq!(embs[1].get(NodeId(1)), Some(&[2.0f32][..]));
+    }
+}

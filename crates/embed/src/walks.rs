@@ -1,0 +1,156 @@
+//! Truncated random walks (Step 3, Eq. 5).
+//!
+//! For an unweighted snapshot the transition probability of Eq. 5 is
+//! uniform over the current node's neighbours — a DeepWalk-style walker.
+//! Walk generation is embarrassingly parallel; we fan out over starting
+//! nodes with rayon, seeding each walk's RNG from `(seed, start, rep)` so
+//! that results are independent of thread scheduling.
+
+use glodyne_graph::{NodeId, Snapshot};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+/// Walk-generation parameters: `r` walks of length `l` per start node.
+#[derive(Debug, Clone, Copy)]
+pub struct WalkConfig {
+    /// Walks per start node (`r`, paper default 10).
+    pub walks_per_node: usize,
+    /// Nodes per walk including the start (`l`, paper default 80).
+    pub walk_length: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        WalkConfig {
+            walks_per_node: 10,
+            walk_length: 80,
+            seed: 0,
+        }
+    }
+}
+
+/// One truncated random walk from `start` (a local index); output is
+/// global [`NodeId`]s. A walk stops early only at an isolated node.
+pub fn random_walk(g: &Snapshot, start: usize, length: usize, rng: &mut impl Rng) -> Vec<NodeId> {
+    let mut walk = Vec::with_capacity(length);
+    let mut cur = start;
+    walk.push(g.node_id(cur));
+    for _ in 1..length {
+        let ns = g.neighbors(cur);
+        if ns.is_empty() {
+            break;
+        }
+        cur = ns[rng.gen_range(0..ns.len())] as usize;
+        walk.push(g.node_id(cur));
+    }
+    walk
+}
+
+/// Generate `r` walks from every node in `starts` (local indices), in
+/// parallel. Deterministic for a fixed config regardless of thread count.
+pub fn generate_walks(g: &Snapshot, starts: &[u32], cfg: &WalkConfig) -> Vec<Vec<NodeId>> {
+    starts
+        .par_iter()
+        .flat_map_iter(|&start| {
+            (0..cfg.walks_per_node).map(move |rep| {
+                let mut rng = ChaCha8Rng::seed_from_u64(
+                    cfg.seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add((start as u64) << 20)
+                        .wrapping_add(rep as u64),
+                );
+                random_walk(g, start as usize, cfg.walk_length, &mut rng)
+            })
+        })
+        .collect()
+}
+
+/// Walks from *all* nodes — the offline stage (`V^0_all`, Algorithm 1
+/// line 2) and the SGNS-retrain/increment variants.
+pub fn generate_walks_all(g: &Snapshot, cfg: &WalkConfig) -> Vec<Vec<NodeId>> {
+    let starts: Vec<u32> = (0..g.num_nodes() as u32).collect();
+    generate_walks(g, &starts, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glodyne_graph::id::Edge;
+
+    fn ring(n: u32) -> Snapshot {
+        let edges: Vec<Edge> = (0..n)
+            .map(|i| Edge::new(NodeId(i), NodeId((i + 1) % n)))
+            .collect();
+        Snapshot::from_edges(&edges, &[])
+    }
+
+    #[test]
+    fn walk_has_requested_length() {
+        let g = ring(10);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let w = random_walk(&g, 0, 15, &mut rng);
+        assert_eq!(w.len(), 15);
+    }
+
+    #[test]
+    fn consecutive_walk_nodes_are_adjacent() {
+        let g = ring(12);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let w = random_walk(&g, 3, 30, &mut rng);
+        for pair in w.windows(2) {
+            assert!(g.has_edge_ids(pair[0], pair[1]), "{} -> {}", pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn isolated_node_walk_stops() {
+        let g = Snapshot::from_edges(&[Edge::new(NodeId(0), NodeId(1))], &[NodeId(9)]);
+        let iso = g.local_of(NodeId(9)).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let w = random_walk(&g, iso, 10, &mut rng);
+        assert_eq!(w, vec![NodeId(9)]);
+    }
+
+    #[test]
+    fn generate_walks_counts() {
+        let g = ring(8);
+        let cfg = WalkConfig {
+            walks_per_node: 3,
+            walk_length: 5,
+            seed: 7,
+        };
+        let walks = generate_walks_all(&g, &cfg);
+        assert_eq!(walks.len(), 24);
+        assert!(walks.iter().all(|w| w.len() == 5));
+    }
+
+    #[test]
+    fn walks_are_deterministic_across_runs() {
+        let g = ring(16);
+        let cfg = WalkConfig::default();
+        let a = generate_walks(&g, &[0, 5, 9], &cfg);
+        let b = generate_walks(&g, &[0, 5, 9], &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g = ring(16);
+        let a = generate_walks(&g, &[0], &WalkConfig { seed: 1, ..Default::default() });
+        let b = generate_walks(&g, &[0], &WalkConfig { seed: 2, ..Default::default() });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn walker_visits_whole_ring_eventually() {
+        let g = ring(6);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let w = random_walk(&g, 0, 500, &mut rng);
+        let distinct: std::collections::HashSet<_> = w.into_iter().collect();
+        assert_eq!(distinct.len(), 6);
+    }
+}

@@ -1,0 +1,155 @@
+//! Incremental edge-set builder.
+//!
+//! Datasets arrive as timestamped edge streams; snapshots are produced by
+//! "appending all edges no later than the cut-off timestamp" (§5.1.1).
+//! `GraphBuilder` is the mutable accumulator that supports that process,
+//! including edge deletions for churning networks like AS733.
+
+use crate::id::{Edge, NodeId};
+use crate::snapshot::Snapshot;
+use std::collections::BTreeSet;
+
+/// A mutable set of undirected edges from which snapshots are taken.
+///
+/// Backed by a `BTreeSet<Edge>` so that snapshot construction sees a
+/// deterministic, sorted edge order regardless of insertion order.
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    edges: BTreeSet<Edge>,
+}
+
+impl GraphBuilder {
+    /// New empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert an undirected edge; returns true if it was new.
+    /// Self-loops are ignored (returns false).
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return false;
+        }
+        self.edges.insert(Edge::new(a, b))
+    }
+
+    /// Remove an undirected edge; returns true if it was present.
+    pub fn remove_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        self.edges.remove(&Edge::new(a, b))
+    }
+
+    /// Remove a node and all incident edges; returns the number of edges
+    /// removed. O(|E|) — deletions are rare relative to snapshot builds.
+    pub fn remove_node(&mut self, n: NodeId) -> usize {
+        let before = self.edges.len();
+        self.edges.retain(|e| e.u != n && e.v != n);
+        before - self.edges.len()
+    }
+
+    /// Whether the edge is currently present.
+    pub fn contains(&self, a: NodeId, b: NodeId) -> bool {
+        self.edges.contains(&Edge::new(a, b))
+    }
+
+    /// Current number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Snapshot of the current edge set.
+    pub fn snapshot(&self) -> Snapshot {
+        let edges: Vec<Edge> = self.edges.iter().copied().collect();
+        Snapshot::from_edges(&edges, &[])
+    }
+
+    /// Snapshot restricted to the largest connected component, as the
+    /// paper does for every dataset snapshot (§5.1.1).
+    pub fn snapshot_lcc(&self) -> Snapshot {
+        crate::components::largest_connected_component(&self.snapshot())
+    }
+
+    /// Iterate current edges in sorted order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.edges.iter().copied()
+    }
+}
+
+impl FromIterator<Edge> for GraphBuilder {
+    fn from_iter<T: IntoIterator<Item = Edge>>(iter: T) -> Self {
+        let mut b = GraphBuilder::new();
+        for e in iter {
+            if !e.is_loop() {
+                b.edges.insert(e);
+            }
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_remove_edge() {
+        let mut b = GraphBuilder::new();
+        assert!(b.add_edge(NodeId(0), NodeId(1)));
+        assert!(!b.add_edge(NodeId(1), NodeId(0)), "duplicate in either order");
+        assert_eq!(b.num_edges(), 1);
+        assert!(b.remove_edge(NodeId(0), NodeId(1)));
+        assert!(!b.remove_edge(NodeId(0), NodeId(1)));
+        assert_eq!(b.num_edges(), 0);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut b = GraphBuilder::new();
+        assert!(!b.add_edge(NodeId(3), NodeId(3)));
+        assert_eq!(b.num_edges(), 0);
+    }
+
+    #[test]
+    fn remove_node_strips_incident_edges() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(0), NodeId(2));
+        b.add_edge(NodeId(1), NodeId(2));
+        assert_eq!(b.remove_node(NodeId(0)), 2);
+        assert_eq!(b.num_edges(), 1);
+        assert!(b.contains(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn snapshot_reflects_current_state() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(2), NodeId(3));
+        let s = b.snapshot();
+        assert_eq!(s.num_nodes(), 4);
+        assert_eq!(s.num_edges(), 2);
+    }
+
+    #[test]
+    fn snapshot_lcc_keeps_biggest_part() {
+        let mut b = GraphBuilder::new();
+        // triangle (3 nodes) + single edge (2 nodes)
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(2));
+        b.add_edge(NodeId(0), NodeId(2));
+        b.add_edge(NodeId(10), NodeId(11));
+        let s = b.snapshot_lcc();
+        assert_eq!(s.num_nodes(), 3);
+        assert_eq!(s.num_edges(), 3);
+    }
+
+    #[test]
+    fn from_iterator_filters_loops() {
+        let b: GraphBuilder = vec![
+            Edge::new(NodeId(0), NodeId(1)),
+            Edge::new(NodeId(2), NodeId(2)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(b.num_edges(), 1);
+    }
+}

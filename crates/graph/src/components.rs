@@ -1,0 +1,136 @@
+//! Connected components and largest-connected-component extraction.
+//!
+//! The paper keeps only the LCC of every snapshot (§5.1.1): "For each
+//! snapshot, we take out the largest connected component and treat it as
+//! an undirected and unweighted graph."
+
+use crate::id::Edge;
+use crate::snapshot::Snapshot;
+
+/// Label each node (by local index) with a component id in `0..k`;
+/// returns `(labels, k)`. Iterative BFS — no recursion, safe for large
+/// graphs.
+pub fn connected_components(g: &Snapshot) -> (Vec<u32>, usize) {
+    const UNSEEN: u32 = u32::MAX;
+    let n = g.num_nodes();
+    let mut label = vec![UNSEEN; n];
+    let mut next = 0u32;
+    let mut queue: Vec<u32> = Vec::new();
+    for start in 0..n {
+        if label[start] != UNSEEN {
+            continue;
+        }
+        label[start] = next;
+        queue.clear();
+        queue.push(start as u32);
+        while let Some(u) = queue.pop() {
+            for &v in g.neighbors(u as usize) {
+                if label[v as usize] == UNSEEN {
+                    label[v as usize] = next;
+                    queue.push(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (label, next as usize)
+}
+
+/// Extract the largest connected component as a new snapshot, keeping
+/// global node ids intact. Ties break toward the lowest component id
+/// (deterministic). An empty graph maps to an empty graph.
+pub fn largest_connected_component(g: &Snapshot) -> Snapshot {
+    if g.num_nodes() == 0 {
+        return Snapshot::empty();
+    }
+    let (label, k) = connected_components(g);
+    let mut sizes = vec![0usize; k];
+    for &l in &label {
+        sizes[l as usize] += 1;
+    }
+    let best = sizes
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i as u32)
+        .unwrap();
+
+    let edges: Vec<Edge> = g
+        .edges()
+        .filter(|e| {
+            let lu = g.local_of(e.u).unwrap();
+            label[lu] == best
+        })
+        .collect();
+    let singles: Vec<_> = (0..g.num_nodes())
+        .filter(|&l| label[l] == best && g.degree(l) == 0)
+        .map(|l| g.node_id(l))
+        .collect();
+    Snapshot::from_edges(&edges, &singles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::NodeId;
+
+    fn snap(edges: &[(u32, u32)]) -> Snapshot {
+        let es: Vec<Edge> = edges
+            .iter()
+            .map(|&(a, b)| Edge::new(NodeId(a), NodeId(b)))
+            .collect();
+        Snapshot::from_edges(&es, &[])
+    }
+
+    #[test]
+    fn single_component() {
+        let g = snap(&[(0, 1), (1, 2)]);
+        let (_, k) = connected_components(&g);
+        assert_eq!(k, 1);
+    }
+
+    #[test]
+    fn multiple_components_counted() {
+        let g = snap(&[(0, 1), (2, 3), (4, 5), (5, 6)]);
+        let (labels, k) = connected_components(&g);
+        assert_eq!(k, 3);
+        // nodes in the same edge share a label
+        let l = |id: u32| labels[g.local_of(NodeId(id)).unwrap()];
+        assert_eq!(l(0), l(1));
+        assert_eq!(l(4), l(6));
+        assert_ne!(l(0), l(2));
+    }
+
+    #[test]
+    fn lcc_picks_largest() {
+        let g = snap(&[(0, 1), (1, 2), (2, 0), (10, 11)]);
+        let lcc = largest_connected_component(&g);
+        assert_eq!(lcc.num_nodes(), 3);
+        assert!(lcc.local_of(NodeId(10)).is_none());
+    }
+
+    #[test]
+    fn lcc_preserves_global_ids() {
+        let g = snap(&[(100, 200), (200, 300), (5, 6)]);
+        let lcc = largest_connected_component(&g);
+        assert!(lcc.local_of(NodeId(100)).is_some());
+        assert!(lcc.local_of(NodeId(300)).is_some());
+        assert!(lcc.local_of(NodeId(5)).is_none());
+    }
+
+    #[test]
+    fn lcc_of_empty_graph() {
+        let lcc = largest_connected_component(&Snapshot::empty());
+        assert_eq!(lcc.num_nodes(), 0);
+    }
+
+    #[test]
+    fn lcc_tie_breaks_deterministically() {
+        // two components of equal size: lowest component id (discovered
+        // first, i.e. containing the smallest local index) wins
+        let g = snap(&[(0, 1), (2, 3)]);
+        let lcc = largest_connected_component(&g);
+        assert_eq!(lcc.num_nodes(), 2);
+        assert!(lcc.local_of(NodeId(0)).is_some());
+    }
+}

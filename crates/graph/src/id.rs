@@ -1,0 +1,146 @@
+//! Stable node identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A stable, global node identifier.
+///
+/// Snapshots of a dynamic network gain and lose nodes over time; a
+/// `NodeId` names the *entity* (a router, a user, an author) rather than a
+/// position in any particular snapshot. Embedding stores are keyed by
+/// `NodeId`, which is what lets the incremental learning paradigm
+/// (Eq. 11) carry vectors across time steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The raw index value.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(u32::try_from(v).expect("node id exceeds u32 range"))
+    }
+}
+
+/// An undirected edge between two stable node ids.
+///
+/// Stored in canonical (min, max) order so that edge sets and streams can
+/// be deduplicated with plain sorting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// Smaller endpoint.
+    pub u: NodeId,
+    /// Larger endpoint.
+    pub v: NodeId,
+}
+
+impl Edge {
+    /// Create a canonical undirected edge. Self-loops are permitted at
+    /// this level; builders reject them.
+    #[inline]
+    pub fn new(a: NodeId, b: NodeId) -> Self {
+        if a <= b {
+            Edge { u: a, v: b }
+        } else {
+            Edge { u: b, v: a }
+        }
+    }
+
+    /// The endpoint opposite to `n`, or `None` if `n` is not an endpoint.
+    #[inline]
+    pub fn other(&self, n: NodeId) -> Option<NodeId> {
+        if self.u == n {
+            Some(self.v)
+        } else if self.v == n {
+            Some(self.u)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the edge is a self-loop.
+    #[inline]
+    pub fn is_loop(&self) -> bool {
+        self.u == self.v
+    }
+}
+
+/// A timestamped undirected edge, the unit of the edge-stream
+/// representation `{(v_i, v_j, timestamp), ...}` used by the datasets in
+/// §5.1.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimedEdge {
+    /// The undirected edge.
+    pub edge: Edge,
+    /// Arbitrary monotone timestamp (seconds, days — datasets decide).
+    pub time: u64,
+}
+
+impl TimedEdge {
+    /// Construct a timestamped canonical edge.
+    pub fn new(a: NodeId, b: NodeId, time: u64) -> Self {
+        TimedEdge {
+            edge: Edge::new(a, b),
+            time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_is_canonical() {
+        let e1 = Edge::new(NodeId(5), NodeId(2));
+        let e2 = Edge::new(NodeId(2), NodeId(5));
+        assert_eq!(e1, e2);
+        assert_eq!(e1.u, NodeId(2));
+        assert_eq!(e1.v, NodeId(5));
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let e = Edge::new(NodeId(1), NodeId(9));
+        assert_eq!(e.other(NodeId(1)), Some(NodeId(9)));
+        assert_eq!(e.other(NodeId(9)), Some(NodeId(1)));
+        assert_eq!(e.other(NodeId(3)), None);
+    }
+
+    #[test]
+    fn self_loop_detection() {
+        assert!(Edge::new(NodeId(4), NodeId(4)).is_loop());
+        assert!(!Edge::new(NodeId(4), NodeId(5)).is_loop());
+    }
+
+    #[test]
+    fn node_id_display_and_index() {
+        assert_eq!(NodeId(7).to_string(), "v7");
+        assert_eq!(NodeId(7).index(), 7);
+        assert_eq!(NodeId::from(7usize), NodeId(7));
+    }
+
+    #[test]
+    fn timed_edge_canonicalizes() {
+        let te = TimedEdge::new(NodeId(9), NodeId(3), 42);
+        assert_eq!(te.edge.u, NodeId(3));
+        assert_eq!(te.time, 42);
+    }
+}

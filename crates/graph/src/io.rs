@@ -1,0 +1,100 @@
+//! Plain-text edge-stream IO.
+//!
+//! Format: one edge per line, `u v [timestamp]`, whitespace separated,
+//! `#`-prefixed comment lines ignored — the format the KONECT/SNAP
+//! datasets of §5.1.1 ship in. Timestamps default to 0 when absent.
+
+use crate::id::{NodeId, TimedEdge};
+use std::io::{self, BufRead, Write};
+
+/// Parse a timestamped edge stream from a reader.
+///
+/// Returns an error with line number context on malformed input.
+pub fn read_edge_stream<R: BufRead>(reader: R) -> io::Result<Vec<TimedEdge>> {
+    let mut out = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>, what: &str| -> io::Result<u64> {
+            tok.ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: missing {what}", lineno + 1),
+                )
+            })?
+            .parse::<u64>()
+            .map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: bad {what}: {e}", lineno + 1),
+                )
+            })
+        };
+        let u = parse(parts.next(), "source node")?;
+        let v = parse(parts.next(), "target node")?;
+        let t = match parts.next() {
+            Some(tok) => tok.parse::<u64>().map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: bad timestamp: {e}", lineno + 1),
+                )
+            })?,
+            None => 0,
+        };
+        out.push(TimedEdge::new(NodeId(u as u32), NodeId(v as u32), t));
+    }
+    Ok(out)
+}
+
+/// Write a timestamped edge stream.
+pub fn write_edge_stream<W: Write>(writer: &mut W, stream: &[TimedEdge]) -> io::Result<()> {
+    for te in stream {
+        writeln!(writer, "{} {} {}", te.edge.u.0, te.edge.v.0, te.time)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parses_basic_stream() {
+        let text = "# comment\n0 1 10\n1 2 20\n\n% konect comment\n2 3\n";
+        let stream = read_edge_stream(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(stream.len(), 3);
+        assert_eq!(stream[0].time, 10);
+        assert_eq!(stream[2].time, 0, "missing timestamp defaults to 0");
+    }
+
+    #[test]
+    fn rejects_malformed_line() {
+        let text = "0 x 10\n";
+        let err = read_edge_stream(BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn rejects_missing_target() {
+        let text = "42\n";
+        let err = read_edge_stream(BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("target"));
+    }
+
+    #[test]
+    fn round_trip() {
+        let stream = vec![
+            TimedEdge::new(NodeId(5), NodeId(2), 7),
+            TimedEdge::new(NodeId(1), NodeId(9), 8),
+        ];
+        let mut buf = Vec::new();
+        write_edge_stream(&mut buf, &stream).unwrap();
+        let parsed = read_edge_stream(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(parsed, stream);
+    }
+}

@@ -1,0 +1,277 @@
+//! The immutable CSR snapshot type (Definition 1: a static network).
+
+use crate::id::{Edge, NodeId};
+use std::collections::HashMap;
+
+/// An immutable, undirected, unweighted graph snapshot in CSR form.
+///
+/// Nodes are addressed two ways:
+/// - a **global** stable [`NodeId`] (persists across snapshots),
+/// - a **local** dense index `0..num_nodes()` (valid for this snapshot
+///   only), used for array-backed per-node state.
+///
+/// Neighbour lists are sorted by local index, enabling O(log d) edge
+/// queries and O(d1 + d2) sorted-merge set operations between snapshots.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Sorted global ids; position = local index.
+    node_ids: Vec<NodeId>,
+    /// Reverse map global id -> local index.
+    index_of: HashMap<NodeId, u32>,
+    /// CSR offsets, length num_nodes + 1.
+    offsets: Vec<u32>,
+    /// Concatenated sorted neighbour lists (local indices).
+    neighbors: Vec<u32>,
+}
+
+impl Snapshot {
+    /// Build a snapshot from a set of canonical undirected edges.
+    ///
+    /// Duplicates and self-loops are removed. The node set is exactly the
+    /// set of edge endpoints plus `extra_nodes` (isolated nodes are legal:
+    /// the paper's snapshots keep only the LCC, but intermediate
+    /// structures may not).
+    pub fn from_edges(edges: &[Edge], extra_nodes: &[NodeId]) -> Self {
+        let mut ids: Vec<NodeId> = edges
+            .iter()
+            .filter(|e| !e.is_loop())
+            .flat_map(|e| [e.u, e.v])
+            .chain(extra_nodes.iter().copied())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+
+        let index_of: HashMap<NodeId, u32> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i as u32))
+            .collect();
+
+        let n = ids.len();
+        let mut deg = vec![0u32; n];
+        let mut clean: Vec<(u32, u32)> = Vec::with_capacity(edges.len());
+        {
+            let mut sorted: Vec<Edge> = edges.iter().filter(|e| !e.is_loop()).copied().collect();
+            sorted.sort_unstable();
+            sorted.dedup();
+            for e in sorted {
+                let a = index_of[&e.u];
+                let b = index_of[&e.v];
+                deg[a as usize] += 1;
+                deg[b as usize] += 1;
+                clean.push((a, b));
+            }
+        }
+
+        let mut offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + deg[i];
+        }
+        let mut neighbors = vec![0u32; offsets[n] as usize];
+        let mut cursor = offsets.clone();
+        for (a, b) in clean {
+            neighbors[cursor[a as usize] as usize] = b;
+            cursor[a as usize] += 1;
+            neighbors[cursor[b as usize] as usize] = a;
+            cursor[b as usize] += 1;
+        }
+        for i in 0..n {
+            neighbors[offsets[i] as usize..offsets[i + 1] as usize].sort_unstable();
+        }
+
+        Snapshot {
+            node_ids: ids,
+            index_of,
+            offsets,
+            neighbors,
+        }
+    }
+
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        Snapshot::from_edges(&[], &[])
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.node_ids.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Degree of a node by local index.
+    #[inline]
+    pub fn degree(&self, local: usize) -> usize {
+        (self.offsets[local + 1] - self.offsets[local]) as usize
+    }
+
+    /// Sorted neighbour list (local indices) of a node by local index.
+    #[inline]
+    pub fn neighbors(&self, local: usize) -> &[u32] {
+        &self.neighbors[self.offsets[local] as usize..self.offsets[local + 1] as usize]
+    }
+
+    /// Global id of a local index.
+    #[inline]
+    pub fn node_id(&self, local: usize) -> NodeId {
+        self.node_ids[local]
+    }
+
+    /// All global ids, sorted, position = local index.
+    #[inline]
+    pub fn node_ids(&self) -> &[NodeId] {
+        &self.node_ids
+    }
+
+    /// Local index of a global id, if present in this snapshot.
+    #[inline]
+    pub fn local_of(&self, id: NodeId) -> Option<usize> {
+        self.index_of.get(&id).map(|&i| i as usize)
+    }
+
+    /// Whether an undirected edge exists (by local indices).
+    #[inline]
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.neighbors(a).binary_search(&(b as u32)).is_ok()
+    }
+
+    /// Whether an undirected edge exists between two global ids.
+    pub fn has_edge_ids(&self, a: NodeId, b: NodeId) -> bool {
+        match (self.local_of(a), self.local_of(b)) {
+            (Some(x), Some(y)) => self.has_edge(x, y),
+            _ => false,
+        }
+    }
+
+    /// Iterate all undirected edges as canonical global-id pairs.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        (0..self.num_nodes()).flat_map(move |a| {
+            self.neighbors(a)
+                .iter()
+                .filter(move |&&b| (b as usize) > a)
+                .map(move |&b| Edge::new(self.node_id(a), self.node_id(b as usize)))
+        })
+    }
+
+    /// Neighbour global ids of a *global* id; empty if the node is absent.
+    pub fn neighbor_ids(&self, id: NodeId) -> Vec<NodeId> {
+        match self.local_of(id) {
+            Some(l) => self.neighbors(l).iter().map(|&n| self.node_id(n as usize)).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Mean degree `2|E| / |V|` (the `b1` of §4.3).
+    pub fn mean_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            0.0
+        } else {
+            2.0 * self.num_edges() as f64 / self.num_nodes() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: u32) -> Snapshot {
+        let edges: Vec<Edge> = (0..n - 1)
+            .map(|i| Edge::new(NodeId(i), NodeId(i + 1)))
+            .collect();
+        Snapshot::from_edges(&edges, &[])
+    }
+
+    #[test]
+    fn builds_csr_counts() {
+        let g = path_graph(5);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn neighbors_are_sorted_and_symmetric() {
+        let edges = vec![
+            Edge::new(NodeId(3), NodeId(1)),
+            Edge::new(NodeId(1), NodeId(0)),
+            Edge::new(NodeId(3), NodeId(0)),
+        ];
+        let g = Snapshot::from_edges(&edges, &[]);
+        for a in 0..g.num_nodes() {
+            let ns = g.neighbors(a);
+            assert!(ns.windows(2).all(|w| w[0] < w[1]), "sorted");
+            for &b in ns {
+                assert!(g.has_edge(b as usize, a), "symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_and_loops_removed() {
+        let edges = vec![
+            Edge::new(NodeId(0), NodeId(1)),
+            Edge::new(NodeId(1), NodeId(0)),
+            Edge::new(NodeId(2), NodeId(2)),
+        ];
+        let g = Snapshot::from_edges(&edges, &[]);
+        assert_eq!(g.num_edges(), 1);
+        // node 2 only appeared in a self-loop, so it is absent entirely
+        assert_eq!(g.num_nodes(), 2);
+    }
+
+    #[test]
+    fn extra_isolated_nodes() {
+        let g = Snapshot::from_edges(&[Edge::new(NodeId(0), NodeId(1))], &[NodeId(9)]);
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.degree(g.local_of(NodeId(9)).unwrap()), 0);
+    }
+
+    #[test]
+    fn global_local_round_trip() {
+        let g = Snapshot::from_edges(
+            &[Edge::new(NodeId(10), NodeId(20)), Edge::new(NodeId(20), NodeId(30))],
+            &[],
+        );
+        for l in 0..g.num_nodes() {
+            assert_eq!(g.local_of(g.node_id(l)), Some(l));
+        }
+        assert_eq!(g.local_of(NodeId(999)), None);
+    }
+
+    #[test]
+    fn edge_queries_by_id() {
+        let g = Snapshot::from_edges(&[Edge::new(NodeId(1), NodeId(2))], &[]);
+        assert!(g.has_edge_ids(NodeId(1), NodeId(2)));
+        assert!(g.has_edge_ids(NodeId(2), NodeId(1)));
+        assert!(!g.has_edge_ids(NodeId(1), NodeId(3)));
+    }
+
+    #[test]
+    fn edges_iterator_round_trips() {
+        let edges = vec![
+            Edge::new(NodeId(0), NodeId(1)),
+            Edge::new(NodeId(1), NodeId(2)),
+            Edge::new(NodeId(0), NodeId(2)),
+        ];
+        let g = Snapshot::from_edges(&edges, &[]);
+        let mut out: Vec<Edge> = g.edges().collect();
+        out.sort_unstable();
+        let mut want = edges.clone();
+        want.sort_unstable();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn mean_degree() {
+        let g = path_graph(5);
+        assert!((g.mean_degree() - 8.0 / 5.0).abs() < 1e-12);
+        assert_eq!(Snapshot::empty().mean_degree(), 0.0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Weighted snapshots — the generalisation of footnote 3 and Eq. 5.
+//!
+//! The paper's experiments treat every snapshot as unweighted, but both
+//! the change score (footnote 3) and the walk transition probability
+//! (Eq. 5) are defined for weighted networks:
+//!
+//! - `|ΔE^t_i| = Σ_{j ∈ N(v^t_i)} |w^t_ij − w^{t−1}_ij| +
+//!    Σ_{j ∈ N(v^{t−1}_i) − N(v^t_i)} |w^{t−1}_ij|`
+//! - `P(v_j | v_i) = w_ij / Σ_{j'} w_ij'`
+//!
+//! [`WeightedSnapshot`] carries per-edge weights parallel to the CSR
+//! neighbour arrays; [`weighted_node_change`] implements the footnote-3
+//! score; weighted walks live in `glodyne-embed`.
+
+use crate::id::NodeId;
+use crate::snapshot::Snapshot;
+use std::collections::HashMap;
+
+/// An undirected weighted edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedEdge {
+    /// Smaller endpoint.
+    pub u: NodeId,
+    /// Larger endpoint.
+    pub v: NodeId,
+    /// Positive weight.
+    pub w: f64,
+}
+
+impl WeightedEdge {
+    /// Canonical weighted edge (panics on non-positive weight).
+    pub fn new(a: NodeId, b: NodeId, w: f64) -> Self {
+        assert!(w > 0.0, "edge weight must be positive, got {w}");
+        if a <= b {
+            WeightedEdge { u: a, v: b, w }
+        } else {
+            WeightedEdge { u: b, v: a, w }
+        }
+    }
+}
+
+/// A weighted snapshot: a [`Snapshot`] plus per-neighbour weights stored
+/// in the same order as the CSR neighbour arrays.
+#[derive(Debug, Clone)]
+pub struct WeightedSnapshot {
+    topology: Snapshot,
+    /// Weight parallel to `topology`'s concatenated neighbour list.
+    weights: Vec<f64>,
+}
+
+impl WeightedSnapshot {
+    /// Build from weighted edges. Duplicate edges keep the **sum** of
+    /// their weights (parallel interactions accumulate, e.g. repeated
+    /// wall posts); self-loops are dropped.
+    pub fn from_edges(edges: &[WeightedEdge]) -> Self {
+        let mut weight_of: HashMap<(NodeId, NodeId), f64> = HashMap::new();
+        for e in edges {
+            if e.u != e.v {
+                *weight_of.entry((e.u, e.v)).or_insert(0.0) += e.w;
+            }
+        }
+        let plain: Vec<crate::id::Edge> = weight_of
+            .keys()
+            .map(|&(u, v)| crate::id::Edge::new(u, v))
+            .collect();
+        let topology = Snapshot::from_edges(&plain, &[]);
+        let mut weights = Vec::new();
+        for a in 0..topology.num_nodes() {
+            let ida = topology.node_id(a);
+            for &b in topology.neighbors(a) {
+                let idb = topology.node_id(b as usize);
+                let key = if ida <= idb { (ida, idb) } else { (idb, ida) };
+                weights.push(weight_of[&key]);
+            }
+        }
+        WeightedSnapshot { topology, weights }
+    }
+
+    /// The underlying unweighted topology.
+    pub fn topology(&self) -> &Snapshot {
+        &self.topology
+    }
+
+    /// Neighbour weights of a node (parallel to
+    /// `topology().neighbors(local)`).
+    pub fn neighbor_weights(&self, local: usize) -> &[f64] {
+        let n = self.topology.num_nodes();
+        debug_assert!(local < n);
+        // Reconstruct offsets from the topology's degree structure.
+        let start: usize = (0..local).map(|l| self.topology.degree(l)).sum();
+        &self.weights[start..start + self.topology.degree(local)]
+    }
+
+    /// Weight of the edge between two global ids (0 when absent).
+    pub fn weight_ids(&self, a: NodeId, b: NodeId) -> f64 {
+        let (Some(la), Some(lb)) = (self.topology.local_of(a), self.topology.local_of(b)) else {
+            return 0.0;
+        };
+        match self.topology.neighbors(la).binary_search(&(lb as u32)) {
+            Ok(pos) => self.neighbor_weights(la)[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Weighted degree (strength) of a node.
+    pub fn strength(&self, local: usize) -> f64 {
+        self.neighbor_weights(local).iter().sum()
+    }
+}
+
+/// Footnote 3: the weighted per-node change between two consecutive
+/// weighted snapshots:
+///
+/// `|ΔE^t_i| = Σ_{j ∈ N(v^t_i)} |w^t_ij − w^{t−1}_ij|
+///           + Σ_{j ∈ N(v^{t−1}_i) − N(v^t_i)} |w^{t−1}_ij|`
+///
+/// (the first term covers current neighbours — including brand-new ones,
+/// whose previous weight is 0; the second covers vanished neighbours).
+pub fn weighted_node_change(prev: &WeightedSnapshot, curr: &WeightedSnapshot, id: NodeId) -> f64 {
+    let mut total = 0.0;
+    if let Some(lc) = curr.topology().local_of(id) {
+        let t = curr.topology();
+        for (pos, &nb) in t.neighbors(lc).iter().enumerate() {
+            let nid = t.node_id(nb as usize);
+            let w_now = curr.neighbor_weights(lc)[pos];
+            let w_before = prev.weight_ids(id, nid);
+            total += (w_now - w_before).abs();
+        }
+    }
+    if let Some(lp) = prev.topology().local_of(id) {
+        let t = prev.topology();
+        for (pos, &nb) in t.neighbors(lp).iter().enumerate() {
+            let nid = t.node_id(nb as usize);
+            // neighbour no longer connected at t (vanished edge)
+            if curr.weight_ids(id, nid) == 0.0 {
+                total += prev.neighbor_weights(lp)[pos].abs();
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(edges: &[(u32, u32, f64)]) -> WeightedSnapshot {
+        let es: Vec<WeightedEdge> = edges
+            .iter()
+            .map(|&(a, b, w)| WeightedEdge::new(NodeId(a), NodeId(b), w))
+            .collect();
+        WeightedSnapshot::from_edges(&es)
+    }
+
+    #[test]
+    fn weights_round_trip() {
+        let g = ws(&[(0, 1, 2.5), (1, 2, 0.5)]);
+        assert_eq!(g.weight_ids(NodeId(0), NodeId(1)), 2.5);
+        assert_eq!(g.weight_ids(NodeId(1), NodeId(0)), 2.5);
+        assert_eq!(g.weight_ids(NodeId(0), NodeId(2)), 0.0);
+    }
+
+    #[test]
+    fn duplicate_edges_accumulate() {
+        let g = ws(&[(0, 1, 1.0), (1, 0, 2.0)]);
+        assert_eq!(g.weight_ids(NodeId(0), NodeId(1)), 3.0);
+        assert_eq!(g.topology().num_edges(), 1);
+    }
+
+    #[test]
+    fn strength_sums_weights() {
+        let g = ws(&[(0, 1, 2.0), (0, 2, 3.0)]);
+        let l0 = g.topology().local_of(NodeId(0)).unwrap();
+        assert_eq!(g.strength(l0), 5.0);
+    }
+
+    #[test]
+    fn neighbor_weights_parallel_to_neighbors() {
+        let g = ws(&[(5, 1, 1.0), (5, 3, 2.0), (5, 9, 3.0)]);
+        let l5 = g.topology().local_of(NodeId(5)).unwrap();
+        let ns = g.topology().neighbors(l5);
+        let wsl = g.neighbor_weights(l5);
+        assert_eq!(ns.len(), wsl.len());
+        for (pos, &nb) in ns.iter().enumerate() {
+            let nid = g.topology().node_id(nb as usize);
+            assert_eq!(g.weight_ids(NodeId(5), nid), wsl[pos]);
+        }
+    }
+
+    #[test]
+    fn footnote3_weight_changes() {
+        // prev: (0,1,w=2), (0,2,w=1); curr: (0,1,w=3), (0,3,w=4)
+        let prev = ws(&[(0, 1, 2.0), (0, 2, 1.0)]);
+        let curr = ws(&[(0, 1, 3.0), (0, 3, 4.0)]);
+        // |3-2| (changed) + |4-0| (new) + |1| (vanished neighbour 2) = 6
+        let change = weighted_node_change(&prev, &curr, NodeId(0));
+        assert!((change - 6.0).abs() < 1e-12, "got {change}");
+    }
+
+    #[test]
+    fn footnote3_zero_for_identical() {
+        let a = ws(&[(0, 1, 2.0), (1, 2, 1.0)]);
+        for id in [0u32, 1, 2] {
+            assert_eq!(weighted_node_change(&a, &a, NodeId(id)), 0.0);
+        }
+    }
+
+    #[test]
+    fn footnote3_reduces_to_unweighted_count() {
+        // With all weights 1, the weighted change equals the symmetric
+        // difference of neighbour sets (the unweighted Eq. 3).
+        let prev = ws(&[(0, 1, 1.0), (0, 2, 1.0)]);
+        let curr = ws(&[(0, 2, 1.0), (0, 3, 1.0)]);
+        let change = weighted_node_change(&prev, &curr, NodeId(0));
+        assert_eq!(change, 2.0); // lost 1, gained 3
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_rejected() {
+        WeightedEdge::new(NodeId(0), NodeId(1), 0.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the graph substrate.
+
+use glodyne_graph::id::{Edge, NodeId};
+use glodyne_graph::{components, diff::SnapshotDiff, Snapshot};
+use proptest::prelude::*;
+
+fn arb_edges(max_node: u32, max_edges: usize) -> impl Strategy<Value = Vec<Edge>> {
+    prop::collection::vec((0..max_node, 0..max_node), 0..max_edges).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| Edge::new(NodeId(a), NodeId(b)))
+            .collect()
+    })
+}
+
+proptest! {
+    /// CSR round-trips the deduplicated canonical edge set.
+    #[test]
+    fn csr_round_trips_edges(edges in arb_edges(40, 120)) {
+        let g = Snapshot::from_edges(&edges, &[]);
+        let mut want = edges.clone();
+        want.sort_unstable();
+        want.dedup();
+        let mut got: Vec<Edge> = g.edges().collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Handshake lemma: sum of degrees equals twice the edge count.
+    #[test]
+    fn handshake_lemma(edges in arb_edges(40, 120)) {
+        let g = Snapshot::from_edges(&edges, &[]);
+        let degsum: usize = (0..g.num_nodes()).map(|i| g.degree(i)).sum();
+        prop_assert_eq!(degsum, 2 * g.num_edges());
+    }
+
+    /// Component labels cover every node, and every edge joins same-label
+    /// endpoints.
+    #[test]
+    fn components_are_consistent(edges in arb_edges(30, 80)) {
+        let g = Snapshot::from_edges(&edges, &[]);
+        let (labels, k) = components::connected_components(&g);
+        prop_assert_eq!(labels.len(), g.num_nodes());
+        for &l in &labels {
+            prop_assert!((l as usize) < k);
+        }
+        for a in 0..g.num_nodes() {
+            for &b in g.neighbors(a) {
+                prop_assert_eq!(labels[a], labels[b as usize]);
+            }
+        }
+    }
+
+    /// LCC is connected and at least as large as any other component.
+    #[test]
+    fn lcc_is_largest(edges in arb_edges(30, 60)) {
+        let g = Snapshot::from_edges(&edges, &[]);
+        let lcc = components::largest_connected_component(&g);
+        let (_, k) = components::connected_components(&lcc);
+        prop_assert!(k <= 1);
+        let (labels, kg) = components::connected_components(&g);
+        let mut sizes = vec![0usize; kg];
+        for &l in &labels { sizes[l as usize] += 1; }
+        let max = sizes.iter().copied().max().unwrap_or(0);
+        prop_assert_eq!(lcc.num_nodes(), max);
+    }
+
+    /// Diff of a snapshot with itself is empty; diff change counts equal
+    /// the neighbour-set symmetric difference (Eq. 3 equivalence).
+    #[test]
+    fn diff_matches_set_ops(e1 in arb_edges(25, 50), e2 in arb_edges(25, 50)) {
+        let a = Snapshot::from_edges(&e1, &[]);
+        let b = Snapshot::from_edges(&e2, &[]);
+        let d = SnapshotDiff::compute(&a, &b);
+        prop_assert!(SnapshotDiff::compute(&a, &a).is_empty());
+        let mut all_ids: Vec<NodeId> = a.node_ids().iter().chain(b.node_ids()).copied().collect();
+        all_ids.sort_unstable();
+        all_ids.dedup();
+        for id in all_ids {
+            let sa: std::collections::BTreeSet<_> = a.neighbor_ids(id).into_iter().collect();
+            let sb: std::collections::BTreeSet<_> = b.neighbor_ids(id).into_iter().collect();
+            let sym = sa.symmetric_difference(&sb).count() as u32;
+            prop_assert_eq!(d.node_change(id), sym);
+        }
+    }
+
+    /// Added and removed edge sets are disjoint and correctly oriented.
+    #[test]
+    fn diff_edge_sets_disjoint(e1 in arb_edges(20, 40), e2 in arb_edges(20, 40)) {
+        let a = Snapshot::from_edges(&e1, &[]);
+        let b = Snapshot::from_edges(&e2, &[]);
+        let d = SnapshotDiff::compute(&a, &b);
+        for e in &d.added {
+            prop_assert!(b.has_edge_ids(e.u, e.v));
+            prop_assert!(!a.has_edge_ids(e.u, e.v));
+        }
+        for e in &d.removed {
+            prop_assert!(a.has_edge_ids(e.u, e.v));
+            prop_assert!(!b.has_edge_ids(e.u, e.v));
+        }
+    }
+}

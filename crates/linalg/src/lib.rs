@@ -1,0 +1,25 @@
+//! Minimal dense linear algebra and classical-ML substrates.
+//!
+//! The GloDyNE evaluation protocol needs several numerical tools beyond
+//! the embedding itself, and two baselines need small neural components:
+//!
+//! - [`matrix`] — dense row-major `f64` matrices with the handful of
+//!   operations the rest of the workspace uses.
+//! - [`pca`] — principal component analysis via power iteration with
+//!   deflation (Figure 5's 128→2-D projection).
+//! - [`logreg`] — one-vs-rest L2-regularised logistic regression (the
+//!   node-classification downstream task, §5.2.3).
+//! - [`mlp`] — a small fully-connected autoencoder with SGD (substrate
+//!   for the DynGEM baseline).
+//! - [`rnn`] — a vanilla tanh RNN cell with truncated BPTT (substrate
+//!   for the tNE baseline).
+//!
+//! Everything is implemented from scratch on `std`; no BLAS.
+
+pub mod logreg;
+pub mod matrix;
+pub mod mlp;
+pub mod pca;
+pub mod rnn;
+
+pub use matrix::Matrix;

@@ -1,0 +1,234 @@
+//! One-vs-rest L2-regularised logistic regression.
+//!
+//! The node-classification task (§5.2.3) trains "a one-vs-rest logistic
+//! regression classifier based on their embeddings and labels". Trained
+//! with mini-batch-free SGD over shuffled epochs; good enough for the
+//! 128-dimensional inputs the protocol uses.
+
+use crate::matrix::{sigmoid, Matrix};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct LogRegConfig {
+    /// SGD epochs.
+    pub epochs: usize,
+    /// Initial learning rate (decays linearly to 10%).
+    pub learning_rate: f64,
+    /// L2 regularisation strength.
+    pub l2: f64,
+    /// Shuffle / init seed.
+    pub seed: u64,
+}
+
+impl Default for LogRegConfig {
+    fn default() -> Self {
+        LogRegConfig {
+            epochs: 60,
+            learning_rate: 0.1,
+            l2: 1e-4,
+            seed: 0,
+        }
+    }
+}
+
+/// A trained one-vs-rest classifier over `num_classes` labels.
+#[derive(Debug, Clone)]
+pub struct OneVsRest {
+    /// Per-class weight vectors (`num_classes × d`).
+    weights: Matrix,
+    /// Per-class biases.
+    biases: Vec<f64>,
+}
+
+impl OneVsRest {
+    /// Train on `x` (`n × d`) with integer labels `y` in `0..num_classes`.
+    pub fn train(x: &Matrix, y: &[usize], num_classes: usize, cfg: &LogRegConfig) -> Self {
+        assert_eq!(x.rows(), y.len(), "feature/label count mismatch");
+        assert!(num_classes >= 2, "need at least two classes");
+        let n = x.rows();
+        let d = x.cols();
+        let mut weights = Matrix::zeros(num_classes, d);
+        let mut biases = vec![0.0; num_classes];
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let mut order: Vec<usize> = (0..n).collect();
+
+        for class in 0..num_classes {
+            for epoch in 0..cfg.epochs {
+                let lr = cfg.learning_rate
+                    * (1.0 - 0.9 * epoch as f64 / cfg.epochs.max(1) as f64);
+                order.shuffle(&mut rng);
+                for &i in &order {
+                    let target = if y[i] == class { 1.0 } else { 0.0 };
+                    let xi = x.row(i);
+                    let w = weights.row(class);
+                    let z: f64 = w.iter().zip(xi).map(|(a, b)| a * b).sum::<f64>() + biases[class];
+                    let p = sigmoid(z);
+                    let err = p - target;
+                    let wm = weights.row_mut(class);
+                    for (wj, &xj) in wm.iter_mut().zip(xi) {
+                        *wj -= lr * (err * xj + cfg.l2 * *wj);
+                    }
+                    biases[class] -= lr * err;
+                }
+            }
+        }
+        OneVsRest { weights, biases }
+    }
+
+    /// Per-class scores (pre-sigmoid logits) for one sample.
+    pub fn scores(&self, x: &[f64]) -> Vec<f64> {
+        (0..self.weights.rows())
+            .map(|c| {
+                self.weights
+                    .row(c)
+                    .iter()
+                    .zip(x)
+                    .map(|(a, b)| a * b)
+                    .sum::<f64>()
+                    + self.biases[c]
+            })
+            .collect()
+    }
+
+    /// Most likely class for one sample.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        let s = self.scores(x);
+        s.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap()
+    }
+
+    /// Predict a batch.
+    pub fn predict_batch(&self, x: &Matrix) -> Vec<usize> {
+        (0..x.rows()).map(|i| self.predict(x.row(i))).collect()
+    }
+}
+
+/// Micro-F1: global precision==recall==accuracy in single-label
+/// multi-class settings.
+pub fn micro_f1(truth: &[usize], pred: &[usize]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let correct = truth.iter().zip(pred).filter(|(t, p)| t == p).count();
+    correct as f64 / truth.len() as f64
+}
+
+/// Macro-F1: unweighted mean of per-class F1 over classes present in the
+/// ground truth.
+pub fn macro_f1(truth: &[usize], pred: &[usize], num_classes: usize) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    let mut tp = vec![0usize; num_classes];
+    let mut fp = vec![0usize; num_classes];
+    let mut fnn = vec![0usize; num_classes];
+    for (&t, &p) in truth.iter().zip(pred) {
+        if t == p {
+            tp[t] += 1;
+        } else {
+            fp[p] += 1;
+            fnn[t] += 1;
+        }
+    }
+    let mut sum = 0.0;
+    let mut present = 0;
+    for c in 0..num_classes {
+        if tp[c] + fnn[c] == 0 {
+            continue; // class absent from ground truth
+        }
+        present += 1;
+        let denom = 2 * tp[c] + fp[c] + fnn[c];
+        if denom > 0 {
+            sum += 2.0 * tp[c] as f64 / denom as f64;
+        }
+    }
+    if present == 0 {
+        0.0
+    } else {
+        sum / present as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// Two well-separated Gaussian-ish blobs.
+    fn blobs(n_per: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for class in 0..2 {
+            let cx = if class == 0 { -2.0 } else { 2.0 };
+            for _ in 0..n_per {
+                data.push(cx + rng.gen_range(-0.5..0.5));
+                data.push(cx + rng.gen_range(-0.5..0.5));
+                labels.push(class);
+            }
+        }
+        (Matrix::from_vec(2 * n_per, 2, data), labels)
+    }
+
+    #[test]
+    fn separable_blobs_are_learned() {
+        let (x, y) = blobs(40, 1);
+        let model = OneVsRest::train(&x, &y, 2, &LogRegConfig::default());
+        let pred = model.predict_batch(&x);
+        assert!(micro_f1(&y, &pred) > 0.98, "micro f1 {}", micro_f1(&y, &pred));
+    }
+
+    #[test]
+    fn three_class_one_vs_rest() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        let centers = [(-3.0, 0.0), (3.0, 0.0), (0.0, 3.0)];
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..30 {
+                data.push(cx + rng.gen_range(-0.4..0.4));
+                data.push(cy + rng.gen_range(-0.4..0.4));
+                labels.push(c);
+            }
+        }
+        let x = Matrix::from_vec(90, 2, data);
+        let model = OneVsRest::train(&x, &labels, 3, &LogRegConfig::default());
+        let pred = model.predict_batch(&x);
+        assert!(macro_f1(&labels, &pred, 3) > 0.95);
+    }
+
+    #[test]
+    fn micro_f1_is_accuracy() {
+        assert_eq!(micro_f1(&[0, 1, 1, 0], &[0, 1, 0, 0]), 0.75);
+        assert_eq!(micro_f1(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn macro_f1_hand_computed() {
+        // truth: [0,0,1], pred: [0,1,1]
+        // class 0: tp=1 fp=0 fn=1 -> F1 = 2/3
+        // class 1: tp=1 fp=1 fn=0 -> F1 = 2/3
+        let m = macro_f1(&[0, 0, 1], &[0, 1, 1], 2);
+        assert!((m - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_f1_ignores_absent_classes() {
+        // class 2 never in truth: it must not dilute the mean
+        let m = macro_f1(&[0, 1], &[0, 1], 3);
+        assert_eq!(m, 1.0);
+    }
+
+    #[test]
+    fn macro_le_micro_under_imbalance() {
+        // Heavily imbalanced truth with errors on the minority class.
+        let truth = vec![0, 0, 0, 0, 0, 0, 0, 0, 1, 1];
+        let pred = vec![0, 0, 0, 0, 0, 0, 0, 0, 0, 1];
+        assert!(macro_f1(&truth, &pred, 2) < micro_f1(&truth, &pred));
+    }
+}

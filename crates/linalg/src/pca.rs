@@ -1,0 +1,191 @@
+//! Principal component analysis via power iteration with deflation.
+//!
+//! Figure 5 of the paper projects 128-dimensional embeddings to 2-D with
+//! PCA to visualise how embeddings drift across consecutive time steps.
+
+use crate::matrix::{axpy, dot, norm, Matrix};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Result of a PCA fit: the top-`k` components and data mean.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Component matrix, `k × d`, rows are unit-norm principal axes.
+    pub components: Matrix,
+    /// Column means of the training data, length `d`.
+    pub mean: Vec<f64>,
+    /// Eigenvalues (variances) of the retained components.
+    pub explained_variance: Vec<f64>,
+}
+
+/// Fit a `k`-component PCA on `data` (`n × d`) using power iteration
+/// with Hotelling deflation on the covariance matrix.
+pub fn fit(data: &Matrix, k: usize, seed: u64) -> Pca {
+    let n = data.rows();
+    let d = data.cols();
+    assert!(n > 0 && d > 0, "PCA needs non-empty data");
+    let k = k.min(d);
+
+    // Column means.
+    let mut mean = vec![0.0; d];
+    for i in 0..n {
+        axpy(1.0, data.row(i), &mut mean);
+    }
+    for m in mean.iter_mut() {
+        *m /= n as f64;
+    }
+
+    // Covariance (d × d). d is small (<= a few hundred) in our usage.
+    let mut cov = Matrix::zeros(d, d);
+    let mut centered = vec![0.0; d];
+    for i in 0..n {
+        for (j, &x) in data.row(i).iter().enumerate() {
+            centered[j] = x - mean[j];
+        }
+        for a in 0..d {
+            let ca = centered[a];
+            if ca == 0.0 {
+                continue;
+            }
+            let row = cov.row_mut(a);
+            for b in 0..d {
+                row[b] += ca * centered[b];
+            }
+        }
+    }
+    let denom = (n.max(2) - 1) as f64;
+    for a in 0..d {
+        for b in 0..d {
+            cov[(a, b)] /= denom;
+        }
+    }
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut components = Matrix::zeros(k, d);
+    let mut explained = Vec::with_capacity(k);
+    for comp in 0..k {
+        let mut v: Vec<f64> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut lambda = 0.0;
+        for _ in 0..200 {
+            let mut w = cov.matvec(&v);
+            let nw = norm(&w);
+            if nw < 1e-12 {
+                // Degenerate direction: restart with a fresh random vector.
+                w = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            }
+            let nw = norm(&w).max(1e-12);
+            for x in w.iter_mut() {
+                *x /= nw;
+            }
+            let new_lambda = dot(&w, &cov.matvec(&w));
+            let delta = (new_lambda - lambda).abs();
+            v = w;
+            lambda = new_lambda;
+            if delta < 1e-10 {
+                break;
+            }
+        }
+        components.row_mut(comp).copy_from_slice(&v);
+        explained.push(lambda.max(0.0));
+        // Deflate: cov -= λ v vᵀ
+        for a in 0..d {
+            for b in 0..d {
+                cov[(a, b)] -= lambda * v[a] * v[b];
+            }
+        }
+    }
+
+    Pca {
+        components,
+        mean,
+        explained_variance: explained,
+    }
+}
+
+impl Pca {
+    /// Project `data` (`n × d`) onto the fitted components (`n × k`).
+    pub fn transform(&self, data: &Matrix) -> Matrix {
+        let n = data.rows();
+        let d = data.cols();
+        assert_eq!(d, self.mean.len(), "dimension mismatch");
+        let k = self.components.rows();
+        let mut out = Matrix::zeros(n, k);
+        let mut centered = vec![0.0; d];
+        for i in 0..n {
+            for (j, &x) in data.row(i).iter().enumerate() {
+                centered[j] = x - self.mean[j];
+            }
+            for c in 0..k {
+                out[(i, c)] = dot(&centered, self.components.row(c));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Data along the direction (1,1)/√2 with small orthogonal noise.
+    fn line_data() -> Matrix {
+        let mut data = Vec::new();
+        for i in 0..50 {
+            let t = i as f64 / 5.0 - 5.0;
+            let noise = if i % 2 == 0 { 0.01 } else { -0.01 };
+            data.push(t + noise);
+            data.push(t - noise);
+        }
+        Matrix::from_vec(50, 2, data)
+    }
+
+    #[test]
+    fn first_component_follows_dominant_direction() {
+        let pca = fit(&line_data(), 1, 0);
+        let c = pca.components.row(0);
+        let expected = 1.0 / 2f64.sqrt();
+        assert!(
+            (c[0].abs() - expected).abs() < 0.05 && (c[1].abs() - expected).abs() < 0.05,
+            "component {c:?} not along (1,1)"
+        );
+        // both coordinates share a sign (direction (1,1) or (-1,-1))
+        assert!(c[0] * c[1] > 0.0);
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let pca = fit(&line_data(), 2, 1);
+        let c0 = pca.components.row(0);
+        let c1 = pca.components.row(1);
+        assert!((norm(c0) - 1.0).abs() < 1e-6);
+        assert!((norm(c1) - 1.0).abs() < 1e-6);
+        assert!(dot(c0, c1).abs() < 1e-4, "components not orthogonal");
+    }
+
+    #[test]
+    fn explained_variance_is_sorted() {
+        let pca = fit(&line_data(), 2, 2);
+        assert!(pca.explained_variance[0] >= pca.explained_variance[1]);
+        assert!(pca.explained_variance[0] > 1.0, "dominant direction has real variance");
+        assert!(pca.explained_variance[1] < 0.1, "noise direction is tiny");
+    }
+
+    #[test]
+    fn transform_centers_data() {
+        let data = line_data();
+        let pca = fit(&data, 2, 3);
+        let proj = pca.transform(&data);
+        // projected data should have ~zero mean per component
+        for c in 0..2 {
+            let mean: f64 = (0..proj.rows()).map(|i| proj[(i, c)]).sum::<f64>() / proj.rows() as f64;
+            assert!(mean.abs() < 1e-8, "component {c} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn k_clamped_to_dimension() {
+        let pca = fit(&line_data(), 10, 4);
+        assert_eq!(pca.components.rows(), 2);
+    }
+}

@@ -1,0 +1,183 @@
+//! A vanilla tanh RNN cell with truncated backpropagation through time —
+//! the substrate for the tNE baseline (§5.1.2), which "exploits the
+//! temporal dependence among all available static node embeddings using
+//! Recurrent Neural Networks".
+
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// A single-layer Elman RNN: `h_t = tanh(W_x x_t + W_h h_{t-1} + b)`,
+/// with a linear readout `y = W_o h_T`.
+#[derive(Debug, Clone)]
+pub struct Rnn {
+    /// Input→hidden weights (`hidden × input`).
+    pub wx: Matrix,
+    /// Hidden→hidden weights (`hidden × hidden`).
+    pub wh: Matrix,
+    /// Hidden bias.
+    pub b: Vec<f64>,
+    /// Hidden→output weights (`output × hidden`).
+    pub wo: Matrix,
+}
+
+impl Rnn {
+    /// Initialise with small random weights.
+    pub fn new(input: usize, hidden: usize, output: usize, rng: &mut impl Rng) -> Self {
+        let sx = (1.0 / input as f64).sqrt();
+        let sh = (1.0 / hidden as f64).sqrt();
+        Rnn {
+            wx: Matrix::random(hidden, input, sx, rng),
+            wh: Matrix::random(hidden, hidden, sh, rng),
+            b: vec![0.0; hidden],
+            wo: Matrix::random(output, hidden, sh, rng),
+        }
+    }
+
+    fn step(&self, x: &[f64], h_prev: &[f64]) -> Vec<f64> {
+        let hidden = self.b.len();
+        (0..hidden)
+            .map(|i| {
+                let zx: f64 = self.wx.row(i).iter().zip(x).map(|(a, b)| a * b).sum();
+                let zh: f64 = self.wh.row(i).iter().zip(h_prev).map(|(a, b)| a * b).sum();
+                (zx + zh + self.b[i]).tanh()
+            })
+            .collect()
+    }
+
+    /// Run the sequence and return the readout of the final hidden state.
+    pub fn forward(&self, sequence: &[Vec<f64>]) -> Vec<f64> {
+        let mut h = vec![0.0; self.b.len()];
+        for x in sequence {
+            h = self.step(x, &h);
+        }
+        self.wo.matvec(&h)
+    }
+
+    /// One SGD step on squared error between `forward(sequence)` and
+    /// `target`, backpropagating through (at most) the full sequence.
+    /// Returns the loss before the update.
+    pub fn train_step(&mut self, sequence: &[Vec<f64>], target: &[f64], lr: f64) -> f64 {
+        let hidden = self.b.len();
+        // Forward, retaining hidden states.
+        let mut hs: Vec<Vec<f64>> = Vec::with_capacity(sequence.len() + 1);
+        hs.push(vec![0.0; hidden]);
+        for x in sequence {
+            let h = self.step(x, hs.last().unwrap());
+            hs.push(h);
+        }
+        let h_final = hs.last().unwrap().clone();
+        let y = self.wo.matvec(&h_final);
+        let err: Vec<f64> = y.iter().zip(target).map(|(a, b)| a - b).collect();
+        let loss: f64 = err.iter().map(|e| e * e).sum();
+
+        // Readout gradient and initial hidden delta.
+        let mut dh: Vec<f64> = (0..hidden)
+            .map(|i| (0..err.len()).map(|o| err[o] * self.wo[(o, i)]).sum())
+            .collect();
+        for o in 0..err.len() {
+            let row = self.wo.row_mut(o);
+            for (wi, &hi) in row.iter_mut().zip(&h_final) {
+                *wi -= lr * err[o] * hi;
+            }
+        }
+
+        // BPTT.
+        for t in (0..sequence.len()).rev() {
+            let h_t = &hs[t + 1];
+            let h_prev = &hs[t];
+            let x_t = &sequence[t];
+            // dz = dh ⊙ (1 − h²)
+            let dz: Vec<f64> = dh
+                .iter()
+                .zip(h_t)
+                .map(|(&d, &h)| d * (1.0 - h * h))
+                .collect();
+            // Next dh (through W_h), computed before the update.
+            let dh_prev: Vec<f64> = (0..hidden)
+                .map(|j| (0..hidden).map(|i| dz[i] * self.wh[(i, j)]).sum())
+                .collect();
+            for i in 0..hidden {
+                let d = dz[i];
+                let rx = self.wx.row_mut(i);
+                for (wi, &xi) in rx.iter_mut().zip(x_t) {
+                    *wi -= lr * d * xi;
+                }
+                let rh = self.wh.row_mut(i);
+                for (wi, &hi) in rh.iter_mut().zip(h_prev) {
+                    *wi -= lr * d * hi;
+                }
+                self.b[i] -= lr * d;
+            }
+            dh = dh_prev;
+        }
+        loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn learns_to_output_last_input() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut rnn = Rnn::new(2, 8, 2, &mut rng);
+        let seqs = [
+            vec![vec![0.2, -0.1], vec![0.9, 0.3]],
+            vec![vec![-0.4, 0.5], vec![-0.2, -0.8]],
+            vec![vec![0.0, 0.0], vec![0.5, 0.5]],
+        ];
+        let mut last_loss = f64::INFINITY;
+        for epoch in 0..3000 {
+            let mut total = 0.0;
+            for seq in &seqs {
+                let target = seq.last().unwrap().clone();
+                total += rnn.train_step(seq, &target, 0.05);
+            }
+            if epoch == 0 {
+                last_loss = total;
+            }
+        }
+        let mut final_total = 0.0;
+        for seq in &seqs {
+            let target = seq.last().unwrap().clone();
+            let out = rnn.forward(seq);
+            final_total += out
+                .iter()
+                .zip(&target)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>();
+        }
+        assert!(
+            final_total < last_loss * 0.2,
+            "loss {final_total} vs initial {last_loss}"
+        );
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let rnn = Rnn::new(3, 4, 2, &mut rng);
+        let seq = vec![vec![0.1, 0.2, 0.3], vec![-0.1, 0.0, 0.4]];
+        assert_eq!(rnn.forward(&seq), rnn.forward(&seq));
+    }
+
+    #[test]
+    fn hidden_state_depends_on_history() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let rnn = Rnn::new(1, 4, 1, &mut rng);
+        let a = rnn.forward(&[vec![1.0], vec![0.0]]);
+        let b = rnn.forward(&[vec![-1.0], vec![0.0]]);
+        assert_ne!(a, b, "different histories must lead to different outputs");
+    }
+
+    #[test]
+    fn empty_sequence_gives_zero_state_readout() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let rnn = Rnn::new(2, 3, 2, &mut rng);
+        let y = rnn.forward(&[]);
+        assert_eq!(y, vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,69 @@
+//! Property tests for the multilevel partitioner: Definition 5 invariants.
+
+use glodyne_graph::id::{Edge, NodeId};
+use glodyne_graph::Snapshot;
+use glodyne_partition::{partition, PartitionConfig};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Snapshot> {
+    prop::collection::vec((0u32..60, 0u32..60), 1..200).prop_map(|pairs| {
+        let edges: Vec<Edge> = pairs
+            .into_iter()
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| Edge::new(NodeId(a), NodeId(b)))
+            .collect();
+        Snapshot::from_edges(&edges, &[])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Non-overlapping and covering: every node gets exactly one part id
+    /// in range (V = ∪_k V_k, V_m ∩ V_n = ∅).
+    #[test]
+    fn partition_is_a_cover((g, k) in (arb_graph(), 1usize..12)) {
+        let p = partition(&g, &PartitionConfig::with_k(k));
+        prop_assert_eq!(p.assignment.len(), g.num_nodes());
+        for &part in &p.assignment {
+            prop_assert!((part as usize) < p.k.max(1));
+        }
+    }
+
+    /// Every part is non-empty (needed so Step 2 can select one
+    /// representative per sub-network).
+    #[test]
+    fn parts_are_non_empty((g, k) in (arb_graph(), 1usize..12)) {
+        let p = partition(&g, &PartitionConfig::with_k(k));
+        if g.num_nodes() > 0 {
+            for (i, part) in p.parts().iter().enumerate() {
+                prop_assert!(!part.is_empty(), "part {i} empty with k={}", p.k);
+            }
+        }
+    }
+
+    /// Balance: no part exceeds (1+ε)|V|/K by more than integer rounding.
+    #[test]
+    fn balance_bound_holds((g, k) in (arb_graph(), 2usize..10)) {
+        let eps = 0.2;
+        let cfg = PartitionConfig { k, epsilon: eps, ..Default::default() };
+        let p = partition(&g, &cfg);
+        let n = g.num_nodes();
+        if n >= p.k && p.k > 1 {
+            let bound = ((1.0 + eps) * n as f64 / p.k as f64).ceil() as usize + 1;
+            for part in p.parts() {
+                prop_assert!(part.len() <= bound,
+                    "part size {} > bound {bound} (n={n}, k={})", part.len(), p.k);
+            }
+        }
+    }
+
+    /// Determinism: identical config and graph produce identical output.
+    #[test]
+    fn deterministic((g, k) in (arb_graph(), 1usize..8)) {
+        let cfg = PartitionConfig::with_k(k);
+        let p1 = partition(&g, &cfg);
+        let p2 = partition(&g, &cfg);
+        prop_assert_eq!(p1.assignment, p2.assignment);
+    }
+}

@@ -1,0 +1,17 @@
+//! Downstream evaluation tasks (§5.2): the embedding-quality yardsticks
+//! applied identically to every method.
+//!
+//! - [`gr`] — Graph Reconstruction, MeanP@k (§5.2.1; Table 1, Figures
+//!   3/4, Table 5, Figure 6).
+//! - [`lp`] — dynamic Link Prediction, AUC (§5.2.2; Table 2, Figure 2).
+//! - [`nc`] — Node Classification, Micro/Macro-F1 (§5.2.3; Table 3).
+//! - [`stability`] — embedding-drift metrics behind the Figure 5
+//!   visualisation (absolute/relative position preservation).
+//! - [`stats`] — mean/std aggregation used by every table ("mean with
+//!   its standard deviation over 20 runs").
+
+pub mod gr;
+pub mod lp;
+pub mod nc;
+pub mod stability;
+pub mod stats;

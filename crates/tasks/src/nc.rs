@@ -1,0 +1,169 @@
+//! Node Classification (§5.2.3).
+//!
+//! "50%, 70%, and 90% nodes are randomly picked respectively to train a
+//! one-vs-rest logistic regression classifier based on their embeddings
+//! and labels. The left nodes respectively are treated as the testing
+//! set ... evaluated by Micro-F1 and Macro-F1."
+
+use glodyne_embed::Embedding;
+use glodyne_graph::{NodeId, Snapshot};
+use glodyne_linalg::logreg::{macro_f1, micro_f1, LogRegConfig, OneVsRest};
+use glodyne_linalg::Matrix;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// Micro-F1 and Macro-F1 of one classification run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct F1Scores {
+    /// Micro-averaged F1 (accuracy in the single-label case).
+    pub micro: f64,
+    /// Macro-averaged F1 over classes present in the test split.
+    pub macro_: f64,
+}
+
+/// Run the NC protocol on one snapshot: random `train_ratio` split,
+/// one-vs-rest logistic regression on embeddings, F1 on the rest.
+/// Nodes lacking an embedding or label are skipped (new nodes a method
+/// failed to embed simply cannot be classified).
+pub fn node_classification(
+    emb: &Embedding,
+    snapshot: &Snapshot,
+    labels: &HashMap<NodeId, usize>,
+    num_classes: usize,
+    train_ratio: f64,
+    seed: u64,
+) -> F1Scores {
+    assert!((0.0..1.0).contains(&train_ratio) && train_ratio > 0.0);
+    // Usable nodes: embedded and labelled.
+    let mut usable: Vec<NodeId> = snapshot
+        .node_ids()
+        .iter()
+        .copied()
+        .filter(|id| emb.get(*id).is_some() && labels.contains_key(id))
+        .collect();
+    if usable.len() < 4 {
+        return F1Scores {
+            micro: 0.0,
+            macro_: 0.0,
+        };
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    usable.shuffle(&mut rng);
+    let n_train = ((usable.len() as f64 * train_ratio).round() as usize)
+        .clamp(1, usable.len() - 1);
+    let (train_ids, test_ids) = usable.split_at(n_train);
+
+    let dim = emb.dim();
+    let to_matrix = |ids: &[NodeId]| {
+        let mut data = Vec::with_capacity(ids.len() * dim);
+        for id in ids {
+            data.extend(emb.get(*id).unwrap().iter().map(|&x| x as f64));
+        }
+        Matrix::from_vec(ids.len(), dim, data)
+    };
+    let x_train = to_matrix(train_ids);
+    let y_train: Vec<usize> = train_ids.iter().map(|id| labels[id]).collect();
+    let x_test = to_matrix(test_ids);
+    let y_test: Vec<usize> = test_ids.iter().map(|id| labels[id]).collect();
+
+    let cfg = LogRegConfig {
+        epochs: 40,
+        seed,
+        ..Default::default()
+    };
+    let model = OneVsRest::train(&x_train, &y_train, num_classes, &cfg);
+    let pred = model.predict_batch(&x_test);
+    F1Scores {
+        micro: micro_f1(&y_test, &pred),
+        macro_: macro_f1(&y_test, &pred, num_classes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glodyne_graph::id::Edge;
+    use rand::Rng;
+
+    /// Snapshot of two cliques, embeddings separating them, labels by
+    /// clique membership.
+    fn fixture() -> (Embedding, Snapshot, HashMap<NodeId, usize>) {
+        let mut edges = Vec::new();
+        for c in 0..2u32 {
+            let base = c * 10;
+            for i in 0..10 {
+                for j in (i + 1)..10 {
+                    edges.push(Edge::new(NodeId(base + i), NodeId(base + j)));
+                }
+            }
+        }
+        edges.push(Edge::new(NodeId(0), NodeId(10)));
+        let g = Snapshot::from_edges(&edges, &[]);
+        let mut emb = Embedding::new(4);
+        let mut labels = HashMap::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for v in 0..20u32 {
+            let class = (v / 10) as usize;
+            let center = if class == 0 { 1.0f32 } else { -1.0 };
+            let vec: Vec<f32> = (0..4)
+                .map(|_| center + rng.gen_range(-0.2..0.2))
+                .collect();
+            emb.set(NodeId(v), &vec);
+            labels.insert(NodeId(v), class);
+        }
+        (emb, g, labels)
+    }
+
+    #[test]
+    fn separable_labels_classified_well() {
+        let (emb, g, labels) = fixture();
+        let f1 = node_classification(&emb, &g, &labels, 2, 0.5, 0);
+        assert!(f1.micro > 0.9, "micro {}", f1.micro);
+        assert!(f1.macro_ > 0.9, "macro {}", f1.macro_);
+    }
+
+    #[test]
+    fn higher_train_ratio_not_worse_on_average() {
+        let (emb, g, labels) = fixture();
+        let lo = node_classification(&emb, &g, &labels, 2, 0.5, 1);
+        let hi = node_classification(&emb, &g, &labels, 2, 0.9, 1);
+        // easy data: both near-perfect; sanity check bounds only
+        assert!(lo.micro <= 1.0 && hi.micro <= 1.0);
+        assert!(lo.micro >= 0.0 && hi.micro >= 0.0);
+    }
+
+    #[test]
+    fn unembedded_nodes_are_skipped_gracefully() {
+        let (emb, g, labels) = fixture();
+        let mut partial = Embedding::new(4);
+        for v in 0..12u32 {
+            partial.set(NodeId(v), emb.get(NodeId(v)).unwrap());
+        }
+        let f1 = node_classification(&partial, &g, &labels, 2, 0.5, 2);
+        assert!(f1.micro >= 0.0 && f1.micro <= 1.0);
+    }
+
+    #[test]
+    fn too_few_usable_nodes_returns_zero() {
+        let g = Snapshot::from_edges(&[Edge::new(NodeId(0), NodeId(1))], &[]);
+        let emb = Embedding::new(2);
+        let labels = HashMap::new();
+        let f1 = node_classification(&emb, &g, &labels, 2, 0.5, 3);
+        assert_eq!(f1.micro, 0.0);
+    }
+
+    #[test]
+    fn random_embeddings_score_near_chance() {
+        let (_, g, labels) = fixture();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut emb = Embedding::new(4);
+        for v in 0..20u32 {
+            let vec: Vec<f32> = (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            emb.set(NodeId(v), &vec);
+        }
+        let f1 = node_classification(&emb, &g, &labels, 2, 0.5, 5);
+        assert!(f1.micro < 0.95, "random features shouldn't be near-perfect");
+    }
+}

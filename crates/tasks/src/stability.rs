@@ -1,0 +1,174 @@
+//! Embedding-drift metrics behind the Figure 5 visualisation.
+//!
+//! Figure 5 shows that "GloDyNE keeps not only the relative position but
+//! also the absolute position of node embeddings between two consecutive
+//! time steps, whereas SGNS-retrain cannot keep the absolute position
+//! (notice the rotation of the 'v' shape)". We quantify that:
+//!
+//! - [`absolute_drift`] — mean Euclidean distance between a common
+//!   node's vectors at consecutive steps (absolute-position change);
+//! - [`rotation_angle_2d`] — the optimal rigid-rotation angle aligning
+//!   two 2-D projections (the "rotation of the 'v' shape");
+//! - [`project_2d`] — the PCA 128→2 projection used by the figure.
+
+use glodyne_embed::Embedding;
+use glodyne_graph::NodeId;
+use glodyne_linalg::{pca, Matrix};
+
+/// Mean L2 distance between the embeddings of nodes present in both
+/// steps. Returns `None` when there is no common node.
+pub fn absolute_drift(prev: &Embedding, curr: &Embedding) -> Option<f64> {
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    for (id, v_prev) in prev.iter() {
+        if let Some(v_curr) = curr.get(id) {
+            let d: f64 = v_prev
+                .iter()
+                .zip(v_curr)
+                .map(|(&a, &b)| ((a - b) as f64).powi(2))
+                .sum::<f64>()
+                .sqrt();
+            total += d;
+            count += 1;
+        }
+    }
+    (count > 0).then(|| total / count as f64)
+}
+
+/// PCA-project an embedding to 2-D, returning `(ids, n × 2 matrix)` in a
+/// deterministic id order.
+pub fn project_2d(emb: &Embedding, seed: u64) -> (Vec<NodeId>, Matrix) {
+    let mut ids: Vec<NodeId> = emb.ids().to_vec();
+    ids.sort_unstable();
+    let dim = emb.dim();
+    let mut data = Vec::with_capacity(ids.len() * dim);
+    for id in &ids {
+        data.extend(emb.get(*id).unwrap().iter().map(|&x| x as f64));
+    }
+    let matrix = Matrix::from_vec(ids.len(), dim, data);
+    let fitted = pca::fit(&matrix, 2, seed);
+    (ids, fitted.transform(&matrix))
+}
+
+/// Optimal rigid rotation angle (radians, in `[0, π]`) aligning two 2-D
+/// point clouds over their common ids — the 2-D orthogonal Procrustes
+/// solution `θ* = atan2(Σ(x×y), Σ(x·y))` after centering.
+pub fn rotation_angle_2d(
+    ids_a: &[NodeId],
+    a: &Matrix,
+    ids_b: &[NodeId],
+    b: &Matrix,
+) -> Option<f64> {
+    use std::collections::HashMap;
+    let index_b: HashMap<NodeId, usize> = ids_b.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let common: Vec<(usize, usize)> = ids_a
+        .iter()
+        .enumerate()
+        .filter_map(|(i, id)| index_b.get(id).map(|&j| (i, j)))
+        .collect();
+    if common.len() < 2 {
+        return None;
+    }
+    // Center both clouds on the common subset.
+    let mut ca = [0.0f64; 2];
+    let mut cb = [0.0f64; 2];
+    for &(i, j) in &common {
+        ca[0] += a[(i, 0)];
+        ca[1] += a[(i, 1)];
+        cb[0] += b[(j, 0)];
+        cb[1] += b[(j, 1)];
+    }
+    let n = common.len() as f64;
+    ca[0] /= n;
+    ca[1] /= n;
+    cb[0] /= n;
+    cb[1] /= n;
+    let mut dot = 0.0f64;
+    let mut cross = 0.0f64;
+    for &(i, j) in &common {
+        let ax = a[(i, 0)] - ca[0];
+        let ay = a[(i, 1)] - ca[1];
+        let bx = b[(j, 0)] - cb[0];
+        let by = b[(j, 1)] - cb[1];
+        dot += ax * bx + ay * by;
+        cross += ax * by - ay * bx;
+    }
+    Some(cross.atan2(dot).abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloud(points: &[(f64, f64)]) -> (Vec<NodeId>, Matrix) {
+        let ids: Vec<NodeId> = (0..points.len() as u32).map(NodeId).collect();
+        let mut data = Vec::new();
+        for &(x, y) in points {
+            data.push(x);
+            data.push(y);
+        }
+        (ids, Matrix::from_vec(points.len(), 2, data))
+    }
+
+    #[test]
+    fn zero_drift_for_identical_embeddings() {
+        let mut e = Embedding::new(3);
+        e.set(NodeId(0), &[1.0, 2.0, 3.0]);
+        e.set(NodeId(1), &[-1.0, 0.0, 1.0]);
+        assert_eq!(absolute_drift(&e, &e), Some(0.0));
+    }
+
+    #[test]
+    fn drift_measures_displacement() {
+        let mut a = Embedding::new(2);
+        let mut b = Embedding::new(2);
+        a.set(NodeId(0), &[0.0, 0.0]);
+        b.set(NodeId(0), &[3.0, 4.0]);
+        assert!((absolute_drift(&a, &b).unwrap() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn drift_none_without_common_nodes() {
+        let mut a = Embedding::new(1);
+        let mut b = Embedding::new(1);
+        a.set(NodeId(0), &[1.0]);
+        b.set(NodeId(1), &[1.0]);
+        assert_eq!(absolute_drift(&a, &b), None);
+    }
+
+    #[test]
+    fn rotation_angle_detects_quarter_turn() {
+        let pts = [(1.0, 0.0), (0.0, 1.0), (-1.0, 0.0), (0.0, -1.0), (2.0, 1.0)];
+        let rotated: Vec<(f64, f64)> = pts.iter().map(|&(x, y)| (-y, x)).collect();
+        let (ids_a, a) = cloud(&pts);
+        let (ids_b, b) = cloud(&rotated);
+        let theta = rotation_angle_2d(&ids_a, &a, &ids_b, &b).unwrap();
+        assert!(
+            (theta - std::f64::consts::FRAC_PI_2).abs() < 1e-9,
+            "theta {theta}"
+        );
+    }
+
+    #[test]
+    fn rotation_angle_zero_for_identity_and_translation() {
+        let pts = [(1.0, 0.5), (0.3, -1.0), (-0.7, 0.2), (0.0, 0.9)];
+        let shifted: Vec<(f64, f64)> = pts.iter().map(|&(x, y)| (x + 5.0, y - 2.0)).collect();
+        let (ids_a, a) = cloud(&pts);
+        let (ids_b, b) = cloud(&shifted);
+        let theta = rotation_angle_2d(&ids_a, &a, &ids_b, &b).unwrap();
+        assert!(theta.abs() < 1e-9, "translation must not read as rotation");
+    }
+
+    #[test]
+    fn project_2d_shapes() {
+        let mut e = Embedding::new(8);
+        for v in 0..10u32 {
+            let vec: Vec<f32> = (0..8).map(|k| ((v + k) as f32).sin()).collect();
+            e.set(NodeId(v), &vec);
+        }
+        let (ids, proj) = project_2d(&e, 0);
+        assert_eq!(ids.len(), 10);
+        assert_eq!(proj.rows(), 10);
+        assert_eq!(proj.cols(), 2);
+    }
+}

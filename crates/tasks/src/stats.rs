@@ -1,0 +1,189 @@
+//! Mean/std aggregation and the two-sample t-test used by the paper's
+//! tables ("Two-tailed and two-sample Student's T-Test is applied with
+//! the null hypothesis that there is no statistically significant
+//! difference of the mean over 20 runs between the two best results").
+
+/// Sample mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n−1 denominator; 0 for <2 samples).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Welch's two-sample t statistic and degrees of freedom.
+/// Returns `None` if either sample has fewer than 2 points or both
+/// variances are 0.
+pub fn welch_t(a: &[f64], b: &[f64]) -> Option<(f64, f64)> {
+    if a.len() < 2 || b.len() < 2 {
+        return None;
+    }
+    let (ma, mb) = (mean(a), mean(b));
+    let (va, vb) = (std_dev(a).powi(2), std_dev(b).powi(2));
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let se2 = va / na + vb / nb;
+    if se2 == 0.0 {
+        return None;
+    }
+    let t = (ma - mb) / se2.sqrt();
+    let df = se2 * se2
+        / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0)).max(f64::MIN_POSITIVE);
+    Some((t, df))
+}
+
+/// Two-tailed p-value of a t statistic with `df` degrees of freedom,
+/// via the normal approximation for df ≥ 30 and a small-df correction
+/// otherwise (adequate for the "p < 0.05 / p < 0.01" markers in the
+/// tables).
+pub fn two_tailed_p(t: f64, df: f64) -> f64 {
+    // Student's t CDF via the regularised incomplete beta function,
+    // computed with a continued fraction (Numerical Recipes §6.4).
+    let x = df / (df + t * t);
+    let p = incomplete_beta(0.5 * df, 0.5, x);
+    p.clamp(0.0, 1.0)
+}
+
+fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_beta = ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b);
+    let front = (a * x.ln() + b * (1.0 - x).ln() - ln_beta).exp();
+    // Lentz's continued fraction.
+    let mut f = 1.0;
+    let mut c = 1.0;
+    let mut d = 0.0;
+    for i in 0..200 {
+        let m = i / 2;
+        let numerator = if i == 0 {
+            1.0
+        } else if i % 2 == 0 {
+            (m as f64) * (b - m as f64) * x / ((a + 2.0 * m as f64 - 1.0) * (a + 2.0 * m as f64))
+        } else {
+            -(a + m as f64) * (a + b + m as f64) * x
+                / ((a + 2.0 * m as f64) * (a + 2.0 * m as f64 + 1.0))
+        };
+        d = 1.0 + numerator * d;
+        if d.abs() < 1e-30 {
+            d = 1e-30;
+        }
+        d = 1.0 / d;
+        c = 1.0 + numerator / c;
+        if c.abs() < 1e-30 {
+            c = 1e-30;
+        }
+        let delta = c * d;
+        f *= delta;
+        if (delta - 1.0).abs() < 1e-12 {
+            break;
+        }
+    }
+    front * (f - 1.0) / a
+}
+
+fn ln_gamma(x: f64) -> f64 {
+    // Lanczos approximation.
+    const G: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        let pi = std::f64::consts::PI;
+        pi.ln() - (pi * x).sin().ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut acc = G[0];
+        for (i, &g) in G.iter().enumerate().skip(1) {
+            acc += g / (x + i as f64);
+        }
+        let t = x + 7.5;
+        0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+    }
+}
+
+/// Significance marker in the paper's notation: `‡` for p<0.01, `†` for
+/// p<0.05, empty otherwise. `a` and `b` are the best and second-best
+/// runs of a table cell.
+pub fn significance_marker(a: &[f64], b: &[f64]) -> &'static str {
+    match welch_t(a, b).map(|(t, df)| two_tailed_p(t, df)) {
+        Some(p) if p < 0.01 => "‡",
+        Some(p) if p < 0.05 => "†",
+        _ => "",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.138089935).abs() < 1e-6);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(5) = 24
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-9);
+        // Γ(0.5) = √π
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t_test_separates_distinct_samples() {
+        let a = [10.0, 10.1, 9.9, 10.05, 9.95, 10.0];
+        let b = [5.0, 5.1, 4.9, 5.05, 4.95, 5.0];
+        let (t, df) = welch_t(&a, &b).unwrap();
+        assert!(t > 10.0);
+        let p = two_tailed_p(t, df);
+        assert!(p < 0.01, "p {p}");
+        assert_eq!(significance_marker(&a, &b), "‡");
+    }
+
+    #[test]
+    fn t_test_accepts_identical_distributions() {
+        let a = [1.0, 1.2, 0.8, 1.1, 0.9, 1.05, 0.95, 1.0];
+        let b = [1.02, 1.15, 0.85, 1.05, 0.92, 1.0, 0.98, 1.03];
+        let (t, df) = welch_t(&a, &b).unwrap();
+        let p = two_tailed_p(t, df);
+        assert!(p > 0.05, "p {p} should not be significant");
+        assert_eq!(significance_marker(&a, &b), "");
+    }
+
+    #[test]
+    fn p_value_range_and_monotonicity() {
+        let p_small_t = two_tailed_p(0.1, 10.0);
+        let p_large_t = two_tailed_p(5.0, 10.0);
+        assert!(p_small_t > 0.9);
+        assert!(p_large_t < 0.01);
+        assert!((0.0..=1.0).contains(&p_small_t));
+    }
+
+    #[test]
+    fn welch_handles_degenerate_input() {
+        assert!(welch_t(&[1.0], &[2.0, 3.0]).is_none());
+        assert!(welch_t(&[1.0, 1.0], &[1.0, 1.0]).is_none());
+    }
+}

@@ -1,0 +1,83 @@
+//! Quickstart: embed a small dynamic network with GloDyNE and inspect
+//! what the embeddings preserve.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use glodyne::{GloDyNE, GloDyNEConfig};
+use glodyne_embed::traits::DynamicEmbedder;
+use glodyne_embed::walks::WalkConfig;
+use glodyne_embed::SgnsConfig;
+use glodyne_graph::id::{Edge, NodeId};
+use glodyne_graph::Snapshot;
+use glodyne_tasks::gr::mean_precision_at_k;
+
+fn main() {
+    // A dynamic network of two communities; over time a third community
+    // grows out of node 0.
+    let mut edges: Vec<Edge> = Vec::new();
+    for c in 0..2u32 {
+        let base = c * 10;
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                if (i + j) % 3 != 0 {
+                    edges.push(Edge::new(NodeId(base + i), NodeId(base + j)));
+                }
+            }
+        }
+    }
+    edges.push(Edge::new(NodeId(0), NodeId(10)));
+    let g0 = Snapshot::from_edges(&edges, &[]);
+
+    // Step 2: new nodes 20..25 attach to node 0's neighbourhood.
+    let mut edges1 = edges.clone();
+    for v in 20..25u32 {
+        edges1.push(Edge::new(NodeId(v), NodeId(0)));
+        edges1.push(Edge::new(NodeId(v), NodeId(v.saturating_sub(1).max(20))));
+    }
+    let g1 = Snapshot::from_edges(&edges1, &[]);
+
+    let cfg = GloDyNEConfig {
+        alpha: 0.3, // select 30% of nodes each online step
+        walk: WalkConfig {
+            walks_per_node: 8,
+            walk_length: 20,
+            seed: 1,
+        },
+        sgns: SgnsConfig {
+            dim: 32,
+            window: 4,
+            negatives: 5,
+            epochs: 4,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut model = GloDyNE::new(cfg);
+
+    println!("== offline stage (t = 0) ==");
+    model.advance(None, &g0);
+    let z0 = model.embedding();
+    println!("embedded {} nodes in {} dims", z0.len(), z0.dim());
+    let p = mean_precision_at_k(&z0, &g0, &[1, 5, 10]);
+    println!("graph reconstruction MeanP@1/5/10: {:.3} / {:.3} / {:.3}", p[0], p[1], p[2]);
+
+    println!("\n== online stage (t = 1: five new nodes) ==");
+    model.advance(Some(&g0), &g1);
+    let z1 = model.embedding();
+    println!(
+        "selected {} representative nodes; phase times: {:?}",
+        model.last_selected_count(),
+        model.last_phase_times()
+    );
+    println!(
+        "new node 20 embedded: {}",
+        z1.get(NodeId(20)).is_some()
+    );
+
+    // Community structure should be visible in cosine space.
+    let intra = z1.cosine(NodeId(1), NodeId(2)).unwrap();
+    let inter = z1.cosine(NodeId(1), NodeId(15)).unwrap();
+    println!("\ncosine(same community) = {intra:.3}, cosine(different) = {inter:.3}");
+    assert!(intra > inter, "embedding should separate the communities");
+    println!("OK: intra-community similarity exceeds inter-community similarity");
+}

@@ -1,0 +1,16 @@
+//! Workspace-level umbrella crate: re-exports the public surface of the
+//! GloDyNE reproduction for the examples in `examples/` and the
+//! cross-crate integration tests in `tests/`.
+//!
+//! Library users should normally depend on the individual crates
+//! (`glodyne`, `glodyne-graph`, ...) directly; this crate exists so the
+//! repository's runnable artifacts have a single, convenient root.
+
+pub use glodyne;
+pub use glodyne_baselines as baselines;
+pub use glodyne_datasets as datasets;
+pub use glodyne_embed as embed;
+pub use glodyne_graph as graph;
+pub use glodyne_linalg as linalg;
+pub use glodyne_partition as partition;
+pub use glodyne_tasks as tasks;

@@ -1,0 +1,162 @@
+//! Integration tests of the evaluation protocol itself: the downstream
+//! tasks must rank an oracle embedding above a trained one above a
+//! random one, on real generated data — otherwise table numbers are
+//! meaningless.
+
+use glodyne::{GloDyNE, GloDyNEConfig};
+use glodyne_embed::traits::DynamicEmbedder;
+use glodyne_embed::walks::WalkConfig;
+use glodyne_embed::{Embedding, SgnsConfig};
+use glodyne_graph::Snapshot;
+use glodyne_tasks::gr::mean_precision_at_k;
+use glodyne_tasks::lp::{build_test_set, link_prediction_auc};
+use glodyne_tasks::nc::node_classification;
+use glodyne_tasks::stability::{project_2d, rotation_angle_2d};
+use rand::{Rng, SeedableRng};
+
+/// Oracle: each node's vector is its (self-anchored) adjacency row.
+fn oracle_embedding(g: &Snapshot) -> Embedding {
+    let n = g.num_nodes();
+    let mut e = Embedding::new(n);
+    for l in 0..n {
+        let mut v = vec![0.0f32; n];
+        v[l] = 0.5;
+        for &u in g.neighbors(l) {
+            v[u as usize] = 1.0;
+        }
+        e.set(g.node_id(l), &v);
+    }
+    e
+}
+
+fn random_embedding(g: &Snapshot, dim: usize, seed: u64) -> Embedding {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut e = Embedding::new(dim);
+    for l in 0..g.num_nodes() {
+        let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        e.set(g.node_id(l), &v);
+    }
+    e
+}
+
+fn trained_embedding(snaps: &[Snapshot]) -> Embedding {
+    let mut m = GloDyNE::new(GloDyNEConfig {
+        alpha: 0.3,
+        walk: WalkConfig {
+            walks_per_node: 6,
+            walk_length: 20,
+            seed: 11,
+        },
+        sgns: SgnsConfig {
+            dim: 32,
+            window: 4,
+            negatives: 4,
+            epochs: 4,
+            parallel: false,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let mut prev = None;
+    for s in snaps {
+        m.advance(prev, s);
+        prev = Some(s);
+    }
+    m.embedding()
+}
+
+#[test]
+fn gr_ranks_oracle_trained_random() {
+    let dataset = glodyne_datasets::fbw(0.25, 21);
+    let snaps = dataset.network.snapshots();
+    let last = snaps.last().unwrap();
+    let oracle = mean_precision_at_k(&oracle_embedding(last), last, &[10])[0];
+    let trained = mean_precision_at_k(&trained_embedding(snaps), last, &[10])[0];
+    let random = mean_precision_at_k(&random_embedding(last, 32, 1), last, &[10])[0];
+    assert!(
+        oracle > trained && trained > random,
+        "ordering broken: oracle {oracle:.3}, trained {trained:.3}, random {random:.3}"
+    );
+    // On a community graph adjacency-cosine is a strong but not perfect
+    // reconstructor (non-adjacent nodes can share identical
+    // neighbourhoods); it must still be clearly high.
+    assert!(oracle > 0.6, "oracle unexpectedly weak: {oracle:.3}");
+}
+
+#[test]
+fn lp_ranks_trained_above_random() {
+    let dataset = glodyne_datasets::elec(0.25, 22);
+    let snaps = dataset.network.snapshots();
+    let trained = trained_embedding(snaps);
+    // Per-transition test sets are tiny on a slow-moving network;
+    // average over all transitions to tame the variance.
+    let mut auc_trained = 0.0;
+    let mut auc_random = 0.0;
+    let mut n = 0.0;
+    for t in 0..snaps.len() - 1 {
+        let test = build_test_set(&snaps[t], &snaps[t + 1], 3 + t as u64);
+        if test.is_empty() {
+            continue;
+        }
+        auc_trained += link_prediction_auc(&trained, &test);
+        auc_random += link_prediction_auc(&random_embedding(&snaps[t], 32, t as u64), &test);
+        n += 1.0;
+    }
+    auc_trained /= n;
+    auc_random /= n;
+    assert!(
+        auc_trained > auc_random,
+        "trained AUC {auc_trained:.3} <= random {auc_random:.3}"
+    );
+    assert!(
+        (auc_random - 0.5).abs() < 0.2,
+        "random embedding should be near chance, got {auc_random:.3}"
+    );
+}
+
+#[test]
+fn nc_ranks_trained_above_random() {
+    let dataset = glodyne_datasets::cora(0.4, 23);
+    let snaps = dataset.network.snapshots();
+    let labels = dataset.labels.as_ref().unwrap();
+    let last = snaps.last().unwrap();
+    let trained = trained_embedding(snaps);
+    let f_trained = node_classification(&trained, last, labels, dataset.num_classes, 0.7, 1);
+    let f_random = node_classification(
+        &random_embedding(last, 32, 3),
+        last,
+        labels,
+        dataset.num_classes,
+        0.7,
+        1,
+    );
+    assert!(
+        f_trained.micro > f_random.micro,
+        "trained micro {:.3} <= random {:.3}",
+        f_trained.micro,
+        f_random.micro
+    );
+}
+
+#[test]
+fn stability_metric_detects_rotation_on_real_embeddings() {
+    // Rotating a real embedding's 2-D projection must register as a
+    // rotation by the Figure-5 metric.
+    let dataset = glodyne_datasets::elec(0.2, 24);
+    let snaps = dataset.network.snapshots();
+    let emb = trained_embedding(&snaps[..3]);
+    let (ids, proj) = project_2d(&emb, 7);
+    // Rotate the projection by 60 degrees.
+    let theta = std::f64::consts::FRAC_PI_3;
+    let mut rotated = proj.clone();
+    for i in 0..proj.rows() {
+        let (x, y) = (proj[(i, 0)], proj[(i, 1)]);
+        rotated[(i, 0)] = x * theta.cos() - y * theta.sin();
+        rotated[(i, 1)] = x * theta.sin() + y * theta.cos();
+    }
+    let detected = rotation_angle_2d(&ids, &proj, &ids, &rotated).unwrap();
+    assert!(
+        (detected - theta).abs() < 1e-6,
+        "detected {detected} expected {theta}"
+    );
+}

@@ -1,0 +1,126 @@
+//! Integration tests of the paper's structural claims: selection
+//! diversity, reservoir bookkeeping across real streams, and the
+//! partition-based coverage guarantees of strategy S4.
+
+use glodyne::reservoir::Reservoir;
+use glodyne::select::{select_nodes, Strategy};
+use glodyne_graph::SnapshotDiff;
+use glodyne_partition::{partition, PartitionConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Spatial diversity of a selection: mean pairwise BFS distance between
+/// selected nodes (higher = more spread out).
+fn mean_pairwise_distance(g: &glodyne_graph::Snapshot, selected: &[u32]) -> f64 {
+    use glodyne_graph::traversal::{bfs_distances, UNREACHABLE};
+    let mut total = 0u64;
+    let mut count = 0u64;
+    for (i, &a) in selected.iter().enumerate() {
+        let dist = bfs_distances(g, a as usize);
+        for &b in &selected[i + 1..] {
+            if dist[b as usize] != UNREACHABLE {
+                total += dist[b as usize] as u64;
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total as f64 / count as f64
+    }
+}
+
+#[test]
+fn s4_selection_is_more_diverse_than_s1() {
+    // The §5.3.4 diversity ranking S1 < S4, measured as spread over the
+    // graph, on a community network whose activity is localized.
+    let dataset = glodyne_datasets::fbw(0.4, 3);
+    let net = &dataset.network;
+    let (prev, curr) = (net.snapshot(net.len() - 2), net.snapshot(net.len() - 1));
+    let mut reservoir = Reservoir::new();
+    for t in 1..net.len() {
+        reservoir.absorb(&SnapshotDiff::compute(net.snapshot(t - 1), net.snapshot(t)));
+    }
+    let k = (curr.num_nodes() / 12).max(4);
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+
+    let mut d1_acc = 0.0;
+    let mut d4_acc = 0.0;
+    let trials = 5;
+    for _ in 0..trials {
+        let s1 = select_nodes(Strategy::S1, curr, prev, &reservoir, k, 0.1, &mut rng);
+        let s4 = select_nodes(Strategy::S4, curr, prev, &reservoir, k, 0.1, &mut rng);
+        d1_acc += mean_pairwise_distance(curr, &s1);
+        d4_acc += mean_pairwise_distance(curr, &s4);
+    }
+    assert!(
+        d4_acc > d1_acc,
+        "S4 spread {:.2} should exceed S1 spread {:.2}",
+        d4_acc / trials as f64,
+        d1_acc / trials as f64
+    );
+}
+
+#[test]
+fn s4_hits_every_partition_cell() {
+    let dataset = glodyne_datasets::elec(0.3, 4);
+    let net = &dataset.network;
+    let (prev, curr) = (net.snapshot(0), net.snapshot(1));
+    let mut reservoir = Reservoir::new();
+    reservoir.absorb(&SnapshotDiff::compute(prev, curr));
+    let k = 8;
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let s4 = select_nodes(Strategy::S4, curr, prev, &reservoir, k, 0.1, &mut rng);
+    assert_eq!(s4.len(), k, "one representative per sub-network");
+}
+
+#[test]
+fn reservoir_mass_conserved_over_stream() {
+    // Every absorbed change stays in the reservoir until cleared.
+    let dataset = glodyne_datasets::hepph(0.25, 5);
+    let net = &dataset.network;
+    let mut reservoir = Reservoir::new();
+    let mut absorbed = 0u64;
+    for t in 1..net.len() {
+        let diff = net.diff_at(t);
+        absorbed += diff
+            .changed_degree
+            .values()
+            .map(|&v| v as u64)
+            .sum::<u64>();
+        reservoir.absorb(&diff);
+    }
+    assert_eq!(reservoir.total(), absorbed);
+    // Clearing every touched node empties it exactly.
+    let touched: Vec<_> = reservoir.touched_nodes().collect();
+    let mut cleared = 0u64;
+    let mut r = reservoir.clone();
+    for id in touched {
+        cleared += r.clear_node(id);
+    }
+    assert_eq!(cleared, absorbed);
+    assert!(r.is_empty());
+}
+
+#[test]
+fn partition_scales_with_alpha_like_usage() {
+    // GloDyNE partitions with K = α|V|: check Definition 5 invariants on
+    // a real snapshot at the paper's default α = 0.1.
+    let dataset = glodyne_datasets::fbw(0.4, 6);
+    let g = dataset.network.snapshot(dataset.network.len() - 1);
+    let k = ((g.num_nodes() as f64) * 0.1).round() as usize;
+    let p = partition(g, &PartitionConfig::with_k(k));
+    let parts = p.parts();
+    assert_eq!(parts.len(), k);
+    assert!(parts.iter().all(|m| !m.is_empty()));
+    let covered: usize = parts.iter().map(|m| m.len()).sum();
+    assert_eq!(covered, g.num_nodes());
+    // Edge cut should be far below total edges on a community graph.
+    assert!(
+        p.edge_cut(g) * 2 < g.num_edges(),
+        "cut {} vs edges {}",
+        p.edge_cut(g),
+        g.num_edges()
+    );
+}
