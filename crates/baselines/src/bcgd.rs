@@ -71,16 +71,16 @@ struct LatentBlock {
 }
 
 impl LatentBlock {
-    fn new(snapshot: &Snapshot, dim: usize, warm: Option<&LatentBlock>, rng: &mut impl Rng) -> Self {
+    fn new(
+        snapshot: &Snapshot,
+        dim: usize,
+        warm: Option<&LatentBlock>,
+        rng: &mut impl Rng,
+    ) -> Self {
         let n = snapshot.num_nodes();
         let mut z = vec![0.0f32; n * dim];
-        let warm_index: Option<HashMap<NodeId, usize>> = warm.map(|w| {
-            w.ids
-                .iter()
-                .enumerate()
-                .map(|(i, &id)| (id, i))
-                .collect()
-        });
+        let warm_index: Option<HashMap<NodeId, usize>> =
+            warm.map(|w| w.ids.iter().enumerate().map(|(i, &id)| (id, i)).collect());
         let scale = (1.0 / dim as f32).sqrt();
         for l in 0..n {
             let id = snapshot.node_id(l);
@@ -210,13 +210,9 @@ impl DynamicEmbedder for BcgdLocal {
         let dim = self.cfg.dim;
         let warm = self.current.take();
         let mut block = LatentBlock::new(curr, dim, warm.as_ref(), &mut self.rng);
-        let anchor_index: Option<HashMap<NodeId, usize>> = warm.as_ref().map(|w| {
-            w.ids
-                .iter()
-                .enumerate()
-                .map(|(i, &id)| (id, i))
-                .collect()
-        });
+        let anchor_index: Option<HashMap<NodeId, usize>> = warm
+            .as_ref()
+            .map(|w| w.ids.iter().enumerate().map(|(i, &id)| (id, i)).collect());
         let anchor = warm
             .as_ref()
             .zip(anchor_index.as_ref())
@@ -257,7 +253,7 @@ pub struct BcgdGlobal {
 impl BcgdGlobal {
     /// Build with configuration.
     pub fn new(cfg: BcgdConfig) -> Self {
-        let rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xBC6D_61);
+        let rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x00BC_6D61);
         BcgdGlobal {
             cfg,
             rng,
@@ -282,13 +278,9 @@ impl DynamicEmbedder for BcgdGlobal {
             for t in 0..self.blocks.len() {
                 let (before, rest) = self.blocks.split_at_mut(t);
                 let block = &mut rest[0];
-                let anchor_index: Option<HashMap<NodeId, usize>> = before.last().map(|w| {
-                    w.ids
-                        .iter()
-                        .enumerate()
-                        .map(|(i, &id)| (id, i))
-                        .collect()
-                });
+                let anchor_index: Option<HashMap<NodeId, usize>> = before
+                    .last()
+                    .map(|w| w.ids.iter().enumerate().map(|(i, &id)| (id, i)).collect());
                 let anchor = before
                     .last()
                     .zip(anchor_index.as_ref())
@@ -387,7 +379,10 @@ mod tests {
                     .sum::<f32>()
             })
             .sum();
-        assert!(drift < 2.0, "identical snapshot should barely move Z: {drift}");
+        assert!(
+            drift < 2.0,
+            "identical snapshot should barely move Z: {drift}"
+        );
     }
 
     #[test]

@@ -77,7 +77,10 @@ impl DynGem {
     /// Build with configuration.
     pub fn new(cfg: DynGemConfig) -> Self {
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xD9E6);
-        let net = Mlp::new(&[cfg.capacity, cfg.hidden, cfg.dim, cfg.hidden, cfg.capacity], &mut rng);
+        let net = Mlp::new(
+            &[cfg.capacity, cfg.hidden, cfg.dim, cfg.hidden, cfg.capacity],
+            &mut rng,
+        );
         DynGem {
             cfg,
             slots: HashMap::new(),
@@ -243,7 +246,10 @@ mod tests {
             embs[0].get(NodeId(3)).unwrap(),
             embs[1].get(NodeId(3)).unwrap(),
         );
-        assert!(cos > 0.8, "warm start should keep vectors stable, cos {cos}");
+        assert!(
+            cos > 0.8,
+            "warm start should keep vectors stable, cos {cos}"
+        );
     }
 
     #[test]

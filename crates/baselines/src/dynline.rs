@@ -78,7 +78,9 @@ impl DynLine {
         let d = self.cfg.dim;
         let rng = &mut self.rng;
         self.vertex.entry(id).or_insert_with(|| {
-            (0..d).map(|_| rng.gen_range(-0.5 / d as f32..0.5 / d as f32)).collect()
+            (0..d)
+                .map(|_| rng.gen_range(-0.5 / d as f32..0.5 / d as f32))
+                .collect()
         });
         self.context.entry(id).or_insert_with(|| vec![0.0; d]);
     }

@@ -28,7 +28,7 @@
 //! grow-only vocabulary) — n/a on AS733, as in the paper.
 
 use glodyne_embed::traits::DynamicEmbedder;
-use glodyne_embed::walks::{generate_walks_all, WalkConfig};
+use glodyne_embed::walks::{generate_corpus_all, WalkConfig};
 use glodyne_embed::{Embedding, SgnsConfig, SgnsModel};
 use glodyne_graph::{NodeId, Snapshot};
 use glodyne_linalg::rnn::Rnn;
@@ -131,8 +131,8 @@ impl DynamicEmbedder for TNE {
             seed: self.cfg.walk.seed ^ ((self.history.len() as u64) << 8),
             ..self.cfg.walk
         };
-        let walks = generate_walks_all(curr, &walk_cfg);
-        self.static_model.train(&walks);
+        let corpus = generate_corpus_all(curr, &walk_cfg);
+        self.static_model.train_corpus(&corpus);
         self.history.push(self.static_model.embedding());
 
         // Stage 2: RNN over embedding histories with link-prediction loss.
@@ -142,7 +142,11 @@ impl DynamicEmbedder for TNE {
             for _ in 0..self.cfg.rnn_samples {
                 let &(i, j) = &edges[self.rng.gen_range(0..edges.len())];
                 // positive: pull y_i toward y_j (partner held constant)
-                let target = self.rnn_output(j).iter().map(|&x| x as f64).collect::<Vec<_>>();
+                let target = self
+                    .rnn_output(j)
+                    .iter()
+                    .map(|&x| x as f64)
+                    .collect::<Vec<_>>();
                 let seq = self.sequence_of(i);
                 self.rnn.train_step(&seq, &target, self.cfg.rnn_lr);
                 // negatives: push y_i away from random nodes by moving it

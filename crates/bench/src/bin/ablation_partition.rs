@@ -93,7 +93,14 @@ fn main() {
                 ..Default::default()
             },
         );
-        let multi = partition(g, &PartitionConfig { k, seed: common.seed, ..Default::default() });
+        let multi = partition(
+            g,
+            &PartitionConfig {
+                k,
+                seed: common.seed,
+                ..Default::default()
+            },
+        );
         println!(
             "{:<34}{:>10}{:>12.3}",
             "flat (no coarsening)",

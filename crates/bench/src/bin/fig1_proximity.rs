@@ -18,7 +18,10 @@ fn main() {
     let scale = args.get("scale", 0.4);
 
     println!("# Figure 1 b-c: Δsp_all per changed edge (paper: Elec≈237, HepPh≈82, FBW≈20983 on full-size graphs)");
-    println!("{:<8}{:>16}{:>16}{:>16}{:>12}", "dataset", "initial", "middle", "final", "mean");
+    println!(
+        "{:<8}{:>16}{:>16}{:>16}{:>12}",
+        "dataset", "initial", "middle", "final", "mean"
+    );
 
     for dataset in [
         glodyne_datasets::elec(scale, common.seed),

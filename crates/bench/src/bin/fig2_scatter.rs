@@ -7,11 +7,11 @@
 //! Run: `cargo run -p glodyne-bench --release --bin fig2_scatter
 //!       [--scale 0.25] [--runs 2] [--dim 64] [--seed 42]`
 
+use glodyne_baselines::supports_node_deletions;
 use glodyne_bench::args::{Args, Common};
 use glodyne_bench::eval::{lp_mean_over_time, total_seconds};
 use glodyne_bench::methods::{build, MethodKind, MethodParams};
 use glodyne_bench::runner::{has_node_deletions, run_timed};
-use glodyne_baselines::supports_node_deletions;
 use glodyne_tasks::stats;
 
 fn main() {
@@ -23,7 +23,10 @@ fn main() {
     let methods = MethodKind::comparative();
 
     println!("# Figure 2 — LP AUC vs wall-clock seconds (one point per method per dataset)");
-    println!("{:<12}{:<12}{:>12}{:>10}", "dataset", "method", "seconds", "auc%");
+    println!(
+        "{:<12}{:<12}{:>12}{:>10}",
+        "dataset", "method", "seconds", "auc%"
+    );
     let mut json_points = Vec::new();
     for dataset in &datasets {
         let snaps = dataset.network.snapshots();
@@ -49,7 +52,13 @@ fn main() {
                 aucs.push(lp_mean_over_time(&results, snaps, common.seed + run as u64) * 100.0);
             }
             let (s, a) = (stats::mean(&secs), stats::mean(&aucs));
-            println!("{:<12}{:<12}{:>12.3}{:>10.2}", dataset.name, kind.label(), s, a);
+            println!(
+                "{:<12}{:<12}{:>12.3}{:>10.2}",
+                dataset.name,
+                kind.label(),
+                s,
+                a
+            );
             json_points.push(format!(
                 "{{\"dataset\":\"{}\",\"method\":\"{}\",\"seconds\":{s:.4},\"auc\":{a:.3}}}",
                 dataset.name,

@@ -52,11 +52,19 @@ fn main() {
             let static_first = series[0][0];
             println!(
                 "shape: retrain_final {retrain_last:.3} > static_final {static_last:.3}: {}",
-                if retrain_last > static_last { "PASS" } else { "FAIL" }
+                if retrain_last > static_last {
+                    "PASS"
+                } else {
+                    "FAIL"
+                }
             );
             println!(
                 "shape: static degrades from t=0 ({static_first:.3} -> {static_last:.3}): {}",
-                if static_last < static_first { "PASS" } else { "FAIL" }
+                if static_last < static_first {
+                    "PASS"
+                } else {
+                    "FAIL"
+                }
             );
         }
     }

@@ -33,7 +33,11 @@ fn main() {
         let mut method = build(kind, &params);
         let results = run_timed(method.as_mut(), snaps);
 
-        println!("\n# Figure 5 — {} on Elec, steps {:?}", kind.label(), window);
+        println!(
+            "\n# Figure 5 — {} on Elec, steps {:?}",
+            kind.label(),
+            window
+        );
         let mut prev_proj: Option<(Vec<glodyne_graph::NodeId>, glodyne_linalg::Matrix)> = None;
         let mut angles = Vec::new();
         let mut drifts = Vec::new();
@@ -63,8 +67,16 @@ fn main() {
     }
 
     let (g, r) = (&summaries[0], &summaries[1]);
-    println!("\nshape: GloDyNE drift {:.4} < retrain drift {:.4}: {}",
-        g.2, r.2, if g.2 < r.2 { "PASS" } else { "FAIL" });
-    println!("shape: GloDyNE rotation {:.1} deg <= retrain rotation {:.1} deg: {}",
-        g.1, r.1, if g.1 <= r.1 + 1.0 { "PASS" } else { "FAIL" });
+    println!(
+        "\nshape: GloDyNE drift {:.4} < retrain drift {:.4}: {}",
+        g.2,
+        r.2,
+        if g.2 < r.2 { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "shape: GloDyNE rotation {:.1} deg <= retrain rotation {:.1} deg: {}",
+        g.1,
+        r.1,
+        if g.1 <= r.1 + 1.0 { "PASS" } else { "FAIL" }
+    );
 }

@@ -24,7 +24,10 @@ fn main() {
     ] {
         let snaps = dataset.network.snapshots();
         for k in [10usize, 40] {
-            println!("\n# Figure 6 — {} MeanP@{k} (%) and time (s) vs α", dataset.name);
+            println!(
+                "\n# Figure 6 — {} MeanP@{k} (%) and time (s) vs α",
+                dataset.name
+            );
             println!("{:<8}{:>12}{:>12}", "alpha", "MeanP@k%", "seconds");
             let mut scores = Vec::new();
             let mut times = Vec::new();
@@ -64,7 +67,11 @@ fn main() {
                 "shape: time(α=1.0)={:.2}s > time(α=0.01)={:.2}s: {}",
                 times.last().unwrap(),
                 times[2],
-                if times.last().unwrap() > &times[2] { "PASS" } else { "FAIL" }
+                if times.last().unwrap() > &times[2] {
+                    "PASS"
+                } else {
+                    "FAIL"
+                }
             );
         }
     }

@@ -12,8 +12,12 @@
 
 use glodyne::{GloDyNE, GloDyNEConfig};
 use glodyne_bench::args::{Args, Common};
+use glodyne_bench::legacy::LegacySgnsModel;
 use glodyne_bench::methods::MethodParams;
 use glodyne_embed::traits::DynamicEmbedder;
+use glodyne_embed::walks::{generate_corpus_all, generate_walks_all};
+use glodyne_embed::SgnsModel;
+use std::time::Instant;
 
 fn main() {
     let args = Args::from_env();
@@ -42,22 +46,25 @@ fn main() {
     let mut method = GloDyNE::new(cfg);
 
     println!(
-        "{:<6}{:>10}{:>12}{:>12}{:>12}{:>10}",
-        "t", "|V|", "select(s)", "walks(s)", "train(s)", "K_sel"
+        "{:<6}{:>10}{:>12}{:>12}{:>12}{:>10}{:>14}",
+        "t", "|V|", "select(s)", "walks(s)", "train(s)", "K_sel", "pairs/s"
     );
     let mut online_phase_sums = [0.0f64; 3];
     let mut prev: Option<&glodyne_graph::Snapshot> = None;
     for (t, snap) in snaps.iter().enumerate() {
         method.advance(prev, snap);
         let ph = method.last_phase_times();
+        // Throughput of the walk→train hot path (Steps 3–4).
+        let hot = (ph.walks + ph.train).as_secs_f64().max(1e-12);
         println!(
-            "{:<6}{:>10}{:>12.3}{:>12.3}{:>12.3}{:>10}",
+            "{:<6}{:>10}{:>12.3}{:>12.3}{:>12.3}{:>10}{:>14.0}",
             t,
             snap.num_nodes(),
             ph.select.as_secs_f64(),
             ph.walks.as_secs_f64(),
             ph.train.as_secs_f64(),
-            method.last_selected_count()
+            method.last_selected_count(),
+            method.last_trained_pairs() as f64 / hot,
         );
         if t > 0 {
             online_phase_sums[0] += ph.select.as_secs_f64();
@@ -87,10 +94,46 @@ fn main() {
     let step_total = (avg[0] + avg[1] + avg[2]).max(1e-12);
     println!(
         "shape (selection is a small fraction of each online step): {}",
-        if avg[0] < 0.2 * step_total { "PASS" } else { "FAIL" }
+        if avg[0] < 0.2 * step_total {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
     println!(
         "note: walks are rayon-parallel here (the paper's stated future fix), so \
          training, not walking, dominates the online stage."
+    );
+
+    // Old-vs-new hot-path throughput on the final snapshot: the legacy
+    // Vec<Vec<NodeId>> walk corpus against the flat zero-copy arena.
+    let last = snaps.last().unwrap();
+    let (walk_cfg, sgns_cfg) = (params.walk(), params.sgns());
+    let time_run = |f: &dyn Fn() -> usize| {
+        let t = Instant::now();
+        let pairs = f();
+        (pairs, t.elapsed().as_secs_f64())
+    };
+    let (pairs_old, t_old) = time_run(&|| {
+        let walks = generate_walks_all(last, &walk_cfg);
+        LegacySgnsModel::new(sgns_cfg.clone()).train(&walks)
+    });
+    let (pairs_new, t_new) = time_run(&|| {
+        let corpus = generate_corpus_all(last, &walk_cfg);
+        SgnsModel::new(sgns_cfg.clone()).train_corpus(&corpus)
+    });
+    println!(
+        "\nhot-path throughput on final snapshot (|V|={}):\n\
+         legacy Vec<Vec> path: {:>12.0} pairs/s ({} pairs in {:.3}s)\n\
+         flat corpus path:     {:>12.0} pairs/s ({} pairs in {:.3}s)\n\
+         speedup: {:.2}x",
+        last.num_nodes(),
+        pairs_old as f64 / t_old.max(1e-12),
+        pairs_old,
+        t_old,
+        pairs_new as f64 / t_new.max(1e-12),
+        pairs_new,
+        t_new,
+        t_old / t_new.max(1e-12),
     );
 }

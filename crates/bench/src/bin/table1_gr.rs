@@ -7,12 +7,12 @@
 //! Run: `cargo run -p glodyne-bench --release --bin table1_gr
 //!       [--scale 0.25] [--runs 3] [--dim 64] [--seed 42]`
 
+use glodyne_baselines::supports_node_deletions;
 use glodyne_bench::args::{Args, Common};
 use glodyne_bench::eval::gr_mean_over_time;
 use glodyne_bench::methods::{build, MethodKind, MethodParams};
 use glodyne_bench::runner::{has_node_deletions, run_timed};
 use glodyne_bench::table::{render, Cell};
-use glodyne_baselines::supports_node_deletions;
 
 fn main() {
     let args = Args::from_env();

@@ -6,12 +6,12 @@
 //! Run: `cargo run -p glodyne-bench --release --bin table2_lp
 //!       [--scale 0.25] [--runs 3] [--dim 64] [--seed 42]`
 
+use glodyne_baselines::supports_node_deletions;
 use glodyne_bench::args::{Args, Common};
 use glodyne_bench::eval::lp_mean_over_time;
 use glodyne_bench::methods::{build, MethodKind, MethodParams};
 use glodyne_bench::runner::{has_node_deletions, run_timed};
 use glodyne_bench::table::{render, Cell};
-use glodyne_baselines::supports_node_deletions;
 
 fn main() {
     let args = Args::from_env();
@@ -22,8 +22,7 @@ fn main() {
     let col_labels: Vec<&str> = datasets.iter().map(|d| d.name).collect();
     let row_labels: Vec<&str> = methods.iter().map(|m| m.label()).collect();
 
-    let mut cells: Vec<Vec<Cell>> =
-        vec![vec![Cell::NotApplicable; datasets.len()]; methods.len()];
+    let mut cells: Vec<Vec<Cell>> = vec![vec![Cell::NotApplicable; datasets.len()]; methods.len()];
 
     for (di, dataset) in datasets.iter().enumerate() {
         let snaps = dataset.network.snapshots();

@@ -4,11 +4,11 @@
 //! Run: `cargo run -p glodyne-bench --release --bin table4_time
 //!       [--scale 0.25] [--runs 3] [--dim 64] [--seed 42]`
 
+use glodyne_baselines::supports_node_deletions;
 use glodyne_bench::args::{Args, Common};
 use glodyne_bench::eval::total_seconds;
 use glodyne_bench::methods::{build, MethodKind, MethodParams};
 use glodyne_bench::runner::{has_node_deletions, run_timed};
-use glodyne_baselines::supports_node_deletions;
 use glodyne_tasks::stats;
 
 fn main() {
@@ -18,7 +18,9 @@ fn main() {
     let datasets = glodyne_datasets::standard_suite(common.scale, common.seed);
     let methods = MethodKind::comparative();
 
-    println!("# Table 4 — wall-clock seconds of obtaining embeddings (all time steps, mean over runs)");
+    println!(
+        "# Table 4 — wall-clock seconds of obtaining embeddings (all time steps, mean over runs)"
+    );
     print!("{:<16}", "");
     for d in &datasets {
         print!("{:<12}", d.name);

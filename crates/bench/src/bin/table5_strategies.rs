@@ -27,11 +27,11 @@ fn main() {
     ] {
         let snaps = dataset.network.snapshots();
         for k in [10usize, 40] {
-            println!("\n# Table 5 — {} GR MeanP@{k} (%), strategies × walk length", dataset.name);
             println!(
-                "{:<6}{:>10}{:>10}{:>10}{:>10}",
-                "l", "S1", "S2", "S3", "S4"
+                "\n# Table 5 — {} GR MeanP@{k} (%), strategies × walk length",
+                dataset.name
             );
+            println!("{:<6}{:>10}{:>10}{:>10}{:>10}", "l", "S1", "S2", "S3", "S4");
             let mut s4_wins = 0usize;
             for &l in &lengths {
                 let mut row = Vec::new();
@@ -62,7 +62,11 @@ fn main() {
             println!(
                 "shape: S4 >= S1 at {s4_wins}/{} walk lengths (paper: S1<S2<S3<S4): {}",
                 lengths.len(),
-                if s4_wins * 2 >= lengths.len() { "PASS" } else { "FAIL" }
+                if s4_wins * 2 >= lengths.len() {
+                    "PASS"
+                } else {
+                    "FAIL"
+                }
             );
         }
     }

@@ -52,7 +52,8 @@ fn main() {
                 for (s, v) in gr_samples.iter_mut().zip(gr) {
                     s.push(v * 100.0);
                 }
-                lp_samples.push(lp_mean_over_time(&results, snaps, common.seed + run as u64) * 100.0);
+                lp_samples
+                    .push(lp_mean_over_time(&results, snaps, common.seed + run as u64) * 100.0);
                 time_samples.push(total_seconds(&results));
             }
             for (ki, s) in gr_samples.into_iter().enumerate() {
@@ -113,7 +114,9 @@ fn main() {
     let mut cells_total = 0;
     for ki in 0..ks.len() {
         for di in 0..datasets.len() {
-            let Some(g) = gr_cells[ki][glodyne_row][di].mean() else { continue };
+            let Some(g) = gr_cells[ki][glodyne_row][di].mean() else {
+                continue;
+            };
             cells_total += 1;
             let best_other = (0..methods.len())
                 .filter(|&mi| mi != glodyne_row)
@@ -124,7 +127,9 @@ fn main() {
             }
         }
     }
-    println!("\nshape (Table 1, paper: GloDyNE best in 28/30 cells): best in {gr_wins}/{cells_total}");
+    println!(
+        "\nshape (Table 1, paper: GloDyNE best in 28/30 cells): best in {gr_wins}/{cells_total}"
+    );
     // Table 4's absolute row order in the paper compares the *released
     // implementations* (Python/TF/MATLAB, where GloDyNE's gensim core is
     // the only optimised one); all methods here share one Rust substrate,

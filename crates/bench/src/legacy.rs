@@ -1,0 +1,272 @@
+//! The pre-refactor SGNS training pipeline, frozen verbatim as the
+//! baseline for old-vs-new throughput comparisons.
+//!
+//! This is the hot path as it stood before the flat-corpus refactor:
+//! walks arrive as `Vec<Vec<NodeId>>`, every token is re-interned
+//! through a `HashMap` and the corpus is re-materialised as
+//! `Vec<Vec<u32>>`, the learning-rate schedule pays one atomic
+//! `fetch_add` per pair, every walk allocates its own gradient buffer
+//! and seeds a ChaCha8 stream for negative sampling, and the sigmoid is
+//! computed with `exp()` per sample. Production code should use
+//! [`glodyne_embed::SgnsModel::train_corpus`]; this module exists so
+//! `benches/micro.rs` and the scale test can keep measuring the real
+//! historical baseline instead of a shim over the new engine.
+
+use glodyne_embed::alias::AliasTable;
+use glodyne_embed::pairs;
+use glodyne_embed::{Embedding, SgnsConfig};
+use glodyne_graph::NodeId;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use std::cell::UnsafeCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The historical SGNS model: identical hyper-parameters and
+/// initialisation to [`glodyne_embed::SgnsModel`], original training
+/// loop.
+pub struct LegacySgnsModel {
+    cfg: SgnsConfig,
+    vocab: HashMap<NodeId, u32>,
+    ids: Vec<NodeId>,
+    input: Vec<f32>,
+    output: Vec<f32>,
+    counts: Vec<u64>,
+    init_rng: ChaCha8Rng,
+}
+
+impl LegacySgnsModel {
+    /// Fresh model with an empty vocabulary.
+    pub fn new(cfg: SgnsConfig) -> Self {
+        let init_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xD1F3_5A7E);
+        LegacySgnsModel {
+            cfg,
+            vocab: HashMap::new(),
+            ids: Vec::new(),
+            input: Vec::new(),
+            output: Vec::new(),
+            counts: Vec::new(),
+            init_rng,
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn intern(&mut self, id: NodeId) -> u32 {
+        if let Some(&i) = self.vocab.get(&id) {
+            return i;
+        }
+        let i = self.ids.len() as u32;
+        self.vocab.insert(id, i);
+        self.ids.push(id);
+        let d = self.cfg.dim;
+        let half = 0.5 / d as f32;
+        for _ in 0..d {
+            self.input.push(self.init_rng.gen_range(-half..half));
+        }
+        self.output.extend(std::iter::repeat_n(0.0, d));
+        self.counts.push(0);
+        i
+    }
+
+    /// The original `SgnsModel::train`, verbatim.
+    pub fn train(&mut self, walks: &[Vec<NodeId>]) -> usize {
+        if walks.is_empty() {
+            return 0;
+        }
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        let indexed: Vec<Vec<u32>> = walks
+            .iter()
+            .map(|walk| {
+                walk.iter()
+                    .map(|&id| {
+                        let i = self.intern(id);
+                        self.counts[i as usize] += 1;
+                        i
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let weights: Vec<f64> = self.counts.iter().map(|&c| (c as f64).powf(0.75)).collect();
+        let negative_table = AliasTable::new(&weights);
+
+        let total_pairs: usize = indexed
+            .iter()
+            .map(|w| pairs::pair_count(w.len(), self.cfg.window))
+            .sum::<usize>()
+            * self.cfg.epochs;
+        if total_pairs == 0 {
+            return 0;
+        }
+
+        let shared = SharedWeights {
+            input: UnsafeCell::new(std::mem::take(&mut self.input)),
+            output: UnsafeCell::new(std::mem::take(&mut self.output)),
+        };
+        let progress = AtomicUsize::new(0);
+        let cfg = &self.cfg;
+        let dim = cfg.dim;
+        let shared_ref: &SharedWeights = &shared;
+
+        let run_walk = |epoch: usize, wi: usize, walk: &Vec<u32>| {
+            // SAFETY: Hogwild, as in the production engine.
+            let input = unsafe { &mut *shared_ref.input.get() };
+            let output = unsafe { &mut *shared_ref.output.get() };
+            let mut rng = ChaCha8Rng::seed_from_u64(
+                cfg.seed
+                    .wrapping_add((epoch as u64) << 40)
+                    .wrapping_add((wi as u64).wrapping_mul(0x9E37_79B9)),
+            );
+            let mut grad_acc = vec![0.0f32; dim];
+            let n = walk.len();
+            for ci in 0..n {
+                let center = walk[ci] as usize;
+                let lo = ci.saturating_sub(cfg.window);
+                let hi = (ci + cfg.window).min(n - 1);
+                for xi in lo..=hi {
+                    if xi == ci {
+                        continue;
+                    }
+                    let context = walk[xi] as usize;
+                    let done = progress.fetch_add(1, Ordering::Relaxed);
+                    let lr = (cfg.initial_lr * (1.0 - done as f32 / total_pairs as f32))
+                        .max(cfg.initial_lr * 1e-2);
+                    grad_acc.iter_mut().for_each(|g| *g = 0.0);
+                    let crow = row(input, center, dim);
+                    for neg in 0..=cfg.negatives {
+                        let (target, label) = if neg == 0 {
+                            (context, 1.0f32)
+                        } else {
+                            let t = negative_table.sample(&mut rng);
+                            if t == context {
+                                continue;
+                            }
+                            (t, 0.0f32)
+                        };
+                        let trow = row(output, target, dim);
+                        let mut dot = 0.0f32;
+                        for k in 0..dim {
+                            dot += crow[k] * trow[k];
+                        }
+                        let g = (label - sigmoid32(dot)) * lr;
+                        for k in 0..dim {
+                            grad_acc[k] += g * trow[k];
+                        }
+                        let trow = row_mut(output, target, dim);
+                        for k in 0..dim {
+                            trow[k] += g * input[center * dim + k];
+                        }
+                    }
+                    let crow = row_mut(input, center, dim);
+                    for k in 0..dim {
+                        crow[k] += grad_acc[k];
+                    }
+                }
+            }
+        };
+
+        for epoch in 0..cfg.epochs {
+            if cfg.parallel {
+                indexed
+                    .par_iter()
+                    .enumerate()
+                    .for_each(|(wi, walk)| run_walk(epoch, wi, walk));
+            } else {
+                for (wi, walk) in indexed.iter().enumerate() {
+                    run_walk(epoch, wi, walk);
+                }
+            }
+        }
+
+        self.input = shared.input.into_inner();
+        self.output = shared.output.into_inner();
+        total_pairs
+    }
+
+    /// Current embedding, identical layout to the production model's.
+    pub fn embedding(&self) -> Embedding {
+        let mut e = Embedding::new(self.cfg.dim);
+        for (i, &id) in self.ids.iter().enumerate() {
+            e.set(id, &self.input[i * self.cfg.dim..(i + 1) * self.cfg.dim]);
+        }
+        e
+    }
+}
+
+struct SharedWeights {
+    input: UnsafeCell<Vec<f32>>,
+    output: UnsafeCell<Vec<f32>>,
+}
+// SAFETY: Hogwild, as in the production engine.
+unsafe impl Sync for SharedWeights {}
+
+#[inline]
+fn row(buf: &[f32], r: usize, dim: usize) -> &[f32] {
+    &buf[r * dim..(r + 1) * dim]
+}
+
+#[inline]
+fn row_mut(buf: &mut [f32], r: usize, dim: usize) -> &mut [f32] {
+    &mut buf[r * dim..(r + 1) * dim]
+}
+
+#[inline]
+fn sigmoid32(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glodyne_embed::SgnsModel;
+
+    fn cfg() -> SgnsConfig {
+        SgnsConfig {
+            dim: 16,
+            window: 2,
+            negatives: 3,
+            epochs: 10,
+            initial_lr: 0.05,
+            seed: 1,
+            parallel: false,
+        }
+    }
+
+    fn walks() -> Vec<Vec<NodeId>> {
+        let mut out = Vec::new();
+        for rep in 0..30 {
+            out.push((0..10).map(|i| NodeId((rep + i) % 5)).collect());
+            out.push((0..10).map(|i| NodeId(5 + (rep + i) % 5)).collect());
+        }
+        out
+    }
+
+    /// The frozen baseline must still learn — and agree qualitatively
+    /// with the production engine — or speedups against it are
+    /// meaningless.
+    #[test]
+    fn legacy_engine_learns_like_production() {
+        let ws = walks();
+        let mut old = LegacySgnsModel::new(cfg());
+        old.train(&ws);
+        let mut new = SgnsModel::new(cfg());
+        new.train(&ws);
+        assert_eq!(old.vocab_len(), new.vocab_len());
+        for (e, label) in [(old.embedding(), "legacy"), (new.embedding(), "new")] {
+            let intra = e.cosine(NodeId(0), NodeId(1)).unwrap();
+            let inter = e.cosine(NodeId(0), NodeId(6)).unwrap();
+            assert!(intra > inter, "{label}: intra {intra} <= inter {inter}");
+        }
+    }
+}

@@ -1,6 +1,8 @@
 //! Experiment harness shared by the per-table/per-figure binaries.
 //!
 //! - [`args`] — a tiny `--key value` CLI parser (no external deps).
+//! - [`legacy`] — the pre-refactor walk→SGNS pipeline, frozen as the
+//!   baseline for old-vs-new throughput benchmarks.
 //! - [`methods`] — the method factory: every embedder of §5.1.2 plus
 //!   the §5.3 variants behind one constructor, with harness-wide
 //!   defaults scaled for laptop runs.
@@ -12,6 +14,7 @@
 
 pub mod args;
 pub mod eval;
+pub mod legacy;
 pub mod methods;
 pub mod runner;
 pub mod table;

@@ -1,7 +1,7 @@
 //! Method factory: all embedders behind one constructor.
 
-use glodyne::{GloDyNE, GloDyNEConfig, SgnsIncrement, SgnsRetrain, SgnsStatic, Strategy};
 use glodyne::variants::VariantConfig;
+use glodyne::{GloDyNE, GloDyNEConfig, SgnsIncrement, SgnsRetrain, SgnsStatic, Strategy};
 use glodyne_baselines::{
     bcgd::BcgdConfig, dyngem::DynGemConfig, dynline::DynLineConfig, dyntriad::DynTriadConfig,
     tne::TneConfig, BcgdGlobal, BcgdLocal, DynGem, DynLine, DynTriad, TNE,

@@ -28,7 +28,12 @@ impl Cell {
 /// the paper's `†`/`‡` marker to the best cell of each column when the
 /// best-vs-second-best t-test is significant, and bolds nothing (plain
 /// text) but flags best with `*`.
-pub fn render(title: &str, row_labels: &[&str], col_labels: &[&str], cells: &[Vec<Cell>]) -> String {
+pub fn render(
+    title: &str,
+    row_labels: &[&str],
+    col_labels: &[&str],
+    cells: &[Vec<Cell>],
+) -> String {
     assert_eq!(cells.len(), row_labels.len());
     let mut out = String::new();
     out.push_str(&format!("## {title}\n"));
@@ -66,7 +71,9 @@ pub fn render(title: &str, row_labels: &[&str], col_labels: &[&str], cells: &[Ve
                     if best_rows[col] == Some(r) {
                         t.push('*');
                         if let (Some(b), Some(sec)) = (best_rows[col], second_rows[col]) {
-                            if let (Cell::Runs(bv), Cell::Runs(sv)) = (&cells[b][col], &cells[sec][col]) {
+                            if let (Cell::Runs(bv), Cell::Runs(sv)) =
+                                (&cells[b][col], &cells[sec][col])
+                            {
                                 t.push_str(stats::significance_marker(bv, sv));
                             }
                         }

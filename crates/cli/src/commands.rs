@@ -7,8 +7,8 @@ use glodyne_embed::persist;
 use glodyne_embed::traits::DynamicEmbedder;
 use glodyne_embed::walks::WalkConfig;
 use glodyne_embed::SgnsConfig;
-use glodyne_graph::io::read_edge_stream;
 use glodyne_graph::id::TimedEdge;
+use glodyne_graph::io::read_edge_stream;
 use glodyne_graph::DynamicNetwork;
 use glodyne_partition::{partition, PartitionConfig};
 use glodyne_tasks::gr::mean_precision_at_k;
@@ -17,11 +17,9 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::Path;
 
-
 /// Load an edge stream file.
 fn load_stream(path: &str) -> Result<Vec<TimedEdge>, CliError> {
-    let file = File::open(path)
-        .map_err(|e| CliError(format!("cannot open {path}: {e}")))?;
+    let file = File::open(path).map_err(|e| CliError(format!("cannot open {path}: {e}")))?;
     let stream = read_edge_stream(BufReader::new(file))?;
     if stream.is_empty() {
         return Err(CliError(format!("{path}: no edges parsed")));

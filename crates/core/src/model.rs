@@ -3,7 +3,7 @@
 use crate::reservoir::Reservoir;
 use crate::select::{select_nodes, Strategy};
 use glodyne_embed::traits::DynamicEmbedder;
-use glodyne_embed::walks::{generate_walks, generate_walks_all, WalkConfig};
+use glodyne_embed::walks::{generate_corpus, generate_corpus_all, WalkConfig};
 use glodyne_embed::{Embedding, SgnsConfig, SgnsModel};
 use glodyne_graph::{Snapshot, SnapshotDiff};
 use rand::SeedableRng;
@@ -70,6 +70,7 @@ pub struct GloDyNE {
     step: usize,
     last_phases: PhaseTimes,
     last_selected: usize,
+    last_pairs: usize,
 }
 
 impl GloDyNE {
@@ -90,6 +91,7 @@ impl GloDyNE {
             step: 0,
             last_phases: PhaseTimes::default(),
             last_selected: 0,
+            last_pairs: 0,
         }
     }
 
@@ -110,6 +112,12 @@ impl GloDyNE {
         self.last_selected
     }
 
+    /// Positive SGNS pairs trained in the most recent step — the
+    /// numerator of the pairs/sec throughput the scale test reports.
+    pub fn last_trained_pairs(&self) -> usize {
+        self.last_pairs
+    }
+
     /// Read-only view of the reservoir (diagnostics/tests).
     pub fn reservoir(&self) -> &Reservoir {
         &self.reservoir
@@ -123,9 +131,9 @@ impl GloDyNE {
             seed: self.cfg.walk.seed ^ (self.step as u64),
             ..self.cfg.walk
         };
-        let walks = generate_walks_all(g0, &walk_cfg);
+        let corpus = generate_corpus_all(g0, &walk_cfg);
         let t1 = Instant::now();
-        self.model.train(&walks);
+        self.last_pairs = self.model.train_corpus(&corpus);
         let t2 = Instant::now();
         self.last_phases = PhaseTimes {
             select: Duration::ZERO,
@@ -165,11 +173,11 @@ impl GloDyNE {
             seed: self.cfg.walk.seed ^ ((self.step as u64) << 32),
             ..self.cfg.walk
         };
-        let walks = generate_walks(curr, &selected, &walk_cfg);
+        let corpus = generate_corpus(curr, &selected, &walk_cfg);
         let t2 = Instant::now();
 
         // Lines 16–17: incremental SGNS training (f^t = f^{t-1}).
-        self.model.train(&walks);
+        self.last_pairs = self.model.train_corpus(&corpus);
         let t3 = Instant::now();
 
         self.last_phases = PhaseTimes {

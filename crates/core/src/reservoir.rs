@@ -110,7 +110,10 @@ mod tests {
     #[test]
     fn clear_node_removes_entry() {
         let mut r = Reservoir::new();
-        r.absorb(&SnapshotDiff::compute(&snap(&[(0, 1)]), &snap(&[(0, 1), (0, 2)])));
+        r.absorb(&SnapshotDiff::compute(
+            &snap(&[(0, 1)]),
+            &snap(&[(0, 1), (0, 2)]),
+        ));
         assert_eq!(r.clear_node(NodeId(0)), 1);
         assert_eq!(r.get(NodeId(0)), 0);
         assert_eq!(r.clear_node(NodeId(0)), 0, "double clear is harmless");

@@ -74,8 +74,7 @@ pub fn select_nodes(
             if pool.is_empty() {
                 return Vec::new();
             }
-            let mut picked: Vec<u32> =
-                (0..k).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
+            let mut picked: Vec<u32> = (0..k).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
             picked.sort_unstable();
             picked.dedup();
             picked
@@ -89,9 +88,7 @@ pub fn select_nodes(
             pool.shuffle(rng);
             let mut picked: Vec<u32> = pool.into_iter().take(k).collect();
             if picked.len() < k {
-                let mut rest: Vec<u32> = (0..n as u32)
-                    .filter(|l| !picked.contains(l))
-                    .collect();
+                let mut rest: Vec<u32> = (0..n as u32).filter(|l| !picked.contains(l)).collect();
                 rest.shuffle(rng);
                 picked.extend(rest.into_iter().take(k - picked.len()));
             }

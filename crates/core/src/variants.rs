@@ -10,7 +10,7 @@
 //!   (Figure 4, §5.3.2).
 
 use glodyne_embed::traits::DynamicEmbedder;
-use glodyne_embed::walks::{generate_walks_all, WalkConfig};
+use glodyne_embed::walks::{generate_corpus_all, WalkConfig};
 use glodyne_embed::{Embedding, SgnsConfig, SgnsModel};
 use glodyne_graph::Snapshot;
 
@@ -46,8 +46,8 @@ impl SgnsStatic {
 impl DynamicEmbedder for SgnsStatic {
     fn advance(&mut self, _prev: Option<&Snapshot>, curr: &Snapshot) {
         if !self.trained {
-            let walks = generate_walks_all(curr, &self.cfg.walk);
-            self.model.train(&walks);
+            let corpus = generate_corpus_all(curr, &self.cfg.walk);
+            self.model.train_corpus(&corpus);
             self.trained = true;
         }
     }
@@ -73,7 +73,11 @@ impl SgnsRetrain {
     /// Build from a variant configuration.
     pub fn new(cfg: VariantConfig) -> Self {
         let model = SgnsModel::new(cfg.sgns.clone());
-        SgnsRetrain { cfg, model, step: 0 }
+        SgnsRetrain {
+            cfg,
+            model,
+            step: 0,
+        }
     }
 }
 
@@ -87,8 +91,8 @@ impl DynamicEmbedder for SgnsRetrain {
             seed: self.cfg.walk.seed ^ (self.step << 16),
             ..self.cfg.walk
         };
-        let walks = generate_walks_all(curr, &walk_cfg);
-        self.model.train(&walks);
+        let corpus = generate_corpus_all(curr, &walk_cfg);
+        self.model.train_corpus(&corpus);
         self.step += 1;
     }
 
@@ -113,7 +117,11 @@ impl SgnsIncrement {
     /// Build from a variant configuration.
     pub fn new(cfg: VariantConfig) -> Self {
         let model = SgnsModel::new(cfg.sgns.clone());
-        SgnsIncrement { cfg, model, step: 0 }
+        SgnsIncrement {
+            cfg,
+            model,
+            step: 0,
+        }
     }
 }
 
@@ -123,8 +131,8 @@ impl DynamicEmbedder for SgnsIncrement {
             seed: self.cfg.walk.seed ^ (self.step << 16),
             ..self.cfg.walk
         };
-        let walks = generate_walks_all(curr, &walk_cfg);
-        self.model.train(&walks);
+        let corpus = generate_corpus_all(curr, &walk_cfg);
+        self.model.train_corpus(&corpus);
         self.step += 1;
     }
 

@@ -31,7 +31,9 @@ fn arb_snapshot_pair() -> impl Strategy<Value = (Snapshot, Snapshot)> {
                 Snapshot::from_edges(&curr_edges, &[]),
             )
         })
-        .prop_filter("both non-empty", |(a, b)| a.num_nodes() > 2 && b.num_nodes() > 2)
+        .prop_filter("both non-empty", |(a, b)| {
+            a.num_nodes() > 2 && b.num_nodes() > 2
+        })
 }
 
 proptest! {

@@ -34,7 +34,10 @@ pub fn router_mesh(scale: f64, steps: usize, seed: u64) -> DynamicNetwork {
     }
 
     // Leaf routers attach to 1–3 existing routers.
-    let attach = |builder: &mut GraphBuilder, alive: &mut Vec<u32>, next_id: &mut u32, rng: &mut ChaCha8Rng| {
+    let attach = |builder: &mut GraphBuilder,
+                  alive: &mut Vec<u32>,
+                  next_id: &mut u32,
+                  rng: &mut ChaCha8Rng| {
         let v = *next_id;
         *next_id += 1;
         let links = rng.gen_range(1..=3usize);

@@ -133,12 +133,12 @@ pub fn labelled_sbm(
     let mut next_id = 0u32;
 
     let add_node = |class: usize,
-                        builder: &mut GraphBuilder,
-                        members: &mut Vec<Vec<u32>>,
-                        deg: &mut Vec<u32>,
-                        labels: &mut HashMap<NodeId, usize>,
-                        next_id: &mut u32,
-                        rng: &mut ChaCha8Rng| {
+                    builder: &mut GraphBuilder,
+                    members: &mut Vec<Vec<u32>>,
+                    deg: &mut Vec<u32>,
+                    labels: &mut HashMap<NodeId, usize>,
+                    next_id: &mut u32,
+                    rng: &mut ChaCha8Rng| {
         let v = *next_id;
         *next_id += 1;
         deg.push(0);
@@ -192,7 +192,13 @@ pub fn labelled_sbm(
     for class in 0..classes {
         for _ in 0..init_per_class {
             add_node(
-                class, &mut builder, &mut members, &mut deg, &mut labels, &mut next_id, &mut rng,
+                class,
+                &mut builder,
+                &mut members,
+                &mut deg,
+                &mut labels,
+                &mut next_id,
+                &mut rng,
             );
         }
     }
@@ -212,7 +218,12 @@ pub fn labelled_sbm(
         for class in 0..classes {
             for _ in 0..grow_per_class {
                 add_node(
-                    class, &mut builder, &mut members, &mut deg, &mut labels, &mut next_id,
+                    class,
+                    &mut builder,
+                    &mut members,
+                    &mut deg,
+                    &mut labels,
+                    &mut next_id,
                     &mut rng,
                 );
             }

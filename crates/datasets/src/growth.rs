@@ -22,7 +22,12 @@ pub(crate) fn preferential_pick(deg: &[u32], rng: &mut impl Rng) -> u32 {
 
 /// Connect a backbone so the LCC covers (almost) all nodes: each node
 /// links to a random earlier node.
-pub(crate) fn seed_backbone(builder: &mut GraphBuilder, n: u32, deg: &mut Vec<u32>, rng: &mut impl Rng) {
+pub(crate) fn seed_backbone(
+    builder: &mut GraphBuilder,
+    n: u32,
+    deg: &mut Vec<u32>,
+    rng: &mut impl Rng,
+) {
     deg.resize(n as usize, 0);
     for v in 1..n {
         let u = rng.gen_range(0..v);
@@ -99,35 +104,33 @@ pub fn coauthor_cliques(scale: f64, steps: usize, seed: u64) -> DynamicNetwork {
     let mut deg: Vec<u32> = Vec::new();
     seed_backbone(&mut builder, n0, &mut deg, &mut rng);
 
-    let publish_batch = |builder: &mut GraphBuilder,
-                             deg: &mut Vec<u32>,
-                             rng: &mut ChaCha8Rng,
-                             papers: usize| {
-        for _ in 0..papers {
-            let team = rng.gen_range(2..=5usize);
-            let mut authors: Vec<u32> = Vec::with_capacity(team);
-            for _ in 0..team {
-                // 15% chance of a brand-new author.
-                let a = if rng.gen::<f64>() < 0.15 {
-                    deg.push(0);
-                    (deg.len() - 1) as u32
-                } else {
-                    preferential_pick(deg, rng)
-                };
-                if !authors.contains(&a) {
-                    authors.push(a);
+    let publish_batch =
+        |builder: &mut GraphBuilder, deg: &mut Vec<u32>, rng: &mut ChaCha8Rng, papers: usize| {
+            for _ in 0..papers {
+                let team = rng.gen_range(2..=5usize);
+                let mut authors: Vec<u32> = Vec::with_capacity(team);
+                for _ in 0..team {
+                    // 15% chance of a brand-new author.
+                    let a = if rng.gen::<f64>() < 0.15 {
+                        deg.push(0);
+                        (deg.len() - 1) as u32
+                    } else {
+                        preferential_pick(deg, rng)
+                    };
+                    if !authors.contains(&a) {
+                        authors.push(a);
+                    }
                 }
-            }
-            for i in 0..authors.len() {
-                for j in (i + 1)..authors.len() {
-                    if builder.add_edge(NodeId(authors[i]), NodeId(authors[j])) {
-                        deg[authors[i] as usize] += 1;
-                        deg[authors[j] as usize] += 1;
+                for i in 0..authors.len() {
+                    for j in (i + 1)..authors.len() {
+                        if builder.add_edge(NodeId(authors[i]), NodeId(authors[j])) {
+                            deg[authors[i] as usize] += 1;
+                            deg[authors[j] as usize] += 1;
+                        }
                     }
                 }
             }
-        }
-    };
+        };
 
     // Dense initial literature.
     publish_batch(&mut builder, &mut deg, &mut rng, (n0 as usize) * 2);
@@ -212,7 +215,11 @@ mod tests {
     fn coauthor_is_dense() {
         let net = coauthor_cliques(0.3, 5, 2);
         let last = net.snapshot(net.len() - 1);
-        assert!(last.mean_degree() > 4.0, "mean degree {}", last.mean_degree());
+        assert!(
+            last.mean_degree() > 4.0,
+            "mean degree {}",
+            last.mean_degree()
+        );
     }
 
     #[test]

@@ -124,7 +124,11 @@ mod tests {
         let names: Vec<&str> = suite.iter().map(|d| d.name).collect();
         assert_eq!(names, vec!["AS733", "Cora", "DBLP", "Elec", "FBW", "HepPh"]);
         for d in &suite {
-            let expected = if d.name == "Cora" || d.name == "DBLP" { 11 } else { 21 };
+            let expected = if d.name == "Cora" || d.name == "DBLP" {
+                11
+            } else {
+                21
+            };
             assert_eq!(d.network.len(), expected, "{} snapshot count", d.name);
         }
     }
@@ -191,8 +195,6 @@ mod tests {
     fn scale_controls_size() {
         let small = elec(0.2, 12);
         let big = elec(0.8, 12);
-        assert!(
-            big.network.snapshot(0).num_nodes() > small.network.snapshot(0).num_nodes()
-        );
+        assert!(big.network.snapshot(0).num_nodes() > small.network.snapshot(0).num_nodes());
     }
 }

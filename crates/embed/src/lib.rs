@@ -5,6 +5,8 @@
 //! - [`alias`] — O(1) discrete sampling (alias method), used for negative
 //!   sampling and for the paper's per-sub-network node selection.
 //! - [`walks`] — truncated random walks (Eq. 5).
+//! - [`corpus`] — the flat zero-copy walk corpus: one contiguous token
+//!   arena + walk offsets shared by walk generation and SGNS training.
 //! - [`pairs`] — sliding-window positive-pair extraction (§4.1.4).
 //! - [`sgns`] — the incremental SGNS model (Eq. 6–11): warm-startable,
 //!   Hogwild-parallel, with new-node vocabulary growth.
@@ -16,6 +18,7 @@
 
 pub mod alias;
 pub mod biased_walks;
+pub mod corpus;
 pub mod embedding;
 pub mod pairs;
 pub mod persist;
@@ -24,6 +27,7 @@ pub mod traits;
 pub mod walks;
 pub mod weighted_walks;
 
+pub use corpus::WalkCorpus;
 pub use embedding::Embedding;
 pub use sgns::{SgnsConfig, SgnsModel};
 pub use traits::DynamicEmbedder;

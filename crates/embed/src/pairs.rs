@@ -38,9 +38,7 @@ pub fn pair_count(n: usize, s: usize) -> usize {
     if n <= 1 {
         return 0;
     }
-    (0..n)
-        .map(|i| i.min(s) + (n - 1 - i).min(s))
-        .sum()
+    (0..n).map(|i| i.min(s) + (n - 1 - i).min(s)).sum()
 }
 
 #[cfg(test)]

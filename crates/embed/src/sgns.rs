@@ -10,9 +10,26 @@
 //!
 //! Negatives are drawn from the unigram distribution of the current
 //! corpus raised to the 3/4 power (word2vec's `P_D`). The incremental
-//! paradigm (Eq. 11) falls out naturally: call [`SgnsModel::train`]
-//! again with a new corpus — existing vectors are reused (`f^t = f^{t-1}`,
-//! Algorithm 1 line 17) and new nodes get fresh random rows.
+//! paradigm (Eq. 11) falls out naturally: call
+//! [`SgnsModel::train_corpus`] again with a new corpus — existing
+//! vectors are reused (`f^t = f^{t-1}`, Algorithm 1 line 17) and new
+//! nodes get fresh random rows.
+//!
+//! The hot path consumes a flat [`WalkCorpus`] directly: tokens are read
+//! straight out of the contiguous arena, vocabulary mapping costs one
+//! array lookup per token (hashing happens once per *distinct* node),
+//! and Hogwild workers are scheduled over contiguous *ranges* of walks
+//! with one learning-rate reservation and one reusable gradient scratch
+//! buffer per range — not one atomic increment and one allocation per
+//! pair/walk as the legacy path did. The inner loop applies the
+//! standard word2vec micro-optimisations: a precomputed sigmoid table
+//! instead of `exp()` per sample, a SplitMix64 negative-sampling stream
+//! instead of a cryptographic RNG (walk *generation* keeps ChaCha8 so
+//! walk content is stable; reference word2vec goes further and uses a
+//! bare LCG here), and a hoisted center-row copy so the update loops
+//! are tight zips the compiler can vectorise. The legacy
+//! [`SgnsModel::train`]`(&[Vec<NodeId>])` entry point survives as a thin
+//! shim over the corpus path.
 //!
 //! Parallelism is word2vec-style Hogwild: threads update the shared
 //! matrices without locks. Races lose the occasional update, which SGD
@@ -20,6 +37,7 @@
 //! deterministic runs (tests, debugging).
 
 use crate::alias::AliasTable;
+use crate::corpus::WalkCorpus;
 use crate::embedding::Embedding;
 use crate::pairs;
 use glodyne_graph::NodeId;
@@ -127,40 +145,54 @@ impl SgnsModel {
         i
     }
 
-    /// Train on a walk corpus (one incremental step). Returns the number
-    /// of positive pairs processed.
+    /// Legacy entry point: train on materialised `NodeId` walks. A thin
+    /// shim that flattens into a [`WalkCorpus`] (interning in first-
+    /// occurrence order, as the historical implementation did) and
+    /// delegates to [`SgnsModel::train_corpus`]; sequential results are
+    /// bit-exact with the corpus path.
     pub fn train(&mut self, walks: &[Vec<NodeId>]) -> usize {
         if walks.is_empty() {
             return 0;
         }
-        // Intern corpus, count frequencies, and translate to indices.
-        // Counts are reset per call: Eq. 9 samples negatives from the
-        // unigram distribution of the *current* `D^t`, which also keeps
-        // long-dead nodes (AS733 churn) out of the negative table.
+        let corpus = WalkCorpus::from_nodeid_walks(walks);
+        self.train_corpus(&corpus)
+    }
+
+    /// Train on a flat walk corpus (one incremental step). Returns the
+    /// number of positive pairs processed.
+    ///
+    /// Scheduling: walks are processed in contiguous ranges (~4 per
+    /// Hogwild worker). Each range reserves its learning-rate schedule
+    /// positions with a single `fetch_add` per walk and reuses one
+    /// gradient scratch buffer; with `parallel: false` the single range
+    /// `0..num_walks` reproduces the legacy per-pair schedule exactly.
+    pub fn train_corpus(&mut self, corpus: &WalkCorpus) -> usize {
+        if corpus.is_empty() {
+            return 0;
+        }
+        // Map corpus tokens to model rows, interning each distinct node
+        // the first time its token appears (= first-occurrence order in
+        // the token stream), and count frequencies. Counts are reset per
+        // call: Eq. 9 samples negatives from the unigram distribution of
+        // the *current* `D^t`, which also keeps long-dead nodes (AS733
+        // churn) out of the negative table.
         self.counts.iter_mut().for_each(|c| *c = 0);
-        let indexed: Vec<Vec<u32>> = walks
-            .iter()
-            .map(|walk| {
-                walk.iter()
-                    .map(|&id| {
-                        let i = self.intern(id);
-                        self.counts[i as usize] += 1;
-                        i
-                    })
-                    .collect()
-            })
-            .collect();
+        let node_ids = corpus.node_ids();
+        let mut rows = vec![u32::MAX; node_ids.len()];
+        for &tok in corpus.tokens() {
+            let row = &mut rows[tok as usize];
+            if *row == u32::MAX {
+                *row = self.intern(node_ids[tok as usize]);
+            }
+            self.counts[*row as usize] += 1;
+        }
 
         // Unigram^0.75 negative table over the current corpus.
-        let weights: Vec<f64> = self
-            .counts
-            .iter()
-            .map(|&c| (c as f64).powf(0.75))
-            .collect();
+        let weights: Vec<f64> = self.counts.iter().map(|&c| (c as f64).powf(0.75)).collect();
         let negative_table = AliasTable::new(&weights);
 
-        let total_pairs: usize = indexed
-            .iter()
+        let total_pairs: usize = corpus
+            .walks()
             .map(|w| pairs::pair_count(w.len(), self.cfg.window))
             .sum::<usize>()
             * self.cfg.epochs;
@@ -175,82 +207,111 @@ impl SgnsModel {
         let progress = AtomicUsize::new(0);
         let cfg = &self.cfg;
         let dim = cfg.dim;
+        let rows = &rows;
         // Capture the whole struct reference (not its non-Sync fields)
         // so the closure is Sync via SharedWeights' unsafe impl.
         let shared_ref: &SharedWeights = &shared;
 
-        let run_walk = |epoch: usize, wi: usize, walk: &Vec<u32>| {
+        // One contiguous range of walks, one set of scratch buffers
+        // (`scratch` = [gradient accumulator | center-row copy]).
+        let run_range = |epoch: usize, walk_lo: usize, walk_hi: usize, scratch: &mut [f32]| {
             // SAFETY: Hogwild — concurrent unsynchronised f32 writes are
             // tolerated by SGD (word2vec). Rows are disjoint per update
             // except when threads collide on a node, which is rare and
             // only perturbs the stochastic gradient.
             let input = unsafe { &mut *shared_ref.input.get() };
             let output = unsafe { &mut *shared_ref.output.get() };
-            let mut rng = ChaCha8Rng::seed_from_u64(
-                cfg.seed
-                    .wrapping_add((epoch as u64) << 40)
-                    .wrapping_add((wi as u64).wrapping_mul(0x9E37_79B9)),
-            );
-            let mut grad_acc = vec![0.0f32; dim];
-            let n = walk.len();
-            for ci in 0..n {
-                let center = walk[ci] as usize;
-                let lo = ci.saturating_sub(cfg.window);
-                let hi = (ci + cfg.window).min(n - 1);
-                for xi in lo..=hi {
-                    if xi == ci {
-                        continue;
-                    }
-                    let context = walk[xi] as usize;
-                    let done = progress.fetch_add(1, Ordering::Relaxed);
-                    let lr = (cfg.initial_lr
-                        * (1.0 - done as f32 / total_pairs as f32))
-                        .max(cfg.initial_lr * 1e-2);
-                    grad_acc.iter_mut().for_each(|g| *g = 0.0);
-                    let crow = ci_row(input, center, dim);
-                    // positive sample + q negatives
-                    for neg in 0..=cfg.negatives {
-                        let (target, label) = if neg == 0 {
-                            (context, 1.0f32)
-                        } else {
-                            let t = negative_table.sample(&mut rng);
-                            if t == context {
-                                continue;
+            let (grad_acc, center_buf) = scratch.split_at_mut(dim);
+            for wi in walk_lo..walk_hi {
+                let walk = corpus.walk(wi);
+                let walk_pairs = pairs::pair_count(walk.len(), cfg.window);
+                if walk_pairs == 0 {
+                    continue;
+                }
+                // Reserve this walk's slots in the global LR schedule in
+                // one shot (the legacy path paid one contended atomic
+                // per pair).
+                let mut done = progress.fetch_add(walk_pairs, Ordering::Relaxed);
+                let mut rng = FastRng::new(
+                    cfg.seed
+                        .wrapping_add((epoch as u64) << 40)
+                        .wrapping_add((wi as u64).wrapping_mul(0x9E37_79B9)),
+                );
+                let n = walk.len();
+                for ci in 0..n {
+                    let center = rows[walk[ci] as usize] as usize;
+                    let lo = ci.saturating_sub(cfg.window);
+                    let hi = (ci + cfg.window).min(n - 1);
+                    for xi in lo..=hi {
+                        if xi == ci {
+                            continue;
+                        }
+                        let context = rows[walk[xi] as usize] as usize;
+                        let lr = (cfg.initial_lr * (1.0 - done as f32 / total_pairs as f32))
+                            .max(cfg.initial_lr * 1e-2);
+                        done += 1;
+                        grad_acc.iter_mut().for_each(|g| *g = 0.0);
+                        // Hoist the center row: the input matrix is not
+                        // touched again until the pair's final update, so
+                        // one copy frees the update loops below from
+                        // aliasing `input` and `output` simultaneously.
+                        center_buf.copy_from_slice(ci_row(input, center, dim));
+                        // positive sample + q negatives
+                        for neg in 0..=cfg.negatives {
+                            let (target, label) = if neg == 0 {
+                                (context, 1.0f32)
+                            } else {
+                                let t = negative_table.sample(&mut rng);
+                                if t == context {
+                                    continue;
+                                }
+                                (t, 0.0f32)
+                            };
+                            let trow = ci_row_mut(output, target, dim);
+                            let mut dot = 0.0f32;
+                            for (c, t) in center_buf.iter().zip(trow.iter()) {
+                                dot += c * t;
                             }
-                            (t, 0.0f32)
-                        };
-                        let trow = ci_row(output, target, dim);
-                        let mut dot = 0.0f32;
-                        for k in 0..dim {
-                            dot += crow[k] * trow[k];
+                            let g = (label - sigmoid_table(dot)) * lr;
+                            for ((acc, t), c) in grad_acc
+                                .iter_mut()
+                                .zip(trow.iter_mut())
+                                .zip(center_buf.iter())
+                            {
+                                *acc += g * *t;
+                                *t += g * c;
+                            }
                         }
-                        let g = (label - sigmoid32(dot)) * lr;
-                        for k in 0..dim {
-                            grad_acc[k] += g * trow[k];
+                        let crow = ci_row_mut(input, center, dim);
+                        for (w, acc) in crow.iter_mut().zip(grad_acc.iter()) {
+                            *w += acc;
                         }
-                        let trow = ci_row_mut(output, target, dim);
-                        for k in 0..dim {
-                            trow[k] += g * crow_cached(input, center, dim, k);
-                        }
-                    }
-                    let crow = ci_row_mut(input, center, dim);
-                    for k in 0..dim {
-                        crow[k] += grad_acc[k];
                     }
                 }
             }
         };
 
-        for epoch in 0..cfg.epochs {
-            if cfg.parallel {
-                indexed
-                    .par_iter()
-                    .enumerate()
-                    .for_each(|(wi, walk)| run_walk(epoch, wi, walk));
-            } else {
-                for (wi, walk) in indexed.iter().enumerate() {
-                    run_walk(epoch, wi, walk);
-                }
+        let num_walks = corpus.num_walks();
+        if cfg.parallel {
+            // ~4 ranges per worker: large enough to amortise scratch
+            // setup and scheduling, small enough to load-balance.
+            let chunk = num_walks
+                .div_ceil((rayon::current_num_threads() * 4).max(1))
+                .max(1);
+            for epoch in 0..cfg.epochs {
+                let ranges: Vec<(usize, usize)> = (0..num_walks)
+                    .step_by(chunk)
+                    .map(|lo| (lo, (lo + chunk).min(num_walks)))
+                    .collect();
+                ranges.into_par_iter().for_each(|(lo, hi)| {
+                    let mut scratch = vec![0.0f32; 2 * dim];
+                    run_range(epoch, lo, hi, &mut scratch);
+                });
+            }
+        } else {
+            let mut scratch = vec![0.0f32; 2 * dim];
+            for epoch in 0..cfg.epochs {
+                run_range(epoch, 0, num_walks, &mut scratch);
             }
         }
 
@@ -316,8 +377,9 @@ struct SharedWeights {
     input: UnsafeCell<Vec<f32>>,
     output: UnsafeCell<Vec<f32>>,
 }
-// SAFETY: see the Hogwild comment in `train` — racy f32 updates are an
-// accepted part of the algorithm, as in the reference word2vec code.
+// SAFETY: see the Hogwild comment in `train_corpus` — racy f32 updates
+// are an accepted part of the algorithm, as in the reference word2vec
+// code.
 unsafe impl Sync for SharedWeights {}
 
 #[inline]
@@ -331,17 +393,68 @@ fn ci_row_mut(buf: &mut [f32], row: usize, dim: usize) -> &mut [f32] {
 }
 
 #[inline]
-fn crow_cached(buf: &[f32], row: usize, dim: usize, k: usize) -> f32 {
-    buf[row * dim + k]
-}
-
-#[inline]
 fn sigmoid32(x: f32) -> f32 {
     if x >= 0.0 {
         1.0 / (1.0 + (-x).exp())
     } else {
         let e = x.exp();
         e / (1.0 + e)
+    }
+}
+
+const SIGMOID_TABLE_SIZE: usize = 1024;
+const SIGMOID_MAX_X: f32 = 6.0;
+
+/// word2vec's EXP_TABLE: σ precomputed over `[-6, 6]` at bucket
+/// midpoints. σ saturates to within 2.5e-3 of {0, 1} outside the range,
+/// and the ~1e-2 in-range quantisation is far below SGD's noise floor.
+static SIGMOID_TABLE: std::sync::LazyLock<[f32; SIGMOID_TABLE_SIZE]> =
+    std::sync::LazyLock::new(|| {
+        std::array::from_fn(|i| {
+            let x = ((i as f32 + 0.5) / SIGMOID_TABLE_SIZE as f32) * (2.0 * SIGMOID_MAX_X)
+                - SIGMOID_MAX_X;
+            sigmoid32(x)
+        })
+    });
+
+/// Table-lookup sigmoid for the training hot loop.
+#[inline]
+fn sigmoid_table(x: f32) -> f32 {
+    if x >= SIGMOID_MAX_X {
+        1.0
+    } else if x <= -SIGMOID_MAX_X {
+        0.0
+    } else {
+        let scale = SIGMOID_TABLE_SIZE as f32 / (2.0 * SIGMOID_MAX_X);
+        // The `.min` is load-bearing: for the largest f32 below 6.0,
+        // `x + 6.0` rounds up to exactly 12.0 and would index one past
+        // the table.
+        SIGMOID_TABLE[(((x + SIGMOID_MAX_X) * scale) as usize).min(SIGMOID_TABLE_SIZE - 1)]
+    }
+}
+
+/// SplitMix64 negative-sampling stream: ~3ns per draw where the block
+/// cipher costs ~10× that, and statistically plenty for picking noise
+/// samples (reference word2vec uses a bare LCG here). Deterministic per
+/// `(seed, epoch, walk)` like the ChaCha stream it replaces.
+struct FastRng(u64);
+
+impl FastRng {
+    #[inline]
+    fn new(seed: u64) -> Self {
+        FastRng(seed)
+    }
+}
+
+impl rand::RngCore for FastRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        crate::walks::splitmix64_next(&mut self.0)
+    }
+
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
     }
 }
 
@@ -426,6 +539,44 @@ mod tests {
     }
 
     #[test]
+    fn train_corpus_bit_exact_with_legacy_shim() {
+        // The shim flattens `NodeId` walks into a corpus; feeding an
+        // equivalent corpus directly must produce identical bits in
+        // sequential mode (same intern order, same LR schedule, same
+        // RNG streams).
+        let walks = two_community_walks();
+        let mut via_shim = SgnsModel::new(seq_cfg(8));
+        let shim_pairs = via_shim.train(&walks);
+
+        let corpus = WalkCorpus::from_nodeid_walks(&walks);
+        let mut via_corpus = SgnsModel::new(seq_cfg(8));
+        let corpus_pairs = via_corpus.train_corpus(&corpus);
+
+        assert_eq!(shim_pairs, corpus_pairs);
+        let (a, b) = (via_shim.embedding(), via_corpus.embedding());
+        assert_eq!(a.len(), b.len());
+        for (id, va) in a.iter() {
+            assert_eq!(va, b.get(id).unwrap(), "row for {id} diverged");
+        }
+    }
+
+    #[test]
+    fn incremental_train_corpus_warm_starts_like_train() {
+        // Two-step incremental run through both entry points.
+        let step1 = two_community_walks();
+        let step2 = vec![vec![NodeId(0), NodeId(9), NodeId(0), NodeId(9)]];
+        let mut shim = SgnsModel::new(seq_cfg(8));
+        shim.train(&step1);
+        shim.train(&step2);
+        let mut direct = SgnsModel::new(seq_cfg(8));
+        direct.train_corpus(&WalkCorpus::from_nodeid_walks(&step1));
+        direct.train_corpus(&WalkCorpus::from_nodeid_walks(&step2));
+        for (id, va) in shim.embedding().iter() {
+            assert_eq!(va, direct.embedding().get(id).unwrap());
+        }
+    }
+
+    #[test]
     fn incremental_training_preserves_old_vectors_roughly() {
         // Warm-start: vectors of untouched nodes must be identical after
         // a second train call on a disjoint corpus.
@@ -452,6 +603,8 @@ mod tests {
         let mut m = SgnsModel::new(seq_cfg(4));
         assert_eq!(m.train(&[]), 0);
         assert_eq!(m.vocab_len(), 0);
+        assert_eq!(m.train_corpus(&WalkCorpus::from_nodeid_walks(&[])), 0);
+        assert_eq!(m.vocab_len(), 0);
     }
 
     #[test]
@@ -463,6 +616,22 @@ mod tests {
             ..seq_cfg(16)
         });
         m.train(&walks);
+        let e = m.embedding();
+        let intra = e.cosine(NodeId(0), NodeId(1)).unwrap();
+        let inter = e.cosine(NodeId(0), NodeId(6)).unwrap();
+        assert!(intra > inter);
+    }
+
+    #[test]
+    fn parallel_train_corpus_matches_quality() {
+        let walks = two_community_walks();
+        let corpus = WalkCorpus::from_nodeid_walks(&walks);
+        let mut m = SgnsModel::new(SgnsConfig {
+            parallel: true,
+            epochs: 20,
+            ..seq_cfg(16)
+        });
+        m.train_corpus(&corpus);
         let e = m.embedding();
         let intra = e.cosine(NodeId(0), NodeId(1)).unwrap();
         let inter = e.cosine(NodeId(0), NodeId(6)).unwrap();

@@ -66,7 +66,10 @@ mod tests {
     fn run_over_visits_all_snapshots() {
         let s0 = Snapshot::from_edges(&[Edge::new(NodeId(0), NodeId(1))], &[]);
         let s1 = Snapshot::from_edges(
-            &[Edge::new(NodeId(0), NodeId(1)), Edge::new(NodeId(1), NodeId(2))],
+            &[
+                Edge::new(NodeId(0), NodeId(1)),
+                Edge::new(NodeId(1), NodeId(2)),
+            ],
             &[],
         );
         let mut e = DegreeEmbedder {

@@ -2,10 +2,24 @@
 //!
 //! For an unweighted snapshot the transition probability of Eq. 5 is
 //! uniform over the current node's neighbours — a DeepWalk-style walker.
-//! Walk generation is embarrassingly parallel; we fan out over starting
-//! nodes with rayon, seeding each walk's RNG from `(seed, start, rep)` so
-//! that results are independent of thread scheduling.
+//! Walk generation is embarrassingly parallel; we fan out over walks
+//! with rayon, seeding each walk's RNG from a SplitMix64 mix of
+//! `(seed, start, rep)` so that results are independent of thread
+//! scheduling and distinct configured seeds yield distinct streams.
+//!
+//! Two output formats:
+//! - [`generate_corpus`] / [`generate_corpus_all`] — the **flat path**:
+//!   walk lengths are known up front (a walk stops early only at an
+//!   isolated *start*, because an undirected edge can never lead to a
+//!   degree-0 node), so the token arena of a [`WalkCorpus`] is pre-sized
+//!   exactly and each walk is written in parallel into its own disjoint
+//!   slice. No per-walk allocation, no `NodeId` hashing.
+//! - [`generate_walks`] / [`generate_walks_all`] — the **legacy path**
+//!   returning `Vec<Vec<NodeId>>`, kept for the compatibility shim and
+//!   as the old-pipeline baseline in benchmarks. Walk contents are
+//!   identical to the flat path for the same configuration.
 
+use crate::corpus::WalkCorpus;
 use glodyne_graph::{NodeId, Snapshot};
 use rand::Rng;
 use rand::SeedableRng;
@@ -33,6 +47,35 @@ impl Default for WalkConfig {
     }
 }
 
+/// Advance a SplitMix64 state and return the next output. Shared by the
+/// per-walk seed mixing below and the SGNS negative-sampling stream —
+/// the single home of the SplitMix64 constants in this crate.
+#[inline]
+pub(crate) fn splitmix64_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Stateless one-shot SplitMix64 mix of `z`.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    splitmix64_next(&mut z)
+}
+
+/// Per-walk RNG seed: a SplitMix64 chain over `(seed, start, rep)`.
+///
+/// The previous scheme multiplied `seed` by a constant, so the default
+/// `seed = 0` collapsed every configured stream onto one that depended
+/// only on `(start, rep)`. Chaining through SplitMix64 keeps all three
+/// inputs live regardless of their values.
+#[inline]
+pub fn walk_rng_seed(seed: u64, start: u64, rep: u64) -> u64 {
+    splitmix64(splitmix64(splitmix64(seed) ^ start) ^ rep)
+}
+
 /// One truncated random walk from `start` (a local index); output is
 /// global [`NodeId`]s. A walk stops early only at an isolated node.
 pub fn random_walk(g: &Snapshot, start: usize, length: usize, rng: &mut impl Rng) -> Vec<NodeId> {
@@ -50,27 +93,99 @@ pub fn random_walk(g: &Snapshot, start: usize, length: usize, rng: &mut impl Rng
     walk
 }
 
-/// Generate `r` walks from every node in `starts` (local indices), in
-/// parallel. Deterministic for a fixed config regardless of thread count.
+/// Write one walk of local-index tokens into `out`, whose length must
+/// already equal the walk's exact length (see [`walk_len`]). Draws the
+/// same RNG sequence as [`random_walk`], so both paths produce identical
+/// node sequences for the same seed.
+fn random_walk_into(g: &Snapshot, start: usize, out: &mut [u32], rng: &mut impl Rng) {
+    let mut cur = start;
+    out[0] = start as u32;
+    for slot in out[1..].iter_mut() {
+        let ns = g.neighbors(cur);
+        cur = ns[rng.gen_range(0..ns.len())] as usize;
+        *slot = cur as u32;
+    }
+}
+
+/// Exact length of a walk from `start`: `l`, unless the start is
+/// isolated (degree 0), in which case the walk is just the start itself.
+/// Mid-walk early stops are impossible on an undirected snapshot — every
+/// node reached over an edge has that edge back, hence degree ≥ 1.
+#[inline]
+fn walk_len(g: &Snapshot, start: usize, l: usize) -> usize {
+    if g.degree(start) == 0 {
+        1
+    } else {
+        l
+    }
+}
+
+/// Generate `r` walks from every node in `starts` (local indices)
+/// directly into a flat [`WalkCorpus`] arena, in parallel.
+/// Deterministic for a fixed config regardless of thread count.
+pub fn generate_corpus(g: &Snapshot, starts: &[u32], cfg: &WalkConfig) -> WalkCorpus {
+    let r = cfg.walks_per_node;
+    let l = cfg.walk_length.max(1);
+    let num_walks = starts.len() * r;
+
+    // Pre-size the arena: every walk's length is known a priori.
+    let mut offsets = Vec::with_capacity(num_walks + 1);
+    offsets.push(0usize);
+    let mut total = 0usize;
+    for &start in starts {
+        let len = walk_len(g, start as usize, l);
+        for _ in 0..r {
+            total += len;
+            offsets.push(total);
+        }
+    }
+    let mut tokens = vec![0u32; total];
+
+    // Carve the arena into one disjoint slice per walk, then fill the
+    // slices in parallel.
+    let mut slices: Vec<&mut [u32]> = Vec::with_capacity(num_walks);
+    let mut rest: &mut [u32] = &mut tokens;
+    for w in 0..num_walks {
+        let len = offsets[w + 1] - offsets[w];
+        let (head, tail) = rest.split_at_mut(len);
+        slices.push(head);
+        rest = tail;
+    }
+    slices.into_par_iter().enumerate().for_each(|(w, slice)| {
+        let start = starts[w / r];
+        let rep = w % r;
+        let mut rng = ChaCha8Rng::seed_from_u64(walk_rng_seed(cfg.seed, start as u64, rep as u64));
+        random_walk_into(g, start as usize, slice, &mut rng);
+    });
+
+    WalkCorpus::from_raw_parts(tokens, offsets, g.node_ids().to_vec())
+}
+
+/// Flat-corpus walks from *all* nodes — the offline stage (`V^0_all`,
+/// Algorithm 1 line 2) and the SGNS-retrain/increment variants.
+pub fn generate_corpus_all(g: &Snapshot, cfg: &WalkConfig) -> WalkCorpus {
+    let starts: Vec<u32> = (0..g.num_nodes() as u32).collect();
+    generate_corpus(g, &starts, cfg)
+}
+
+/// Legacy path: `r` walks from every node in `starts` as one `Vec` per
+/// walk. Kept for the `train` compatibility shim and as the old-pipeline
+/// baseline in benchmarks; new call sites should prefer
+/// [`generate_corpus`].
 pub fn generate_walks(g: &Snapshot, starts: &[u32], cfg: &WalkConfig) -> Vec<Vec<NodeId>> {
     starts
         .par_iter()
         .flat_map_iter(|&start| {
             (0..cfg.walks_per_node).map(move |rep| {
-                let mut rng = ChaCha8Rng::seed_from_u64(
-                    cfg.seed
-                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                        .wrapping_add((start as u64) << 20)
-                        .wrapping_add(rep as u64),
-                );
+                let mut rng =
+                    ChaCha8Rng::seed_from_u64(walk_rng_seed(cfg.seed, start as u64, rep as u64));
                 random_walk(g, start as usize, cfg.walk_length, &mut rng)
             })
         })
         .collect()
 }
 
-/// Walks from *all* nodes — the offline stage (`V^0_all`, Algorithm 1
-/// line 2) and the SGNS-retrain/increment variants.
+/// Legacy-path walks from *all* nodes.
 pub fn generate_walks_all(g: &Snapshot, cfg: &WalkConfig) -> Vec<Vec<NodeId>> {
     let starts: Vec<u32> = (0..g.num_nodes() as u32).collect();
     generate_walks(g, &starts, cfg)
@@ -102,7 +217,12 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let w = random_walk(&g, 3, 30, &mut rng);
         for pair in w.windows(2) {
-            assert!(g.has_edge_ids(pair[0], pair[1]), "{} -> {}", pair[0], pair[1]);
+            assert!(
+                g.has_edge_ids(pair[0], pair[1]),
+                "{} -> {}",
+                pair[0],
+                pair[1]
+            );
         }
     }
 
@@ -140,9 +260,54 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let g = ring(16);
-        let a = generate_walks(&g, &[0], &WalkConfig { seed: 1, ..Default::default() });
-        let b = generate_walks(&g, &[0], &WalkConfig { seed: 2, ..Default::default() });
+        let a = generate_walks(
+            &g,
+            &[0],
+            &WalkConfig {
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        let b = generate_walks(
+            &g,
+            &[0],
+            &WalkConfig {
+                seed: 2,
+                ..Default::default()
+            },
+        );
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_seed_no_longer_collapses_the_stream() {
+        // Regression: the old mixing multiplied `seed` by a constant, so
+        // the default seed 0 contributed nothing to the per-walk seed —
+        // the stream was a function of `(start, rep)` alone, with the
+        // seed's entropy confined to a single linear offset for other
+        // values. The SplitMix chain keeps all three inputs live.
+        let g = ring(16);
+        let zero = generate_walks(
+            &g,
+            &[0, 1],
+            &WalkConfig {
+                seed: 0,
+                ..Default::default()
+            },
+        );
+        let one = generate_walks(
+            &g,
+            &[0, 1],
+            &WalkConfig {
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        assert_ne!(zero, one);
+        // And the raw mix itself keeps all three inputs live.
+        assert_ne!(walk_rng_seed(0, 3, 1), walk_rng_seed(1, 3, 1));
+        assert_ne!(walk_rng_seed(0, 3, 1), walk_rng_seed(0, 4, 1));
+        assert_ne!(walk_rng_seed(0, 3, 1), walk_rng_seed(0, 3, 2));
     }
 
     #[test]
@@ -152,5 +317,56 @@ mod tests {
         let w = random_walk(&g, 0, 500, &mut rng);
         let distinct: std::collections::HashSet<_> = w.into_iter().collect();
         assert_eq!(distinct.len(), 6);
+    }
+
+    #[test]
+    fn corpus_matches_legacy_walks() {
+        let g = ring(20);
+        let cfg = WalkConfig {
+            walks_per_node: 4,
+            walk_length: 12,
+            seed: 5,
+        };
+        let starts = [0u32, 3, 7, 19];
+        let legacy = generate_walks(&g, &starts, &cfg);
+        let corpus = generate_corpus(&g, &starts, &cfg);
+        assert_eq!(corpus.num_walks(), legacy.len());
+        for (i, walk) in legacy.iter().enumerate() {
+            assert_eq!(&corpus.walk_node_ids(i), walk, "walk {i} differs");
+        }
+    }
+
+    #[test]
+    fn corpus_handles_isolated_starts() {
+        let g = Snapshot::from_edges(&[Edge::new(NodeId(0), NodeId(1))], &[NodeId(9)]);
+        let iso = g.local_of(NodeId(9)).unwrap() as u32;
+        let cfg = WalkConfig {
+            walks_per_node: 2,
+            walk_length: 6,
+            seed: 1,
+        };
+        let corpus = generate_corpus(&g, &[0, iso], &cfg);
+        assert_eq!(corpus.num_walks(), 4);
+        assert_eq!(corpus.walk(0).len(), 6);
+        assert_eq!(
+            corpus.walk(2).len(),
+            1,
+            "isolated start yields a length-1 walk"
+        );
+        assert_eq!(corpus.walk_node_ids(2), vec![NodeId(9)]);
+        assert_eq!(
+            corpus.num_tokens(),
+            corpus.walks().map(<[u32]>::len).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn corpus_generation_is_deterministic() {
+        let g = ring(30);
+        let cfg = WalkConfig::default();
+        let a = generate_corpus_all(&g, &cfg);
+        let b = generate_corpus_all(&g, &cfg);
+        assert_eq!(a.tokens(), b.tokens());
+        assert_eq!(a.offsets(), b.offsets());
     }
 }

@@ -42,7 +42,9 @@ impl<'a> WeightedWalker<'a> {
         let mut cur = start;
         walk.push(t.node_id(cur));
         for _ in 1..length {
-            let Some(table) = &self.tables[cur] else { break };
+            let Some(table) = &self.tables[cur] else {
+                break;
+            };
             let pos = table.sample(rng);
             cur = t.neighbors(cur)[pos] as usize;
             walk.push(t.node_id(cur));

@@ -1,8 +1,9 @@
 //! Property tests for the embedding machinery.
 
 use glodyne_embed::alias::AliasTable;
+use glodyne_embed::corpus::WalkCorpus;
 use glodyne_embed::pairs;
-use glodyne_embed::walks::{generate_walks, random_walk, WalkConfig};
+use glodyne_embed::walks::{generate_corpus, generate_walks, random_walk, WalkConfig};
 use glodyne_embed::Embedding;
 use glodyne_graph::id::{Edge, NodeId};
 use glodyne_graph::Snapshot;
@@ -55,6 +56,66 @@ proptest! {
         prop_assert_eq!(walks.len(), starts.len() * r);
         for w in &walks {
             prop_assert!(w.len() <= l && !w.is_empty());
+        }
+    }
+
+    /// `WalkCorpus` round-trips walk boundaries and tokens exactly: for
+    /// any list of walks pushed into the flat arena, every walk comes
+    /// back with the same tokens at the same index, and the offsets
+    /// tile the arena without gaps.
+    #[test]
+    fn corpus_round_trips_walk_boundaries(
+        walks in prop::collection::vec(prop::collection::vec(0u32..50, 0..30), 0..25),
+    ) {
+        let node_ids: Vec<NodeId> = (0..50).map(NodeId).collect();
+        let mut c = WalkCorpus::new(node_ids);
+        for w in &walks {
+            c.push_walk(w);
+        }
+        prop_assert_eq!(c.num_walks(), walks.len());
+        prop_assert_eq!(c.num_tokens(), walks.iter().map(Vec::len).sum::<usize>());
+        for (i, w) in walks.iter().enumerate() {
+            prop_assert_eq!(c.walk(i), w.as_slice(), "walk {} differs", i);
+        }
+        // Offsets tile the arena: sorted, starting at 0, ending at len.
+        let offs = c.offsets();
+        prop_assert_eq!(offs[0], 0);
+        prop_assert_eq!(*offs.last().unwrap(), c.num_tokens());
+        prop_assert!(offs.windows(2).all(|w| w[0] <= w[1]));
+        // And the iterator view agrees with indexed access.
+        for (i, w) in c.walks().enumerate() {
+            prop_assert_eq!(w, c.walk(i));
+        }
+    }
+
+    /// The NodeId compatibility path preserves walk structure and maps
+    /// tokens back to the original ids.
+    #[test]
+    fn corpus_from_nodeid_walks_round_trips(
+        walks in prop::collection::vec(prop::collection::vec(0u32..40, 0..20), 0..15),
+    ) {
+        let walks: Vec<Vec<NodeId>> = walks
+            .into_iter()
+            .map(|w| w.into_iter().map(NodeId).collect())
+            .collect();
+        let c = WalkCorpus::from_nodeid_walks(&walks);
+        prop_assert_eq!(c.num_walks(), walks.len());
+        for (i, w) in walks.iter().enumerate() {
+            prop_assert_eq!(&c.walk_node_ids(i), w, "walk {} differs", i);
+        }
+    }
+
+    /// The flat generation path emits exactly the walks of the legacy
+    /// path for every graph, start set, and seed.
+    #[test]
+    fn corpus_generation_matches_legacy((g, seed) in (arb_connected_graph(), 0u64..50), r in 1usize..3, l in 2usize..12) {
+        let cfg = WalkConfig { walks_per_node: r, walk_length: l, seed };
+        let starts: Vec<u32> = (0..g.num_nodes() as u32).step_by(3).collect();
+        let legacy = generate_walks(&g, &starts, &cfg);
+        let corpus = generate_corpus(&g, &starts, &cfg);
+        prop_assert_eq!(corpus.num_walks(), legacy.len());
+        for (i, w) in legacy.iter().enumerate() {
+            prop_assert_eq!(&corpus.walk_node_ids(i), w, "walk {} differs", i);
         }
     }
 

@@ -94,7 +94,10 @@ mod tests {
     fn add_remove_edge() {
         let mut b = GraphBuilder::new();
         assert!(b.add_edge(NodeId(0), NodeId(1)));
-        assert!(!b.add_edge(NodeId(1), NodeId(0)), "duplicate in either order");
+        assert!(
+            !b.add_edge(NodeId(1), NodeId(0)),
+            "duplicate in either order"
+        );
         assert_eq!(b.num_edges(), 1);
         assert!(b.remove_edge(NodeId(0), NodeId(1)));
         assert!(!b.remove_edge(NodeId(0), NodeId(1)));

@@ -161,7 +161,11 @@ impl Snapshot {
     /// Neighbour global ids of a *global* id; empty if the node is absent.
     pub fn neighbor_ids(&self, id: NodeId) -> Vec<NodeId> {
         match self.local_of(id) {
-            Some(l) => self.neighbors(l).iter().map(|&n| self.node_id(n as usize)).collect(),
+            Some(l) => self
+                .neighbors(l)
+                .iter()
+                .map(|&n| self.node_id(n as usize))
+                .collect(),
             None => Vec::new(),
         }
     }
@@ -236,7 +240,10 @@ mod tests {
     #[test]
     fn global_local_round_trip() {
         let g = Snapshot::from_edges(
-            &[Edge::new(NodeId(10), NodeId(20)), Edge::new(NodeId(20), NodeId(30))],
+            &[
+                Edge::new(NodeId(10), NodeId(20)),
+                Edge::new(NodeId(20), NodeId(30)),
+            ],
             &[],
         );
         for l in 0..g.num_nodes() {

@@ -34,7 +34,11 @@ pub fn bfs_distances(g: &Snapshot, source: usize) -> Vec<u32> {
 
 /// Single-source Dijkstra over local indices with per-edge weight `w`.
 /// Weights must be non-negative; returns `f64::INFINITY` for unreachable.
-pub fn dijkstra_distances(g: &Snapshot, source: usize, w: impl Fn(usize, usize) -> f64) -> Vec<f64> {
+pub fn dijkstra_distances(
+    g: &Snapshot,
+    source: usize,
+    w: impl Fn(usize, usize) -> f64,
+) -> Vec<f64> {
     use std::cmp::Ordering;
     use std::collections::BinaryHeap;
 
@@ -179,6 +183,9 @@ mod tests {
     fn proximity_modification_symmetricish() {
         let a = snap(&[(0, 1), (1, 2)]);
         let b = snap(&[(0, 1), (1, 2), (0, 2)]);
-        assert_eq!(proximity_modification(&a, &b), proximity_modification(&b, &a));
+        assert_eq!(
+            proximity_modification(&a, &b),
+            proximity_modification(&b, &a)
+        );
     }
 }

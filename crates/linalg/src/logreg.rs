@@ -57,8 +57,7 @@ impl OneVsRest {
 
         for class in 0..num_classes {
             for epoch in 0..cfg.epochs {
-                let lr = cfg.learning_rate
-                    * (1.0 - 0.9 * epoch as f64 / cfg.epochs.max(1) as f64);
+                let lr = cfg.learning_rate * (1.0 - 0.9 * epoch as f64 / cfg.epochs.max(1) as f64);
                 order.shuffle(&mut rng);
                 for &i in &order {
                     let target = if y[i] == class { 1.0 } else { 0.0 };
@@ -180,7 +179,11 @@ mod tests {
         let (x, y) = blobs(40, 1);
         let model = OneVsRest::train(&x, &y, 2, &LogRegConfig::default());
         let pred = model.predict_batch(&x);
-        assert!(micro_f1(&y, &pred) > 0.98, "micro f1 {}", micro_f1(&y, &pred));
+        assert!(
+            micro_f1(&y, &pred) > 0.98,
+            "micro f1 {}",
+            micro_f1(&y, &pred)
+        );
     }
 
     #[test]

@@ -32,8 +32,8 @@ impl Dense {
     pub fn forward(&self, x: &[f64]) -> Vec<f64> {
         (0..self.w.rows())
             .map(|o| {
-                let z: f64 = self.w.row(o).iter().zip(x).map(|(a, b)| a * b).sum::<f64>()
-                    + self.b[o];
+                let z: f64 =
+                    self.w.row(o).iter().zip(x).map(|(a, b)| a * b).sum::<f64>() + self.b[o];
                 sigmoid(z)
             })
             .collect()
@@ -149,10 +149,7 @@ mod tests {
     fn autoencoder_memorises_patterns() {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let mut net = Mlp::new(&[4, 6, 2, 6, 4], &mut rng);
-        let patterns = [
-            vec![1.0, 0.0, 0.0, 1.0],
-            vec![0.0, 1.0, 1.0, 0.0],
-        ];
+        let patterns = [vec![1.0, 0.0, 0.0, 1.0], vec![0.0, 1.0, 1.0, 0.0]];
         let mut last = f64::INFINITY;
         for epoch in 0..4000 {
             let mut total = 0.0;
@@ -187,7 +184,10 @@ mod tests {
         let eps = 1e-6;
         let loss_of = |n: &Mlp| {
             let o = n.forward(&x);
-            o.iter().zip(&t).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
+            o.iter()
+                .zip(&t)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
         };
         let mut plus = net.clone();
         plus.layers[0].w[(0, 0)] += eps;

@@ -167,7 +167,10 @@ mod tests {
     fn explained_variance_is_sorted() {
         let pca = fit(&line_data(), 2, 2);
         assert!(pca.explained_variance[0] >= pca.explained_variance[1]);
-        assert!(pca.explained_variance[0] > 1.0, "dominant direction has real variance");
+        assert!(
+            pca.explained_variance[0] > 1.0,
+            "dominant direction has real variance"
+        );
         assert!(pca.explained_variance[1] < 0.1, "noise direction is tiny");
     }
 
@@ -178,7 +181,8 @@ mod tests {
         let proj = pca.transform(&data);
         // projected data should have ~zero mean per component
         for c in 0..2 {
-            let mean: f64 = (0..proj.rows()).map(|i| proj[(i, c)]).sum::<f64>() / proj.rows() as f64;
+            let mean: f64 =
+                (0..proj.rows()).map(|i| proj[(i, c)]).sum::<f64>() / proj.rows() as f64;
             assert!(mean.abs() < 1e-8, "component {c} mean {mean}");
         }
     }

@@ -227,7 +227,11 @@ mod tests {
         edges.push(Edge::new(NodeId(0), NodeId(10)));
         let g = Snapshot::from_edges(&edges, &[]);
         let p = partition(&g, &PartitionConfig::with_k(2));
-        assert_eq!(p.edge_cut(&g), 1, "multilevel scheme should find the bridge");
+        assert_eq!(
+            p.edge_cut(&g),
+            1,
+            "multilevel scheme should find the bridge"
+        );
     }
 
     #[test]

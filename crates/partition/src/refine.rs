@@ -25,7 +25,7 @@ pub fn edge_cut(g: &WGraph, assignment: &[u32]) -> u64 {
 
 /// Run up to `passes` refinement passes in place. Each pass visits every
 /// node once; stops early when a pass makes no move.
-pub fn refine(g: &WGraph, assignment: &mut Vec<u32>, k: usize, epsilon: f64, passes: usize) {
+pub fn refine(g: &WGraph, assignment: &mut [u32], k: usize, epsilon: f64, passes: usize) {
     if k <= 1 || g.is_empty() {
         return;
     }
@@ -136,7 +136,11 @@ mod tests {
         refine(&g, &mut a, 2, 0.1, 20);
         let ones = a.iter().filter(|&&p| p == 1).count();
         let cap = ((1.1_f64) * 12.0 / 2.0).ceil() as usize;
-        assert!(ones <= cap && (12 - ones) <= cap, "parts {ones}/{}", 12 - ones);
+        assert!(
+            ones <= cap && (12 - ones) <= cap,
+            "parts {ones}/{}",
+            12 - ones
+        );
     }
 
     #[test]

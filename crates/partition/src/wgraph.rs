@@ -61,7 +61,10 @@ mod tests {
     #[test]
     fn lifts_snapshot_with_unit_weights() {
         let g = Snapshot::from_edges(
-            &[Edge::new(NodeId(0), NodeId(1)), Edge::new(NodeId(1), NodeId(2))],
+            &[
+                Edge::new(NodeId(0), NodeId(1)),
+                Edge::new(NodeId(1), NodeId(2)),
+            ],
             &[],
         );
         let w = WGraph::from_snapshot(&g);

@@ -125,7 +125,10 @@ mod tests {
         let g = snap(&[(0, 1), (1, 2), (0, 2)]);
         let e = adjacency_embedding(&g);
         let scores = mean_precision_at_k(&e, &g, &[1, 2]);
-        assert!(scores[1] > 0.99, "P@2 on a triangle should be 1, got {scores:?}");
+        assert!(
+            scores[1] > 0.99,
+            "P@2 on a triangle should be 1, got {scores:?}"
+        );
     }
 
     #[test]

@@ -37,11 +37,7 @@ pub struct TestPair {
 /// method can score a node it has never seen (its embedding at `t` does
 /// not exist), so pairs touching brand-new nodes are unscorable for
 /// every method and would only inject label-correlated zeros.
-pub fn build_test_set(
-    curr: &Snapshot,
-    next: &Snapshot,
-    seed: u64,
-) -> Vec<TestPair> {
+pub fn build_test_set(curr: &Snapshot, next: &Snapshot, seed: u64) -> Vec<TestPair> {
     let diff = SnapshotDiff::compute(curr, next);
     let scorable = |u: NodeId, v: NodeId| curr.local_of(u).is_some() && curr.local_of(v).is_some();
     let mut pairs: Vec<TestPair> = Vec::new();
@@ -77,10 +73,7 @@ pub fn build_test_set(
     if ids.len() < 2 {
         return pairs;
     }
-    let edges: Vec<_> = next
-        .edges()
-        .filter(|e| scorable(e.u, e.v))
-        .collect();
+    let edges: Vec<_> = next.edges().filter(|e| scorable(e.u, e.v)).collect();
     // Citation-style networks grow only by new nodes: every changed
     // edge touches an unscorable newcomer, leaving no seed pairs. Fall
     // back to the balanced existent-vs-non-existent protocol over `t+1`

@@ -51,8 +51,7 @@ pub fn node_classification(
     }
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     usable.shuffle(&mut rng);
-    let n_train = ((usable.len() as f64 * train_ratio).round() as usize)
-        .clamp(1, usable.len() - 1);
+    let n_train = ((usable.len() as f64 * train_ratio).round() as usize).clamp(1, usable.len() - 1);
     let (train_ids, test_ids) = usable.split_at(n_train);
 
     let dim = emb.dim();
@@ -108,7 +107,7 @@ mod tests {
             let class = (v / 10) as usize;
             let center = if class == 0 { 1.0f32 } else { -1.0 };
             let vec: Vec<f32> = (0..4)
-                .map(|_| center + rng.gen_range(-0.2..0.2))
+                .map(|_| center + rng.gen_range(-0.2f32..0.2))
                 .collect();
             emb.set(NodeId(v), &vec);
             labels.insert(NodeId(v), class);

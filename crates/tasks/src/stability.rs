@@ -60,7 +60,8 @@ pub fn rotation_angle_2d(
     b: &Matrix,
 ) -> Option<f64> {
     use std::collections::HashMap;
-    let index_b: HashMap<NodeId, usize> = ids_b.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let index_b: HashMap<NodeId, usize> =
+        ids_b.iter().enumerate().map(|(i, &id)| (id, i)).collect();
     let common: Vec<(usize, usize)> = ids_a
         .iter()
         .enumerate()

@@ -78,12 +78,22 @@ fn main() {
                 score,
                 id
             ),
-            None => println!("{:<6}{:>8}{:>10}{:>12}{:>14}  -", t, snap.num_nodes(), changed, "-", "-"),
+            None => println!(
+                "{:<6}{:>8}{:>10}{:>12}{:>14}  -",
+                t,
+                snap.num_nodes(),
+                changed,
+                "-",
+                "-"
+            ),
         }
         prev_emb = Some(emb);
         prev_snap = Some(snap);
     }
 
-    println!("\nreservoir now tracks {} routers with unprocessed change", monitor.len());
+    println!(
+        "\nreservoir now tracks {} routers with unprocessed change",
+        monitor.len()
+    );
     println!("OK: accumulated-change scores give an operational change monitor");
 }

@@ -41,7 +41,10 @@ fn main() {
     };
     let mut model = GloDyNE::new(cfg);
 
-    println!("\n{:<6}{:>8}{:>12}{:>12}", "year", "|V|", "Micro-F1", "Macro-F1");
+    println!(
+        "\n{:<6}{:>8}{:>12}{:>12}",
+        "year", "|V|", "Micro-F1", "Macro-F1"
+    );
     let mut prev = None;
     let mut last_micro = 0.0;
     for (t, snap) in snaps.iter().enumerate() {

@@ -59,7 +59,10 @@ fn main() {
     let z0 = model.embedding();
     println!("embedded {} nodes in {} dims", z0.len(), z0.dim());
     let p = mean_precision_at_k(&z0, &g0, &[1, 5, 10]);
-    println!("graph reconstruction MeanP@1/5/10: {:.3} / {:.3} / {:.3}", p[0], p[1], p[2]);
+    println!(
+        "graph reconstruction MeanP@1/5/10: {:.3} / {:.3} / {:.3}",
+        p[0], p[1], p[2]
+    );
 
     println!("\n== online stage (t = 1: five new nodes) ==");
     model.advance(Some(&g0), &g1);
@@ -69,10 +72,7 @@ fn main() {
         model.last_selected_count(),
         model.last_phase_times()
     );
-    println!(
-        "new node 20 embedded: {}",
-        z1.get(NodeId(20)).is_some()
-    );
+    println!("new node 20 embedded: {}", z1.get(NodeId(20)).is_some());
 
     // Community structure should be visible in cosine space.
     let intra = z1.cosine(NodeId(1), NodeId(2)).unwrap();

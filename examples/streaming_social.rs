@@ -42,7 +42,10 @@ fn main() {
     };
     let mut model = GloDyNE::new(cfg);
 
-    println!("\n{:<6}{:>8}{:>10}{:>12}{:>10}", "day", "|V|", "K_sel", "step_ms", "LP AUC");
+    println!(
+        "\n{:<6}{:>8}{:>10}{:>12}{:>10}",
+        "day", "|V|", "K_sel", "step_ms", "LP AUC"
+    );
     let mut prev = None;
     let mut aucs = Vec::new();
     for (t, snap) in snaps.iter().enumerate() {

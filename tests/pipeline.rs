@@ -1,8 +1,8 @@
 //! Cross-crate integration tests: every method runs end-to-end on real
 //! generated dynamic networks and produces embeddings that beat chance.
 
-use glodyne::{GloDyNE, GloDyNEConfig, SgnsIncrement, SgnsRetrain, SgnsStatic};
 use glodyne::variants::VariantConfig;
+use glodyne::{GloDyNE, GloDyNEConfig, SgnsIncrement, SgnsRetrain, SgnsStatic};
 use glodyne_baselines::{
     bcgd::BcgdConfig, dyngem::DynGemConfig, dynline::DynLineConfig, dyntriad::DynTriadConfig,
     tne::TneConfig, BcgdGlobal, BcgdLocal, DynGem, DynLine, DynTriad, TNE,

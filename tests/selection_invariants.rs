@@ -84,11 +84,7 @@ fn reservoir_mass_conserved_over_stream() {
     let mut absorbed = 0u64;
     for t in 1..net.len() {
         let diff = net.diff_at(t);
-        absorbed += diff
-            .changed_degree
-            .values()
-            .map(|&v| v as u64)
-            .sum::<u64>();
+        absorbed += diff.changed_degree.values().map(|&v| v as u64).sum::<u64>();
         reservoir.absorb(&diff);
     }
     assert_eq!(reservoir.total(), absorbed);

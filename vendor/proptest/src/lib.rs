@@ -1,0 +1,410 @@
+//! Offline mini-proptest.
+//!
+//! Implements the slice of the `proptest` API this workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map` / `prop_filter`,
+//! range and tuple strategies, `collection::vec`, the `proptest!` macro
+//! (with optional `#![proptest_config(...)]`), and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest: cases are generated from a
+//! deterministic per-test seed (FNV of the test name + case index),
+//! and there is **no shrinking** — a failure reports the case number so
+//! it can be replayed deterministically.
+
+pub mod strategy {
+    use rand::SampleRange;
+    use rand_chacha::ChaCha8Rng;
+    use std::ops::Range;
+
+    /// A value generator. `sample` returns `None` when a filter rejects
+    /// the candidate (the runner retries with fresh randomness).
+    pub trait Strategy {
+        /// Generated value type.
+        type Value;
+
+        /// Draw one candidate value.
+        fn sample(&self, rng: &mut ChaCha8Rng) -> Option<Self::Value>;
+
+        /// Transform generated values.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keep only values satisfying `pred`.
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            reason: impl AsRef<str>,
+            pred: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                reason: reason.as_ref().to_string(),
+                pred,
+            }
+        }
+    }
+
+    /// Strategy yielding exactly one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut ChaCha8Rng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn sample(&self, rng: &mut ChaCha8Rng) -> Option<U> {
+            self.inner.sample(rng).map(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        #[allow(dead_code)]
+        reason: String,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut ChaCha8Rng) -> Option<S::Value> {
+            self.inner.sample(rng).filter(|v| (self.pred)(v))
+        }
+    }
+
+    impl<T: Clone> Strategy for Range<T>
+    where
+        Range<T>: SampleRange<T>,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut ChaCha8Rng) -> Option<T> {
+            Some(rand::Rng::gen_range(rng, self.clone()))
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut ChaCha8Rng) -> Option<Self::Value> {
+                    let ($($name,)+) = self;
+                    Some(($($name.sample(rng)?,)+))
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand_chacha::ChaCha8Rng;
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: a fixed size or a range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange(Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n..n + 1)
+        }
+    }
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange(r)
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut ChaCha8Rng) -> Option<Vec<S::Value>> {
+            let len = if self.size.0.is_empty() {
+                self.size.0.start
+            } else {
+                rand::Rng::gen_range(rng, self.size.0.clone())
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Runner configuration (`ProptestConfig`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successful cases required.
+        pub cases: u32,
+        /// Maximum rejected candidates before giving up.
+        pub max_global_rejects: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config {
+                cases,
+                ..Config::default()
+            }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    /// Outcome of one generated case.
+    pub enum TestResult {
+        /// Case passed.
+        Pass,
+        /// Case failed; message describes the assertion.
+        Fail(String),
+        /// Candidate rejected by a filter or `prop_assume!`.
+        Reject,
+    }
+
+    fn fnv1a(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Drive `case` until `config.cases` successes or a failure. Each
+    /// attempt gets a deterministic RNG derived from the test name and
+    /// attempt index, so failures are replayable.
+    pub fn run(config: Config, name: &str, mut case: impl FnMut(&mut ChaCha8Rng) -> TestResult) {
+        let base = fnv1a(name);
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let mut attempt = 0u64;
+        while passed < config.cases {
+            let mut rng = ChaCha8Rng::seed_from_u64(base.wrapping_add(attempt));
+            match case(&mut rng) {
+                TestResult::Pass => passed += 1,
+                TestResult::Reject => {
+                    rejected += 1;
+                    if rejected > config.max_global_rejects {
+                        panic!(
+                            "proptest '{name}': too many rejected candidates \
+                             ({rejected}) after {passed} passing cases"
+                        );
+                    }
+                }
+                TestResult::Fail(msg) => {
+                    panic!(
+                        "proptest '{name}' failed at attempt {attempt} \
+                         (seed base {base:#x}): {msg}"
+                    );
+                }
+            }
+            attempt += 1;
+        }
+    }
+}
+
+/// `use proptest::prelude::*;`
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace mirror so `prop::collection::vec` works.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` and any number of
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@items ($cfg) $($rest)*);
+    };
+    (@items ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(
+                    ($cfg).clone(),
+                    stringify!($name),
+                    |__proptest_rng| {
+                        $(
+                            let $pat = match $crate::strategy::Strategy::sample(
+                                &($strat),
+                                __proptest_rng,
+                            ) {
+                                Some(v) => v,
+                                None => return $crate::test_runner::TestResult::Reject,
+                            };
+                        )+
+                        $body
+                        $crate::test_runner::TestResult::Pass
+                    },
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@items ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Assert inside a `proptest!` body; failure aborts the case with a
+/// replayable report instead of unwinding mid-generation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return $crate::test_runner::TestResult::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return $crate::test_runner::TestResult::Fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(*lhs == *rhs) {
+            return $crate::test_runner::TestResult::Fail(
+                format!("assertion failed: {} == {}: {:?} != {:?}",
+                        stringify!($a), stringify!($b), lhs, rhs),
+            );
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(*lhs == *rhs) {
+            return $crate::test_runner::TestResult::Fail(
+                format!("assertion failed: {} == {}: {:?} != {:?}: {}",
+                        stringify!($a), stringify!($b), lhs, rhs, format!($($fmt)+)),
+            );
+        }
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if *lhs == *rhs {
+            return $crate::test_runner::TestResult::Fail(format!(
+                "assertion failed: {} != {}: both are {:?}",
+                stringify!($a),
+                stringify!($b),
+                lhs
+            ));
+        }
+    }};
+}
+
+/// Discard the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return $crate::test_runner::TestResult::Reject;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u32..17, y in 0usize..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(0u32..10, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for &e in &v { prop_assert!(e < 10, "element {} out of range", e); }
+        }
+
+        #[test]
+        fn map_and_filter_compose((a, b) in (0u32..50, 0u32..50).prop_map(|(x, y)| (x.min(y), x.max(y))).prop_filter("distinct", |(a, b)| a != b)) {
+            prop_assert!(a < b);
+        }
+
+        #[test]
+        fn assume_rejects(x in 0u32..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at attempt")]
+    fn failures_panic_with_replay_info() {
+        crate::test_runner::run(
+            crate::test_runner::Config::with_cases(4),
+            "always_fails",
+            |_| crate::test_runner::TestResult::Fail("boom".into()),
+        );
+    }
+}

@@ -1,0 +1,257 @@
+//! Offline stand-in for `rayon` covering the parallel-iterator surface
+//! this workspace uses: `par_iter` over slices, `into_par_iter` over
+//! ranges and vectors, `par_chunks_mut`, and the `map` / `filter` /
+//! `enumerate` / `flat_map_iter` / `for_each` / `collect` combinators.
+//!
+//! Execution model: combinators are **eager** — each stage materialises
+//! its input into a `Vec` and processes it on `available_parallelism()`
+//! scoped `std::thread`s with dynamic chunk scheduling (an atomic chunk
+//! cursor, ~4 chunks per thread). Results preserve input order, matching
+//! rayon's indexed-collect semantics. This trades rayon's work-stealing
+//! pool for zero dependencies; per-call thread spawn is ~tens of
+//! microseconds, negligible for the corpus-sized workloads here.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `f` over every item, two-level scheduled (atomic cursor over
+/// contiguous chunks), returning results in input order.
+/// One unit of scheduled work: a chunk of input slots paired with its
+/// output slots, taken by whichever worker claims the chunk index.
+type WorkChunk<'a, T, R> = Mutex<Option<(&'a mut [Option<T>], &'a mut [Option<R>])>>;
+
+fn par_map_vec<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    let threads = num_threads().min(n.max(1));
+    if threads <= 1 || n < 2 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = n.div_ceil(threads * 4).max(1);
+    let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+    {
+        let work: Vec<WorkChunk<'_, T, R>> = slots
+            .chunks_mut(chunk_len)
+            .zip(out.chunks_mut(chunk_len))
+            .map(|pair| Mutex::new(Some(pair)))
+            .collect();
+        let cursor = AtomicUsize::new(0);
+        let f = &f;
+        let work = &work;
+        let cursor = &cursor;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(move || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= work.len() {
+                        break;
+                    }
+                    let (ts, rs) = work[i].lock().unwrap().take().unwrap();
+                    for (t, r) in ts.iter_mut().zip(rs.iter_mut()) {
+                        *r = Some(f(t.take().unwrap()));
+                    }
+                });
+            }
+        });
+    }
+    out.into_iter().map(|r| r.unwrap()).collect()
+}
+
+/// An eager "parallel iterator": a materialised item list whose
+/// combinators run on multiple threads.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map, order-preserving.
+    pub fn map<R: Send>(self, f: impl Fn(T) -> R + Sync) -> ParIter<R> {
+        ParIter {
+            items: par_map_vec(self.items, f),
+        }
+    }
+
+    /// Parallel filter, order-preserving.
+    pub fn filter(self, f: impl Fn(&T) -> bool + Sync) -> ParIter<T> {
+        let kept = par_map_vec(self.items, |t| if f(&t) { Some(t) } else { None });
+        ParIter {
+            items: kept.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Pair every item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Parallel map to a serial iterator per item, flattened in order.
+    pub fn flat_map_iter<R: Send, I: IntoIterator<Item = R>>(
+        self,
+        f: impl Fn(T) -> I + Sync,
+    ) -> ParIter<R> {
+        let nested = par_map_vec(self.items, |t| f(t).into_iter().collect::<Vec<R>>());
+        ParIter {
+            items: nested.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Parallel side-effecting visit.
+    pub fn for_each(self, f: impl Fn(T) + Sync) {
+        par_map_vec(self.items, f);
+    }
+
+    /// Collect the (already ordered) items.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+/// Conversion into a [`ParIter`] by value.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Convert.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! range_into_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+range_into_par!(u32, u64, usize);
+
+/// `par_iter()` over shared slices (and anything derefing to one).
+pub trait ParallelSlice<T: Sync> {
+    /// Borrowing parallel iterator.
+    fn par_iter(&self) -> ParIter<&T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `par_chunks_mut()` over mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut};
+}
+
+/// Number of worker threads a parallel call will use.
+pub fn current_num_threads() -> usize {
+    num_threads()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_then_map() {
+        let out: Vec<usize> = (0..100usize)
+            .into_par_iter()
+            .filter(|&x| x % 3 == 0)
+            .map(|x| x + 1)
+            .collect();
+        assert_eq!(
+            out,
+            (0..100)
+                .filter(|x| x % 3 == 0)
+                .map(|x| x + 1)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn flat_map_iter_flattens_in_order() {
+        let v = [1usize, 2, 3];
+        let out: Vec<usize> = v.par_iter().flat_map_iter(|&x| 0..x).collect();
+        assert_eq!(out, vec![0, 0, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let hits = AtomicUsize::new(0);
+        (0..500usize).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_slice() {
+        let mut data = vec![0u32; 103];
+        data.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = i as u32 + 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v > 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[102], 11);
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        (0..256usize).into_par_iter().for_each(|_| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        });
+        let n = seen.lock().unwrap().len();
+        if super::num_threads() > 1 {
+            assert!(n > 1, "expected more than one worker thread, saw {n}");
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Offline stand-in for `serde`: empty marker traits plus no-op derive
+//! macros. Nothing in this workspace serialises through serde (the
+//! binary embedding format is hand-rolled via `bytes`); the derives on
+//! graph ids are kept source-compatible for when the real crate returns.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

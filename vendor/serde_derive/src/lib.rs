@@ -1,0 +1,19 @@
+//! No-op `Serialize` / `Deserialize` derives for the vendored `serde`
+//! stub. They expand to nothing: the stub traits are empty markers, and
+//! no code in this workspace serialises through serde — the derives on
+//! `NodeId` exist so the type is serde-ready once the real crate is
+//! available again.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
