@@ -25,13 +25,15 @@
 //! fixed step size with non-negativity projection instead of their
 //! exact line search.
 
-use glodyne_embed::traits::DynamicEmbedder;
+use glodyne_embed::config::ConfigError;
+use glodyne_embed::traits::{DynamicEmbedder, PhaseTimes, StepContext, StepReport};
 use glodyne_embed::Embedding;
 use glodyne_graph::{NodeId, Snapshot};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Shared BCGD hyper-parameters.
 #[derive(Debug, Clone)]
@@ -60,6 +62,51 @@ impl Default for BcgdConfig {
             global_cycles: 2,
             seed: 0,
         }
+    }
+}
+
+impl BcgdConfig {
+    /// Validate the hyper-parameters.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.dim < 1 {
+            return Err(ConfigError::new("dim", "must be >= 1"));
+        }
+        if self.iterations < 1 {
+            return Err(ConfigError::new("iterations", "must be >= 1"));
+        }
+        if !(self.learning_rate.is_finite() && self.learning_rate > 0.0) {
+            return Err(ConfigError::new(
+                "learning_rate",
+                format!(
+                    "must be a positive finite number, got {}",
+                    self.learning_rate
+                ),
+            ));
+        }
+        if !(self.lambda.is_finite() && self.lambda >= 0.0) {
+            return Err(ConfigError::new(
+                "lambda",
+                format!("must be a non-negative finite number, got {}", self.lambda),
+            ));
+        }
+        if self.global_cycles < 1 {
+            return Err(ConfigError::new("global_cycles", "must be >= 1"));
+        }
+        Ok(())
+    }
+}
+
+/// A [`StepReport`] for a full-graph gradient method: the whole step is
+/// the training phase; every current node's position is updated.
+fn dense_report(start: Instant, updated_nodes: usize, samples: usize) -> StepReport {
+    StepReport {
+        phases: PhaseTimes {
+            train: start.elapsed(),
+            ..PhaseTimes::default()
+        },
+        selected: updated_nodes,
+        trained_pairs: samples,
+        corpus_tokens: 0,
     }
 }
 
@@ -194,19 +241,22 @@ pub struct BcgdLocal {
 }
 
 impl BcgdLocal {
-    /// Build with configuration.
-    pub fn new(cfg: BcgdConfig) -> Self {
+    /// Build with a validated configuration.
+    pub fn new(cfg: BcgdConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
         let rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xBC6D);
-        BcgdLocal {
+        Ok(BcgdLocal {
             cfg,
             rng,
             current: None,
-        }
+        })
     }
 }
 
 impl DynamicEmbedder for BcgdLocal {
-    fn advance(&mut self, _prev: Option<&Snapshot>, curr: &Snapshot) {
+    fn step(&mut self, ctx: StepContext<'_>) -> StepReport {
+        let start = Instant::now();
+        let curr = ctx.curr;
         let dim = self.cfg.dim;
         let warm = self.current.take();
         let mut block = LatentBlock::new(curr, dim, warm.as_ref(), &mut self.rng);
@@ -227,6 +277,11 @@ impl DynamicEmbedder for BcgdLocal {
             self.cfg.iterations,
         );
         self.current = Some(block);
+        dense_report(
+            start,
+            curr.num_nodes(),
+            curr.num_nodes() * self.cfg.iterations,
+        )
     }
 
     fn embedding(&self) -> Embedding {
@@ -251,20 +306,23 @@ pub struct BcgdGlobal {
 }
 
 impl BcgdGlobal {
-    /// Build with configuration.
-    pub fn new(cfg: BcgdConfig) -> Self {
+    /// Build with a validated configuration.
+    pub fn new(cfg: BcgdConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
         let rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x00BC_6D61);
-        BcgdGlobal {
+        Ok(BcgdGlobal {
             cfg,
             rng,
             history: Vec::new(),
             blocks: Vec::new(),
-        }
+        })
     }
 }
 
 impl DynamicEmbedder for BcgdGlobal {
-    fn advance(&mut self, _prev: Option<&Snapshot>, curr: &Snapshot) {
+    fn step(&mut self, ctx: StepContext<'_>) -> StepReport {
+        let start = Instant::now();
+        let curr = ctx.curr;
         let dim = self.cfg.dim;
         let warm = self.blocks.last();
         let block = LatentBlock::new(curr, dim, warm, &mut self.rng);
@@ -296,6 +354,9 @@ impl DynamicEmbedder for BcgdGlobal {
                 );
             }
         }
+        // Every historical block's nodes get re-optimised each arrival.
+        let updated: usize = self.blocks.iter().map(|b| b.ids.len()).sum();
+        dense_report(start, updated, updated * self.cfg.iterations)
     }
 
     fn embedding(&self) -> Embedding {
@@ -313,7 +374,7 @@ impl DynamicEmbedder for BcgdGlobal {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use glodyne_embed::traits::run_over;
+    use glodyne_embed::traits::{run_over, step_with};
     use glodyne_graph::id::Edge;
 
     fn two_cliques() -> Snapshot {
@@ -340,10 +401,26 @@ mod tests {
     }
 
     #[test]
+    fn invalid_config_rejected() {
+        assert!(BcgdLocal::new(BcgdConfig {
+            dim: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(BcgdGlobal::new(BcgdConfig {
+            learning_rate: f32::NAN,
+            ..Default::default()
+        })
+        .is_err());
+    }
+
+    #[test]
     fn local_embeds_all_nodes_nonnegatively() {
         let g = two_cliques();
-        let mut m = BcgdLocal::new(cfg());
-        m.advance(None, &g);
+        let mut m = BcgdLocal::new(cfg()).unwrap();
+        let report = step_with(&mut m, None, &g);
+        assert_eq!(report.selected, 12);
+        assert!(report.total_time() > std::time::Duration::ZERO);
         let e = m.embedding();
         assert_eq!(e.len(), 12);
         for (_, v) in e.iter() {
@@ -354,8 +431,8 @@ mod tests {
     #[test]
     fn reconstruction_separates_cliques() {
         let g = two_cliques();
-        let mut m = BcgdLocal::new(cfg());
-        m.advance(None, &g);
+        let mut m = BcgdLocal::new(cfg()).unwrap();
+        step_with(&mut m, None, &g);
         let e = m.embedding();
         let intra = e.cosine(NodeId(1), NodeId(2)).unwrap();
         let inter = e.cosine(NodeId(1), NodeId(8)).unwrap();
@@ -365,10 +442,10 @@ mod tests {
     #[test]
     fn local_warm_start_limits_drift() {
         let g = two_cliques();
-        let mut m = BcgdLocal::new(cfg());
-        m.advance(None, &g);
+        let mut m = BcgdLocal::new(cfg()).unwrap();
+        step_with(&mut m, None, &g);
         let e0 = m.embedding();
-        m.advance(Some(&g), &g); // identical snapshot
+        step_with(&mut m, Some(&g), &g); // identical snapshot
         let e1 = m.embedding();
         let drift: f32 = e0
             .iter()
@@ -395,7 +472,8 @@ mod tests {
             global_cycles: 1,
             iterations: 10,
             ..cfg()
-        });
+        })
+        .unwrap();
         let embs = run_over(&mut m, &[g0, g1]);
         assert_eq!(embs.len(), 2);
         assert_eq!(embs[1].len(), 12);
@@ -411,7 +489,7 @@ mod tests {
             .chain([Edge::new(NodeId(6), NodeId(20))])
             .collect();
         let g1 = Snapshot::from_edges(&edges, &[]);
-        let mut m = BcgdLocal::new(cfg());
+        let mut m = BcgdLocal::new(cfg()).unwrap();
         let embs = run_over(&mut m, &[g0, g1]);
         assert!(embs[1].get(NodeId(20)).is_some());
         assert!(embs[1].get(NodeId(11)).is_none());

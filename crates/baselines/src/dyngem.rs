@@ -14,7 +14,8 @@
 //! behaviours the paper measures: warm-started convergence and
 //! embeddings that reconstruct local neighbourhoods.
 
-use glodyne_embed::traits::DynamicEmbedder;
+use glodyne_embed::config::ConfigError;
+use glodyne_embed::traits::{DynamicEmbedder, PhaseTimes, StepContext, StepReport};
 use glodyne_embed::Embedding;
 use glodyne_graph::{NodeId, Snapshot};
 use glodyne_linalg::mlp::Mlp;
@@ -22,6 +23,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// DynGEM hyper-parameters.
 #[derive(Debug, Clone)]
@@ -59,6 +61,40 @@ impl Default for DynGemConfig {
     }
 }
 
+impl DynGemConfig {
+    /// Validate the hyper-parameters.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.dim < 1 {
+            return Err(ConfigError::new("dim", "must be >= 1"));
+        }
+        if self.hidden < 1 {
+            return Err(ConfigError::new("hidden", "must be >= 1"));
+        }
+        if self.capacity < 1 {
+            return Err(ConfigError::new("capacity", "must be >= 1"));
+        }
+        if self.epochs < 1 {
+            return Err(ConfigError::new("epochs", "must be >= 1"));
+        }
+        if !(self.learning_rate.is_finite() && self.learning_rate > 0.0) {
+            return Err(ConfigError::new(
+                "learning_rate",
+                format!(
+                    "must be a positive finite number, got {}",
+                    self.learning_rate
+                ),
+            ));
+        }
+        if !(self.beta.is_finite() && self.beta > 0.0) {
+            return Err(ConfigError::new(
+                "beta",
+                format!("must be a positive finite number, got {}", self.beta),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// The DynGEM embedder.
 pub struct DynGem {
     cfg: DynGemConfig,
@@ -74,21 +110,22 @@ pub struct DynGem {
 }
 
 impl DynGem {
-    /// Build with configuration.
-    pub fn new(cfg: DynGemConfig) -> Self {
+    /// Build with a validated configuration.
+    pub fn new(cfg: DynGemConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xD9E6);
         let net = Mlp::new(
             &[cfg.capacity, cfg.hidden, cfg.dim, cfg.hidden, cfg.capacity],
             &mut rng,
         );
-        DynGem {
+        Ok(DynGem {
             cfg,
             slots: HashMap::new(),
             net,
             rng,
             latest: Vec::new(),
             neighbor_cache: HashMap::new(),
-        }
+        })
     }
 
     fn slot_of(&mut self, id: NodeId) -> usize {
@@ -128,7 +165,9 @@ impl DynGem {
 }
 
 impl DynamicEmbedder for DynGem {
-    fn advance(&mut self, _prev: Option<&Snapshot>, curr: &Snapshot) {
+    fn step(&mut self, ctx: StepContext<'_>) -> StepReport {
+        let start = Instant::now();
+        let curr = ctx.curr;
         // Assign slots up front (stable ordering) and cache neighbours.
         self.neighbor_cache.clear();
         for l in 0..curr.num_nodes() {
@@ -154,6 +193,15 @@ impl DynamicEmbedder for DynGem {
             }
         }
         self.latest = curr.node_ids().to_vec();
+        StepReport {
+            phases: PhaseTimes {
+                train: start.elapsed(),
+                ..PhaseTimes::default()
+            },
+            selected: curr.num_nodes(),
+            trained_pairs: curr.num_nodes() * self.cfg.epochs,
+            corpus_tokens: 0,
+        }
     }
 
     fn embedding(&self) -> Embedding {
@@ -189,7 +237,7 @@ impl DynGem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use glodyne_embed::traits::run_over;
+    use glodyne_embed::traits::{run_over, step_with};
     use glodyne_graph::id::Edge;
 
     fn cfg() -> DynGemConfig {
@@ -217,18 +265,28 @@ mod tests {
     }
 
     #[test]
+    fn invalid_config_rejected() {
+        assert!(DynGem::new(DynGemConfig {
+            capacity: 0,
+            ..Default::default()
+        })
+        .is_err());
+    }
+
+    #[test]
     fn embeds_every_node() {
         let g = two_cliques();
-        let mut m = DynGem::new(cfg());
-        m.advance(None, &g);
+        let mut m = DynGem::new(cfg()).unwrap();
+        let report = step_with(&mut m, None, &g);
+        assert_eq!(report.selected, 10);
         assert_eq!(m.embedding().len(), 10);
     }
 
     #[test]
     fn clique_members_embed_similarly() {
         let g = two_cliques();
-        let mut m = DynGem::new(cfg());
-        m.advance(None, &g);
+        let mut m = DynGem::new(cfg()).unwrap();
+        step_with(&mut m, None, &g);
         let e = m.embedding();
         let intra = e.cosine(NodeId(1), NodeId(2)).unwrap();
         let inter = e.cosine(NodeId(1), NodeId(7)).unwrap();
@@ -238,7 +296,7 @@ mod tests {
     #[test]
     fn warm_start_across_steps() {
         let g = two_cliques();
-        let mut m = DynGem::new(cfg());
+        let mut m = DynGem::new(cfg()).unwrap();
         let embs = run_over(&mut m, &[g.clone(), g.clone()]);
         // Same graph re-trained from the warm model: embeddings stay
         // strongly correlated.
@@ -262,7 +320,8 @@ mod tests {
         let mut m = DynGem::new(DynGemConfig {
             capacity: 16,
             ..cfg()
-        });
-        m.advance(None, &g);
+        })
+        .unwrap();
+        step_with(&mut m, None, &g);
     }
 }

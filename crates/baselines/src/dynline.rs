@@ -17,13 +17,15 @@
 //! on AS733 in the paper. The harness enforces that via
 //! [`crate::supports_node_deletions`].
 
-use glodyne_embed::traits::DynamicEmbedder;
+use glodyne_embed::config::ConfigError;
+use glodyne_embed::traits::{DynamicEmbedder, PhaseTimes, StepContext, StepReport};
 use glodyne_embed::Embedding;
-use glodyne_graph::{NodeId, Snapshot, SnapshotDiff};
+use glodyne_graph::{NodeId, Snapshot};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// DynLINE hyper-parameters.
 #[derive(Debug, Clone)]
@@ -61,17 +63,43 @@ pub struct DynLine {
     latest: Vec<NodeId>,
 }
 
+impl DynLineConfig {
+    /// Validate the hyper-parameters.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.dim < 1 {
+            return Err(ConfigError::new("dim", "must be >= 1"));
+        }
+        if self.negatives < 1 {
+            return Err(ConfigError::new("negatives", "must be >= 1"));
+        }
+        if self.samples_per_node < 1 {
+            return Err(ConfigError::new("samples_per_node", "must be >= 1"));
+        }
+        if !(self.learning_rate.is_finite() && self.learning_rate > 0.0) {
+            return Err(ConfigError::new(
+                "learning_rate",
+                format!(
+                    "must be a positive finite number, got {}",
+                    self.learning_rate
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
 impl DynLine {
-    /// Build with configuration.
-    pub fn new(cfg: DynLineConfig) -> Self {
+    /// Build with a validated configuration.
+    pub fn new(cfg: DynLineConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
         let rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x11E);
-        DynLine {
+        Ok(DynLine {
             cfg,
             vertex: HashMap::new(),
             context: HashMap::new(),
             rng,
             latest: Vec::new(),
-        }
+        })
     }
 
     fn ensure(&mut self, id: NodeId) {
@@ -140,16 +168,19 @@ impl DynLine {
 }
 
 impl DynamicEmbedder for DynLine {
-    fn advance(&mut self, prev: Option<&Snapshot>, curr: &Snapshot) {
+    fn step(&mut self, ctx: StepContext<'_>) -> StepReport {
+        let start = Instant::now();
+        let curr = ctx.curr;
         for l in 0..curr.num_nodes() {
             self.ensure(curr.node_id(l));
         }
-        let train_set: Vec<u32> = match prev {
+        let train_set: Vec<u32> = match ctx.prev {
             // Offline: all nodes.
             None => (0..curr.num_nodes() as u32).collect(),
-            // Online: only the most affected + new nodes.
+            // Online: only the most affected + new nodes, read from the
+            // step context's diff.
             Some(p) => {
-                let diff = SnapshotDiff::compute(p, curr);
+                let diff = ctx.diff().expect("online step always has a diff");
                 (0..curr.num_nodes() as u32)
                     .filter(|&l| {
                         let id = curr.node_id(l as usize);
@@ -160,6 +191,15 @@ impl DynamicEmbedder for DynLine {
         };
         self.train_nodes(curr, &train_set);
         self.latest = curr.node_ids().to_vec();
+        StepReport {
+            phases: PhaseTimes {
+                train: start.elapsed(),
+                ..PhaseTimes::default()
+            },
+            selected: train_set.len(),
+            trained_pairs: train_set.len() * self.cfg.samples_per_node,
+            corpus_tokens: 0,
+        }
     }
 
     fn embedding(&self) -> Embedding {
@@ -190,6 +230,7 @@ fn sigmoid(x: f32) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use glodyne_embed::traits::step_with;
     use glodyne_graph::id::Edge;
 
     fn cfg() -> DynLineConfig {
@@ -215,10 +256,19 @@ mod tests {
     }
 
     #[test]
+    fn invalid_config_rejected() {
+        assert!(DynLine::new(DynLineConfig {
+            dim: 0,
+            ..Default::default()
+        })
+        .is_err());
+    }
+
+    #[test]
     fn separates_communities() {
         let g = two_cliques();
-        let mut m = DynLine::new(cfg());
-        m.advance(None, &g);
+        let mut m = DynLine::new(cfg()).unwrap();
+        step_with(&mut m, None, &g);
         let e = m.embedding();
         let intra = e.cosine(NodeId(1), NodeId(2)).unwrap();
         let inter = e.cosine(NodeId(1), NodeId(8)).unwrap();
@@ -231,10 +281,15 @@ mod tests {
         let mut edges: Vec<Edge> = g0.edges().collect();
         edges.push(Edge::new(NodeId(3), NodeId(9)));
         let g1 = Snapshot::from_edges(&edges, &[]);
-        let mut m = DynLine::new(cfg());
-        m.advance(None, &g0);
+        let mut m = DynLine::new(cfg()).unwrap();
+        let offline = step_with(&mut m, None, &g0);
+        assert_eq!(offline.selected, g0.num_nodes());
         let before = m.embedding();
-        m.advance(Some(&g0), &g1);
+        let online = step_with(&mut m, Some(&g0), &g1);
+        assert!(
+            online.selected < g1.num_nodes(),
+            "online step trains only affected nodes"
+        );
         let after = m.embedding();
         // Node 5 was unaffected: its vertex vector can only have moved via
         // context updates — the vertex vector itself is untouched.
@@ -249,9 +304,9 @@ mod tests {
         let mut edges: Vec<Edge> = g0.edges().collect();
         edges.push(Edge::new(NodeId(0), NodeId(42)));
         let g1 = Snapshot::from_edges(&edges, &[]);
-        let mut m = DynLine::new(cfg());
-        m.advance(None, &g0);
-        m.advance(Some(&g0), &g1);
+        let mut m = DynLine::new(cfg()).unwrap();
+        step_with(&mut m, None, &g0);
+        step_with(&mut m, Some(&g0), &g1);
         assert!(m.embedding().get(NodeId(42)).is_some());
     }
 }

@@ -21,13 +21,15 @@
 //! std-devs in Table 1) is reproduced naturally by its sensitivity to
 //! the sampled triads.
 
-use glodyne_embed::traits::DynamicEmbedder;
+use glodyne_embed::config::ConfigError;
+use glodyne_embed::traits::{DynamicEmbedder, PhaseTimes, StepContext, StepReport};
 use glodyne_embed::Embedding;
-use glodyne_graph::{NodeId, Snapshot};
+use glodyne_graph::NodeId;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// DynTriad hyper-parameters.
 #[derive(Debug, Clone)]
@@ -71,17 +73,49 @@ pub struct DynTriad {
     latest: Vec<NodeId>,
 }
 
+impl DynTriadConfig {
+    /// Validate the hyper-parameters.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.dim < 1 {
+            return Err(ConfigError::new("dim", "must be >= 1"));
+        }
+        if self.epochs < 1 {
+            return Err(ConfigError::new("epochs", "must be >= 1"));
+        }
+        if self.negatives < 1 {
+            return Err(ConfigError::new("negatives", "must be >= 1"));
+        }
+        if !(self.learning_rate.is_finite() && self.learning_rate > 0.0) {
+            return Err(ConfigError::new(
+                "learning_rate",
+                format!(
+                    "must be a positive finite number, got {}",
+                    self.learning_rate
+                ),
+            ));
+        }
+        if !(self.beta.is_finite() && self.beta >= 0.0) {
+            return Err(ConfigError::new(
+                "beta",
+                format!("must be a non-negative finite number, got {}", self.beta),
+            ));
+        }
+        Ok(())
+    }
+}
+
 impl DynTriad {
-    /// Build with configuration.
-    pub fn new(cfg: DynTriadConfig) -> Self {
+    /// Build with a validated configuration.
+    pub fn new(cfg: DynTriadConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
         let rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x7214D);
-        DynTriad {
+        Ok(DynTriad {
             cfg,
             z: HashMap::new(),
             prev_z: HashMap::new(),
             rng,
             latest: Vec::new(),
-        }
+        })
     }
 
     fn ensure(&mut self, id: NodeId) {
@@ -124,7 +158,9 @@ impl DynTriad {
 }
 
 impl DynamicEmbedder for DynTriad {
-    fn advance(&mut self, _prev: Option<&Snapshot>, curr: &Snapshot) {
+    fn step(&mut self, ctx: StepContext<'_>) -> StepReport {
+        let start = Instant::now();
+        let curr = ctx.curr;
         for l in 0..curr.num_nodes() {
             self.ensure(curr.node_id(l));
         }
@@ -132,7 +168,7 @@ impl DynamicEmbedder for DynTriad {
         let edges: Vec<(NodeId, NodeId)> = curr.edges().map(|e| (e.u, e.v)).collect();
         if edges.is_empty() {
             self.latest = ids;
-            return;
+            return StepReport::default();
         }
         for _ in 0..self.cfg.epochs {
             // 1) social homophily over edges + negatives
@@ -168,7 +204,17 @@ impl DynamicEmbedder for DynTriad {
             }
         }
         self.prev_z = self.z.clone();
+        let selected = ids.len();
         self.latest = ids;
+        StepReport {
+            phases: PhaseTimes {
+                train: start.elapsed(),
+                ..PhaseTimes::default()
+            },
+            selected,
+            trained_pairs: edges.len() * self.cfg.epochs,
+            corpus_tokens: 0,
+        }
     }
 
     fn embedding(&self) -> Embedding {
@@ -199,8 +245,9 @@ fn sigmoid(x: f32) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use glodyne_embed::traits::run_over;
+    use glodyne_embed::traits::{run_over, step_with};
     use glodyne_graph::id::Edge;
+    use glodyne_graph::Snapshot;
 
     fn cfg() -> DynTriadConfig {
         DynTriadConfig {
@@ -225,10 +272,19 @@ mod tests {
     }
 
     #[test]
+    fn invalid_config_rejected() {
+        assert!(DynTriad::new(DynTriadConfig {
+            epochs: 0,
+            ..Default::default()
+        })
+        .is_err());
+    }
+
+    #[test]
     fn separates_communities() {
         let g = two_cliques();
-        let mut m = DynTriad::new(cfg());
-        m.advance(None, &g);
+        let mut m = DynTriad::new(cfg()).unwrap();
+        step_with(&mut m, None, &g);
         let e = m.embedding();
         let intra = e.cosine(NodeId(1), NodeId(2)).unwrap();
         let inter = e.cosine(NodeId(1), NodeId(8)).unwrap();
@@ -238,8 +294,8 @@ mod tests {
     #[test]
     fn temporal_smoothness_limits_drift() {
         let g = two_cliques();
-        let mut smooth = DynTriad::new(DynTriadConfig { beta: 2.0, ..cfg() });
-        let mut loose = DynTriad::new(DynTriadConfig { beta: 0.0, ..cfg() });
+        let mut smooth = DynTriad::new(DynTriadConfig { beta: 2.0, ..cfg() }).unwrap();
+        let mut loose = DynTriad::new(DynTriadConfig { beta: 0.0, ..cfg() }).unwrap();
         let drift = |m: &mut DynTriad| {
             let embs = run_over(m, &[two_cliques(), two_cliques()]);
             embs[0]
@@ -262,8 +318,10 @@ mod tests {
     #[test]
     fn all_nodes_embedded() {
         let g = two_cliques();
-        let mut m = DynTriad::new(cfg());
-        m.advance(None, &g);
+        let mut m = DynTriad::new(cfg()).unwrap();
+        let report = step_with(&mut m, None, &g);
+        assert_eq!(report.selected, g.num_nodes());
+        assert!(report.trained_pairs > 0);
         assert_eq!(m.embedding().len(), g.num_nodes());
     }
 }

@@ -27,14 +27,16 @@
 //! **Cannot handle node deletions** (sequence bookkeeping assumes a
 //! grow-only vocabulary) — n/a on AS733, as in the paper.
 
-use glodyne_embed::traits::DynamicEmbedder;
+use glodyne_embed::config::ConfigError;
+use glodyne_embed::traits::{DynamicEmbedder, PhaseTimes, StepContext, StepReport};
 use glodyne_embed::walks::{generate_corpus_all, WalkConfig};
 use glodyne_embed::{Embedding, SgnsConfig, SgnsModel};
-use glodyne_graph::{NodeId, Snapshot};
+use glodyne_graph::NodeId;
 use glodyne_linalg::rnn::Rnn;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
 
 /// tNE hyper-parameters.
 #[derive(Debug, Clone)]
@@ -86,22 +88,48 @@ pub struct TNE {
     latest: Vec<NodeId>,
 }
 
+impl TneConfig {
+    /// Validate the hyper-parameters, including the nested walk and
+    /// SGNS configurations of the static stage.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.static_dim < 1 {
+            return Err(ConfigError::new("static_dim", "must be >= 1"));
+        }
+        if self.hidden < 1 {
+            return Err(ConfigError::new("hidden", "must be >= 1"));
+        }
+        if self.dim < 1 {
+            return Err(ConfigError::new("dim", "must be >= 1"));
+        }
+        if !(self.rnn_lr.is_finite() && self.rnn_lr > 0.0) {
+            return Err(ConfigError::new(
+                "rnn_lr",
+                format!("must be a positive finite number, got {}", self.rnn_lr),
+            ));
+        }
+        self.walk.validate()?;
+        self.sgns.validate()?;
+        Ok(())
+    }
+}
+
 impl TNE {
-    /// Build with configuration.
-    pub fn new(cfg: TneConfig) -> Self {
+    /// Build with a validated configuration.
+    pub fn new(cfg: TneConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x73E);
         let mut sgns = cfg.sgns.clone();
         sgns.dim = cfg.static_dim;
         let static_model = SgnsModel::new(sgns);
         let rnn = Rnn::new(cfg.static_dim, cfg.hidden, cfg.dim, &mut rng);
-        TNE {
+        Ok(TNE {
             cfg,
             static_model,
             history: Vec::new(),
             rnn,
             rng,
             latest: Vec::new(),
-        }
+        })
     }
 
     /// A node's sequence of static embeddings over all steps so far.
@@ -125,14 +153,17 @@ impl TNE {
 }
 
 impl DynamicEmbedder for TNE {
-    fn advance(&mut self, _prev: Option<&Snapshot>, curr: &Snapshot) {
+    fn step(&mut self, ctx: StepContext<'_>) -> StepReport {
+        let curr = ctx.curr;
         // Stage 1: static embedding of the current snapshot.
         let walk_cfg = WalkConfig {
             seed: self.cfg.walk.seed ^ ((self.history.len() as u64) << 8),
             ..self.cfg.walk
         };
+        let t0 = Instant::now();
         let corpus = generate_corpus_all(curr, &walk_cfg);
-        self.static_model.train_corpus(&corpus);
+        let t1 = Instant::now();
+        let pairs = self.static_model.train_corpus(&corpus);
         self.history.push(self.static_model.embedding());
 
         // Stage 2: RNN over embedding histories with link-prediction loss.
@@ -165,7 +196,18 @@ impl DynamicEmbedder for TNE {
                 }
             }
         }
+        let selected = ids.len();
         self.latest = ids;
+        StepReport {
+            phases: PhaseTimes {
+                select: std::time::Duration::ZERO,
+                walks: t1 - t0,
+                train: t1.elapsed(),
+            },
+            selected,
+            trained_pairs: pairs,
+            corpus_tokens: corpus.num_tokens(),
+        }
     }
 
     fn embedding(&self) -> Embedding {
@@ -184,8 +226,9 @@ impl DynamicEmbedder for TNE {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use glodyne_embed::traits::run_over;
+    use glodyne_embed::traits::{run_over, step_with};
     use glodyne_graph::id::Edge;
+    use glodyne_graph::Snapshot;
 
     fn cfg() -> TneConfig {
         TneConfig {
@@ -225,10 +268,21 @@ mod tests {
     }
 
     #[test]
+    fn invalid_config_rejected() {
+        assert!(TNE::new(TneConfig {
+            hidden: 0,
+            ..Default::default()
+        })
+        .is_err());
+    }
+
+    #[test]
     fn produces_embeddings_for_all_nodes() {
         let g = two_cliques();
-        let mut m = TNE::new(cfg());
-        m.advance(None, &g);
+        let mut m = TNE::new(cfg()).unwrap();
+        let report = step_with(&mut m, None, &g);
+        assert_eq!(report.selected, 12);
+        assert!(report.corpus_tokens > 0);
         assert_eq!(m.embedding().len(), 12);
         assert_eq!(m.embedding().dim(), 8);
     }
@@ -236,7 +290,7 @@ mod tests {
     #[test]
     fn history_grows_each_step() {
         let g = two_cliques();
-        let mut m = TNE::new(cfg());
+        let mut m = TNE::new(cfg()).unwrap();
         let _ = run_over(&mut m, &[g.clone(), g.clone(), g]);
         assert_eq!(m.history.len(), 3);
     }
@@ -244,9 +298,9 @@ mod tests {
     #[test]
     fn linked_nodes_closer_than_strangers() {
         let g = two_cliques();
-        let mut m = TNE::new(cfg());
-        m.advance(None, &g);
-        m.advance(Some(&g), &g);
+        let mut m = TNE::new(cfg()).unwrap();
+        step_with(&mut m, None, &g);
+        step_with(&mut m, Some(&g), &g);
         let e = m.embedding();
         let intra = e.cosine(NodeId(1), NodeId(2)).unwrap();
         let inter = e.cosine(NodeId(1), NodeId(8)).unwrap();
@@ -259,9 +313,9 @@ mod tests {
         let mut edges: Vec<Edge> = g0.edges().collect();
         edges.push(Edge::new(NodeId(0), NodeId(30)));
         let g1 = Snapshot::from_edges(&edges, &[]);
-        let mut m = TNE::new(cfg());
-        m.advance(None, &g0);
-        m.advance(Some(&g0), &g1);
+        let mut m = TNE::new(cfg()).unwrap();
+        step_with(&mut m, None, &g0);
+        step_with(&mut m, Some(&g0), &g1);
         let seq = m.sequence_of(NodeId(30));
         assert_eq!(seq.len(), 2);
         assert!(seq[0].iter().all(|&x| x == 0.0), "pre-birth steps are zero");

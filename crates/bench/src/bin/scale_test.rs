@@ -14,7 +14,7 @@ use glodyne::{GloDyNE, GloDyNEConfig};
 use glodyne_bench::args::{Args, Common};
 use glodyne_bench::legacy::LegacySgnsModel;
 use glodyne_bench::methods::MethodParams;
-use glodyne_embed::traits::DynamicEmbedder;
+use glodyne_embed::traits::step_with;
 use glodyne_embed::walks::{generate_corpus_all, generate_walks_all};
 use glodyne_embed::SgnsModel;
 use std::time::Instant;
@@ -43,7 +43,7 @@ fn main() {
         sgns: params.sgns(),
         ..GloDyNEConfig::default()
     };
-    let mut method = GloDyNE::new(cfg);
+    let mut method = GloDyNE::new(cfg).expect("scale-test parameters are valid");
 
     println!(
         "{:<6}{:>10}{:>12}{:>12}{:>12}{:>10}{:>14}",
@@ -52,8 +52,8 @@ fn main() {
     let mut online_phase_sums = [0.0f64; 3];
     let mut prev: Option<&glodyne_graph::Snapshot> = None;
     for (t, snap) in snaps.iter().enumerate() {
-        method.advance(prev, snap);
-        let ph = method.last_phase_times();
+        let report = step_with(&mut method, prev, snap);
+        let ph = report.phases;
         // Throughput of the walk→train hot path (Steps 3–4).
         let hot = (ph.walks + ph.train).as_secs_f64().max(1e-12);
         println!(
@@ -63,8 +63,8 @@ fn main() {
             ph.select.as_secs_f64(),
             ph.walks.as_secs_f64(),
             ph.train.as_secs_f64(),
-            method.last_selected_count(),
-            method.last_trained_pairs() as f64 / hot,
+            report.selected,
+            report.trained_pairs as f64 / hot,
         );
         if t > 0 {
             online_phase_sums[0] += ph.select.as_secs_f64();

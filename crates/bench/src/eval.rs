@@ -64,6 +64,7 @@ mod tests {
         StepResult {
             embedding: e,
             seconds: s,
+            report: Default::default(),
         }
     }
 

@@ -6,6 +6,7 @@ use glodyne_baselines::{
     bcgd::BcgdConfig, dyngem::DynGemConfig, dynline::DynLineConfig, dyntriad::DynTriadConfig,
     tne::TneConfig, BcgdGlobal, BcgdLocal, DynGem, DynLine, DynTriad, TNE,
 };
+use glodyne_embed::config::ConfigError;
 use glodyne_embed::traits::DynamicEmbedder;
 use glodyne_embed::walks::WalkConfig;
 use glodyne_embed::SgnsConfig;
@@ -148,25 +149,29 @@ impl MethodParams {
     }
 }
 
-/// Instantiate a method.
-pub fn build(kind: MethodKind, p: &MethodParams) -> Box<dyn DynamicEmbedder> {
-    match kind {
-        MethodKind::GloDyNE => Box::new(GloDyNE::new(p.glodyne())),
-        MethodKind::SgnsStatic => Box::new(SgnsStatic::new(p.variant())),
-        MethodKind::SgnsRetrain => Box::new(SgnsRetrain::new(p.variant())),
-        MethodKind::SgnsIncrement => Box::new(SgnsIncrement::new(p.variant())),
+/// Instantiate a method; invalid harness parameters surface as a
+/// [`ConfigError`] instead of a panic.
+pub fn try_build(
+    kind: MethodKind,
+    p: &MethodParams,
+) -> Result<Box<dyn DynamicEmbedder>, ConfigError> {
+    Ok(match kind {
+        MethodKind::GloDyNE => Box::new(GloDyNE::new(p.glodyne())?),
+        MethodKind::SgnsStatic => Box::new(SgnsStatic::new(p.variant())?),
+        MethodKind::SgnsRetrain => Box::new(SgnsRetrain::new(p.variant())?),
+        MethodKind::SgnsIncrement => Box::new(SgnsIncrement::new(p.variant())?),
         MethodKind::BcgdG => Box::new(BcgdGlobal::new(BcgdConfig {
             dim: p.dim,
             iterations: 8,
             global_cycles: 1,
             seed: p.seed,
             ..Default::default()
-        })),
+        })?),
         MethodKind::BcgdL => Box::new(BcgdLocal::new(BcgdConfig {
             dim: p.dim,
             seed: p.seed,
             ..Default::default()
-        })),
+        })?),
         MethodKind::DynGem => Box::new(DynGem::new(DynGemConfig {
             dim: p.dim,
             hidden: (2 * p.dim).max(32),
@@ -176,19 +181,19 @@ pub fn build(kind: MethodKind, p: &MethodParams) -> Box<dyn DynamicEmbedder> {
             epochs: 3,
             seed: p.seed,
             ..Default::default()
-        })),
+        })?),
         MethodKind::DynLine => Box::new(DynLine::new(DynLineConfig {
             dim: p.dim,
             negatives: p.negatives,
             seed: p.seed,
             ..Default::default()
-        })),
+        })?),
         MethodKind::DynTriad => Box::new(DynTriad::new(DynTriadConfig {
             dim: p.dim,
             negatives: p.negatives,
             seed: p.seed,
             ..Default::default()
-        })),
+        })?),
         MethodKind::Tne => Box::new(TNE::new(TneConfig {
             static_dim: p.dim,
             hidden: p.dim,
@@ -198,8 +203,14 @@ pub fn build(kind: MethodKind, p: &MethodParams) -> Box<dyn DynamicEmbedder> {
             rnn_samples: 150,
             seed: p.seed,
             ..Default::default()
-        })),
-    }
+        })?),
+    })
+}
+
+/// Instantiate a method from known-good harness parameters (the
+/// table/figure binaries' fixed configurations).
+pub fn build(kind: MethodKind, p: &MethodParams) -> Box<dyn DynamicEmbedder> {
+    try_build(kind, p).expect("harness method parameters are valid")
 }
 
 #[cfg(test)]
@@ -230,5 +241,27 @@ mod tests {
             names.insert(m.name());
         }
         assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn try_build_rejects_bad_params_for_every_method() {
+        let bad = MethodParams {
+            dim: 0,
+            ..Default::default()
+        };
+        for kind in [
+            MethodKind::BcgdG,
+            MethodKind::BcgdL,
+            MethodKind::DynGem,
+            MethodKind::DynLine,
+            MethodKind::DynTriad,
+            MethodKind::Tne,
+            MethodKind::GloDyNE,
+            MethodKind::SgnsStatic,
+            MethodKind::SgnsRetrain,
+            MethodKind::SgnsIncrement,
+        ] {
+            assert!(try_build(kind, &bad).is_err(), "{kind:?} accepted dim=0");
+        }
     }
 }

@@ -1,18 +1,21 @@
 //! Drives methods over snapshot sequences with per-step timing.
 
-use glodyne_embed::traits::DynamicEmbedder;
+use glodyne_embed::traits::{step_with, DynamicEmbedder, StepReport};
 use glodyne_embed::Embedding;
 use glodyne_graph::Snapshot;
 use std::time::Instant;
 
-/// One time step's output: embedding plus wall-clock seconds spent
+/// One time step's output: embedding, wall-clock seconds spent
 /// obtaining it (embedding only — downstream-task time is excluded, as
-/// in Table 4).
+/// in Table 4), and the method's own structured report.
 pub struct StepResult {
     /// `Z^t`.
     pub embedding: Embedding,
-    /// Seconds spent in `advance` for this step.
+    /// Seconds spent in the embedding step (includes the diff
+    /// computation the harness performs on the method's behalf).
     pub seconds: f64,
+    /// The method's structured step report.
+    pub report: StepReport,
 }
 
 /// Run a method across a snapshot sequence.
@@ -21,11 +24,12 @@ pub fn run_timed(method: &mut dyn DynamicEmbedder, snapshots: &[Snapshot]) -> Ve
     let mut prev: Option<&Snapshot> = None;
     for snap in snapshots {
         let t = Instant::now();
-        method.advance(prev, snap);
+        let report = step_with(method, prev, snap);
         let seconds = t.elapsed().as_secs_f64();
         out.push(StepResult {
             embedding: method.embedding(),
             seconds,
+            report,
         });
         prev = Some(snap);
     }
@@ -49,7 +53,9 @@ mod tests {
 
     struct Noop;
     impl DynamicEmbedder for Noop {
-        fn advance(&mut self, _p: Option<&Snapshot>, _c: &Snapshot) {}
+        fn step(&mut self, _ctx: glodyne_embed::traits::StepContext<'_>) -> StepReport {
+            StepReport::default()
+        }
         fn embedding(&self) -> Embedding {
             Embedding::new(2)
         }

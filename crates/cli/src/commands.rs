@@ -2,14 +2,14 @@
 
 use crate::opts::Opts;
 use crate::CliError;
-use glodyne::{GloDyNE, GloDyNEConfig};
+use glodyne::{EmbedderSession, EpochPolicy, GloDyNE, GloDyNEConfig, StepReport};
 use glodyne_embed::persist;
-use glodyne_embed::traits::DynamicEmbedder;
+use glodyne_embed::traits::{run_over_reports, step_with, DynamicEmbedder};
 use glodyne_embed::walks::WalkConfig;
 use glodyne_embed::SgnsConfig;
 use glodyne_graph::id::TimedEdge;
 use glodyne_graph::io::read_edge_stream;
-use glodyne_graph::DynamicNetwork;
+use glodyne_graph::{DynamicNetwork, NodeId};
 use glodyne_partition::{partition, PartitionConfig};
 use glodyne_tasks::gr::mean_precision_at_k;
 use glodyne_tasks::lp::{build_test_set, link_prediction_auc};
@@ -19,50 +19,88 @@ use std::path::Path;
 
 /// Load an edge stream file.
 fn load_stream(path: &str) -> Result<Vec<TimedEdge>, CliError> {
-    let file = File::open(path).map_err(|e| CliError(format!("cannot open {path}: {e}")))?;
-    let stream = read_edge_stream(BufReader::new(file))?;
+    let file = File::open(path).map_err(|e| CliError::Io {
+        context: format!("cannot open {path}"),
+        source: e,
+    })?;
+    let stream = read_edge_stream(BufReader::new(file)).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::InvalidData {
+            CliError::Parse(format!("{path}: {e}"))
+        } else {
+            CliError::Io {
+                context: format!("cannot read {path}"),
+                source: e,
+            }
+        }
+    })?;
     if stream.is_empty() {
-        return Err(CliError(format!("{path}: no edges parsed")));
+        return Err(CliError::Parse(format!("{path}: no edges parsed")));
     }
     Ok(stream)
 }
 
-/// Cut a stream into `n` snapshots at equal-count timestamp quantiles
-/// (§5.1.1 uses calendar days; without calendar semantics, quantiles
-/// give evenly-filled snapshots).
+/// Cut a stream into at most `n` snapshots at equal-count timestamp
+/// quantiles (§5.1.1 uses calendar days; without calendar semantics,
+/// quantiles give evenly-filled snapshots).
+///
+/// Duplicate timestamps can make neighbouring quantiles coincide; those
+/// cutoffs are deduplicated (and `n` is effectively clamped to the
+/// number of distinct timestamps), so no two snapshots are identical
+/// re-cuts of the same prefix.
 pub fn cut_snapshots(stream: Vec<TimedEdge>, n: usize) -> DynamicNetwork {
+    if stream.is_empty() || n == 0 {
+        return DynamicNetwork::default();
+    }
     let mut times: Vec<u64> = stream.iter().map(|e| e.time).collect();
     times.sort_unstable();
-    let cutoffs: Vec<u64> = (1..=n)
+    let mut cutoffs: Vec<u64> = (1..=n)
         .map(|i| {
             let idx = (i * times.len()) / n;
             times[idx.saturating_sub(1).min(times.len() - 1)]
         })
         .collect();
-    // Cutoffs must be non-decreasing (sorted quantiles are).
+    // Sorted quantiles are non-decreasing; drop repeats caused by
+    // duplicate timestamps.
+    cutoffs.dedup();
     DynamicNetwork::from_edge_stream(stream, &cutoffs)
 }
 
-fn glodyne_config(opts: &Opts) -> GloDyNEConfig {
-    GloDyNEConfig {
-        alpha: opts.get("alpha", 0.1),
-        epsilon: opts.get("epsilon", 0.1),
-        walk: WalkConfig {
+fn glodyne_config(opts: &Opts) -> Result<GloDyNEConfig, CliError> {
+    let cfg = GloDyNEConfig::builder()
+        .alpha(opts.get("alpha", 0.1))
+        .epsilon(opts.get("epsilon", 0.1))
+        .walk(WalkConfig {
             walks_per_node: opts.get("walks", 10),
             walk_length: opts.get("walk-length", 80),
             seed: opts.get("seed", 0u64),
-        },
-        sgns: SgnsConfig {
+        })
+        .sgns(SgnsConfig {
             dim: opts.get("dim", 128),
             window: opts.get("window", 10),
             negatives: opts.get("negatives", 5),
             epochs: opts.get("epochs", 2),
             seed: opts.get("seed", 0u64),
             ..Default::default()
-        },
-        strategy: glodyne::Strategy::S4,
-        seed: opts.get("seed", 0u64),
-    }
+        })
+        .strategy(glodyne::Strategy::S4)
+        .seed(opts.get("seed", 0u64))
+        .build()?;
+    Ok(cfg)
+}
+
+/// One human-readable progress line per embedding step, fed by the
+/// method's [`StepReport`].
+fn report_line(t: usize, nodes: usize, edges: usize, r: &StepReport) -> String {
+    format!(
+        "t={t}: |V|={nodes} |E|={edges} selected={} pairs={} tokens={} \
+         select={:.0}ms walks={:.0}ms train={:.0}ms",
+        r.selected,
+        r.trained_pairs,
+        r.corpus_tokens,
+        r.phases.select.as_secs_f64() * 1e3,
+        r.phases.walks.as_secs_f64() * 1e3,
+        r.phases.train.as_secs_f64() * 1e3,
+    )
 }
 
 /// `glodyne embed`: run GloDyNE over the stream, write one TSV per step.
@@ -74,25 +112,82 @@ pub fn embed(opts: &Opts) -> Result<String, CliError> {
     let net = cut_snapshots(stream, n_snapshots);
 
     std::fs::create_dir_all(out_dir)?;
-    let mut model = GloDyNE::new(glodyne_config(opts));
-    let mut prev = None;
+    let mut model = GloDyNE::new(glodyne_config(opts)?)?;
     let mut report = String::new();
+    // One step at a time: each embedding is written and dropped before
+    // the next step so memory stays at one |V|×d matrix.
+    let mut prev = None;
     for (t, snap) in net.snapshots().iter().enumerate() {
-        model.advance(prev, snap);
+        let step = step_with(&mut model, prev, snap);
         let emb = model.embedding();
         let path = Path::new(out_dir).join(format!("embedding_t{t:03}.tsv"));
         let mut w = BufWriter::new(File::create(&path)?);
         persist::write_tsv(&mut w, &emb)?;
-        report.push_str(&format!(
-            "t={t}: |V|={} |E|={} selected={} -> {}\n",
-            snap.num_nodes(),
-            snap.num_edges(),
-            model.last_selected_count(),
-            path.display()
-        ));
+        report.push_str(&report_line(t, snap.num_nodes(), snap.num_edges(), &step));
+        report.push_str(&format!(" -> {}\n", path.display()));
         prev = Some(snap);
     }
     Ok(report)
+}
+
+/// `glodyne stream`: drive an [`EmbedderSession`] over the edge file
+/// event-by-event and report each committed step.
+pub fn stream(opts: &Opts) -> Result<String, CliError> {
+    let input = opts.require("input")?;
+    let mut events = load_stream(input)?;
+    events.sort_by_key(|te| te.time);
+
+    let policy = match opts.get_str("policy", "timestamp") {
+        "timestamp" => EpochPolicy::TimestampBoundary,
+        "every-n" => EpochPolicy::EveryNEvents(opts.get("every", 1000usize)),
+        "manual" => EpochPolicy::Manual,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --policy `{other}` (expected timestamp, every-n, or manual)"
+            )))
+        }
+    };
+
+    let model = GloDyNE::new(glodyne_config(opts)?)?;
+    let mut session = EmbedderSession::new(model, policy)?;
+
+    let mut out = String::new();
+    let mut t = 0usize;
+    for &event in &events {
+        if session.apply(event.into()) {
+            let r = session.reports()[t];
+            let snap = session.last_snapshot().expect("committed snapshot");
+            out.push_str(&report_line(t, snap.num_nodes(), snap.num_edges(), &r));
+            out.push('\n');
+            t += 1;
+        }
+    }
+    if let Some(r) = session.flush() {
+        let snap = session.last_snapshot().expect("committed snapshot");
+        out.push_str(&report_line(t, snap.num_nodes(), snap.num_edges(), &r));
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{} events -> {} steps, {} embedded nodes\n",
+        events.len(),
+        session.steps(),
+        session.embedding().len()
+    ));
+
+    if let Some(query) = opts.get_opt::<u32>("query")? {
+        let k = opts.get("top-k", 10usize);
+        let node = NodeId(query);
+        match session.query(node) {
+            None => out.push_str(&format!("node {query}: no embedding\n")),
+            Some(_) => {
+                out.push_str(&format!("nearest neighbours of {query}:\n"));
+                for (id, sim) in session.nearest(node, k) {
+                    out.push_str(&format!("  {:>10}  cos={sim:.4}\n", id.0));
+                }
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// `glodyne partition`: balanced k-way partition of the final snapshot.
@@ -130,14 +225,11 @@ pub fn evaluate(opts: &Opts) -> Result<String, CliError> {
     let net = cut_snapshots(stream, n_snapshots);
     let snaps = net.snapshots();
 
-    let mut model = GloDyNE::new(glodyne_config(opts));
-    let mut prev = None;
-    let mut embeddings = Vec::new();
-    for snap in snaps {
-        model.advance(prev, snap);
-        embeddings.push(model.embedding());
-        prev = Some(snap);
-    }
+    let mut model = GloDyNE::new(glodyne_config(opts)?)?;
+    let embeddings: Vec<_> = run_over_reports(&mut model, snaps)
+        .into_iter()
+        .map(|(emb, _)| emb)
+        .collect();
 
     let ks = [1usize, 5, 10, 20, 40];
     let mut gr_acc = vec![0.0; ks.len()];
@@ -188,6 +280,15 @@ mod tests {
         stream
     }
 
+    fn write_fixture(dir: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("edges.txt");
+        let mut f = std::fs::File::create(&input).unwrap();
+        glodyne_graph::io::write_edge_stream(&mut f, &stream_fixture()).unwrap();
+        input
+    }
+
     #[test]
     fn cut_snapshots_quantiles() {
         let net = cut_snapshots(stream_fixture(), 3);
@@ -200,15 +301,36 @@ mod tests {
     }
 
     #[test]
+    fn cut_snapshots_dedups_duplicate_timestamps() {
+        // Regression: all edges share one timestamp, so every quantile
+        // collapses onto it. The old code produced `n` identical
+        // snapshots; now the cutoffs are deduplicated to one.
+        let stream: Vec<TimedEdge> = (0..10u32)
+            .map(|i| TimedEdge::new(NodeId(i), NodeId(i + 1), 7))
+            .collect();
+        let net = cut_snapshots(stream, 5);
+        assert_eq!(net.len(), 1, "one distinct timestamp => one snapshot");
+        assert_eq!(net.snapshot(0).num_edges(), 10);
+
+        // Two distinct timestamps, ten requested cuts => two snapshots.
+        let stream: Vec<TimedEdge> = (0..10u32)
+            .map(|i| TimedEdge::new(NodeId(i), NodeId(i + 1), (i >= 5) as u64))
+            .collect();
+        let net = cut_snapshots(stream, 10);
+        assert_eq!(net.len(), 2);
+        assert!(net.snapshot(0).num_edges() < net.snapshot(1).num_edges());
+    }
+
+    #[test]
+    fn cut_snapshots_degenerate_inputs() {
+        assert!(cut_snapshots(Vec::new(), 5).is_empty());
+        assert!(cut_snapshots(stream_fixture(), 0).is_empty());
+    }
+
+    #[test]
     fn end_to_end_embed_and_evaluate() {
-        let dir = std::env::temp_dir().join("glodyne_cli_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let input = dir.join("edges.txt");
-        {
-            let mut f = std::fs::File::create(&input).unwrap();
-            glodyne_graph::io::write_edge_stream(&mut f, &stream_fixture()).unwrap();
-        }
-        let out_dir = dir.join("emb");
+        let input = write_fixture("glodyne_cli_test");
+        let out_dir = input.parent().unwrap().join("emb");
         let opts = Opts::parse(&[
             "--input".into(),
             input.display().to_string(),
@@ -227,6 +349,7 @@ mod tests {
         ]);
         let report = embed(&opts).unwrap();
         assert!(report.contains("t=2"));
+        assert!(report.contains("train="), "step report line present");
         // Written TSVs parse back.
         let f = std::fs::File::open(out_dir.join("embedding_t002.tsv")).unwrap();
         let emb = persist::read_tsv(std::io::BufReader::new(f)).unwrap();
@@ -238,14 +361,59 @@ mod tests {
     }
 
     #[test]
+    fn stream_command_end_to_end() {
+        let input = write_fixture("glodyne_cli_stream");
+        let opts = Opts::parse(&[
+            "--input".into(),
+            input.display().to_string(),
+            "--policy".into(),
+            "every-n".into(),
+            "--every".into(),
+            "20".into(),
+            "--dim".into(),
+            "8".into(),
+            "--walks".into(),
+            "2".into(),
+            "--walk-length".into(),
+            "8".into(),
+            "--epochs".into(),
+            "1".into(),
+            "--query".into(),
+            "0".into(),
+            "--top-k".into(),
+            "3".into(),
+        ]);
+        let out = stream(&opts).unwrap();
+        assert!(out.contains("t=0"), "{out}");
+        assert!(out.contains("steps"), "{out}");
+        assert!(out.contains("nearest neighbours of 0"), "{out}");
+
+        let bad = Opts::parse(&[
+            "--input".into(),
+            input.display().to_string(),
+            "--policy".into(),
+            "hourly".into(),
+        ]);
+        assert!(matches!(stream(&bad), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn invalid_config_surfaces_cleanly() {
+        let input = write_fixture("glodyne_cli_cfg");
+        let opts = Opts::parse(&[
+            "--input".into(),
+            input.display().to_string(),
+            "--alpha".into(),
+            "7.0".into(),
+        ]);
+        let err = embed(&opts).unwrap_err();
+        assert!(matches!(err, CliError::Config(_)), "{err}");
+        assert!(err.to_string().contains("alpha"));
+    }
+
+    #[test]
     fn partition_command_output() {
-        let dir = std::env::temp_dir().join("glodyne_cli_part");
-        std::fs::create_dir_all(&dir).unwrap();
-        let input = dir.join("edges.txt");
-        {
-            let mut f = std::fs::File::create(&input).unwrap();
-            glodyne_graph::io::write_edge_stream(&mut f, &stream_fixture()).unwrap();
-        }
+        let input = write_fixture("glodyne_cli_part");
         let opts = Opts::parse(&[
             "--input".into(),
             input.display().to_string(),
@@ -262,5 +430,6 @@ mod tests {
         let opts = Opts::parse(&["--input".into(), "/nonexistent/xyz.txt".into()]);
         let err = embed(&opts).unwrap_err();
         assert!(err.to_string().contains("cannot open"));
+        assert!(matches!(err, CliError::Io { .. }));
     }
 }

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! glodyne embed     --input edges.txt --snapshots 10 --out-dir embeddings/
+//! glodyne stream    --input edges.txt --policy timestamp --query 42
 //! glodyne partition --input edges.txt --k 8
 //! glodyne evaluate  --input edges.txt --snapshots 10
 //! ```
@@ -10,33 +11,74 @@
 //! Input format: `u v [timestamp]` per line (`#`/`%` comments allowed) —
 //! the format the paper's SNAP/KONECT datasets ship in. Snapshots are
 //! cut at equal-count timestamp quantiles and reduced to their largest
-//! connected component, following §5.1.1.
+//! connected component, following §5.1.1; `stream` instead feeds the
+//! edges one event at a time through an `EmbedderSession`.
 
 pub mod commands;
 pub mod opts;
 
+use glodyne::ConfigError;
+use std::error::Error;
 use std::fmt;
+use std::io;
 
-/// A CLI-level error with a user-facing message.
+/// A structured CLI-level error with a user-facing message and a
+/// `source()` chain down to the underlying failure.
 #[derive(Debug)]
-pub struct CliError(pub String);
+pub enum CliError {
+    /// An I/O failure, with the path or operation that failed.
+    Io {
+        /// What was being done (e.g. `"cannot open edges.txt"`).
+        context: String,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// Input that could not be parsed (bad edge line, empty stream…).
+    Parse(String),
+    /// An invalid embedder configuration, chained from [`ConfigError`].
+    Config(ConfigError),
+    /// Wrong command-line usage (unknown command, missing option…).
+    Usage(String),
+}
 
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.0)
+        match self {
+            CliError::Io { context, source } => write!(f, "{context}: {source}"),
+            CliError::Parse(msg) => write!(f, "parse error: {msg}"),
+            CliError::Config(e) => write!(f, "configuration error: {e}"),
+            CliError::Usage(msg) => write!(f, "{msg}"),
+        }
     }
 }
 
-impl std::error::Error for CliError {}
-
-impl From<std::io::Error> for CliError {
-    fn from(e: std::io::Error) -> Self {
-        CliError(format!("io error: {e}"))
+impl Error for CliError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CliError::Io { source, .. } => Some(source),
+            CliError::Config(e) => Some(e),
+            CliError::Parse(_) | CliError::Usage(_) => None,
+        }
     }
 }
 
-/// Parse arguments and dispatch to a subcommand; returns the process
-/// exit code.
+impl From<io::Error> for CliError {
+    fn from(e: io::Error) -> Self {
+        CliError::Io {
+            context: "io error".to_string(),
+            source: e,
+        }
+    }
+}
+
+impl From<ConfigError> for CliError {
+    fn from(e: ConfigError) -> Self {
+        CliError::Config(e)
+    }
+}
+
+/// Parse arguments and dispatch to a subcommand; returns the report to
+/// print on success.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let Some(cmd) = args.first() else {
         return Ok(usage());
@@ -44,10 +86,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let rest = &args[1..];
     match cmd.as_str() {
         "embed" => commands::embed(&opts::Opts::parse(rest)),
+        "stream" => commands::stream(&opts::Opts::parse(rest)),
         "partition" => commands::partition_cmd(&opts::Opts::parse(rest)),
         "evaluate" => commands::evaluate(&opts::Opts::parse(rest)),
         "help" | "--help" | "-h" => Ok(usage()),
-        other => Err(CliError(format!(
+        other => Err(CliError::Usage(format!(
             "unknown command `{other}`\n\n{}",
             usage()
         ))),
@@ -62,12 +105,18 @@ USAGE:
   glodyne embed     --input <edges.txt> [--snapshots 10] [--out-dir .]
                     [--alpha 0.1] [--dim 128] [--walks 10] [--walk-length 80]
                     [--window 10] [--negatives 5] [--epochs 2] [--seed 0]
+  glodyne stream    --input <edges.txt> [--policy timestamp|every-n|manual]
+                    [--every 1000] [--query <node>] [--top-k 10]
+                    [--alpha 0.1] [--dim 128] [--seed 0]
   glodyne partition --input <edges.txt> [--k 8] [--epsilon 0.1] [--seed 0]
   glodyne evaluate  --input <edges.txt> [--snapshots 10] [--alpha 0.1]
                     [--dim 128] [--seed 0]
 
 Input: one `u v [timestamp]` edge per line; # and % comments ignored.
 `embed` writes one TSV embedding file per snapshot into --out-dir.
+`stream` feeds the edges event-by-event through an embedder session,
+  printing one step report per committed snapshot boundary; with
+  --query it prints the node's nearest neighbours at the end.
 `partition` prints `node part` lines for the final snapshot.
 `evaluate` reports graph-reconstruction MeanP@k and link-prediction AUC.
 "
@@ -92,6 +141,7 @@ mod tests {
     fn unknown_command_errors() {
         let err = run(&s(&["frobnicate"])).unwrap_err();
         assert!(err.to_string().contains("unknown command"));
+        assert!(matches!(err, CliError::Usage(_)));
     }
 
     #[test]
@@ -103,5 +153,22 @@ mod tests {
     fn embed_requires_input() {
         let err = run(&s(&["embed"])).unwrap_err();
         assert!(err.to_string().contains("--input"));
+    }
+
+    #[test]
+    fn error_sources_chain() {
+        use std::error::Error;
+        let io_err = CliError::Io {
+            context: "cannot open x".into(),
+            source: std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        };
+        assert!(io_err.source().is_some());
+        assert!(io_err.to_string().contains("cannot open x"));
+
+        let cfg_err = CliError::from(ConfigError::new("alpha", "must be in (0, 1]"));
+        let src = cfg_err.source().expect("config source");
+        assert!(src.to_string().contains("alpha"));
+
+        assert!(CliError::Parse("bad line".into()).source().is_none());
     }
 }

@@ -36,7 +36,7 @@ impl Opts {
         self.values
             .get(key)
             .map(|s| s.as_str())
-            .ok_or_else(|| crate::CliError(format!("missing required option --{key}")))
+            .ok_or_else(|| crate::CliError::Usage(format!("missing required option --{key}")))
     }
 
     /// Optional parsed value with default.
@@ -45,6 +45,18 @@ impl Opts {
             .get(key)
             .and_then(|v| v.parse().ok())
             .unwrap_or(default)
+    }
+
+    /// Optional parsed value: `None` when absent, an error when present
+    /// but unparseable (a typo must not silently drop the option).
+    pub fn get_opt<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, crate::CliError> {
+        match self.values.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| crate::CliError::Usage(format!("invalid value `{v}` for --{key}"))),
+        }
     }
 
     /// Optional string with default.
@@ -80,5 +92,14 @@ mod tests {
     fn string_default() {
         let o = parse("");
         assert_eq!(o.get_str("out-dir", "."), ".");
+    }
+
+    #[test]
+    fn get_opt_absent_present_and_typo() {
+        let o = parse("--query 42");
+        assert_eq!(o.get_opt::<u32>("query").unwrap(), Some(42));
+        assert_eq!(o.get_opt::<u32>("missing").unwrap(), None);
+        let err = parse("--query 0x1f").get_opt::<u32>("query").unwrap_err();
+        assert!(err.to_string().contains("--query"), "{err}");
     }
 }

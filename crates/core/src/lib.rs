@@ -13,8 +13,12 @@
 //!   `α` controlling the effectiveness/efficiency trade-off (§5.3.5).
 //! - [`variants`] — the ablation baselines of §5.3.1–5.3.2:
 //!   SGNS-static, SGNS-retrain, SGNS-increment.
+//! - [`session`] — the streaming entry point: [`EmbedderSession`] wraps
+//!   any step-style embedder plus a mutable graph state and an
+//!   [`EpochPolicy`], turning an edge-event stream into embedding steps
+//!   and answering queries at any moment.
 //!
-//! # Quick start
+//! # Quick start (batch)
 //!
 //! ```
 //! use glodyne::{GloDyNE, GloDyNEConfig};
@@ -30,18 +34,43 @@
 //! let mut cfg = GloDyNEConfig::default();
 //! cfg.sgns.dim = 16;
 //! cfg.walk.walk_length = 10;
-//! let mut method = GloDyNE::new(cfg);
+//! let mut method = GloDyNE::new(cfg).expect("valid config");
 //! let embeddings = run_over(&mut method, &[g0, g1]);
 //! assert_eq!(embeddings.len(), 2);
 //! assert!(embeddings[1].get(NodeId(3)).is_some());
+//! ```
+//!
+//! # Quick start (streaming)
+//!
+//! ```
+//! use glodyne::{EmbedderSession, EpochPolicy, GloDyNE, GloDyNEConfig};
+//! use glodyne_graph::id::{NodeId, TimedEdge};
+//!
+//! let mut cfg = GloDyNEConfig::builder().alpha(0.5).build().unwrap();
+//! cfg.sgns.dim = 16;
+//! let mut session =
+//!     EmbedderSession::new(GloDyNE::new(cfg).unwrap(), EpochPolicy::TimestampBoundary)
+//!         .unwrap();
+//! for i in 0..20u32 {
+//!     session.apply(glodyne_graph::GraphEvent::add_edge(
+//!         NodeId(i), NodeId(i + 1), (i / 10) as u64));
+//! }
+//! session.flush();
+//! assert!(session.query(NodeId(3)).is_some());
+//! let _neighbours = session.nearest(NodeId(3), 5);
+//! # let _ = TimedEdge::new(NodeId(0), NodeId(1), 0);
 //! ```
 
 pub mod model;
 pub mod reservoir;
 pub mod select;
+pub mod session;
 pub mod variants;
 
-pub use model::{GloDyNE, GloDyNEConfig, PhaseTimes};
+pub use glodyne_embed::config::ConfigError;
+pub use glodyne_embed::traits::{PhaseTimes, StepContext, StepReport};
+pub use model::{GloDyNE, GloDyNEConfig, GloDyNEConfigBuilder};
 pub use reservoir::Reservoir;
 pub use select::Strategy;
+pub use session::{EmbedderSession, EpochPolicy};
 pub use variants::{SgnsIncrement, SgnsRetrain, SgnsStatic};

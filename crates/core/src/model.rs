@@ -2,7 +2,8 @@
 
 use crate::reservoir::Reservoir;
 use crate::select::{select_nodes, Strategy};
-use glodyne_embed::traits::DynamicEmbedder;
+use glodyne_embed::config::ConfigError;
+use glodyne_embed::traits::{DynamicEmbedder, PhaseTimes, StepContext, StepReport};
 use glodyne_embed::walks::{generate_corpus, generate_corpus_all, WalkConfig};
 use glodyne_embed::{Embedding, SgnsConfig, SgnsModel};
 use glodyne_graph::{Snapshot, SnapshotDiff};
@@ -11,6 +12,10 @@ use rand_chacha::ChaCha8Rng;
 use std::time::{Duration, Instant};
 
 /// Full GloDyNE configuration (Algorithm 1's inputs).
+///
+/// Construct via [`GloDyNEConfig::builder`] for validated, fallible
+/// assembly, or fill the fields directly and let [`GloDyNE::new`]
+/// validate.
 #[derive(Debug, Clone)]
 pub struct GloDyNEConfig {
     /// The free hyper-parameter `α ∈ (0, 1]` determining the number of
@@ -41,22 +46,89 @@ impl Default for GloDyNEConfig {
     }
 }
 
-/// Wall-clock breakdown of one online step, matching the §5.2.4 scale
-/// test's reporting (partition+selection / walks / training).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct PhaseTimes {
-    /// Steps 1–2: partition and node selection.
-    pub select: Duration,
-    /// Step 3: random walks.
-    pub walks: Duration,
-    /// Step 4: SGNS training.
-    pub train: Duration,
+impl GloDyNEConfig {
+    /// Start building a validated configuration from the paper defaults.
+    pub fn builder() -> GloDyNEConfigBuilder {
+        GloDyNEConfigBuilder {
+            cfg: GloDyNEConfig::default(),
+        }
+    }
+
+    /// Validate every hyper-parameter, including the nested walk and
+    /// SGNS configurations.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(self.alpha > 0.0 && self.alpha <= 1.0) {
+            return Err(ConfigError::new(
+                "alpha",
+                format!("must be in (0, 1], got {}", self.alpha),
+            ));
+        }
+        if !(self.epsilon.is_finite() && self.epsilon >= 0.0) {
+            return Err(ConfigError::new(
+                "epsilon",
+                format!("must be a non-negative finite number, got {}", self.epsilon),
+            ));
+        }
+        self.walk.validate()?;
+        self.sgns.validate()?;
+        Ok(())
+    }
 }
 
-impl PhaseTimes {
-    /// Total step time.
-    pub fn total(&self) -> Duration {
-        self.select + self.walks + self.train
+/// Builder-style fallible construction of [`GloDyNEConfig`].
+///
+/// ```
+/// use glodyne::GloDyNEConfig;
+/// let cfg = GloDyNEConfig::builder().alpha(0.2).seed(7).build().unwrap();
+/// assert_eq!(cfg.alpha, 0.2);
+/// assert!(GloDyNEConfig::builder().alpha(0.0).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct GloDyNEConfigBuilder {
+    cfg: GloDyNEConfig,
+}
+
+impl GloDyNEConfigBuilder {
+    /// Set `α ∈ (0, 1]`, the selected-node fraction.
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.cfg.alpha = alpha;
+        self
+    }
+
+    /// Set the partition balance tolerance ε.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.cfg.epsilon = epsilon;
+        self
+    }
+
+    /// Set the random-walk parameters.
+    pub fn walk(mut self, walk: WalkConfig) -> Self {
+        self.cfg.walk = walk;
+        self
+    }
+
+    /// Set the SGNS parameters.
+    pub fn sgns(mut self, sgns: SgnsConfig) -> Self {
+        self.cfg.sgns = sgns;
+        self
+    }
+
+    /// Set the node-selection strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.cfg.strategy = strategy;
+        self
+    }
+
+    /// Set the selection RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<GloDyNEConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -68,54 +140,27 @@ pub struct GloDyNE {
     reservoir: Reservoir,
     rng: ChaCha8Rng,
     step: usize,
-    last_phases: PhaseTimes,
-    last_selected: usize,
-    last_pairs: usize,
 }
 
 impl GloDyNE {
-    /// Build an embedder from a configuration.
-    pub fn new(cfg: GloDyNEConfig) -> Self {
-        assert!(
-            cfg.alpha > 0.0 && cfg.alpha <= 1.0,
-            "alpha must be in (0, 1], got {}",
-            cfg.alpha
-        );
+    /// Build an embedder from a configuration; rejects invalid
+    /// hyper-parameters instead of panicking.
+    pub fn new(cfg: GloDyNEConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
         let rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x610D_19E5);
         let model = SgnsModel::new(cfg.sgns.clone());
-        GloDyNE {
+        Ok(GloDyNE {
             cfg,
             model,
             reservoir: Reservoir::new(),
             rng,
             step: 0,
-            last_phases: PhaseTimes::default(),
-            last_selected: 0,
-            last_pairs: 0,
-        }
+        })
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &GloDyNEConfig {
         &self.cfg
-    }
-
-    /// Phase timing of the most recent step (zeroes before any step).
-    pub fn last_phase_times(&self) -> PhaseTimes {
-        self.last_phases
-    }
-
-    /// Number of nodes selected in the most recent online step
-    /// (`|V^t_sel| ≈ K = α·|V^t|`; equals `|V^0|` after the offline
-    /// step).
-    pub fn last_selected_count(&self) -> usize {
-        self.last_selected
-    }
-
-    /// Positive SGNS pairs trained in the most recent step — the
-    /// numerator of the pairs/sec throughput the scale test reports.
-    pub fn last_trained_pairs(&self) -> usize {
-        self.last_pairs
     }
 
     /// Read-only view of the reservoir (diagnostics/tests).
@@ -125,7 +170,7 @@ impl GloDyNE {
 
     /// Offline stage (Algorithm 1 lines 1–5): walks from every node and
     /// initial SGNS training.
-    fn offline(&mut self, g0: &Snapshot) {
+    fn offline(&mut self, g0: &Snapshot) -> StepReport {
         let t0 = Instant::now();
         let walk_cfg = WalkConfig {
             seed: self.cfg.walk.seed ^ (self.step as u64),
@@ -133,24 +178,28 @@ impl GloDyNE {
         };
         let corpus = generate_corpus_all(g0, &walk_cfg);
         let t1 = Instant::now();
-        self.last_pairs = self.model.train_corpus(&corpus);
+        let pairs = self.model.train_corpus(&corpus);
         let t2 = Instant::now();
-        self.last_phases = PhaseTimes {
-            select: Duration::ZERO,
-            walks: t1 - t0,
-            train: t2 - t1,
-        };
-        self.last_selected = g0.num_nodes();
+        StepReport {
+            phases: PhaseTimes {
+                select: Duration::ZERO,
+                walks: t1 - t0,
+                train: t2 - t1,
+            },
+            selected: g0.num_nodes(),
+            trained_pairs: pairs,
+            corpus_tokens: corpus.num_tokens(),
+        }
     }
 
-    /// Online stage (Algorithm 1 lines 6–18).
-    fn online(&mut self, prev: &Snapshot, curr: &Snapshot) {
+    /// Online stage (Algorithm 1 lines 6–18). `diff` is the `ΔE^t` of
+    /// the step context (driver-supplied or lazily computed there).
+    fn online(&mut self, prev: &Snapshot, curr: &Snapshot, diff: &SnapshotDiff) -> StepReport {
         // Lines 7, 9–10: K, edge streams, reservoir update.
         let t0 = Instant::now();
         let k = ((self.cfg.alpha * curr.num_nodes() as f64).round() as usize)
             .clamp(1, curr.num_nodes());
-        let diff = SnapshotDiff::compute(prev, curr);
-        self.reservoir.absorb(&diff);
+        self.reservoir.absorb(diff);
 
         // Lines 8, 11–13: partition + select representatives.
         let selected = select_nodes(
@@ -177,25 +226,33 @@ impl GloDyNE {
         let t2 = Instant::now();
 
         // Lines 16–17: incremental SGNS training (f^t = f^{t-1}).
-        self.last_pairs = self.model.train_corpus(&corpus);
+        let pairs = self.model.train_corpus(&corpus);
         let t3 = Instant::now();
 
-        self.last_phases = PhaseTimes {
-            select: t1 - t0,
-            walks: t2 - t1,
-            train: t3 - t2,
-        };
-        self.last_selected = selected.len();
+        StepReport {
+            phases: PhaseTimes {
+                select: t1 - t0,
+                walks: t2 - t1,
+                train: t3 - t2,
+            },
+            selected: selected.len(),
+            trained_pairs: pairs,
+            corpus_tokens: corpus.num_tokens(),
+        }
     }
 }
 
 impl DynamicEmbedder for GloDyNE {
-    fn advance(&mut self, prev: Option<&Snapshot>, curr: &Snapshot) {
-        match prev {
-            None => self.offline(curr),
-            Some(p) => self.online(p, curr),
-        }
+    fn step(&mut self, ctx: StepContext<'_>) -> StepReport {
+        let report = match ctx.prev {
+            None => self.offline(ctx.curr),
+            Some(p) => {
+                let diff = ctx.diff().expect("online step always has a diff");
+                self.online(p, ctx.curr, diff)
+            }
+        };
         self.step += 1;
+        report
     }
 
     fn embedding(&self) -> Embedding {
@@ -210,7 +267,7 @@ impl DynamicEmbedder for GloDyNE {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use glodyne_embed::traits::run_over;
+    use glodyne_embed::traits::{run_over, run_over_reports, step_with};
     use glodyne_graph::id::{Edge, NodeId};
 
     fn small_cfg() -> GloDyNEConfig {
@@ -248,7 +305,7 @@ mod tests {
             ring(20, &[(0, 20), (20, 21)]),
             ring(20, &[(0, 20), (20, 21), (21, 22)]),
         ];
-        let mut m = GloDyNE::new(small_cfg());
+        let mut m = GloDyNE::new(small_cfg()).unwrap();
         let embs = run_over(&mut m, &snaps);
         assert_eq!(embs.len(), 3);
         // new node 22 appears only at t=2; it will have an embedding iff a
@@ -266,11 +323,12 @@ mod tests {
         let mut m = GloDyNE::new(GloDyNEConfig {
             alpha: 0.1,
             ..small_cfg()
-        });
-        m.advance(None, &snaps[0]);
-        assert_eq!(m.last_selected_count(), 50, "offline uses all nodes");
-        m.advance(Some(&snaps[0]), &snaps[1]);
-        assert_eq!(m.last_selected_count(), 5, "K = α|V| = 5");
+        })
+        .unwrap();
+        let offline = step_with(&mut m, None, &snaps[0]);
+        assert_eq!(offline.selected, 50, "offline uses all nodes");
+        let online = step_with(&mut m, Some(&snaps[0]), &snaps[1]);
+        assert_eq!(online.selected, 5, "K = α|V| = 5");
     }
 
     #[test]
@@ -280,9 +338,10 @@ mod tests {
         let mut m = GloDyNE::new(GloDyNEConfig {
             alpha: 1.0, // select everything => reservoir fully drained
             ..small_cfg()
-        });
-        m.advance(None, &g0);
-        m.advance(Some(&g0), &g1);
+        })
+        .unwrap();
+        step_with(&mut m, None, &g0);
+        step_with(&mut m, Some(&g0), &g1);
         assert!(
             m.reservoir().is_empty(),
             "alpha=1 must clear the whole reservoir"
@@ -290,25 +349,62 @@ mod tests {
     }
 
     #[test]
-    fn phase_times_are_populated() {
+    fn step_reports_are_populated() {
         let g0 = ring(20, &[]);
         let g1 = ring(20, &[(0, 10)]);
-        let mut m = GloDyNE::new(small_cfg());
-        m.advance(None, &g0);
-        let offline = m.last_phase_times();
-        assert!(offline.train > Duration::ZERO);
-        m.advance(Some(&g0), &g1);
-        let online = m.last_phase_times();
-        assert!(online.total() > Duration::ZERO);
+        let mut m = GloDyNE::new(small_cfg()).unwrap();
+        let reports = run_over_reports(&mut m, &[g0, g1]);
+        let offline = reports[0].1;
+        assert!(offline.phases.train > Duration::ZERO);
+        assert_eq!(offline.selected, 20);
+        assert!(offline.trained_pairs > 0);
+        assert!(offline.corpus_tokens > 0);
+        let online = reports[1].1;
+        assert!(online.total_time() > Duration::ZERO);
+        assert!(online.selected < 20, "online selects a fraction");
+        assert!(online.corpus_tokens > 0);
     }
 
     #[test]
-    #[should_panic(expected = "alpha must be in")]
     fn zero_alpha_rejected() {
-        GloDyNE::new(GloDyNEConfig {
+        let err = GloDyNE::new(GloDyNEConfig {
             alpha: 0.0,
             ..Default::default()
-        });
+        })
+        .unwrap_err();
+        assert_eq!(err.param(), "alpha");
+        assert!(err.to_string().contains("(0, 1]"));
+    }
+
+    #[test]
+    fn builder_validates_every_layer() {
+        assert!(GloDyNEConfig::builder().alpha(0.5).build().is_ok());
+        assert!(GloDyNEConfig::builder().alpha(1.5).build().is_err());
+        assert!(GloDyNEConfig::builder().epsilon(-1.0).build().is_err());
+        let bad_walk = WalkConfig {
+            walk_length: 0,
+            ..Default::default()
+        };
+        assert_eq!(
+            GloDyNEConfig::builder()
+                .walk(bad_walk)
+                .build()
+                .unwrap_err()
+                .param(),
+            "walk_length"
+        );
+        let bad_sgns = SgnsConfig {
+            dim: 0,
+            ..Default::default()
+        };
+        assert_eq!(
+            GloDyNEConfig::builder()
+                .sgns(bad_sgns)
+                .build()
+                .unwrap_err()
+                .param(),
+            "dim"
+        );
     }
 
     #[test]
@@ -328,8 +424,8 @@ mod tests {
         let g = Snapshot::from_edges(&edges, &[]);
         let mut cfg = small_cfg();
         cfg.sgns.epochs = 6;
-        let mut m = GloDyNE::new(cfg);
-        m.advance(None, &g);
+        let mut m = GloDyNE::new(cfg).unwrap();
+        step_with(&mut m, None, &g);
         let e = m.embedding();
         let intra = e.cosine(NodeId(1), NodeId(2)).unwrap();
         let inter = e.cosine(NodeId(1), NodeId(14)).unwrap();

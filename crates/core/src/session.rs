@@ -1,0 +1,362 @@
+//! Event-driven embedder sessions: the streaming entry point.
+//!
+//! The paper's incremental protocol (Definition 4) is batch-shaped:
+//! someone hands the method fully materialised snapshot pairs. A live
+//! system sees an *edge-event stream* instead. [`EmbedderSession`]
+//! closes that gap: it owns a mutable [`GraphState`], ingests
+//! [`GraphEvent`]s, decides snapshot boundaries with an [`EpochPolicy`],
+//! runs one [`DynamicEmbedder::step`] per boundary, and answers
+//! embedding queries at any moment from the live embedding.
+//!
+//! The offline/online split of Algorithm 1 falls out naturally: the
+//! first committed snapshot is the offline stage (`prev = None`), every
+//! later commit is an online step with the precomputed diff.
+
+use glodyne_embed::config::ConfigError;
+use glodyne_embed::traits::{DynamicEmbedder, StepContext, StepReport};
+use glodyne_embed::Embedding;
+use glodyne_graph::id::TimedEdge;
+use glodyne_graph::state::{GraphEvent, GraphState};
+use glodyne_graph::{NodeId, Snapshot};
+
+/// When a session turns buffered events into a snapshot boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochPolicy {
+    /// Commit after every `n` effective (state-changing) events.
+    EveryNEvents(usize),
+    /// Commit whenever an incoming event's timestamp exceeds the
+    /// timestamps already applied — i.e. one snapshot per distinct
+    /// timestamp, matching the §5.1.1 "all edges no later than the
+    /// cut-off" recipe with a cut at every boundary.
+    TimestampBoundary,
+    /// Commit only on explicit [`EmbedderSession::flush`] calls.
+    Manual,
+}
+
+/// A streaming embedding session: graph state + epoch policy + any
+/// step-style embedder.
+///
+/// ```
+/// use glodyne::{EmbedderSession, EpochPolicy, GloDyNE, GloDyNEConfig};
+/// use glodyne_graph::id::{NodeId, TimedEdge};
+///
+/// let cfg = GloDyNEConfig::builder().alpha(0.5).build().unwrap();
+/// let model = GloDyNE::new(cfg).unwrap();
+/// let mut session = EmbedderSession::new(model, EpochPolicy::TimestampBoundary).unwrap();
+/// let stream: Vec<TimedEdge> = (0..30u32)
+///     .map(|i| TimedEdge::new(NodeId(i), NodeId(i + 1), (i / 10) as u64))
+///     .collect();
+/// session.ingest(&stream); // two boundaries crossed (t=0->1, 1->2)
+/// session.flush();         // commit the final partial epoch
+/// assert_eq!(session.reports().len(), 3);
+/// assert!(session.query(NodeId(0)).is_some());
+/// ```
+pub struct EmbedderSession<E: DynamicEmbedder> {
+    embedder: E,
+    state: GraphState,
+    policy: EpochPolicy,
+    lcc_only: bool,
+    prev: Option<Snapshot>,
+    latest: Embedding,
+    reports: Vec<StepReport>,
+    /// Effective events applied since the last commit.
+    pending: usize,
+    /// Highest timestamp seen so far (a running max, so an out-of-order
+    /// straggler can't drag the epoch clock backwards).
+    current_time: Option<u64>,
+}
+
+impl<E: DynamicEmbedder> EmbedderSession<E> {
+    /// New session over an embedder and a boundary policy. Snapshots are
+    /// reduced to their largest connected component by default (the
+    /// paper's §5.1.1 rule); see [`EmbedderSession::keep_full_graph`].
+    ///
+    /// Rejects degenerate policies (`EveryNEvents(0)`) instead of
+    /// silently repairing them, like every other constructor in this
+    /// workspace.
+    pub fn new(embedder: E, policy: EpochPolicy) -> Result<Self, ConfigError> {
+        if policy == EpochPolicy::EveryNEvents(0) {
+            return Err(ConfigError::new(
+                "policy",
+                "EveryNEvents requires n >= 1 (0 would commit on every event boundary check)",
+            ));
+        }
+        let latest = embedder.embedding();
+        Ok(EmbedderSession {
+            embedder,
+            state: GraphState::new(),
+            policy,
+            lcc_only: true,
+            prev: None,
+            latest,
+            reports: Vec::new(),
+            pending: 0,
+            current_time: None,
+        })
+    }
+
+    /// Commit full snapshots instead of reducing to the largest
+    /// connected component.
+    pub fn keep_full_graph(mut self) -> Self {
+        self.lcc_only = false;
+        self
+    }
+
+    /// Apply one event; returns `true` if it triggered an embedding
+    /// step (policy boundary crossed).
+    ///
+    /// Events are expected in roughly non-decreasing time order; a
+    /// late straggler with an older timestamp is folded into the
+    /// current epoch (the epoch clock is a running max, so stragglers
+    /// never cause spurious mid-epoch boundaries).
+    pub fn apply(&mut self, event: GraphEvent) -> bool {
+        let mut stepped = false;
+        if let EpochPolicy::TimestampBoundary = self.policy {
+            if self
+                .current_time
+                .is_some_and(|t0| event.time > t0 && self.pending > 0)
+            {
+                stepped = self.flush().is_some();
+            }
+        }
+        if self.state.apply(&event) {
+            self.pending += 1;
+        }
+        self.current_time = Some(self.current_time.map_or(event.time, |t| t.max(event.time)));
+        if let EpochPolicy::EveryNEvents(n) = self.policy {
+            if self.pending >= n {
+                stepped |= self.flush().is_some();
+            }
+        }
+        stepped
+    }
+
+    /// Ingest a batch of timed edges (additions) in order; returns the
+    /// number of embedding steps triggered along the way.
+    pub fn ingest(&mut self, edges: &[TimedEdge]) -> usize {
+        edges.iter().filter(|&&te| self.apply(te.into())).count()
+    }
+
+    /// Commit the current graph state as a snapshot boundary and run one
+    /// embedding step. Returns `None` when there is nothing new to
+    /// commit (no effective events since the last boundary).
+    pub fn flush(&mut self) -> Option<StepReport> {
+        if self.pending == 0 {
+            return None;
+        }
+        let snap = if self.lcc_only {
+            self.state.commit_lcc()
+        } else {
+            self.state.commit()
+        };
+        let report = match self.prev.take() {
+            None => self.embedder.step(StepContext::initial(&snap)),
+            Some(prev) => {
+                // Lazy diff: methods that read ΔE^t get it computed
+                // once; methods that don't pay nothing.
+                self.embedder
+                    .step(StepContext::transition_lazy(&prev, &snap))
+            }
+        };
+        self.latest = self.embedder.embedding();
+        self.prev = Some(snap);
+        self.pending = 0;
+        self.reports.push(report);
+        Some(report)
+    }
+
+    /// The live embedding vector of a node, if it has one.
+    pub fn query(&self, node: NodeId) -> Option<&[f32]> {
+        self.latest.get(node)
+    }
+
+    /// The `k` cosine-nearest embedded neighbours of `node`.
+    pub fn nearest(&self, node: NodeId, k: usize) -> Vec<(NodeId, f32)> {
+        self.latest.top_k(node, k)
+    }
+
+    /// The live embedding (as of the last committed step).
+    pub fn embedding(&self) -> &Embedding {
+        &self.latest
+    }
+
+    /// Every committed step's report, in order.
+    pub fn reports(&self) -> &[StepReport] {
+        &self.reports
+    }
+
+    /// Number of committed embedding steps.
+    pub fn steps(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// The mutable graph state's current view (nodes/edges *including*
+    /// uncommitted events).
+    pub fn graph(&self) -> &GraphState {
+        &self.state
+    }
+
+    /// The snapshot of the last committed boundary, if any.
+    pub fn last_snapshot(&self) -> Option<&Snapshot> {
+        self.prev.as_ref()
+    }
+
+    /// The wrapped embedder (diagnostics; e.g. GloDyNE's reservoir).
+    pub fn embedder(&self) -> &E {
+        &self.embedder
+    }
+
+    /// Consume the session, returning the embedder.
+    pub fn into_embedder(self) -> E {
+        self.embedder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{GloDyNE, GloDyNEConfig};
+    use glodyne_embed::walks::WalkConfig;
+    use glodyne_embed::SgnsConfig;
+
+    fn tiny_model() -> GloDyNE {
+        GloDyNE::new(GloDyNEConfig {
+            alpha: 0.5,
+            walk: WalkConfig {
+                walks_per_node: 2,
+                walk_length: 8,
+                seed: 3,
+            },
+            sgns: SgnsConfig {
+                dim: 8,
+                window: 2,
+                negatives: 2,
+                epochs: 1,
+                parallel: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    fn chain(times: &[u64]) -> Vec<TimedEdge> {
+        times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| TimedEdge::new(NodeId(i as u32), NodeId(i as u32 + 1), t))
+            .collect()
+    }
+
+    #[test]
+    fn timestamp_boundary_commits_per_distinct_time() {
+        let mut s = EmbedderSession::new(tiny_model(), EpochPolicy::TimestampBoundary).unwrap();
+        // times 0,0,0, 1,1, 2 => boundaries crossed entering 1 and 2.
+        let steps = s.ingest(&chain(&[0, 0, 0, 1, 1, 2]));
+        assert_eq!(steps, 2);
+        assert!(s.flush().is_some(), "final partial epoch still pending");
+        assert_eq!(s.steps(), 3);
+        assert!(s.flush().is_none(), "nothing new after the final flush");
+    }
+
+    #[test]
+    fn out_of_order_straggler_does_not_split_an_epoch() {
+        let mut s = EmbedderSession::new(tiny_model(), EpochPolicy::TimestampBoundary).unwrap();
+        // times 5, 3 (straggler), 5, 5: the t=3 event must fold into the
+        // t=5 epoch instead of resetting the clock and forcing a bogus
+        // mid-epoch boundary at the next t=5 event.
+        let events = [
+            TimedEdge::new(NodeId(0), NodeId(1), 5),
+            TimedEdge::new(NodeId(1), NodeId(2), 3),
+            TimedEdge::new(NodeId(2), NodeId(3), 5),
+            TimedEdge::new(NodeId(3), NodeId(4), 5),
+        ];
+        assert_eq!(s.ingest(&events), 0, "no boundary inside one epoch");
+        assert_eq!(s.ingest(&[TimedEdge::new(NodeId(0), NodeId(4), 6)]), 1);
+        assert_eq!(s.steps(), 1);
+        assert_eq!(
+            s.last_snapshot().unwrap().num_edges(),
+            4,
+            "the straggler's edge belongs to the committed epoch"
+        );
+    }
+
+    #[test]
+    fn zero_event_policy_rejected() {
+        match EmbedderSession::new(tiny_model(), EpochPolicy::EveryNEvents(0)) {
+            Err(err) => assert_eq!(err.param(), "policy"),
+            Ok(_) => panic!("EveryNEvents(0) must be rejected"),
+        }
+    }
+
+    #[test]
+    fn every_n_events_policy() {
+        let mut s = EmbedderSession::new(tiny_model(), EpochPolicy::EveryNEvents(3)).unwrap();
+        let steps = s.ingest(&chain(&[0, 1, 2, 3, 4, 5, 6]));
+        assert_eq!(steps, 2, "7 events => commits at 3 and 6");
+        s.flush();
+        assert_eq!(s.steps(), 3);
+    }
+
+    #[test]
+    fn manual_policy_only_flushes_explicitly() {
+        let mut s = EmbedderSession::new(tiny_model(), EpochPolicy::Manual).unwrap();
+        assert_eq!(s.ingest(&chain(&[0, 1, 2, 3])), 0);
+        assert_eq!(s.steps(), 0);
+        assert!(s.flush().is_some());
+        assert_eq!(s.steps(), 1);
+    }
+
+    #[test]
+    fn duplicate_events_do_not_pend() {
+        let mut s = EmbedderSession::new(tiny_model(), EpochPolicy::Manual).unwrap();
+        let e = TimedEdge::new(NodeId(0), NodeId(1), 0);
+        s.ingest(&[e, e, e]);
+        s.flush().unwrap();
+        // Re-adding the same edge is not an effective change.
+        s.ingest(&[e]);
+        assert!(s.flush().is_none(), "duplicate edge must not re-commit");
+    }
+
+    #[test]
+    fn queries_reflect_live_embedding() {
+        let mut s = EmbedderSession::new(tiny_model(), EpochPolicy::Manual).unwrap();
+        assert!(s.query(NodeId(0)).is_none(), "nothing before first flush");
+        s.ingest(&chain(&[0, 0, 0, 0, 0]));
+        let report = s.flush().unwrap();
+        assert!(report.trained_pairs > 0);
+        assert!(s.query(NodeId(0)).is_some());
+        let near = s.nearest(NodeId(0), 3);
+        assert!(!near.is_empty());
+        assert!(near.iter().all(|&(id, _)| id != NodeId(0)));
+    }
+
+    #[test]
+    fn first_commit_is_offline_stage() {
+        let mut s = EmbedderSession::new(tiny_model(), EpochPolicy::Manual).unwrap();
+        s.ingest(&chain(&[0, 0, 0, 0]));
+        let r0 = s.flush().unwrap();
+        // Offline stage walks from every node of the committed LCC.
+        assert_eq!(r0.selected, s.last_snapshot().unwrap().num_nodes());
+        s.ingest(&[TimedEdge::new(NodeId(0), NodeId(9), 1)]);
+        let r1 = s.flush().unwrap();
+        assert!(
+            r1.selected < s.last_snapshot().unwrap().num_nodes(),
+            "online step selects a fraction"
+        );
+    }
+
+    #[test]
+    fn removals_flow_through_events() {
+        use glodyne_graph::state::GraphEvent;
+        let mut s = EmbedderSession::new(tiny_model(), EpochPolicy::Manual)
+            .unwrap()
+            .keep_full_graph();
+        s.ingest(&chain(&[0, 0, 0, 0]));
+        s.flush().unwrap();
+        assert_eq!(s.last_snapshot().unwrap().num_nodes(), 5);
+        s.apply(GraphEvent::remove_node(NodeId(4), 1));
+        s.flush().unwrap();
+        assert_eq!(s.last_snapshot().unwrap().num_nodes(), 4);
+    }
+}

@@ -9,10 +9,12 @@
 //!   to GloDyNE with α = 1.0 minus the partitioning overhead
 //!   (Figure 4, §5.3.2).
 
-use glodyne_embed::traits::DynamicEmbedder;
+use glodyne_embed::config::ConfigError;
+use glodyne_embed::traits::{DynamicEmbedder, PhaseTimes, StepContext, StepReport};
 use glodyne_embed::walks::{generate_corpus_all, WalkConfig};
-use glodyne_embed::{Embedding, SgnsConfig, SgnsModel};
+use glodyne_embed::{Embedding, SgnsConfig, SgnsModel, WalkCorpus};
 use glodyne_graph::Snapshot;
+use std::time::{Duration, Instant};
 
 /// Shared configuration for the SGNS variants.
 #[derive(Debug, Clone, Default)]
@@ -21,6 +23,36 @@ pub struct VariantConfig {
     pub walk: WalkConfig,
     /// SGNS parameters.
     pub sgns: SgnsConfig,
+}
+
+impl VariantConfig {
+    /// Validate both nested configurations.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.walk.validate()?;
+        self.sgns.validate()?;
+        Ok(())
+    }
+}
+
+/// Walks-from-everywhere + training: generate a full-graph corpus,
+/// train, and time both phases into a [`StepReport`] with all nodes
+/// counted as selected — the shared step body of the variants.
+fn walk_all_and_train(curr: &Snapshot, walk_cfg: &WalkConfig, model: &mut SgnsModel) -> StepReport {
+    let t0 = Instant::now();
+    let corpus: WalkCorpus = generate_corpus_all(curr, walk_cfg);
+    let t1 = Instant::now();
+    let pairs = model.train_corpus(&corpus);
+    let t2 = Instant::now();
+    StepReport {
+        phases: PhaseTimes {
+            select: Duration::ZERO,
+            walks: t1 - t0,
+            train: t2 - t1,
+        },
+        selected: curr.num_nodes(),
+        trained_pairs: pairs,
+        corpus_tokens: corpus.num_tokens(),
+    }
 }
 
 /// SGNS-static: embeddings learned at `t = 0` and frozen.
@@ -32,24 +64,27 @@ pub struct SgnsStatic {
 }
 
 impl SgnsStatic {
-    /// Build from a variant configuration.
-    pub fn new(cfg: VariantConfig) -> Self {
+    /// Build from a validated variant configuration.
+    pub fn new(cfg: VariantConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
         let model = SgnsModel::new(cfg.sgns.clone());
-        SgnsStatic {
+        Ok(SgnsStatic {
             cfg,
             model,
             trained: false,
-        }
+        })
     }
 }
 
 impl DynamicEmbedder for SgnsStatic {
-    fn advance(&mut self, _prev: Option<&Snapshot>, curr: &Snapshot) {
-        if !self.trained {
-            let corpus = generate_corpus_all(curr, &self.cfg.walk);
-            self.model.train_corpus(&corpus);
-            self.trained = true;
+    fn step(&mut self, ctx: StepContext<'_>) -> StepReport {
+        if self.trained {
+            // Frozen: later snapshots are ignored entirely.
+            return StepReport::default();
         }
+        self.trained = true;
+        let walk_cfg = self.cfg.walk;
+        walk_all_and_train(ctx.curr, &walk_cfg, &mut self.model)
     }
 
     fn embedding(&self) -> Embedding {
@@ -70,19 +105,20 @@ pub struct SgnsRetrain {
 }
 
 impl SgnsRetrain {
-    /// Build from a variant configuration.
-    pub fn new(cfg: VariantConfig) -> Self {
+    /// Build from a validated variant configuration.
+    pub fn new(cfg: VariantConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
         let model = SgnsModel::new(cfg.sgns.clone());
-        SgnsRetrain {
+        Ok(SgnsRetrain {
             cfg,
             model,
             step: 0,
-        }
+        })
     }
 }
 
 impl DynamicEmbedder for SgnsRetrain {
-    fn advance(&mut self, _prev: Option<&Snapshot>, curr: &Snapshot) {
+    fn step(&mut self, ctx: StepContext<'_>) -> StepReport {
         // Fresh random initialisation each step: no knowledge transfer.
         let mut sgns = self.cfg.sgns.clone();
         sgns.seed = sgns.seed.wrapping_add(self.step.wrapping_mul(0x5851_F42D));
@@ -91,9 +127,8 @@ impl DynamicEmbedder for SgnsRetrain {
             seed: self.cfg.walk.seed ^ (self.step << 16),
             ..self.cfg.walk
         };
-        let corpus = generate_corpus_all(curr, &walk_cfg);
-        self.model.train_corpus(&corpus);
         self.step += 1;
+        walk_all_and_train(ctx.curr, &walk_cfg, &mut self.model)
     }
 
     fn embedding(&self) -> Embedding {
@@ -114,26 +149,26 @@ pub struct SgnsIncrement {
 }
 
 impl SgnsIncrement {
-    /// Build from a variant configuration.
-    pub fn new(cfg: VariantConfig) -> Self {
+    /// Build from a validated variant configuration.
+    pub fn new(cfg: VariantConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
         let model = SgnsModel::new(cfg.sgns.clone());
-        SgnsIncrement {
+        Ok(SgnsIncrement {
             cfg,
             model,
             step: 0,
-        }
+        })
     }
 }
 
 impl DynamicEmbedder for SgnsIncrement {
-    fn advance(&mut self, _prev: Option<&Snapshot>, curr: &Snapshot) {
+    fn step(&mut self, ctx: StepContext<'_>) -> StepReport {
         let walk_cfg = WalkConfig {
             seed: self.cfg.walk.seed ^ (self.step << 16),
             ..self.cfg.walk
         };
-        let corpus = generate_corpus_all(curr, &walk_cfg);
-        self.model.train_corpus(&corpus);
         self.step += 1;
+        walk_all_and_train(ctx.curr, &walk_cfg, &mut self.model)
     }
 
     fn embedding(&self) -> Embedding {
@@ -148,7 +183,7 @@ impl DynamicEmbedder for SgnsIncrement {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use glodyne_embed::traits::run_over;
+    use glodyne_embed::traits::{run_over, run_over_reports};
     use glodyne_graph::id::{Edge, NodeId};
 
     fn cfg() -> VariantConfig {
@@ -180,17 +215,24 @@ mod tests {
     #[test]
     fn static_never_embeds_new_nodes() {
         let snaps = vec![ring(10, &[]), ring(10, &[(0, 10)])];
-        let mut m = SgnsStatic::new(cfg());
-        let embs = run_over(&mut m, &snaps);
-        assert!(embs[1].get(NodeId(10)).is_none(), "static must stay frozen");
+        let mut m = SgnsStatic::new(cfg()).unwrap();
+        let results = run_over_reports(&mut m, &snaps);
+        assert!(
+            results[1].0.get(NodeId(10)).is_none(),
+            "static must stay frozen"
+        );
         // And frozen vectors are bit-identical across steps.
-        assert_eq!(embs[0].get(NodeId(0)), embs[1].get(NodeId(0)));
+        assert_eq!(results[0].0.get(NodeId(0)), results[1].0.get(NodeId(0)));
+        // The frozen step reports no work.
+        assert!(results[0].1.trained_pairs > 0);
+        assert_eq!(results[1].1.trained_pairs, 0);
+        assert_eq!(results[1].1.selected, 0);
     }
 
     #[test]
     fn retrain_embeds_new_nodes() {
         let snaps = vec![ring(10, &[]), ring(10, &[(0, 10)])];
-        let mut m = SgnsRetrain::new(cfg());
+        let mut m = SgnsRetrain::new(cfg()).unwrap();
         let embs = run_over(&mut m, &snaps);
         assert!(embs[1].get(NodeId(10)).is_some());
     }
@@ -198,7 +240,7 @@ mod tests {
     #[test]
     fn retrain_vectors_change_across_steps() {
         let snaps = vec![ring(10, &[]), ring(10, &[])];
-        let mut m = SgnsRetrain::new(cfg());
+        let mut m = SgnsRetrain::new(cfg()).unwrap();
         let embs = run_over(&mut m, &snaps);
         assert_ne!(
             embs[0].get(NodeId(0)),
@@ -210,7 +252,7 @@ mod tests {
     #[test]
     fn increment_preserves_and_extends() {
         let snaps = vec![ring(10, &[]), ring(10, &[(0, 10)])];
-        let mut m = SgnsIncrement::new(cfg());
+        let mut m = SgnsIncrement::new(cfg()).unwrap();
         let embs = run_over(&mut m, &snaps);
         assert!(embs[1].get(NodeId(10)).is_some(), "new node embedded");
         // Warm start: old vectors evolve but stay correlated.
@@ -221,11 +263,25 @@ mod tests {
     }
 
     #[test]
+    fn invalid_configs_rejected_by_every_variant() {
+        let bad = VariantConfig {
+            sgns: SgnsConfig {
+                dim: 0,
+                ..Default::default()
+            },
+            ..cfg()
+        };
+        assert!(SgnsStatic::new(bad.clone()).is_err());
+        assert!(SgnsRetrain::new(bad.clone()).is_err());
+        assert!(SgnsIncrement::new(bad).is_err());
+    }
+
+    #[test]
     fn names_are_distinct() {
         let names = [
-            SgnsStatic::new(cfg()).name(),
-            SgnsRetrain::new(cfg()).name(),
-            SgnsIncrement::new(cfg()).name(),
+            SgnsStatic::new(cfg()).unwrap().name(),
+            SgnsRetrain::new(cfg()).unwrap().name(),
+            SgnsIncrement::new(cfg()).unwrap().name(),
         ];
         let set: std::collections::HashSet<_> = names.iter().collect();
         assert_eq!(set.len(), 3);

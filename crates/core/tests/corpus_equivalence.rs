@@ -6,7 +6,7 @@
 
 use glodyne::select::{select_nodes, Strategy};
 use glodyne::{GloDyNE, GloDyNEConfig, Reservoir};
-use glodyne_embed::traits::DynamicEmbedder;
+use glodyne_embed::traits::{step_with, DynamicEmbedder};
 use glodyne_embed::walks::{generate_walks, generate_walks_all, WalkConfig};
 use glodyne_embed::{SgnsConfig, SgnsModel};
 use glodyne_graph::id::{Edge, NodeId};
@@ -97,10 +97,10 @@ fn glodyne_matches_legacy_pipeline_bit_exact() {
     ];
     let cfg = det_cfg();
 
-    let mut migrated = GloDyNE::new(cfg.clone());
+    let mut migrated = GloDyNE::new(cfg.clone()).unwrap();
     let mut prev: Option<&Snapshot> = None;
     for s in &snaps {
-        migrated.advance(prev, s);
+        step_with(&mut migrated, prev, s);
         prev = Some(s);
     }
     let new_emb = migrated.embedding();
@@ -119,10 +119,10 @@ fn glodyne_matches_legacy_pipeline_bit_exact() {
 fn glodyne_deterministic_mode_reproducible_across_runs() {
     let snaps = vec![ring(30, &[]), ring(30, &[(0, 15), (5, 25)])];
     let run = || {
-        let mut m = GloDyNE::new(det_cfg());
+        let mut m = GloDyNE::new(det_cfg()).unwrap();
         let mut prev: Option<&Snapshot> = None;
         for s in &snaps {
-            m.advance(prev, s);
+            step_with(&mut m, prev, s);
             prev = Some(s);
         }
         m.embedding()

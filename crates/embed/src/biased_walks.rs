@@ -1,5 +1,5 @@
 //! node2vec-style biased second-order random walks (Grover & Leskovec
-//! 2016 — the paper's [7], whose hyper-parameter defaults GloDyNE
+//! 2016 — the paper's \[7\], whose hyper-parameter defaults GloDyNE
 //! adopts).
 //!
 //! The paper's §6 positions GloDyNE as "a general DNE framework" in

@@ -1,0 +1,82 @@
+//! Fallible configuration validation shared by every embedding method.
+//!
+//! Constructors across the workspace accept plain-old-data config
+//! structs; instead of panicking on out-of-range hyper-parameters they
+//! validate and return a [`ConfigError`], which callers (the CLI, the
+//! bench harness, library users) can surface through a proper
+//! `std::error::Error` chain.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid hyper-parameter in a configuration struct.
+///
+/// Carries the offending parameter name and a human-readable reason so
+/// error chains read like `invalid config: alpha must be in (0, 1],
+/// got 0`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    param: &'static str,
+    reason: String,
+}
+
+impl ConfigError {
+    /// A new error for `param` with a human-readable `reason`.
+    pub fn new(param: &'static str, reason: impl Into<String>) -> Self {
+        ConfigError {
+            param,
+            reason: reason.into(),
+        }
+    }
+
+    /// The name of the offending parameter (e.g. `"alpha"`).
+    pub fn param(&self) -> &'static str {
+        self.param
+    }
+
+    /// The human-readable reason.
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid config: {} {}", self.param, self.reason)
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Require `cond`, otherwise produce a [`ConfigError`] for `param`.
+pub(crate) fn require(
+    cond: bool,
+    param: &'static str,
+    reason: impl Into<String>,
+) -> Result<(), ConfigError> {
+    if cond {
+        Ok(())
+    } else {
+        Err(ConfigError::new(param, reason))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_parameter() {
+        let e = ConfigError::new("alpha", "must be in (0, 1], got 0");
+        let s = e.to_string();
+        assert!(s.contains("alpha"), "{s}");
+        assert!(s.contains("(0, 1]"), "{s}");
+        assert_eq!(e.param(), "alpha");
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&ConfigError::new("dim", "must be >= 1"));
+    }
+}

@@ -85,6 +85,34 @@ impl Embedding {
         let vb = self.get(b)?;
         Some(cosine(va, vb))
     }
+
+    /// The `k` cosine-nearest embedded neighbours of `node` (excluding
+    /// `node` itself), most similar first. Ties break toward the smaller
+    /// id for determinism. Empty if `node` has no embedding.
+    ///
+    /// Linear scan over all embedded nodes — O(n·d) per query, the
+    /// right tool for interactive session queries; batch consumers
+    /// should rank candidate sets themselves.
+    pub fn top_k(&self, node: NodeId, k: usize) -> Vec<(NodeId, f32)> {
+        let Some(q) = self.get(node) else {
+            return Vec::new();
+        };
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut scored: Vec<(NodeId, f32)> = self
+            .iter()
+            .filter(|&(id, _)| id != node)
+            .map(|(id, v)| (id, cosine(q, v)))
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        scored.truncate(k);
+        scored
+    }
 }
 
 /// Cosine similarity of two equal-length vectors (0 for zero vectors).
@@ -154,5 +182,31 @@ mod tests {
     fn wrong_dim_panics() {
         let mut e = Embedding::new(2);
         e.set(NodeId(0), &[1.0]);
+    }
+
+    #[test]
+    fn top_k_ranks_by_cosine() {
+        let mut e = Embedding::new(2);
+        e.set(NodeId(0), &[1.0, 0.0]);
+        e.set(NodeId(1), &[1.0, 0.1]); // closest to 0
+        e.set(NodeId(2), &[0.0, 1.0]); // orthogonal
+        e.set(NodeId(3), &[-1.0, 0.0]); // opposite
+        let top = e.top_k(NodeId(0), 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, NodeId(1));
+        assert_eq!(top[1].0, NodeId(2));
+        assert!(top[0].1 > top[1].1);
+    }
+
+    #[test]
+    fn top_k_edge_cases() {
+        let mut e = Embedding::new(1);
+        e.set(NodeId(0), &[1.0]);
+        assert!(e.top_k(NodeId(9), 3).is_empty(), "missing node");
+        assert!(e.top_k(NodeId(0), 0).is_empty(), "k = 0");
+        assert!(e.top_k(NodeId(0), 3).is_empty(), "no other nodes to return");
+        e.set(NodeId(1), &[2.0]);
+        let top = e.top_k(NodeId(0), 10);
+        assert_eq!(top, vec![(NodeId(1), 1.0)], "k larger than population");
     }
 }

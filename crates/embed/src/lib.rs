@@ -11,13 +11,19 @@
 //! - [`sgns`] — the incremental SGNS model (Eq. 6–11): warm-startable,
 //!   Hogwild-parallel, with new-node vocabulary growth.
 //! - [`embedding`] — the `NodeId`-keyed embedding matrix handed to
-//!   downstream tasks, plus cosine-similarity helpers.
-//! - [`traits`] — the `DynamicEmbedder` interface every method in this
-//!   workspace implements, mirroring the paper's protocol of feeding
+//!   downstream tasks, plus cosine-similarity and nearest-neighbour
+//!   helpers.
+//! - [`traits`] — the step-shaped `DynamicEmbedder` interface every
+//!   method in this workspace implements: one `step(StepContext)` per
+//!   snapshot boundary returning a structured `StepReport`, with batch
+//!   adapters (`run_over`) mirroring the paper's protocol of feeding
 //!   every method's output to identical downstream tasks.
+//! - [`config`] — fallible hyper-parameter validation (`ConfigError`)
+//!   shared by every method's constructor.
 
 pub mod alias;
 pub mod biased_walks;
+pub mod config;
 pub mod corpus;
 pub mod embedding;
 pub mod pairs;
@@ -27,7 +33,8 @@ pub mod traits;
 pub mod walks;
 pub mod weighted_walks;
 
+pub use config::ConfigError;
 pub use corpus::WalkCorpus;
 pub use embedding::Embedding;
 pub use sgns::{SgnsConfig, SgnsModel};
-pub use traits::DynamicEmbedder;
+pub use traits::{DynamicEmbedder, PhaseTimes, StepContext, StepReport};

@@ -9,7 +9,7 @@
 use crate::embedding::Embedding;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use glodyne_graph::NodeId;
-use std::io::{self, BufRead, Write};
+use std::io::{self, BufRead, Read, Write};
 
 const MAGIC: &[u8; 4] = b"GDNE";
 const VERSION: u32 = 1;
@@ -82,6 +82,22 @@ pub fn to_bytes(emb: &Embedding) -> Bytes {
         }
     }
     buf.freeze()
+}
+
+/// Write an embedding in the compact binary format to any writer.
+pub fn write_binary<W: Write>(writer: &mut W, emb: &Embedding) -> io::Result<()> {
+    writer.write_all(to_bytes(emb).as_ref())
+}
+
+/// Read an embedding in the compact binary format from any reader.
+///
+/// Corrupt input — truncation at any point, a bad magic, an unsupported
+/// version, or a header whose dimensions don't match the body — returns
+/// an `InvalidData` error; this function never panics.
+pub fn read_binary<R: Read>(reader: &mut R) -> io::Result<Embedding> {
+    let mut buf = Vec::new();
+    reader.read_to_end(&mut buf)?;
+    from_bytes(Bytes::from(buf))
 }
 
 /// Deserialise the binary format, validating header and length.

@@ -85,6 +85,23 @@ impl Default for SgnsConfig {
     }
 }
 
+impl SgnsConfig {
+    /// Validate the SGNS hyper-parameters.
+    pub fn validate(&self) -> Result<(), crate::config::ConfigError> {
+        use crate::config::require;
+        require(self.dim >= 1, "dim", "must be >= 1")?;
+        require(self.window >= 1, "window", "must be >= 1")?;
+        require(self.negatives >= 1, "negatives", "must be >= 1")?;
+        require(self.epochs >= 1, "epochs", "must be >= 1")?;
+        require(
+            self.initial_lr.is_finite() && self.initial_lr > 0.0,
+            "initial_lr",
+            format!("must be a positive finite number, got {}", self.initial_lr),
+        )?;
+        Ok(())
+    }
+}
+
 /// Growable two-matrix SGNS model.
 #[derive(Debug, Clone)]
 pub struct SgnsModel {

@@ -1,22 +1,152 @@
 //! The common interface every dynamic-network-embedding method
 //! implements, mirroring Definition 4:
 //! `Z^t = f^t(G^t, G^{t-1}, f^{t-1}, Z^{t-1})`.
+//!
+//! The interface is *step-shaped*: the driver hands the method a
+//! [`StepContext`] (current snapshot, previous snapshot if any, and the
+//! precomputed [`SnapshotDiff`] between them) and receives a structured
+//! [`StepReport`] back — phase timings, how many nodes were selected,
+//! how many SGNS pairs were trained, how large the walk corpus was.
+//! Every method reports through the same struct, so harnesses and the
+//! streaming session layer read telemetry uniformly instead of through
+//! per-method `last_*()` getters.
+//!
+//! Batch drivers ([`run_over`], [`run_over_reports`], [`step_with`])
+//! adapt a plain snapshot sequence to the step interface — exactly the
+//! paper's evaluation protocol ("we first take out the node embeddings
+//! obtained by each method ... and then feed them to exactly the same
+//! downstream tasks", §5.2).
 
 use crate::embedding::Embedding;
-use glodyne_graph::Snapshot;
+use glodyne_graph::{Snapshot, SnapshotDiff};
+use std::cell::OnceCell;
+use std::time::Duration;
+
+/// Wall-clock breakdown of one embedding step, matching the §5.2.4
+/// scale test's reporting (partition+selection / walks / training).
+///
+/// Methods without a walk stage fold their whole step into `train`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimes {
+    /// Steps 1–2: partition and node selection.
+    pub select: Duration,
+    /// Step 3: random walks.
+    pub walks: Duration,
+    /// Step 4: model training.
+    pub train: Duration,
+}
+
+impl PhaseTimes {
+    /// Total step time.
+    pub fn total(&self) -> Duration {
+        self.select + self.walks + self.train
+    }
+}
+
+/// Everything a method may consume for one step of the incremental
+/// protocol (the arguments of Definition 4).
+///
+/// `prev` is `None` at `t = 0` — the offline stage of Algorithm 1.
+/// [`StepContext::diff`] yields the edge-stream difference `ΔE^t`
+/// between `prev` and `curr`: a driver that already tracks deltas can
+/// hand one in via [`StepContext::transition`]; otherwise it is
+/// computed lazily on first access, so methods that never read it
+/// (most baselines) pay nothing.
+#[derive(Debug)]
+pub struct StepContext<'a> {
+    /// `G^{t-1}`, absent at the offline step.
+    pub prev: Option<&'a Snapshot>,
+    /// `G^t`.
+    pub curr: &'a Snapshot,
+    /// Driver-supplied diff, if it already had one.
+    precomputed: Option<&'a SnapshotDiff>,
+    /// Lazily computed diff for drivers that didn't.
+    lazy: OnceCell<SnapshotDiff>,
+}
+
+impl<'a> StepContext<'a> {
+    /// The offline step context (`t = 0`): no previous snapshot.
+    pub fn initial(curr: &'a Snapshot) -> Self {
+        StepContext {
+            prev: None,
+            curr,
+            precomputed: None,
+            lazy: OnceCell::new(),
+        }
+    }
+
+    /// An online step context with a diff the driver already computed.
+    pub fn transition(prev: &'a Snapshot, curr: &'a Snapshot, diff: &'a SnapshotDiff) -> Self {
+        StepContext {
+            prev: Some(prev),
+            curr,
+            precomputed: Some(diff),
+            lazy: OnceCell::new(),
+        }
+    }
+
+    /// An online step context that computes the diff only if the method
+    /// asks for it.
+    pub fn transition_lazy(prev: &'a Snapshot, curr: &'a Snapshot) -> Self {
+        StepContext {
+            prev: Some(prev),
+            curr,
+            precomputed: None,
+            lazy: OnceCell::new(),
+        }
+    }
+
+    /// `ΔE^t` between `prev` and `curr`; `None` at the offline step.
+    /// Computed at most once per context when not driver-supplied.
+    pub fn diff(&self) -> Option<&SnapshotDiff> {
+        let prev = self.prev?;
+        Some(match self.precomputed {
+            Some(d) => d,
+            None => self
+                .lazy
+                .get_or_init(|| SnapshotDiff::compute(prev, self.curr)),
+        })
+    }
+
+    /// Whether this is the offline (`t = 0`) step.
+    pub fn is_initial(&self) -> bool {
+        self.prev.is_none()
+    }
+}
+
+/// Structured result of one embedding step, shared by all methods.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepReport {
+    /// Wall-clock phase breakdown.
+    pub phases: PhaseTimes,
+    /// Nodes whose vectors this step updated (`|V^t_sel|`; for
+    /// full-graph methods this is `|V^t|`).
+    pub selected: usize,
+    /// Positive training pairs/samples consumed — the numerator of the
+    /// pairs/sec throughput the scale test reports. 0 for methods
+    /// without a pair-sampling objective.
+    pub trained_pairs: usize,
+    /// Total tokens in the walk corpus trained on this step. 0 for
+    /// walk-free methods.
+    pub corpus_tokens: usize,
+}
+
+impl StepReport {
+    /// Total wall-clock time of the step.
+    pub fn total_time(&self) -> Duration {
+        self.phases.total()
+    }
+}
 
 /// A dynamic network embedding method under the incremental protocol.
 ///
-/// The harness drives each method through the snapshot sequence with
-/// [`DynamicEmbedder::advance`]; after each call the method's latest
-/// embeddings are read with [`DynamicEmbedder::embedding`] and fed to
-/// the downstream tasks — exactly the paper's evaluation protocol
-/// ("we first take out the node embeddings obtained by each method ...
-/// and then feed them to exactly the same downstream tasks", §5.2).
+/// The driver (batch harness or streaming session) calls
+/// [`DynamicEmbedder::step`] once per snapshot boundary; after each call
+/// the method's latest embeddings are read with
+/// [`DynamicEmbedder::embedding`] and fed to downstream consumers.
 pub trait DynamicEmbedder {
-    /// Consume the next snapshot. `prev` is `None` at `t = 0` (the
-    /// offline stage of Algorithm 1).
-    fn advance(&mut self, prev: Option<&Snapshot>, curr: &Snapshot);
+    /// Consume the next snapshot boundary and report what was done.
+    fn step(&mut self, ctx: StepContext<'_>) -> StepReport;
 
     /// The current embeddings `Z^t`.
     fn embedding(&self) -> Embedding;
@@ -25,14 +155,42 @@ pub trait DynamicEmbedder {
     fn name(&self) -> &'static str;
 }
 
+/// Run one step over a `(prev, curr)` snapshot pair — the batch adapter
+/// from the old `advance(prev, curr)` call shape to [`StepContext`].
+/// The diff is provided lazily: only methods that read it pay for it.
+pub fn step_with<E: DynamicEmbedder + ?Sized>(
+    embedder: &mut E,
+    prev: Option<&Snapshot>,
+    curr: &Snapshot,
+) -> StepReport {
+    match prev {
+        None => embedder.step(StepContext::initial(curr)),
+        Some(p) => embedder.step(StepContext::transition_lazy(p, curr)),
+    }
+}
+
 /// Drive an embedder across an entire snapshot sequence, returning the
 /// embedding after each step.
-pub fn run_over<E: DynamicEmbedder>(embedder: &mut E, snapshots: &[Snapshot]) -> Vec<Embedding> {
+pub fn run_over<E: DynamicEmbedder + ?Sized>(
+    embedder: &mut E,
+    snapshots: &[Snapshot],
+) -> Vec<Embedding> {
+    run_over_reports(embedder, snapshots)
+        .into_iter()
+        .map(|(emb, _)| emb)
+        .collect()
+}
+
+/// Like [`run_over`], but also return every step's [`StepReport`].
+pub fn run_over_reports<E: DynamicEmbedder + ?Sized>(
+    embedder: &mut E,
+    snapshots: &[Snapshot],
+) -> Vec<(Embedding, StepReport)> {
     let mut out = Vec::with_capacity(snapshots.len());
     let mut prev: Option<&Snapshot> = None;
     for snap in snapshots {
-        embedder.advance(prev, snap);
-        out.push(embedder.embedding());
+        let report = step_with(embedder, prev, snap);
+        out.push((embedder.embedding(), report));
         prev = Some(snap);
     }
     out
@@ -49,9 +207,14 @@ mod tests {
     }
 
     impl DynamicEmbedder for DegreeEmbedder {
-        fn advance(&mut self, _prev: Option<&Snapshot>, curr: &Snapshot) {
-            for l in 0..curr.num_nodes() {
-                self.emb.set(curr.node_id(l), &[curr.degree(l) as f32]);
+        fn step(&mut self, ctx: StepContext<'_>) -> StepReport {
+            for l in 0..ctx.curr.num_nodes() {
+                self.emb
+                    .set(ctx.curr.node_id(l), &[ctx.curr.degree(l) as f32]);
+            }
+            StepReport {
+                selected: ctx.curr.num_nodes(),
+                ..StepReport::default()
             }
         }
         fn embedding(&self) -> Embedding {
@@ -79,5 +242,89 @@ mod tests {
         assert_eq!(embs.len(), 2);
         assert_eq!(embs[0].get(NodeId(1)), Some(&[1.0f32][..]));
         assert_eq!(embs[1].get(NodeId(1)), Some(&[2.0f32][..]));
+    }
+
+    #[test]
+    fn reports_and_diff_are_provided() {
+        struct DiffChecker {
+            saw_initial: bool,
+            saw_diff_edges: usize,
+        }
+        impl DynamicEmbedder for DiffChecker {
+            fn step(&mut self, ctx: StepContext<'_>) -> StepReport {
+                if ctx.is_initial() {
+                    self.saw_initial = true;
+                    assert!(ctx.diff().is_none());
+                } else {
+                    self.saw_diff_edges = ctx.diff().expect("online diff").num_changed_edges();
+                }
+                StepReport::default()
+            }
+            fn embedding(&self) -> Embedding {
+                Embedding::new(0)
+            }
+            fn name(&self) -> &'static str {
+                "diff-checker"
+            }
+        }
+        let s0 = Snapshot::from_edges(&[Edge::new(NodeId(0), NodeId(1))], &[]);
+        let s1 = Snapshot::from_edges(
+            &[
+                Edge::new(NodeId(0), NodeId(1)),
+                Edge::new(NodeId(1), NodeId(2)),
+            ],
+            &[],
+        );
+        let mut c = DiffChecker {
+            saw_initial: false,
+            saw_diff_edges: 0,
+        };
+        let reports = run_over_reports(&mut c, &[s0, s1]);
+        assert_eq!(reports.len(), 2);
+        assert!(c.saw_initial);
+        assert_eq!(c.saw_diff_edges, 1, "one edge added between snapshots");
+    }
+
+    #[test]
+    fn lazy_diff_computes_once_and_precomputed_wins() {
+        let s0 = Snapshot::from_edges(&[Edge::new(NodeId(0), NodeId(1))], &[]);
+        let s1 = Snapshot::from_edges(
+            &[
+                Edge::new(NodeId(0), NodeId(1)),
+                Edge::new(NodeId(1), NodeId(2)),
+            ],
+            &[],
+        );
+        let lazy = StepContext::transition_lazy(&s0, &s1);
+        let a = lazy.diff().unwrap() as *const SnapshotDiff;
+        let b = lazy.diff().unwrap() as *const SnapshotDiff;
+        assert_eq!(a, b, "computed once, then cached");
+
+        let pre = SnapshotDiff::compute(&s0, &s1);
+        let ctx = StepContext::transition(&s0, &s1, &pre);
+        assert!(
+            std::ptr::eq(ctx.diff().unwrap(), &pre),
+            "driver diff reused"
+        );
+
+        assert!(StepContext::initial(&s1).diff().is_none());
+    }
+
+    #[test]
+    fn phase_times_total_sums() {
+        let p = PhaseTimes {
+            select: Duration::from_millis(1),
+            walks: Duration::from_millis(2),
+            train: Duration::from_millis(3),
+        };
+        assert_eq!(p.total(), Duration::from_millis(6));
+        assert_eq!(
+            StepReport {
+                phases: p,
+                ..Default::default()
+            }
+            .total_time(),
+            Duration::from_millis(6)
+        );
     }
 }

@@ -47,6 +47,16 @@ impl Default for WalkConfig {
     }
 }
 
+impl WalkConfig {
+    /// Validate the walk parameters: at least one walk per node and a
+    /// walk length of at least one node (the start itself).
+    pub fn validate(&self) -> Result<(), crate::config::ConfigError> {
+        crate::config::require(self.walks_per_node >= 1, "walks_per_node", "must be >= 1")?;
+        crate::config::require(self.walk_length >= 1, "walk_length", "must be >= 1")?;
+        Ok(())
+    }
+}
+
 /// Advance a SplitMix64 state and return the next output. Shared by the
 /// per-walk seed mixing below and the SGNS negative-sampling stream —
 /// the single home of the SplitMix64 constants in this crate.

@@ -1,0 +1,102 @@
+//! Corrupt-input coverage for the binary embedding format: truncation
+//! at every possible point, bad magic, wrong version, and header/body
+//! dimension mismatches must each return a clean `InvalidData` error —
+//! never panic.
+
+use glodyne_embed::persist::{from_bytes, read_binary, to_bytes, write_binary};
+use glodyne_embed::Embedding;
+use glodyne_graph::NodeId;
+use proptest::prelude::*;
+
+fn sample(nodes: u32, dim: usize) -> Embedding {
+    let mut e = Embedding::new(dim);
+    for i in 0..nodes {
+        let v: Vec<f32> = (0..dim).map(|k| (i as f32) * 0.5 + k as f32).collect();
+        e.set(NodeId(i * 3), &v);
+    }
+    e
+}
+
+#[test]
+fn round_trip_through_io_wrappers() {
+    let e = sample(5, 4);
+    let mut buf = Vec::new();
+    write_binary(&mut buf, &e).unwrap();
+    let parsed = read_binary(&mut buf.as_slice()).unwrap();
+    assert_eq!(parsed.len(), e.len());
+    assert_eq!(parsed.dim(), e.dim());
+    for (id, v) in e.iter() {
+        assert_eq!(parsed.get(id), Some(v));
+    }
+}
+
+#[test]
+fn bad_magic_is_rejected() {
+    let mut buf = to_bytes(&sample(3, 2)).to_vec();
+    buf[0] = b'X';
+    let err = read_binary(&mut buf.as_slice()).unwrap_err();
+    assert!(err.to_string().contains("magic"), "{err}");
+}
+
+#[test]
+fn wrong_version_is_rejected() {
+    let mut buf = to_bytes(&sample(3, 2)).to_vec();
+    buf[4] = 99; // version field (little-endian u32 right after magic)
+    let err = read_binary(&mut buf.as_slice()).unwrap_err();
+    assert!(err.to_string().contains("version"), "{err}");
+}
+
+#[test]
+fn dim_mismatch_is_rejected() {
+    // Inflate the header dim without growing the body: the declared
+    // count × (4 + 4·dim) exceeds what's actually there.
+    let mut buf = to_bytes(&sample(3, 2)).to_vec();
+    buf[8] = 200; // dim field (little-endian u32 at offset 8)
+    let err = read_binary(&mut buf.as_slice()).unwrap_err();
+    assert!(err.to_string().contains("truncated"), "{err}");
+}
+
+#[test]
+fn count_overflow_is_rejected() {
+    // A count near u64::MAX must fail the size check, not overflow or
+    // attempt a giant allocation.
+    let mut buf = to_bytes(&sample(1, 2)).to_vec();
+    for b in &mut buf[12..20] {
+        *b = 0xFF; // count field (little-endian u64 at offset 12)
+    }
+    assert!(read_binary(&mut buf.as_slice()).is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every strict prefix of a valid file is cleanly rejected.
+    #[test]
+    fn truncation_never_panics(
+        nodes in 0u32..12,
+        dim in 1usize..9,
+        frac in 0.0f64..1.0,
+    ) {
+        let full = to_bytes(&sample(nodes, dim)).to_vec();
+        let cut = ((full.len() as f64) * frac) as usize;
+        let cut = cut.min(full.len().saturating_sub(1));
+        let truncated = &full[..cut];
+        let result = read_binary(&mut &truncated[..]);
+        prop_assert!(result.is_err(), "prefix of {cut}/{} bytes must fail", full.len());
+    }
+
+    /// Flipping any single byte either still parses (payload bytes are
+    /// arbitrary floats/ids) or fails cleanly — it never panics.
+    #[test]
+    fn single_byte_corruption_never_panics(
+        nodes in 1u32..8,
+        dim in 1usize..6,
+        pos_frac in 0.0f64..1.0,
+        value in 0u32..256,
+    ) {
+        let mut buf = to_bytes(&sample(nodes, dim)).to_vec();
+        let pos = (((buf.len() - 1) as f64) * pos_frac) as usize;
+        buf[pos] = value as u8;
+        let _ = from_bytes(bytes::Bytes::from(buf)); // must not panic
+    }
+}

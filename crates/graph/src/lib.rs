@@ -16,6 +16,9 @@
 //!   (the `ΔE^t` of Eq. 3).
 //! - [`dynamic`] — the snapshot-sequence container and stream-cutting
 //!   construction described in §5.1.1.
+//! - [`state`] — mutable event-driven graph state ([`GraphState`]) for
+//!   streaming sessions: apply [`state::GraphEvent`]s, commit cheap
+//!   snapshots at epoch boundaries.
 //! - [`io`] — plain-text edge-stream reading/writing.
 
 pub mod builder;
@@ -25,6 +28,7 @@ pub mod dynamic;
 pub mod id;
 pub mod io;
 pub mod snapshot;
+pub mod state;
 pub mod traversal;
 pub mod weighted;
 
@@ -33,3 +37,4 @@ pub use diff::SnapshotDiff;
 pub use dynamic::DynamicNetwork;
 pub use id::NodeId;
 pub use snapshot::Snapshot;
+pub use state::{GraphEvent, GraphEventKind, GraphState};

@@ -92,6 +92,41 @@ impl Snapshot {
         Snapshot::from_edges(&[], &[])
     }
 
+    /// Fast path for [`crate::state::GraphState::commit`]: build directly
+    /// from an already-sorted, already-deduplicated adjacency map.
+    ///
+    /// Because node ids arrive sorted (`BTreeMap` key order) and each
+    /// neighbour set is sorted (`BTreeSet` order), the CSR arrays can be
+    /// filled in one pass with no re-sorting — the snapshot produced is
+    /// identical to `from_edges` over the same edge set.
+    pub(crate) fn from_sorted_adjacency(
+        adj: &std::collections::BTreeMap<NodeId, std::collections::BTreeSet<NodeId>>,
+    ) -> Self {
+        let node_ids: Vec<NodeId> = adj.keys().copied().collect();
+        let index_of: HashMap<NodeId, u32> = node_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i as u32))
+            .collect();
+        let n = node_ids.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let total: usize = adj.values().map(|ns| ns.len()).sum();
+        let mut neighbors = Vec::with_capacity(total);
+        for ns in adj.values() {
+            // Sorted NodeId order maps monotonically to sorted local
+            // indices, so each neighbour run is already CSR-ordered.
+            neighbors.extend(ns.iter().map(|id| index_of[id]));
+            offsets.push(neighbors.len() as u32);
+        }
+        Snapshot {
+            node_ids,
+            index_of,
+            offsets,
+            neighbors,
+        }
+    }
+
     /// Number of nodes.
     #[inline]
     pub fn num_nodes(&self) -> usize {

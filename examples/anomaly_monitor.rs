@@ -7,7 +7,7 @@
 
 use glodyne::reservoir::Reservoir;
 use glodyne::{GloDyNE, GloDyNEConfig};
-use glodyne_embed::traits::DynamicEmbedder;
+use glodyne_embed::traits::{step_with, DynamicEmbedder};
 use glodyne_embed::walks::WalkConfig;
 use glodyne_embed::SgnsConfig;
 use glodyne_graph::SnapshotDiff;
@@ -37,7 +37,7 @@ fn main() {
         },
         ..Default::default()
     };
-    let mut model = GloDyNE::new(cfg);
+    let mut model = GloDyNE::new(cfg).expect("valid config");
     // An independent reservoir for reporting (GloDyNE drains its own).
     let mut monitor = Reservoir::new();
 
@@ -48,7 +48,7 @@ fn main() {
         "t", "|V|", "±edges", "emb drift", "hottest score"
     );
     for (t, snap) in snaps.iter().enumerate() {
-        model.advance(prev_snap, snap);
+        step_with(&mut model, prev_snap, snap);
         let emb = model.embedding();
         let (changed, hottest) = match prev_snap {
             Some(p) => {

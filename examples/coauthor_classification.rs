@@ -6,7 +6,7 @@
 //! Run: `cargo run --release --example coauthor_classification`
 
 use glodyne::{GloDyNE, GloDyNEConfig};
-use glodyne_embed::traits::DynamicEmbedder;
+use glodyne_embed::traits::{step_with, DynamicEmbedder};
 use glodyne_embed::walks::WalkConfig;
 use glodyne_embed::SgnsConfig;
 use glodyne_tasks::nc::node_classification;
@@ -39,7 +39,7 @@ fn main() {
         },
         ..Default::default()
     };
-    let mut model = GloDyNE::new(cfg);
+    let mut model = GloDyNE::new(cfg).expect("valid config");
 
     println!(
         "\n{:<6}{:>8}{:>12}{:>12}",
@@ -48,7 +48,7 @@ fn main() {
     let mut prev = None;
     let mut last_micro = 0.0;
     for (t, snap) in snaps.iter().enumerate() {
-        model.advance(prev, snap);
+        step_with(&mut model, prev, snap);
         let f1 = node_classification(
             &model.embedding(),
             snap,

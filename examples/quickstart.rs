@@ -4,7 +4,7 @@
 //! Run: `cargo run --release --example quickstart`
 
 use glodyne::{GloDyNE, GloDyNEConfig};
-use glodyne_embed::traits::DynamicEmbedder;
+use glodyne_embed::traits::{step_with, DynamicEmbedder};
 use glodyne_embed::walks::WalkConfig;
 use glodyne_embed::SgnsConfig;
 use glodyne_graph::id::{Edge, NodeId};
@@ -52,10 +52,10 @@ fn main() {
         },
         ..Default::default()
     };
-    let mut model = GloDyNE::new(cfg);
+    let mut model = GloDyNE::new(cfg).expect("valid config");
 
     println!("== offline stage (t = 0) ==");
-    model.advance(None, &g0);
+    step_with(&mut model, None, &g0);
     let z0 = model.embedding();
     println!("embedded {} nodes in {} dims", z0.len(), z0.dim());
     let p = mean_precision_at_k(&z0, &g0, &[1, 5, 10]);
@@ -65,12 +65,11 @@ fn main() {
     );
 
     println!("\n== online stage (t = 1: five new nodes) ==");
-    model.advance(Some(&g0), &g1);
+    let report = step_with(&mut model, Some(&g0), &g1);
     let z1 = model.embedding();
     println!(
         "selected {} representative nodes; phase times: {:?}",
-        model.last_selected_count(),
-        model.last_phase_times()
+        report.selected, report.phases
     );
     println!("new node 20 embedded: {}", z1.get(NodeId(20)).is_some());
 

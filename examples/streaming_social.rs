@@ -2,16 +2,18 @@
 //! community activity (the paper's FBW motivation), embedded
 //! incrementally and evaluated on dynamic link prediction at each step.
 //!
-//! Demonstrates the end-to-end production loop a downstream user would
-//! run: new snapshot arrives → embeddings update in O(α·|V|) work →
-//! the fresh embeddings rank candidate future interactions.
+//! Demonstrates the end-to-end production loop through the streaming
+//! session API: wall-post edges arrive as timed add/remove events → the
+//! session commits a snapshot per day (`EpochPolicy::TimestampBoundary`)
+//! and updates embeddings in O(α·|V|) work → the live embeddings rank
+//! candidate future interactions at any moment.
 //!
 //! Run: `cargo run --release --example streaming_social`
 
-use glodyne::{GloDyNE, GloDyNEConfig};
-use glodyne_embed::traits::DynamicEmbedder;
+use glodyne::{EmbedderSession, EpochPolicy, GloDyNE, GloDyNEConfig};
 use glodyne_embed::walks::WalkConfig;
 use glodyne_embed::SgnsConfig;
+use glodyne_graph::GraphEvent;
 use glodyne_tasks::lp::{build_test_set, link_prediction_auc};
 
 fn main() {
@@ -24,37 +26,60 @@ fn main() {
         snaps.last().unwrap().num_nodes()
     );
 
-    let cfg = GloDyNEConfig {
-        alpha: 0.1,
-        walk: WalkConfig {
+    // Re-linearise the snapshots into the timed event stream a
+    // production ingest pipeline would see: day `d` brings additions
+    // for its new edges and removals for yesterday's edges that
+    // disappeared (the session's graph state dedups repeats).
+    let mut events: Vec<GraphEvent> = Vec::new();
+    for (day, snap) in snaps.iter().enumerate() {
+        let t = day as u64;
+        if day > 0 {
+            for e in snaps[day - 1].edges() {
+                if !snap.has_edge_ids(e.u, e.v) {
+                    events.push(GraphEvent::remove_edge(e.u, e.v, t));
+                }
+            }
+        }
+        events.extend(snap.edges().map(|e| GraphEvent::add_edge(e.u, e.v, t)));
+    }
+
+    let cfg = GloDyNEConfig::builder()
+        .alpha(0.1)
+        .walk(WalkConfig {
             walks_per_node: 6,
             walk_length: 30,
             seed: 7,
-        },
-        sgns: SgnsConfig {
+        })
+        .sgns(SgnsConfig {
             dim: 64,
             window: 5,
             negatives: 5,
             epochs: 2,
             ..Default::default()
-        },
-        ..Default::default()
-    };
-    let mut model = GloDyNE::new(cfg);
+        })
+        .build()
+        .expect("valid config");
+    let mut session = EmbedderSession::new(
+        GloDyNE::new(cfg).expect("valid config"),
+        EpochPolicy::TimestampBoundary,
+    )
+    .expect("valid policy")
+    // The generated snapshots are already exactly the daily graphs;
+    // keep them whole so the LP test sets line up.
+    .keep_full_graph();
 
     println!(
         "\n{:<6}{:>8}{:>10}{:>12}{:>10}",
         "day", "|V|", "K_sel", "step_ms", "LP AUC"
     );
-    let mut prev = None;
     let mut aucs = Vec::new();
-    for (t, snap) in snaps.iter().enumerate() {
-        model.advance(prev, snap);
-        let ms = model.last_phase_times().total().as_secs_f64() * 1e3;
-        // Predict tomorrow's changes from today's embeddings.
+    let mut report_day = |t: usize, session: &EmbedderSession<GloDyNE>| {
+        let r = session.reports()[t];
+        let ms = r.total_time().as_secs_f64() * 1e3;
+        // Predict tomorrow's changes from today's live embeddings.
         let auc = if t + 1 < snaps.len() {
-            let test = build_test_set(snap, &snaps[t + 1], 99 + t as u64);
-            let a = link_prediction_auc(&model.embedding(), &test);
+            let test = build_test_set(&snaps[t], &snaps[t + 1], 99 + t as u64);
+            let a = link_prediction_auc(session.embedding(), &test);
             aucs.push(a);
             format!("{a:.3}")
         } else {
@@ -63,13 +88,24 @@ fn main() {
         println!(
             "{:<6}{:>8}{:>10}{:>12.1}{:>10}",
             t,
-            snap.num_nodes(),
-            model.last_selected_count(),
+            session.last_snapshot().map_or(0, |s| s.num_nodes()),
+            r.selected,
             ms,
             auc
         );
-        prev = Some(snap);
+    };
+
+    let mut t = 0usize;
+    for &ev in &events {
+        if session.apply(ev) {
+            report_day(t, &session);
+            t += 1;
+        }
     }
+    if session.flush().is_some() {
+        report_day(t, &session);
+    }
+
     let mean_auc = aucs.iter().sum::<f64>() / aucs.len() as f64;
     println!("\nmean link-prediction AUC over the stream: {mean_auc:.3}");
     assert!(mean_auc > 0.55, "embeddings should beat chance at LP");

@@ -4,7 +4,7 @@
 //! meaningless.
 
 use glodyne::{GloDyNE, GloDyNEConfig};
-use glodyne_embed::traits::DynamicEmbedder;
+use glodyne_embed::traits::{run_over, DynamicEmbedder};
 use glodyne_embed::walks::WalkConfig;
 use glodyne_embed::{Embedding, SgnsConfig};
 use glodyne_graph::Snapshot;
@@ -56,12 +56,9 @@ fn trained_embedding(snaps: &[Snapshot]) -> Embedding {
             ..Default::default()
         },
         ..Default::default()
-    });
-    let mut prev = None;
-    for s in snaps {
-        m.advance(prev, s);
-        prev = Some(s);
-    }
+    })
+    .unwrap();
+    let _ = run_over(&mut m, snaps);
     m.embedding()
 }
 

@@ -7,7 +7,7 @@ use glodyne_baselines::{
     bcgd::BcgdConfig, dyngem::DynGemConfig, dynline::DynLineConfig, dyntriad::DynTriadConfig,
     tne::TneConfig, BcgdGlobal, BcgdLocal, DynGem, DynLine, DynTriad, TNE,
 };
-use glodyne_embed::traits::{run_over, DynamicEmbedder};
+use glodyne_embed::traits::{run_over, step_with, DynamicEmbedder};
 use glodyne_embed::walks::WalkConfig;
 use glodyne_embed::{Embedding, SgnsConfig};
 use glodyne_graph::Snapshot;
@@ -48,7 +48,7 @@ fn random_embedding_like(e: &Embedding, seed: u64) -> Embedding {
 fn final_gr(method: &mut dyn DynamicEmbedder, snaps: &[Snapshot]) -> (f64, f64) {
     let mut prev = None;
     for s in snaps {
-        method.advance(prev, s);
+        step_with(method, prev, s);
         prev = Some(s);
     }
     let emb = method.embedding();
@@ -67,7 +67,8 @@ fn glodyne_beats_random_on_community_stream() {
         walk: small_walk(),
         sgns: small_sgns(),
         ..Default::default()
-    });
+    })
+    .unwrap();
     let (score, random) = final_gr(&mut m, snaps);
     assert!(
         score > random * 2.0,
@@ -82,45 +83,63 @@ fn every_baseline_beats_random_on_citation_graph() {
     let dim = 24;
 
     let mut methods: Vec<Box<dyn DynamicEmbedder>> = vec![
-        Box::new(BcgdLocal::new(BcgdConfig {
-            dim,
-            iterations: 25,
-            learning_rate: 8e-3,
-            ..Default::default()
-        })),
-        Box::new(BcgdGlobal::new(BcgdConfig {
-            dim,
-            iterations: 10,
-            global_cycles: 1,
-            learning_rate: 8e-3,
-            ..Default::default()
-        })),
-        Box::new(DynGem::new(DynGemConfig {
-            dim,
-            hidden: 48,
-            capacity: 2048,
-            epochs: 12,
-            ..Default::default()
-        })),
-        Box::new(DynLine::new(DynLineConfig {
-            dim,
-            samples_per_node: 80,
-            ..Default::default()
-        })),
-        Box::new(DynTriad::new(DynTriadConfig {
-            dim,
-            epochs: 6,
-            ..Default::default()
-        })),
-        Box::new(TNE::new(TneConfig {
-            static_dim: dim,
-            hidden: dim,
-            dim,
-            walk: small_walk(),
-            sgns: small_sgns(),
-            rnn_samples: 120,
-            ..Default::default()
-        })),
+        Box::new(
+            BcgdLocal::new(BcgdConfig {
+                dim,
+                iterations: 25,
+                learning_rate: 8e-3,
+                ..Default::default()
+            })
+            .unwrap(),
+        ),
+        Box::new(
+            BcgdGlobal::new(BcgdConfig {
+                dim,
+                iterations: 10,
+                global_cycles: 1,
+                learning_rate: 8e-3,
+                ..Default::default()
+            })
+            .unwrap(),
+        ),
+        Box::new(
+            DynGem::new(DynGemConfig {
+                dim,
+                hidden: 48,
+                capacity: 2048,
+                epochs: 12,
+                ..Default::default()
+            })
+            .unwrap(),
+        ),
+        Box::new(
+            DynLine::new(DynLineConfig {
+                dim,
+                samples_per_node: 80,
+                ..Default::default()
+            })
+            .unwrap(),
+        ),
+        Box::new(
+            DynTriad::new(DynTriadConfig {
+                dim,
+                epochs: 6,
+                ..Default::default()
+            })
+            .unwrap(),
+        ),
+        Box::new(
+            TNE::new(TneConfig {
+                static_dim: dim,
+                hidden: dim,
+                dim,
+                walk: small_walk(),
+                sgns: small_sgns(),
+                rnn_samples: 120,
+                ..Default::default()
+            })
+            .unwrap(),
+        ),
     ];
 
     for method in methods.iter_mut() {
@@ -146,8 +165,8 @@ fn variants_rank_increment_above_static_after_drift() {
         walk: small_walk(),
         sgns: small_sgns(),
     };
-    let mut static_ = SgnsStatic::new(cfg.clone());
-    let mut increment = SgnsIncrement::new(cfg);
+    let mut static_ = SgnsStatic::new(cfg.clone()).unwrap();
+    let mut increment = SgnsIncrement::new(cfg).unwrap();
     let (s_static, _) = final_gr(&mut static_, snaps);
     let (s_incr, _) = final_gr(&mut increment, snaps);
     assert!(
@@ -163,7 +182,8 @@ fn retrain_embeds_current_nodes_only() {
     let mut retrain = SgnsRetrain::new(VariantConfig {
         walk: small_walk(),
         sgns: small_sgns(),
-    });
+    })
+    .unwrap();
     let embs = run_over(&mut retrain, snaps);
     // Every node of the final snapshot is embedded after a full retrain.
     let last = snaps.last().unwrap();
@@ -190,10 +210,10 @@ fn glodyne_alpha_controls_work() {
                 walk: small_walk(),
                 sgns: small_sgns(),
                 ..Default::default()
-            });
-            m.advance(None, &snaps[0]);
-            m.advance(Some(&snaps[0]), &snaps[1]);
-            m.last_selected_count()
+            })
+            .unwrap();
+            step_with(&mut m, None, &snaps[0]);
+            step_with(&mut m, Some(&snaps[0]), &snaps[1]).selected
         })
         .collect();
     assert!(

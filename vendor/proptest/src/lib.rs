@@ -1,7 +1,7 @@
 //! Offline mini-proptest.
 //!
 //! Implements the slice of the `proptest` API this workspace's property
-//! tests use: the [`Strategy`] trait with `prop_map` / `prop_filter`,
+//! tests use: the [`strategy::Strategy`] trait with `prop_map` / `prop_filter`,
 //! range and tuple strategies, `collection::vec`, the `proptest!` macro
 //! (with optional `#![proptest_config(...)]`), and the
 //! `prop_assert*` / `prop_assume!` macros.
@@ -122,7 +122,7 @@ pub mod collection {
     use rand_chacha::ChaCha8Rng;
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: a fixed size or a range.
+    /// Length specification for [`vec()`]: a fixed size or a range.
     #[derive(Debug, Clone)]
     pub struct SizeRange(Range<usize>);
 
@@ -145,7 +145,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
