@@ -11,6 +11,7 @@ use glodyne_graph::id::TimedEdge;
 use glodyne_graph::io::read_edge_stream;
 use glodyne_graph::{DynamicNetwork, NodeId};
 use glodyne_partition::{partition, PartitionConfig};
+use glodyne_serve::{ServeError, Server, ServerConfig};
 use glodyne_tasks::gr::mean_precision_at_k;
 use glodyne_tasks::lp::{build_test_set, link_prediction_auc};
 use std::fs::File;
@@ -130,6 +131,18 @@ pub fn embed(opts: &Opts) -> Result<String, CliError> {
     Ok(report)
 }
 
+/// Shared `--policy` parsing for `stream` and `serve`.
+fn parse_policy(opts: &Opts) -> Result<EpochPolicy, CliError> {
+    match opts.get_str("policy", "timestamp") {
+        "timestamp" => Ok(EpochPolicy::TimestampBoundary),
+        "every-n" => Ok(EpochPolicy::EveryNEvents(opts.get("every", 1000usize))),
+        "manual" => Ok(EpochPolicy::Manual),
+        other => Err(CliError::Usage(format!(
+            "unknown --policy `{other}` (expected timestamp, every-n, or manual)"
+        ))),
+    }
+}
+
 /// `glodyne stream`: drive an [`EmbedderSession`] over the edge file
 /// event-by-event and report each committed step.
 pub fn stream(opts: &Opts) -> Result<String, CliError> {
@@ -137,17 +150,7 @@ pub fn stream(opts: &Opts) -> Result<String, CliError> {
     let mut events = load_stream(input)?;
     events.sort_by_key(|te| te.time);
 
-    let policy = match opts.get_str("policy", "timestamp") {
-        "timestamp" => EpochPolicy::TimestampBoundary,
-        "every-n" => EpochPolicy::EveryNEvents(opts.get("every", 1000usize)),
-        "manual" => EpochPolicy::Manual,
-        other => {
-            return Err(CliError::Usage(format!(
-                "unknown --policy `{other}` (expected timestamp, every-n, or manual)"
-            )))
-        }
-    };
-
+    let policy = parse_policy(opts)?;
     let model = GloDyNE::new(glodyne_config(opts)?)?;
     let mut session = EmbedderSession::new(model, policy)?;
 
@@ -188,6 +191,64 @@ pub fn stream(opts: &Opts) -> Result<String, CliError> {
         }
     }
     Ok(out)
+}
+
+/// Build and bind the serving process for `glodyne serve`, returning
+/// the running server plus the preamble to print before blocking.
+///
+/// Split from [`serve`] so tests can bind port 0, read the actual
+/// address off the [`Server`], and drive the wire protocol directly.
+pub fn start_server(opts: &Opts) -> Result<(Server, String), CliError> {
+    let bind = opts.get_str("bind", "127.0.0.1:7878");
+    let policy = parse_policy(opts)?;
+    let cfg = ServerConfig {
+        max_connections: opts.get("threads", 64usize).max(1),
+        queue_capacity: opts.get("queue", 1024usize).max(1),
+        ..ServerConfig::default()
+    };
+    let model = GloDyNE::new(glodyne_config(opts)?)?;
+    let mut session = EmbedderSession::new(model, policy)?;
+
+    let mut preamble = String::new();
+    // Optional warm start: replay an edge file through the session (and
+    // commit it) before the first connection is accepted.
+    if let Ok(Some(input)) = opts.get_opt::<String>("input") {
+        let mut events = load_stream(&input)?;
+        events.sort_by_key(|te| te.time);
+        session.ingest(&events);
+        session.flush();
+        preamble.push_str(&format!(
+            "warm start: {} events -> {} steps, {} embedded nodes\n",
+            events.len(),
+            session.steps(),
+            session.embedding().len()
+        ));
+    }
+
+    let server = Server::bind(session, bind, cfg).map_err(|e| match e {
+        ServeError::Bind { addr, source } => CliError::Io {
+            context: format!("cannot bind {addr}"),
+            source,
+        },
+        other => CliError::Usage(other.to_string()),
+    })?;
+    preamble.push_str(&format!(
+        "serving on {} (line-delimited JSON; send {{\"cmd\":\"shutdown\"}} to stop)\n",
+        server.local_addr()
+    ));
+    Ok((server, preamble))
+}
+
+/// `glodyne serve`: run the TCP serving process until a client sends
+/// the `shutdown` sentinel (or the process is killed).
+pub fn serve(opts: &Opts) -> Result<String, CliError> {
+    let (server, preamble) = start_server(opts)?;
+    // The preamble must reach the operator *before* the blocking join —
+    // it carries the bound address.
+    print!("{preamble}");
+    std::io::Write::flush(&mut std::io::stdout())?;
+    let served = server.join();
+    Ok(format!("shut down cleanly after {served} connection(s)\n"))
 }
 
 /// `glodyne partition`: balanced k-way partition of the final snapshot.
@@ -395,6 +456,61 @@ mod tests {
             "hourly".into(),
         ]);
         assert!(matches!(stream(&bad), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn serve_command_end_to_end() {
+        use std::io::{BufRead, BufReader, Write};
+        let input = write_fixture("glodyne_cli_serve");
+        let opts = Opts::parse(&[
+            "--bind".into(),
+            "127.0.0.1:0".into(),
+            "--input".into(),
+            input.display().to_string(),
+            "--policy".into(),
+            "manual".into(),
+            "--threads".into(),
+            "4".into(),
+            "--dim".into(),
+            "8".into(),
+            "--walks".into(),
+            "2".into(),
+            "--walk-length".into(),
+            "8".into(),
+            "--epochs".into(),
+            "1".into(),
+        ]);
+        let (server, preamble) = start_server(&opts).unwrap();
+        assert!(preamble.contains("warm start"), "{preamble}");
+        assert!(preamble.contains("serving on"), "{preamble}");
+
+        let stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut round_trip = move |req: &str| {
+            let mut w = stream.try_clone().unwrap();
+            w.write_all(req.as_bytes()).unwrap();
+            w.write_all(b"\n").unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            line
+        };
+        // The warm start committed one epoch; reads work immediately.
+        let stats = round_trip(r#"{"cmd":"stats"}"#);
+        assert!(stats.contains("\"epoch\":1"), "{stats}");
+        let q = round_trip(r#"{"cmd":"query","node":0}"#);
+        assert!(q.contains("\"ok\":true"), "{q}");
+        let bye = round_trip(r#"{"cmd":"shutdown"}"#);
+        assert!(bye.contains("\"ok\":true"), "{bye}");
+        assert_eq!(server.join(), 1);
+
+        // A bad policy is a usage error before any socket is opened.
+        let bad = Opts::parse(&[
+            "--bind".into(),
+            "127.0.0.1:0".into(),
+            "--policy".into(),
+            "yearly".into(),
+        ]);
+        assert!(matches!(start_server(&bad), Err(CliError::Usage(_))));
     }
 
     #[test]

@@ -87,6 +87,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     match cmd.as_str() {
         "embed" => commands::embed(&opts::Opts::parse(rest)),
         "stream" => commands::stream(&opts::Opts::parse(rest)),
+        "serve" => commands::serve(&opts::Opts::parse(rest)),
         "partition" => commands::partition_cmd(&opts::Opts::parse(rest)),
         "evaluate" => commands::evaluate(&opts::Opts::parse(rest)),
         "help" | "--help" | "-h" => Ok(usage()),
@@ -108,6 +109,9 @@ USAGE:
   glodyne stream    --input <edges.txt> [--policy timestamp|every-n|manual]
                     [--every 1000] [--query <node>] [--top-k 10]
                     [--alpha 0.1] [--dim 128] [--seed 0]
+  glodyne serve     [--bind 127.0.0.1:7878] [--threads 64] [--queue 1024]
+                    [--policy timestamp|every-n|manual] [--every 1000]
+                    [--input <edges.txt>] [--alpha 0.1] [--dim 128] [--seed 0]
   glodyne partition --input <edges.txt> [--k 8] [--epsilon 0.1] [--seed 0]
   glodyne evaluate  --input <edges.txt> [--snapshots 10] [--alpha 0.1]
                     [--dim 128] [--seed 0]
@@ -117,6 +121,11 @@ Input: one `u v [timestamp]` edge per line; # and % comments ignored.
 `stream` feeds the edges event-by-event through an embedder session,
   printing one step report per committed snapshot boundary; with
   --query it prints the node's nearest neighbours at the end.
+`serve` runs a TCP serving process speaking line-delimited JSON
+  (query/nearest/ingest/flush/stats/shutdown); reads are answered from
+  an immutable epoch snapshot and never wait on training. --threads
+  bounds concurrent connections, --queue bounds the ingest backlog,
+  --input optionally warm-starts the session from an edge file.
 `partition` prints `node part` lines for the final snapshot.
 `evaluate` reports graph-reconstruction MeanP@k and link-prediction AUC.
 "

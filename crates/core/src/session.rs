@@ -190,6 +190,22 @@ impl<E: DynamicEmbedder> EmbedderSession<E> {
         self.reports.len()
     }
 
+    /// Effective (state-changing) events applied since the last commit
+    /// — what the next [`EmbedderSession::flush`] would pick up.
+    pub fn pending_events(&self) -> usize {
+        self.pending
+    }
+
+    /// Highest event timestamp ingested so far, if any.
+    pub fn current_time(&self) -> Option<u64> {
+        self.current_time
+    }
+
+    /// The session's boundary policy.
+    pub fn policy(&self) -> EpochPolicy {
+        self.policy
+    }
+
     /// The mutable graph state's current view (nodes/edges *including*
     /// uncommitted events).
     pub fn graph(&self) -> &GraphState {
@@ -329,6 +345,39 @@ mod tests {
         let near = s.nearest(NodeId(0), 3);
         assert!(!near.is_empty());
         assert!(near.iter().all(|&(id, _)| id != NodeId(0)));
+    }
+
+    #[test]
+    fn nearest_matches_reference_contract() {
+        // `nearest` must agree with the shared executable spec
+        // (`reference_top_k`) on ordering, self-exclusion, and values —
+        // the same contract the serving layer pins on its wire path.
+        let mut s = EmbedderSession::new(tiny_model(), EpochPolicy::Manual).unwrap();
+        s.ingest(&chain(&[0, 0, 0, 0, 0, 0]));
+        s.flush().unwrap();
+        let near = s.nearest(NodeId(2), 4);
+        let spec = glodyne_embed::reference_top_k(s.embedding(), NodeId(2), 4);
+        assert!(!near.is_empty());
+        assert_eq!(near.len(), spec.len());
+        for (a, b) in near.iter().zip(&spec) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+        assert!(near.iter().all(|&(id, _)| id != NodeId(2)), "self excluded");
+    }
+
+    #[test]
+    fn serving_accessors_track_state() {
+        let mut s = EmbedderSession::new(tiny_model(), EpochPolicy::Manual).unwrap();
+        assert_eq!(s.policy(), EpochPolicy::Manual);
+        assert_eq!(s.pending_events(), 0);
+        assert_eq!(s.current_time(), None);
+        s.ingest(&chain(&[0, 1, 2]));
+        assert_eq!(s.pending_events(), 3);
+        assert_eq!(s.current_time(), Some(2));
+        s.flush().unwrap();
+        assert_eq!(s.pending_events(), 0);
+        assert_eq!(s.current_time(), Some(2));
     }
 
     #[test]

@@ -1,16 +1,24 @@
 //! The `NodeId`-keyed embedding matrix handed to downstream tasks.
 
 use glodyne_graph::NodeId;
+use std::cmp::Ordering;
 use std::collections::HashMap;
 
 /// A set of `d`-dimensional node embeddings (`Z^t ∈ R^{|V^t| × d}` of
 /// Definition 4), keyed by stable [`NodeId`].
+///
+/// Each node's L2 norm is cached at write time (`set` is the only write
+/// path), so cosine ranking over the whole store ([`Embedding::top_k`])
+/// pays one dot product per candidate instead of three.
 #[derive(Debug, Clone, Default)]
 pub struct Embedding {
     dim: usize,
     index: HashMap<NodeId, u32>,
     ids: Vec<NodeId>,
     data: Vec<f32>,
+    /// Per-node L2 norms, parallel to `ids`; entry `i` is recomputed
+    /// whenever row `i` is overwritten.
+    norms: Vec<f32>,
 }
 
 impl Embedding {
@@ -21,6 +29,7 @@ impl Embedding {
             index: HashMap::new(),
             ids: Vec::new(),
             data: Vec::new(),
+            norms: Vec::new(),
         }
     }
 
@@ -48,21 +57,32 @@ impl Embedding {
             .map(|&i| &self.data[i as usize * self.dim..(i as usize + 1) * self.dim])
     }
 
-    /// Insert or overwrite the vector for `id`.
+    /// Insert or overwrite the vector for `id`, refreshing its cached
+    /// norm.
     pub fn set(&mut self, id: NodeId, vector: &[f32]) {
         assert_eq!(vector.len(), self.dim, "vector dimension mismatch");
+        // Same accumulation order as `cosine`, so norm-cached ranking
+        // stays bit-exact with the from-scratch scan.
+        let norm = vector.iter().map(|&x| x * x).sum::<f32>().sqrt();
         match self.index.get(&id) {
             Some(&i) => {
                 self.data[i as usize * self.dim..(i as usize + 1) * self.dim]
                     .copy_from_slice(vector);
+                self.norms[i as usize] = norm;
             }
             None => {
                 let i = self.ids.len() as u32;
                 self.index.insert(id, i);
                 self.ids.push(id);
                 self.data.extend_from_slice(vector);
+                self.norms.push(norm);
             }
         }
+    }
+
+    /// The cached L2 norm of `id`'s vector, if present.
+    pub fn norm(&self, id: NodeId) -> Option<f32> {
+        self.index.get(&id).map(|&i| self.norms[i as usize])
     }
 
     /// Iterate `(id, vector)` in insertion order.
@@ -87,14 +107,16 @@ impl Embedding {
     }
 
     /// The `k` cosine-nearest embedded neighbours of `node` (excluding
-    /// `node` itself), most similar first. Ties break toward the smaller
-    /// id for determinism. Empty if `node` has no embedding.
+    /// `node` itself), ordered by [`rank_similarity`]: most similar
+    /// first, ties toward the smaller id, NaN similarities last. Empty
+    /// if `node` has no embedding.
     ///
-    /// Linear scan over all embedded nodes — O(n·d) per query, the
-    /// right tool for interactive session queries; batch consumers
-    /// should rank candidate sets themselves.
+    /// Linear scan over all embedded nodes, using the cached norms —
+    /// one dot product per candidate, O(n·d) per query. The right tool
+    /// for interactive session queries; batch consumers should rank
+    /// candidate sets themselves. Bit-exact with [`reference_top_k`].
     pub fn top_k(&self, node: NodeId, k: usize) -> Vec<(NodeId, f32)> {
-        let Some(q) = self.get(node) else {
+        let (Some(q), Some(qn)) = (self.get(node), self.norm(node)) else {
             return Vec::new();
         };
         if k == 0 {
@@ -102,17 +124,74 @@ impl Embedding {
         }
         let mut scored: Vec<(NodeId, f32)> = self
             .iter()
-            .filter(|&(id, _)| id != node)
-            .map(|(id, v)| (id, cosine(q, v)))
+            .zip(&self.norms)
+            .filter(|&((id, _), _)| id != node)
+            .map(|((id, v), &vn)| {
+                let sim = if qn == 0.0 || vn == 0.0 {
+                    0.0
+                } else {
+                    dot(q, v) / (qn * vn)
+                };
+                (id, sim)
+            })
             .collect();
-        scored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
+        scored.sort_by(rank_similarity);
         scored.truncate(k);
         scored
     }
+}
+
+/// The canonical neighbour ordering shared by every ranking surface
+/// (`Embedding::top_k`, `EmbedderSession::nearest`, the `glodyne-serve`
+/// wire protocol): descending similarity, ties toward the smaller node
+/// id, NaN similarities after every real number (mutually equal).
+///
+/// This is a total order, so it is safe under `sort_by` even when
+/// stored vectors contain NaN components.
+pub fn rank_similarity(a: &(NodeId, f32), b: &(NodeId, f32)) -> Ordering {
+    let sim = match (a.1.is_nan(), b.1.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        // Neither is NaN, so partial_cmp cannot fail.
+        (false, false) => a.1.partial_cmp(&b.1).unwrap(),
+    };
+    sim.reverse().then(a.0.cmp(&b.0))
+}
+
+/// Executable specification of [`Embedding::top_k`]: the naive
+/// from-scratch scan (full [`cosine`] per candidate, no cached norms),
+/// ordered by the same [`rank_similarity`] contract.
+///
+/// Kept public as the shared test helper: the session layer, the
+/// serving layer, and the norm-cache bit-exactness tests all compare
+/// their ranking surfaces against this one function.
+pub fn reference_top_k(emb: &Embedding, node: NodeId, k: usize) -> Vec<(NodeId, f32)> {
+    let Some(q) = emb.get(node) else {
+        return Vec::new();
+    };
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut scored: Vec<(NodeId, f32)> = emb
+        .iter()
+        .filter(|&(id, _)| id != node)
+        .map(|(id, v)| (id, cosine(q, v)))
+        .collect();
+    scored.sort_by(rank_similarity);
+    scored.truncate(k);
+    scored
+}
+
+/// Dot product of two equal-length vectors.
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
 }
 
 /// Cosine similarity of two equal-length vectors (0 for zero vectors).
@@ -196,6 +275,80 @@ mod tests {
         assert_eq!(top[0].0, NodeId(1));
         assert_eq!(top[1].0, NodeId(2));
         assert!(top[0].1 > top[1].1);
+    }
+
+    #[test]
+    fn norm_cache_tracks_writes() {
+        let mut e = Embedding::new(2);
+        e.set(NodeId(0), &[3.0, 4.0]);
+        assert_eq!(e.norm(NodeId(0)), Some(5.0));
+        assert_eq!(e.norm(NodeId(1)), None);
+        // Overwrite must refresh the cached norm, not keep the stale one.
+        e.set(NodeId(0), &[0.0, 2.0]);
+        assert_eq!(e.norm(NodeId(0)), Some(2.0));
+        e.set(NodeId(1), &[0.0, 0.0]);
+        assert_eq!(e.norm(NodeId(1)), Some(0.0));
+    }
+
+    #[test]
+    fn top_k_bit_exact_with_reference_scan() {
+        // Deterministic pseudo-random vectors (SplitMix64-style mixing)
+        // over a population large enough to exercise real float
+        // accumulation, including one zero vector and overwrites.
+        let dim = 17;
+        let mut e = Embedding::new(dim);
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state = state.wrapping_mul(0xd129_42e2_96fe_94e3).wrapping_add(1);
+            ((state >> 40) as f32) / 1e6 - 8.0
+        };
+        for i in 0..60u32 {
+            let v: Vec<f32> = (0..dim).map(|_| next()).collect();
+            e.set(NodeId(i * 7 % 59), &v);
+        }
+        e.set(NodeId(1000), &vec![0.0; dim]);
+        for &probe in &[NodeId(0), NodeId(7), NodeId(1000), NodeId(52)] {
+            let fast = e.top_k(probe, 25);
+            let slow = reference_top_k(&e, probe, 25);
+            assert_eq!(fast.len(), slow.len());
+            for (f, s) in fast.iter().zip(&slow) {
+                assert_eq!(f.0, s.0, "probe {probe:?}");
+                assert_eq!(
+                    f.1.to_bits(),
+                    s.1.to_bits(),
+                    "probe {probe:?}: similarity drifted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nan_similarities_rank_last_and_never_panic() {
+        let mut e = Embedding::new(2);
+        e.set(NodeId(0), &[1.0, 0.0]);
+        e.set(NodeId(1), &[1.0, 0.1]);
+        e.set(NodeId(2), &[f32::NAN, 1.0]);
+        e.set(NodeId(3), &[f32::NAN, 2.0]);
+        e.set(NodeId(4), &[-1.0, 0.0]);
+        let top = e.top_k(NodeId(0), 10);
+        assert_eq!(top.len(), 4);
+        assert_eq!(top[0].0, NodeId(1));
+        assert_eq!(top[1].0, NodeId(4));
+        // NaN candidates sink below every real similarity, mutual ties
+        // broken toward the smaller id.
+        assert_eq!(top[2].0, NodeId(2));
+        assert_eq!(top[3].0, NodeId(3));
+        assert!(top[2].1.is_nan() && top[3].1.is_nan());
+        // Same contract from the reference scan.
+        let slow = reference_top_k(&e, NodeId(0), 10);
+        let ids: Vec<NodeId> = slow.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, vec![NodeId(1), NodeId(4), NodeId(2), NodeId(3)]);
+        // Querying from a NaN vector is also total-order safe.
+        let from_nan = e.top_k(NodeId(2), 10);
+        assert_eq!(from_nan.len(), 4);
+        assert!(from_nan.iter().all(|s| s.1.is_nan()));
+        let ids: Vec<NodeId> = from_nan.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, vec![NodeId(0), NodeId(1), NodeId(3), NodeId(4)]);
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! The epoch swap: immutable embedding snapshots published by the
+//! trainer, read lock-free-in-spirit by any number of threads.
+//!
+//! After each committed step the trainer wraps the frozen state in an
+//! `Arc<EmbeddingEpoch>` and swaps it into the [`EpochHandle`]. Readers
+//! clone the `Arc` under a briefly-held read lock and then answer
+//! queries entirely from their private clone — a reader mid-`nearest`
+//! keeps its epoch alive even if the trainer publishes twice meanwhile.
+//! Reads therefore never wait on a step; they may observe state one
+//! epoch behind the write path, and never more.
+
+use glodyne::StepReport;
+use glodyne_embed::Embedding;
+use std::sync::{Arc, PoisonError, RwLock};
+
+/// One frozen, immutable generation of the served embedding.
+#[derive(Debug, Clone)]
+pub struct EmbeddingEpoch {
+    /// Monotone epoch id — the number of committed embedding steps
+    /// behind this state (0 = nothing trained yet).
+    pub epoch: u64,
+    /// The embedding as of this epoch.
+    pub embedding: Embedding,
+    /// The step that produced this epoch (`None` for epoch 0).
+    pub report: Option<StepReport>,
+}
+
+impl EmbeddingEpoch {
+    /// The epoch before anything was trained: an empty embedding.
+    pub fn initial(dim: usize) -> Self {
+        EmbeddingEpoch {
+            epoch: 0,
+            embedding: Embedding::new(dim),
+            report: None,
+        }
+    }
+}
+
+/// Shared handle to the most recently published [`EmbeddingEpoch`].
+///
+/// Cloning the handle is cheap; all clones observe the same epoch
+/// stream. The lock is held only for the pointer swap or clone, never
+/// across a query or a training step.
+#[derive(Debug, Clone)]
+pub struct EpochHandle {
+    current: Arc<RwLock<Arc<EmbeddingEpoch>>>,
+}
+
+impl EpochHandle {
+    /// A handle starting at `initial`.
+    pub fn new(initial: EmbeddingEpoch) -> Self {
+        EpochHandle {
+            current: Arc::new(RwLock::new(Arc::new(initial))),
+        }
+    }
+
+    /// The current epoch. The returned `Arc` stays valid (and
+    /// unchanged) for as long as the caller holds it, regardless of
+    /// how many epochs are published after.
+    pub fn load(&self) -> Arc<EmbeddingEpoch> {
+        // A trainer panic while publishing poisons the lock; the stored
+        // Arc is still a complete epoch, so serve it rather than
+        // cascading the panic into every reader thread.
+        self.current
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Swap in a freshly trained epoch (trainer-side).
+    pub fn publish(&self, epoch: EmbeddingEpoch) {
+        *self.current.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(epoch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glodyne_graph::NodeId;
+
+    #[test]
+    fn readers_keep_their_epoch_across_publishes() {
+        let handle = EpochHandle::new(EmbeddingEpoch::initial(2));
+        let before = handle.load();
+        assert_eq!(before.epoch, 0);
+        assert!(before.embedding.is_empty());
+
+        let mut emb = Embedding::new(2);
+        emb.set(NodeId(1), &[1.0, 0.0]);
+        handle.publish(EmbeddingEpoch {
+            epoch: 1,
+            embedding: emb,
+            report: Some(StepReport::default()),
+        });
+
+        // The old Arc still answers from the old state...
+        assert!(before.embedding.is_empty());
+        // ...while new loads see the new epoch.
+        let after = handle.load();
+        assert_eq!(after.epoch, 1);
+        assert_eq!(after.embedding.len(), 1);
+        assert!(after.report.is_some());
+    }
+
+    #[test]
+    fn clones_share_the_stream() {
+        let a = EpochHandle::new(EmbeddingEpoch::initial(4));
+        let b = a.clone();
+        a.publish(EmbeddingEpoch {
+            epoch: 7,
+            embedding: Embedding::new(4),
+            report: None,
+        });
+        assert_eq!(b.load().epoch, 7);
+    }
+}

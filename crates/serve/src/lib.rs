@@ -1,0 +1,38 @@
+//! `glodyne-serve`: a long-lived serving process around an
+//! [`EmbedderSession`](glodyne::EmbedderSession).
+//!
+//! The session API is `&mut self` end to end: every `query`/`nearest`
+//! caller queues behind a full embedding step. This crate splits the
+//! two paths so reads never wait on training:
+//!
+//! - **Read path** — after every committed step the trainer publishes
+//!   an immutable [`EmbeddingEpoch`] (frozen embedding + epoch id +
+//!   step report) behind an [`EpochHandle`]. Reader threads clone the
+//!   `Arc` and answer from that frozen epoch while the next step
+//!   trains; a read may therefore lag the write path by one epoch, and
+//!   never by more.
+//! - **Write path** — ingest goes through a bounded queue
+//!   ([`IngestQueue`], a `sync_channel`) feeding a dedicated trainer
+//!   thread that owns the `EmbedderSession`. When the queue is full, a
+//!   slow embedding step back-pressures producers at `send` instead of
+//!   stalling readers.
+//!
+//! [`ServingSession`] packages both paths; [`Server`] exposes them over
+//! TCP with a line-delimited JSON protocol (`query`, `nearest`,
+//! `ingest`, `flush`, `stats`, `shutdown`) — std-only, one thread per
+//! connection, no async runtime. See [`protocol`] for the wire format.
+
+pub mod epoch;
+pub mod error;
+pub mod json;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod session;
+
+pub use epoch::{EmbeddingEpoch, EpochHandle};
+pub use error::ServeError;
+pub use protocol::{ErrorKind, ProtocolError, Request};
+pub use queue::{FlushOutcome, IngestQueue};
+pub use server::{Server, ServerConfig};
+pub use session::{ServeStats, ServingSession};

@@ -1,0 +1,497 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! Every request is one JSON object on one line with a `"cmd"` field;
+//! every response is one JSON object on one line with an `"ok"` field.
+//! Failures come back structured — `{"ok":false,"kind":...,"error":...}`
+//! — and never tear down the connection (except `shutdown`, which ends
+//! the whole server).
+//!
+//! | request | response |
+//! |---|---|
+//! | `{"cmd":"query","node":5}` | `{"ok":true,"cmd":"query","epoch":2,"node":5,"vector":[...]}` |
+//! | `{"cmd":"nearest","node":5,"k":3}` | `{"ok":true,"cmd":"nearest","epoch":2,"node":5,"neighbours":[[7,0.93],...]}` |
+//! | `{"cmd":"ingest","edges":[[0,1,3],...]}` | `{"ok":true,"cmd":"ingest","accepted":N}` |
+//! | `{"cmd":"ingest","events":[{"op":"remove_node","node":4,"t":9},...]}` | same |
+//! | `{"cmd":"flush"}` | `{"ok":true,"cmd":"flush","stepped":true,"epoch":3}` |
+//! | `{"cmd":"stats"}` | `{"ok":true,"cmd":"stats","epoch":3,"nodes":...,...}` |
+//! | `{"cmd":"shutdown"}` | `{"ok":true,"cmd":"shutdown"}` then the server drains and exits |
+//!
+//! Reads (`query`/`nearest`) are answered from the most recently
+//! *published* epoch, which may lag the write path by exactly the step
+//! currently training (see the crate docs' consistency model).
+
+use crate::json::{self, Json};
+use crate::queue::FlushOutcome;
+use crate::session::ServeStats;
+use glodyne_graph::state::GraphEvent;
+use glodyne_graph::NodeId;
+use std::fmt;
+
+/// Cap on one request line; longer lines are rejected with a
+/// `too_large` error without buffering the payload.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Default `k` for `nearest` when the request omits it.
+pub const DEFAULT_K: usize = 10;
+
+/// Maximum events accepted in a single `ingest` request (more must be
+/// split across requests, keeping any one queue reservation bounded).
+pub const MAX_INGEST_EVENTS: usize = 65_536;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// The embedding vector of one node.
+    Query {
+        /// The node to look up.
+        node: NodeId,
+    },
+    /// The `k` cosine-nearest neighbours of one node.
+    Nearest {
+        /// The probe node.
+        node: NodeId,
+        /// How many neighbours to return.
+        k: usize,
+    },
+    /// Enqueue graph events for the trainer (back-pressured).
+    Ingest {
+        /// Events in arrival order.
+        events: Vec<GraphEvent>,
+    },
+    /// Commit pending events as an epoch boundary and wait for the step.
+    Flush,
+    /// Serving counters and the current epoch id.
+    Stats,
+    /// Graceful shutdown sentinel: stop accepting, stop the trainer.
+    Shutdown,
+}
+
+/// Machine-readable failure class, serialised into the `kind` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Malformed JSON or a request that doesn't fit the schema.
+    BadRequest,
+    /// The named node has no embedding in the served epoch.
+    NotFound,
+    /// The request line exceeded [`MAX_LINE_BYTES`].
+    TooLarge,
+    /// The session is shutting down; writes are no longer accepted.
+    ShuttingDown,
+}
+
+impl ErrorKind {
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::NotFound => "not_found",
+            ErrorKind::TooLarge => "too_large",
+            ErrorKind::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+/// A structured request failure, rendered with [`error_line`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// Failure class.
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ProtocolError {
+    /// A `bad_request` error.
+    pub fn bad(message: impl Into<String>) -> Self {
+        ProtocolError {
+            kind: ErrorKind::BadRequest,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind.as_str(), self.message)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Parse one request line.
+pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
+    let value = json::parse(line).map_err(|e| ProtocolError::bad(format!("invalid json: {e}")))?;
+    let Json::Obj(_) = value else {
+        return Err(ProtocolError::bad("request must be a json object"));
+    };
+    let cmd = value
+        .get("cmd")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ProtocolError::bad("missing string field `cmd`"))?;
+    match cmd {
+        "query" => Ok(Request::Query {
+            node: node_field(&value, "node")?,
+        }),
+        "nearest" => {
+            let node = node_field(&value, "node")?;
+            let k = match value.get("k") {
+                None => DEFAULT_K,
+                Some(v) => v
+                    .as_u64()
+                    .filter(|&k| k >= 1)
+                    .ok_or_else(|| ProtocolError::bad("`k` must be a positive integer"))?
+                    .min(usize::MAX as u64) as usize,
+            };
+            Ok(Request::Nearest { node, k })
+        }
+        "ingest" => parse_ingest(&value),
+        "flush" => Ok(Request::Flush),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(ProtocolError::bad(format!(
+            "unknown cmd `{other}` (expected query, nearest, ingest, flush, stats, or shutdown)"
+        ))),
+    }
+}
+
+fn node_field(value: &Json, key: &str) -> Result<NodeId, ProtocolError> {
+    let id = value
+        .get(key)
+        .and_then(Json::as_u64)
+        .filter(|&n| n <= u32::MAX as u64)
+        .ok_or_else(|| ProtocolError::bad(format!("`{key}` must be an integer node id (u32)")))?;
+    Ok(NodeId(id as u32))
+}
+
+fn parse_ingest(value: &Json) -> Result<Request, ProtocolError> {
+    let mut events = Vec::new();
+    match (value.get("edges"), value.get("events")) {
+        (None, None) => {
+            return Err(ProtocolError::bad(
+                "ingest needs `edges` ([[u,v,t],...]) or `events` ([{op,...},...])",
+            ))
+        }
+        // Accepting one and silently dropping the other would let the
+        // graph diverge from what the client believes it ingested.
+        (Some(_), Some(_)) => {
+            return Err(ProtocolError::bad(
+                "ingest takes `edges` or `events`, not both",
+            ))
+        }
+        (Some(edges), None) => {
+            let edges = edges
+                .as_arr()
+                .ok_or_else(|| ProtocolError::bad("`edges` must be an array"))?;
+            check_batch(edges.len())?;
+            for (i, e) in edges.iter().enumerate() {
+                let triple = e
+                    .as_arr()
+                    .filter(|t| t.len() == 2 || t.len() == 3)
+                    .ok_or_else(|| {
+                        ProtocolError::bad(format!("edges[{i}] must be [u,v] or [u,v,t]"))
+                    })?;
+                let u = elem_u32(triple, 0, i)?;
+                let v = elem_u32(triple, 1, i)?;
+                let t = match triple.get(2) {
+                    None => 0,
+                    Some(t) => t.as_u64().ok_or_else(|| {
+                        ProtocolError::bad(format!("edges[{i}][2] must be a timestamp"))
+                    })?,
+                };
+                events.push(GraphEvent::add_edge(NodeId(u), NodeId(v), t));
+            }
+        }
+        (None, Some(list)) => {
+            let list = list
+                .as_arr()
+                .ok_or_else(|| ProtocolError::bad("`events` must be an array"))?;
+            check_batch(list.len())?;
+            for (i, ev) in list.iter().enumerate() {
+                events.push(parse_event(ev, i)?);
+            }
+        }
+    }
+    Ok(Request::Ingest { events })
+}
+
+fn check_batch(len: usize) -> Result<(), ProtocolError> {
+    if len > MAX_INGEST_EVENTS {
+        return Err(ProtocolError::bad(format!(
+            "ingest batch of {len} exceeds the {MAX_INGEST_EVENTS}-event cap; split the request"
+        )));
+    }
+    Ok(())
+}
+
+fn elem_u32(arr: &[Json], idx: usize, at: usize) -> Result<u32, ProtocolError> {
+    arr.get(idx)
+        .and_then(Json::as_u64)
+        .filter(|&n| n <= u32::MAX as u64)
+        .map(|n| n as u32)
+        .ok_or_else(|| ProtocolError::bad(format!("edges[{at}][{idx}] must be a node id (u32)")))
+}
+
+fn parse_event(ev: &Json, i: usize) -> Result<GraphEvent, ProtocolError> {
+    let op = ev
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ProtocolError::bad(format!("events[{i}] needs a string `op`")))?;
+    let t = match ev.get("t") {
+        None => 0,
+        Some(t) => t
+            .as_u64()
+            .ok_or_else(|| ProtocolError::bad(format!("events[{i}].t must be a timestamp")))?,
+    };
+    let field = |key: &str| -> Result<NodeId, ProtocolError> {
+        let n = ev
+            .get(key)
+            .and_then(Json::as_u64)
+            .filter(|&n| n <= u32::MAX as u64)
+            .ok_or_else(|| {
+                ProtocolError::bad(format!("events[{i}].{key} must be a node id (u32)"))
+            })?;
+        Ok(NodeId(n as u32))
+    };
+    match op {
+        "add" | "add_edge" => Ok(GraphEvent::add_edge(field("u")?, field("v")?, t)),
+        "remove_edge" => Ok(GraphEvent::remove_edge(field("u")?, field("v")?, t)),
+        "remove_node" => Ok(GraphEvent::remove_node(field("node")?, t)),
+        other => Err(ProtocolError::bad(format!(
+            "events[{i}]: unknown op `{other}` (expected add, remove_edge, or remove_node)"
+        ))),
+    }
+}
+
+// ---- response rendering (one line each, no trailing newline) ----
+
+fn ok_obj(cmd: &str, rest: Vec<(String, Json)>) -> String {
+    let mut pairs = vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("cmd".to_string(), Json::Str(cmd.to_string())),
+    ];
+    pairs.extend(rest);
+    Json::Obj(pairs).to_string()
+}
+
+/// Render a structured failure.
+pub fn error_line(err: &ProtocolError) -> String {
+    Json::Obj(vec![
+        ("ok".to_string(), Json::Bool(false)),
+        ("kind".to_string(), Json::Str(err.kind.as_str().to_string())),
+        ("error".to_string(), Json::Str(err.message.clone())),
+    ])
+    .to_string()
+}
+
+/// Render a successful `query`.
+pub fn query_line(epoch: u64, node: NodeId, vector: &[f32]) -> String {
+    ok_obj(
+        "query",
+        vec![
+            ("epoch".to_string(), Json::Num(epoch as f64)),
+            ("node".to_string(), Json::Num(node.0 as f64)),
+            (
+                "vector".to_string(),
+                Json::Arr(vector.iter().map(|&x| Json::num_f32(x)).collect()),
+            ),
+        ],
+    )
+}
+
+/// Render a successful `nearest`.
+pub fn nearest_line(epoch: u64, node: NodeId, neighbours: &[(NodeId, f32)]) -> String {
+    ok_obj(
+        "nearest",
+        vec![
+            ("epoch".to_string(), Json::Num(epoch as f64)),
+            ("node".to_string(), Json::Num(node.0 as f64)),
+            (
+                "neighbours".to_string(),
+                Json::Arr(
+                    neighbours
+                        .iter()
+                        .map(|&(id, sim)| {
+                            Json::Arr(vec![Json::Num(id.0 as f64), Json::num_f32(sim)])
+                        })
+                        .collect(),
+                ),
+            ),
+        ],
+    )
+}
+
+/// Render a successful `ingest`.
+pub fn ingest_line(accepted: usize) -> String {
+    ok_obj(
+        "ingest",
+        vec![("accepted".to_string(), Json::Num(accepted as f64))],
+    )
+}
+
+/// Render a successful `flush`.
+pub fn flush_line(outcome: FlushOutcome) -> String {
+    ok_obj(
+        "flush",
+        vec![
+            ("stepped".to_string(), Json::Bool(outcome.stepped)),
+            ("epoch".to_string(), Json::Num(outcome.epoch as f64)),
+        ],
+    )
+}
+
+/// Render a successful `stats`.
+pub fn stats_line(s: &ServeStats) -> String {
+    ok_obj(
+        "stats",
+        vec![
+            ("epoch".to_string(), Json::Num(s.epoch as f64)),
+            ("nodes".to_string(), Json::Num(s.nodes as f64)),
+            ("dim".to_string(), Json::Num(s.dim as f64)),
+            ("queue_depth".to_string(), Json::Num(s.queue_depth as f64)),
+            (
+                "queue_capacity".to_string(),
+                Json::Num(s.queue_capacity as f64),
+            ),
+            (
+                "events_accepted".to_string(),
+                Json::Num(s.events_accepted as f64),
+            ),
+        ],
+    )
+}
+
+/// Render a successful `shutdown` acknowledgement.
+pub fn shutdown_line() -> String {
+    ok_obj("shutdown", Vec::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_command() {
+        assert_eq!(
+            parse_request(r#"{"cmd":"query","node":7}"#).unwrap(),
+            Request::Query { node: NodeId(7) }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"nearest","node":7}"#).unwrap(),
+            Request::Nearest {
+                node: NodeId(7),
+                k: DEFAULT_K
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"nearest","node":7,"k":3}"#).unwrap(),
+            Request::Nearest {
+                node: NodeId(7),
+                k: 3
+            }
+        );
+        assert_eq!(parse_request(r#"{"cmd":"flush"}"#).unwrap(), Request::Flush);
+        assert_eq!(parse_request(r#"{"cmd":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request(r#"{"cmd":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn ingest_edges_and_events() {
+        let r = parse_request(r#"{"cmd":"ingest","edges":[[0,1,3],[1,2]]}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Ingest {
+                events: vec![
+                    GraphEvent::add_edge(NodeId(0), NodeId(1), 3),
+                    GraphEvent::add_edge(NodeId(1), NodeId(2), 0),
+                ]
+            }
+        );
+        let r = parse_request(
+            r#"{"cmd":"ingest","events":[
+                {"op":"add","u":0,"v":1,"t":1},
+                {"op":"remove_edge","u":0,"v":1,"t":2},
+                {"op":"remove_node","node":9,"t":3}]}"#
+                .replace('\n', " ")
+                .as_str(),
+        )
+        .unwrap();
+        assert_eq!(
+            r,
+            Request::Ingest {
+                events: vec![
+                    GraphEvent::add_edge(NodeId(0), NodeId(1), 1),
+                    GraphEvent::remove_edge(NodeId(0), NodeId(1), 2),
+                    GraphEvent::remove_node(NodeId(9), 3),
+                ]
+            }
+        );
+    }
+
+    #[test]
+    fn schema_violations_are_bad_requests() {
+        for bad in [
+            "null",
+            "[]",
+            r#"{"cmd":5}"#,
+            r#"{"node":5}"#,
+            r#"{"cmd":"warp"}"#,
+            r#"{"cmd":"query"}"#,
+            r#"{"cmd":"query","node":-1}"#,
+            r#"{"cmd":"query","node":1.5}"#,
+            r#"{"cmd":"query","node":4294967296}"#,
+            r#"{"cmd":"nearest","node":1,"k":0}"#,
+            r#"{"cmd":"nearest","node":1,"k":"many"}"#,
+            r#"{"cmd":"ingest"}"#,
+            r#"{"cmd":"ingest","edges":[[0,1]],"events":[{"op":"remove_node","node":5,"t":2}]}"#,
+            r#"{"cmd":"ingest","edges":[[0,1,18446744073709551616]]}"#,
+            r#"{"cmd":"ingest","edges":[[0]]}"#,
+            r#"{"cmd":"ingest","edges":[[0,1,2,3]]}"#,
+            r#"{"cmd":"ingest","edges":[[0,"x"]]}"#,
+            r#"{"cmd":"ingest","events":[{"u":0,"v":1}]}"#,
+            r#"{"cmd":"ingest","events":[{"op":"teleport","u":0,"v":1}]}"#,
+            "not json at all",
+        ] {
+            let err = parse_request(bad).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::BadRequest, "{bad}");
+        }
+    }
+
+    #[test]
+    fn oversized_batch_is_rejected() {
+        let mut line = String::from(r#"{"cmd":"ingest","edges":["#);
+        for i in 0..(MAX_INGEST_EVENTS + 1) {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str("[0,1]");
+        }
+        line.push_str("]}");
+        let err = parse_request(&line).unwrap_err();
+        assert!(err.message.contains("cap"), "{err}");
+    }
+
+    #[test]
+    fn response_lines_are_single_line_json() {
+        let lines = [
+            query_line(2, NodeId(5), &[0.5, -1.0]),
+            nearest_line(2, NodeId(5), &[(NodeId(7), 0.93), (NodeId(1), f32::NAN)]),
+            ingest_line(14),
+            flush_line(FlushOutcome {
+                stepped: true,
+                epoch: 3,
+            }),
+            shutdown_line(),
+            error_line(&ProtocolError::bad("nope")),
+        ];
+        for line in &lines {
+            assert!(!line.contains('\n'), "{line}");
+            let v = json::parse(line).unwrap();
+            assert!(v.get("ok").is_some(), "{line}");
+        }
+        assert!(lines[1].contains("[1,null]"), "NaN -> null: {}", lines[1]);
+        assert!(lines[5].contains("bad_request"));
+    }
+}

@@ -1,0 +1,201 @@
+//! The bounded ingest queue between producers and the trainer thread.
+//!
+//! A `std::sync::mpsc::sync_channel` of trainer messages. Producers
+//! (connection threads, in-process callers) block in `send` when the
+//! queue is full — that *is* the back-pressure: a slow embedding step
+//! slows ingestion down to training speed instead of growing an
+//! unbounded backlog, while readers keep answering from the published
+//! epoch untouched. Flush requests ride the same channel, so a flush
+//! observes every event enqueued before it.
+
+use crate::error::ServeError;
+use glodyne_graph::state::GraphEvent;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::Arc;
+
+/// What the trainer sees on its inbox.
+pub(crate) enum TrainerMsg {
+    /// One graph event to apply.
+    Event(GraphEvent),
+    /// Commit now; reply with the outcome on the enclosed channel.
+    Flush(mpsc::Sender<FlushOutcome>),
+    /// Drain nothing further and exit.
+    Shutdown,
+}
+
+/// What a flush accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushOutcome {
+    /// Whether an embedding step actually ran (false when no effective
+    /// events were pending).
+    pub stepped: bool,
+    /// The epoch id after the flush (== committed steps so far).
+    pub epoch: u64,
+}
+
+/// Producer half: clonable, blocking on a full queue.
+#[derive(Clone)]
+pub struct IngestQueue {
+    tx: SyncSender<TrainerMsg>,
+    depth: Arc<AtomicUsize>,
+    accepted: Arc<AtomicU64>,
+    capacity: usize,
+}
+
+/// Trainer half: pops messages, maintaining the depth gauge.
+pub(crate) struct TrainerInbox {
+    rx: Receiver<TrainerMsg>,
+    depth: Arc<AtomicUsize>,
+}
+
+/// A bounded queue of `capacity` in-flight messages.
+pub(crate) fn bounded(capacity: usize) -> (IngestQueue, TrainerInbox) {
+    let (tx, rx) = mpsc::sync_channel(capacity.max(1));
+    let depth = Arc::new(AtomicUsize::new(0));
+    (
+        IngestQueue {
+            tx,
+            depth: Arc::clone(&depth),
+            accepted: Arc::new(AtomicU64::new(0)),
+            capacity: capacity.max(1),
+        },
+        TrainerInbox { rx, depth },
+    )
+}
+
+impl IngestQueue {
+    /// Enqueue one event, blocking while the queue is full
+    /// (back-pressure). [`ServeError::Closed`] once the trainer exits.
+    pub fn send_event(&self, event: GraphEvent) -> Result<(), ServeError> {
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        match self.tx.send(TrainerMsg::Event(event)) {
+            Ok(()) => {
+                self.accepted.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(_) => {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                Err(ServeError::Closed)
+            }
+        }
+    }
+
+    /// Enqueue a flush and wait for the trainer to commit everything
+    /// sent before it.
+    pub fn request_flush(&self) -> Result<FlushOutcome, ServeError> {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        self.tx
+            .send(TrainerMsg::Flush(ack_tx))
+            .map_err(|_| ServeError::Closed)?;
+        ack_rx.recv().map_err(|_| ServeError::Closed)
+    }
+
+    /// Ask the trainer to exit; succeeds silently if it already has.
+    pub(crate) fn send_shutdown(&self) {
+        let _ = self.tx.send(TrainerMsg::Shutdown);
+    }
+
+    /// Events currently waiting in the queue (approximate gauge).
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// The queue's bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events accepted over the queue's lifetime.
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+}
+
+impl TrainerInbox {
+    /// Next message, or `None` when every producer handle is gone.
+    pub(crate) fn recv(&self) -> Option<TrainerMsg> {
+        let msg = self.rx.recv().ok()?;
+        if matches!(msg, TrainerMsg::Event(_)) {
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+        }
+        Some(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glodyne_graph::NodeId;
+    use std::time::Duration;
+
+    fn ev(i: u32) -> GraphEvent {
+        GraphEvent::add_edge(NodeId(i), NodeId(i + 1), 0)
+    }
+
+    #[test]
+    fn depth_and_accepted_track_flow() {
+        let (q, inbox) = bounded(8);
+        q.send_event(ev(0)).unwrap();
+        q.send_event(ev(1)).unwrap();
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.accepted(), 2);
+        assert!(matches!(inbox.recv(), Some(TrainerMsg::Event(_))));
+        assert_eq!(q.depth(), 1);
+        assert_eq!(q.accepted(), 2, "accepted is cumulative");
+    }
+
+    #[test]
+    fn full_queue_back_pressures_until_drained() {
+        let (q, inbox) = bounded(2);
+        q.send_event(ev(0)).unwrap();
+        q.send_event(ev(1)).unwrap();
+        // Third send must block until the consumer frees a slot.
+        let q2 = q.clone();
+        let sender = std::thread::spawn(move || q2.send_event(ev(2)));
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(
+            !sender.is_finished(),
+            "send should be blocked on full queue"
+        );
+        assert!(matches!(inbox.recv(), Some(TrainerMsg::Event(_))));
+        sender.join().unwrap().unwrap();
+        assert_eq!(q.accepted(), 3);
+    }
+
+    #[test]
+    fn closed_inbox_yields_closed_errors() {
+        let (q, inbox) = bounded(2);
+        drop(inbox);
+        assert!(matches!(q.send_event(ev(0)), Err(ServeError::Closed)));
+        assert!(matches!(q.request_flush(), Err(ServeError::Closed)));
+        assert_eq!(q.depth(), 0, "failed send must not leak depth");
+        q.send_shutdown(); // must not panic
+    }
+
+    #[test]
+    fn flush_rides_behind_events() {
+        let (q, inbox) = bounded(8);
+        q.send_event(ev(0)).unwrap();
+        let q2 = q.clone();
+        let flusher = std::thread::spawn(move || q2.request_flush());
+        // The trainer side sees the event first, then the flush.
+        assert!(matches!(inbox.recv(), Some(TrainerMsg::Event(_))));
+        match inbox.recv() {
+            Some(TrainerMsg::Flush(ack)) => ack
+                .send(FlushOutcome {
+                    stepped: true,
+                    epoch: 1,
+                })
+                .unwrap(),
+            _ => panic!("expected flush message"),
+        }
+        assert_eq!(
+            flusher.join().unwrap().unwrap(),
+            FlushOutcome {
+                stepped: true,
+                epoch: 1
+            }
+        );
+    }
+}

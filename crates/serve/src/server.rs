@@ -1,0 +1,517 @@
+//! The std-only TCP front end: one thread per connection, line-delimited
+//! JSON requests in, one JSON line out per request.
+//!
+//! No async runtime (the vendor tree has none) and none needed: the
+//! connection count is bounded by [`ServerConfig::max_connections`]
+//! (further `accept`s wait for a slot — back-pressure at the door, like
+//! the ingest queue inside), and each connection thread spends its life
+//! blocked in `read`, which is exactly what OS threads are cheap at.
+//!
+//! Graceful shutdown: the `shutdown` command (or
+//! [`Server::request_shutdown`]) flips a flag, wakes the accept loop
+//! with a loopback connection, and [`Server::join`] then stops the
+//! trainer. Connections that are still open keep being served until
+//! their clients disconnect — reads still work off the final epoch,
+//! writes get structured `shutting_down` errors.
+
+use crate::error::ServeError;
+use crate::protocol::{self, ErrorKind, ProtocolError, Request};
+use crate::session::ServingSession;
+use glodyne::EmbedderSession;
+use glodyne_embed::DynamicEmbedder;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::{self, JoinHandle};
+
+/// Tunables for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Concurrent connections served; further accepts wait for a slot.
+    pub max_connections: usize,
+    /// Per-request line cap; longer lines get a `too_large` error.
+    pub max_line_bytes: usize,
+    /// Bound of the ingest queue feeding the trainer.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+            max_line_bytes: protocol::MAX_LINE_BYTES,
+            queue_capacity: crate::session::DEFAULT_QUEUE_CAPACITY,
+        }
+    }
+}
+
+/// A running serving process.
+pub struct Server {
+    addr: SocketAddr,
+    session: Arc<ServingSession>,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<u64>>,
+}
+
+impl Server {
+    /// Move `session` into a [`ServingSession`] and serve it on `addr`
+    /// (e.g. `"127.0.0.1:7878"`; port 0 picks a free port, see
+    /// [`Server::local_addr`]).
+    pub fn bind<E>(
+        session: EmbedderSession<E>,
+        addr: &str,
+        cfg: ServerConfig,
+    ) -> Result<Server, ServeError>
+    where
+        E: DynamicEmbedder + Send + 'static,
+    {
+        let listener = TcpListener::bind(addr).map_err(|source| ServeError::Bind {
+            addr: addr.to_string(),
+            source,
+        })?;
+        let local = listener.local_addr().map_err(|source| ServeError::Bind {
+            addr: addr.to_string(),
+            source,
+        })?;
+        let serving = Arc::new(ServingSession::spawn(session, cfg.queue_capacity));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let serving = Arc::clone(&serving);
+            let shutdown = Arc::clone(&shutdown);
+            let slots = Arc::new(Slots::new(cfg.max_connections.max(1)));
+            let max_line = cfg.max_line_bytes.max(1);
+            thread::Builder::new()
+                .name("glodyne-accept".into())
+                .spawn(move || {
+                    let mut served = 0u64;
+                    loop {
+                        let stream = match listener.accept() {
+                            Ok((stream, _peer)) => stream,
+                            Err(_) if shutdown.load(Ordering::SeqCst) => break,
+                            Err(_) => continue,
+                        };
+                        if shutdown.load(Ordering::SeqCst) {
+                            break; // woken by the loopback nudge
+                        }
+                        // With every slot taken this waits for one to
+                        // free up — back-pressure at the door — but
+                        // keeps observing the shutdown flag so a stuck
+                        // client can't pin the accept loop forever.
+                        let Some(permit) = slots.acquire(&shutdown) else {
+                            break;
+                        };
+                        served += 1;
+                        let serving = Arc::clone(&serving);
+                        let shutdown = Arc::clone(&shutdown);
+                        let spawned =
+                            thread::Builder::new()
+                                .name("glodyne-conn".into())
+                                .spawn(move || {
+                                    let _permit = permit;
+                                    let _ = handle_connection(
+                                        stream, &serving, &shutdown, local, max_line,
+                                    );
+                                });
+                        // Spawn failure (resource exhaustion): the
+                        // permit inside the closure was moved and is
+                        // released with the dropped closure; just stop
+                        // serving this connection.
+                        drop(spawned);
+                    }
+                    served
+                })
+                .expect("spawn accept thread")
+        };
+        Ok(Server {
+            addr: local,
+            session: serving,
+            shutdown,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared serving session (host-side stats, tests).
+    pub fn session(&self) -> &Arc<ServingSession> {
+        &self.session
+    }
+
+    /// Flip the shutdown flag and wake the accept loop — the host-side
+    /// equivalent of the wire `shutdown` command.
+    pub fn request_shutdown(&self) {
+        initiate_shutdown(&self.shutdown, self.addr);
+    }
+
+    /// Block until the server shuts down (via the wire command or
+    /// [`Server::request_shutdown`]), then stop the trainer. Returns
+    /// the number of connections accepted over the server's lifetime.
+    pub fn join(mut self) -> u64 {
+        let served = match self.accept.take() {
+            Some(handle) => handle.join().unwrap_or(0),
+            None => 0,
+        };
+        self.session.shutdown();
+        served
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if let Some(handle) = self.accept.take() {
+            self.request_shutdown();
+            let _ = handle.join();
+        }
+        self.session.shutdown();
+    }
+}
+
+fn initiate_shutdown(flag: &AtomicBool, addr: SocketAddr) {
+    flag.store(true, Ordering::SeqCst);
+    // Nudge the blocking accept() so it observes the flag. A wildcard
+    // bind (0.0.0.0 / ::) is not itself connectable everywhere; aim
+    // the nudge at loopback on the same port instead.
+    let mut nudge = addr;
+    if nudge.ip().is_unspecified() {
+        nudge.set_ip(match nudge.ip() {
+            std::net::IpAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+            std::net::IpAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+        });
+    }
+    let _ = TcpStream::connect(nudge);
+}
+
+/// A counting semaphore over connection slots.
+struct Slots {
+    free: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Slots {
+    fn new(n: usize) -> Self {
+        Slots {
+            free: Mutex::new(n),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Wait for a free slot, re-checking `shutdown` while waiting;
+    /// `None` once shutdown is requested.
+    fn acquire(self: &Arc<Self>, shutdown: &AtomicBool) -> Option<SlotPermit> {
+        let mut free = self.free.lock().unwrap_or_else(PoisonError::into_inner);
+        while *free == 0 {
+            if shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            // Bounded wait: permits are released without a shutdown
+            // signal path into this condvar, so poll the flag.
+            let (guard, _) = self
+                .cv
+                .wait_timeout(free, std::time::Duration::from_millis(100))
+                .unwrap_or_else(PoisonError::into_inner);
+            free = guard;
+        }
+        *free -= 1;
+        Some(SlotPermit(Arc::clone(self)))
+    }
+}
+
+/// RAII connection slot; freed when the connection thread exits.
+struct SlotPermit(Arc<Slots>);
+
+impl Drop for SlotPermit {
+    fn drop(&mut self) {
+        *self.0.free.lock().unwrap_or_else(PoisonError::into_inner) += 1;
+        self.0.cv.notify_one();
+    }
+}
+
+/// One request line read off the socket.
+enum LineRead {
+    /// A complete line (newline stripped, `\r\n` tolerated).
+    Data(Vec<u8>),
+    /// The line exceeded the cap and was discarded up to its newline.
+    Oversized,
+    /// Clean end of stream.
+    Eof,
+}
+
+/// Read one `\n`-terminated line without ever buffering more than
+/// `max` bytes of it.
+fn read_line_limited<R: BufRead>(reader: &mut R, max: usize) -> io::Result<LineRead> {
+    let mut acc: Vec<u8> = Vec::new();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            // EOF: a dangling unterminated line still gets parsed (nc
+            // sessions often end without a final newline).
+            return Ok(if acc.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Data(acc)
+            });
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                let fits = acc.len() + pos <= max;
+                if fits {
+                    acc.extend_from_slice(&buf[..pos]);
+                }
+                reader.consume(pos + 1);
+                if !fits {
+                    return Ok(LineRead::Oversized);
+                }
+                if acc.last() == Some(&b'\r') {
+                    acc.pop();
+                }
+                return Ok(LineRead::Data(acc));
+            }
+            None => {
+                let n = buf.len();
+                if acc.len() + n > max {
+                    reader.consume(n);
+                    drain_past_newline(reader)?;
+                    return Ok(LineRead::Oversized);
+                }
+                acc.extend_from_slice(buf);
+                reader.consume(n);
+            }
+        }
+    }
+}
+
+/// Discard input up to and including the next newline (or EOF).
+fn drain_past_newline<R: BufRead>(reader: &mut R) -> io::Result<()> {
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(());
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                reader.consume(pos + 1);
+                return Ok(());
+            }
+            None => {
+                let n = buf.len();
+                reader.consume(n);
+            }
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    serving: &ServingSession,
+    shutdown: &AtomicBool,
+    local: SocketAddr,
+    max_line: usize,
+) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        let line = match read_line_limited(&mut reader, max_line)? {
+            LineRead::Eof => return Ok(()),
+            LineRead::Oversized => {
+                respond(
+                    &mut writer,
+                    &protocol::error_line(&ProtocolError {
+                        kind: ErrorKind::TooLarge,
+                        message: format!("request line exceeds {max_line} bytes"),
+                    }),
+                )?;
+                continue;
+            }
+            LineRead::Data(bytes) => bytes,
+        };
+        let Ok(text) = std::str::from_utf8(&line) else {
+            respond(
+                &mut writer,
+                &protocol::error_line(&ProtocolError::bad("request is not valid utf-8")),
+            )?;
+            continue;
+        };
+        if text.trim().is_empty() {
+            continue; // blank lines are telnet-friendly no-ops
+        }
+        let request = match protocol::parse_request(text) {
+            Ok(request) => request,
+            Err(e) => {
+                respond(&mut writer, &protocol::error_line(&e))?;
+                continue;
+            }
+        };
+        let wants_shutdown = request == Request::Shutdown;
+        respond(&mut writer, &dispatch(request, serving, shutdown))?;
+        if wants_shutdown {
+            initiate_shutdown(shutdown, local);
+            return Ok(());
+        }
+    }
+}
+
+fn respond(writer: &mut TcpStream, line: &str) -> io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Turn one request into one response line.
+fn dispatch(request: Request, serving: &ServingSession, shutdown: &AtomicBool) -> String {
+    match request {
+        Request::Query { node } => {
+            // One epoch load per request: the lookup and the reported
+            // epoch id always agree, even mid-publish.
+            let epoch = serving.epoch();
+            match epoch.embedding.get(node) {
+                Some(v) => protocol::query_line(epoch.epoch, node, v),
+                None => not_found(node, epoch.epoch),
+            }
+        }
+        Request::Nearest { node, k } => {
+            let epoch = serving.epoch();
+            if epoch.embedding.get(node).is_none() {
+                not_found(node, epoch.epoch)
+            } else {
+                let neighbours = epoch.embedding.top_k(node, k);
+                protocol::nearest_line(epoch.epoch, node, &neighbours)
+            }
+        }
+        Request::Ingest { events } => {
+            if shutdown.load(Ordering::SeqCst) {
+                return shutting_down();
+            }
+            match serving.ingest(&events) {
+                Ok(accepted) => protocol::ingest_line(accepted),
+                Err(ServeError::Closed) => shutting_down(),
+                Err(e) => protocol::error_line(&ProtocolError::bad(e.to_string())),
+            }
+        }
+        Request::Flush => {
+            if shutdown.load(Ordering::SeqCst) {
+                return shutting_down();
+            }
+            match serving.flush() {
+                Ok(outcome) => protocol::flush_line(outcome),
+                Err(ServeError::Closed) => shutting_down(),
+                Err(e) => protocol::error_line(&ProtocolError::bad(e.to_string())),
+            }
+        }
+        Request::Stats => protocol::stats_line(&serving.stats()),
+        Request::Shutdown => protocol::shutdown_line(),
+    }
+}
+
+fn not_found(node: glodyne_graph::NodeId, epoch: u64) -> String {
+    protocol::error_line(&ProtocolError {
+        kind: ErrorKind::NotFound,
+        message: format!("node {} has no embedding in epoch {epoch}", node.0),
+    })
+}
+
+fn shutting_down() -> String {
+    protocol::error_line(&ProtocolError {
+        kind: ErrorKind::ShuttingDown,
+        message: "server is shutting down; writes are no longer accepted".into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn line(input: &[u8], max: usize) -> (LineRead, Cursor<Vec<u8>>) {
+        let mut cur = Cursor::new(input.to_vec());
+        let mut reader = BufReader::with_capacity(4, &mut cur); // tiny buffer: force refills
+        let out = read_line_limited(&mut reader, max).unwrap();
+        drop(reader);
+        (out, cur)
+    }
+
+    #[test]
+    fn reads_lines_and_strips_terminators() {
+        let (l, _) = line(b"hello\nrest", 100);
+        assert!(matches!(l, LineRead::Data(d) if d == b"hello"));
+        let (l, _) = line(b"crlf\r\nx", 100);
+        assert!(matches!(l, LineRead::Data(d) if d == b"crlf"));
+        let (l, _) = line(b"", 100);
+        assert!(matches!(l, LineRead::Eof));
+        let (l, _) = line(b"no newline at eof", 100);
+        assert!(matches!(l, LineRead::Data(d) if d == b"no newline at eof"));
+    }
+
+    #[test]
+    fn oversized_lines_are_discarded_and_resync() {
+        let input = b"aaaaaaaaaaaaaaaaaaaa\nnext\n";
+        let mut cur = Cursor::new(input.to_vec());
+        let mut reader = BufReader::with_capacity(4, &mut cur);
+        assert!(matches!(
+            read_line_limited(&mut reader, 8).unwrap(),
+            LineRead::Oversized
+        ));
+        // The stream resynchronises on the following line.
+        assert!(matches!(
+            read_line_limited(&mut reader, 8).unwrap(),
+            LineRead::Data(d) if d == b"next"
+        ));
+        // Oversized with no trailing newline at all: clean EOF after.
+        let (l, _) = line(b"bbbbbbbbbbbbbbbbbb", 4);
+        assert!(matches!(l, LineRead::Oversized));
+    }
+
+    #[test]
+    fn exact_cap_is_not_oversized() {
+        let (l, _) = line(b"12345678\n", 8);
+        assert!(matches!(l, LineRead::Data(d) if d == b"12345678"));
+        let (l, _) = line(b"123456789\n", 8);
+        assert!(matches!(l, LineRead::Oversized));
+    }
+
+    #[test]
+    fn slots_bound_concurrency() {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let slots = Arc::new(Slots::new(2));
+        let a = slots.acquire(&shutdown).unwrap();
+        let _b = slots.acquire(&shutdown).unwrap();
+        let taken = Arc::new(AtomicBool::new(false));
+        let waiter = {
+            let slots = Arc::clone(&slots);
+            let taken = Arc::clone(&taken);
+            let shutdown = Arc::clone(&shutdown);
+            thread::spawn(move || {
+                let _c = slots.acquire(&shutdown);
+                taken.store(true, Ordering::SeqCst);
+            })
+        };
+        thread::sleep(std::time::Duration::from_millis(30));
+        assert!(!taken.load(Ordering::SeqCst), "third acquire must wait");
+        drop(a);
+        waiter.join().unwrap();
+        assert!(taken.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn exhausted_slots_abort_acquire_on_shutdown() {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let slots = Arc::new(Slots::new(1));
+        let _held = slots.acquire(&shutdown).unwrap();
+        let waiter = {
+            let slots = Arc::clone(&slots);
+            let shutdown = Arc::clone(&shutdown);
+            thread::spawn(move || slots.acquire(&shutdown).is_none())
+        };
+        thread::sleep(std::time::Duration::from_millis(30));
+        // The permit is still held; only the flag can release the
+        // waiter.
+        shutdown.store(true, Ordering::SeqCst);
+        assert!(
+            waiter.join().unwrap(),
+            "acquire must yield None on shutdown instead of waiting for the permit"
+        );
+    }
+}

@@ -1,0 +1,334 @@
+//! [`ServingSession`]: an [`EmbedderSession`] split into a concurrent
+//! read path and a back-pressured write path.
+//!
+//! `spawn` moves the session onto a dedicated trainer thread. From then
+//! on:
+//!
+//! - reads ([`ServingSession::epoch`], [`query`](ServingSession::query),
+//!   [`nearest`](ServingSession::nearest)) answer from the last
+//!   *published* [`EmbeddingEpoch`] and never wait on training;
+//! - writes ([`ingest`](ServingSession::ingest),
+//!   [`flush`](ServingSession::flush)) go through the bounded
+//!   [`IngestQueue`] and block only when the queue is full or when
+//!   waiting for a requested commit.
+//!
+//! The trainer publishes a new epoch after every committed step —
+//! whether the session's [`EpochPolicy`](glodyne::EpochPolicy) crossed
+//! a boundary on its own or a flush forced one.
+
+use crate::epoch::{EmbeddingEpoch, EpochHandle};
+use crate::error::ServeError;
+use crate::queue::{bounded, FlushOutcome, IngestQueue, TrainerInbox, TrainerMsg};
+use glodyne::EmbedderSession;
+use glodyne_embed::DynamicEmbedder;
+use glodyne_graph::state::GraphEvent;
+use glodyne_graph::NodeId;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::{self, JoinHandle};
+
+/// Default bound on the ingest queue.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
+
+/// A point-in-time view of the serving counters (the `stats` command).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Published epoch id (committed embedding steps).
+    pub epoch: u64,
+    /// Embedded nodes in the published epoch.
+    pub nodes: usize,
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Events waiting in the ingest queue (approximate).
+    pub queue_depth: usize,
+    /// The ingest queue's bound.
+    pub queue_capacity: usize,
+    /// Events accepted since the session was spawned.
+    pub events_accepted: u64,
+}
+
+/// The concurrent wrapper around a moved-away `EmbedderSession`.
+///
+/// All methods take `&self`; the struct is shared across connection
+/// threads behind an `Arc`.
+pub struct ServingSession {
+    queue: IngestQueue,
+    epochs: EpochHandle,
+    trainer: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl ServingSession {
+    /// Move `session` onto a trainer thread and return the concurrent
+    /// handle. The session's current state (anything already ingested
+    /// and flushed before the move) becomes the initially served epoch.
+    pub fn spawn<E>(session: EmbedderSession<E>, queue_capacity: usize) -> ServingSession
+    where
+        E: DynamicEmbedder + Send + 'static,
+    {
+        let epochs = EpochHandle::new(EmbeddingEpoch {
+            epoch: session.steps() as u64,
+            embedding: session.embedding().clone(),
+            report: session.reports().last().copied(),
+        });
+        let (queue, inbox) = bounded(queue_capacity);
+        let publisher = epochs.clone();
+        let trainer = thread::Builder::new()
+            .name("glodyne-trainer".into())
+            .spawn(move || trainer_loop(session, inbox, publisher))
+            .expect("spawn trainer thread");
+        ServingSession {
+            queue,
+            epochs,
+            trainer: Mutex::new(Some(trainer)),
+        }
+    }
+
+    /// The currently served epoch (frozen; see [`EpochHandle::load`]).
+    pub fn epoch(&self) -> Arc<EmbeddingEpoch> {
+        self.epochs.load()
+    }
+
+    /// The embedding vector of `node` in the served epoch, with the
+    /// epoch id it came from.
+    pub fn query(&self, node: NodeId) -> (u64, Option<Vec<f32>>) {
+        let epoch = self.epoch();
+        (epoch.epoch, epoch.embedding.get(node).map(<[f32]>::to_vec))
+    }
+
+    /// The `k` nearest neighbours of `node` in the served epoch, with
+    /// the epoch id — the same contract as
+    /// [`EmbedderSession::nearest`].
+    pub fn nearest(&self, node: NodeId, k: usize) -> (u64, Vec<(NodeId, f32)>) {
+        let epoch = self.epoch();
+        (epoch.epoch, epoch.embedding.top_k(node, k))
+    }
+
+    /// Enqueue events in order, blocking when the queue is full.
+    /// Returns how many were accepted (all, unless the trainer exits
+    /// mid-batch).
+    pub fn ingest(&self, events: &[GraphEvent]) -> Result<usize, ServeError> {
+        for (i, &event) in events.iter().enumerate() {
+            if let Err(e) = self.queue.send_event(event) {
+                return if i == 0 { Err(e) } else { Ok(i) };
+            }
+        }
+        Ok(events.len())
+    }
+
+    /// Commit everything enqueued so far and wait for the step to
+    /// finish. (The *next* read observes the new epoch; the call
+    /// returning is the visibility barrier.)
+    pub fn flush(&self) -> Result<FlushOutcome, ServeError> {
+        self.queue.request_flush()
+    }
+
+    /// Serving counters plus the served epoch's identity.
+    pub fn stats(&self) -> ServeStats {
+        let epoch = self.epoch();
+        ServeStats {
+            epoch: epoch.epoch,
+            nodes: epoch.embedding.len(),
+            dim: epoch.embedding.dim(),
+            queue_depth: self.queue.depth(),
+            queue_capacity: self.queue.capacity(),
+            events_accepted: self.queue.accepted(),
+        }
+    }
+
+    /// Stop the trainer and wait for it to exit. Idempotent; reads keep
+    /// working off the last published epoch afterwards, writes return
+    /// [`ServeError::Closed`].
+    pub fn shutdown(&self) {
+        self.queue.send_shutdown();
+        let handle = self
+            .trainer
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(handle) = handle {
+            // A trainer that panicked already published its last good
+            // epoch; surfacing the panic here would take the server's
+            // read path down with it.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServingSession {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The trainer thread: apply events, publish an epoch after every
+/// committed step, acknowledge flushes in queue order.
+fn trainer_loop<E: DynamicEmbedder>(
+    mut session: EmbedderSession<E>,
+    inbox: TrainerInbox,
+    epochs: EpochHandle,
+) {
+    while let Some(msg) = inbox.recv() {
+        match msg {
+            TrainerMsg::Event(event) => {
+                // The policy may commit on its own (timestamp / every-n
+                // boundaries); publish whenever it does.
+                if session.apply(event) {
+                    publish(&session, &epochs);
+                }
+            }
+            TrainerMsg::Flush(ack) => {
+                let stepped = session.flush().is_some();
+                if stepped {
+                    publish(&session, &epochs);
+                }
+                let _ = ack.send(FlushOutcome {
+                    stepped,
+                    epoch: session.steps() as u64,
+                });
+            }
+            TrainerMsg::Shutdown => break,
+        }
+    }
+}
+
+fn publish<E: DynamicEmbedder>(session: &EmbedderSession<E>, epochs: &EpochHandle) {
+    epochs.publish(EmbeddingEpoch {
+        epoch: session.steps() as u64,
+        embedding: session.embedding().clone(),
+        report: session.reports().last().copied(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glodyne::{EpochPolicy, GloDyNE, GloDyNEConfig};
+    use glodyne_embed::walks::WalkConfig;
+    use glodyne_embed::SgnsConfig;
+    use glodyne_graph::id::TimedEdge;
+
+    fn tiny_session(policy: EpochPolicy) -> EmbedderSession<GloDyNE> {
+        let cfg = GloDyNEConfig {
+            alpha: 0.5,
+            walk: WalkConfig {
+                walks_per_node: 2,
+                walk_length: 8,
+                seed: 3,
+            },
+            sgns: SgnsConfig {
+                dim: 8,
+                window: 2,
+                negatives: 2,
+                epochs: 1,
+                parallel: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        EmbedderSession::new(GloDyNE::new(cfg).unwrap(), policy).unwrap()
+    }
+
+    fn chain_events(n: u32, t: u64) -> Vec<GraphEvent> {
+        (0..n)
+            .map(|i| GraphEvent::add_edge(NodeId(i), NodeId(i + 1), t))
+            .collect()
+    }
+
+    #[test]
+    fn ingest_flush_query_round_trip() {
+        let serving = ServingSession::spawn(tiny_session(EpochPolicy::Manual), 64);
+        assert_eq!(serving.epoch().epoch, 0);
+        assert_eq!(serving.query(NodeId(0)).1, None);
+
+        serving.ingest(&chain_events(6, 0)).unwrap();
+        let outcome = serving.flush().unwrap();
+        assert!(outcome.stepped);
+        assert_eq!(outcome.epoch, 1);
+
+        let (epoch, vector) = serving.query(NodeId(0));
+        assert_eq!(epoch, 1);
+        assert_eq!(vector.unwrap().len(), 8);
+        let (_, near) = serving.nearest(NodeId(0), 3);
+        assert!(!near.is_empty());
+        assert!(near.iter().all(|&(id, _)| id != NodeId(0)));
+
+        // Flushing with nothing pending is a no-step.
+        let outcome = serving.flush().unwrap();
+        assert!(!outcome.stepped);
+        assert_eq!(outcome.epoch, 1);
+        serving.shutdown();
+    }
+
+    #[test]
+    fn nearest_matches_the_shared_reference_contract() {
+        let serving = ServingSession::spawn(tiny_session(EpochPolicy::Manual), 64);
+        serving.ingest(&chain_events(8, 0)).unwrap();
+        serving.flush().unwrap();
+        let epoch = serving.epoch();
+        let (_, fast) = serving.nearest(NodeId(3), 5);
+        let spec = glodyne_embed::reference_top_k(&epoch.embedding, NodeId(3), 5);
+        assert_eq!(fast.len(), spec.len());
+        for (a, b) in fast.iter().zip(&spec) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn policy_boundaries_publish_without_explicit_flush() {
+        let serving = ServingSession::spawn(tiny_session(EpochPolicy::EveryNEvents(4)), 64);
+        serving.ingest(&chain_events(4, 0)).unwrap();
+        // The 4th event crosses the boundary inside the trainer; wait
+        // for the publish via the flush barrier (no-op step).
+        let outcome = serving.flush().unwrap();
+        assert_eq!(outcome.epoch, 1);
+        assert!(!outcome.stepped, "policy already committed the batch");
+        assert_eq!(serving.epoch().epoch, 1);
+    }
+
+    #[test]
+    fn shutdown_keeps_reads_and_fails_writes() {
+        let serving = ServingSession::spawn(tiny_session(EpochPolicy::Manual), 64);
+        serving.ingest(&chain_events(5, 0)).unwrap();
+        serving.flush().unwrap();
+        serving.shutdown();
+        serving.shutdown(); // idempotent
+
+        assert_eq!(serving.epoch().epoch, 1, "reads survive shutdown");
+        assert!(serving.query(NodeId(0)).1.is_some());
+        assert!(matches!(
+            serving.ingest(&chain_events(1, 9)),
+            Err(ServeError::Closed)
+        ));
+        assert!(matches!(serving.flush(), Err(ServeError::Closed)));
+    }
+
+    #[test]
+    fn spawn_serves_pretrained_state_as_initial_epoch() {
+        let mut session = tiny_session(EpochPolicy::Manual);
+        session.ingest(&[
+            TimedEdge::new(NodeId(0), NodeId(1), 0),
+            TimedEdge::new(NodeId(1), NodeId(2), 0),
+            TimedEdge::new(NodeId(2), NodeId(3), 0),
+        ]);
+        session.flush().unwrap();
+        let serving = ServingSession::spawn(session, 16);
+        let epoch = serving.epoch();
+        assert_eq!(epoch.epoch, 1);
+        assert!(epoch.report.is_some());
+        assert!(epoch.embedding.get(NodeId(1)).is_some());
+    }
+
+    #[test]
+    fn stats_reflect_the_queue_and_epoch() {
+        let serving = ServingSession::spawn(tiny_session(EpochPolicy::Manual), 16);
+        serving.ingest(&chain_events(5, 0)).unwrap();
+        serving.flush().unwrap();
+        let stats = serving.stats();
+        assert_eq!(stats.epoch, 1);
+        assert_eq!(stats.dim, 8);
+        assert!(stats.nodes >= 6);
+        assert_eq!(stats.queue_capacity, 16);
+        assert_eq!(stats.events_accepted, 5);
+        assert_eq!(stats.queue_depth, 0, "flush drained the queue");
+    }
+}

@@ -1,0 +1,183 @@
+//! End-to-end smoke test over a real `TcpStream`: spawn the server,
+//! speak the wire protocol — ingest, flush, query, nearest, stats,
+//! errors — and shut it down cleanly.
+
+use glodyne::{EmbedderSession, EpochPolicy, GloDyNE, GloDyNEConfig};
+use glodyne_embed::walks::WalkConfig;
+use glodyne_embed::SgnsConfig;
+use glodyne_serve::json::Json;
+use glodyne_serve::{json, Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn tiny_session() -> EmbedderSession<GloDyNE> {
+    let cfg = GloDyNEConfig {
+        alpha: 0.5,
+        walk: WalkConfig {
+            walks_per_node: 2,
+            walk_length: 8,
+            seed: 3,
+        },
+        sgns: SgnsConfig {
+            dim: 8,
+            window: 2,
+            negatives: 2,
+            epochs: 1,
+            parallel: false,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    EmbedderSession::new(GloDyNE::new(cfg).unwrap(), EpochPolicy::Manual).unwrap()
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    /// Send one request line, read one response line, parse it.
+    fn round_trip(&mut self, request: &str) -> Json {
+        self.writer.write_all(request.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        self.writer.flush().unwrap();
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read response");
+        json::parse(line.trim_end()).unwrap_or_else(|e| panic!("bad response {line:?}: {e}"))
+    }
+}
+
+fn field_u64(v: &Json, key: &str) -> u64 {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("missing {key} in {v}"))
+}
+
+fn is_ok(v: &Json) -> bool {
+    v.get("ok") == Some(&Json::Bool(true))
+}
+
+#[test]
+fn full_wire_session() {
+    let server = Server::bind(tiny_session(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr);
+
+    // Fresh server: epoch 0, nothing embedded.
+    let stats = client.round_trip(r#"{"cmd":"stats"}"#);
+    assert!(is_ok(&stats), "{stats}");
+    assert_eq!(field_u64(&stats, "epoch"), 0);
+    assert_eq!(field_u64(&stats, "nodes"), 0);
+
+    // Queries against the empty epoch are structured not_found errors.
+    let miss = client.round_trip(r#"{"cmd":"query","node":0}"#);
+    assert!(!is_ok(&miss));
+    assert_eq!(miss.get("kind").and_then(Json::as_str), Some("not_found"));
+
+    // Ingest a path graph, commit it.
+    let ingest =
+        client.round_trip(r#"{"cmd":"ingest","edges":[[0,1,0],[1,2,0],[2,3,0],[3,4,0],[4,5,0]]}"#);
+    assert!(is_ok(&ingest), "{ingest}");
+    assert_eq!(field_u64(&ingest, "accepted"), 5);
+    let flush = client.round_trip(r#"{"cmd":"flush"}"#);
+    assert!(is_ok(&flush), "{flush}");
+    assert_eq!(flush.get("stepped"), Some(&Json::Bool(true)));
+    assert_eq!(field_u64(&flush, "epoch"), 1);
+
+    // Reads now answer from epoch 1.
+    let q = client.round_trip(r#"{"cmd":"query","node":2}"#);
+    assert!(is_ok(&q), "{q}");
+    assert_eq!(field_u64(&q, "epoch"), 1);
+    let vector = q.get("vector").and_then(Json::as_arr).unwrap();
+    assert_eq!(vector.len(), 8);
+
+    let near = client.round_trip(r#"{"cmd":"nearest","node":2,"k":3}"#);
+    assert!(is_ok(&near), "{near}");
+    let neighbours = near.get("neighbours").and_then(Json::as_arr).unwrap();
+    assert!(!neighbours.is_empty() && neighbours.len() <= 3);
+    for pair in neighbours {
+        let pair = pair.as_arr().unwrap();
+        assert_ne!(pair[0].as_u64(), Some(2), "self must be excluded");
+    }
+
+    // Malformed requests keep the connection alive with structured
+    // errors.
+    let bad = client.round_trip("{nope");
+    assert_eq!(bad.get("kind").and_then(Json::as_str), Some("bad_request"));
+    let bad = client.round_trip(r#"{"cmd":"ingest","edges":[[0]]}"#);
+    assert_eq!(bad.get("kind").and_then(Json::as_str), Some("bad_request"));
+
+    // An oversized line is refused and the stream resynchronises.
+    let huge = format!(
+        r#"{{"cmd":"query","pad":"{}","node":2}}"#,
+        "x".repeat(glodyne_serve::protocol::MAX_LINE_BYTES)
+    );
+    let too_large = client.round_trip(&huge);
+    assert_eq!(
+        too_large.get("kind").and_then(Json::as_str),
+        Some("too_large")
+    );
+    let q = client.round_trip(r#"{"cmd":"query","node":2}"#);
+    assert!(is_ok(&q), "connection must survive an oversized line: {q}");
+
+    // A second concurrent client sees the same epoch.
+    let mut other = Client::connect(addr);
+    let stats = other.round_trip(r#"{"cmd":"stats"}"#);
+    assert_eq!(field_u64(&stats, "epoch"), 1);
+    assert_eq!(field_u64(&stats, "events_accepted"), 5);
+
+    // Graceful shutdown: acknowledged, then the server exits.
+    let bye = client.round_trip(r#"{"cmd":"shutdown"}"#);
+    assert!(is_ok(&bye), "{bye}");
+    let served = server.join();
+    assert!(served >= 2, "two real connections were accepted");
+
+    // Connections made after shutdown are refused (the listener is
+    // closed once join returns).
+    assert!(TcpStream::connect(addr).is_err());
+}
+
+#[test]
+fn writes_after_shutdown_are_structured_errors() {
+    let server = Server::bind(tiny_session(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let mut a = Client::connect(addr);
+    let mut b = Client::connect(addr);
+    a.round_trip(r#"{"cmd":"ingest","edges":[[0,1,0],[1,2,0],[2,3,0]]}"#);
+    a.round_trip(r#"{"cmd":"flush"}"#);
+
+    // Client A shuts the server down; client B's connection stays open.
+    let bye = a.round_trip(r#"{"cmd":"shutdown"}"#);
+    assert!(is_ok(&bye));
+    let served = server.join();
+    assert_eq!(served, 2);
+
+    // B can still read from the final epoch, but writes are refused.
+    let q = b.round_trip(r#"{"cmd":"query","node":1}"#);
+    assert!(is_ok(&q), "reads survive shutdown: {q}");
+    assert_eq!(field_u64(&q, "epoch"), 1);
+    let ingest = b.round_trip(r#"{"cmd":"ingest","edges":[[7,8,1]]}"#);
+    assert_eq!(
+        ingest.get("kind").and_then(Json::as_str),
+        Some("shutting_down"),
+        "{ingest}"
+    );
+    let flush = b.round_trip(r#"{"cmd":"flush"}"#);
+    assert_eq!(
+        flush.get("kind").and_then(Json::as_str),
+        Some("shutting_down")
+    );
+}

@@ -1,0 +1,133 @@
+//! Property coverage for the wire parser: arbitrary byte soup,
+//! mutilated valid requests, truncations, and oversized payloads must
+//! all come back as structured errors — never a panic, never a hang.
+
+use glodyne_serve::protocol::{self, ErrorKind};
+use glodyne_serve::{json, Request};
+use proptest::prelude::*;
+
+/// A pool of valid request lines the mutation strategies start from.
+const VALID: &[&str] = &[
+    r#"{"cmd":"query","node":7}"#,
+    r#"{"cmd":"nearest","node":7,"k":3}"#,
+    r#"{"cmd":"ingest","edges":[[0,1,3],[1,2,4]]}"#,
+    r#"{"cmd":"ingest","events":[{"op":"add","u":0,"v":1,"t":1},{"op":"remove_node","node":9,"t":2}]}"#,
+    r#"{"cmd":"flush"}"#,
+    r#"{"cmd":"stats"}"#,
+    r#"{"cmd":"shutdown"}"#,
+];
+
+proptest! {
+    /// Arbitrary byte strings never panic the parser.
+    #[test]
+    fn random_strings_never_panic(bytes in prop::collection::vec(0u16..256, 0..200usize)) {
+        let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = protocol::parse_request(&text);
+    }
+
+    /// Truncating a valid request at any byte boundary yields a clean
+    /// bad_request (or, for a lucky prefix, a valid parse — never a
+    /// panic).
+    #[test]
+    fn truncations_are_structured_errors((which, cut) in (0usize..7, 0usize..100)) {
+        let line = VALID[which];
+        let cut = cut.min(line.len());
+        // Snap to a char boundary (these lines are ASCII, but stay safe).
+        let prefix = &line[..cut];
+        if let Err(e) = protocol::parse_request(prefix) {
+            prop_assert_eq!(e.kind, ErrorKind::BadRequest);
+            prop_assert!(!e.message.is_empty());
+        }
+    }
+
+    /// Flipping one byte of a valid request never panics, and any error
+    /// is structured.
+    #[test]
+    fn single_byte_mutations_never_panic(
+        (which, pos, byte) in (0usize..7, 0usize..100, 0u16..256)
+    ) {
+        let mut bytes = VALID[which].as_bytes().to_vec();
+        let pos = pos % bytes.len();
+        bytes[pos] = byte as u8;
+        let text = String::from_utf8_lossy(&bytes);
+        if let Err(e) = protocol::parse_request(&text) {
+            prop_assert_eq!(e.kind, ErrorKind::BadRequest);
+        }
+    }
+
+    /// Deeply nested / repeated structures are rejected, not stack-
+    /// overflowed.
+    #[test]
+    fn pathological_nesting_is_rejected(depth in 1usize..5000) {
+        let line = format!(
+            "{{\"cmd\":\"ingest\",\"edges\":{}1{}}}",
+            "[".repeat(depth),
+            "]".repeat(depth)
+        );
+        let r = protocol::parse_request(&line);
+        prop_assert!(r.is_err());
+    }
+
+    /// Every valid request round-trips through the parser, and its
+    /// response constructors emit parseable single-line JSON.
+    #[test]
+    fn valid_requests_parse(which in 0usize..7) {
+        let parsed = protocol::parse_request(VALID[which]);
+        prop_assert!(parsed.is_ok(), "{:?}", parsed);
+    }
+
+    /// Numbers at the edges of the node-id domain behave: in-range
+    /// parses, out-of-range is a structured error.
+    #[test]
+    fn node_id_domain_edges(node in 0u64..u32::MAX as u64 + 1000) {
+        let line = format!("{{\"cmd\":\"query\",\"node\":{node}}}");
+        match protocol::parse_request(&line) {
+            Ok(Request::Query { node: got }) => {
+                prop_assert!(node <= u32::MAX as u64);
+                prop_assert_eq!(got.0 as u64, node);
+            }
+            Ok(other) => prop_assert!(false, "unexpected parse {:?}", other),
+            Err(e) => {
+                prop_assert!(node > u32::MAX as u64, "{}", e);
+                prop_assert_eq!(e.kind, ErrorKind::BadRequest);
+            }
+        }
+    }
+
+    /// The JSON writer and parser agree on arbitrary generated values
+    /// (numbers limited to integers: float text round-tripping is
+    /// covered separately by the f32 unit tests).
+    #[test]
+    fn json_display_reparses(
+        (a, b, s) in (0u64..1_000_000, 0u64..100, prop::collection::vec(32u8..127, 0..20usize))
+    ) {
+        let s = String::from_utf8_lossy(&s).into_owned();
+        let v = json::Json::Obj(vec![
+            ("a".to_string(), json::Json::Num(a as f64)),
+            ("b".to_string(), json::Json::Arr(vec![json::Json::Num(b as f64)])),
+            ("s".to_string(), json::Json::Str(s)),
+            ("n".to_string(), json::Json::Null),
+            ("t".to_string(), json::Json::Bool(a % 2 == 0)),
+        ]);
+        let reparsed = json::parse(&v.to_string());
+        prop_assert_eq!(reparsed.as_ref(), Ok(&v), "{}", v);
+    }
+}
+
+/// An ingest body larger than the event cap is refused with a clear
+/// message (deterministic, so a plain test rather than a property).
+#[test]
+fn oversized_ingest_batch_is_refused() {
+    let mut line = String::from(r#"{"cmd":"ingest","edges":["#);
+    for i in 0..=protocol::MAX_INGEST_EVENTS {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push_str("[1,2]");
+    }
+    line.push_str("]}");
+    let err = protocol::parse_request(&line).unwrap_err();
+    assert_eq!(err.kind, ErrorKind::BadRequest);
+    assert!(err.message.contains("cap"), "{err}");
+}
