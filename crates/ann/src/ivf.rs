@@ -1,0 +1,455 @@
+//! The inverted-file index: flat per-cell posting lists over one
+//! epoch's embedding rows.
+
+use crate::kmeans;
+use glodyne_embed::embedding::{l2_norm, norm_cosine};
+use glodyne_embed::{ConfigError, Embedding, TopKSelector};
+use glodyne_graph::NodeId;
+use std::time::{Duration, Instant};
+
+/// Build-time parameters of an [`IvfIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IvfConfig {
+    /// Target number of coarse cells `c`. Clamped to the number of
+    /// indexed rows at build time (an epoch smaller than `c` simply
+    /// gets one row per cell).
+    pub cells: usize,
+    /// Lloyd iterations of the k-means quantiser.
+    pub kmeans_iters: usize,
+    /// Seed of the deterministic centroid initialisation.
+    pub seed: u64,
+}
+
+impl Default for IvfConfig {
+    fn default() -> Self {
+        IvfConfig {
+            cells: 64,
+            kmeans_iters: 8,
+            seed: 0,
+        }
+    }
+}
+
+impl IvfConfig {
+    /// Validate the parameters, following the workspace's fallible
+    /// config convention (reject degenerate values, never repair them
+    /// silently).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.cells < 1 {
+            return Err(ConfigError::new("cells", "must be >= 1"));
+        }
+        if self.kmeans_iters < 1 {
+            return Err(ConfigError::new("kmeans_iters", "must be >= 1"));
+        }
+        Ok(())
+    }
+}
+
+/// An immutable IVF index over one epoch's [`Embedding`].
+///
+/// Storage is fully flat, mirroring `WalkCorpus`: one row-major vector
+/// arena grouped by cell, a parallel node-id table, cached per-row L2
+/// norms, and a `cells + 1` offset table bounding each posting list.
+/// Building is O(iters·n·c·d); the index never mutates afterwards —
+/// the serving layer rebuilds it per committed epoch and publishes it
+/// behind the same `Arc` swap as the embedding itself.
+#[derive(Debug, Clone)]
+pub struct IvfIndex {
+    dim: usize,
+    config: IvfConfig,
+    /// `cells × dim` centroid matrix.
+    centroids: Vec<f32>,
+    /// Per-centroid L2 norms.
+    centroid_norms: Vec<f32>,
+    /// `cells + 1` offsets into `ids`/`norms` (and, scaled by `dim`,
+    /// into `vectors`): cell `j` owns rows `offsets[j]..offsets[j+1]`.
+    cell_offsets: Vec<u32>,
+    /// Node ids grouped by cell (insertion order within a cell).
+    ids: Vec<NodeId>,
+    /// Row-major vector arena, grouped like `ids`.
+    vectors: Vec<f32>,
+    /// Cached L2 norms, parallel to `ids`.
+    norms: Vec<f32>,
+    /// Wall-clock time [`IvfIndex::build`] took.
+    build_time: Duration,
+}
+
+impl IvfIndex {
+    /// Cluster `embedding`'s rows and lay out the posting lists. The
+    /// build is deterministic in `(embedding, config)`; degenerate
+    /// inputs (empty embedding, `cells > n`, zero or NaN rows) produce
+    /// a well-formed index rather than an error — searching them just
+    /// returns what the data supports.
+    pub fn build(embedding: &Embedding, config: &IvfConfig) -> IvfIndex {
+        let start = Instant::now();
+        let dim = embedding.dim();
+        let n = embedding.len();
+        if n == 0 {
+            return IvfIndex {
+                dim,
+                config: *config,
+                centroids: Vec::new(),
+                centroid_norms: Vec::new(),
+                cell_offsets: vec![0],
+                ids: Vec::new(),
+                vectors: Vec::new(),
+                norms: Vec::new(),
+                build_time: start.elapsed(),
+            };
+        }
+        let c = config.cells.clamp(1, n);
+
+        // Snapshot the rows in insertion order.
+        let mut row_ids = Vec::with_capacity(n);
+        let mut data = Vec::with_capacity(n * dim);
+        for (id, v) in embedding.iter() {
+            row_ids.push(id);
+            data.extend_from_slice(v);
+        }
+        let row_norms: Vec<f32> = (0..n)
+            .map(|i| l2_norm(&data[i * dim..(i + 1) * dim]))
+            .collect();
+
+        let clustering =
+            kmeans::cluster(&data, &row_norms, dim, c, config.kmeans_iters, config.seed);
+
+        // Counting sort into the flat per-cell arenas (stable, so rows
+        // keep their insertion order within a cell — deterministic).
+        let mut cell_offsets = vec![0u32; c + 1];
+        for &cell in &clustering.assignment {
+            cell_offsets[cell as usize + 1] += 1;
+        }
+        for j in 0..c {
+            cell_offsets[j + 1] += cell_offsets[j];
+        }
+        let mut cursor: Vec<u32> = cell_offsets[..c].to_vec();
+        let mut ids = vec![NodeId(0); n];
+        let mut vectors = vec![0.0f32; n * dim];
+        let mut norms = vec![0.0f32; n];
+        for (i, &cell) in clustering.assignment.iter().enumerate() {
+            let pos = cursor[cell as usize] as usize;
+            cursor[cell as usize] += 1;
+            ids[pos] = row_ids[i];
+            norms[pos] = row_norms[i];
+            vectors[pos * dim..(pos + 1) * dim].copy_from_slice(&data[i * dim..(i + 1) * dim]);
+        }
+
+        IvfIndex {
+            dim,
+            config: *config,
+            centroids: clustering.centroids,
+            centroid_norms: clustering.centroid_norms,
+            cell_offsets,
+            ids,
+            vectors,
+            norms,
+            build_time: start.elapsed(),
+        }
+    }
+
+    /// The `k` cosine-nearest indexed rows to `query`, probing the
+    /// `nprobe` cells whose centroids are most similar to the query
+    /// (`nprobe` is clamped to `[1, cells]`). `exclude` drops one node
+    /// id from the candidates — pass the probe node itself to match
+    /// `Embedding::top_k`'s self-exclusion.
+    ///
+    /// The similarity kernel (guarded cached-norm dot product) and the
+    /// merge order ([`rank_similarity`](glodyne_embed::rank_similarity)
+    /// through [`TopKSelector`]) are shared with the exact scan, so at
+    /// `nprobe = cells` the result is bit-exact with
+    /// `Embedding::top_k`. A `query` of the wrong dimensionality
+    /// returns empty instead of panicking (the serving read path must
+    /// never unwind).
+    pub fn search(
+        &self,
+        query: &[f32],
+        k: usize,
+        nprobe: usize,
+        exclude: Option<NodeId>,
+    ) -> Vec<(NodeId, f32)> {
+        if self.ids.is_empty() || k == 0 || query.len() != self.dim {
+            return Vec::new();
+        }
+        let qn = l2_norm(query);
+        let cells = self.cells();
+        let nprobe = self.effective_nprobe(nprobe);
+
+        // Rank cells by centroid similarity with the same bounded-heap
+        // primitive as the row merge (cell index riding in the NodeId
+        // slot; cells <= n so it always fits u32).
+        let mut cell_rank = TopKSelector::new(nprobe);
+        for j in 0..cells {
+            let sim = norm_cosine(
+                query,
+                qn,
+                &self.centroids[j * self.dim..(j + 1) * self.dim],
+                self.centroid_norms[j],
+            );
+            cell_rank.push((NodeId(j as u32), sim));
+        }
+
+        let mut select = TopKSelector::new(k);
+        for (cell, _) in cell_rank.into_sorted() {
+            let j = cell.0 as usize;
+            let lo = self.cell_offsets[j] as usize;
+            let hi = self.cell_offsets[j + 1] as usize;
+            for i in lo..hi {
+                let id = self.ids[i];
+                if exclude == Some(id) {
+                    continue;
+                }
+                let sim = norm_cosine(
+                    query,
+                    qn,
+                    &self.vectors[i * self.dim..(i + 1) * self.dim],
+                    self.norms[i],
+                );
+                select.push((id, sim));
+            }
+        }
+        select.into_sorted()
+    }
+
+    /// Embedding dimensionality the index was built over.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of indexed rows.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the index holds no rows (empty epoch).
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Effective number of coarse cells (the configured target clamped
+    /// to the row count; 0 for an empty index).
+    pub fn cells(&self) -> usize {
+        self.centroid_norms.len()
+    }
+
+    /// The probe width [`IvfIndex::search`] will actually use for a
+    /// requested `nprobe` — clamped into `[1, cells]`. The single home
+    /// of that clamp: every surface that *reports* a probe width (the
+    /// wire `nprobe` echo, the CLI output) derives it from here so it
+    /// can never diverge from what the scan did.
+    pub fn effective_nprobe(&self, nprobe: usize) -> usize {
+        nprobe.min(self.cells()).max(1)
+    }
+
+    /// The configuration the index was built with.
+    pub fn config(&self) -> &IvfConfig {
+        &self.config
+    }
+
+    /// Wall-clock time the build took — the per-epoch cost the serving
+    /// layer reports through `stats`.
+    pub fn build_time(&self) -> Duration {
+        self.build_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glodyne_embed::reference_top_k;
+
+    /// Deterministic pseudo-random embedding (SplitMix64-style mixing,
+    /// same recipe as the embed crate's bit-exactness test).
+    fn pseudo_random_embedding(n: u32, dim: usize, salt: u64) -> Embedding {
+        let mut e = Embedding::new(dim);
+        let mut state = 0x9e37_79b9_7f4a_7c15u64 ^ salt;
+        let mut next = move || {
+            state = state.wrapping_mul(0xd129_42e2_96fe_94e3).wrapping_add(1);
+            ((state >> 40) as f32) / 1e6 - 8.0
+        };
+        for i in 0..n {
+            let v: Vec<f32> = (0..dim).map(|_| next()).collect();
+            e.set(NodeId(i), &v);
+        }
+        e
+    }
+
+    fn assert_bit_exact(a: &[(NodeId, f32)], b: &[(NodeId, f32)]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.0, y.0);
+            assert_eq!(x.1.to_bits(), y.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_embedding_builds_and_searches_empty() {
+        let e = Embedding::new(4);
+        let ix = IvfIndex::build(&e, &IvfConfig::default());
+        assert!(ix.is_empty());
+        assert_eq!(ix.cells(), 0);
+        assert_eq!(ix.len(), 0);
+        assert!(ix.search(&[1.0, 0.0, 0.0, 0.0], 5, 3, None).is_empty());
+    }
+
+    #[test]
+    fn full_probe_is_bit_exact_with_the_linear_scan() {
+        let e = pseudo_random_embedding(80, 9, 42);
+        let cfg = IvfConfig {
+            cells: 7,
+            ..Default::default()
+        };
+        let ix = IvfIndex::build(&e, &cfg);
+        assert_eq!(ix.cells(), 7);
+        assert_eq!(ix.len(), 80);
+        for probe in [0u32, 13, 79] {
+            let node = NodeId(probe);
+            let q = e.get(node).unwrap();
+            let ann = ix.search(q, 12, ix.cells(), Some(node));
+            let exact = e.top_k(node, 12);
+            assert_bit_exact(&ann, &exact);
+            // ...which is itself pinned to the executable spec.
+            assert_bit_exact(&exact, &reference_top_k(&e, node, 12));
+        }
+    }
+
+    #[test]
+    fn single_cell_index_is_the_exact_scan() {
+        let e = pseudo_random_embedding(30, 5, 7);
+        let cfg = IvfConfig {
+            cells: 1,
+            ..Default::default()
+        };
+        let ix = IvfIndex::build(&e, &cfg);
+        assert_eq!(ix.cells(), 1);
+        let node = NodeId(11);
+        let ann = ix.search(e.get(node).unwrap(), 8, 1, Some(node));
+        assert_bit_exact(&ann, &e.top_k(node, 8));
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let e = pseudo_random_embedding(60, 6, 3);
+        let cfg = IvfConfig {
+            cells: 5,
+            seed: 99,
+            ..Default::default()
+        };
+        let a = IvfIndex::build(&e, &cfg);
+        let b = IvfIndex::build(&e, &cfg);
+        assert_eq!(a.cell_offsets, b.cell_offsets);
+        assert_eq!(a.ids, b.ids);
+        assert_eq!(
+            a.centroids.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            b.centroids.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        let q = e.get(NodeId(4)).unwrap();
+        assert_bit_exact(
+            &a.search(q, 10, 2, Some(NodeId(4))),
+            &b.search(q, 10, 2, Some(NodeId(4))),
+        );
+    }
+
+    #[test]
+    fn cells_clamp_to_population_and_k_clamps_to_candidates() {
+        let e = pseudo_random_embedding(4, 3, 1);
+        let cfg = IvfConfig {
+            cells: 64,
+            ..Default::default()
+        };
+        let ix = IvfIndex::build(&e, &cfg);
+        assert_eq!(ix.cells(), 4, "cells clamp to n");
+        let node = NodeId(0);
+        let hits = ix.search(e.get(node).unwrap(), 100, 64, Some(node));
+        assert_eq!(hits.len(), 3, "k > n returns every other row");
+        assert_bit_exact(&hits, &e.top_k(node, 100));
+    }
+
+    #[test]
+    fn degenerate_rows_never_panic_and_rank_last_on_full_probe() {
+        let mut e = pseudo_random_embedding(20, 4, 5);
+        e.set(NodeId(100), &[0.0; 4]); // zero vector
+        e.set(NodeId(101), &[f32::NAN, 1.0, 0.0, 0.0]); // NaN row
+        e.set(NodeId(102), &[f32::INFINITY, 0.0, 0.0, 0.0]); // inf row
+        let cfg = IvfConfig {
+            cells: 4,
+            ..Default::default()
+        };
+        let ix = IvfIndex::build(&e, &cfg);
+        let node = NodeId(3);
+        let ann = ix.search(e.get(node).unwrap(), 30, ix.cells(), Some(node));
+        assert_bit_exact(&ann, &e.top_k(node, 30));
+        // Both the NaN row and the inf row (inf/inf) score NaN and sink
+        // below every real similarity, mutual tie toward the smaller id.
+        let tail: Vec<NodeId> = ann[ann.len() - 2..].iter().map(|&(id, _)| id).collect();
+        assert_eq!(
+            tail,
+            vec![NodeId(101), NodeId(102)],
+            "NaN candidates sink last"
+        );
+        // Searching *from* degenerate vectors is also panic-free.
+        for probe in [NodeId(100), NodeId(101), NodeId(102)] {
+            let hits = ix.search(e.get(probe).unwrap(), 5, 2, Some(probe));
+            assert!(hits.len() <= 5);
+            assert!(hits.iter().all(|&(id, _)| id != probe));
+        }
+    }
+
+    #[test]
+    fn wrong_dimension_query_is_empty_not_a_panic() {
+        let e = pseudo_random_embedding(10, 4, 2);
+        let ix = IvfIndex::build(&e, &IvfConfig::default());
+        assert!(ix.search(&[1.0, 2.0], 3, 1, None).is_empty());
+    }
+
+    #[test]
+    fn clustered_data_recalls_its_cluster_at_low_nprobe() {
+        // Three tight, well-separated direction clusters: probing one
+        // cell out of three must already return same-cluster members.
+        let dim = 8;
+        let mut e = Embedding::new(dim);
+        let mut state = 11u64;
+        let mut jitter = move || {
+            state = state.wrapping_mul(0xd129_42e2_96fe_94e3).wrapping_add(1);
+            ((state >> 40) as f32) / 1e7 - 0.8
+        };
+        for i in 0..45u32 {
+            let axis = (i % 3) as usize;
+            let mut v = vec![0.0f32; dim];
+            for (d, x) in v.iter_mut().enumerate() {
+                *x = if d == axis { 10.0 } else { 0.0 } + jitter();
+            }
+            e.set(NodeId(i), &v);
+        }
+        let cfg = IvfConfig {
+            cells: 3,
+            kmeans_iters: 10,
+            seed: 4,
+        };
+        let ix = IvfIndex::build(&e, &cfg);
+        let node = NodeId(0); // cluster: ids ≡ 0 (mod 3)
+        let hits = ix.search(e.get(node).unwrap(), 10, 1, Some(node));
+        assert_eq!(hits.len(), 10);
+        assert!(
+            hits.iter().all(|&(id, _)| id.0 % 3 == 0),
+            "one probed cell must be the probe's own cluster: {hits:?}"
+        );
+        let exact: Vec<NodeId> = e.top_k(node, 10).iter().map(|&(id, _)| id).collect();
+        let got: Vec<NodeId> = hits.iter().map(|&(id, _)| id).collect();
+        assert_eq!(got, exact, "recall@10 = 1 on separable clusters");
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerates() {
+        assert!(IvfConfig::default().validate().is_ok());
+        let bad = IvfConfig {
+            cells: 0,
+            ..Default::default()
+        };
+        assert_eq!(bad.validate().unwrap_err().param(), "cells");
+        let bad = IvfConfig {
+            kmeans_iters: 0,
+            ..Default::default()
+        };
+        assert_eq!(bad.validate().unwrap_err().param(), "kmeans_iters");
+    }
+}

@@ -1,0 +1,157 @@
+//! Deterministic spherical k-means: the coarse quantiser behind
+//! [`IvfIndex`](crate::IvfIndex).
+//!
+//! Rows are assigned to the centroid of highest cosine similarity (the
+//! same guarded kernel the search path uses), centroids are the
+//! arithmetic mean of their members, and everything — including the
+//! initial centroid draw — is seeded through SplitMix64, so a given
+//! `(embedding, config)` pair always produces the same clustering.
+
+// The RNG and the similarity kernel are *shared* with `glodyne_embed`
+// — not re-implemented — so the determinism conventions and the
+// bit-exactness contract have a single home.
+use glodyne_embed::embedding::{l2_norm, norm_cosine};
+use glodyne_embed::walks::splitmix64_next;
+
+/// The result of one clustering run over `n` rows.
+pub(crate) struct Clustering {
+    /// `c × dim` centroid matrix, row-major.
+    pub centroids: Vec<f32>,
+    /// Per-centroid L2 norms, parallel to `centroids` rows.
+    pub centroid_norms: Vec<f32>,
+    /// Cell of each input row (`n` entries, each `< c`).
+    pub assignment: Vec<u32>,
+}
+
+/// Cluster `n = norms.len()` rows of width `dim` (flat in `data`) into
+/// `c` cells with `iters` Lloyd iterations. `1 <= c <= n` is the
+/// caller's contract ([`IvfIndex::build`](crate::IvfIndex::build)
+/// clamps).
+pub(crate) fn cluster(
+    data: &[f32],
+    norms: &[f32],
+    dim: usize,
+    c: usize,
+    iters: usize,
+    seed: u64,
+) -> Clustering {
+    let n = norms.len();
+    debug_assert!(c >= 1 && c <= n);
+    debug_assert_eq!(data.len(), n * dim);
+
+    let mut centroids = init_centroids(data, norms, dim, c, seed);
+    let mut centroid_norms: Vec<f32> = (0..c)
+        .map(|j| l2_norm(&centroids[j * dim..(j + 1) * dim]))
+        .collect();
+    let mut assignment = vec![0u32; n];
+
+    for _ in 0..iters {
+        assign(
+            data,
+            norms,
+            dim,
+            &centroids,
+            &centroid_norms,
+            &mut assignment,
+        );
+        // Recompute each centroid as the mean of its finite members;
+        // a cell that lost all members (or holds only non-finite rows)
+        // keeps its previous centroid rather than collapsing to zero.
+        let mut sums = vec![0.0f32; c * dim];
+        let mut counts = vec![0u32; c];
+        for (i, &cell) in assignment.iter().enumerate() {
+            if !norms[i].is_finite() {
+                continue; // NaN/inf rows must not poison a centroid
+            }
+            let row = &data[i * dim..(i + 1) * dim];
+            let acc = &mut sums[cell as usize * dim..(cell as usize + 1) * dim];
+            for (a, &x) in acc.iter_mut().zip(row) {
+                *a += x;
+            }
+            counts[cell as usize] += 1;
+        }
+        for j in 0..c {
+            if counts[j] == 0 {
+                continue;
+            }
+            let inv = 1.0 / counts[j] as f32;
+            let dst = &mut centroids[j * dim..(j + 1) * dim];
+            let src = &sums[j * dim..(j + 1) * dim];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = s * inv;
+            }
+            centroid_norms[j] = l2_norm(dst);
+        }
+    }
+    // Final assignment against the final centroids.
+    assign(
+        data,
+        norms,
+        dim,
+        &centroids,
+        &centroid_norms,
+        &mut assignment,
+    );
+    Clustering {
+        centroids,
+        centroid_norms,
+        assignment,
+    }
+}
+
+/// Draw `c` distinct seed rows, preferring rows with a finite norm when
+/// enough exist (a NaN seed centroid would attract nothing and waste a
+/// cell).
+fn init_centroids(data: &[f32], norms: &[f32], dim: usize, c: usize, seed: u64) -> Vec<f32> {
+    let n = norms.len();
+    let finite = norms.iter().filter(|n| n.is_finite()).count();
+    let finite_only = finite >= c;
+    let mut state = seed;
+    let mut chosen = vec![false; n];
+    let mut centroids = Vec::with_capacity(c * dim);
+    let mut picked = 0;
+    while picked < c {
+        let i = (splitmix64_next(&mut state) % n as u64) as usize;
+        if chosen[i] || (finite_only && !norms[i].is_finite()) {
+            continue;
+        }
+        chosen[i] = true;
+        centroids.extend_from_slice(&data[i * dim..(i + 1) * dim]);
+        picked += 1;
+    }
+    centroids
+}
+
+/// One assignment pass: each row goes to the centroid of highest
+/// guarded cosine similarity, ties (and all-NaN rows) toward the
+/// smallest centroid index — fully deterministic.
+fn assign(
+    data: &[f32],
+    norms: &[f32],
+    dim: usize,
+    centroids: &[f32],
+    centroid_norms: &[f32],
+    assignment: &mut [u32],
+) {
+    let c = centroid_norms.len();
+    for (i, slot) in assignment.iter_mut().enumerate() {
+        let row = &data[i * dim..(i + 1) * dim];
+        let rn = norms[i];
+        let mut best = 0u32;
+        let mut best_sim = f32::NEG_INFINITY;
+        for j in 0..c {
+            let sim = norm_cosine(
+                row,
+                rn,
+                &centroids[j * dim..(j + 1) * dim],
+                centroid_norms[j],
+            );
+            // A NaN similarity is never `>`, so NaN rows stay at cell 0.
+            if sim > best_sim {
+                best_sim = sim;
+                best = j as u32;
+            }
+        }
+        *slot = best;
+    }
+}

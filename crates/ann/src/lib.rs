@@ -1,0 +1,40 @@
+//! `glodyne-ann`: approximate nearest-neighbour search over an epoch's
+//! embeddings.
+//!
+//! The serving layer answers every `nearest` with an exhaustive
+//! O(n·d) scan of the frozen epoch. That is the right default for
+//! correctness, but the epoch is *immutable* between training steps —
+//! so query work can be amortised: build an index once per committed
+//! step, publish it alongside the embedding, and answer each query
+//! from the index instead of the full matrix.
+//!
+//! [`IvfIndex`] is that index — an inverted file in the spirit of
+//! Faiss-style coarse quantisation:
+//!
+//! - **Build** (once per epoch): spherical k-means clusters the
+//!   embedding rows into `c` coarse cells. Both the clustering and its
+//!   initialisation are seeded and deterministic (SplitMix64, the same
+//!   RNG conventions as `glodyne_embed`'s walk engine), so the same
+//!   epoch always yields the same index.
+//! - **Storage**: per-cell posting lists laid out contiguously — one
+//!   row-major `f32` vector arena plus a parallel node-id table and
+//!   cached L2 norms, grouped by cell. The same flat, offset-indexed
+//!   layout philosophy as `glodyne_embed::WalkCorpus`.
+//! - **Search**: rank cells by centroid cosine similarity, scan the
+//!   posting lists of the `nprobe` best cells with the cached-norm dot
+//!   product, and merge candidates through the bounded
+//!   [`TopKSelector`](glodyne_embed::TopKSelector) heap under the
+//!   workspace-wide [`rank_similarity`](glodyne_embed::rank_similarity)
+//!   order. Query cost drops from O(n·d) to O((c + n·nprobe/c)·d) in
+//!   the balanced case.
+//!
+//! At `nprobe = c` every cell is probed, the candidate set is the whole
+//! epoch, and — because the similarity kernel is shared bit-for-bit
+//! with `Embedding::top_k` — the result is *identical* to the exact
+//! scan, not merely close.
+
+pub mod ivf;
+
+mod kmeans;
+
+pub use ivf::{IvfConfig, IvfIndex};

@@ -1,0 +1,189 @@
+//! `nearest` micro-benchmark: the exact heap-select scan
+//! (`Embedding::top_k`) against the IVF index (`glodyne-ann`), on
+//! embedding-shaped data — a mixture of Gaussian direction clusters,
+//! which is what trained graph embeddings look like (communities).
+//!
+//! Emits one machine-readable JSON file (default `BENCH_nearest.json`)
+//! with queries/sec for both paths, the ANN speedup, recall@10 against
+//! the exact scan, and the per-epoch index build cost. This seeds the
+//! serving-path benchmark trajectory the same way `micro.rs` seeds the
+//! training-path one.
+//!
+//! ```text
+//! cargo run --release -p glodyne-bench --bin bench_nearest
+//! cargo run --release -p glodyne-bench --bin bench_nearest -- \
+//!     --sizes 1000,10000 --dim 128 --queries 200 --out BENCH_nearest.json
+//! ```
+
+use glodyne_ann::{IvfConfig, IvfIndex};
+use glodyne_bench::args::Args;
+use glodyne_embed::walks::splitmix64_next;
+use glodyne_embed::Embedding;
+use glodyne_graph::NodeId;
+use std::time::Instant;
+
+const K: usize = 10;
+
+/// SplitMix64 stream over the workspace's shared generator.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next_u64(&mut self) -> u64 {
+        splitmix64_next(&mut self.0)
+    }
+
+    fn uniform(&mut self) -> f64 {
+        // 53 mantissa bits -> (0, 1).
+        ((self.next_u64() >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+    }
+
+    /// Standard normal via Box-Muller.
+    fn gaussian(&mut self) -> f32 {
+        let u1 = self.uniform();
+        let u2 = self.uniform();
+        ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+    }
+}
+
+/// `n` rows of dimension `dim` drawn around `clusters` Gaussian centres
+/// (centre components ~ N(0,1), within-cluster noise sd 0.25) — tight
+/// direction clusters, like the communities a trained embedding forms.
+fn clustered_embedding(n: usize, dim: usize, clusters: usize, seed: u64) -> Embedding {
+    let mut rng = SplitMix(seed);
+    let centres: Vec<f32> = (0..clusters * dim).map(|_| rng.gaussian()).collect();
+    let mut emb = Embedding::new(dim);
+    let mut row = vec![0.0f32; dim];
+    for i in 0..n {
+        let centre = &centres[(i % clusters) * dim..(i % clusters + 1) * dim];
+        for (x, &c) in row.iter_mut().zip(centre) {
+            *x = c + 0.25 * rng.gaussian();
+        }
+        emb.set(NodeId(i as u32), &row);
+    }
+    emb
+}
+
+struct SizeResult {
+    n: usize,
+    cells: usize,
+    nprobe: usize,
+    build_ms: f64,
+    exact_qps: f64,
+    ann_qps: f64,
+    speedup: f64,
+    recall_at_10: f64,
+}
+
+fn bench_one(n: usize, dim: usize, clusters: usize, queries: usize, seed: u64) -> SizeResult {
+    let emb = clustered_embedding(n, dim, clusters, seed);
+    // √n coarse cells, probing ~a tenth of them (at least 4): the
+    // classical IVF operating point.
+    let cells = (n as f64).sqrt().round() as usize;
+    let nprobe = (cells / 10).max(4);
+    let probes: Vec<NodeId> = (0..queries)
+        .map(|i| NodeId(((i * 37) % n) as u32))
+        .collect();
+
+    let start = Instant::now();
+    let exact: Vec<Vec<(NodeId, f32)>> = probes.iter().map(|&p| emb.top_k(p, K)).collect();
+    let exact_secs = start.elapsed().as_secs_f64();
+
+    let cfg = IvfConfig {
+        cells,
+        seed,
+        ..Default::default()
+    };
+    let start = Instant::now();
+    let index = IvfIndex::build(&emb, &cfg);
+    let build_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let start = Instant::now();
+    let ann: Vec<Vec<(NodeId, f32)>> = probes
+        .iter()
+        .map(|&p| index.search(emb.get(p).unwrap(), K, nprobe, Some(p)))
+        .collect();
+    let ann_secs = start.elapsed().as_secs_f64();
+
+    let mut overlap = 0usize;
+    let mut expected = 0usize;
+    for (e, a) in exact.iter().zip(&ann) {
+        expected += e.len();
+        overlap += e
+            .iter()
+            .filter(|(id, _)| a.iter().any(|(aid, _)| aid == id))
+            .count();
+    }
+
+    SizeResult {
+        n,
+        cells,
+        nprobe,
+        build_ms,
+        exact_qps: queries as f64 / exact_secs,
+        ann_qps: queries as f64 / ann_secs,
+        speedup: exact_secs / ann_secs,
+        recall_at_10: overlap as f64 / expected.max(1) as f64,
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let dim: usize = args.get("dim", 128);
+    let clusters: usize = args.get("clusters", 64);
+    let queries: usize = args.get("queries", 200);
+    let seed: u64 = args.get("seed", 0);
+    let out = args.get("out", "BENCH_nearest.json".to_string());
+    let raw_sizes = args.get("sizes", "1000,10000".to_string());
+    let sizes: Vec<usize> = raw_sizes
+        .split(',')
+        .map(|s| s.trim().parse().unwrap_or(0))
+        .collect();
+    // Reject degenerate parameters with a message instead of panicking
+    // on a modulo-by-zero mid-run.
+    if dim == 0 || clusters == 0 || queries == 0 || sizes.contains(&0) {
+        eprintln!(
+            "bench_nearest: --dim, --clusters, --queries, and every --sizes entry \
+             must be positive integers (got dim={dim} clusters={clusters} \
+             queries={queries} sizes={raw_sizes})"
+        );
+        std::process::exit(2);
+    }
+
+    let mut results = Vec::new();
+    for &n in &sizes {
+        let r = bench_one(n, dim, clusters, queries, seed);
+        println!(
+            "n={:>6}  cells={:>4} nprobe={:>3}  exact={:>9.0} q/s  ann={:>9.0} q/s  \
+             speedup={:>5.2}x  recall@10={:.4}  build={:.1}ms",
+            r.n, r.cells, r.nprobe, r.exact_qps, r.ann_qps, r.speedup, r.recall_at_10, r.build_ms
+        );
+        results.push(r);
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"nearest\",\n");
+    json.push_str(&format!("  \"dim\": {dim},\n  \"k\": {K},\n"));
+    json.push_str(&format!(
+        "  \"clusters\": {clusters},\n  \"queries\": {queries},\n  \"seed\": {seed},\n"
+    ));
+    json.push_str("  \"sizes\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"cells\": {}, \"nprobe\": {}, \"build_ms\": {:.2}, \
+             \"exact_qps\": {:.1}, \"ann_qps\": {:.1}, \"speedup\": {:.2}, \
+             \"recall_at_10\": {:.4}}}{}\n",
+            r.n,
+            r.cells,
+            r.nprobe,
+            r.build_ms,
+            r.exact_qps,
+            r.ann_qps,
+            r.speedup,
+            r.recall_at_10,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("wrote {out}");
+}

@@ -2,7 +2,7 @@
 
 use crate::opts::Opts;
 use crate::CliError;
-use glodyne::{EmbedderSession, EpochPolicy, GloDyNE, GloDyNEConfig, StepReport};
+use glodyne::{EmbedderSession, EpochPolicy, GloDyNE, GloDyNEConfig, IvfConfig, StepReport};
 use glodyne_embed::persist;
 use glodyne_embed::traits::{run_over_reports, step_with, DynamicEmbedder};
 use glodyne_embed::walks::WalkConfig;
@@ -11,7 +11,7 @@ use glodyne_graph::id::TimedEdge;
 use glodyne_graph::io::read_edge_stream;
 use glodyne_graph::{DynamicNetwork, NodeId};
 use glodyne_partition::{partition, PartitionConfig};
-use glodyne_serve::{ServeError, Server, ServerConfig};
+use glodyne_serve::{AnnSettings, ServeError, Server, ServerConfig};
 use glodyne_tasks::gr::mean_precision_at_k;
 use glodyne_tasks::lp::{build_test_set, link_prediction_auc};
 use std::fs::File;
@@ -131,6 +131,25 @@ pub fn embed(opts: &Opts) -> Result<String, CliError> {
     Ok(report)
 }
 
+/// Shared `--ann`/`--cells`/`--nprobe` parsing for `stream` and
+/// `serve`: `None` unless `--ann` is given; the IVF seed rides the
+/// shared `--seed`.
+fn parse_ann(opts: &Opts) -> Result<Option<AnnSettings>, CliError> {
+    if !opts.get("ann", false) {
+        return Ok(None);
+    }
+    let settings = AnnSettings {
+        config: IvfConfig {
+            cells: opts.get("cells", 64usize),
+            seed: opts.get("seed", 0u64),
+            ..Default::default()
+        },
+        default_nprobe: opts.get("nprobe", 8usize),
+    };
+    settings.validate().map_err(CliError::Config)?;
+    Ok(Some(settings))
+}
+
 /// Shared `--policy` parsing for `stream` and `serve`.
 fn parse_policy(opts: &Opts) -> Result<EpochPolicy, CliError> {
     match opts.get_str("policy", "timestamp") {
@@ -151,6 +170,7 @@ pub fn stream(opts: &Opts) -> Result<String, CliError> {
     events.sort_by_key(|te| te.time);
 
     let policy = parse_policy(opts)?;
+    let ann = parse_ann(opts)?;
     let model = GloDyNE::new(glodyne_config(opts)?)?;
     let mut session = EmbedderSession::new(model, policy)?;
 
@@ -182,10 +202,28 @@ pub fn stream(opts: &Opts) -> Result<String, CliError> {
         let node = NodeId(query);
         match session.query(node) {
             None => out.push_str(&format!("node {query}: no embedding\n")),
-            Some(_) => {
-                out.push_str(&format!("nearest neighbours of {query}:\n"));
+            Some(vector) => {
+                out.push_str(&format!("nearest neighbours of {query} (exact):\n"));
                 for (id, sim) in session.nearest(node, k) {
                     out.push_str(&format!("  {:>10}  cos={sim:.4}\n", id.0));
+                }
+                if let Some(settings) = &ann {
+                    // One index build over the final embedding — the
+                    // per-step rebuilds of `EmbedderSession::with_ann`
+                    // only pay off when queries interleave with steps
+                    // (the serving layer), not for one query at EOF.
+                    let index = glodyne::IvfIndex::build(session.embedding(), &settings.config);
+                    // Report the effective probe width, matching the
+                    // serve path's contract.
+                    let nprobe = index.effective_nprobe(settings.default_nprobe);
+                    let hits = index.search(vector, k, nprobe, Some(node));
+                    out.push_str(&format!(
+                        "nearest neighbours of {query} (ann, cells={} nprobe={nprobe}):\n",
+                        index.cells()
+                    ));
+                    for (id, sim) in hits {
+                        out.push_str(&format!("  {:>10}  cos={sim:.4}\n", id.0));
+                    }
                 }
             }
         }
@@ -201,9 +239,11 @@ pub fn stream(opts: &Opts) -> Result<String, CliError> {
 pub fn start_server(opts: &Opts) -> Result<(Server, String), CliError> {
     let bind = opts.get_str("bind", "127.0.0.1:7878");
     let policy = parse_policy(opts)?;
+    let ann = parse_ann(opts)?;
     let cfg = ServerConfig {
         max_connections: opts.get("threads", 64usize).max(1),
         queue_capacity: opts.get("queue", 1024usize).max(1),
+        ann,
         ..ServerConfig::default()
     };
     let model = GloDyNE::new(glodyne_config(opts)?)?;
@@ -232,6 +272,13 @@ pub fn start_server(opts: &Opts) -> Result<(Server, String), CliError> {
         },
         other => CliError::Usage(other.to_string()),
     })?;
+    if let Some(settings) = &ann {
+        preamble.push_str(&format!(
+            "ann: ivf index per epoch (cells={} nprobe={}; \
+             request with {{\"cmd\":\"nearest\",...,\"mode\":\"ann\"}})\n",
+            settings.config.cells, settings.default_nprobe
+        ));
+    }
     preamble.push_str(&format!(
         "serving on {} (line-delimited JSON; send {{\"cmd\":\"shutdown\"}} to stop)\n",
         server.local_addr()
@@ -447,7 +494,8 @@ mod tests {
         let out = stream(&opts).unwrap();
         assert!(out.contains("t=0"), "{out}");
         assert!(out.contains("steps"), "{out}");
-        assert!(out.contains("nearest neighbours of 0"), "{out}");
+        assert!(out.contains("nearest neighbours of 0 (exact)"), "{out}");
+        assert!(!out.contains("(ann,"), "no ann block without --ann: {out}");
 
         let bad = Opts::parse(&[
             "--input".into(),
@@ -456,6 +504,46 @@ mod tests {
             "hourly".into(),
         ]);
         assert!(matches!(stream(&bad), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn stream_command_with_ann() {
+        let input = write_fixture("glodyne_cli_stream_ann");
+        let mut args = vec![
+            "--input".into(),
+            input.display().to_string(),
+            "--policy".into(),
+            "manual".into(),
+            "--dim".into(),
+            "8".into(),
+            "--walks".into(),
+            "2".into(),
+            "--walk-length".into(),
+            "8".into(),
+            "--epochs".into(),
+            "1".into(),
+            "--query".into(),
+            "0".into(),
+            "--top-k".into(),
+            "3".into(),
+            "--ann".into(),
+            "--cells".into(),
+            "4".into(),
+            "--nprobe".into(),
+            "4".into(),
+        ];
+        let out = stream(&Opts::parse(&args)).unwrap();
+        assert!(out.contains("nearest neighbours of 0 (exact)"), "{out}");
+        assert!(
+            out.contains("nearest neighbours of 0 (ann, cells=4 nprobe=4)"),
+            "{out}"
+        );
+
+        // Degenerate ANN parameters surface as config errors.
+        args.extend(["--cells".into(), "0".into()]);
+        let err = stream(&Opts::parse(&args)).unwrap_err();
+        assert!(matches!(err, CliError::Config(_)), "{err}");
+        assert!(err.to_string().contains("cells"), "{err}");
     }
 
     #[test]
@@ -511,6 +599,66 @@ mod tests {
             "yearly".into(),
         ]);
         assert!(matches!(start_server(&bad), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn serve_command_with_ann() {
+        use std::io::{BufRead, BufReader, Write};
+        let input = write_fixture("glodyne_cli_serve_ann");
+        let opts = Opts::parse(&[
+            "--bind".into(),
+            "127.0.0.1:0".into(),
+            "--input".into(),
+            input.display().to_string(),
+            "--policy".into(),
+            "manual".into(),
+            "--dim".into(),
+            "8".into(),
+            "--walks".into(),
+            "2".into(),
+            "--walk-length".into(),
+            "8".into(),
+            "--epochs".into(),
+            "1".into(),
+            "--ann".into(),
+            "--cells".into(),
+            "4".into(),
+            "--nprobe".into(),
+            "2".into(),
+        ]);
+        let (server, preamble) = start_server(&opts).unwrap();
+        assert!(preamble.contains("cells=4 nprobe=2"), "{preamble}");
+
+        let stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut round_trip = move |req: &str| {
+            let mut w = stream.try_clone().unwrap();
+            w.write_all(req.as_bytes()).unwrap();
+            w.write_all(b"\n").unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            line
+        };
+        let near = round_trip(r#"{"cmd":"nearest","node":0,"k":3,"mode":"ann"}"#);
+        assert!(near.contains("\"mode\":\"ann\""), "{near}");
+        assert!(near.contains("\"nprobe\":2"), "{near}");
+        let stats = round_trip(r#"{"cmd":"stats"}"#);
+        assert!(stats.contains("\"cells\":4"), "{stats}");
+        round_trip(r#"{"cmd":"shutdown"}"#);
+        server.join();
+
+        // --ann with a bad nprobe is a config error.
+        let bad = Opts::parse(&[
+            "--bind".into(),
+            "127.0.0.1:0".into(),
+            "--ann".into(),
+            "--nprobe".into(),
+            "0".into(),
+        ]);
+        match start_server(&bad) {
+            Err(err) => assert!(matches!(err, CliError::Config(_)), "{err}"),
+            Ok(_) => panic!("nprobe = 0 must be rejected"),
+        }
     }
 
     #[test]

@@ -108,9 +108,11 @@ USAGE:
                     [--window 10] [--negatives 5] [--epochs 2] [--seed 0]
   glodyne stream    --input <edges.txt> [--policy timestamp|every-n|manual]
                     [--every 1000] [--query <node>] [--top-k 10]
+                    [--ann] [--cells 64] [--nprobe 8]
                     [--alpha 0.1] [--dim 128] [--seed 0]
   glodyne serve     [--bind 127.0.0.1:7878] [--threads 64] [--queue 1024]
                     [--policy timestamp|every-n|manual] [--every 1000]
+                    [--ann] [--cells 64] [--nprobe 8]
                     [--input <edges.txt>] [--alpha 0.1] [--dim 128] [--seed 0]
   glodyne partition --input <edges.txt> [--k 8] [--epsilon 0.1] [--seed 0]
   glodyne evaluate  --input <edges.txt> [--snapshots 10] [--alpha 0.1]
@@ -126,6 +128,9 @@ Input: one `u v [timestamp]` edge per line; # and % comments ignored.
   an immutable epoch snapshot and never wait on training. --threads
   bounds concurrent connections, --queue bounds the ingest backlog,
   --input optionally warm-starts the session from an edge file.
+With --ann, `stream` and `serve` additionally build an IVF index over
+  each committed epoch (--cells coarse cells, --nprobe probe default);
+  `serve` then accepts nearest requests with \"mode\":\"ann\".
 `partition` prints `node part` lines for the final snapshot.
 `evaluate` reports graph-reconstruction MeanP@k and link-prediction AUC.
 "

@@ -67,6 +67,7 @@ pub mod select;
 pub mod session;
 pub mod variants;
 
+pub use glodyne_ann::{IvfConfig, IvfIndex};
 pub use glodyne_embed::config::ConfigError;
 pub use glodyne_embed::traits::{PhaseTimes, StepContext, StepReport};
 pub use model::{GloDyNE, GloDyNEConfig, GloDyNEConfigBuilder};

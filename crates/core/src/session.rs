@@ -12,6 +12,7 @@
 //! first committed snapshot is the offline stage (`prev = None`), every
 //! later commit is an online step with the precomputed diff.
 
+use glodyne_ann::{IvfConfig, IvfIndex};
 use glodyne_embed::config::ConfigError;
 use glodyne_embed::traits::{DynamicEmbedder, StepContext, StepReport};
 use glodyne_embed::Embedding;
@@ -64,6 +65,16 @@ pub struct EmbedderSession<E: DynamicEmbedder> {
     /// Highest timestamp seen so far (a running max, so an out-of-order
     /// straggler can't drag the epoch clock backwards).
     current_time: Option<u64>,
+    /// Optional approximate-search state; see
+    /// [`EmbedderSession::with_ann`].
+    ann: Option<AnnState>,
+}
+
+/// ANN configuration plus the index over the latest committed
+/// embedding (absent until the first step commits).
+struct AnnState {
+    config: IvfConfig,
+    index: Option<IvfIndex>,
 }
 
 impl<E: DynamicEmbedder> EmbedderSession<E> {
@@ -92,6 +103,7 @@ impl<E: DynamicEmbedder> EmbedderSession<E> {
             reports: Vec::new(),
             pending: 0,
             current_time: None,
+            ann: None,
         })
     }
 
@@ -100,6 +112,21 @@ impl<E: DynamicEmbedder> EmbedderSession<E> {
     pub fn keep_full_graph(mut self) -> Self {
         self.lcc_only = false;
         self
+    }
+
+    /// Maintain an [`IvfIndex`] over the live embedding, rebuilt after
+    /// every committed step, and answer
+    /// [`nearest_approx`](EmbedderSession::nearest_approx) from it.
+    /// The exact [`nearest`](EmbedderSession::nearest) path is
+    /// untouched. Rejects an invalid `config` like every other
+    /// constructor in this workspace.
+    pub fn with_ann(mut self, config: IvfConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        self.ann = Some(AnnState {
+            config,
+            index: None,
+        });
+        Ok(self)
     }
 
     /// Apply one event; returns `true` if it triggered an embedding
@@ -159,6 +186,9 @@ impl<E: DynamicEmbedder> EmbedderSession<E> {
             }
         };
         self.latest = self.embedder.embedding();
+        if let Some(ann) = &mut self.ann {
+            ann.index = Some(IvfIndex::build(&self.latest, &ann.config));
+        }
         self.prev = Some(snap);
         self.pending = 0;
         self.reports.push(report);
@@ -173,6 +203,31 @@ impl<E: DynamicEmbedder> EmbedderSession<E> {
     /// The `k` cosine-nearest embedded neighbours of `node`.
     pub fn nearest(&self, node: NodeId, k: usize) -> Vec<(NodeId, f32)> {
         self.latest.top_k(node, k)
+    }
+
+    /// Approximate `k` nearest neighbours of `node` from the session's
+    /// [`IvfIndex`], probing `nprobe` coarse cells. `None` when ANN was
+    /// not enabled ([`EmbedderSession::with_ann`]); empty before the
+    /// first committed step or for a node with no embedding. At
+    /// `nprobe >= cells` this is bit-exact with
+    /// [`nearest`](EmbedderSession::nearest).
+    pub fn nearest_approx(
+        &self,
+        node: NodeId,
+        k: usize,
+        nprobe: usize,
+    ) -> Option<Vec<(NodeId, f32)>> {
+        let ann = self.ann.as_ref()?;
+        Some(match (&ann.index, self.latest.get(node)) {
+            (Some(index), Some(query)) => index.search(query, k, nprobe, Some(node)),
+            _ => Vec::new(),
+        })
+    }
+
+    /// The ANN index over the latest committed embedding, when enabled
+    /// and at least one step has committed.
+    pub fn ann_index(&self) -> Option<&IvfIndex> {
+        self.ann.as_ref()?.index.as_ref()
     }
 
     /// The live embedding (as of the last committed step).
@@ -364,6 +419,60 @@ mod tests {
             assert_eq!(a.1.to_bits(), b.1.to_bits());
         }
         assert!(near.iter().all(|&(id, _)| id != NodeId(2)), "self excluded");
+    }
+
+    #[test]
+    fn ann_session_full_probe_matches_exact_nearest() {
+        let cfg = IvfConfig {
+            cells: 4,
+            ..Default::default()
+        };
+        let mut s = EmbedderSession::new(tiny_model(), EpochPolicy::Manual)
+            .unwrap()
+            .with_ann(cfg)
+            .unwrap();
+        assert!(s.ann_index().is_none(), "no index before the first step");
+        assert_eq!(
+            s.nearest_approx(NodeId(0), 3, 4),
+            Some(Vec::new()),
+            "enabled but nothing committed yet"
+        );
+        s.ingest(&chain(&[0, 0, 0, 0, 0, 0, 0]));
+        s.flush().unwrap();
+        let index = s.ann_index().expect("index rebuilt at flush");
+        assert_eq!(index.len(), s.embedding().len());
+        let cells = index.cells();
+        let approx = s.nearest_approx(NodeId(2), 5, cells).unwrap();
+        let exact = s.nearest(NodeId(2), 5);
+        assert_eq!(approx.len(), exact.len());
+        for (a, b) in approx.iter().zip(&exact) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+        // Low nprobe still returns well-formed, self-excluded results.
+        let partial = s.nearest_approx(NodeId(2), 5, 1).unwrap();
+        assert!(partial.len() <= 5);
+        assert!(partial.iter().all(|&(id, _)| id != NodeId(2)));
+        // A node without an embedding searches empty, not a panic.
+        assert_eq!(s.nearest_approx(NodeId(999), 5, 2), Some(Vec::new()));
+    }
+
+    #[test]
+    fn ann_disabled_and_invalid_configs() {
+        let s = EmbedderSession::new(tiny_model(), EpochPolicy::Manual).unwrap();
+        assert_eq!(s.nearest_approx(NodeId(0), 3, 1), None, "ann not enabled");
+        assert!(s.ann_index().is_none());
+        let bad = IvfConfig {
+            cells: 0,
+            ..Default::default()
+        };
+        match EmbedderSession::new(tiny_model(), EpochPolicy::Manual)
+            .unwrap()
+            .with_ann(bad)
+        {
+            Err(err) => assert_eq!(err.param(), "cells"),
+            Ok(_) => panic!("cells = 0 must be rejected"),
+        }
     }
 
     #[test]

@@ -61,9 +61,7 @@ impl Embedding {
     /// norm.
     pub fn set(&mut self, id: NodeId, vector: &[f32]) {
         assert_eq!(vector.len(), self.dim, "vector dimension mismatch");
-        // Same accumulation order as `cosine`, so norm-cached ranking
-        // stays bit-exact with the from-scratch scan.
-        let norm = vector.iter().map(|&x| x * x).sum::<f32>().sqrt();
+        let norm = l2_norm(vector);
         match self.index.get(&id) {
             Some(&i) => {
                 self.data[i as usize * self.dim..(i as usize + 1) * self.dim]
@@ -112,32 +110,107 @@ impl Embedding {
     /// if `node` has no embedding.
     ///
     /// Linear scan over all embedded nodes, using the cached norms —
-    /// one dot product per candidate, O(n·d) per query. The right tool
-    /// for interactive session queries; batch consumers should rank
+    /// one dot product per candidate, with the `k` best kept in a
+    /// bounded heap ([`TopKSelector`]): O(n·d + n·log k) per query
+    /// instead of the full sort's O(n·log n). The right tool for
+    /// interactive session queries; batch consumers should rank
     /// candidate sets themselves. Bit-exact with [`reference_top_k`].
     pub fn top_k(&self, node: NodeId, k: usize) -> Vec<(NodeId, f32)> {
         let (Some(q), Some(qn)) = (self.get(node), self.norm(node)) else {
             return Vec::new();
         };
         if k == 0 {
-            return Vec::new();
+            return Vec::new(); // skip the scan, not just the keep
         }
-        let mut scored: Vec<(NodeId, f32)> = self
-            .iter()
-            .zip(&self.norms)
-            .filter(|&((id, _), _)| id != node)
-            .map(|((id, v), &vn)| {
-                let sim = if qn == 0.0 || vn == 0.0 {
-                    0.0
-                } else {
-                    dot(q, v) / (qn * vn)
-                };
-                (id, sim)
-            })
-            .collect();
-        scored.sort_by(rank_similarity);
-        scored.truncate(k);
-        scored
+        let mut select = TopKSelector::new(k);
+        for ((id, v), &vn) in self.iter().zip(&self.norms) {
+            if id == node {
+                continue;
+            }
+            select.push((id, norm_cosine(q, qn, v, vn)));
+        }
+        select.into_sorted()
+    }
+}
+
+/// Bounded top-`k` selection under the [`rank_similarity`] total order:
+/// push any number of scored candidates, keep only the best `k`, read
+/// them back fully ordered. n pushes cost O(n·log k) against the full
+/// sort's O(n·log n).
+///
+/// Because [`rank_similarity`] is a *total* order, the k best
+/// candidates are uniquely determined and the final sort restores the
+/// exact order a sort-everything-then-truncate pass would produce — so
+/// selection through this type is bit-exact with [`reference_top_k`].
+/// It is the shared merge primitive of the exact scan
+/// ([`Embedding::top_k`]) and the IVF posting-list scan in
+/// `glodyne-ann`.
+#[derive(Debug, Clone)]
+pub struct TopKSelector {
+    k: usize,
+    /// Binary max-heap under `rank_similarity`: the *worst* kept
+    /// candidate sits at the root, so a new candidate only has to beat
+    /// the root to displace it.
+    heap: Vec<(NodeId, f32)>,
+}
+
+impl TopKSelector {
+    /// A selector keeping the best `k` candidates (`k = 0` keeps none).
+    pub fn new(k: usize) -> Self {
+        TopKSelector {
+            k,
+            heap: Vec::with_capacity(k.min(1024)),
+        }
+    }
+
+    /// Offer one scored candidate.
+    pub fn push(&mut self, candidate: (NodeId, f32)) {
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(candidate);
+            self.sift_up(self.heap.len() - 1);
+        } else if rank_similarity(&candidate, &self.heap[0]) == Ordering::Less {
+            self.heap[0] = candidate;
+            self.sift_down(0);
+        }
+    }
+
+    /// The kept candidates in [`rank_similarity`] order (best first).
+    pub fn into_sorted(mut self) -> Vec<(NodeId, f32)> {
+        self.heap.sort_by(rank_similarity);
+        self.heap
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if rank_similarity(&self.heap[i], &self.heap[parent]) == Ordering::Greater {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let mut worst = i;
+            for child in [2 * i + 1, 2 * i + 2] {
+                if child < self.heap.len()
+                    && rank_similarity(&self.heap[child], &self.heap[worst]) == Ordering::Greater
+                {
+                    worst = child;
+                }
+            }
+            if worst == i {
+                break;
+            }
+            self.heap.swap(i, worst);
+            i = worst;
+        }
     }
 }
 
@@ -183,9 +256,35 @@ pub fn reference_top_k(emb: &Embedding, node: NodeId, k: usize) -> Vec<(NodeId, 
     scored
 }
 
-/// Dot product of two equal-length vectors.
+/// L2 norm with the one accumulation order every norm cache in this
+/// workspace shares (sum of squares, then one sqrt): the norms stored
+/// by [`Embedding::set`] and the ones `glodyne-ann` caches per posting
+/// list agree bit-for-bit because both come from here.
 #[inline]
-fn dot(a: &[f32], b: &[f32]) -> f32 {
+pub fn l2_norm(v: &[f32]) -> f32 {
+    v.iter().map(|&x| x * x).sum::<f32>().sqrt()
+}
+
+/// Guarded cosine similarity from precomputed norms — the shared
+/// candidate kernel of [`Embedding::top_k`] and the IVF scans in
+/// `glodyne-ann`: zero-norm operands score 0 (never a division by
+/// zero), NaN operands propagate NaN. Keeping it single-homed is what
+/// makes full-probe IVF results bit-exact with the linear scan.
+#[inline]
+pub fn norm_cosine(a: &[f32], an: f32, b: &[f32], bn: f32) -> f32 {
+    if an == 0.0 || bn == 0.0 {
+        0.0
+    } else {
+        dot(a, b) / (an * bn)
+    }
+}
+
+/// Dot product of two equal-length vectors — the one accumulation
+/// order every cosine-ranking surface in this workspace shares, so
+/// cached-norm scans (here and in `glodyne-ann`) stay bit-exact with
+/// the from-scratch [`cosine`].
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
     let mut acc = 0.0f32;
     for (&x, &y) in a.iter().zip(b) {
@@ -349,6 +448,57 @@ mod tests {
         assert!(from_nan.iter().all(|s| s.1.is_nan()));
         let ids: Vec<NodeId> = from_nan.iter().map(|&(id, _)| id).collect();
         assert_eq!(ids, vec![NodeId(0), NodeId(1), NodeId(3), NodeId(4)]);
+    }
+
+    #[test]
+    fn selector_matches_full_sort_for_every_k() {
+        // Pseudo-random scores with repeats, NaNs, and ±inf: the heap
+        // select must agree with sort-then-truncate for every cut-off.
+        let mut state = 7u64;
+        let mut next = move || {
+            state = state.wrapping_mul(0x5851_F42D_4C95_7F2D).wrapping_add(11);
+            state
+        };
+        let mut candidates: Vec<(NodeId, f32)> = (0..120u32)
+            .map(|i| {
+                let raw = next();
+                let sim = match raw % 11 {
+                    0 => f32::NAN,
+                    1 => f32::INFINITY,
+                    2 => f32::NEG_INFINITY,
+                    _ => ((raw >> 32) as f32) / 1e9 - 2.0,
+                };
+                (NodeId(i % 37), sim)
+            })
+            .collect();
+        for k in [0usize, 1, 2, 7, 119, 120, 500] {
+            let mut select = TopKSelector::new(k);
+            for &c in &candidates {
+                select.push(c);
+            }
+            let fast = select.into_sorted();
+            let mut slow = candidates.clone();
+            slow.sort_by(rank_similarity);
+            slow.truncate(k);
+            assert_eq!(fast.len(), slow.len(), "k={k}");
+            for (f, s) in fast.iter().zip(&slow) {
+                assert_eq!(f.0, s.0, "k={k}");
+                assert_eq!(f.1.to_bits(), s.1.to_bits(), "k={k}");
+            }
+        }
+        // Order of arrival must not matter either.
+        candidates.reverse();
+        let mut select = TopKSelector::new(9);
+        for &c in &candidates {
+            select.push(c);
+        }
+        let reversed_feed = select.into_sorted();
+        candidates.sort_by(rank_similarity);
+        candidates.truncate(9);
+        assert_eq!(reversed_feed.len(), candidates.len());
+        for (f, s) in reversed_feed.iter().zip(&candidates) {
+            assert_eq!((f.0, f.1.to_bits()), (s.0, s.1.to_bits()));
+        }
     }
 
     #[test]

@@ -35,6 +35,6 @@ pub mod weighted_walks;
 
 pub use config::ConfigError;
 pub use corpus::WalkCorpus;
-pub use embedding::{rank_similarity, reference_top_k, Embedding};
+pub use embedding::{rank_similarity, reference_top_k, Embedding, TopKSelector};
 pub use sgns::{SgnsConfig, SgnsModel};
 pub use traits::{DynamicEmbedder, PhaseTimes, StepContext, StepReport};

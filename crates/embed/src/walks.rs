@@ -57,11 +57,13 @@ impl WalkConfig {
     }
 }
 
-/// Advance a SplitMix64 state and return the next output. Shared by the
-/// per-walk seed mixing below and the SGNS negative-sampling stream —
-/// the single home of the SplitMix64 constants in this crate.
+/// Advance a SplitMix64 state and return the next output. Shared by
+/// the per-walk seed mixing below, the SGNS negative-sampling stream,
+/// the IVF centroid initialisation in `glodyne-ann`, and the bench
+/// data generators — the single home of the SplitMix64 constants in
+/// this workspace.
 #[inline]
-pub(crate) fn splitmix64_next(state: &mut u64) -> u64 {
+pub fn splitmix64_next(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

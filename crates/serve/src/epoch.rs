@@ -10,6 +10,7 @@
 //! epoch behind the write path, and never more.
 
 use glodyne::StepReport;
+use glodyne_ann::IvfIndex;
 use glodyne_embed::Embedding;
 use std::sync::{Arc, PoisonError, RwLock};
 
@@ -23,6 +24,11 @@ pub struct EmbeddingEpoch {
     pub embedding: Embedding,
     /// The step that produced this epoch (`None` for epoch 0).
     pub report: Option<StepReport>,
+    /// IVF index over `embedding`, built once per epoch when the
+    /// serving session has ANN enabled — the index rides the same
+    /// `Arc` swap as the embedding, so a reader's epoch and index
+    /// always agree. `None` when ANN is disabled.
+    pub index: Option<IvfIndex>,
 }
 
 impl EmbeddingEpoch {
@@ -32,7 +38,32 @@ impl EmbeddingEpoch {
             epoch: 0,
             embedding: Embedding::new(dim),
             report: None,
+            index: None,
         }
+    }
+
+    /// The `k` approximately-nearest neighbours of `node` within this
+    /// epoch, probing `nprobe` IVF cells (clamped to the index's cell
+    /// count). `None` when the epoch carries no index; empty hits for
+    /// a node without an embedding. Returns the *effective* probe
+    /// width alongside the hits — the single home of the ANN lookup
+    /// shared by [`ServingSession::nearest_ann`] and the wire
+    /// `dispatch`, so the two paths cannot diverge.
+    ///
+    /// [`ServingSession::nearest_ann`]: crate::ServingSession::nearest_ann
+    pub fn search_ann(
+        &self,
+        node: glodyne_graph::NodeId,
+        k: usize,
+        nprobe: usize,
+    ) -> Option<(Vec<(glodyne_graph::NodeId, f32)>, usize)> {
+        let index = self.index.as_ref()?;
+        let effective = index.effective_nprobe(nprobe);
+        let hits = match self.embedding.get(node) {
+            Some(query) => index.search(query, k, effective, Some(node)),
+            None => Vec::new(),
+        };
+        Some((hits, effective))
     }
 }
 
@@ -91,6 +122,7 @@ mod tests {
             epoch: 1,
             embedding: emb,
             report: Some(StepReport::default()),
+            index: None,
         });
 
         // The old Arc still answers from the old state...
@@ -110,6 +142,7 @@ mod tests {
             epoch: 7,
             embedding: Embedding::new(4),
             report: None,
+            index: None,
         });
         assert_eq!(b.load().epoch, 7);
     }

@@ -3,6 +3,7 @@
 //!
 //! [`ProtocolError`]: crate::protocol::ProtocolError
 
+use glodyne_embed::ConfigError;
 use std::error::Error;
 use std::fmt;
 use std::io;
@@ -17,6 +18,10 @@ pub enum ServeError {
         /// The underlying I/O error.
         source: io::Error,
     },
+    /// Invalid server configuration (e.g. degenerate ANN settings) —
+    /// rejected at [`Server::bind`](crate::Server::bind), never
+    /// silently repaired.
+    Config(ConfigError),
     /// The trainer thread is gone (session shut down): ingest and
     /// flush can no longer be accepted, though reads keep working off
     /// the last published epoch.
@@ -27,6 +32,7 @@ impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::Bind { addr, source } => write!(f, "cannot bind {addr}: {source}"),
+            ServeError::Config(e) => write!(f, "invalid server configuration: {e}"),
             ServeError::Closed => write!(f, "serving session is shut down"),
         }
     }
@@ -36,6 +42,7 @@ impl Error for ServeError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ServeError::Bind { source, .. } => Some(source),
+            ServeError::Config(e) => Some(e),
             ServeError::Closed => None,
         }
     }

@@ -7,10 +7,10 @@
 //!
 //! - **Read path** — after every committed step the trainer publishes
 //!   an immutable [`EmbeddingEpoch`] (frozen embedding + epoch id +
-//!   step report) behind an [`EpochHandle`]. Reader threads clone the
-//!   `Arc` and answer from that frozen epoch while the next step
-//!   trains; a read may therefore lag the write path by one epoch, and
-//!   never by more.
+//!   step report + optional IVF index, see [`AnnSettings`]) behind an
+//!   [`EpochHandle`]. Reader threads clone the `Arc` and answer from
+//!   that frozen epoch while the next step trains; a read may
+//!   therefore lag the write path by one epoch, and never by more.
 //! - **Write path** — ingest goes through a bounded queue
 //!   ([`IngestQueue`], a `sync_channel`) feeding a dedicated trainer
 //!   thread that owns the `EmbedderSession`. When the queue is full, a
@@ -32,7 +32,7 @@ pub mod session;
 
 pub use epoch::{EmbeddingEpoch, EpochHandle};
 pub use error::ServeError;
-pub use protocol::{ErrorKind, ProtocolError, Request};
+pub use protocol::{ErrorKind, NearestMode, ProtocolError, Request};
 pub use queue::{FlushOutcome, IngestQueue};
 pub use server::{Server, ServerConfig};
-pub use session::{ServeStats, ServingSession};
+pub use session::{AnnSettings, AnnStats, ServeStats, ServingSession};

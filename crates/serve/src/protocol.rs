@@ -9,7 +9,8 @@
 //! | request | response |
 //! |---|---|
 //! | `{"cmd":"query","node":5}` | `{"ok":true,"cmd":"query","epoch":2,"node":5,"vector":[...]}` |
-//! | `{"cmd":"nearest","node":5,"k":3}` | `{"ok":true,"cmd":"nearest","epoch":2,"node":5,"neighbours":[[7,0.93],...]}` |
+//! | `{"cmd":"nearest","node":5,"k":3}` | `{"ok":true,"cmd":"nearest","epoch":2,"node":5,"mode":"exact","neighbours":[[7,0.93],...]}` |
+//! | `{"cmd":"nearest","node":5,"k":3,"mode":"ann","nprobe":4}` | `{"ok":true,"cmd":"nearest","epoch":2,"node":5,"mode":"ann","nprobe":4,"neighbours":[[7,0.93],...]}` |
 //! | `{"cmd":"ingest","edges":[[0,1,3],...]}` | `{"ok":true,"cmd":"ingest","accepted":N}` |
 //! | `{"cmd":"ingest","events":[{"op":"remove_node","node":4,"t":9},...]}` | same |
 //! | `{"cmd":"flush"}` | `{"ok":true,"cmd":"flush","stepped":true,"epoch":3}` |
@@ -52,6 +53,9 @@ pub enum Request {
         node: NodeId,
         /// How many neighbours to return.
         k: usize,
+        /// Exhaustive scan or IVF probe (`"mode"` field; exact when
+        /// omitted, so pre-ANN clients are untouched).
+        mode: NearestMode,
     },
     /// Enqueue graph events for the trainer (back-pressured).
     Ingest {
@@ -66,6 +70,21 @@ pub enum Request {
     Shutdown,
 }
 
+/// How a `nearest` request scans the epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NearestMode {
+    /// Exhaustive scan over every embedded node (the default; bit-exact
+    /// with `reference_top_k`).
+    Exact,
+    /// IVF probe of the `nprobe` most similar coarse cells; the server
+    /// default applies when `nprobe` is `None`. Only valid on a server
+    /// started with ANN enabled.
+    Ann {
+        /// Requested probe width, if the client named one.
+        nprobe: Option<usize>,
+    },
+}
+
 /// Machine-readable failure class, serialised into the `kind` field.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrorKind {
@@ -77,6 +96,9 @@ pub enum ErrorKind {
     TooLarge,
     /// The session is shutting down; writes are no longer accepted.
     ShuttingDown,
+    /// The request needs a capability this server wasn't started with
+    /// (e.g. ANN mode without an index).
+    Unavailable,
 }
 
 impl ErrorKind {
@@ -87,6 +109,7 @@ impl ErrorKind {
             ErrorKind::NotFound => "not_found",
             ErrorKind::TooLarge => "too_large",
             ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::Unavailable => "unavailable",
         }
     }
 }
@@ -142,7 +165,29 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
                     .ok_or_else(|| ProtocolError::bad("`k` must be a positive integer"))?
                     .min(usize::MAX as u64) as usize,
             };
-            Ok(Request::Nearest { node, k })
+            let nprobe = match value.get("nprobe") {
+                None => None,
+                Some(v) => Some(
+                    v.as_u64()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| ProtocolError::bad("`nprobe` must be a positive integer"))?
+                        .min(usize::MAX as u64) as usize,
+                ),
+            };
+            let mode = match value.get("mode").map(|m| (m, m.as_str())) {
+                None => NearestMode::Exact,
+                Some((_, Some("exact"))) => NearestMode::Exact,
+                Some((_, Some("ann"))) => NearestMode::Ann { nprobe },
+                Some(_) => return Err(ProtocolError::bad("`mode` must be \"exact\" or \"ann\"")),
+            };
+            if nprobe.is_some() && mode == NearestMode::Exact {
+                // Silently ignoring it would hide a client that thinks
+                // it is getting approximate answers cheaper.
+                return Err(ProtocolError::bad(
+                    "`nprobe` only applies to \"mode\":\"ann\"",
+                ));
+            }
+            Ok(Request::Nearest { node, k, mode })
         }
         "ingest" => parse_ingest(&value),
         "flush" => Ok(Request::Flush),
@@ -298,26 +343,49 @@ pub fn query_line(epoch: u64, node: NodeId, vector: &[f32]) -> String {
     )
 }
 
-/// Render a successful `nearest`.
+/// Render a successful exact-mode `nearest`.
 pub fn nearest_line(epoch: u64, node: NodeId, neighbours: &[(NodeId, f32)]) -> String {
-    ok_obj(
-        "nearest",
-        vec![
-            ("epoch".to_string(), Json::Num(epoch as f64)),
-            ("node".to_string(), Json::Num(node.0 as f64)),
-            (
-                "neighbours".to_string(),
-                Json::Arr(
-                    neighbours
-                        .iter()
-                        .map(|&(id, sim)| {
-                            Json::Arr(vec![Json::Num(id.0 as f64), Json::num_f32(sim)])
-                        })
-                        .collect(),
-                ),
-            ),
-        ],
-    )
+    nearest_line_with(epoch, node, neighbours, None)
+}
+
+/// Render a successful ANN-mode `nearest`, echoing the effective
+/// `nprobe` the scan used.
+pub fn nearest_ann_line(
+    epoch: u64,
+    node: NodeId,
+    neighbours: &[(NodeId, f32)],
+    nprobe: usize,
+) -> String {
+    nearest_line_with(epoch, node, neighbours, Some(nprobe))
+}
+
+fn nearest_line_with(
+    epoch: u64,
+    node: NodeId,
+    neighbours: &[(NodeId, f32)],
+    nprobe: Option<usize>,
+) -> String {
+    let mut rest = vec![
+        ("epoch".to_string(), Json::Num(epoch as f64)),
+        ("node".to_string(), Json::Num(node.0 as f64)),
+        (
+            "mode".to_string(),
+            Json::Str(if nprobe.is_some() { "ann" } else { "exact" }.to_string()),
+        ),
+    ];
+    if let Some(nprobe) = nprobe {
+        rest.push(("nprobe".to_string(), Json::Num(nprobe as f64)));
+    }
+    rest.push((
+        "neighbours".to_string(),
+        Json::Arr(
+            neighbours
+                .iter()
+                .map(|&(id, sim)| Json::Arr(vec![Json::Num(id.0 as f64), Json::num_f32(sim)]))
+                .collect(),
+        ),
+    ));
+    ok_obj("nearest", rest)
 }
 
 /// Render a successful `ingest`.
@@ -356,6 +424,23 @@ pub fn stats_line(s: &ServeStats) -> String {
                 "events_accepted".to_string(),
                 Json::Num(s.events_accepted as f64),
             ),
+            (
+                "ann".to_string(),
+                match &s.ann {
+                    None => Json::Null,
+                    Some(a) => Json::Obj(vec![
+                        ("cells".to_string(), Json::Num(a.cells as f64)),
+                        (
+                            "nprobe_default".to_string(),
+                            Json::Num(a.default_nprobe as f64),
+                        ),
+                        (
+                            "build_ms".to_string(),
+                            Json::Num(a.build.as_secs_f64() * 1e3),
+                        ),
+                    ]),
+                },
+            ),
         ],
     )
 }
@@ -379,14 +464,16 @@ mod tests {
             parse_request(r#"{"cmd":"nearest","node":7}"#).unwrap(),
             Request::Nearest {
                 node: NodeId(7),
-                k: DEFAULT_K
+                k: DEFAULT_K,
+                mode: NearestMode::Exact
             }
         );
         assert_eq!(
             parse_request(r#"{"cmd":"nearest","node":7,"k":3}"#).unwrap(),
             Request::Nearest {
                 node: NodeId(7),
-                k: 3
+                k: 3,
+                mode: NearestMode::Exact
             }
         );
         assert_eq!(parse_request(r#"{"cmd":"flush"}"#).unwrap(), Request::Flush);
@@ -395,6 +482,47 @@ mod tests {
             parse_request(r#"{"cmd":"shutdown"}"#).unwrap(),
             Request::Shutdown
         );
+    }
+
+    #[test]
+    fn nearest_modes_parse() {
+        assert_eq!(
+            parse_request(r#"{"cmd":"nearest","node":7,"mode":"exact"}"#).unwrap(),
+            Request::Nearest {
+                node: NodeId(7),
+                k: DEFAULT_K,
+                mode: NearestMode::Exact
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"nearest","node":7,"mode":"ann"}"#).unwrap(),
+            Request::Nearest {
+                node: NodeId(7),
+                k: DEFAULT_K,
+                mode: NearestMode::Ann { nprobe: None }
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"nearest","node":7,"k":3,"mode":"ann","nprobe":4}"#).unwrap(),
+            Request::Nearest {
+                node: NodeId(7),
+                k: 3,
+                mode: NearestMode::Ann { nprobe: Some(4) }
+            }
+        );
+        for bad in [
+            r#"{"cmd":"nearest","node":7,"mode":"fuzzy"}"#,
+            r#"{"cmd":"nearest","node":7,"mode":7}"#,
+            r#"{"cmd":"nearest","node":7,"mode":"ann","nprobe":0}"#,
+            r#"{"cmd":"nearest","node":7,"mode":"ann","nprobe":"all"}"#,
+            // nprobe without (or against) ann mode is an explicit error,
+            // not silently ignored.
+            r#"{"cmd":"nearest","node":7,"nprobe":4}"#,
+            r#"{"cmd":"nearest","node":7,"mode":"exact","nprobe":4}"#,
+        ] {
+            let err = parse_request(bad).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::BadRequest, "{bad}");
+        }
     }
 
     #[test]
@@ -492,6 +620,40 @@ mod tests {
             assert!(v.get("ok").is_some(), "{line}");
         }
         assert!(lines[1].contains("[1,null]"), "NaN -> null: {}", lines[1]);
+        assert!(lines[1].contains(r#""mode":"exact""#), "{}", lines[1]);
         assert!(lines[5].contains("bad_request"));
+    }
+
+    #[test]
+    fn ann_response_lines_carry_mode_and_stats() {
+        let line = nearest_ann_line(3, NodeId(5), &[(NodeId(7), 0.5)], 4);
+        assert!(line.contains(r#""mode":"ann""#), "{line}");
+        assert!(line.contains(r#""nprobe":4"#), "{line}");
+        json::parse(&line).unwrap();
+
+        let base = ServeStats {
+            epoch: 2,
+            nodes: 10,
+            dim: 8,
+            queue_depth: 0,
+            queue_capacity: 16,
+            events_accepted: 5,
+            ann: None,
+        };
+        assert!(stats_line(&base).contains(r#""ann":null"#));
+        let with_ann = ServeStats {
+            ann: Some(crate::session::AnnStats {
+                cells: 4,
+                default_nprobe: 2,
+                build: std::time::Duration::from_millis(3),
+            }),
+            ..base
+        };
+        let line = stats_line(&with_ann);
+        assert!(
+            line.contains(r#""ann":{"cells":4,"nprobe_default":2,"build_ms":3"#),
+            "{line}"
+        );
+        json::parse(&line).unwrap();
     }
 }

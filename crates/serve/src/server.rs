@@ -15,8 +15,8 @@
 //! writes get structured `shutting_down` errors.
 
 use crate::error::ServeError;
-use crate::protocol::{self, ErrorKind, ProtocolError, Request};
-use crate::session::ServingSession;
+use crate::protocol::{self, ErrorKind, NearestMode, ProtocolError, Request};
+use crate::session::{AnnSettings, ServingSession};
 use glodyne::EmbedderSession;
 use glodyne_embed::DynamicEmbedder;
 use std::io::{self, BufRead, BufReader, Write};
@@ -34,6 +34,10 @@ pub struct ServerConfig {
     pub max_line_bytes: usize,
     /// Bound of the ingest queue feeding the trainer.
     pub queue_capacity: usize,
+    /// When present, build an IVF index per published epoch and accept
+    /// `"mode":"ann"` on `nearest`; without it ANN requests get an
+    /// `unavailable` error.
+    pub ann: Option<AnnSettings>,
 }
 
 impl Default for ServerConfig {
@@ -42,6 +46,7 @@ impl Default for ServerConfig {
             max_connections: 64,
             max_line_bytes: protocol::MAX_LINE_BYTES,
             queue_capacity: crate::session::DEFAULT_QUEUE_CAPACITY,
+            ann: None,
         }
     }
 }
@@ -66,6 +71,12 @@ impl Server {
     where
         E: DynamicEmbedder + Send + 'static,
     {
+        // Reject degenerate ANN settings before a socket exists
+        // (`spawn_with_ann` validates again — the policy lives in
+        // `AnnSettings::validate` either way).
+        if let Some(settings) = &cfg.ann {
+            settings.validate().map_err(ServeError::Config)?;
+        }
         let listener = TcpListener::bind(addr).map_err(|source| ServeError::Bind {
             addr: addr.to_string(),
             source,
@@ -74,7 +85,10 @@ impl Server {
             addr: addr.to_string(),
             source,
         })?;
-        let serving = Arc::new(ServingSession::spawn(session, cfg.queue_capacity));
+        let serving = Arc::new(
+            ServingSession::spawn_with_ann(session, cfg.queue_capacity, cfg.ann)
+                .map_err(ServeError::Config)?,
+        );
         let shutdown = Arc::new(AtomicBool::new(false));
         let accept = {
             let serving = Arc::clone(&serving);
@@ -372,13 +386,37 @@ fn dispatch(request: Request, serving: &ServingSession, shutdown: &AtomicBool) -
                 None => not_found(node, epoch.epoch),
             }
         }
-        Request::Nearest { node, k } => {
+        Request::Nearest { node, k, mode } => {
             let epoch = serving.epoch();
+            // One epoch load per request: the existence check, the
+            // scan (exact or IVF), and the reported epoch id always
+            // agree, even mid-publish.
             if epoch.embedding.get(node).is_none() {
-                not_found(node, epoch.epoch)
-            } else {
-                let neighbours = epoch.embedding.top_k(node, k);
-                protocol::nearest_line(epoch.epoch, node, &neighbours)
+                return not_found(node, epoch.epoch);
+            }
+            match mode {
+                NearestMode::Exact => {
+                    let neighbours = epoch.embedding.top_k(node, k);
+                    protocol::nearest_line(epoch.epoch, node, &neighbours)
+                }
+                NearestMode::Ann { nprobe } => {
+                    // `search_ann` echoes the *effective* probe width
+                    // (clamped to the cell count), not the raw request
+                    // — clients tune recall/latency off this.
+                    let searched = serving.ann().and_then(|settings| {
+                        epoch.search_ann(node, k, nprobe.unwrap_or(settings.default_nprobe))
+                    });
+                    match searched {
+                        Some((neighbours, effective)) => {
+                            protocol::nearest_ann_line(epoch.epoch, node, &neighbours, effective)
+                        }
+                        None => protocol::error_line(&ProtocolError {
+                            kind: ErrorKind::Unavailable,
+                            message: "ann index is not enabled on this server (start with --ann)"
+                                .into(),
+                        }),
+                    }
+                }
             }
         }
         Request::Ingest { events } => {

@@ -20,14 +20,63 @@ use crate::epoch::{EmbeddingEpoch, EpochHandle};
 use crate::error::ServeError;
 use crate::queue::{bounded, FlushOutcome, IngestQueue, TrainerInbox, TrainerMsg};
 use glodyne::EmbedderSession;
-use glodyne_embed::DynamicEmbedder;
+use glodyne_ann::{IvfConfig, IvfIndex};
+use glodyne_embed::{ConfigError, DynamicEmbedder, Embedding};
 use glodyne_graph::state::GraphEvent;
 use glodyne_graph::NodeId;
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::{self, JoinHandle};
+use std::time::Duration;
 
 /// Default bound on the ingest queue.
 pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
+
+/// Default `nprobe` for ANN `nearest` requests that don't name one.
+pub const DEFAULT_NPROBE: usize = 8;
+
+/// Approximate-search settings for a serving session: when present,
+/// the trainer builds an [`IvfIndex`] after every committed step and
+/// publishes it inside the epoch, so `nearest` requests in `"ann"`
+/// mode are answered from the index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnnSettings {
+    /// IVF build parameters (cells, k-means iterations, seed).
+    pub config: IvfConfig,
+    /// `nprobe` used when an ANN request doesn't specify one.
+    pub default_nprobe: usize,
+}
+
+impl Default for AnnSettings {
+    fn default() -> Self {
+        AnnSettings {
+            config: IvfConfig::default(),
+            default_nprobe: DEFAULT_NPROBE,
+        }
+    }
+}
+
+impl AnnSettings {
+    /// Validate the settings (fallible-config convention).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.config.validate()?;
+        if self.default_nprobe < 1 {
+            return Err(ConfigError::new("default_nprobe", "must be >= 1"));
+        }
+        Ok(())
+    }
+}
+
+/// The published epoch's ANN telemetry, surfaced through `stats` so
+/// operators can see what each epoch's index costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnnStats {
+    /// Effective coarse cells in the published index.
+    pub cells: usize,
+    /// Server-side default `nprobe`.
+    pub default_nprobe: usize,
+    /// Wall-clock time the published epoch's index build took.
+    pub build: Duration,
+}
 
 /// A point-in-time view of the serving counters (the `stats` command).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +93,9 @@ pub struct ServeStats {
     pub queue_capacity: usize,
     /// Events accepted since the session was spawned.
     pub events_accepted: u64,
+    /// ANN index parameters of the published epoch; `None` when ANN is
+    /// disabled.
+    pub ann: Option<AnnStats>,
 }
 
 /// The concurrent wrapper around a moved-away `EmbedderSession`.
@@ -54,6 +106,7 @@ pub struct ServingSession {
     queue: IngestQueue,
     epochs: EpochHandle,
     trainer: Mutex<Option<JoinHandle<()>>>,
+    ann: Option<AnnSettings>,
 }
 
 impl ServingSession {
@@ -64,22 +117,54 @@ impl ServingSession {
     where
         E: DynamicEmbedder + Send + 'static,
     {
-        let epochs = EpochHandle::new(EmbeddingEpoch {
-            epoch: session.steps() as u64,
-            embedding: session.embedding().clone(),
-            report: session.reports().last().copied(),
-        });
+        match ServingSession::spawn_with_ann(session, queue_capacity, None) {
+            Ok(serving) => serving,
+            // With no ANN settings there is nothing to validate.
+            Err(_) => unreachable!("spawn without ANN settings cannot fail validation"),
+        }
+    }
+
+    /// Like [`ServingSession::spawn`], additionally maintaining an IVF
+    /// index per published epoch when `ann` is present. The index for
+    /// an epoch is built *on the trainer thread* right after the step
+    /// commits — readers keep answering from the previous epoch (and
+    /// its index) meanwhile, the same ≤ 1-epoch-lag model as the
+    /// embedding itself. Degenerate settings are rejected up front
+    /// (the fallible-config convention), never silently repaired.
+    pub fn spawn_with_ann<E>(
+        session: EmbedderSession<E>,
+        queue_capacity: usize,
+        ann: Option<AnnSettings>,
+    ) -> Result<ServingSession, ConfigError>
+    where
+        E: DynamicEmbedder + Send + 'static,
+    {
+        if let Some(settings) = &ann {
+            settings.validate()?;
+        }
+        let epochs = EpochHandle::new(build_epoch(
+            session.steps() as u64,
+            session.embedding().clone(),
+            session.reports().last().copied(),
+            ann.as_ref(),
+        ));
         let (queue, inbox) = bounded(queue_capacity);
         let publisher = epochs.clone();
         let trainer = thread::Builder::new()
             .name("glodyne-trainer".into())
-            .spawn(move || trainer_loop(session, inbox, publisher))
+            .spawn(move || trainer_loop(session, inbox, publisher, ann))
             .expect("spawn trainer thread");
-        ServingSession {
+        Ok(ServingSession {
             queue,
             epochs,
             trainer: Mutex::new(Some(trainer)),
-        }
+            ann,
+        })
+    }
+
+    /// The session's ANN settings, when enabled.
+    pub fn ann(&self) -> Option<AnnSettings> {
+        self.ann
     }
 
     /// The currently served epoch (frozen; see [`EpochHandle::load`]).
@@ -100,6 +185,26 @@ impl ServingSession {
     pub fn nearest(&self, node: NodeId, k: usize) -> (u64, Vec<(NodeId, f32)>) {
         let epoch = self.epoch();
         (epoch.epoch, epoch.embedding.top_k(node, k))
+    }
+
+    /// The `k` approximately-nearest neighbours of `node` from the
+    /// served epoch's IVF index, probing `nprobe` cells (the session's
+    /// default when `None`). Returns `None` when ANN is disabled;
+    /// empty results for an unknown node. One epoch load per call, so
+    /// the reported epoch id, the embedding, and the index always
+    /// agree.
+    pub fn nearest_ann(
+        &self,
+        node: NodeId,
+        k: usize,
+        nprobe: Option<usize>,
+    ) -> Option<(u64, Vec<(NodeId, f32)>)> {
+        let settings = self.ann?;
+        let epoch = self.epoch();
+        let (hits, _) = epoch
+            .search_ann(node, k, nprobe.unwrap_or(settings.default_nprobe))
+            .unwrap_or_default();
+        Some((epoch.epoch, hits))
     }
 
     /// Enqueue events in order, blocking when the queue is full.
@@ -131,6 +236,13 @@ impl ServingSession {
             queue_depth: self.queue.depth(),
             queue_capacity: self.queue.capacity(),
             events_accepted: self.queue.accepted(),
+            ann: self.ann.as_ref().and_then(|settings| {
+                epoch.index.as_ref().map(|index| AnnStats {
+                    cells: index.cells(),
+                    default_nprobe: settings.default_nprobe,
+                    build: index.build_time(),
+                })
+            }),
         }
     }
 
@@ -159,12 +271,14 @@ impl Drop for ServingSession {
     }
 }
 
-/// The trainer thread: apply events, publish an epoch after every
-/// committed step, acknowledge flushes in queue order.
+/// The trainer thread: apply events, publish an epoch (embedding plus
+/// its freshly built index, when ANN is on) after every committed
+/// step, acknowledge flushes in queue order.
 fn trainer_loop<E: DynamicEmbedder>(
     mut session: EmbedderSession<E>,
     inbox: TrainerInbox,
     epochs: EpochHandle,
+    ann: Option<AnnSettings>,
 ) {
     while let Some(msg) = inbox.recv() {
         match msg {
@@ -172,13 +286,13 @@ fn trainer_loop<E: DynamicEmbedder>(
                 // The policy may commit on its own (timestamp / every-n
                 // boundaries); publish whenever it does.
                 if session.apply(event) {
-                    publish(&session, &epochs);
+                    publish(&session, &epochs, ann.as_ref());
                 }
             }
             TrainerMsg::Flush(ack) => {
                 let stepped = session.flush().is_some();
                 if stepped {
-                    publish(&session, &epochs);
+                    publish(&session, &epochs, ann.as_ref());
                 }
                 let _ = ack.send(FlushOutcome {
                     stepped,
@@ -190,12 +304,34 @@ fn trainer_loop<E: DynamicEmbedder>(
     }
 }
 
-fn publish<E: DynamicEmbedder>(session: &EmbedderSession<E>, epochs: &EpochHandle) {
-    epochs.publish(EmbeddingEpoch {
-        epoch: session.steps() as u64,
-        embedding: session.embedding().clone(),
-        report: session.reports().last().copied(),
-    });
+fn publish<E: DynamicEmbedder>(
+    session: &EmbedderSession<E>,
+    epochs: &EpochHandle,
+    ann: Option<&AnnSettings>,
+) {
+    epochs.publish(build_epoch(
+        session.steps() as u64,
+        session.embedding().clone(),
+        session.reports().last().copied(),
+        ann,
+    ));
+}
+
+/// Assemble one publishable epoch; the IVF build (when ANN is on)
+/// happens here, on the trainer thread, so it never blocks a reader.
+fn build_epoch(
+    epoch: u64,
+    embedding: Embedding,
+    report: Option<glodyne::StepReport>,
+    ann: Option<&AnnSettings>,
+) -> EmbeddingEpoch {
+    let index = ann.map(|settings| IvfIndex::build(&embedding, &settings.config));
+    EmbeddingEpoch {
+        epoch,
+        embedding,
+        report,
+        index,
+    }
 }
 
 #[cfg(test)]
@@ -330,5 +466,89 @@ mod tests {
         assert_eq!(stats.queue_capacity, 16);
         assert_eq!(stats.events_accepted, 5);
         assert_eq!(stats.queue_depth, 0, "flush drained the queue");
+        assert_eq!(stats.ann, None, "ann disabled by default");
+    }
+
+    fn ann_settings(cells: usize, nprobe: usize) -> AnnSettings {
+        AnnSettings {
+            config: IvfConfig {
+                cells,
+                ..Default::default()
+            },
+            default_nprobe: nprobe,
+        }
+    }
+
+    #[test]
+    fn ann_epochs_publish_an_index_and_full_probe_is_exact() {
+        let serving = ServingSession::spawn_with_ann(
+            tiny_session(EpochPolicy::Manual),
+            64,
+            Some(ann_settings(4, 2)),
+        )
+        .unwrap();
+        assert_eq!(serving.ann(), Some(ann_settings(4, 2)));
+        // The initial (empty) epoch already carries an (empty) index.
+        let epoch = serving.epoch();
+        assert!(epoch.index.as_ref().is_some_and(IvfIndex::is_empty));
+
+        serving.ingest(&chain_events(9, 0)).unwrap();
+        serving.flush().unwrap();
+        let epoch = serving.epoch();
+        let index = epoch.index.as_ref().expect("index published with epoch");
+        assert_eq!(index.len(), epoch.embedding.len());
+        assert_eq!(index.cells(), 4);
+
+        // Full probe == the exact wire path, bit for bit.
+        let (e1, ann) = serving
+            .nearest_ann(NodeId(3), 5, Some(index.cells()))
+            .unwrap();
+        let (e2, exact) = serving.nearest(NodeId(3), 5);
+        assert_eq!(e1, e2);
+        assert_eq!(ann.len(), exact.len());
+        for (a, b) in ann.iter().zip(&exact) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+        // Default nprobe (None) and unknown nodes are well-formed.
+        let (_, some) = serving.nearest_ann(NodeId(3), 5, None).unwrap();
+        assert!(some.len() <= 5);
+        let (_, none) = serving.nearest_ann(NodeId(999), 5, None).unwrap();
+        assert!(none.is_empty());
+
+        let stats = serving.stats();
+        let ann_stats = stats.ann.expect("ann stats surface the index");
+        assert_eq!(ann_stats.cells, 4);
+        assert_eq!(ann_stats.default_nprobe, 2);
+    }
+
+    #[test]
+    fn ann_disabled_session_returns_none() {
+        let serving = ServingSession::spawn(tiny_session(EpochPolicy::Manual), 8);
+        serving.ingest(&chain_events(4, 0)).unwrap();
+        serving.flush().unwrap();
+        assert_eq!(serving.ann(), None);
+        assert!(serving.nearest_ann(NodeId(0), 3, None).is_none());
+        assert!(serving.epoch().index.is_none());
+    }
+
+    #[test]
+    fn ann_settings_validation() {
+        assert!(AnnSettings::default().validate().is_ok());
+        assert_eq!(ann_settings(0, 4).validate().unwrap_err().param(), "cells");
+        assert_eq!(
+            ann_settings(4, 0).validate().unwrap_err().param(),
+            "default_nprobe"
+        );
+        // spawn_with_ann enforces the same validation — degenerate
+        // settings never reach a running trainer.
+        match ServingSession::spawn_with_ann(
+            tiny_session(EpochPolicy::Manual),
+            8,
+            Some(ann_settings(4, 0)),
+        ) {
+            Err(err) => assert_eq!(err.param(), "default_nprobe"),
+            Ok(_) => panic!("degenerate AnnSettings must be rejected at spawn"),
+        }
     }
 }

@@ -2,11 +2,12 @@
 //! speak the wire protocol — ingest, flush, query, nearest, stats,
 //! errors — and shut it down cleanly.
 
+use glodyne::IvfConfig;
 use glodyne::{EmbedderSession, EpochPolicy, GloDyNE, GloDyNEConfig};
 use glodyne_embed::walks::WalkConfig;
 use glodyne_embed::SgnsConfig;
 use glodyne_serve::json::Json;
-use glodyne_serve::{json, Server, ServerConfig};
+use glodyne_serve::{json, AnnSettings, Server, ServerConfig};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
@@ -106,12 +107,21 @@ fn full_wire_session() {
 
     let near = client.round_trip(r#"{"cmd":"nearest","node":2,"k":3}"#);
     assert!(is_ok(&near), "{near}");
+    assert_eq!(near.get("mode").and_then(Json::as_str), Some("exact"));
     let neighbours = near.get("neighbours").and_then(Json::as_arr).unwrap();
     assert!(!neighbours.is_empty() && neighbours.len() <= 3);
     for pair in neighbours {
         let pair = pair.as_arr().unwrap();
         assert_ne!(pair[0].as_u64(), Some(2), "self must be excluded");
     }
+
+    // ANN mode on a server started without --ann is a structured
+    // `unavailable` error, and the stats ann block is null.
+    let ann = client.round_trip(r#"{"cmd":"nearest","node":2,"mode":"ann"}"#);
+    assert!(!is_ok(&ann));
+    assert_eq!(ann.get("kind").and_then(Json::as_str), Some("unavailable"));
+    let stats = client.round_trip(r#"{"cmd":"stats"}"#);
+    assert_eq!(stats.get("ann"), Some(&Json::Null), "{stats}");
 
     // Malformed requests keep the connection alive with structured
     // errors.
@@ -148,6 +158,87 @@ fn full_wire_session() {
     // Connections made after shutdown are refused (the listener is
     // closed once join returns).
     assert!(TcpStream::connect(addr).is_err());
+}
+
+#[test]
+fn ann_mode_over_the_wire() {
+    let cfg = ServerConfig {
+        ann: Some(AnnSettings {
+            config: IvfConfig {
+                cells: 4,
+                ..Default::default()
+            },
+            default_nprobe: 2,
+        }),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(tiny_session(), "127.0.0.1:0", cfg).unwrap();
+    let mut client = Client::connect(server.local_addr());
+
+    client.round_trip(
+        r#"{"cmd":"ingest","edges":[[0,1,0],[1,2,0],[2,3,0],[3,4,0],[4,5,0],[5,6,0],[6,7,0]]}"#,
+    );
+    let flush = client.round_trip(r#"{"cmd":"flush"}"#);
+    assert!(is_ok(&flush), "{flush}");
+
+    // ANN at full probe width must agree exactly with the exact path
+    // (shared similarity kernel, shared merge order).
+    let exact = client.round_trip(r#"{"cmd":"nearest","node":3,"k":4}"#);
+    assert!(is_ok(&exact), "{exact}");
+    let ann = client.round_trip(r#"{"cmd":"nearest","node":3,"k":4,"mode":"ann","nprobe":4}"#);
+    assert!(is_ok(&ann), "{ann}");
+    assert_eq!(ann.get("mode").and_then(Json::as_str), Some("ann"));
+    assert_eq!(field_u64(&ann, "nprobe"), 4);
+    assert_eq!(
+        ann.get("neighbours"),
+        exact.get("neighbours"),
+        "full probe == exact scan:\n{ann}\n{exact}"
+    );
+
+    // Default nprobe comes from the server settings.
+    let ann = client.round_trip(r#"{"cmd":"nearest","node":3,"mode":"ann"}"#);
+    assert!(is_ok(&ann), "{ann}");
+    assert_eq!(field_u64(&ann, "nprobe"), 2, "server default nprobe");
+
+    // An oversized request nprobe is clamped to the cell count and the
+    // response echoes the *effective* width, not the request.
+    let ann = client.round_trip(r#"{"cmd":"nearest","node":3,"mode":"ann","nprobe":1000}"#);
+    assert!(is_ok(&ann), "{ann}");
+    assert_eq!(field_u64(&ann, "nprobe"), 4, "clamped to cells");
+
+    // Stats surface the published index's parameters and build cost.
+    let stats = client.round_trip(r#"{"cmd":"stats"}"#);
+    let ann_stats = stats.get("ann").expect("ann stats present");
+    assert_eq!(ann_stats.get("cells").and_then(Json::as_u64), Some(4));
+    assert_eq!(
+        ann_stats.get("nprobe_default").and_then(Json::as_u64),
+        Some(2)
+    );
+    assert!(
+        ann_stats.get("build_ms").and_then(Json::as_f64).is_some(),
+        "{stats}"
+    );
+
+    let bye = client.round_trip(r#"{"cmd":"shutdown"}"#);
+    assert!(is_ok(&bye));
+    server.join();
+
+    // Degenerate ANN settings are rejected at bind, before any socket
+    // or trainer exists.
+    let bad = ServerConfig {
+        ann: Some(AnnSettings {
+            config: IvfConfig {
+                cells: 0,
+                ..Default::default()
+            },
+            default_nprobe: 2,
+        }),
+        ..ServerConfig::default()
+    };
+    assert!(matches!(
+        Server::bind(tiny_session(), "127.0.0.1:0", bad),
+        Err(glodyne_serve::ServeError::Config(_))
+    ));
 }
 
 #[test]
