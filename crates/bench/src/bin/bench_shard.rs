@@ -1,0 +1,289 @@
+//! Sharded-session benchmark: ingest throughput, step cost, and
+//! fan-out `nearest` quality at 1/2/4 shards on a clustered
+//! 10k-node event stream.
+//!
+//! Why sharding speeds up *ingest* even on one core: the epoch policy
+//! counts events per shard, so each commit re-trains only the shard
+//! the events landed in — `α·|V_shard|` selected nodes and a
+//! shard-sized walk corpus instead of the whole graph. That is the
+//! paper's §4.1.1 observation (sub-networks update independently)
+//! turned into wall-clock: same number of commits, each ~`S`× cheaper,
+//! minus routing overhead and cross-shard mirror duplication.
+//!
+//! Emits `BENCH_shard.json`: per shard count, ingest events/sec
+//! (end-to-end: routing + training + rebalances), committed steps and
+//! mean step wall-time, exact fan-out `nearest` q/s, per-shard-IVF
+//! fan-out q/s, and recall@10 of the ANN fan-out against the exact
+//! fan-out on the same embeddings. The single-session `nearest`
+//! baseline lives in `BENCH_nearest.json` (`bench_nearest`).
+//!
+//! ```text
+//! cargo run --release -p glodyne-bench --bin bench_shard
+//! cargo run --release -p glodyne-bench --bin bench_shard -- \
+//!     --nodes 10000 --events 30000 --every 2000 --out BENCH_shard.json
+//! ```
+
+use glodyne::{EmbedderSession, EpochPolicy, GloDyNE, GloDyNEConfig, IvfConfig};
+use glodyne_bench::args::Args;
+use glodyne_embed::walks::{splitmix64_next, WalkConfig};
+use glodyne_embed::SgnsConfig;
+use glodyne_graph::id::TimedEdge;
+use glodyne_graph::NodeId;
+use glodyne_shard::{ShardConfig, ShardedState};
+use std::time::Instant;
+
+const K: usize = 10;
+
+/// A clustered edge-event stream: `events` edges over `nodes` nodes in
+/// `communities` groups; ~95% of edges stay inside their community,
+/// the rest bridge communities (the cut the partitioner will chase).
+fn clustered_stream(nodes: u32, events: usize, communities: u32, seed: u64) -> Vec<TimedEdge> {
+    let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+    let mut next = move || splitmix64_next(&mut state);
+    let per_comm = nodes / communities;
+    let mut stream = Vec::with_capacity(events);
+    for i in 0..events {
+        let c = (next() % u64::from(communities)) as u32;
+        let base = c * per_comm;
+        let u = base + (next() % u64::from(per_comm)) as u32;
+        let v = if next() % 100 < 95 {
+            base + (next() % u64::from(per_comm)) as u32
+        } else {
+            (next() % u64::from(nodes)) as u32
+        };
+        if u == v {
+            continue;
+        }
+        stream.push(TimedEdge::new(NodeId(u), NodeId(v), (i / 64) as u64));
+    }
+    stream
+}
+
+fn session(shard: u64, every: usize, dim: usize, seed: u64) -> EmbedderSession<GloDyNE> {
+    let cfg = GloDyNEConfig {
+        alpha: 0.1,
+        walk: WalkConfig {
+            walks_per_node: 2,
+            walk_length: 15,
+            seed: seed.wrapping_add(shard),
+        },
+        sgns: SgnsConfig {
+            dim,
+            window: 5,
+            negatives: 3,
+            epochs: 1,
+            parallel: false,
+            seed: seed.wrapping_add(shard),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let model = GloDyNE::new(cfg).expect("valid bench config");
+    EmbedderSession::new(model, EpochPolicy::EveryNEvents(every))
+        .expect("valid policy")
+        .with_ann(IvfConfig {
+            cells: 32,
+            seed,
+            ..Default::default()
+        })
+        .expect("valid ivf config")
+}
+
+struct ShardResult {
+    shards: usize,
+    ingest_secs: f64,
+    ingest_eps: f64,
+    steps: usize,
+    mean_step_ms: f64,
+    rebalances: u64,
+    exact_qps: f64,
+    ann_qps: f64,
+    recall_at_10: f64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn bench_one(
+    shards: usize,
+    stream: &[TimedEdge],
+    nodes: u32,
+    every: usize,
+    dim: usize,
+    queries: usize,
+    nprobe: usize,
+    seed: u64,
+) -> ShardResult {
+    let sessions = (0..shards)
+        .map(|s| session(s as u64, every, dim, seed))
+        .collect();
+    let mut state = ShardedState::new(
+        sessions,
+        ShardConfig {
+            shards,
+            seed,
+            ..Default::default()
+        },
+    )
+    .expect("valid shard config");
+
+    let start = Instant::now();
+    state.ingest(stream);
+    state.flush();
+    let ingest_secs = start.elapsed().as_secs_f64();
+
+    let steps = state.steps();
+    let step_secs: f64 = state
+        .sessions()
+        .iter()
+        .flat_map(|s| s.reports())
+        .map(|r| r.total_time().as_secs_f64())
+        .sum();
+
+    // Queries spread across the node space; only probes with an owned
+    // embedding count.
+    let probes: Vec<NodeId> = (0..queries * 2)
+        .map(|i| NodeId(((i as u64 * 97) % u64::from(nodes)) as u32))
+        .filter(|&n| state.query(n).is_some())
+        .take(queries)
+        .collect();
+
+    let start = Instant::now();
+    let exact: Vec<Vec<(NodeId, f32)>> = probes.iter().map(|&p| state.nearest(p, K)).collect();
+    let exact_secs = start.elapsed().as_secs_f64();
+
+    // One warm-up query builds every shard's lazy index so the timed
+    // loop measures probes, not builds.
+    if let Some(&first) = probes.first() {
+        state.nearest_approx(first, K, nprobe);
+    }
+    let start = Instant::now();
+    let ann: Vec<Vec<(NodeId, f32)>> = probes
+        .iter()
+        .map(|&p| state.nearest_approx(p, K, nprobe))
+        .collect();
+    let ann_secs = start.elapsed().as_secs_f64();
+
+    let mut overlap = 0usize;
+    let mut expected = 0usize;
+    for (e, a) in exact.iter().zip(&ann) {
+        expected += e.len();
+        overlap += e
+            .iter()
+            .filter(|(id, _)| a.iter().any(|(aid, _)| aid == id))
+            .count();
+    }
+
+    ShardResult {
+        shards,
+        ingest_secs,
+        ingest_eps: stream.len() as f64 / ingest_secs,
+        steps,
+        mean_step_ms: if steps > 0 {
+            step_secs * 1e3 / steps as f64
+        } else {
+            0.0
+        },
+        rebalances: state.router().stats().rebalances,
+        exact_qps: probes.len() as f64 / exact_secs,
+        ann_qps: probes.len() as f64 / ann_secs,
+        recall_at_10: overlap as f64 / expected.max(1) as f64,
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let nodes: u32 = args.get("nodes", 10_000);
+    let events: usize = args.get("events", 30_000);
+    let communities: u32 = args.get("communities", 64);
+    let every: usize = args.get("every", 2_000);
+    let dim: usize = args.get("dim", 64);
+    let queries: usize = args.get("queries", 100);
+    let nprobe: usize = args.get("nprobe", 8);
+    let seed: u64 = args.get("seed", 0);
+    let out = args.get("out", "BENCH_shard.json".to_string());
+    let raw_shards = args.get("shards", "1,2,4".to_string());
+    let shard_counts: Vec<usize> = raw_shards
+        .split(',')
+        .map(|s| s.trim().parse().unwrap_or(0))
+        .collect();
+    if nodes == 0
+        || events == 0
+        || communities == 0
+        || nodes < communities
+        || every == 0
+        || dim == 0
+        || queries == 0
+        || shard_counts.contains(&0)
+    {
+        eprintln!(
+            "bench_shard: --nodes (>= --communities), --events, --communities, --every, \
+             --dim, --queries, and every --shards entry must be positive integers \
+             (got nodes={nodes} events={events} communities={communities} every={every} \
+             dim={dim} queries={queries} shards={raw_shards})"
+        );
+        std::process::exit(2);
+    }
+
+    let stream = clustered_stream(nodes, events, communities, seed);
+    let mut results = Vec::new();
+    for &shards in &shard_counts {
+        let r = bench_one(shards, &stream, nodes, every, dim, queries, nprobe, seed);
+        println!(
+            "shards={:<2} ingest={:>8.0} ev/s ({:>6.1}s)  steps={:>3} mean_step={:>7.1}ms  \
+             rebalances={}  exact={:>7.0} q/s  ann={:>7.0} q/s  recall@10={:.4}",
+            r.shards,
+            r.ingest_eps,
+            r.ingest_secs,
+            r.steps,
+            r.mean_step_ms,
+            r.rebalances,
+            r.exact_qps,
+            r.ann_qps,
+            r.recall_at_10,
+        );
+        results.push(r);
+    }
+    let base_eps = results
+        .iter()
+        .find(|r| r.shards == 1)
+        .map_or(0.0, |r| r.ingest_eps);
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"shard\",\n");
+    json.push_str(&format!(
+        "  \"nodes\": {nodes},\n  \"events\": {},\n  \"communities\": {communities},\n",
+        stream.len()
+    ));
+    json.push_str(&format!(
+        "  \"every\": {every},\n  \"dim\": {dim},\n  \"k\": {K},\n  \"queries\": {queries},\n"
+    ));
+    json.push_str(&format!(
+        "  \"nprobe\": {nprobe},\n  \"seed\": {seed},\n  \
+         \"single_session_nearest_baseline\": \"BENCH_nearest.json\",\n"
+    ));
+    json.push_str("  \"shards\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shards\": {}, \"ingest_events_per_sec\": {:.1}, \
+             \"ingest_speedup_vs_1\": {:.2}, \"steps\": {}, \"mean_step_ms\": {:.1}, \
+             \"rebalances\": {}, \"fanout_exact_qps\": {:.1}, \"fanout_ann_qps\": {:.1}, \
+             \"recall_at_10\": {:.4}}}{}\n",
+            r.shards,
+            r.ingest_eps,
+            if base_eps > 0.0 {
+                r.ingest_eps / base_eps
+            } else {
+                0.0
+            },
+            r.steps,
+            r.mean_step_ms,
+            r.rebalances,
+            r.exact_qps,
+            r.ann_qps,
+            r.recall_at_10,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("wrote {out}");
+}

@@ -12,6 +12,7 @@ use glodyne_graph::io::read_edge_stream;
 use glodyne_graph::{DynamicNetwork, NodeId};
 use glodyne_partition::{partition, PartitionConfig};
 use glodyne_serve::{AnnSettings, ServeError, Server, ServerConfig};
+use glodyne_shard::{ShardConfig, ShardedState};
 use glodyne_tasks::gr::mean_precision_at_k;
 use glodyne_tasks::lp::{build_test_set, link_prediction_auc};
 use std::fs::File;
@@ -150,6 +151,49 @@ fn parse_ann(opts: &Opts) -> Result<Option<AnnSettings>, CliError> {
     Ok(Some(settings))
 }
 
+/// Shared `--shards`/`--shard-epsilon`/`--shard-seed`/`--drift`
+/// parsing for `stream` and `serve`: `None` without `--shards` (or
+/// with `--shards 1`, the unsharded fast path). The partitioner seed
+/// defaults to the shared `--seed`.
+fn parse_shards(opts: &Opts) -> Result<Option<ShardConfig>, CliError> {
+    let shards = opts.get_opt::<usize>("shards")?;
+    let Some(shards) = shards.filter(|&s| s != 1) else {
+        return Ok(None);
+    };
+    let cfg = ShardConfig {
+        shards,
+        epsilon: opts.get("shard-epsilon", 0.1),
+        seed: opts.get("shard-seed", opts.get("seed", 0u64)),
+        drift_threshold: opts.get("drift", 0.25),
+        ..Default::default()
+    };
+    cfg.validate().map_err(CliError::Config)?;
+    Ok(Some(cfg))
+}
+
+/// One embedder session per shard. Each shard's walk/SGNS seeds are
+/// offset by its shard id so shards don't train on identical random
+/// streams.
+fn shard_sessions(
+    opts: &Opts,
+    policy: EpochPolicy,
+    shards: usize,
+    ann: Option<&AnnSettings>,
+) -> Result<Vec<EmbedderSession<GloDyNE>>, CliError> {
+    (0..shards)
+        .map(|shard| {
+            let mut cfg = glodyne_config(opts)?;
+            cfg.walk.seed = cfg.walk.seed.wrapping_add(shard as u64);
+            cfg.sgns.seed = cfg.sgns.seed.wrapping_add(shard as u64);
+            let mut session = EmbedderSession::new(GloDyNE::new(cfg)?, policy)?;
+            if let Some(settings) = ann {
+                session = session.with_ann(settings.config)?;
+            }
+            Ok(session)
+        })
+        .collect()
+}
+
 /// Shared `--policy` parsing for `stream` and `serve`.
 fn parse_policy(opts: &Opts) -> Result<EpochPolicy, CliError> {
     match opts.get_str("policy", "timestamp") {
@@ -171,6 +215,9 @@ pub fn stream(opts: &Opts) -> Result<String, CliError> {
 
     let policy = parse_policy(opts)?;
     let ann = parse_ann(opts)?;
+    if let Some(shard_cfg) = parse_shards(opts)? {
+        return stream_sharded(opts, &events, policy, ann, shard_cfg);
+    }
     let model = GloDyNE::new(glodyne_config(opts)?)?;
     let mut session = EmbedderSession::new(model, policy)?;
 
@@ -231,6 +278,68 @@ pub fn stream(opts: &Opts) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `glodyne stream --shards N`: drive a [`ShardedState`] — partition-
+/// routed per-shard sessions with halo-mirrored boundary edges — over
+/// the edge file and report the per-shard outcome; `--query` answers
+/// through the owner-filtered fan-out merge.
+fn stream_sharded(
+    opts: &Opts,
+    events: &[TimedEdge],
+    policy: EpochPolicy,
+    ann: Option<AnnSettings>,
+    shard_cfg: ShardConfig,
+) -> Result<String, CliError> {
+    let sessions = shard_sessions(opts, policy, shard_cfg.shards, ann.as_ref())?;
+    let mut state = ShardedState::new(sessions, shard_cfg).map_err(CliError::Config)?;
+    state.ingest(events);
+    state.flush();
+
+    let mut out = String::new();
+    let rs = state.router().stats();
+    out.push_str(&format!(
+        "{} events -> {} steps across {} shards \
+         ({} live nodes, {} edges, {} rebalance(s))\n",
+        events.len(),
+        state.steps(),
+        shard_cfg.shards,
+        rs.nodes,
+        rs.edges,
+        rs.rebalances,
+    ));
+    for (shard, sess) in state.sessions().iter().enumerate() {
+        out.push_str(&format!(
+            "  shard {shard}: {} steps, {} embedded rows\n",
+            sess.steps(),
+            sess.embedding().len()
+        ));
+    }
+
+    if let Some(query) = opts.get_opt::<u32>("query")? {
+        let k = opts.get("top-k", 10usize);
+        let node = NodeId(query);
+        if state.query(node).is_none() {
+            out.push_str(&format!("node {query}: no embedding\n"));
+        } else {
+            out.push_str(&format!(
+                "nearest neighbours of {query} (sharded fan-out, exact):\n"
+            ));
+            for (id, sim) in state.nearest(node, k) {
+                out.push_str(&format!("  {:>10}  cos={sim:.4}\n", id.0));
+            }
+            if let Some(settings) = &ann {
+                let nprobe = settings.default_nprobe;
+                out.push_str(&format!(
+                    "nearest neighbours of {query} (sharded fan-out, ann nprobe={nprobe}):\n"
+                ));
+                for (id, sim) in state.nearest_approx(node, k, nprobe) {
+                    out.push_str(&format!("  {:>10}  cos={sim:.4}\n", id.0));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// Build and bind the serving process for `glodyne serve`, returning
 /// the running server plus the preamble to print before blocking.
 ///
@@ -240,38 +349,74 @@ pub fn start_server(opts: &Opts) -> Result<(Server, String), CliError> {
     let bind = opts.get_str("bind", "127.0.0.1:7878");
     let policy = parse_policy(opts)?;
     let ann = parse_ann(opts)?;
+    let shard_cfg = parse_shards(opts)?;
     let cfg = ServerConfig {
         max_connections: opts.get("threads", 64usize).max(1),
         queue_capacity: opts.get("queue", 1024usize).max(1),
         ann,
         ..ServerConfig::default()
     };
-    let model = GloDyNE::new(glodyne_config(opts)?)?;
-    let mut session = EmbedderSession::new(model, policy)?;
-
-    let mut preamble = String::new();
-    // Optional warm start: replay an edge file through the session (and
-    // commit it) before the first connection is accepted.
-    if let Ok(Some(input)) = opts.get_opt::<String>("input") {
-        let mut events = load_stream(&input)?;
-        events.sort_by_key(|te| te.time);
-        session.ingest(&events);
-        session.flush();
-        preamble.push_str(&format!(
-            "warm start: {} events -> {} steps, {} embedded nodes\n",
-            events.len(),
-            session.steps(),
-            session.embedding().len()
-        ));
-    }
-
-    let server = Server::bind(session, bind, cfg).map_err(|e| match e {
+    let bind_err = |e: ServeError| match e {
         ServeError::Bind { addr, source } => CliError::Io {
             context: format!("cannot bind {addr}"),
             source,
         },
         other => CliError::Usage(other.to_string()),
-    })?;
+    };
+
+    let mut preamble = String::new();
+    let server = if let Some(shard_cfg) = shard_cfg {
+        // Sharded mode: the per-shard IVF indexes come from the serve
+        // layer (ServerConfig.ann), not the sessions.
+        let sessions = shard_sessions(opts, policy, shard_cfg.shards, None)?;
+        let server = Server::bind_sharded(sessions, shard_cfg, bind, cfg).map_err(bind_err)?;
+        // Warm start rides the running session's router: ingest +
+        // flush complete before the preamble (and hence the operator's
+        // go-ahead) is printed.
+        if let Ok(Some(input)) = opts.get_opt::<String>("input") {
+            let mut events = load_stream(&input)?;
+            events.sort_by_key(|te| te.time);
+            let gevents: Vec<glodyne_graph::GraphEvent> =
+                events.iter().map(|&te| te.into()).collect();
+            let sharded = server.sharded().expect("sharded server");
+            sharded
+                .ingest(&gevents)
+                .and_then(|_| sharded.flush())
+                .map_err(|e| CliError::Usage(e.to_string()))?;
+            let stats = server.stats();
+            preamble.push_str(&format!(
+                "warm start: {} events -> epoch {} across {} shards, {} live nodes\n",
+                events.len(),
+                stats.epoch,
+                shard_cfg.shards,
+                stats.nodes,
+            ));
+        }
+        preamble.push_str(&format!(
+            "sharded: {} partition-routed shards (epsilon={} seed={}; \
+             stats reports a per-shard break-down)\n",
+            shard_cfg.shards, shard_cfg.epsilon, shard_cfg.seed
+        ));
+        server
+    } else {
+        let model = GloDyNE::new(glodyne_config(opts)?)?;
+        let mut session = EmbedderSession::new(model, policy)?;
+        // Optional warm start: replay an edge file through the session
+        // (and commit it) before the first connection is accepted.
+        if let Ok(Some(input)) = opts.get_opt::<String>("input") {
+            let mut events = load_stream(&input)?;
+            events.sort_by_key(|te| te.time);
+            session.ingest(&events);
+            session.flush();
+            preamble.push_str(&format!(
+                "warm start: {} events -> {} steps, {} embedded nodes\n",
+                events.len(),
+                session.steps(),
+                session.embedding().len()
+            ));
+        }
+        Server::bind(session, bind, cfg).map_err(bind_err)?
+    };
     if let Some(settings) = &ann {
         preamble.push_str(&format!(
             "ann: ivf index per epoch (cells={} nprobe={}; \
@@ -544,6 +689,101 @@ mod tests {
         let err = stream(&Opts::parse(&args)).unwrap_err();
         assert!(matches!(err, CliError::Config(_)), "{err}");
         assert!(err.to_string().contains("cells"), "{err}");
+    }
+
+    #[test]
+    fn stream_command_sharded() {
+        let input = write_fixture("glodyne_cli_stream_sharded");
+        let mut args = vec![
+            "--input".into(),
+            input.display().to_string(),
+            "--policy".into(),
+            "manual".into(),
+            "--shards".into(),
+            "2".into(),
+            "--dim".into(),
+            "8".into(),
+            "--walks".into(),
+            "2".into(),
+            "--walk-length".into(),
+            "8".into(),
+            "--epochs".into(),
+            "1".into(),
+            "--query".into(),
+            "0".into(),
+            "--top-k".into(),
+            "3".into(),
+        ];
+        let out = stream(&Opts::parse(&args)).unwrap();
+        assert!(out.contains("across 2 shards"), "{out}");
+        assert!(out.contains("shard 0:"), "{out}");
+        assert!(out.contains("shard 1:"), "{out}");
+        assert!(
+            out.contains("nearest neighbours of 0 (sharded fan-out, exact)"),
+            "{out}"
+        );
+
+        // --shards 1 takes the unsharded fast path.
+        args[5] = "1".into();
+        let out = stream(&Opts::parse(&args)).unwrap();
+        assert!(out.contains("nearest neighbours of 0 (exact)"), "{out}");
+
+        // Degenerate shard parameters surface as config errors.
+        args[5] = "2".into();
+        args.extend(["--drift".into(), "0".into()]);
+        let err = stream(&Opts::parse(&args)).unwrap_err();
+        assert!(matches!(err, CliError::Config(_)), "{err}");
+        assert!(err.to_string().contains("drift"), "{err}");
+    }
+
+    #[test]
+    fn serve_command_sharded() {
+        use std::io::{BufRead, BufReader, Write};
+        let input = write_fixture("glodyne_cli_serve_sharded");
+        let opts = Opts::parse(&[
+            "--bind".into(),
+            "127.0.0.1:0".into(),
+            "--input".into(),
+            input.display().to_string(),
+            "--policy".into(),
+            "manual".into(),
+            "--shards".into(),
+            "2".into(),
+            "--dim".into(),
+            "8".into(),
+            "--walks".into(),
+            "2".into(),
+            "--walk-length".into(),
+            "8".into(),
+            "--epochs".into(),
+            "1".into(),
+        ]);
+        let (server, preamble) = start_server(&opts).unwrap();
+        assert!(preamble.contains("warm start"), "{preamble}");
+        assert!(
+            preamble.contains("sharded: 2 partition-routed shards"),
+            "{preamble}"
+        );
+
+        let stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut round_trip = move |req: &str| {
+            let mut w = stream.try_clone().unwrap();
+            w.write_all(req.as_bytes()).unwrap();
+            w.write_all(b"\n").unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            line
+        };
+        // The warm start committed through the router; reads fan out.
+        let stats = round_trip(r#"{"cmd":"stats"}"#);
+        assert!(stats.contains("\"shards\":["), "{stats}");
+        let q = round_trip(r#"{"cmd":"query","node":0}"#);
+        assert!(q.contains("\"ok\":true"), "{q}");
+        let near = round_trip(r#"{"cmd":"nearest","node":0,"k":3}"#);
+        assert!(near.contains("\"neighbours\""), "{near}");
+        round_trip(r#"{"cmd":"shutdown"}"#);
+        server.join();
     }
 
     #[test]

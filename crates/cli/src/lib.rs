@@ -109,10 +109,13 @@ USAGE:
   glodyne stream    --input <edges.txt> [--policy timestamp|every-n|manual]
                     [--every 1000] [--query <node>] [--top-k 10]
                     [--ann] [--cells 64] [--nprobe 8]
-                    [--alpha 0.1] [--dim 128] [--seed 0]
+                    [--shards N] [--shard-epsilon 0.1] [--shard-seed 0]
+                    [--drift 0.25] [--alpha 0.1] [--dim 128] [--seed 0]
   glodyne serve     [--bind 127.0.0.1:7878] [--threads 64] [--queue 1024]
                     [--policy timestamp|every-n|manual] [--every 1000]
                     [--ann] [--cells 64] [--nprobe 8]
+                    [--shards N] [--shard-epsilon 0.1] [--shard-seed 0]
+                    [--drift 0.25]
                     [--input <edges.txt>] [--alpha 0.1] [--dim 128] [--seed 0]
   glodyne partition --input <edges.txt> [--k 8] [--epsilon 0.1] [--seed 0]
   glodyne evaluate  --input <edges.txt> [--snapshots 10] [--alpha 0.1]
@@ -131,6 +134,13 @@ Input: one `u v [timestamp]` edge per line; # and % comments ignored.
 With --ann, `stream` and `serve` additionally build an IVF index over
   each committed epoch (--cells coarse cells, --nprobe probe default);
   `serve` then accepts nearest requests with \"mode\":\"ann\".
+With --shards N, `stream` and `serve` partition the event stream into N
+  shards (min-cut partitioning, --shard-epsilon balance, re-partitioned
+  when more than a --drift fraction of nodes is hash-placed); each shard
+  trains its own session (its own trainer thread under `serve`),
+  cross-shard edges are mirrored to both sides as halo edges, `nearest`
+  fans out across shards and merges owned hits, and `stats` reports a
+  per-shard \"shards\" array.
 `partition` prints `node part` lines for the final snapshot.
 `evaluate` reports graph-reconstruction MeanP@k and link-prediction AUC.
 "

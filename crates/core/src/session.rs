@@ -70,11 +70,17 @@ pub struct EmbedderSession<E: DynamicEmbedder> {
     ann: Option<AnnState>,
 }
 
-/// ANN configuration plus the index over the latest committed
-/// embedding (absent until the first step commits).
+/// ANN configuration plus the lazily built index over the latest
+/// committed embedding. A commit only marks the index stale; the build
+/// happens on the first [`EmbedderSession::nearest_approx`] of the new
+/// epoch, so sessions that flush many times between queries pay for at
+/// most one build per *queried* epoch instead of one per flush.
 struct AnnState {
     config: IvfConfig,
     index: Option<IvfIndex>,
+    /// Index builds performed over the session's lifetime (telemetry;
+    /// pins the build-on-first-query contract in tests).
+    builds: u64,
 }
 
 impl<E: DynamicEmbedder> EmbedderSession<E> {
@@ -114,17 +120,20 @@ impl<E: DynamicEmbedder> EmbedderSession<E> {
         self
     }
 
-    /// Maintain an [`IvfIndex`] over the live embedding, rebuilt after
-    /// every committed step, and answer
+    /// Maintain an [`IvfIndex`] over the live embedding and answer
     /// [`nearest_approx`](EmbedderSession::nearest_approx) from it.
-    /// The exact [`nearest`](EmbedderSession::nearest) path is
-    /// untouched. Rejects an invalid `config` like every other
-    /// constructor in this workspace.
+    /// The index is built lazily — on the first `nearest_approx` after
+    /// each committed step, not at the flush itself — so a stream of
+    /// flushes with no queries in between costs nothing extra. The
+    /// exact [`nearest`](EmbedderSession::nearest) path is untouched.
+    /// Rejects an invalid `config` like every other constructor in
+    /// this workspace.
     pub fn with_ann(mut self, config: IvfConfig) -> Result<Self, ConfigError> {
         config.validate()?;
         self.ann = Some(AnnState {
             config,
             index: None,
+            builds: 0,
         });
         Ok(self)
     }
@@ -187,7 +196,9 @@ impl<E: DynamicEmbedder> EmbedderSession<E> {
         };
         self.latest = self.embedder.embedding();
         if let Some(ann) = &mut self.ann {
-            ann.index = Some(IvfIndex::build(&self.latest, &ann.config));
+            // Only mark the index stale; the rebuild happens lazily on
+            // the first `nearest_approx` of the new epoch.
+            ann.index = None;
         }
         self.prev = Some(snap);
         self.pending = 0;
@@ -211,23 +222,60 @@ impl<E: DynamicEmbedder> EmbedderSession<E> {
     /// first committed step or for a node with no embedding. At
     /// `nprobe >= cells` this is bit-exact with
     /// [`nearest`](EmbedderSession::nearest).
+    ///
+    /// The first call after a committed step builds the epoch's index
+    /// (hence `&mut self`); further calls in the same epoch reuse it.
     pub fn nearest_approx(
-        &self,
+        &mut self,
         node: NodeId,
         k: usize,
         nprobe: usize,
     ) -> Option<Vec<(NodeId, f32)>> {
-        let ann = self.ann.as_ref()?;
-        Some(match (&ann.index, self.latest.get(node)) {
-            (Some(index), Some(query)) => index.search(query, k, nprobe, Some(node)),
-            _ => Vec::new(),
+        self.ann.as_ref()?;
+        if self.ensure_ann_index().is_none() {
+            // Enabled but nothing committed yet.
+            return Some(Vec::new());
+        }
+        let index = self.ann.as_ref()?.index.as_ref()?;
+        Some(match self.latest.get(node) {
+            Some(query) => index.search(query, k, nprobe, Some(node)),
+            None => Vec::new(),
         })
     }
 
-    /// The ANN index over the latest committed embedding, when enabled
-    /// and at least one step has committed.
+    /// Build the current epoch's ANN index if it is stale and return
+    /// it — the explicit form of the lazy build
+    /// [`nearest_approx`](EmbedderSession::nearest_approx) performs
+    /// implicitly (the sharded fan-out calls this before snapshotting
+    /// per-shard views). `None` when ANN is disabled or nothing has
+    /// committed yet.
+    pub fn ensure_ann_index(&mut self) -> Option<&IvfIndex> {
+        if self.reports.is_empty() {
+            // Nothing committed yet: don't burn a build on the empty
+            // embedding just because a query raced the first flush.
+            return None;
+        }
+        let ann = self.ann.as_mut()?;
+        if ann.index.is_none() {
+            ann.builds += 1;
+            ann.index = Some(IvfIndex::build(&self.latest, &ann.config));
+        }
+        ann.index.as_ref()
+    }
+
+    /// The ANN index of the current epoch, when enabled and already
+    /// built (a committed step marks it stale until the next
+    /// [`nearest_approx`](EmbedderSession::nearest_approx) or
+    /// [`ensure_ann_index`](EmbedderSession::ensure_ann_index)
+    /// rebuilds it).
     pub fn ann_index(&self) -> Option<&IvfIndex> {
         self.ann.as_ref()?.index.as_ref()
+    }
+
+    /// How many times the session has built its ANN index — with lazy
+    /// rebuilds this counts *queried* epochs, not flushes.
+    pub fn ann_builds(&self) -> u64 {
+        self.ann.as_ref().map_or(0, |ann| ann.builds)
     }
 
     /// The live embedding (as of the last committed step).
@@ -439,10 +487,14 @@ mod tests {
         );
         s.ingest(&chain(&[0, 0, 0, 0, 0, 0, 0]));
         s.flush().unwrap();
-        let index = s.ann_index().expect("index rebuilt at flush");
+        assert!(
+            s.ann_index().is_none(),
+            "flush only marks the index stale; the first query builds it"
+        );
+        // Full probe: nprobe is clamped to the cell count inside search.
+        let approx = s.nearest_approx(NodeId(2), 5, usize::MAX).unwrap();
+        let index = s.ann_index().expect("index built by the first query");
         assert_eq!(index.len(), s.embedding().len());
-        let cells = index.cells();
-        let approx = s.nearest_approx(NodeId(2), 5, cells).unwrap();
         let exact = s.nearest(NodeId(2), 5);
         assert_eq!(approx.len(), exact.len());
         for (a, b) in approx.iter().zip(&exact) {
@@ -458,8 +510,44 @@ mod tests {
     }
 
     #[test]
+    fn ann_rebuild_is_lazy_and_counted() {
+        let cfg = IvfConfig {
+            cells: 2,
+            ..Default::default()
+        };
+        let mut s = EmbedderSession::new(tiny_model(), EpochPolicy::Manual)
+            .unwrap()
+            .with_ann(cfg)
+            .unwrap();
+        // A query before anything commits doesn't build.
+        assert_eq!(s.nearest_approx(NodeId(0), 3, 1), Some(Vec::new()));
+        assert_eq!(s.ann_builds(), 0);
+        // Three flushes with no queries in between: zero builds.
+        for round in 0..3u32 {
+            s.ingest(&[TimedEdge::new(NodeId(round), NodeId(round + 1), 0)]);
+            s.flush().unwrap();
+        }
+        assert_eq!(s.ann_builds(), 0, "flushes alone must not build");
+        // First query of the epoch builds once; repeats reuse it.
+        s.nearest_approx(NodeId(0), 3, 2).unwrap();
+        s.nearest_approx(NodeId(1), 3, 2).unwrap();
+        assert_eq!(s.ann_builds(), 1, "one build per queried epoch");
+        // A new committed step invalidates; the next query rebuilds.
+        s.ingest(&[TimedEdge::new(NodeId(0), NodeId(9), 1)]);
+        s.flush().unwrap();
+        assert!(s.ann_index().is_none());
+        s.nearest_approx(NodeId(0), 3, 2).unwrap();
+        assert_eq!(s.ann_builds(), 2);
+        // A no-op flush (nothing pending) must not invalidate.
+        assert!(s.flush().is_none());
+        assert!(s.ann_index().is_some(), "no-step flush keeps the index");
+        s.nearest_approx(NodeId(0), 3, 2).unwrap();
+        assert_eq!(s.ann_builds(), 2);
+    }
+
+    #[test]
     fn ann_disabled_and_invalid_configs() {
-        let s = EmbedderSession::new(tiny_model(), EpochPolicy::Manual).unwrap();
+        let mut s = EmbedderSession::new(tiny_model(), EpochPolicy::Manual).unwrap();
         assert_eq!(s.nearest_approx(NodeId(0), 3, 1), None, "ann not enabled");
         assert!(s.ann_index().is_none());
         let bad = IvfConfig {

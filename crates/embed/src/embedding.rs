@@ -91,6 +91,18 @@ impl Embedding {
             .map(move |(i, &id)| (id, &self.data[i * self.dim..(i + 1) * self.dim]))
     }
 
+    /// Iterate `(id, vector, cached_norm)` in insertion order — the
+    /// scan shape every cosine-ranking surface wants: one dot product
+    /// per candidate with no per-row norm lookup. The sharded fan-out
+    /// merge in `glodyne-shard` scans shard embeddings through this.
+    pub fn iter_with_norms(&self) -> impl Iterator<Item = (NodeId, &[f32], f32)> {
+        self.ids
+            .iter()
+            .zip(&self.norms)
+            .enumerate()
+            .map(move |(i, (&id, &norm))| (id, &self.data[i * self.dim..(i + 1) * self.dim], norm))
+    }
+
     /// All embedded node ids in insertion order.
     pub fn ids(&self) -> &[NodeId] {
         &self.ids
@@ -123,7 +135,7 @@ impl Embedding {
             return Vec::new(); // skip the scan, not just the keep
         }
         let mut select = TopKSelector::new(k);
-        for ((id, v), &vn) in self.iter().zip(&self.norms) {
+        for (id, v, vn) in self.iter_with_norms() {
             if id == node {
                 continue;
             }
@@ -374,6 +386,23 @@ mod tests {
         assert_eq!(top[0].0, NodeId(1));
         assert_eq!(top[1].0, NodeId(2));
         assert!(top[0].1 > top[1].1);
+    }
+
+    #[test]
+    fn iter_with_norms_agrees_with_point_lookups() {
+        let mut e = Embedding::new(2);
+        e.set(NodeId(4), &[3.0, 4.0]);
+        e.set(NodeId(1), &[0.0, 2.0]);
+        e.set(NodeId(4), &[6.0, 8.0]); // overwrite refreshes in place
+        let rows: Vec<(NodeId, Vec<f32>, f32)> = e
+            .iter_with_norms()
+            .map(|(id, v, n)| (id, v.to_vec(), n))
+            .collect();
+        assert_eq!(rows.len(), 2);
+        for (id, v, n) in rows {
+            assert_eq!(e.get(id).unwrap(), &v[..]);
+            assert_eq!(e.norm(id).unwrap().to_bits(), n.to_bits());
+        }
     }
 
     #[test]

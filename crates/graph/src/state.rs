@@ -80,7 +80,7 @@ impl From<TimedEdge> for GraphEvent {
 /// same node-set rule as `GraphBuilder` and `Snapshot::from_edges`), so
 /// a commit after any event sequence equals a batch build over the
 /// surviving edge set.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GraphState {
     adj: BTreeMap<NodeId, BTreeSet<NodeId>>,
     num_edges: usize,
@@ -158,6 +158,22 @@ impl GraphState {
     /// Whether the undirected edge is currently present.
     pub fn contains_edge(&self, a: NodeId, b: NodeId) -> bool {
         self.adj.get(&a).is_some_and(|ns| ns.contains(&b))
+    }
+
+    /// Whether the node currently exists (has at least one edge).
+    pub fn contains_node(&self, n: NodeId) -> bool {
+        self.adj.contains_key(&n)
+    }
+
+    /// Iterate current node ids in sorted order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.adj.keys().copied()
+    }
+
+    /// Iterate `n`'s current neighbours in sorted order (empty for an
+    /// absent node).
+    pub fn neighbors(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adj.get(&n).into_iter().flatten().copied()
     }
 
     /// Current number of nodes (nodes with at least one edge).
@@ -299,6 +315,30 @@ mod tests {
                 Edge::new(NodeId(1), NodeId(5))
             ]
         );
+    }
+
+    #[test]
+    fn node_and_neighbor_accessors() {
+        let mut s = GraphState::new();
+        s.add_edge(NodeId(3), NodeId(1));
+        s.add_edge(NodeId(3), NodeId(5));
+        assert!(s.contains_node(NodeId(3)));
+        assert!(!s.contains_node(NodeId(9)));
+        assert_eq!(
+            s.nodes().collect::<Vec<_>>(),
+            vec![NodeId(1), NodeId(3), NodeId(5)]
+        );
+        assert_eq!(
+            s.neighbors(NodeId(3)).collect::<Vec<_>>(),
+            vec![NodeId(1), NodeId(5)]
+        );
+        assert_eq!(s.neighbors(NodeId(9)).count(), 0);
+
+        // Same event history => equal states; diverging => unequal.
+        let mut t = s.clone();
+        assert_eq!(s, t);
+        t.add_edge(NodeId(1), NodeId(5));
+        assert_ne!(s, t);
     }
 
     #[test]

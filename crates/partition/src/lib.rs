@@ -101,6 +101,71 @@ impl Partition {
         cut
     }
 
+    /// Relabel the parts to agree as much as possible with a previous
+    /// labelling — the incremental API a sharded deployment needs: a
+    /// fresh `partition()` numbers its parts arbitrarily, so applying
+    /// it naively would migrate almost every node even when the cut
+    /// barely moved. This maps each part onto one of `labels`
+    /// (≥ `self.k`) distinct labels, greedily maximising the number of
+    /// nodes whose label is unchanged (`prev(node)`); parts with no
+    /// overlap get the lowest unused labels. Deterministic: ties break
+    /// toward the smaller part id, then the smaller label.
+    ///
+    /// `prev` maps a local node index to its previous label (`None`
+    /// for nodes that had none). After the call `self.k == labels`.
+    ///
+    /// # Panics
+    /// If `labels < self.k` (fewer labels than parts cannot be a
+    /// relabelling).
+    pub fn relabel_to_match(&mut self, labels: usize, prev: impl Fn(usize) -> Option<u32>) {
+        assert!(
+            labels >= self.k,
+            "relabel_to_match needs labels ({labels}) >= parts ({})",
+            self.k
+        );
+        // Overlap matrix: how many nodes of part `p` previously carried
+        // label `l`.
+        let mut overlap = vec![0usize; self.k * labels];
+        for (node, &p) in self.assignment.iter().enumerate() {
+            if let Some(l) = prev(node) {
+                if (l as usize) < labels {
+                    overlap[p as usize * labels + l as usize] += 1;
+                }
+            }
+        }
+        let mut pairs: Vec<(usize, usize, usize)> = (0..self.k)
+            .flat_map(|p| (0..labels).map(move |l| (p, l)))
+            .filter_map(|(p, l)| {
+                let c = overlap[p * labels + l];
+                (c > 0).then_some((c, p, l))
+            })
+            .collect();
+        // Largest overlap first; deterministic tie-breaks.
+        pairs.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        let mut label_of = vec![u32::MAX; self.k];
+        let mut label_taken = vec![false; labels];
+        for (_, p, l) in pairs {
+            if label_of[p] == u32::MAX && !label_taken[l] {
+                label_of[p] = l as u32;
+                label_taken[l] = true;
+            }
+        }
+        let mut next_free = 0usize;
+        for l in label_of.iter_mut() {
+            if *l == u32::MAX {
+                while label_taken[next_free] {
+                    next_free += 1;
+                }
+                *l = next_free as u32;
+                label_taken[next_free] = true;
+            }
+        }
+        for p in self.assignment.iter_mut() {
+            *p = label_of[*p as usize];
+        }
+        self.k = labels;
+    }
+
     /// Largest part size divided by the perfectly balanced size
     /// (`|V|/K`); 1.0 means perfect balance.
     pub fn imbalance(&self, n: usize) -> f64 {
@@ -261,6 +326,64 @@ mod tests {
         let p1 = partition(&g, &cfg);
         let p2 = partition(&g, &cfg);
         assert_eq!(p1.assignment, p2.assignment);
+    }
+
+    #[test]
+    fn relabel_recovers_a_permuted_labelling() {
+        // Previous labels are a permutation of the fresh part ids; the
+        // relabelling must recover it exactly (zero migrations).
+        let g = grid(8, 8);
+        let p = partition(&g, &PartitionConfig::with_k(4));
+        let perm = [2u32, 0, 3, 1];
+        let prev: Vec<u32> = p.assignment.iter().map(|&x| perm[x as usize]).collect();
+        let mut relabelled = p.clone();
+        relabelled.relabel_to_match(4, |node| Some(prev[node]));
+        assert_eq!(relabelled.assignment, prev, "perfect overlap => no moves");
+        assert_eq!(relabelled.k, 4);
+    }
+
+    #[test]
+    fn relabel_spreads_into_a_larger_label_space() {
+        // 2 parts relabelled into a 4-label space: part overlapping
+        // label 3 keeps it, the other gets the lowest unused label, and
+        // nodes with no previous label don't disturb the matching.
+        let g = grid(6, 6);
+        let mut p = partition(&g, &PartitionConfig::with_k(2));
+        let witness = p.assignment.clone();
+        p.relabel_to_match(4, |node| {
+            if node % 3 == 0 {
+                None
+            } else {
+                Some(if witness[node] == 1 { 3 } else { 0 })
+            }
+        });
+        assert_eq!(p.k, 4);
+        for (node, &w) in witness.iter().enumerate() {
+            assert_eq!(
+                p.assignment[node],
+                if w == 1 { 3 } else { 0 },
+                "node {node}"
+            );
+        }
+    }
+
+    #[test]
+    fn relabel_with_no_history_keeps_distinct_labels() {
+        let g = grid(5, 5);
+        let mut p = partition(&g, &PartitionConfig::with_k(3));
+        p.relabel_to_match(3, |_| None);
+        let mut labels: Vec<u32> = p.assignment.clone();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels, vec![0, 1, 2], "fresh labels stay a bijection");
+    }
+
+    #[test]
+    #[should_panic(expected = "labels")]
+    fn relabel_rejects_shrinking_label_space() {
+        let g = grid(4, 4);
+        let mut p = partition(&g, &PartitionConfig::with_k(4));
+        p.relabel_to_match(2, |_| None);
     }
 
     #[test]

@@ -17,10 +17,14 @@
 //!   slow embedding step back-pressures producers at `send` instead of
 //!   stalling readers.
 //!
-//! [`ServingSession`] packages both paths; [`Server`] exposes them over
-//! TCP with a line-delimited JSON protocol (`query`, `nearest`,
-//! `ingest`, `flush`, `stats`, `shutdown`) — std-only, one thread per
-//! connection, no async runtime. See [`protocol`] for the wire format.
+//! [`ServingSession`] packages both paths; [`ShardedSession`] scales
+//! them out to `S` partition-routed shards, each with its own trainer
+//! thread, ingest queue, and epoch handle (`glodyne-shard` supplies
+//! the router and the owner-filtered fan-out merge); [`Server`]
+//! exposes either over TCP with a line-delimited JSON protocol
+//! (`query`, `nearest`, `ingest`, `flush`, `stats`, `shutdown`) —
+//! std-only, one thread per connection, no async runtime. See
+//! [`protocol`] for the wire format.
 
 pub mod epoch;
 pub mod error;
@@ -29,6 +33,7 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod session;
+pub mod shard;
 
 pub use epoch::{EmbeddingEpoch, EpochHandle};
 pub use error::ServeError;
@@ -36,3 +41,4 @@ pub use protocol::{ErrorKind, NearestMode, ProtocolError, Request};
 pub use queue::{FlushOutcome, IngestQueue};
 pub use server::{Server, ServerConfig};
 pub use session::{AnnSettings, AnnStats, ServeStats, ServingSession};
+pub use shard::{ShardEpochStats, ShardedSession};

@@ -441,6 +441,39 @@ pub fn stats_line(s: &ServeStats) -> String {
                     ]),
                 },
             ),
+            // Per-shard break-down; null on unsharded servers, so a
+            // pre-sharding client that never reads the key parses the
+            // response unchanged.
+            (
+                "shards".to_string(),
+                match &s.shards {
+                    None => Json::Null,
+                    Some(shards) => Json::Arr(
+                        shards
+                            .iter()
+                            .map(|sh| {
+                                Json::Obj(vec![
+                                    ("shard".to_string(), Json::Num(sh.shard as f64)),
+                                    ("epoch".to_string(), Json::Num(sh.epoch as f64)),
+                                    ("nodes".to_string(), Json::Num(sh.nodes as f64)),
+                                    ("queue_depth".to_string(), Json::Num(sh.queue_depth as f64)),
+                                    (
+                                        "events_accepted".to_string(),
+                                        Json::Num(sh.events_accepted as f64),
+                                    ),
+                                    (
+                                        "ann_build_ms".to_string(),
+                                        match sh.ann_build {
+                                            None => Json::Null,
+                                            Some(build) => Json::Num(build.as_secs_f64() * 1e3),
+                                        },
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                },
+            ),
         ],
     )
 }
@@ -639,6 +672,7 @@ mod tests {
             queue_capacity: 16,
             events_accepted: 5,
             ann: None,
+            shards: None,
         };
         assert!(stats_line(&base).contains(r#""ann":null"#));
         let with_ann = ServeStats {
@@ -654,6 +688,72 @@ mod tests {
             line.contains(r#""ann":{"cells":4,"nprobe_default":2,"build_ms":3"#),
             "{line}"
         );
+        json::parse(&line).unwrap();
+    }
+
+    #[test]
+    fn stats_shards_array_and_pre_sharding_compatibility() {
+        let base = ServeStats {
+            epoch: 3,
+            nodes: 20,
+            dim: 8,
+            queue_depth: 1,
+            queue_capacity: 16,
+            events_accepted: 9,
+            ann: None,
+            shards: None,
+        };
+        // Regression: an unsharded server renders "shards":null and
+        // every pre-sharding field exactly as before, so a client
+        // written against the PR 3/4 protocol parses it unchanged.
+        let line = stats_line(&base);
+        assert!(line.contains(r#""shards":null"#), "{line}");
+        let parsed = json::parse(&line).unwrap();
+        for key in [
+            "epoch",
+            "nodes",
+            "dim",
+            "queue_depth",
+            "queue_capacity",
+            "events_accepted",
+            "ann",
+        ] {
+            assert!(
+                parsed.get(key).is_some(),
+                "pre-sharding field {key}: {line}"
+            );
+        }
+        assert_eq!(parsed.get("shards"), Some(&Json::Null));
+
+        let sharded = ServeStats {
+            shards: Some(vec![
+                crate::shard::ShardEpochStats {
+                    shard: 0,
+                    epoch: 3,
+                    nodes: 12,
+                    queue_depth: 1,
+                    events_accepted: 6,
+                    ann_build: Some(std::time::Duration::from_millis(2)),
+                },
+                crate::shard::ShardEpochStats {
+                    shard: 1,
+                    epoch: 2,
+                    nodes: 11,
+                    queue_depth: 0,
+                    events_accepted: 5,
+                    ann_build: None,
+                },
+            ]),
+            ..base
+        };
+        let line = stats_line(&sharded);
+        assert!(
+            line.contains(
+                r#""shards":[{"shard":0,"epoch":3,"nodes":12,"queue_depth":1,"events_accepted":6,"ann_build_ms":2"#
+            ),
+            "{line}"
+        );
+        assert!(line.contains(r#""ann_build_ms":null"#), "{line}");
         json::parse(&line).unwrap();
     }
 }

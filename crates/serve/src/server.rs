@@ -16,9 +16,14 @@
 
 use crate::error::ServeError;
 use crate::protocol::{self, ErrorKind, NearestMode, ProtocolError, Request};
-use crate::session::{AnnSettings, ServingSession};
+use crate::queue::FlushOutcome;
+use crate::session::{AnnSettings, ServeStats, ServingSession};
+use crate::shard::ShardedSession;
 use glodyne::EmbedderSession;
 use glodyne_embed::DynamicEmbedder;
+use glodyne_graph::state::GraphEvent;
+use glodyne_graph::NodeId;
+use glodyne_shard::ShardConfig;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -51,10 +56,109 @@ impl Default for ServerConfig {
     }
 }
 
+/// The serving engine behind a [`Server`]: one trainer (unsharded) or
+/// one per shard (see [`Server::bind_sharded`]). Both expose the same
+/// wire surface; `dispatch` is written against this enum so the two
+/// modes cannot drift apart.
+pub(crate) enum Backend {
+    /// One global session on one trainer thread.
+    Single(ServingSession),
+    /// Partition-routed shards, each with its own trainer.
+    Sharded(ShardedSession),
+}
+
+impl Backend {
+    fn query(&self, node: NodeId) -> (u64, Option<Vec<f32>>) {
+        match self {
+            Backend::Single(s) => s.query(node),
+            Backend::Sharded(s) => s.query(node),
+        }
+    }
+
+    /// Exact `nearest`; the inner `None` distinguishes an unknown node
+    /// from a node with no neighbours.
+    fn nearest_exact(&self, node: NodeId, k: usize) -> (u64, Option<Vec<(NodeId, f32)>>) {
+        match self {
+            Backend::Single(s) => {
+                // One epoch load per request: the existence check, the
+                // scan, and the reported epoch id always agree.
+                let epoch = s.epoch();
+                match epoch.embedding.get(node) {
+                    Some(_) => (epoch.epoch, Some(epoch.embedding.top_k(node, k))),
+                    None => (epoch.epoch, None),
+                }
+            }
+            Backend::Sharded(s) => s.nearest(node, k),
+        }
+    }
+
+    /// ANN `nearest`; outer `None` means ANN is unavailable on this
+    /// server, inner `None` an unknown node. The `usize` is the probe
+    /// width to echo. An unknown node reports `not_found` even when
+    /// ANN is also unavailable — the pre-sharding wire order, which a
+    /// protocol regression test pins.
+    #[allow(clippy::type_complexity)]
+    fn nearest_ann(
+        &self,
+        node: NodeId,
+        k: usize,
+        nprobe: Option<usize>,
+    ) -> Option<(u64, Option<Vec<(NodeId, f32)>>, usize)> {
+        match self {
+            Backend::Single(s) => {
+                let epoch = s.epoch();
+                if epoch.embedding.get(node).is_none() {
+                    return Some((epoch.epoch, None, 0));
+                }
+                let settings = s.ann()?;
+                let requested = nprobe.unwrap_or(settings.default_nprobe);
+                let (hits, effective) = epoch.search_ann(node, k, requested)?;
+                Some((epoch.epoch, Some(hits), effective))
+            }
+            Backend::Sharded(s) => match s.nearest_ann(node, k, nprobe) {
+                // ANN disabled: still distinguish an unknown node.
+                None => match s.query(node) {
+                    (epoch, None) => Some((epoch, None, 0)),
+                    (_, Some(_)) => None,
+                },
+                answered => answered,
+            },
+        }
+    }
+
+    fn ingest(&self, events: &[GraphEvent]) -> Result<usize, ServeError> {
+        match self {
+            Backend::Single(s) => s.ingest(events),
+            Backend::Sharded(s) => s.ingest(events),
+        }
+    }
+
+    fn flush(&self) -> Result<FlushOutcome, ServeError> {
+        match self {
+            Backend::Single(s) => s.flush(),
+            Backend::Sharded(s) => s.flush(),
+        }
+    }
+
+    fn stats(&self) -> ServeStats {
+        match self {
+            Backend::Single(s) => s.stats(),
+            Backend::Sharded(s) => s.stats(),
+        }
+    }
+
+    fn stop(&self) {
+        match self {
+            Backend::Single(s) => s.shutdown(),
+            Backend::Sharded(s) => s.shutdown(),
+        }
+    }
+}
+
 /// A running serving process.
 pub struct Server {
     addr: SocketAddr,
-    session: Arc<ServingSession>,
+    backend: Arc<Backend>,
     shutdown: Arc<AtomicBool>,
     accept: Option<JoinHandle<u64>>,
 }
@@ -77,6 +181,40 @@ impl Server {
         if let Some(settings) = &cfg.ann {
             settings.validate().map_err(ServeError::Config)?;
         }
+        let backend = Backend::Single(
+            ServingSession::spawn_with_ann(session, cfg.queue_capacity, cfg.ann)
+                .map_err(ServeError::Config)?,
+        );
+        Server::bind_backend(backend, addr, &cfg)
+    }
+
+    /// Serve `shard_cfg.shards` partition-routed shards (one
+    /// [`EmbedderSession`] each, one trainer thread each) behind the
+    /// same wire protocol: events route through a `glodyne-shard`
+    /// [`ShardRouter`](glodyne_shard::ShardRouter), `nearest` fans out
+    /// across the shard epochs, and `stats` gains the per-shard
+    /// `"shards"` array.
+    pub fn bind_sharded<E>(
+        sessions: Vec<EmbedderSession<E>>,
+        shard_cfg: ShardConfig,
+        addr: &str,
+        cfg: ServerConfig,
+    ) -> Result<Server, ServeError>
+    where
+        E: DynamicEmbedder + Send + 'static,
+    {
+        let backend = Backend::Sharded(
+            ShardedSession::spawn_with_ann(sessions, shard_cfg, cfg.queue_capacity, cfg.ann)
+                .map_err(ServeError::Config)?,
+        );
+        Server::bind_backend(backend, addr, &cfg)
+    }
+
+    fn bind_backend(
+        backend: Backend,
+        addr: &str,
+        cfg: &ServerConfig,
+    ) -> Result<Server, ServeError> {
         let listener = TcpListener::bind(addr).map_err(|source| ServeError::Bind {
             addr: addr.to_string(),
             source,
@@ -85,10 +223,7 @@ impl Server {
             addr: addr.to_string(),
             source,
         })?;
-        let serving = Arc::new(
-            ServingSession::spawn_with_ann(session, cfg.queue_capacity, cfg.ann)
-                .map_err(ServeError::Config)?,
-        );
+        let serving = Arc::new(backend);
         let shutdown = Arc::new(AtomicBool::new(false));
         let accept = {
             let serving = Arc::clone(&serving);
@@ -139,7 +274,7 @@ impl Server {
         };
         Ok(Server {
             addr: local,
-            session: serving,
+            backend: serving,
             shutdown,
             accept: Some(accept),
         })
@@ -150,9 +285,27 @@ impl Server {
         self.addr
     }
 
-    /// The shared serving session (host-side stats, tests).
-    pub fn session(&self) -> &Arc<ServingSession> {
-        &self.session
+    /// The unsharded serving session, when this server runs one
+    /// (host-side stats, tests); `None` in sharded mode.
+    pub fn session(&self) -> Option<&ServingSession> {
+        match &*self.backend {
+            Backend::Single(s) => Some(s),
+            Backend::Sharded(_) => None,
+        }
+    }
+
+    /// The sharded session, when this server runs one; `None` in
+    /// unsharded mode.
+    pub fn sharded(&self) -> Option<&ShardedSession> {
+        match &*self.backend {
+            Backend::Single(_) => None,
+            Backend::Sharded(s) => Some(s),
+        }
+    }
+
+    /// Host-side serving counters — works in both modes.
+    pub fn stats(&self) -> ServeStats {
+        self.backend.stats()
     }
 
     /// Flip the shutdown flag and wake the accept loop — the host-side
@@ -169,7 +322,7 @@ impl Server {
             Some(handle) => handle.join().unwrap_or(0),
             None => 0,
         };
-        self.session.shutdown();
+        self.backend.stop();
         served
     }
 }
@@ -180,7 +333,7 @@ impl Drop for Server {
             self.request_shutdown();
             let _ = handle.join();
         }
-        self.session.shutdown();
+        self.backend.stop();
     }
 }
 
@@ -320,7 +473,7 @@ fn drain_past_newline<R: BufRead>(reader: &mut R) -> io::Result<()> {
 
 fn handle_connection(
     stream: TcpStream,
-    serving: &ServingSession,
+    serving: &Backend,
     shutdown: &AtomicBool,
     local: SocketAddr,
     max_line: usize,
@@ -375,50 +528,38 @@ fn respond(writer: &mut TcpStream, line: &str) -> io::Result<()> {
 }
 
 /// Turn one request into one response line.
-fn dispatch(request: Request, serving: &ServingSession, shutdown: &AtomicBool) -> String {
+fn dispatch(request: Request, serving: &Backend, shutdown: &AtomicBool) -> String {
     match request {
         Request::Query { node } => {
-            // One epoch load per request: the lookup and the reported
-            // epoch id always agree, even mid-publish.
-            let epoch = serving.epoch();
-            match epoch.embedding.get(node) {
-                Some(v) => protocol::query_line(epoch.epoch, node, v),
-                None => not_found(node, epoch.epoch),
+            // The backend resolves the lookup and the reported epoch id
+            // from one frozen view, even mid-publish.
+            match serving.query(node) {
+                (epoch, Some(v)) => protocol::query_line(epoch, node, &v),
+                (epoch, None) => not_found(node, epoch),
             }
         }
-        Request::Nearest { node, k, mode } => {
-            let epoch = serving.epoch();
-            // One epoch load per request: the existence check, the
-            // scan (exact or IVF), and the reported epoch id always
-            // agree, even mid-publish.
-            if epoch.embedding.get(node).is_none() {
-                return not_found(node, epoch.epoch);
-            }
-            match mode {
-                NearestMode::Exact => {
-                    let neighbours = epoch.embedding.top_k(node, k);
-                    protocol::nearest_line(epoch.epoch, node, &neighbours)
-                }
-                NearestMode::Ann { nprobe } => {
-                    // `search_ann` echoes the *effective* probe width
-                    // (clamped to the cell count), not the raw request
-                    // — clients tune recall/latency off this.
-                    let searched = serving.ann().and_then(|settings| {
-                        epoch.search_ann(node, k, nprobe.unwrap_or(settings.default_nprobe))
-                    });
-                    match searched {
-                        Some((neighbours, effective)) => {
-                            protocol::nearest_ann_line(epoch.epoch, node, &neighbours, effective)
-                        }
-                        None => protocol::error_line(&ProtocolError {
-                            kind: ErrorKind::Unavailable,
-                            message: "ann index is not enabled on this server (start with --ann)"
-                                .into(),
-                        }),
+        Request::Nearest { node, k, mode } => match mode {
+            NearestMode::Exact => match serving.nearest_exact(node, k) {
+                (epoch, Some(neighbours)) => protocol::nearest_line(epoch, node, &neighbours),
+                (epoch, None) => not_found(node, epoch),
+            },
+            NearestMode::Ann { nprobe } => {
+                // The echoed probe width is what the scan *used*
+                // (clamped), not the raw request — clients tune
+                // recall/latency off this.
+                match serving.nearest_ann(node, k, nprobe) {
+                    Some((epoch, Some(neighbours), effective)) => {
+                        protocol::nearest_ann_line(epoch, node, &neighbours, effective)
                     }
+                    Some((epoch, None, _)) => not_found(node, epoch),
+                    None => protocol::error_line(&ProtocolError {
+                        kind: ErrorKind::Unavailable,
+                        message: "ann index is not enabled on this server (start with --ann)"
+                            .into(),
+                    }),
                 }
             }
-        }
+        },
         Request::Ingest { events } => {
             if shutdown.load(Ordering::SeqCst) {
                 return shutting_down();

@@ -79,23 +79,31 @@ pub struct AnnStats {
 }
 
 /// A point-in-time view of the serving counters (the `stats` command).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeStats {
-    /// Published epoch id (committed embedding steps).
+    /// Published epoch id (committed embedding steps). Sharded
+    /// sessions report the maximum across shards.
     pub epoch: u64,
-    /// Embedded nodes in the published epoch.
+    /// Embedded nodes in the published epoch. Sharded sessions report
+    /// the live (owned) node count of the router's global view.
     pub nodes: usize,
     /// Embedding dimensionality.
     pub dim: usize,
-    /// Events waiting in the ingest queue (approximate).
+    /// Events waiting in the ingest queue (approximate; summed across
+    /// shards when sharded).
     pub queue_depth: usize,
-    /// The ingest queue's bound.
+    /// The ingest queue's bound (per shard when sharded).
     pub queue_capacity: usize,
-    /// Events accepted since the session was spawned.
+    /// Events accepted since the session was spawned (client events,
+    /// not per-shard mirror copies).
     pub events_accepted: u64,
     /// ANN index parameters of the published epoch; `None` when ANN is
     /// disabled.
     pub ann: Option<AnnStats>,
+    /// Per-shard break-down; `None` on unsharded sessions (the wire
+    /// `stats` renders it as `"shards":null`, which pre-sharding
+    /// clients never look at).
+    pub shards: Option<Vec<crate::shard::ShardEpochStats>>,
 }
 
 /// The concurrent wrapper around a moved-away `EmbedderSession`.
@@ -243,6 +251,7 @@ impl ServingSession {
                     build: index.build_time(),
                 })
             }),
+            shards: None,
         }
     }
 
@@ -273,8 +282,10 @@ impl Drop for ServingSession {
 
 /// The trainer thread: apply events, publish an epoch (embedding plus
 /// its freshly built index, when ANN is on) after every committed
-/// step, acknowledge flushes in queue order.
-fn trainer_loop<E: DynamicEmbedder>(
+/// step, acknowledge flushes in queue order. Shared verbatim by the
+/// sharded session (`crate::shard`), which runs one of these loops per
+/// shard.
+pub(crate) fn trainer_loop<E: DynamicEmbedder>(
     mut session: EmbedderSession<E>,
     inbox: TrainerInbox,
     epochs: EpochHandle,
@@ -319,7 +330,7 @@ fn publish<E: DynamicEmbedder>(
 
 /// Assemble one publishable epoch; the IVF build (when ANN is on)
 /// happens here, on the trainer thread, so it never blocks a reader.
-fn build_epoch(
+pub(crate) fn build_epoch(
     epoch: u64,
     embedding: Embedding,
     report: Option<glodyne::StepReport>,

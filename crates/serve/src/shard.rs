@@ -1,0 +1,577 @@
+//! [`ShardedSession`]: `S` per-shard trainer threads behind one
+//! partition router — the concurrent, epoch-swapped form of
+//! `glodyne_shard::ShardedState`.
+//!
+//! Each shard reuses the unsharded machinery verbatim: its own bounded
+//! [`IngestQueue`], its own trainer thread running the same
+//! [`trainer_loop`](crate::session), and its own
+//! [`EpochHandle`] publishing an immutable [`EmbeddingEpoch`]
+//! (embedding + optional IVF index) after every committed step. What
+//! the sharded session adds is the routing layer in front and the
+//! fan-out merge behind:
+//!
+//! - **Writes** take the router's write lock just long enough to route
+//!   (cheap hash/partition-map lookups — never training) and then feed
+//!   the per-shard queues; a full shard queue back-pressures the
+//!   producer exactly like the unsharded path.
+//! - **Reads** take the router's read lock to resolve ownership, clone
+//!   each shard's current epoch `Arc`, and answer from those frozen
+//!   epochs — they never wait on any trainer. A read can lag each
+//!   shard's write path by at most one epoch, independently per shard.
+//! - **Flush** first lets the router rebalance if drift accumulated
+//!   (migration events ride the queues ahead of the flush barrier),
+//!   then commits every shard and reports `stepped = any`,
+//!   `epoch = max` over shards; `stats` carries the full per-shard
+//!   break-down.
+//!
+//! Global `nearest` is the owner-filtered fan-out of
+//! [`glodyne_shard::fanout`]: exact mode is bit-exact with an
+//! unsharded exact scan over the owner-filtered union of the shard
+//! epochs; ANN mode probes each shard's index and merges owned hits.
+
+use crate::epoch::{EmbeddingEpoch, EpochHandle};
+use crate::error::ServeError;
+use crate::queue::{bounded, FlushOutcome, IngestQueue};
+use crate::session::{build_epoch, trainer_loop, AnnSettings, AnnStats, ServeStats};
+use glodyne::EmbedderSession;
+use glodyne_embed::{ConfigError, DynamicEmbedder};
+use glodyne_graph::state::GraphEvent;
+use glodyne_graph::NodeId;
+use glodyne_shard::{fanout, ShardConfig, ShardRouter, ShardView};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// One shard's slice of a `stats` response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardEpochStats {
+    /// Shard id (`0..S`).
+    pub shard: u32,
+    /// The shard's published epoch id.
+    pub epoch: u64,
+    /// Embedded rows in that epoch (owned nodes *plus* halo copies —
+    /// what the shard actually trains).
+    pub nodes: usize,
+    /// Events waiting in the shard's ingest queue (approximate).
+    pub queue_depth: usize,
+    /// Events the shard's queue accepted (mirror copies included, so
+    /// the sum over shards can exceed the session-level count).
+    pub events_accepted: u64,
+    /// Build time of the shard epoch's IVF index, when ANN is on and
+    /// the epoch carries one.
+    pub ann_build: Option<Duration>,
+}
+
+/// One shard's write/read plumbing.
+struct ShardHandle {
+    queue: IngestQueue,
+    epochs: EpochHandle,
+}
+
+/// The concurrent sharded session (see the module docs).
+pub struct ShardedSession {
+    router: RwLock<ShardRouter>,
+    shards: Vec<ShardHandle>,
+    trainers: Mutex<Vec<JoinHandle<()>>>,
+    ann: Option<AnnSettings>,
+    /// Serialises writers end-to-end (route *and* enqueue) so every
+    /// shard queue receives events in global routing order — held
+    /// *instead of* the router lock across blocking queue sends, so a
+    /// full queue back-pressures producers without ever blocking the
+    /// read path's `router.read()`.
+    write_order: Mutex<()>,
+    /// Client events accepted (each counted once, however many shards
+    /// it mirrored to).
+    accepted: AtomicU64,
+}
+
+impl ShardedSession {
+    /// Move one session per shard onto its own trainer thread. Every
+    /// session is switched to full-graph commits (a shard legitimately
+    /// holds disconnected halo fragments). `sessions.len()` must equal
+    /// `shard_cfg.shards`.
+    pub fn spawn<E>(
+        sessions: Vec<EmbedderSession<E>>,
+        shard_cfg: ShardConfig,
+        queue_capacity: usize,
+    ) -> Result<ShardedSession, ConfigError>
+    where
+        E: DynamicEmbedder + Send + 'static,
+    {
+        ShardedSession::spawn_with_ann(sessions, shard_cfg, queue_capacity, None)
+    }
+
+    /// Like [`ShardedSession::spawn`], additionally building an IVF
+    /// index per shard per published epoch (each on its shard's
+    /// trainer thread, same ≤ 1-epoch-lag model as the embeddings).
+    pub fn spawn_with_ann<E>(
+        sessions: Vec<EmbedderSession<E>>,
+        shard_cfg: ShardConfig,
+        queue_capacity: usize,
+        ann: Option<AnnSettings>,
+    ) -> Result<ShardedSession, ConfigError>
+    where
+        E: DynamicEmbedder + Send + 'static,
+    {
+        if let Some(settings) = &ann {
+            settings.validate()?;
+        }
+        let router = ShardRouter::new(shard_cfg)?;
+        if sessions.len() != shard_cfg.shards {
+            return Err(ConfigError::new(
+                "shards",
+                "one EmbedderSession per shard is required",
+            ));
+        }
+        let mut shards = Vec::with_capacity(sessions.len());
+        let mut trainers = Vec::with_capacity(sessions.len());
+        for (i, session) in sessions.into_iter().enumerate() {
+            let session = session.keep_full_graph();
+            let epochs = EpochHandle::new(build_epoch(
+                session.steps() as u64,
+                session.embedding().clone(),
+                session.reports().last().copied(),
+                ann.as_ref(),
+            ));
+            let (queue, inbox) = bounded(queue_capacity);
+            let publisher = epochs.clone();
+            let trainer = thread::Builder::new()
+                .name(format!("glodyne-trainer-{i}"))
+                .spawn(move || trainer_loop(session, inbox, publisher, ann))
+                .expect("spawn shard trainer thread");
+            shards.push(ShardHandle { queue, epochs });
+            trainers.push(trainer);
+        }
+        Ok(ShardedSession {
+            router: RwLock::new(router),
+            shards,
+            trainers: Mutex::new(trainers),
+            ann,
+            write_order: Mutex::new(()),
+            accepted: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The session's ANN settings, when enabled.
+    pub fn ann(&self) -> Option<AnnSettings> {
+        self.ann
+    }
+
+    /// Route and enqueue events in order, blocking when a shard queue
+    /// is full. Returns how many *client* events were accepted (each
+    /// once, however many shards it mirrored to).
+    ///
+    /// Back-pressure never blocks reads: the router's write lock is
+    /// held only for the (cheap) routing decision; the blocking queue
+    /// sends happen under the separate writer-order mutex, which the
+    /// read path never takes. [`ServeError::Closed`] means a shard
+    /// trainer is gone — the failing event may already be reflected in
+    /// the router's global mirror but not in every shard, so a dead
+    /// trainer is terminal for the session: shut it down rather than
+    /// retrying (retries would be swallowed as mirror duplicates).
+    ///
+    /// Rebalances lazily on drift as part of the ingest path (the
+    /// check is two integer compares): waiting for an explicit flush
+    /// would leave a long stream running on hash placement — maximal
+    /// cut, maximal halo duplication.
+    pub fn ingest(&self, events: &[GraphEvent]) -> Result<usize, ServeError> {
+        let _order = self
+            .write_order
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        for &event in events {
+            let (routed, migrations) = {
+                let mut router = self.router.write().unwrap_or_else(PoisonError::into_inner);
+                let routed = router.route(event);
+                (routed, router.maybe_rebalance().map(|rb| rb.events))
+            };
+            for (shard, ev) in routed {
+                self.shards[shard as usize].queue.send_event(ev)?;
+            }
+            self.accepted.fetch_add(1, Ordering::Relaxed);
+            for (shard, ev) in migrations.into_iter().flatten() {
+                self.shards[shard as usize].queue.send_event(ev)?;
+            }
+        }
+        Ok(events.len())
+    }
+
+    /// Rebalance if drifted, then commit every shard's pending events
+    /// and wait for all the steps. Migration events enter each shard's
+    /// queue *before* its flush marker, so the committed layout is the
+    /// rebalanced one. `stepped` is true when any shard stepped;
+    /// `epoch` is the maximum shard epoch after the flush.
+    pub fn flush(&self) -> Result<FlushOutcome, ServeError> {
+        {
+            // Writer-order mutex for the send, router lock only for
+            // the rebalance decision — reads stay unblocked.
+            let _order = self
+                .write_order
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            let migrations = self
+                .router
+                .write()
+                .unwrap_or_else(PoisonError::into_inner)
+                .maybe_rebalance()
+                .map(|rb| rb.events);
+            for (shard, ev) in migrations.into_iter().flatten() {
+                self.shards[shard as usize].queue.send_event(ev)?;
+            }
+        }
+        let mut outcome = FlushOutcome {
+            stepped: false,
+            epoch: 0,
+        };
+        for shard in &self.shards {
+            let one = shard.queue.request_flush()?;
+            outcome.stepped |= one.stepped;
+            outcome.epoch = outcome.epoch.max(one.epoch);
+        }
+        Ok(outcome)
+    }
+
+    /// Every shard's currently served epoch (cloned `Arc`s; frozen for
+    /// as long as the caller holds them).
+    pub fn epochs(&self) -> Vec<Arc<EmbeddingEpoch>> {
+        self.shards.iter().map(|s| s.epochs.load()).collect()
+    }
+
+    /// The embedding vector of `node` in its owner shard's served
+    /// epoch, with that epoch's id (0 when the node has no owner).
+    pub fn query(&self, node: NodeId) -> (u64, Option<Vec<f32>>) {
+        let router = self.router.read().unwrap_or_else(PoisonError::into_inner);
+        let Some(shard) = router.owner(node) else {
+            return (0, None);
+        };
+        drop(router);
+        let epoch = self.shards[shard as usize].epochs.load();
+        (epoch.epoch, epoch.embedding.get(node).map(<[f32]>::to_vec))
+    }
+
+    /// Exact global `k`-nearest: per-shard scans of owned rows merged
+    /// through the shared top-`k` heap — bit-exact with an unsharded
+    /// exact scan over the owner-filtered union of the shard epochs.
+    /// `(epoch, None)` when the node has no owned vector; the epoch id
+    /// is the owner shard's.
+    pub fn nearest(&self, node: NodeId, k: usize) -> (u64, Option<Vec<(NodeId, f32)>>) {
+        self.fanout(node, |views, owner, reporting| {
+            let _ = reporting;
+            fanout::nearest_exact(views, owner, node, k)
+        })
+    }
+
+    /// Approximate global `k`-nearest: probe each shard epoch's IVF
+    /// index with `nprobe` cells (the session default when `None`),
+    /// drop halo hits, merge. `None` when ANN is disabled on this
+    /// session. The inner option is `None` when the node has no owned
+    /// vector. The returned probe width is the request clamped to the
+    /// configured cell target (per-shard indexes may clamp tighter).
+    #[allow(clippy::type_complexity)]
+    pub fn nearest_ann(
+        &self,
+        node: NodeId,
+        k: usize,
+        nprobe: Option<usize>,
+    ) -> Option<(u64, Option<Vec<(NodeId, f32)>>, usize)> {
+        let settings = self.ann?;
+        let effective = nprobe
+            .unwrap_or(settings.default_nprobe)
+            .clamp(1, settings.config.cells);
+        let (epoch, hits) = self.fanout(node, |views, owner, _| {
+            fanout::nearest_approx(views, owner, node, k, effective)
+        });
+        Some((epoch, hits, effective))
+    }
+
+    /// Shared read-path skeleton: snapshot ownership and every shard
+    /// epoch once, report the owner shard's epoch id, and distinguish
+    /// "node unknown" (`None`) from "no candidates" (`Some(empty)`).
+    fn fanout<F>(&self, node: NodeId, run: F) -> (u64, Option<Vec<(NodeId, f32)>>)
+    where
+        F: FnOnce(&[ShardView<'_>], &dyn Fn(NodeId) -> Option<u32>, u64) -> Vec<(NodeId, f32)>,
+    {
+        let router = self.router.read().unwrap_or_else(PoisonError::into_inner);
+        let epochs = self.epochs();
+        let views: Vec<ShardView<'_>> = epochs
+            .iter()
+            .enumerate()
+            .map(|(shard, epoch)| ShardView {
+                shard: shard as u32,
+                embedding: &epoch.embedding,
+                index: epoch.index.as_ref(),
+            })
+            .collect();
+        let owner = |id: NodeId| router.owner(id);
+        let Some(shard) = owner(node) else {
+            return (0, None);
+        };
+        let epoch_id = epochs[shard as usize].epoch;
+        if epochs[shard as usize].embedding.get(node).is_none() {
+            // Owned but not yet committed by its owner: still unknown
+            // to the read surface.
+            return (epoch_id, None);
+        }
+        (epoch_id, Some(run(&views, &owner, epoch_id)))
+    }
+
+    /// Aggregate counters plus the per-shard break-down.
+    pub fn stats(&self) -> ServeStats {
+        let router = self.router.read().unwrap_or_else(PoisonError::into_inner);
+        let live_nodes = router.global().num_nodes();
+        drop(router);
+        let epochs = self.epochs();
+        let per_shard: Vec<ShardEpochStats> = epochs
+            .iter()
+            .zip(&self.shards)
+            .enumerate()
+            .map(|(i, (epoch, handle))| ShardEpochStats {
+                shard: i as u32,
+                epoch: epoch.epoch,
+                nodes: epoch.embedding.len(),
+                queue_depth: handle.queue.depth(),
+                events_accepted: handle.queue.accepted(),
+                ann_build: epoch.index.as_ref().map(|ix| ix.build_time()),
+            })
+            .collect();
+        ServeStats {
+            epoch: per_shard.iter().map(|s| s.epoch).max().unwrap_or(0),
+            nodes: live_nodes,
+            dim: epochs.first().map_or(0, |e| e.embedding.dim()),
+            queue_depth: per_shard.iter().map(|s| s.queue_depth).sum(),
+            queue_capacity: self.shards.first().map_or(0, |s| s.queue.capacity()),
+            events_accepted: self.accepted.load(Ordering::Relaxed),
+            ann: self.ann.as_ref().map(|settings| AnnStats {
+                cells: settings.config.cells,
+                default_nprobe: settings.default_nprobe,
+                build: per_shard
+                    .iter()
+                    .filter_map(|s| s.ann_build)
+                    .max()
+                    .unwrap_or_default(),
+            }),
+            shards: Some(per_shard),
+        }
+    }
+
+    /// Stop every trainer and wait for them. Idempotent; reads keep
+    /// working off the last published epochs, writes return
+    /// [`ServeError::Closed`].
+    pub fn shutdown(&self) {
+        for shard in &self.shards {
+            shard.queue.send_shutdown();
+        }
+        let handles =
+            std::mem::take(&mut *self.trainers.lock().unwrap_or_else(PoisonError::into_inner));
+        for handle in handles {
+            // Same policy as the unsharded session: a trainer that
+            // panicked already published its last good epoch.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ShardedSession {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glodyne::{EpochPolicy, GloDyNE, GloDyNEConfig, IvfConfig};
+    use glodyne_embed::walks::WalkConfig;
+    use glodyne_embed::SgnsConfig;
+
+    fn tiny_session(seed: u64) -> EmbedderSession<GloDyNE> {
+        let cfg = GloDyNEConfig {
+            alpha: 0.5,
+            walk: WalkConfig {
+                walks_per_node: 2,
+                walk_length: 8,
+                seed,
+            },
+            sgns: SgnsConfig {
+                dim: 8,
+                window: 2,
+                negatives: 2,
+                epochs: 1,
+                parallel: false,
+                seed,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        EmbedderSession::new(GloDyNE::new(cfg).unwrap(), EpochPolicy::Manual).unwrap()
+    }
+
+    fn sharded(shards: usize, ann: Option<AnnSettings>) -> ShardedSession {
+        let sessions = (0..shards).map(|s| tiny_session(s as u64)).collect();
+        ShardedSession::spawn_with_ann(
+            sessions,
+            ShardConfig {
+                shards,
+                min_partition_nodes: 8,
+                ..Default::default()
+            },
+            64,
+            ann,
+        )
+        .unwrap()
+    }
+
+    /// Two tight communities plus one bridge, as graph events.
+    fn community_events() -> Vec<GraphEvent> {
+        let mut events = Vec::new();
+        for c in 0..2u32 {
+            let base = c * 10;
+            for i in 0..10 {
+                for j in (i + 1)..10 {
+                    events.push(GraphEvent::add_edge(NodeId(base + i), NodeId(base + j), 0));
+                }
+            }
+        }
+        events.push(GraphEvent::add_edge(NodeId(0), NodeId(10), 0));
+        events
+    }
+
+    #[test]
+    fn session_count_must_match_shard_count() {
+        let sessions = vec![tiny_session(0)];
+        match ShardedSession::spawn(sessions, ShardConfig::with_shards(2), 8) {
+            Err(err) => assert_eq!(err.param(), "shards"),
+            Ok(_) => panic!("one session per shard must be enforced"),
+        }
+    }
+
+    #[test]
+    fn ingest_flush_query_round_trip_across_shards() {
+        let serving = sharded(2, None);
+        let events = community_events();
+        assert_eq!(serving.ingest(&events).unwrap(), events.len());
+        let outcome = serving.flush().unwrap();
+        assert!(outcome.stepped);
+        assert!(outcome.epoch >= 1);
+
+        // Every live node answers through its owner shard.
+        for n in (0..20u32).map(NodeId) {
+            let (_, vector) = serving.query(n);
+            assert!(vector.is_some(), "node {n:?}");
+        }
+        let (_, unknown) = serving.query(NodeId(999));
+        assert!(unknown.is_none());
+        serving.shutdown();
+    }
+
+    #[test]
+    fn fanout_nearest_is_bit_exact_with_the_union_scan() {
+        let serving = sharded(2, None);
+        serving.ingest(&community_events()).unwrap();
+        serving.flush().unwrap();
+
+        let epochs = serving.epochs();
+        let views: Vec<ShardView<'_>> = epochs
+            .iter()
+            .enumerate()
+            .map(|(shard, e)| ShardView {
+                shard: shard as u32,
+                embedding: &e.embedding,
+                index: None,
+            })
+            .collect();
+        let router = serving.router.read().unwrap();
+        let union = fanout::union_embedding(&views, |id| router.owner(id));
+        drop(router);
+
+        for probe in [0u32, 5, 10, 15] {
+            let (_, hits) = serving.nearest(NodeId(probe), 6);
+            let hits = hits.expect("probe is owned and embedded");
+            let spec = union.top_k(NodeId(probe), 6);
+            assert_eq!(hits.len(), spec.len());
+            for (a, b) in hits.iter().zip(&spec) {
+                assert_eq!(a.0, b.0);
+                assert_eq!(a.1.to_bits(), b.1.to_bits());
+            }
+        }
+        let (_, missing) = serving.nearest(NodeId(999), 5);
+        assert!(missing.is_none(), "unknown probe is not-found, not empty");
+        serving.shutdown();
+    }
+
+    #[test]
+    fn ann_fanout_probes_per_shard_indexes() {
+        let settings = AnnSettings {
+            config: IvfConfig {
+                cells: 4,
+                ..Default::default()
+            },
+            default_nprobe: 2,
+        };
+        let serving = sharded(2, Some(settings));
+        serving.ingest(&community_events()).unwrap();
+        serving.flush().unwrap();
+
+        for epoch in serving.epochs() {
+            assert!(epoch.index.is_some(), "each shard publishes its index");
+        }
+        let (_, hits, nprobe) = serving.nearest_ann(NodeId(3), 5, None).unwrap();
+        assert_eq!(nprobe, 2, "session default nprobe");
+        let hits = hits.unwrap();
+        assert!(!hits.is_empty());
+        assert!(hits.iter().all(|&(id, _)| id != NodeId(3)));
+        // Requested nprobe clamps to the configured cell target.
+        let (_, _, wide) = serving.nearest_ann(NodeId(3), 5, Some(999)).unwrap();
+        assert_eq!(wide, 4);
+
+        let none = sharded(2, None);
+        assert!(none.nearest_ann(NodeId(0), 3, None).is_none());
+        serving.shutdown();
+    }
+
+    #[test]
+    fn stats_carry_the_per_shard_break_down() {
+        let serving = sharded(2, None);
+        serving.ingest(&community_events()).unwrap();
+        serving.flush().unwrap();
+        let stats = serving.stats();
+        assert_eq!(stats.events_accepted, community_events().len() as u64);
+        assert_eq!(
+            stats.nodes, 20,
+            "live nodes, halo copies not double-counted"
+        );
+        assert_eq!(stats.dim, 8);
+        let shards = stats.shards.as_ref().expect("sharded break-down");
+        assert_eq!(shards.len(), 2);
+        assert!(shards.iter().all(|s| s.queue_depth == 0));
+        assert!(shards.iter().any(|s| s.epoch >= 1));
+        assert_eq!(stats.epoch, shards.iter().map(|s| s.epoch).max().unwrap());
+        // Mirrored copies make the per-shard sum >= the client count.
+        let mirrored: u64 = shards.iter().map(|s| s.events_accepted).sum();
+        assert!(mirrored >= stats.events_accepted);
+        serving.shutdown();
+    }
+
+    #[test]
+    fn shutdown_keeps_reads_and_fails_writes() {
+        let serving = sharded(2, None);
+        serving.ingest(&community_events()).unwrap();
+        serving.flush().unwrap();
+        serving.shutdown();
+        serving.shutdown(); // idempotent
+
+        let (_, vector) = serving.query(NodeId(0));
+        assert!(vector.is_some(), "reads survive shutdown");
+        assert!(matches!(
+            serving.ingest(&[GraphEvent::add_edge(NodeId(50), NodeId(51), 9)]),
+            Err(ServeError::Closed)
+        ));
+        assert!(matches!(serving.flush(), Err(ServeError::Closed)));
+    }
+}

@@ -120,6 +120,15 @@ fn full_wire_session() {
     let ann = client.round_trip(r#"{"cmd":"nearest","node":2,"mode":"ann"}"#);
     assert!(!is_ok(&ann));
     assert_eq!(ann.get("kind").and_then(Json::as_str), Some("unavailable"));
+    // ...but an *unknown* node is still `not_found` first, exactly as
+    // pre-ANN clients observed it (regression: the existence check
+    // precedes the capability check).
+    let ann_miss = client.round_trip(r#"{"cmd":"nearest","node":404,"mode":"ann"}"#);
+    assert_eq!(
+        ann_miss.get("kind").and_then(Json::as_str),
+        Some("not_found"),
+        "{ann_miss}"
+    );
     let stats = client.round_trip(r#"{"cmd":"stats"}"#);
     assert_eq!(stats.get("ann"), Some(&Json::Null), "{stats}");
 
@@ -271,4 +280,92 @@ fn writes_after_shutdown_are_structured_errors() {
         flush.get("kind").and_then(Json::as_str),
         Some("shutting_down")
     );
+}
+
+#[test]
+fn sharded_wire_session() {
+    use glodyne_shard::ShardConfig;
+    // Two communities + a bridge, served by a 2-shard backend over the
+    // same wire protocol.
+    let sessions = vec![tiny_session(), tiny_session()];
+    let server = Server::bind_sharded(
+        sessions,
+        ShardConfig {
+            shards: 2,
+            min_partition_nodes: 8,
+            ..Default::default()
+        },
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr());
+
+    // Fresh sharded server: the shards array is present (and empty-ish),
+    // pre-sharding fields intact.
+    let stats = client.round_trip(r#"{"cmd":"stats"}"#);
+    assert!(is_ok(&stats), "{stats}");
+    let shards = stats.get("shards").and_then(Json::as_arr).unwrap();
+    assert_eq!(shards.len(), 2);
+
+    // Ingest two 6-cliques plus one bridge.
+    let mut edges = Vec::new();
+    for c in 0..2u32 {
+        let base = c * 6;
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                edges.push(format!("[{},{},0]", base + i, base + j));
+            }
+        }
+    }
+    edges.push("[0,6,0]".to_string());
+    let ingest = client.round_trip(&format!(
+        r#"{{"cmd":"ingest","edges":[{}]}}"#,
+        edges.join(",")
+    ));
+    assert!(is_ok(&ingest), "{ingest}");
+    assert_eq!(field_u64(&ingest, "accepted"), edges.len() as u64);
+
+    let flush = client.round_trip(r#"{"cmd":"flush"}"#);
+    assert!(is_ok(&flush), "{flush}");
+    assert_eq!(flush.get("stepped"), Some(&Json::Bool(true)));
+
+    // Every node queries through its owner shard.
+    for n in 0..12u32 {
+        let q = client.round_trip(&format!(r#"{{"cmd":"query","node":{n}}}"#));
+        assert!(is_ok(&q), "node {n}: {q}");
+    }
+    // Global fan-out nearest: well-formed, self-excluded.
+    let near = client.round_trip(r#"{"cmd":"nearest","node":2,"k":4}"#);
+    assert!(is_ok(&near), "{near}");
+    let hits = near.get("neighbours").and_then(Json::as_arr).unwrap();
+    assert!(!hits.is_empty() && hits.len() <= 4);
+
+    // Unknown node: structured not_found, same as unsharded.
+    let miss = client.round_trip(r#"{"cmd":"query","node":404}"#);
+    assert_eq!(miss.get("kind").and_then(Json::as_str), Some("not_found"));
+    // ANN mode without --ann: structured unavailable, same as unsharded.
+    let ann = client.round_trip(r#"{"cmd":"nearest","node":2,"mode":"ann"}"#);
+    assert_eq!(ann.get("kind").and_then(Json::as_str), Some("unavailable"));
+    // Unknown node in ANN mode: not_found wins over unavailable.
+    let ann_miss = client.round_trip(r#"{"cmd":"nearest","node":404,"mode":"ann"}"#);
+    assert_eq!(
+        ann_miss.get("kind").and_then(Json::as_str),
+        Some("not_found")
+    );
+
+    // Stats now carry per-shard epochs/nodes and the live node count.
+    let stats = client.round_trip(r#"{"cmd":"stats"}"#);
+    assert_eq!(field_u64(&stats, "nodes"), 12);
+    let shards = stats.get("shards").and_then(Json::as_arr).unwrap();
+    for sh in shards {
+        assert!(sh.get("epoch").is_some());
+        assert!(sh.get("nodes").is_some());
+        assert!(sh.get("queue_depth").is_some());
+        assert!(sh.get("ann_build_ms").is_some());
+    }
+
+    let bye = client.round_trip(r#"{"cmd":"shutdown"}"#);
+    assert!(is_ok(&bye));
+    server.join();
 }

@@ -1,0 +1,346 @@
+//! [`ShardedState`]: a synchronous multi-session sharded embedder —
+//! one [`EmbedderSession`] per shard behind one [`ShardRouter`].
+//!
+//! This is the single-threaded core of sharded serving: the CLI's
+//! `stream --shards N` drives it directly, the exactness property
+//! tests pin it, and `glodyne-serve`'s threaded `ShardedSession` is
+//! the same router + fan-out wired through per-shard trainer threads.
+//!
+//! Each shard's session commits **full** snapshots
+//! ([`EmbedderSession::keep_full_graph`]): a shard legitimately holds
+//! several disconnected regions (its partition class plus halo
+//! fragments), and reducing to the largest component would silently
+//! drop training coverage the router deliberately placed there.
+
+use crate::fanout::{self, ShardView};
+use crate::router::{Rebalance, ShardConfig, ShardRouter};
+use glodyne::{EmbedderSession, StepReport};
+use glodyne_embed::config::ConfigError;
+use glodyne_embed::traits::DynamicEmbedder;
+use glodyne_graph::id::TimedEdge;
+use glodyne_graph::state::GraphEvent;
+use glodyne_graph::NodeId;
+
+/// A sharded streaming session: `S` embedder sessions fed by a
+/// partition router, queried through the owner-filtered fan-out merge.
+pub struct ShardedState<E: DynamicEmbedder> {
+    router: ShardRouter,
+    sessions: Vec<EmbedderSession<E>>,
+}
+
+impl<E: DynamicEmbedder> ShardedState<E> {
+    /// Wrap one session per shard. `sessions.len()` must equal
+    /// `cfg.shards`; every session is switched to full-graph commits
+    /// (see the module docs).
+    pub fn new(sessions: Vec<EmbedderSession<E>>, cfg: ShardConfig) -> Result<Self, ConfigError> {
+        let router = ShardRouter::new(cfg)?;
+        if sessions.len() != cfg.shards {
+            return Err(ConfigError::new(
+                "shards",
+                "one EmbedderSession per shard is required",
+            ));
+        }
+        Ok(ShardedState {
+            router,
+            sessions: sessions
+                .into_iter()
+                .map(EmbedderSession::keep_full_graph)
+                .collect(),
+        })
+    }
+
+    /// Route one event into the shard sessions; returns how many
+    /// embedding steps it triggered (a cross-shard edge can step two
+    /// shards at once under their own epoch policies).
+    ///
+    /// Rebalances lazily on drift as part of the ingest path: the
+    /// check is two integer compares, and waiting for an explicit
+    /// flush would leave a long stream running on hash placement —
+    /// maximal cut, maximal halo duplication.
+    pub fn apply(&mut self, event: GraphEvent) -> usize {
+        let routed = self.router.route(event);
+        let steps = routed
+            .into_iter()
+            .filter(|&(shard, ev)| self.sessions[shard as usize].apply(ev))
+            .count();
+        if let Some(rb) = self.router.maybe_rebalance() {
+            self.forward(rb);
+        }
+        steps
+    }
+
+    /// Ingest a batch of timed edges in order; returns the number of
+    /// embedding steps triggered along the way.
+    pub fn ingest(&mut self, edges: &[TimedEdge]) -> usize {
+        edges.iter().map(|&te| self.apply(te.into())).sum()
+    }
+
+    /// Rebalance if drifted, then commit every shard's pending events
+    /// as an epoch boundary. Returns one report per shard (`None`
+    /// where a shard had nothing new). Rebalancing (normally already
+    /// handled inside [`ShardedState::apply`]) happens *before* the
+    /// commits, so the migrated layout is what trains.
+    pub fn flush(&mut self) -> Vec<Option<StepReport>> {
+        if let Some(rb) = self.router.maybe_rebalance() {
+            self.forward(rb);
+        }
+        self.sessions
+            .iter_mut()
+            .map(EmbedderSession::flush)
+            .collect()
+    }
+
+    /// Force a rebalance now (tests, operational tooling); returns how
+    /// many nodes changed owner.
+    pub fn rebalance(&mut self) -> usize {
+        let rb = self.router.rebalance();
+        let moved = rb.moved;
+        self.forward(rb);
+        moved
+    }
+
+    fn forward(&mut self, rb: Rebalance) {
+        for (shard, ev) in rb.events {
+            self.sessions[shard as usize].apply(ev);
+        }
+    }
+
+    /// The live embedding vector of `node` — its owner shard's copy.
+    pub fn query(&self, node: NodeId) -> Option<&[f32]> {
+        let shard = self.router.owner(node)? as usize;
+        self.sessions[shard].embedding().get(node)
+    }
+
+    /// Exact global `k`-nearest: per-shard scans of owned rows merged
+    /// through the shared top-`k` heap — bit-exact with an unsharded
+    /// exact scan over the owner-filtered union embedding.
+    pub fn nearest(&self, node: NodeId, k: usize) -> Vec<(NodeId, f32)> {
+        let views: Vec<ShardView<'_>> = self
+            .sessions
+            .iter()
+            .enumerate()
+            .map(|(shard, s)| ShardView {
+                shard: shard as u32,
+                embedding: s.embedding(),
+                index: None,
+            })
+            .collect();
+        fanout::nearest_exact(&views, |id| self.router.owner(id), node, k)
+    }
+
+    /// Approximate global `k`-nearest via per-shard IVF probes
+    /// (sessions must have been built `with_ann`; shards whose index
+    /// is unbuilt contribute nothing). Builds each queried shard's
+    /// lazy index first, hence `&mut self`.
+    pub fn nearest_approx(&mut self, node: NodeId, k: usize, nprobe: usize) -> Vec<(NodeId, f32)> {
+        // Build every shard's lazy index so the fan-out sees them.
+        for s in &mut self.sessions {
+            s.ensure_ann_index();
+        }
+        let views: Vec<ShardView<'_>> = self
+            .sessions
+            .iter()
+            .enumerate()
+            .map(|(shard, s)| ShardView {
+                shard: shard as u32,
+                embedding: s.embedding(),
+                index: s.ann_index(),
+            })
+            .collect();
+        fanout::nearest_approx(&views, |id| self.router.owner(id), node, k, nprobe)
+    }
+
+    /// The router (owners, drift counters, global mirror).
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// The per-shard sessions.
+    pub fn sessions(&self) -> &[EmbedderSession<E>] {
+        &self.sessions
+    }
+
+    /// Total committed embedding steps across all shards.
+    pub fn steps(&self) -> usize {
+        self.sessions.iter().map(EmbedderSession::steps).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glodyne::{EpochPolicy, GloDyNE, GloDyNEConfig};
+    use glodyne_embed::walks::WalkConfig;
+    use glodyne_embed::SgnsConfig;
+
+    fn tiny_session(seed: u64) -> EmbedderSession<GloDyNE> {
+        let cfg = GloDyNEConfig {
+            alpha: 0.5,
+            walk: WalkConfig {
+                walks_per_node: 2,
+                walk_length: 8,
+                seed,
+            },
+            sgns: SgnsConfig {
+                dim: 8,
+                window: 2,
+                negatives: 2,
+                epochs: 1,
+                parallel: false,
+                seed,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        EmbedderSession::new(GloDyNE::new(cfg).unwrap(), EpochPolicy::Manual).unwrap()
+    }
+
+    fn sharded(shards: usize) -> ShardedState<GloDyNE> {
+        let sessions = (0..shards).map(|s| tiny_session(s as u64)).collect();
+        ShardedState::new(
+            sessions,
+            ShardConfig {
+                shards,
+                min_partition_nodes: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    /// Two tight communities plus one bridge.
+    fn community_edges() -> Vec<TimedEdge> {
+        let mut edges = Vec::new();
+        for c in 0..2u32 {
+            let base = c * 12;
+            for i in 0..12 {
+                for j in (i + 1)..12 {
+                    if (i + j) % 3 != 0 || j == i + 1 {
+                        edges.push(TimedEdge::new(NodeId(base + i), NodeId(base + j), 0));
+                    }
+                }
+            }
+        }
+        edges.push(TimedEdge::new(NodeId(0), NodeId(12), 0));
+        edges
+    }
+
+    #[test]
+    fn session_count_must_match_shards() {
+        let sessions = vec![tiny_session(0)];
+        match ShardedState::new(sessions, ShardConfig::with_shards(2)) {
+            Err(err) => assert_eq!(err.param(), "shards"),
+            Ok(_) => panic!("one session per shard must be enforced"),
+        }
+    }
+
+    #[test]
+    fn sharded_stream_trains_every_owned_node() {
+        let mut s = sharded(2);
+        s.ingest(&community_edges());
+        let reports = s.flush();
+        assert!(reports.iter().any(Option::is_some));
+        // After the (drift-triggered) rebalance + flush, every live
+        // node has an owner and a queryable vector.
+        for id in s.router().global().nodes().collect::<Vec<_>>() {
+            assert!(s.router().owner(id).is_some());
+            assert!(s.query(id).is_some(), "node {id:?} embedded by its owner");
+        }
+    }
+
+    #[test]
+    fn nearest_is_bit_exact_with_the_union_spec() {
+        let mut s = sharded(2);
+        s.ingest(&community_edges());
+        s.flush();
+        let views: Vec<ShardView<'_>> = s
+            .sessions()
+            .iter()
+            .enumerate()
+            .map(|(shard, sess)| ShardView {
+                shard: shard as u32,
+                embedding: sess.embedding(),
+                index: None,
+            })
+            .collect();
+        let union = fanout::union_embedding(&views, |id| s.router().owner(id));
+        for probe in [0u32, 5, 12, 20] {
+            let fan = s.nearest(NodeId(probe), 6);
+            let spec = union.top_k(NodeId(probe), 6);
+            assert_eq!(fan.len(), spec.len(), "probe {probe}");
+            for (a, b) in fan.iter().zip(&spec) {
+                assert_eq!(a.0, b.0);
+                assert_eq!(a.1.to_bits(), b.1.to_bits());
+            }
+            assert!(fan.iter().all(|&(id, _)| id != NodeId(probe)));
+        }
+    }
+
+    #[test]
+    fn queries_resolve_through_the_owner_shard() {
+        let mut s = sharded(2);
+        s.ingest(&community_edges());
+        s.flush();
+        // The bridge endpoints are halos somewhere: their sharded-view
+        // vector must equal their owner session's copy bit for bit.
+        for probe in [0u32, 12] {
+            let owner = s.router().owner(NodeId(probe)).unwrap() as usize;
+            let owned = s.sessions()[owner].embedding().get(NodeId(probe)).unwrap();
+            let viewed = s.query(NodeId(probe)).unwrap();
+            assert_eq!(owned.len(), viewed.len());
+            for (a, b) in owned.iter().zip(viewed) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        assert_eq!(s.query(NodeId(999)), None);
+    }
+
+    #[test]
+    fn ann_fanout_returns_owned_hits() {
+        use glodyne::IvfConfig;
+        let sessions = (0..2)
+            .map(|sd| {
+                tiny_session(sd as u64)
+                    .with_ann(IvfConfig {
+                        cells: 2,
+                        ..Default::default()
+                    })
+                    .unwrap()
+            })
+            .collect();
+        let mut s = ShardedState::new(
+            sessions,
+            ShardConfig {
+                shards: 2,
+                min_partition_nodes: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        s.ingest(&community_edges());
+        s.flush();
+        let hits = s.nearest_approx(NodeId(3), 5, usize::MAX);
+        assert!(!hits.is_empty());
+        for &(id, _) in &hits {
+            assert_ne!(id, NodeId(3));
+            assert!(s.router().owner(id).is_some(), "only owned rows surface");
+        }
+    }
+
+    #[test]
+    fn forced_rebalance_keeps_queries_consistent() {
+        let mut s = sharded(2);
+        s.ingest(&community_edges());
+        s.flush();
+        let moved = s.rebalance();
+        s.flush();
+        // Whatever moved, ownership and the global mirror stay in
+        // lock-step.
+        let live: Vec<NodeId> = s.router().global().nodes().collect();
+        for id in live {
+            assert!(s.router().owner(id).is_some());
+        }
+        // moved is bounded by the live node count.
+        assert!(moved <= s.router().global().num_nodes());
+    }
+}

@@ -1,0 +1,190 @@
+//! Property suite for the sharding layer.
+//!
+//! The central contract: routing any event stream through
+//! [`ShardRouter`] and unioning the per-shard `GraphState`s (halo
+//! mirrors deduplicate away) reconstructs **exactly** the unsharded
+//! `GraphState` — additions, removals, node churn, and mid-stream
+//! rebalances included. Plus the placement invariant (an edge lives
+//! exactly in its endpoint owners' shards) and the fan-out merge's
+//! bit-exactness against the owner-filtered union scan.
+
+use glodyne_embed::Embedding;
+use glodyne_graph::state::{GraphEvent, GraphState};
+use glodyne_graph::NodeId;
+use glodyne_shard::{nearest_exact, union_embedding, ShardConfig, ShardRouter, ShardView};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A pseudo-random event stream over a small node space: mostly
+/// additions with removals and node churn mixed in, timestamps
+/// non-decreasing with occasional stragglers.
+fn event_stream(seed: u64, len: usize, nodes: u32) -> Vec<GraphEvent> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut time = 0u64;
+    (0..len)
+        .map(|_| {
+            time += u64::from(rng.gen_range(0..2u32));
+            let t = time.saturating_sub(u64::from(rng.gen_range(0..2u32)));
+            let a = NodeId(rng.gen_range(0..nodes));
+            let b = NodeId(rng.gen_range(0..nodes));
+            match rng.gen_range(0..10u32) {
+                0..=6 => GraphEvent::add_edge(a, b, t),
+                7..=8 => GraphEvent::remove_edge(a, b, t),
+                _ => GraphEvent::remove_node(a, t),
+            }
+        })
+        .collect()
+}
+
+/// The union of per-shard states with mirrors deduplicated.
+fn union(states: &[GraphState]) -> GraphState {
+    let mut u = GraphState::new();
+    for s in states {
+        for e in s.edges() {
+            u.add_edge(e.u, e.v);
+        }
+    }
+    u
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Partition exactness: union(per-shard states) == unsharded state
+    /// after every prefix boundary, with rebalances forced mid-stream,
+    /// and the placement invariant holding throughout.
+    #[test]
+    fn routed_union_reconstructs_the_unsharded_state(
+        seed in 0u64..1000,
+        shards in 1usize..6,
+        len in 1usize..120,
+        nodes in 2u32..40,
+    ) {
+        let events = event_stream(seed, len, nodes);
+        let mut router = ShardRouter::new(ShardConfig {
+            shards,
+            min_partition_nodes: 4,
+            ..Default::default()
+        }).unwrap();
+        let mut shard_states = vec![GraphState::new(); shards];
+        let mut unsharded = GraphState::new();
+
+        for (i, &ev) in events.iter().enumerate() {
+            unsharded.apply(&ev);
+            for (s, ev) in router.route(ev) {
+                shard_states[s as usize].apply(&ev);
+            }
+            // Force a rebalance at a couple of mid-stream points (and
+            // let drift trigger its own at one).
+            if i == len / 2 || i == (3 * len) / 4 {
+                let rb = router.rebalance();
+                for (s, ev) in rb.events {
+                    shard_states[s as usize].apply(&ev);
+                }
+            } else if i == len / 4 {
+                if let Some(rb) = router.maybe_rebalance() {
+                    for (s, ev) in rb.events {
+                        shard_states[s as usize].apply(&ev);
+                    }
+                }
+            }
+        }
+
+        // Exactness: the router's own mirror and the independent
+        // unsharded replay agree, and the shard union reconstructs
+        // both.
+        prop_assert_eq!(router.global(), &unsharded);
+        prop_assert_eq!(&union(&shard_states), &unsharded);
+
+        // Placement invariant: an edge is hosted exactly by its
+        // endpoint owners.
+        for e in unsharded.edges() {
+            let hosts: Vec<u32> = (0..shards as u32)
+                .filter(|&s| shard_states[s as usize].contains_edge(e.u, e.v))
+                .collect();
+            let (a, b) = (router.owner(e.u).unwrap(), router.owner(e.v).unwrap());
+            let mut expected = vec![a, b];
+            expected.sort_unstable();
+            expected.dedup();
+            prop_assert_eq!(hosts, expected, "edge {:?}", e);
+        }
+
+        // Every live node has exactly one owner; dead nodes have none.
+        for n in unsharded.nodes() {
+            prop_assert!(router.owner(n).is_some());
+        }
+        for n in 0..nodes {
+            if !unsharded.contains_node(NodeId(n)) {
+                prop_assert_eq!(router.owner(NodeId(n)), None);
+            }
+        }
+    }
+
+    /// Fan-out exact `nearest` is bit-exact with `top_k` over the
+    /// owner-filtered union embedding, for random shard counts,
+    /// ownership maps, halo overlaps, and degenerate rows.
+    #[test]
+    fn fanout_nearest_matches_the_union_scan(
+        seed in 0u64..1000,
+        shards in 1usize..5,
+        n in 1u32..40,
+        dim in 1usize..8,
+        k in 0usize..20,
+        probe in 0u32..45,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        // Random ownership; some ids deliberately unowned.
+        let owner_of: Vec<Option<u32>> = (0..n)
+            .map(|_| {
+                let s = rng.gen_range(0..shards as u32 + 1);
+                (s < shards as u32).then_some(s)
+            })
+            .collect();
+        let owner = |id: NodeId| *owner_of.get(id.0 as usize)?;
+
+        // Each shard embeds its owned rows plus a random sprinkle of
+        // halo copies (trained differently: different values).
+        let mut shard_embs: Vec<Embedding> = Vec::new();
+        for s in 0..shards {
+            let mut e = Embedding::new(dim);
+            for id in 0..n {
+                let owned = owner_of[id as usize] == Some(s as u32);
+                if owned || rng.gen_range(0..4u32) == 0 {
+                    let v: Vec<f32> = (0..dim)
+                        .map(|_| {
+                            if rng.gen_range(0..13u32) == 0 {
+                                f32::NAN
+                            } else {
+                                rng.gen_range(-2.0f32..2.0)
+                            }
+                        })
+                        .collect();
+                    e.set(NodeId(id), &v);
+                }
+            }
+            shard_embs.push(e);
+        }
+        let views: Vec<ShardView<'_>> = shard_embs
+            .iter()
+            .enumerate()
+            .map(|(s, e)| ShardView { shard: s as u32, embedding: e, index: None })
+            .collect();
+
+        let fan = nearest_exact(&views, owner, NodeId(probe), k);
+        let union = union_embedding(&views, owner);
+        let spec = union.top_k(NodeId(probe), k);
+        prop_assert_eq!(fan.len(), spec.len());
+        for (a, b) in fan.iter().zip(&spec) {
+            prop_assert_eq!(a.0, b.0);
+            prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+        // Contract: probe excluded, no duplicates, only owned ids.
+        let mut ids: Vec<NodeId> = fan.iter().map(|&(id, _)| id).collect();
+        prop_assert!(ids.iter().all(|&id| id != NodeId(probe)));
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), fan.len());
+        prop_assert!(fan.iter().all(|&(id, _)| owner(id).is_some()));
+    }
+}
