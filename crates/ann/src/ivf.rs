@@ -2,7 +2,9 @@
 //! epoch's embedding rows.
 
 use crate::kmeans;
+use crate::sq8::Sq8Arena;
 use glodyne_embed::embedding::{l2_norm, norm_cosine};
+use glodyne_embed::kernel::scaled_dot_fast;
 use glodyne_embed::{ConfigError, Embedding, TopKSelector};
 use glodyne_graph::NodeId;
 use std::time::{Duration, Instant};
@@ -18,6 +20,17 @@ pub struct IvfConfig {
     pub kmeans_iters: usize,
     /// Seed of the deterministic centroid initialisation.
     pub seed: u64,
+    /// Store posting lists as SQ8 codes (u8 per component, one
+    /// min/scale domain per index) instead of f32 — 4× less scan
+    /// traffic and arena memory. Quantized scans are candidate
+    /// generation only; [`IvfIndex::search_in`] re-ranks against the
+    /// exact embedding (see `rerank_factor`).
+    pub quantize: bool,
+    /// With `quantize`, how many candidates the SQ8 scan hands to the
+    /// exact re-rank, as a multiple of `k` (`rerank_factor * k` codes
+    /// rescored with the exact f32 kernel). Must be ≥ 1; ignored
+    /// without `quantize`.
+    pub rerank_factor: usize,
 }
 
 impl Default for IvfConfig {
@@ -26,6 +39,8 @@ impl Default for IvfConfig {
             cells: 64,
             kmeans_iters: 8,
             seed: 0,
+            quantize: false,
+            rerank_factor: 4,
         }
     }
 }
@@ -41,7 +56,58 @@ impl IvfConfig {
         if self.kmeans_iters < 1 {
             return Err(ConfigError::new("kmeans_iters", "must be >= 1"));
         }
+        if self.rerank_factor < 1 {
+            return Err(ConfigError::new("rerank_factor", "must be >= 1"));
+        }
         Ok(())
+    }
+}
+
+/// How an [`IvfIndex`] stores its posting-list vectors — surfaced
+/// through `stats.ann` on the wire so operators can see what a running
+/// epoch actually scans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageMode {
+    /// Full-precision f32 arena.
+    F32,
+    /// SQ8 codes (u8 per component) + exact re-rank.
+    Sq8,
+}
+
+impl StorageMode {
+    /// Wire/CLI spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StorageMode::F32 => "f32",
+            StorageMode::Sq8 => "sq8",
+        }
+    }
+}
+
+/// The posting-list arena in one of the two storage modes.
+#[derive(Debug, Clone)]
+enum PostingStorage {
+    F32(Vec<f32>),
+    Sq8(Sq8Arena),
+}
+
+/// Reusable scan buffers for [`IvfIndex::search_with`] /
+/// [`IvfIndex::search_in_with`]: batched callers allocate one and
+/// thread it through every query so cell-ranking and re-rank pools
+/// reuse their allocations instead of growing fresh vectors per query.
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    /// Per-cell centroid similarities, reused across queries.
+    cell_sims: Vec<(NodeId, f32)>,
+    /// SQ8 candidate pool awaiting exact re-rank.
+    pool: Vec<(NodeId, f32)>,
+}
+
+impl SearchScratch {
+    /// Empty scratch; buffers grow to steady state over the first
+    /// query and are reused afterwards.
+    pub fn new() -> Self {
+        SearchScratch::default()
     }
 }
 
@@ -66,10 +132,20 @@ pub struct IvfIndex {
     cell_offsets: Vec<u32>,
     /// Node ids grouped by cell (insertion order within a cell).
     ids: Vec<NodeId>,
-    /// Row-major vector arena, grouped like `ids`.
-    vectors: Vec<f32>,
-    /// Cached L2 norms, parallel to `ids`.
+    /// Row-major vector arena, grouped like `ids` — f32 or SQ8 codes
+    /// depending on `config.quantize`.
+    storage: PostingStorage,
+    /// Cached *true* (pre-quantization) L2 norms, parallel to `ids` —
+    /// f32 storage only (the full-probe exact kernel divides by these);
+    /// empty for SQ8 storage, whose scans only ever use the
+    /// reciprocals.
     norms: Vec<f32>,
+    /// Cached reciprocals of the true norms (0 for zero-norm rows) —
+    /// the partial-probe scans multiply by these instead of dividing
+    /// per candidate (see [`scaled_dot_fast`]).
+    inv_norms: Vec<f32>,
+    /// Cached reciprocals of `centroid_norms` for cell ranking.
+    inv_centroid_norms: Vec<f32>,
     /// Wall-clock time [`IvfIndex::build`] took.
     build_time: Duration,
 }
@@ -92,8 +168,14 @@ impl IvfIndex {
                 centroid_norms: Vec::new(),
                 cell_offsets: vec![0],
                 ids: Vec::new(),
-                vectors: Vec::new(),
+                storage: if config.quantize {
+                    PostingStorage::Sq8(Sq8Arena::quantize(&[]))
+                } else {
+                    PostingStorage::F32(Vec::new())
+                },
                 norms: Vec::new(),
+                inv_norms: Vec::new(),
+                inv_centroid_norms: Vec::new(),
                 build_time: start.elapsed(),
             };
         }
@@ -134,6 +216,21 @@ impl IvfIndex {
             vectors[pos * dim..(pos + 1) * dim].copy_from_slice(&data[i * dim..(i + 1) * dim]);
         }
 
+        // Quantization happens here, on the build (trainer) thread —
+        // readers only ever see the finished arena.
+        let storage = if config.quantize {
+            PostingStorage::Sq8(Sq8Arena::quantize(&vectors))
+        } else {
+            PostingStorage::F32(vectors)
+        };
+
+        let inv = |n: &f32| if *n == 0.0 { 0.0 } else { 1.0 / *n };
+        let inv_norms = norms.iter().map(inv).collect();
+        let inv_centroid_norms = clustering.centroid_norms.iter().map(inv).collect();
+        // SQ8 scans never touch the raw norms (quantized candidates
+        // are scaled by the reciprocals; the re-rank uses the exact
+        // embedding's own norm cache) — don't pay 4 bytes/row for them.
+        let norms = if config.quantize { Vec::new() } else { norms };
         IvfIndex {
             dim,
             config: *config,
@@ -141,8 +238,10 @@ impl IvfIndex {
             centroid_norms: clustering.centroid_norms,
             cell_offsets,
             ids,
-            vectors,
+            storage,
             norms,
+            inv_norms,
+            inv_centroid_norms,
             build_time: start.elapsed(),
         }
     }
@@ -153,13 +252,18 @@ impl IvfIndex {
     /// id from the candidates — pass the probe node itself to match
     /// `Embedding::top_k`'s self-exclusion.
     ///
-    /// The similarity kernel (guarded cached-norm dot product) and the
-    /// merge order ([`rank_similarity`](glodyne_embed::rank_similarity)
-    /// through [`TopKSelector`]) are shared with the exact scan, so at
-    /// `nprobe = cells` the result is bit-exact with
-    /// `Embedding::top_k`. A `query` of the wrong dimensionality
-    /// returns empty instead of panicking (the serving read path must
-    /// never unwind).
+    /// This is the **storage-level** scan. For f32 storage the merge
+    /// order ([`rank_similarity`](glodyne_embed::rank_similarity)
+    /// through [`TopKSelector`]) is shared with the exact scan and the
+    /// kernel selection honours the exact-vs-fast contract: a **full
+    /// probe** (`nprobe = cells`) scans with the frozen exact kernel
+    /// and is bit-exact with `Embedding::top_k`, while partial probes
+    /// — approximate by contract — scan with the SIMD-shaped fast
+    /// kernel. For SQ8 storage the returned scores live in the
+    /// quantized domain; production callers should go through
+    /// [`IvfIndex::search_in`], which re-ranks against the exact
+    /// embedding. A `query` of the wrong dimensionality returns empty
+    /// instead of panicking (the serving read path must never unwind).
     pub fn search(
         &self,
         query: &[f32],
@@ -167,47 +271,190 @@ impl IvfIndex {
         nprobe: usize,
         exclude: Option<NodeId>,
     ) -> Vec<(NodeId, f32)> {
+        self.search_with(query, k, nprobe, exclude, &mut SearchScratch::new())
+    }
+
+    /// [`IvfIndex::search`] with caller-owned [`SearchScratch`] —
+    /// batched callers thread one scratch through every query of a
+    /// batch so the cell-ranking buffer is reused instead of
+    /// reallocated per query.
+    pub fn search_with(
+        &self,
+        query: &[f32],
+        k: usize,
+        nprobe: usize,
+        exclude: Option<NodeId>,
+        scratch: &mut SearchScratch,
+    ) -> Vec<(NodeId, f32)> {
         if self.ids.is_empty() || k == 0 || query.len() != self.dim {
             return Vec::new();
         }
         let qn = l2_norm(query);
-        let cells = self.cells();
+        let inv_qn = if qn == 0.0 { 0.0 } else { 1.0 / qn };
         let nprobe = self.effective_nprobe(nprobe);
-
-        // Rank cells by centroid similarity with the same bounded-heap
-        // primitive as the row merge (cell index riding in the NodeId
-        // slot; cells <= n so it always fits u32).
-        let mut cell_rank = TopKSelector::new(nprobe);
-        for j in 0..cells {
-            let sim = norm_cosine(
-                query,
-                qn,
-                &self.centroids[j * self.dim..(j + 1) * self.dim],
-                self.centroid_norms[j],
-            );
-            cell_rank.push((NodeId(j as u32), sim));
-        }
+        let full_probe = nprobe == self.cells();
+        self.rank_cells(query, inv_qn, scratch);
 
         let mut select = TopKSelector::new(k);
-        for (cell, _) in cell_rank.into_sorted() {
-            let j = cell.0 as usize;
-            let lo = self.cell_offsets[j] as usize;
-            let hi = self.cell_offsets[j + 1] as usize;
+        match &self.storage {
+            PostingStorage::F32(vectors) => {
+                for &(cell, _) in scratch.cell_sims.iter().take(nprobe) {
+                    let (lo, hi) = self.cell_bounds(cell.0 as usize);
+                    for i in lo..hi {
+                        let id = self.ids[i];
+                        if exclude == Some(id) {
+                            continue;
+                        }
+                        let row = &vectors[i * self.dim..(i + 1) * self.dim];
+                        // Kernel selection: the full probe is the
+                        // bit-exactness surface, partial probes are
+                        // approximate by contract.
+                        let sim = if full_probe {
+                            norm_cosine(query, qn, row, self.norms[i])
+                        } else {
+                            scaled_dot_fast(query, row, inv_qn * self.inv_norms[i])
+                        };
+                        select.push((id, sim));
+                    }
+                }
+            }
+            PostingStorage::Sq8(arena) => {
+                let qsum: f32 = query.iter().sum();
+                for &(cell, _) in scratch.cell_sims.iter().take(nprobe) {
+                    let (lo, hi) = self.cell_bounds(cell.0 as usize);
+                    for i in lo..hi {
+                        let id = self.ids[i];
+                        if exclude == Some(id) {
+                            continue;
+                        }
+                        select.push((id, self.sq8_sim(arena, i, query, inv_qn, qsum)));
+                    }
+                }
+            }
+        }
+        select.into_sorted()
+    }
+
+    /// The production search: storage-level candidate scan, then — for
+    /// SQ8 storage — an **exact re-rank** of the best
+    /// `rerank_factor · k` candidates against `exact` (the embedding
+    /// this index was built from, which every epoch carries alongside
+    /// it). Served similarities therefore always come from the exact
+    /// f32 kernel; the quantized domain only chooses candidates. With
+    /// f32 storage this is exactly [`IvfIndex::search`].
+    ///
+    /// At `nprobe = cells` with a `rerank_factor · k` pool covering
+    /// every candidate, the SQ8 result is bit-exact with
+    /// `Embedding::top_k` (property-pinned in `tests/prop.rs`): the
+    /// pool is the whole epoch and the re-rank *is* the exact scan.
+    pub fn search_in(
+        &self,
+        exact: &Embedding,
+        query: &[f32],
+        k: usize,
+        nprobe: usize,
+        exclude: Option<NodeId>,
+    ) -> Vec<(NodeId, f32)> {
+        self.search_in_with(exact, query, k, nprobe, exclude, &mut SearchScratch::new())
+    }
+
+    /// [`IvfIndex::search_in`] with caller-owned scratch (see
+    /// [`IvfIndex::search_with`]).
+    pub fn search_in_with(
+        &self,
+        exact: &Embedding,
+        query: &[f32],
+        k: usize,
+        nprobe: usize,
+        exclude: Option<NodeId>,
+        scratch: &mut SearchScratch,
+    ) -> Vec<(NodeId, f32)> {
+        let PostingStorage::Sq8(arena) = &self.storage else {
+            return self.search_with(query, k, nprobe, exclude, scratch);
+        };
+        if self.ids.is_empty() || k == 0 || query.len() != self.dim {
+            return Vec::new();
+        }
+        let qn = l2_norm(query);
+        let inv_qn = if qn == 0.0 { 0.0 } else { 1.0 / qn };
+        let nprobe = self.effective_nprobe(nprobe);
+        self.rank_cells(query, inv_qn, scratch);
+
+        // Candidate generation in the quantized domain: keep the
+        // rerank_factor·k best codes.
+        let pool_k = self.config.rerank_factor.saturating_mul(k);
+        let qsum: f32 = query.iter().sum();
+        let mut pool_select = TopKSelector::new(pool_k);
+        for &(cell, _) in scratch.cell_sims.iter().take(nprobe) {
+            let (lo, hi) = self.cell_bounds(cell.0 as usize);
             for i in lo..hi {
                 let id = self.ids[i];
                 if exclude == Some(id) {
                     continue;
                 }
-                let sim = norm_cosine(
-                    query,
-                    qn,
-                    &self.vectors[i * self.dim..(i + 1) * self.dim],
-                    self.norms[i],
-                );
-                select.push((id, sim));
+                pool_select.push((id, self.sq8_sim(arena, i, query, inv_qn, qsum)));
             }
         }
+        scratch.pool.clear();
+        scratch.pool.extend(pool_select.into_sorted());
+
+        // Exact re-rank: rescore the pool with the frozen exact kernel
+        // against the true f32 rows. A pool id missing from `exact`
+        // (callers passing a mismatched embedding) keeps its quantized
+        // score rather than panicking.
+        let mut select = TopKSelector::new(k);
+        for &(id, sq8_sim) in scratch.pool.iter() {
+            let sim = match (exact.get(id), exact.norm(id)) {
+                (Some(row), Some(rn)) => norm_cosine(query, qn, row, rn),
+                _ => sq8_sim,
+            };
+            select.push((id, sim));
+        }
         select.into_sorted()
+    }
+
+    /// Rank every cell by centroid similarity into
+    /// `scratch.cell_sims`, best first under `rank_similarity` — the
+    /// fast kernel, since cell ranking only chooses which posting
+    /// lists to visit (a full probe visits all of them regardless of
+    /// order, so the bit-exactness pins don't depend on it).
+    fn rank_cells(&self, query: &[f32], inv_qn: f32, scratch: &mut SearchScratch) {
+        scratch.cell_sims.clear();
+        for j in 0..self.cells() {
+            let sim = scaled_dot_fast(
+                query,
+                &self.centroids[j * self.dim..(j + 1) * self.dim],
+                inv_qn * self.inv_centroid_norms[j],
+            );
+            // Cell index riding in the NodeId slot; cells <= n so it
+            // always fits u32.
+            scratch.cell_sims.push((NodeId(j as u32), sim));
+        }
+        scratch
+            .cell_sims
+            .sort_unstable_by(glodyne_embed::rank_similarity);
+    }
+
+    /// The posting-row bounds of cell `j`.
+    #[inline]
+    fn cell_bounds(&self, j: usize) -> (usize, usize) {
+        (
+            self.cell_offsets[j] as usize,
+            self.cell_offsets[j + 1] as usize,
+        )
+    }
+
+    /// Guarded cosine of `query` against SQ8 row `i`, in the
+    /// dequantized domain over the row's *true* cached norm (via its
+    /// cached reciprocal — see [`scaled_dot_fast`] for the contract).
+    #[inline]
+    fn sq8_sim(&self, arena: &Sq8Arena, i: usize, query: &[f32], inv_qn: f32, qsum: f32) -> f32 {
+        let scale = inv_qn * self.inv_norms[i];
+        if scale == 0.0 {
+            0.0
+        } else {
+            arena.dot(i, self.dim, query, qsum) * scale
+        }
     }
 
     /// Embedding dimensionality the index was built over.
@@ -243,6 +490,34 @@ impl IvfIndex {
     /// The configuration the index was built with.
     pub fn config(&self) -> &IvfConfig {
         &self.config
+    }
+
+    /// How the posting lists are stored (`f32` or `sq8`) — what
+    /// `stats.ann` reports on the wire.
+    pub fn storage_mode(&self) -> StorageMode {
+        match self.storage {
+            PostingStorage::F32(_) => StorageMode::F32,
+            PostingStorage::Sq8(_) => StorageMode::Sq8,
+        }
+    }
+
+    /// Resident bytes of the searchable structures: the posting arena
+    /// (4 bytes/component for f32, 1 for SQ8) plus the id table,
+    /// cached norms, offsets, and centroids. The memory story behind
+    /// `quantize` — at d=128 the SQ8 arena shrinks this ~3.8×.
+    pub fn index_bytes(&self) -> usize {
+        let arena = match &self.storage {
+            PostingStorage::F32(v) => std::mem::size_of_val(v.as_slice()),
+            PostingStorage::Sq8(a) => a.bytes(),
+        };
+        arena
+            + std::mem::size_of_val(self.ids.as_slice())
+            + std::mem::size_of_val(self.norms.as_slice())
+            + std::mem::size_of_val(self.inv_norms.as_slice())
+            + std::mem::size_of_val(self.cell_offsets.as_slice())
+            + std::mem::size_of_val(self.centroids.as_slice())
+            + std::mem::size_of_val(self.centroid_norms.as_slice())
+            + std::mem::size_of_val(self.inv_centroid_norms.as_slice())
     }
 
     /// Wall-clock time the build took — the per-epoch cost the serving
@@ -424,6 +699,7 @@ mod tests {
             cells: 3,
             kmeans_iters: 10,
             seed: 4,
+            ..Default::default()
         };
         let ix = IvfIndex::build(&e, &cfg);
         let node = NodeId(0); // cluster: ids ≡ 0 (mod 3)
@@ -451,5 +727,90 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(bad.validate().unwrap_err().param(), "kmeans_iters");
+        let bad = IvfConfig {
+            rerank_factor: 0,
+            ..Default::default()
+        };
+        assert_eq!(bad.validate().unwrap_err().param(), "rerank_factor");
+    }
+
+    #[test]
+    fn sq8_storage_shrinks_index_bytes_at_least_3_5x_at_d128() {
+        // Enough rows that the arenas dominate the (shared-size)
+        // centroid table, as in any production-sized epoch.
+        let e = pseudo_random_embedding(2000, 128, 21);
+        let cfg = IvfConfig {
+            cells: 32,
+            ..Default::default()
+        };
+        let f32_ix = IvfIndex::build(&e, &cfg);
+        let sq8_ix = IvfIndex::build(
+            &e,
+            &IvfConfig {
+                quantize: true,
+                ..cfg
+            },
+        );
+        assert_eq!(f32_ix.storage_mode(), StorageMode::F32);
+        assert_eq!(sq8_ix.storage_mode(), StorageMode::Sq8);
+        assert_eq!(f32_ix.storage_mode().as_str(), "f32");
+        assert_eq!(sq8_ix.storage_mode().as_str(), "sq8");
+        let ratio = f32_ix.index_bytes() as f64 / sq8_ix.index_bytes() as f64;
+        assert!(
+            ratio >= 3.5,
+            "f32 {} bytes vs sq8 {} bytes: ratio {ratio:.2} < 3.5",
+            f32_ix.index_bytes(),
+            sq8_ix.index_bytes()
+        );
+    }
+
+    #[test]
+    fn quantized_full_probe_with_covering_rerank_is_bit_exact() {
+        let e = pseudo_random_embedding(80, 9, 42);
+        let cfg = IvfConfig {
+            cells: 7,
+            quantize: true,
+            rerank_factor: 8, // 8 · 12 ≥ 80: the pool covers the epoch
+            ..Default::default()
+        };
+        let ix = IvfIndex::build(&e, &cfg);
+        for probe in [0u32, 13, 79] {
+            let node = NodeId(probe);
+            let q = e.get(node).unwrap();
+            let ann = ix.search_in(&e, q, 12, ix.cells(), Some(node));
+            assert_bit_exact(&ann, &e.top_k(node, 12));
+        }
+        // Degenerate rows stay panic-free through the quantized path
+        // too.
+        let mut e = e;
+        e.set(NodeId(100), &[0.0; 9]);
+        e.set(NodeId(101), &[f32::NAN; 9]);
+        let ix = IvfIndex::build(&e, &cfg);
+        for probe in [NodeId(0), NodeId(100), NodeId(101)] {
+            let hits = ix.search_in(&e, e.get(probe).unwrap(), 5, 2, Some(probe));
+            assert!(hits.len() <= 5);
+            assert!(hits.iter().all(|&(id, _)| id != probe));
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_changes_nothing() {
+        let e = pseudo_random_embedding(50, 6, 9);
+        for quantize in [false, true] {
+            let cfg = IvfConfig {
+                cells: 5,
+                quantize,
+                ..Default::default()
+            };
+            let ix = IvfIndex::build(&e, &cfg);
+            let mut scratch = SearchScratch::new();
+            for probe in 0..50u32 {
+                let node = NodeId(probe);
+                let q = e.get(node).unwrap();
+                let fresh = ix.search_in(&e, q, 7, 2, Some(node));
+                let reused = ix.search_in_with(&e, q, 7, 2, Some(node), &mut scratch);
+                assert_bit_exact(&fresh, &reused);
+            }
+        }
     }
 }

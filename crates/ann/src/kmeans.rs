@@ -9,8 +9,12 @@
 
 // The RNG and the similarity kernel are *shared* with `glodyne_embed`
 // — not re-implemented — so the determinism conventions and the
-// bit-exactness contract have a single home.
-use glodyne_embed::embedding::{l2_norm, norm_cosine};
+// bit-exactness contract have a single home. Assignment scores rows
+// with the fast kernel: clustering only decides row *grouping*, and
+// full-probe search visits every group regardless, so the
+// bit-exactness pins never depend on which cell a row landed in.
+use glodyne_embed::embedding::l2_norm;
+use glodyne_embed::kernel::norm_cosine_fast;
 use glodyne_embed::walks::splitmix64_next;
 
 /// The result of one clustering run over `n` rows.
@@ -140,7 +144,7 @@ fn assign(
         let mut best = 0u32;
         let mut best_sim = f32::NEG_INFINITY;
         for j in 0..c {
-            let sim = norm_cosine(
+            let sim = norm_cosine_fast(
                 row,
                 rn,
                 &centroids[j * dim..(j + 1) * dim],

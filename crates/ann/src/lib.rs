@@ -17,24 +17,34 @@
 //!   RNG conventions as `glodyne_embed`'s walk engine), so the same
 //!   epoch always yields the same index.
 //! - **Storage**: per-cell posting lists laid out contiguously — one
-//!   row-major `f32` vector arena plus a parallel node-id table and
-//!   cached L2 norms, grouped by cell. The same flat, offset-indexed
-//!   layout philosophy as `glodyne_embed::WalkCorpus`.
-//! - **Search**: rank cells by centroid cosine similarity, scan the
-//!   posting lists of the `nprobe` best cells with the cached-norm dot
-//!   product, and merge candidates through the bounded
+//!   row-major vector arena plus a parallel node-id table and cached
+//!   L2 norms, grouped by cell. The same flat, offset-indexed layout
+//!   philosophy as `glodyne_embed::WalkCorpus`. The arena holds either
+//!   full-precision `f32` rows or, with `quantize`, [`sq8`] codes (one
+//!   u8 per component) — 4× less scan traffic and arena memory.
+//! - **Search**: rank cells by centroid cosine similarity (the
+//!   SIMD-shaped fast kernel), scan the posting lists of the `nprobe`
+//!   best cells with the cached-norm dot product, and merge candidates
+//!   through the bounded
 //!   [`TopKSelector`](glodyne_embed::TopKSelector) heap under the
 //!   workspace-wide [`rank_similarity`](glodyne_embed::rank_similarity)
-//!   order. Query cost drops from O(n·d) to O((c + n·nprobe/c)·d) in
+//!   order. Quantized scans are candidate generation only: `search_in`
+//!   re-ranks the best `rerank_factor · k` codes against the exact f32
+//!   embedding, so served similarities always come from the exact
+//!   kernel. Query cost drops from O(n·d) to O((c + n·nprobe/c)·d) in
 //!   the balanced case.
 //!
-//! At `nprobe = c` every cell is probed, the candidate set is the whole
-//! epoch, and — because the similarity kernel is shared bit-for-bit
-//! with `Embedding::top_k` — the result is *identical* to the exact
-//! scan, not merely close.
+//! At `nprobe = c` every cell is probed and the candidate set is the
+//! whole epoch: f32 storage scans with the frozen **exact** kernel
+//! (`glodyne_embed::kernel`) so the result is *identical* to the exact
+//! scan, not merely close, and SQ8 storage with a pool covering every
+//! candidate re-ranks the whole epoch exactly — same guarantee.
+//! Partial probes are approximate by contract and scan with the fast
+//! kernel.
 
 pub mod ivf;
+pub mod sq8;
 
 mod kmeans;
 
-pub use ivf::{IvfConfig, IvfIndex};
+pub use ivf::{IvfConfig, IvfIndex, SearchScratch, StorageMode};

@@ -2,6 +2,7 @@
 //! degenerate inputs, always respect its output contract, and recall
 //! the exact scan's answers when every cell is probed.
 
+use glodyne_ann::sq8::Sq8Arena;
 use glodyne_ann::{IvfConfig, IvfIndex};
 use glodyne_embed::{rank_similarity, reference_top_k, Embedding};
 use glodyne_graph::NodeId;
@@ -66,9 +67,11 @@ proptest! {
         k in 0usize..50,
         nprobe in 0usize..60,
         probe in 0u32..50,
+        quantize in (0u8..2).prop_map(|b| b == 1),
+        rerank_factor in 1usize..5,
     ) {
         let emb = build_embedding(n, dim, seed);
-        let cfg = IvfConfig { cells, kmeans_iters, seed };
+        let cfg = IvfConfig { cells, kmeans_iters, seed, quantize, rerank_factor };
         let index = IvfIndex::build(&emb, &cfg);
         prop_assert_eq!(index.len(), n);
         prop_assert!(index.cells() <= cells.max(1));
@@ -92,6 +95,18 @@ proptest! {
         ids.sort();
         ids.dedup();
         prop_assert_eq!(ids.len(), hits.len(), "no duplicate ids");
+
+        // The re-ranking entry point honours the same contract on both
+        // storage modes.
+        let reranked = match emb.get(probe) {
+            Some(q) => index.search_in(&emb, q, k, nprobe, Some(probe)),
+            None => index.search_in(&emb, &vec![0.5f32; dim], k, nprobe, None),
+        };
+        prop_assert!(reranked.len() <= k.min(n));
+        prop_assert!(reranked.iter().all(|&(id, _)| id != probe || emb.get(probe).is_none()));
+        for w in reranked.windows(2) {
+            prop_assert!(rank_similarity(&w[0], &w[1]) != Ordering::Greater);
+        }
     }
 
     /// At `nprobe = cells` the candidate set is the whole epoch, so
@@ -146,6 +161,57 @@ proptest! {
             for (x, y) in ra.iter().zip(&rb) {
                 prop_assert_eq!(x.0, y.0);
                 prop_assert_eq!(x.1.to_bits(), y.1.to_bits());
+            }
+        }
+    }
+
+    /// SQ8 round trip: every finite component dequantizes back within
+    /// half a code step of its original value.
+    #[test]
+    fn sq8_round_trip_error_is_bounded(
+        data in proptest::collection::vec(-100.0f32..100.0, 1..300),
+    ) {
+        let arena = Sq8Arena::quantize(&data);
+        let bound = arena.max_component_error() * 1.001 + 1e-5;
+        for (i, &x) in data.iter().enumerate() {
+            let back = arena.dequantize(arena.row(i, 1)[0]);
+            prop_assert!(
+                (back - x).abs() <= bound,
+                "i={} x={} back={} bound={}", i, x, back, bound
+            );
+        }
+    }
+
+    /// Quantized storage, full probe, and a re-rank pool covering every
+    /// candidate: `search_in` must be **bit-exact** with the exact scan
+    /// — the pool is the whole epoch and the re-rank is the exact
+    /// kernel, so quantization cannot cost recall.
+    #[test]
+    fn quantized_full_probe_with_covering_rerank_is_exact(
+        n in 5usize..60,
+        dim in 2usize..16,
+        seed in 0u64..300,
+        cells in 1usize..8,
+    ) {
+        let emb = gaussian_embedding(n, dim, seed);
+        let k = 10usize;
+        let cfg = IvfConfig {
+            cells,
+            quantize: true,
+            // Pool of rerank_factor·k >= n: every candidate is rescored
+            // exactly.
+            rerank_factor: n.div_ceil(k),
+            ..Default::default()
+        };
+        let index = IvfIndex::build(&emb, &cfg);
+        for probe in (0..n as u32).step_by(3) {
+            let probe = NodeId(probe);
+            let exact = reference_top_k(&emb, probe, k);
+            let ann = index.search_in(&emb, emb.get(probe).unwrap(), k, index.cells(), Some(probe));
+            prop_assert_eq!(ann.len(), exact.len());
+            for (a, e) in ann.iter().zip(&exact) {
+                prop_assert_eq!(a.0, e.0);
+                prop_assert_eq!(a.1.to_bits(), e.1.to_bits());
             }
         }
     }

@@ -4,25 +4,40 @@
 //! which is what trained graph embeddings look like (communities).
 //!
 //! Emits one machine-readable JSON file (default `BENCH_nearest.json`)
-//! with queries/sec for both paths, the ANN speedup, recall@10 against
-//! the exact scan, and the per-epoch index build cost. This seeds the
-//! serving-path benchmark trajectory the same way `micro.rs` seeds the
-//! training-path one.
+//! with, per size tier:
+//!
+//! - the legacy comparable columns (exact/ann q/s, speedup, recall@10,
+//!   build_ms) measured with f32 posting lists and per-query scratch,
+//!   so rows stay comparable across benchmark generations;
+//! - the SQ8 tier: quantized-scan + exact-re-rank q/s, recall@10,
+//!   index bytes, and the compression ratio against f32 storage;
+//! - a batch sweep ({1, 16, 64} probes per `SearchScratch`) for both
+//!   storage modes, mirroring the serving layer's `nearest_batch`.
+//!
+//! A top-level `kernel` object reports the measured similarity-kernel
+//! bandwidth (GB/s) for the exact and the SIMD-shaped fast dot.
+//!
+//! `--assert-recall <t>` exits nonzero if any reported recall@10
+//! (f32 or SQ8) lands below `t` — CI's bench-smoke uses this to pin
+//! the quantized re-rank contract.
 //!
 //! ```text
 //! cargo run --release -p glodyne-bench --bin bench_nearest
 //! cargo run --release -p glodyne-bench --bin bench_nearest -- \
-//!     --sizes 1000,10000 --dim 128 --queries 200 --out BENCH_nearest.json
+//!     --sizes 1000,10000,100000 --dim 128 --queries 200 \
+//!     --assert-recall 0.95 --out BENCH_nearest.json
 //! ```
 
-use glodyne_ann::{IvfConfig, IvfIndex};
+use glodyne_ann::{IvfConfig, IvfIndex, SearchScratch};
 use glodyne_bench::args::Args;
+use glodyne_embed::kernel::{dot_exact, dot_fast};
 use glodyne_embed::walks::splitmix64_next;
 use glodyne_embed::Embedding;
 use glodyne_graph::NodeId;
 use std::time::Instant;
 
 const K: usize = 10;
+const BATCH_SIZES: [usize; 3] = [1, 16, 64];
 
 /// SplitMix64 stream over the workspace's shared generator.
 struct SplitMix(u64);
@@ -63,15 +78,106 @@ fn clustered_embedding(n: usize, dim: usize, clusters: usize, seed: u64) -> Embe
     emb
 }
 
+/// Measured kernel bandwidth: GB/s of matrix traffic through each dot
+/// kernel (one `rows × dim` pass streams `rows·dim·4` bytes).
+struct KernelResult {
+    rows: usize,
+    gbps_exact: f64,
+    gbps_fast: f64,
+}
+
+fn bench_kernel(dim: usize, seed: u64) -> KernelResult {
+    // ~2 MiB of matrix at d=128: larger than L2 on small parts, so
+    // this measures streaming throughput, not cache residency.
+    let rows = 4096;
+    let mut rng = SplitMix(seed ^ 0x9e37_79b9);
+    let data: Vec<f32> = (0..rows * dim).map(|_| rng.gaussian()).collect();
+    let query: Vec<f32> = (0..dim).map(|_| rng.gaussian()).collect();
+
+    let gbps = |dot: fn(&[f32], &[f32]) -> f32| {
+        let passes = 64usize;
+        let mut sink = 0.0f32;
+        // Warm pass, then timed passes.
+        for row in data.chunks_exact(dim) {
+            sink += dot(&query, row);
+        }
+        let start = Instant::now();
+        for _ in 0..passes {
+            for row in data.chunks_exact(dim) {
+                sink += dot(&query, row);
+            }
+        }
+        let secs = start.elapsed().as_secs_f64();
+        std::hint::black_box(sink);
+        (passes * rows * dim * 4) as f64 / secs / 1e9
+    };
+
+    KernelResult {
+        rows,
+        gbps_exact: gbps(dot_exact),
+        gbps_fast: gbps(dot_fast),
+    }
+}
+
+struct BatchPoint {
+    batch: usize,
+    f32_qps: f64,
+    sq8_qps: f64,
+}
+
 struct SizeResult {
     n: usize,
     cells: usize,
     nprobe: usize,
+    // f32 storage, per-query scratch — comparable across generations.
     build_ms: f64,
     exact_qps: f64,
     ann_qps: f64,
     speedup: f64,
     recall_at_10: f64,
+    index_bytes: usize,
+    // SQ8 storage with exact re-rank.
+    sq8_build_ms: f64,
+    sq8_qps: f64,
+    sq8_recall_at_10: f64,
+    sq8_index_bytes: usize,
+    sq8_compression: f64,
+    // Scratch-reuse sweep, both storage modes.
+    batch: Vec<BatchPoint>,
+}
+
+fn recall(exact: &[Vec<(NodeId, f32)>], approx: &[Vec<(NodeId, f32)>]) -> f64 {
+    let mut overlap = 0usize;
+    let mut expected = 0usize;
+    for (e, a) in exact.iter().zip(approx) {
+        expected += e.len();
+        overlap += e
+            .iter()
+            .filter(|(id, _)| a.iter().any(|(aid, _)| aid == id))
+            .count();
+    }
+    overlap as f64 / expected.max(1) as f64
+}
+
+/// Queries/sec through `index.search_in_with` with one scratch per
+/// `batch` probes — the serving layer's `nearest_batch` access pattern.
+fn batched_qps(
+    index: &IvfIndex,
+    emb: &Embedding,
+    probes: &[NodeId],
+    nprobe: usize,
+    batch: usize,
+) -> f64 {
+    let start = Instant::now();
+    for chunk in probes.chunks(batch) {
+        let mut scratch = SearchScratch::new();
+        for &p in chunk {
+            let hits =
+                index.search_in_with(emb, emb.get(p).unwrap(), K, nprobe, Some(p), &mut scratch);
+            std::hint::black_box(hits);
+        }
+    }
+    probes.len() as f64 / start.elapsed().as_secs_f64()
 }
 
 fn bench_one(n: usize, dim: usize, clusters: usize, queries: usize, seed: u64) -> SizeResult {
@@ -84,6 +190,9 @@ fn bench_one(n: usize, dim: usize, clusters: usize, queries: usize, seed: u64) -
         .map(|i| NodeId(((i * 37) % n) as u32))
         .collect();
 
+    // Warm pass: fault the arena in before timing (the first scan
+    // otherwise pays page-in cost that no steady-state query sees).
+    std::hint::black_box(emb.top_k(probes[0], K));
     let start = Instant::now();
     let exact: Vec<Vec<(NodeId, f32)>> = probes.iter().map(|&p| emb.top_k(p, K)).collect();
     let exact_secs = start.elapsed().as_secs_f64();
@@ -97,6 +206,9 @@ fn bench_one(n: usize, dim: usize, clusters: usize, queries: usize, seed: u64) -
     let index = IvfIndex::build(&emb, &cfg);
     let build_ms = start.elapsed().as_secs_f64() * 1e3;
 
+    for &p in &probes {
+        std::hint::black_box(index.search(emb.get(p).unwrap(), K, nprobe, Some(p)));
+    }
     let start = Instant::now();
     let ann: Vec<Vec<(NodeId, f32)>> = probes
         .iter()
@@ -104,15 +216,34 @@ fn bench_one(n: usize, dim: usize, clusters: usize, queries: usize, seed: u64) -
         .collect();
     let ann_secs = start.elapsed().as_secs_f64();
 
-    let mut overlap = 0usize;
-    let mut expected = 0usize;
-    for (e, a) in exact.iter().zip(&ann) {
-        expected += e.len();
-        overlap += e
-            .iter()
-            .filter(|(id, _)| a.iter().any(|(aid, _)| aid == id))
-            .count();
+    let sq8_cfg = IvfConfig {
+        cells,
+        seed,
+        quantize: true,
+        ..Default::default()
+    };
+    let start = Instant::now();
+    let sq8_index = IvfIndex::build(&emb, &sq8_cfg);
+    let sq8_build_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    for &p in &probes {
+        std::hint::black_box(sq8_index.search_in(&emb, emb.get(p).unwrap(), K, nprobe, Some(p)));
     }
+    let start = Instant::now();
+    let sq8: Vec<Vec<(NodeId, f32)>> = probes
+        .iter()
+        .map(|&p| sq8_index.search_in(&emb, emb.get(p).unwrap(), K, nprobe, Some(p)))
+        .collect();
+    let sq8_secs = start.elapsed().as_secs_f64();
+
+    let batch = BATCH_SIZES
+        .iter()
+        .map(|&b| BatchPoint {
+            batch: b,
+            f32_qps: batched_qps(&index, &emb, &probes, nprobe, b),
+            sq8_qps: batched_qps(&sq8_index, &emb, &probes, nprobe, b),
+        })
+        .collect();
 
     SizeResult {
         n,
@@ -122,7 +253,14 @@ fn bench_one(n: usize, dim: usize, clusters: usize, queries: usize, seed: u64) -
         exact_qps: queries as f64 / exact_secs,
         ann_qps: queries as f64 / ann_secs,
         speedup: exact_secs / ann_secs,
-        recall_at_10: overlap as f64 / expected.max(1) as f64,
+        recall_at_10: recall(&exact, &ann),
+        index_bytes: index.index_bytes(),
+        sq8_build_ms,
+        sq8_qps: queries as f64 / sq8_secs,
+        sq8_recall_at_10: recall(&exact, &sq8),
+        sq8_index_bytes: sq8_index.index_bytes(),
+        sq8_compression: index.index_bytes() as f64 / sq8_index.index_bytes().max(1) as f64,
+        batch,
     }
 }
 
@@ -130,10 +268,11 @@ fn main() {
     let args = Args::from_env();
     let dim: usize = args.get("dim", 128);
     let clusters: usize = args.get("clusters", 64);
-    let queries: usize = args.get("queries", 200);
+    let queries: usize = args.get("queries", 400);
     let seed: u64 = args.get("seed", 0);
+    let assert_recall: f64 = args.get("assert-recall", 0.0);
     let out = args.get("out", "BENCH_nearest.json".to_string());
-    let raw_sizes = args.get("sizes", "1000,10000".to_string());
+    let raw_sizes = args.get("sizes", "1000,10000,100000".to_string());
     let sizes: Vec<usize> = raw_sizes
         .split(',')
         .map(|s| s.trim().parse().unwrap_or(0))
@@ -149,6 +288,12 @@ fn main() {
         std::process::exit(2);
     }
 
+    let kernel = bench_kernel(dim, seed);
+    println!(
+        "kernel d={dim} rows={}: exact={:.2} GB/s  fast={:.2} GB/s",
+        kernel.rows, kernel.gbps_exact, kernel.gbps_fast
+    );
+
     let mut results = Vec::new();
     for &n in &sizes {
         let r = bench_one(n, dim, clusters, queries, seed);
@@ -157,6 +302,16 @@ fn main() {
              speedup={:>5.2}x  recall@10={:.4}  build={:.1}ms",
             r.n, r.cells, r.nprobe, r.exact_qps, r.ann_qps, r.speedup, r.recall_at_10, r.build_ms
         );
+        println!(
+            "          sq8: {:>9.0} q/s  recall@10={:.4}  bytes={} ({:.2}x smaller)  build={:.1}ms",
+            r.sq8_qps, r.sq8_recall_at_10, r.sq8_index_bytes, r.sq8_compression, r.sq8_build_ms
+        );
+        for b in &r.batch {
+            println!(
+                "          batch={:>2}: f32={:>9.0} q/s  sq8={:>9.0} q/s",
+                b.batch, b.f32_qps, b.sq8_qps
+            );
+        }
         results.push(r);
     }
 
@@ -166,12 +321,16 @@ fn main() {
     json.push_str(&format!(
         "  \"clusters\": {clusters},\n  \"queries\": {queries},\n  \"seed\": {seed},\n"
     ));
+    json.push_str(&format!(
+        "  \"kernel\": {{\"rows\": {}, \"gbps_exact\": {:.2}, \"gbps_fast\": {:.2}}},\n",
+        kernel.rows, kernel.gbps_exact, kernel.gbps_fast
+    ));
     json.push_str("  \"sizes\": [\n");
     for (i, r) in results.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"n\": {}, \"cells\": {}, \"nprobe\": {}, \"build_ms\": {:.2}, \
              \"exact_qps\": {:.1}, \"ann_qps\": {:.1}, \"speedup\": {:.2}, \
-             \"recall_at_10\": {:.4}}}{}\n",
+             \"recall_at_10\": {:.4}, \"index_bytes\": {},\n",
             r.n,
             r.cells,
             r.nprobe,
@@ -180,10 +339,44 @@ fn main() {
             r.ann_qps,
             r.speedup,
             r.recall_at_10,
+            r.index_bytes,
+        ));
+        json.push_str(&format!(
+            "     \"sq8\": {{\"build_ms\": {:.2}, \"qps\": {:.1}, \"recall_at_10\": {:.4}, \
+             \"index_bytes\": {}, \"compression\": {:.2}}},\n",
+            r.sq8_build_ms, r.sq8_qps, r.sq8_recall_at_10, r.sq8_index_bytes, r.sq8_compression,
+        ));
+        json.push_str("     \"batch\": [");
+        for (j, b) in r.batch.iter().enumerate() {
+            json.push_str(&format!(
+                "{}{{\"batch\": {}, \"f32_qps\": {:.1}, \"sq8_qps\": {:.1}}}",
+                if j > 0 { ", " } else { "" },
+                b.batch,
+                b.f32_qps,
+                b.sq8_qps
+            ));
+        }
+        json.push_str(&format!(
+            "]}}{}\n",
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
     println!("wrote {out}");
+
+    if assert_recall > 0.0 {
+        let worst = results
+            .iter()
+            .flat_map(|r| [r.recall_at_10, r.sq8_recall_at_10])
+            .fold(f64::INFINITY, f64::min);
+        if worst < assert_recall {
+            eprintln!(
+                "bench_nearest: recall@{K} {worst:.4} fell below the \
+                 --assert-recall floor {assert_recall:.4}"
+            );
+            std::process::exit(1);
+        }
+        println!("recall floor {assert_recall:.4} held (worst observed {worst:.4})");
+    }
 }

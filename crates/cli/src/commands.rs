@@ -132,9 +132,11 @@ pub fn embed(opts: &Opts) -> Result<String, CliError> {
     Ok(report)
 }
 
-/// Shared `--ann`/`--cells`/`--nprobe` parsing for `stream` and
-/// `serve`: `None` unless `--ann` is given; the IVF seed rides the
-/// shared `--seed`.
+/// Shared `--ann`/`--cells`/`--nprobe`/`--sq8`/`--rerank` parsing for
+/// `stream` and `serve`: `None` unless `--ann` is given; the IVF seed
+/// rides the shared `--seed`. `--sq8` stores posting lists quantized
+/// to one byte per component and re-ranks the top `--rerank`×`k`
+/// candidates with the exact kernel.
 fn parse_ann(opts: &Opts) -> Result<Option<AnnSettings>, CliError> {
     if !opts.get("ann", false) {
         return Ok(None);
@@ -143,12 +145,34 @@ fn parse_ann(opts: &Opts) -> Result<Option<AnnSettings>, CliError> {
         config: IvfConfig {
             cells: opts.get("cells", 64usize),
             seed: opts.get("seed", 0u64),
+            quantize: opts.get("sq8", false),
+            rerank_factor: opts.get("rerank", 4usize),
             ..Default::default()
         },
         default_nprobe: opts.get("nprobe", 8usize),
     };
     settings.validate().map_err(CliError::Config)?;
     Ok(Some(settings))
+}
+
+/// Parse `--query` as one node id or a comma-separated list
+/// (`--query 0,5,9`): `None` when absent, a usage error on any
+/// malformed id.
+fn parse_query_nodes(opts: &Opts) -> Result<Option<Vec<NodeId>>, CliError> {
+    let Some(raw) = opts.get_opt::<String>("query")? else {
+        return Ok(None);
+    };
+    raw.split(',')
+        .map(|tok| {
+            tok.trim().parse::<u32>().map(NodeId).map_err(|_| {
+                CliError::Usage(format!(
+                    "invalid node id `{tok}` in --query \
+                     (expected a u32 or a comma-separated list of them)"
+                ))
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()
+        .map(Some)
 }
 
 /// Shared `--shards`/`--shard-epsilon`/`--shard-seed`/`--drift`
@@ -244,33 +268,48 @@ pub fn stream(opts: &Opts) -> Result<String, CliError> {
         session.embedding().len()
     ));
 
-    if let Some(query) = opts.get_opt::<u32>("query")? {
+    if let Some(nodes) = parse_query_nodes(opts)? {
         let k = opts.get("top-k", 10usize);
-        let node = NodeId(query);
-        match session.query(node) {
-            None => out.push_str(&format!("node {query}: no embedding\n")),
-            Some(vector) => {
-                out.push_str(&format!("nearest neighbours of {query} (exact):\n"));
-                for (id, sim) in session.nearest(node, k) {
+        // One batched scan answers every probe (bit-exact with a
+        // per-node `nearest` loop). The ANN index is built once over
+        // the final embedding — the per-step rebuilds of
+        // `EmbedderSession::with_ann` only pay off when queries
+        // interleave with steps (the serving layer) — and its scan
+        // scratch is shared across the batch.
+        let exact = session.nearest_batch(&nodes, k);
+        let index = ann
+            .as_ref()
+            .map(|settings| glodyne::IvfIndex::build(session.embedding(), &settings.config));
+        let mut scratch = glodyne_ann::SearchScratch::new();
+        for (&node, hits) in nodes.iter().zip(&exact) {
+            let query = node.0;
+            let Some(vector) = session.query(node) else {
+                out.push_str(&format!("node {query}: no embedding\n"));
+                continue;
+            };
+            out.push_str(&format!("nearest neighbours of {query} (exact):\n"));
+            for &(id, sim) in hits {
+                out.push_str(&format!("  {:>10}  cos={sim:.4}\n", id.0));
+            }
+            if let (Some(settings), Some(index)) = (&ann, &index) {
+                // Report the effective probe width, matching the serve
+                // path's contract; SQ8 indexes re-rank against the
+                // session's exact rows.
+                let nprobe = index.effective_nprobe(settings.default_nprobe);
+                let hits = index.search_in_with(
+                    session.embedding(),
+                    vector,
+                    k,
+                    nprobe,
+                    Some(node),
+                    &mut scratch,
+                );
+                out.push_str(&format!(
+                    "nearest neighbours of {query} (ann, cells={} nprobe={nprobe}):\n",
+                    index.cells()
+                ));
+                for (id, sim) in hits {
                     out.push_str(&format!("  {:>10}  cos={sim:.4}\n", id.0));
-                }
-                if let Some(settings) = &ann {
-                    // One index build over the final embedding — the
-                    // per-step rebuilds of `EmbedderSession::with_ann`
-                    // only pay off when queries interleave with steps
-                    // (the serving layer), not for one query at EOF.
-                    let index = glodyne::IvfIndex::build(session.embedding(), &settings.config);
-                    // Report the effective probe width, matching the
-                    // serve path's contract.
-                    let nprobe = index.effective_nprobe(settings.default_nprobe);
-                    let hits = index.search(vector, k, nprobe, Some(node));
-                    out.push_str(&format!(
-                        "nearest neighbours of {query} (ann, cells={} nprobe={nprobe}):\n",
-                        index.cells()
-                    ));
-                    for (id, sim) in hits {
-                        out.push_str(&format!("  {:>10}  cos={sim:.4}\n", id.0));
-                    }
                 }
             }
         }
@@ -314,12 +353,14 @@ fn stream_sharded(
         ));
     }
 
-    if let Some(query) = opts.get_opt::<u32>("query")? {
+    if let Some(nodes) = parse_query_nodes(opts)? {
         let k = opts.get("top-k", 10usize);
-        let node = NodeId(query);
-        if state.query(node).is_none() {
-            out.push_str(&format!("node {query}: no embedding\n"));
-        } else {
+        for &node in &nodes {
+            let query = node.0;
+            if state.query(node).is_none() {
+                out.push_str(&format!("node {query}: no embedding\n"));
+                continue;
+            }
             out.push_str(&format!(
                 "nearest neighbours of {query} (sharded fan-out, exact):\n"
             ));
@@ -418,8 +459,16 @@ pub fn start_server(opts: &Opts) -> Result<(Server, String), CliError> {
         Server::bind(session, bind, cfg).map_err(bind_err)?
     };
     if let Some(settings) = &ann {
+        let storage = if settings.config.quantize {
+            format!(
+                ", sq8 posting lists, rerank x{}",
+                settings.config.rerank_factor
+            )
+        } else {
+            String::new()
+        };
         preamble.push_str(&format!(
-            "ann: ivf index per epoch (cells={} nprobe={}; \
+            "ann: ivf index per epoch (cells={} nprobe={}{storage}; \
              request with {{\"cmd\":\"nearest\",...,\"mode\":\"ann\"}})\n",
             settings.config.cells, settings.default_nprobe
         ));
@@ -689,6 +738,61 @@ mod tests {
         let err = stream(&Opts::parse(&args)).unwrap_err();
         assert!(matches!(err, CliError::Config(_)), "{err}");
         assert!(err.to_string().contains("cells"), "{err}");
+    }
+
+    #[test]
+    fn stream_command_batch_query_and_sq8() {
+        let input = write_fixture("glodyne_cli_stream_batch");
+        let mut args = vec![
+            "--input".into(),
+            input.display().to_string(),
+            "--policy".into(),
+            "manual".into(),
+            "--dim".into(),
+            "8".into(),
+            "--walks".into(),
+            "2".into(),
+            "--walk-length".into(),
+            "8".into(),
+            "--epochs".into(),
+            "1".into(),
+            "--query".into(),
+            "0,5,404".into(),
+            "--top-k".into(),
+            "3".into(),
+            "--ann".into(),
+            "--cells".into(),
+            "4".into(),
+            "--nprobe".into(),
+            "4".into(),
+            "--sq8".into(),
+            "--rerank".into(),
+            "8".into(),
+        ];
+        let out = stream(&Opts::parse(&args)).unwrap();
+        // Every probe in the comma-separated list is answered; the
+        // unknown one degrades per node, not per request.
+        assert!(out.contains("nearest neighbours of 0 (exact)"), "{out}");
+        assert!(out.contains("nearest neighbours of 5 (exact)"), "{out}");
+        assert!(
+            out.contains("nearest neighbours of 5 (ann, cells=4 nprobe=4)"),
+            "{out}"
+        );
+        assert!(out.contains("node 404: no embedding"), "{out}");
+
+        // A malformed id anywhere in the list is a usage error.
+        let query_idx = args.iter().position(|a| a == "0,5,404").unwrap();
+        args[query_idx] = "0,x".into();
+        let err = stream(&Opts::parse(&args)).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        assert!(err.to_string().contains("invalid node id `x`"), "{err}");
+
+        // --rerank is validated like the other ANN knobs.
+        args[query_idx] = "0".into();
+        args.extend(["--rerank".into(), "0".into()]);
+        let err = stream(&Opts::parse(&args)).unwrap_err();
+        assert!(matches!(err, CliError::Config(_)), "{err}");
+        assert!(err.to_string().contains("rerank"), "{err}");
     }
 
     #[test]

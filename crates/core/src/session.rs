@@ -216,15 +216,27 @@ impl<E: DynamicEmbedder> EmbedderSession<E> {
         self.latest.top_k(node, k)
     }
 
+    /// [`nearest`](EmbedderSession::nearest) for many nodes in one
+    /// pass: every stored row is streamed once and scored against all
+    /// queries while cache-hot. Results are positionally parallel to
+    /// `nodes` (empty for a node without an embedding) and bit-exact
+    /// with per-node `nearest` calls.
+    pub fn nearest_batch(&self, nodes: &[NodeId], k: usize) -> Vec<Vec<(NodeId, f32)>> {
+        self.latest.top_k_batch(nodes, k)
+    }
+
     /// Approximate `k` nearest neighbours of `node` from the session's
     /// [`IvfIndex`], probing `nprobe` coarse cells. `None` when ANN was
     /// not enabled ([`EmbedderSession::with_ann`]); empty before the
     /// first committed step or for a node with no embedding. At
     /// `nprobe >= cells` this is bit-exact with
-    /// [`nearest`](EmbedderSession::nearest).
+    /// [`nearest`](EmbedderSession::nearest) — with SQ8 storage, given
+    /// a re-rank pool covering the epoch.
     ///
     /// The first call after a committed step builds the epoch's index
     /// (hence `&mut self`); further calls in the same epoch reuse it.
+    /// Quantized indexes re-rank against the live embedding, so served
+    /// scores always come from the exact kernel.
     pub fn nearest_approx(
         &mut self,
         node: NodeId,
@@ -238,9 +250,44 @@ impl<E: DynamicEmbedder> EmbedderSession<E> {
         }
         let index = self.ann.as_ref()?.index.as_ref()?;
         Some(match self.latest.get(node) {
-            Some(query) => index.search(query, k, nprobe, Some(node)),
+            Some(query) => index.search_in(&self.latest, query, k, nprobe, Some(node)),
             None => Vec::new(),
         })
+    }
+
+    /// [`nearest_approx`](EmbedderSession::nearest_approx) for many
+    /// nodes against one index build: the epoch index is ensured once
+    /// and scan scratch is reused across the whole batch. Results are
+    /// positionally parallel to `nodes`; bit-exact with per-node
+    /// `nearest_approx` calls in the same epoch.
+    pub fn nearest_batch_approx(
+        &mut self,
+        nodes: &[NodeId],
+        k: usize,
+        nprobe: usize,
+    ) -> Option<Vec<Vec<(NodeId, f32)>>> {
+        self.ann.as_ref()?;
+        if self.ensure_ann_index().is_none() {
+            return Some(nodes.iter().map(|_| Vec::new()).collect());
+        }
+        let index = self.ann.as_ref()?.index.as_ref()?;
+        let mut scratch = glodyne_ann::SearchScratch::new();
+        Some(
+            nodes
+                .iter()
+                .map(|&node| match self.latest.get(node) {
+                    Some(query) => index.search_in_with(
+                        &self.latest,
+                        query,
+                        k,
+                        nprobe,
+                        Some(node),
+                        &mut scratch,
+                    ),
+                    None => Vec::new(),
+                })
+                .collect(),
+        )
     }
 
     /// Build the current epoch's ANN index if it is stale and return
@@ -507,6 +554,53 @@ mod tests {
         assert!(partial.iter().all(|&(id, _)| id != NodeId(2)));
         // A node without an embedding searches empty, not a panic.
         assert_eq!(s.nearest_approx(NodeId(999), 5, 2), Some(Vec::new()));
+    }
+
+    #[test]
+    fn nearest_batch_matches_per_query_nearest_on_every_path() {
+        for quantize in [false, true] {
+            let cfg = IvfConfig {
+                cells: 3,
+                quantize,
+                ..Default::default()
+            };
+            let mut s = EmbedderSession::new(tiny_model(), EpochPolicy::Manual)
+                .unwrap()
+                .with_ann(cfg)
+                .unwrap();
+            // Before anything commits: batch answers are well-formed.
+            let nodes = [NodeId(0), NodeId(3), NodeId(999), NodeId(1)];
+            assert_eq!(s.nearest_batch(&nodes, 3), vec![vec![]; 4]);
+            assert_eq!(
+                s.nearest_batch_approx(&nodes, 3, 2),
+                Some(vec![vec![], vec![], vec![], vec![]])
+            );
+            s.ingest(&chain(&[0, 0, 0, 0, 0, 0, 0]));
+            s.flush().unwrap();
+            // Exact batch ≡ per-query exact.
+            let batch = s.nearest_batch(&nodes, 4);
+            for (&n, got) in nodes.iter().zip(&batch) {
+                let single = s.nearest(n, 4);
+                assert_eq!(got.len(), single.len());
+                for (a, b) in got.iter().zip(&single) {
+                    assert_eq!(a.0, b.0);
+                    assert_eq!(a.1.to_bits(), b.1.to_bits());
+                }
+            }
+            // ANN batch ≡ per-query ANN, same epoch, one index build.
+            for nprobe in [1usize, usize::MAX] {
+                let batch = s.nearest_batch_approx(&nodes, 4, nprobe).unwrap();
+                for (&n, got) in nodes.iter().zip(&batch) {
+                    let single = s.nearest_approx(n, 4, nprobe).unwrap();
+                    assert_eq!(got.len(), single.len(), "quantize={quantize}");
+                    for (a, b) in got.iter().zip(&single) {
+                        assert_eq!(a.0, b.0);
+                        assert_eq!(a.1.to_bits(), b.1.to_bits());
+                    }
+                }
+            }
+            assert_eq!(s.ann_builds(), 1, "the whole batch shares one build");
+        }
     }
 
     #[test]

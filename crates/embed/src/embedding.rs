@@ -143,6 +143,38 @@ impl Embedding {
         }
         select.into_sorted()
     }
+
+    /// [`Embedding::top_k`] for many query nodes in one pass: each
+    /// stored row is streamed through the cache **once** and scored
+    /// against every query while hot, instead of `nodes.len()` full
+    /// re-scans. Results are positionally parallel to `nodes`; a node
+    /// without an embedding yields an empty list, exactly like
+    /// `top_k`.
+    ///
+    /// Bit-exact with calling `top_k` per node: every candidate is
+    /// scored by the same exact kernel ([`norm_cosine`]) and selected
+    /// through the same [`TopKSelector`], and the selector's result is
+    /// scan-order-independent because [`rank_similarity`] is total.
+    pub fn top_k_batch(&self, nodes: &[NodeId], k: usize) -> Vec<Vec<(NodeId, f32)>> {
+        let queries: Vec<Option<(NodeId, &[f32], f32)>> = nodes
+            .iter()
+            .map(|&n| Some((n, self.get(n)?, self.norm(n)?)))
+            .collect();
+        if k == 0 {
+            return nodes.iter().map(|_| Vec::new()).collect();
+        }
+        let mut selects: Vec<TopKSelector> = nodes.iter().map(|_| TopKSelector::new(k)).collect();
+        for (id, v, vn) in self.iter_with_norms() {
+            for (slot, select) in queries.iter().zip(&mut selects) {
+                let Some((node, q, qn)) = *slot else { continue };
+                if id == node {
+                    continue;
+                }
+                select.push((id, norm_cosine(q, qn, v, vn)));
+            }
+        }
+        selects.into_iter().map(TopKSelector::into_sorted).collect()
+    }
 }
 
 /// Bounded top-`k` selection under the [`rank_similarity`] total order:
@@ -268,59 +300,19 @@ pub fn reference_top_k(emb: &Embedding, node: NodeId, k: usize) -> Vec<(NodeId, 
     scored
 }
 
-/// L2 norm with the one accumulation order every norm cache in this
-/// workspace shares (sum of squares, then one sqrt): the norms stored
-/// by [`Embedding::set`] and the ones `glodyne-ann` caches per posting
-/// list agree bit-for-bit because both come from here.
-#[inline]
-pub fn l2_norm(v: &[f32]) -> f32 {
-    v.iter().map(|&x| x * x).sum::<f32>().sqrt()
-}
+// The similarity kernels moved to [`crate::kernel`] (one exact
+// accumulation order, one SIMD-shaped fast path); re-exported here so
+// every historical `embedding::dot` / `embedding::cosine` path keeps
+// resolving to the exact kernel.
+pub use crate::kernel::{cosine, l2_norm, norm_cosine};
 
-/// Guarded cosine similarity from precomputed norms — the shared
-/// candidate kernel of [`Embedding::top_k`] and the IVF scans in
-/// `glodyne-ann`: zero-norm operands score 0 (never a division by
-/// zero), NaN operands propagate NaN. Keeping it single-homed is what
-/// makes full-probe IVF results bit-exact with the linear scan.
-#[inline]
-pub fn norm_cosine(a: &[f32], an: f32, b: &[f32], bn: f32) -> f32 {
-    if an == 0.0 || bn == 0.0 {
-        0.0
-    } else {
-        dot(a, b) / (an * bn)
-    }
-}
-
-/// Dot product of two equal-length vectors — the one accumulation
-/// order every cosine-ranking surface in this workspace shares, so
-/// cached-norm scans (here and in `glodyne-ann`) stay bit-exact with
-/// the from-scratch [`cosine`].
+/// Dot product of two equal-length vectors in the frozen **exact**
+/// accumulation order — an alias of [`crate::kernel::dot_exact`], kept
+/// under the historical name so cached-norm scans (here and in
+/// `glodyne-ann`) stay bit-exact with the from-scratch [`cosine`].
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = 0.0f32;
-    for (&x, &y) in a.iter().zip(b) {
-        acc += x * y;
-    }
-    acc
-}
-
-/// Cosine similarity of two equal-length vectors (0 for zero vectors).
-pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut dot = 0.0f32;
-    let mut na = 0.0f32;
-    let mut nb = 0.0f32;
-    for (&x, &y) in a.iter().zip(b) {
-        dot += x * y;
-        na += x * x;
-        nb += y * y;
-    }
-    if na == 0.0 || nb == 0.0 {
-        0.0
-    } else {
-        dot / (na.sqrt() * nb.sqrt())
-    }
+    crate::kernel::dot_exact(a, b)
 }
 
 #[cfg(test)]
@@ -343,6 +335,34 @@ mod tests {
         e.set(NodeId(1), &[0.0, 1.0]);
         assert_eq!(e.len(), 1);
         assert_eq!(e.get(NodeId(1)), Some(&[0.0, 1.0][..]));
+    }
+
+    #[test]
+    fn top_k_batch_is_bit_exact_with_per_query_top_k() {
+        let mut e = Embedding::new(5);
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        for i in 0..60u32 {
+            let v: Vec<f32> = (0..5)
+                .map(|_| {
+                    state = state.wrapping_mul(0xd129_42e2_96fe_94e3).wrapping_add(1);
+                    ((state >> 40) as f32) / 1e6 - 8.0
+                })
+                .collect();
+            e.set(NodeId(i), &v);
+        }
+        let nodes = [NodeId(0), NodeId(17), NodeId(999), NodeId(42), NodeId(0)];
+        for k in [0usize, 1, 5, 60, 100] {
+            let batch = e.top_k_batch(&nodes, k);
+            assert_eq!(batch.len(), nodes.len());
+            for (&n, got) in nodes.iter().zip(&batch) {
+                let single = e.top_k(n, k);
+                assert_eq!(got.len(), single.len(), "node {n:?} k {k}");
+                for (a, b) in got.iter().zip(&single) {
+                    assert_eq!(a.0, b.0);
+                    assert_eq!(a.1.to_bits(), b.1.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

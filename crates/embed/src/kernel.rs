@@ -1,0 +1,274 @@
+//! The similarity kernels: one exact accumulation order, one
+//! SIMD-shaped fast path.
+//!
+//! Every cosine-ranking surface in this workspace bottoms out in a dot
+//! product. This module is their single home, split into **two
+//! precisions of the same mathematical function** with an explicit
+//! contract:
+//!
+//! - **Exact kernel** ([`dot_exact`], [`norm_cosine`], [`l2_norm`],
+//!   [`cosine`]): one element-by-element left-to-right accumulation
+//!   order, frozen forever. Every bit-exactness pin in the workspace —
+//!   `Embedding::top_k` ≡ `reference_top_k`, full-probe IVF ≡ the
+//!   linear scan, sharded fan-out ≡ the union scan — holds because all
+//!   of those surfaces score candidates through *this* order. Changing
+//!   it is a semver-major event.
+//! - **Fast kernel** ([`dot_fast`], [`norm_cosine_fast`]): the same
+//!   reduction regrouped into [`LANES`] independent accumulators plus a
+//!   scalar remainder loop — the shape LLVM auto-vectorizes to packed
+//!   SIMD adds/muls and that breaks the loop-carried dependency chain
+//!   even without SIMD. Because float addition is not associative the
+//!   fast kernel is **not** bit-identical to the exact one; it is
+//!   within ~1e-5 relative error on realistic embeddings
+//!   (property-pinned in this module's tests) and may differ in last
+//!   bits. It must therefore only be used on surfaces that are
+//!   *approximate by contract*: IVF cell ranking, partial-probe
+//!   candidate scans, k-means assignment. Exact surfaces (`top_k`,
+//!   exact wire `nearest`, full-probe IVF, SQ8 re-ranking) must keep
+//!   calling the exact kernel.
+//!
+//! The flat posting-list arenas in `glodyne-ann` scan contiguous
+//! `dim`-strided rows, so the fast kernel's chunked loop runs over
+//! cache-line-aligned-in-practice windows with no gather — the
+//! "aligned arena variant" is the same function applied to arena rows.
+
+/// Accumulator width of the fast kernel: 8 independent f32 lanes (two
+/// SSE registers, one AVX register) — enough to break the dependency
+/// chain on any x86-64 baseline without spilling on narrow ISAs.
+pub const LANES: usize = 8;
+
+/// Dot product in the frozen exact accumulation order (left-to-right,
+/// single accumulator) — the bit-exactness reference every equivalence
+/// pin in the workspace compares against.
+#[inline]
+pub fn dot_exact(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Dot product regrouped into [`LANES`] independent accumulators plus a
+/// scalar remainder — auto-vectorizes to packed SIMD on the default
+/// x86-64 target. Same function as [`dot_exact`] up to float
+/// reassociation (≤ ~1e-5 relative error on realistic data, pinned in
+/// tests); **not** bit-identical, so approximate surfaces only.
+#[inline]
+pub fn dot_fast(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let main = a.len() - a.len() % LANES;
+    let mut acc = [0.0f32; LANES];
+    for (ca, cb) in a[..main]
+        .chunks_exact(LANES)
+        .zip(b[..main].chunks_exact(LANES))
+    {
+        for lane in 0..LANES {
+            acc[lane] += ca[lane] * cb[lane];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (&x, &y) in a[main..].iter().zip(&b[main..]) {
+        tail += x * y;
+    }
+    // Pairwise lane reduction (tree order, fixed): keeps the reduction
+    // deterministic across calls even though it differs from the exact
+    // left-to-right order.
+    let even = (acc[0] + acc[4]) + (acc[2] + acc[6]);
+    let odd = (acc[1] + acc[5]) + (acc[3] + acc[7]);
+    (even + odd) + tail
+}
+
+/// L2 norm with the one accumulation order every norm cache in this
+/// workspace shares (sum of squares, then one sqrt): the norms stored
+/// by `Embedding::set` and the ones `glodyne-ann` caches per posting
+/// list agree bit-for-bit because both come from here.
+#[inline]
+pub fn l2_norm(v: &[f32]) -> f32 {
+    v.iter().map(|&x| x * x).sum::<f32>().sqrt()
+}
+
+/// Guarded cosine similarity from precomputed norms — the shared
+/// **exact** candidate kernel of `Embedding::top_k` and the full-probe
+/// IVF scans in `glodyne-ann`: zero-norm operands score 0 (never a
+/// division by zero), NaN operands propagate NaN. Keeping it
+/// single-homed is what makes full-probe IVF results bit-exact with
+/// the linear scan.
+#[inline]
+pub fn norm_cosine(a: &[f32], an: f32, b: &[f32], bn: f32) -> f32 {
+    if an == 0.0 || bn == 0.0 {
+        0.0
+    } else {
+        dot_exact(a, b) / (an * bn)
+    }
+}
+
+/// [`norm_cosine`] through the fast kernel — same zero-norm and NaN
+/// behaviour, reassociated accumulation. Approximate surfaces only
+/// (IVF cell ranking, partial-probe scans, k-means assignment).
+#[inline]
+pub fn norm_cosine_fast(a: &[f32], an: f32, b: &[f32], bn: f32) -> f32 {
+    if an == 0.0 || bn == 0.0 {
+        0.0
+    } else {
+        dot_fast(a, b) / (an * bn)
+    }
+}
+
+/// [`norm_cosine_fast`] with the `1/(an·bn)` factor precomputed by the
+/// caller: the hot partial-probe scan multiplies each row's dot by a
+/// cached reciprocal instead of dividing per row (a divide per
+/// candidate is measurable at scan bandwidth). The caller owns the
+/// zero-norm guard by storing `scale = 0` for zero-norm rows — the
+/// product is then exactly 0, matching [`norm_cosine_fast`]; NaN dots
+/// still propagate. Approximate surfaces only: reciprocal-multiply
+/// rounds differently from the divide.
+#[inline]
+pub fn scaled_dot_fast(a: &[f32], b: &[f32], scale: f32) -> f32 {
+    dot_fast(a, b) * scale
+}
+
+/// Cosine similarity of two equal-length vectors (0 for zero vectors),
+/// delegating to [`dot_exact`] + [`l2_norm`] so there is exactly one
+/// accumulation order per precision. Bit-exact with the historical
+/// fused loop: that loop accumulated `dot`, `Σa²`, and `Σb²` each in
+/// element order with independent accumulators — precisely what the
+/// three delegated calls compute — and `sqrt(Σx²) == 0` iff `Σx² == 0`,
+/// so the zero-vector guard is unchanged (regression-pinned in tests).
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let na = l2_norm(a);
+    let nb = l2_norm(b);
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot_exact(a, b) / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The workspace's SplitMix mixing recipe, for deterministic
+    /// pseudo-random test vectors.
+    fn pseudo_random(len: usize, salt: u64) -> Vec<f32> {
+        let mut state = 0x9e37_79b9_7f4a_7c15u64 ^ salt;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(0xd129_42e2_96fe_94e3).wrapping_add(1);
+                ((state >> 40) as f32) / 1e6 - 8.0
+            })
+            .collect()
+    }
+
+    /// The fused dot/norm/norm loop `cosine` shipped with before it was
+    /// collapsed onto the shared kernel — kept verbatim as the
+    /// regression reference.
+    fn cosine_old_fused(a: &[f32], b: &[f32]) -> f32 {
+        let mut dot = 0.0f32;
+        let mut na = 0.0f32;
+        let mut nb = 0.0f32;
+        for (&x, &y) in a.iter().zip(b) {
+            dot += x * y;
+            na += x * x;
+            nb += y * y;
+        }
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na.sqrt() * nb.sqrt())
+        }
+    }
+
+    #[test]
+    fn cosine_is_bit_exact_with_the_old_fused_loop() {
+        for salt in 0..32u64 {
+            for dim in [1usize, 2, 7, 8, 9, 16, 64, 128, 129] {
+                let a = pseudo_random(dim, salt * 2 + 1);
+                let b = pseudo_random(dim, salt * 2 + 2);
+                assert_eq!(
+                    cosine(&a, &b).to_bits(),
+                    cosine_old_fused(&a, &b).to_bits(),
+                    "salt={salt} dim={dim}"
+                );
+            }
+        }
+        // Zero-vector guard and degenerate inputs behave identically.
+        let z = vec![0.0f32; 8];
+        let v = pseudo_random(8, 9);
+        assert_eq!(cosine(&z, &v).to_bits(), cosine_old_fused(&z, &v).to_bits());
+        assert_eq!(cosine(&v, &z).to_bits(), cosine_old_fused(&v, &z).to_bits());
+        let mut n = v.clone();
+        n[3] = f32::NAN;
+        assert_eq!(
+            cosine(&n, &v).is_nan(),
+            cosine_old_fused(&n, &v).is_nan(),
+            "NaN propagates in both"
+        );
+    }
+
+    #[test]
+    fn fast_dot_is_within_1e5_relative_of_exact() {
+        for salt in 0..64u64 {
+            for dim in [1usize, 3, 7, 8, 9, 15, 16, 17, 31, 64, 127, 128, 200] {
+                // Mixed-sign vectors: heavy cancellation makes the raw
+                // dot an unstable scale, so bound the error relative to
+                // ‖a‖·‖b‖ — the denominator every cosine divides by,
+                // i.e. a ≤1e-5 error in similarity space.
+                let a = pseudo_random(dim, salt * 2 + 100);
+                let b = pseudo_random(dim, salt * 2 + 101);
+                let exact = dot_exact(&a, &b);
+                let fast = dot_fast(&a, &b);
+                let scale = (l2_norm(&a) * l2_norm(&b)).max(1.0);
+                assert!(
+                    (fast - exact).abs() / scale <= 1e-5,
+                    "salt={salt} dim={dim} exact={exact} fast={fast}"
+                );
+                // Non-cancelling vectors (all-positive): the dot itself
+                // is a stable scale, so the plain relative error must
+                // also sit within 1e-5.
+                let ap: Vec<f32> = a.iter().map(|x| x.abs() + 0.125).collect();
+                let bp: Vec<f32> = b.iter().map(|x| x.abs() + 0.125).collect();
+                let exact = dot_exact(&ap, &bp);
+                let fast = dot_fast(&ap, &bp);
+                assert!(
+                    (fast - exact).abs() / exact.abs().max(1.0) <= 1e-5,
+                    "positive case salt={salt} dim={dim} exact={exact} fast={fast}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_dot_handles_every_remainder_length() {
+        // Ones-dot-ones counts elements exactly in both kernels, so any
+        // dropped or double-counted tail shows up as an integer error.
+        for dim in 0..40usize {
+            let a = vec![1.0f32; dim];
+            assert_eq!(dot_fast(&a, &a), dim as f32);
+            assert_eq!(dot_exact(&a, &a), dim as f32);
+        }
+    }
+
+    #[test]
+    fn fast_norm_cosine_matches_guards() {
+        let v = pseudo_random(16, 5);
+        let n = l2_norm(&v);
+        assert_eq!(norm_cosine_fast(&v, 0.0, &v, n), 0.0);
+        assert_eq!(norm_cosine_fast(&v, n, &v, 0.0), 0.0);
+        let exact = norm_cosine(&v, n, &v, n);
+        let fast = norm_cosine_fast(&v, n, &v, n);
+        assert!((exact - fast).abs() <= 1e-5);
+        assert!((exact - 1.0).abs() <= 1e-5, "self-similarity is 1");
+    }
+
+    #[test]
+    fn empty_and_zero_length_inputs() {
+        assert_eq!(dot_fast(&[], &[]), 0.0);
+        assert_eq!(dot_exact(&[], &[]), 0.0);
+        assert_eq!(cosine(&[], &[]), 0.0);
+        assert_eq!(l2_norm(&[]), 0.0);
+    }
+}

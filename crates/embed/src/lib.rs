@@ -13,6 +13,9 @@
 //! - [`embedding`] — the `NodeId`-keyed embedding matrix handed to
 //!   downstream tasks, plus cosine-similarity and nearest-neighbour
 //!   helpers.
+//! - [`kernel`] — the similarity kernels: the frozen exact accumulation
+//!   order every bit-exactness pin references, and the SIMD-shaped fast
+//!   path approximate surfaces scan with.
 //! - [`traits`] — the step-shaped `DynamicEmbedder` interface every
 //!   method in this workspace implements: one `step(StepContext)` per
 //!   snapshot boundary returning a structured `StepReport`, with batch
@@ -26,6 +29,7 @@ pub mod biased_walks;
 pub mod config;
 pub mod corpus;
 pub mod embedding;
+pub mod kernel;
 pub mod pairs;
 pub mod persist;
 pub mod sgns;

@@ -14,6 +14,10 @@ use glodyne_ann::IvfIndex;
 use glodyne_embed::Embedding;
 use std::sync::{Arc, PoisonError, RwLock};
 
+/// One node's ranked neighbour list — the unit every `nearest`
+/// surface returns.
+pub type Neighbours = Vec<(glodyne_graph::NodeId, f32)>;
+
 /// One frozen, immutable generation of the served embedding.
 #[derive(Debug, Clone)]
 pub struct EmbeddingEpoch {
@@ -59,11 +63,47 @@ impl EmbeddingEpoch {
     ) -> Option<(Vec<(glodyne_graph::NodeId, f32)>, usize)> {
         let index = self.index.as_ref()?;
         let effective = index.effective_nprobe(nprobe);
+        // `search_in`: SQ8-quantized indexes re-rank against this
+        // epoch's own embedding (the exact rows the index was built
+        // from — they travel on the same Arc), so served scores always
+        // come from the exact kernel.
         let hits = match self.embedding.get(node) {
-            Some(query) => index.search(query, k, effective, Some(node)),
+            Some(query) => index.search_in(&self.embedding, query, k, effective, Some(node)),
             None => Vec::new(),
         };
         Some((hits, effective))
+    }
+
+    /// [`EmbeddingEpoch::search_ann`] for a whole batch of nodes
+    /// against this one frozen epoch: the caller acquires the epoch
+    /// Arc once, and the scans share one reusable scratch. Results are
+    /// positionally parallel to `nodes` (empty hits for unknown
+    /// nodes); each entry is bit-exact with the single-node call on
+    /// the same epoch.
+    pub fn search_ann_batch(
+        &self,
+        nodes: &[glodyne_graph::NodeId],
+        k: usize,
+        nprobe: usize,
+    ) -> Option<(Vec<Neighbours>, usize)> {
+        let index = self.index.as_ref()?;
+        let effective = index.effective_nprobe(nprobe);
+        let mut scratch = glodyne_ann::SearchScratch::new();
+        let results = nodes
+            .iter()
+            .map(|&node| match self.embedding.get(node) {
+                Some(query) => index.search_in_with(
+                    &self.embedding,
+                    query,
+                    k,
+                    effective,
+                    Some(node),
+                    &mut scratch,
+                ),
+                None => Vec::new(),
+            })
+            .collect();
+        Some((results, effective))
     }
 }
 

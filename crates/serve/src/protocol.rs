@@ -11,6 +11,7 @@
 //! | `{"cmd":"query","node":5}` | `{"ok":true,"cmd":"query","epoch":2,"node":5,"vector":[...]}` |
 //! | `{"cmd":"nearest","node":5,"k":3}` | `{"ok":true,"cmd":"nearest","epoch":2,"node":5,"mode":"exact","neighbours":[[7,0.93],...]}` |
 //! | `{"cmd":"nearest","node":5,"k":3,"mode":"ann","nprobe":4}` | `{"ok":true,"cmd":"nearest","epoch":2,"node":5,"mode":"ann","nprobe":4,"neighbours":[[7,0.93],...]}` |
+//! | `{"cmd":"nearest_batch","nodes":[5,9],"k":3}` | `{"ok":true,"cmd":"nearest_batch","epoch":2,"mode":"exact","results":[{"node":5,"neighbours":[[7,0.93],...]},{"node":9,"neighbours":null}]}` |
 //! | `{"cmd":"ingest","edges":[[0,1,3],...]}` | `{"ok":true,"cmd":"ingest","accepted":N}` |
 //! | `{"cmd":"ingest","events":[{"op":"remove_node","node":4,"t":9},...]}` | same |
 //! | `{"cmd":"flush"}` | `{"ok":true,"cmd":"flush","stepped":true,"epoch":3}` |
@@ -39,6 +40,11 @@ pub const DEFAULT_K: usize = 10;
 /// split across requests, keeping any one queue reservation bounded).
 pub const MAX_INGEST_EVENTS: usize = 65_536;
 
+/// Maximum probe nodes in a single `nearest_batch` request. The batch
+/// answers from one frozen epoch, so an unbounded batch would pin that
+/// epoch (and its index) for an unbounded scan.
+pub const MAX_BATCH_NODES: usize = 1024;
+
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -55,6 +61,17 @@ pub enum Request {
         k: usize,
         /// Exhaustive scan or IVF probe (`"mode"` field; exact when
         /// omitted, so pre-ANN clients are untouched).
+        mode: NearestMode,
+    },
+    /// The `k` cosine-nearest neighbours of many nodes, answered from
+    /// **one** frozen epoch with one fan-out/scan setup for the whole
+    /// batch.
+    NearestBatch {
+        /// The probe nodes, in request order.
+        nodes: Vec<NodeId>,
+        /// How many neighbours to return per probe.
+        k: usize,
+        /// Same mode semantics as [`Request::Nearest`].
         mode: NearestMode,
     },
     /// Enqueue graph events for the trainer (back-pressured).
@@ -157,46 +174,94 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         }),
         "nearest" => {
             let node = node_field(&value, "node")?;
-            let k = match value.get("k") {
-                None => DEFAULT_K,
-                Some(v) => v
-                    .as_u64()
-                    .filter(|&k| k >= 1)
-                    .ok_or_else(|| ProtocolError::bad("`k` must be a positive integer"))?
-                    .min(usize::MAX as u64) as usize,
-            };
-            let nprobe = match value.get("nprobe") {
-                None => None,
-                Some(v) => Some(
-                    v.as_u64()
-                        .filter(|&n| n >= 1)
-                        .ok_or_else(|| ProtocolError::bad("`nprobe` must be a positive integer"))?
-                        .min(usize::MAX as u64) as usize,
-                ),
-            };
-            let mode = match value.get("mode").map(|m| (m, m.as_str())) {
-                None => NearestMode::Exact,
-                Some((_, Some("exact"))) => NearestMode::Exact,
-                Some((_, Some("ann"))) => NearestMode::Ann { nprobe },
-                Some(_) => return Err(ProtocolError::bad("`mode` must be \"exact\" or \"ann\"")),
-            };
-            if nprobe.is_some() && mode == NearestMode::Exact {
-                // Silently ignoring it would hide a client that thinks
-                // it is getting approximate answers cheaper.
-                return Err(ProtocolError::bad(
-                    "`nprobe` only applies to \"mode\":\"ann\"",
-                ));
-            }
+            let (k, mode) = parse_k_and_mode(&value)?;
             Ok(Request::Nearest { node, k, mode })
+        }
+        "nearest_batch" => {
+            let nodes = match value.get("nodes") {
+                // A client porting from single `nearest` keeps its old
+                // `node` field: name the fix, don't just say "missing".
+                None if value.get("node").is_some() => {
+                    return Err(ProtocolError::bad(
+                        "nearest_batch takes a `nodes` array, not `node` \
+                         (use cmd \"nearest\" for a single probe)",
+                    ))
+                }
+                None => return Err(ProtocolError::bad("missing `nodes` array")),
+                Some(v) => {
+                    let arr = v
+                        .as_arr()
+                        .ok_or_else(|| ProtocolError::bad("`nodes` must be an array"))?;
+                    if arr.len() > MAX_BATCH_NODES {
+                        return Err(ProtocolError::bad(format!(
+                            "batch of {} probes exceeds the {MAX_BATCH_NODES}-node cap; \
+                             split the request",
+                            arr.len()
+                        )));
+                    }
+                    arr.iter()
+                        .enumerate()
+                        .map(|(i, n)| {
+                            n.as_u64()
+                                .filter(|&n| n <= u32::MAX as u64)
+                                .map(|n| NodeId(n as u32))
+                                .ok_or_else(|| {
+                                    ProtocolError::bad(format!(
+                                        "nodes[{i}] must be an integer node id (u32)"
+                                    ))
+                                })
+                        })
+                        .collect::<Result<Vec<_>, _>>()?
+                }
+            };
+            let (k, mode) = parse_k_and_mode(&value)?;
+            Ok(Request::NearestBatch { nodes, k, mode })
         }
         "ingest" => parse_ingest(&value),
         "flush" => Ok(Request::Flush),
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(ProtocolError::bad(format!(
-            "unknown cmd `{other}` (expected query, nearest, ingest, flush, stats, or shutdown)"
+            "unknown cmd `{other}` (expected query, nearest, nearest_batch, ingest, flush, \
+             stats, or shutdown)"
         ))),
     }
+}
+
+/// The `k`/`mode`/`nprobe` trio shared by `nearest` and
+/// `nearest_batch` — one parser, so the two commands cannot drift.
+fn parse_k_and_mode(value: &Json) -> Result<(usize, NearestMode), ProtocolError> {
+    let k = match value.get("k") {
+        None => DEFAULT_K,
+        Some(v) => v
+            .as_u64()
+            .filter(|&k| k >= 1)
+            .ok_or_else(|| ProtocolError::bad("`k` must be a positive integer"))?
+            .min(usize::MAX as u64) as usize,
+    };
+    let nprobe = match value.get("nprobe") {
+        None => None,
+        Some(v) => Some(
+            v.as_u64()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| ProtocolError::bad("`nprobe` must be a positive integer"))?
+                .min(usize::MAX as u64) as usize,
+        ),
+    };
+    let mode = match value.get("mode").map(|m| (m, m.as_str())) {
+        None => NearestMode::Exact,
+        Some((_, Some("exact"))) => NearestMode::Exact,
+        Some((_, Some("ann"))) => NearestMode::Ann { nprobe },
+        Some(_) => return Err(ProtocolError::bad("`mode` must be \"exact\" or \"ann\"")),
+    };
+    if nprobe.is_some() && mode == NearestMode::Exact {
+        // Silently ignoring it would hide a client that thinks
+        // it is getting approximate answers cheaper.
+        return Err(ProtocolError::bad(
+            "`nprobe` only applies to \"mode\":\"ann\"",
+        ));
+    }
+    Ok((k, mode))
 }
 
 fn node_field(value: &Json, key: &str) -> Result<NodeId, ProtocolError> {
@@ -388,6 +453,60 @@ fn nearest_line_with(
     ok_obj("nearest", rest)
 }
 
+/// Render a successful `nearest_batch`. `results` is positionally
+/// parallel to `nodes`; a `None` entry renders as `"neighbours":null`
+/// (the batch analogue of the single-path `not_found` — one unknown
+/// probe must not fail its batchmates). `nprobe` is the effective probe
+/// width in ANN mode, `None` in exact mode.
+pub fn nearest_batch_line(
+    epoch: u64,
+    nodes: &[NodeId],
+    results: &[Option<Vec<(NodeId, f32)>>],
+    nprobe: Option<usize>,
+) -> String {
+    let mut rest = vec![
+        ("epoch".to_string(), Json::Num(epoch as f64)),
+        (
+            "mode".to_string(),
+            Json::Str(if nprobe.is_some() { "ann" } else { "exact" }.to_string()),
+        ),
+    ];
+    if let Some(nprobe) = nprobe {
+        rest.push(("nprobe".to_string(), Json::Num(nprobe as f64)));
+    }
+    rest.push((
+        "results".to_string(),
+        Json::Arr(
+            nodes
+                .iter()
+                .zip(results)
+                .map(|(&node, hits)| {
+                    Json::Obj(vec![
+                        ("node".to_string(), Json::Num(node.0 as f64)),
+                        (
+                            "neighbours".to_string(),
+                            match hits {
+                                None => Json::Null,
+                                Some(hits) => Json::Arr(
+                                    hits.iter()
+                                        .map(|&(id, sim)| {
+                                            Json::Arr(vec![
+                                                Json::Num(id.0 as f64),
+                                                Json::num_f32(sim),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            },
+                        ),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    ok_obj("nearest_batch", rest)
+}
+
 /// Render a successful `ingest`.
 pub fn ingest_line(accepted: usize) -> String {
     ok_obj(
@@ -438,6 +557,11 @@ pub fn stats_line(s: &ServeStats) -> String {
                             "build_ms".to_string(),
                             Json::Num(a.build.as_secs_f64() * 1e3),
                         ),
+                        (
+                            "storage".to_string(),
+                            Json::Str(a.storage.as_str().to_string()),
+                        ),
+                        ("index_bytes".to_string(), Json::Num(a.index_bytes as f64)),
                     ]),
                 },
             ),
@@ -680,6 +804,8 @@ mod tests {
                 cells: 4,
                 default_nprobe: 2,
                 build: std::time::Duration::from_millis(3),
+                storage: glodyne_ann::StorageMode::Sq8,
+                index_bytes: 4096,
             }),
             ..base
         };
@@ -688,7 +814,89 @@ mod tests {
             line.contains(r#""ann":{"cells":4,"nprobe_default":2,"build_ms":3"#),
             "{line}"
         );
+        assert!(line.contains(r#""storage":"sq8""#), "{line}");
+        assert!(line.contains(r#""index_bytes":4096"#), "{line}");
         json::parse(&line).unwrap();
+    }
+
+    #[test]
+    fn nearest_batch_parses_and_renders() {
+        assert_eq!(
+            parse_request(r#"{"cmd":"nearest_batch","nodes":[5,9],"k":3}"#).unwrap(),
+            Request::NearestBatch {
+                nodes: vec![NodeId(5), NodeId(9)],
+                k: 3,
+                mode: NearestMode::Exact
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"nearest_batch","nodes":[5],"mode":"ann","nprobe":4}"#)
+                .unwrap(),
+            Request::NearestBatch {
+                nodes: vec![NodeId(5)],
+                k: DEFAULT_K,
+                mode: NearestMode::Ann { nprobe: Some(4) }
+            }
+        );
+        // An empty batch is well-formed (zero probes, zero results).
+        assert_eq!(
+            parse_request(r#"{"cmd":"nearest_batch","nodes":[]}"#).unwrap(),
+            Request::NearestBatch {
+                nodes: Vec::new(),
+                k: DEFAULT_K,
+                mode: NearestMode::Exact
+            }
+        );
+
+        let line = nearest_batch_line(
+            3,
+            &[NodeId(5), NodeId(9)],
+            &[Some(vec![(NodeId(7), 0.5)]), None],
+            None,
+        );
+        assert!(!line.contains('\n'), "{line}");
+        assert!(line.contains(r#""mode":"exact""#), "{line}");
+        assert!(
+            line.contains(r#"{"node":9,"neighbours":null}"#),
+            "unknown probe renders null, not an error: {line}"
+        );
+        json::parse(&line).unwrap();
+        let line = nearest_batch_line(3, &[NodeId(5)], &[Some(vec![])], Some(4));
+        assert!(line.contains(r#""mode":"ann""#), "{line}");
+        assert!(line.contains(r#""nprobe":4"#), "{line}");
+        json::parse(&line).unwrap();
+    }
+
+    #[test]
+    fn nearest_batch_schema_violations_are_bad_requests() {
+        // The pre-batch single-probe shape against the batch command is
+        // a structured bad_request that names the fix — never a panic.
+        let err = parse_request(r#"{"cmd":"nearest_batch","node":5,"k":3}"#).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+        assert!(err.message.contains("`nodes` array"), "{err}");
+        for bad in [
+            r#"{"cmd":"nearest_batch"}"#,
+            r#"{"cmd":"nearest_batch","nodes":5}"#,
+            r#"{"cmd":"nearest_batch","nodes":[5,"x"]}"#,
+            r#"{"cmd":"nearest_batch","nodes":[-1]}"#,
+            r#"{"cmd":"nearest_batch","nodes":[4294967296]}"#,
+            r#"{"cmd":"nearest_batch","nodes":[5],"k":0}"#,
+            r#"{"cmd":"nearest_batch","nodes":[5],"nprobe":4}"#,
+            r#"{"cmd":"nearest_batch","nodes":[5],"mode":"fuzzy"}"#,
+        ] {
+            let err = parse_request(bad).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::BadRequest, "{bad}");
+        }
+        let mut line = String::from(r#"{"cmd":"nearest_batch","nodes":["#);
+        for i in 0..(MAX_BATCH_NODES + 1) {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push('7');
+        }
+        line.push_str("]}");
+        let err = parse_request(&line).unwrap_err();
+        assert!(err.message.contains("cap"), "{err}");
     }
 
     #[test]

@@ -126,6 +126,56 @@ impl Backend {
         }
     }
 
+    /// Exact `nearest` for a whole batch from one frozen view; a `None`
+    /// entry is an unknown probe (rendered `null`, not an error, so one
+    /// bad probe doesn't fail its batchmates).
+    #[allow(clippy::type_complexity)]
+    fn nearest_batch(&self, nodes: &[NodeId], k: usize) -> (u64, Vec<Option<Vec<(NodeId, f32)>>>) {
+        match self {
+            Backend::Single(s) => {
+                // One epoch load: the batch scan and every presence
+                // check read the same frozen state.
+                let epoch = s.epoch();
+                let results = epoch
+                    .embedding
+                    .top_k_batch(nodes, k)
+                    .into_iter()
+                    .zip(nodes)
+                    .map(|(hits, &node)| epoch.embedding.get(node).map(|_| hits))
+                    .collect();
+                (epoch.epoch, results)
+            }
+            Backend::Sharded(s) => s.nearest_batch(nodes, k),
+        }
+    }
+
+    /// ANN `nearest` for a whole batch; outer `None` means ANN is
+    /// unavailable on this server (a request-level error), inner `None`
+    /// an unknown probe.
+    #[allow(clippy::type_complexity)]
+    fn nearest_batch_ann(
+        &self,
+        nodes: &[NodeId],
+        k: usize,
+        nprobe: Option<usize>,
+    ) -> Option<(u64, Vec<Option<Vec<(NodeId, f32)>>>, usize)> {
+        match self {
+            Backend::Single(s) => {
+                let settings = s.ann()?;
+                let epoch = s.epoch();
+                let requested = nprobe.unwrap_or(settings.default_nprobe);
+                let (results, effective) = epoch.search_ann_batch(nodes, k, requested)?;
+                let results = results
+                    .into_iter()
+                    .zip(nodes)
+                    .map(|(hits, &node)| epoch.embedding.get(node).map(|_| hits))
+                    .collect();
+                Some((epoch.epoch, results, effective))
+            }
+            Backend::Sharded(s) => s.nearest_batch_ann(nodes, k, nprobe),
+        }
+    }
+
     fn ingest(&self, events: &[GraphEvent]) -> Result<usize, ServeError> {
         match self {
             Backend::Single(s) => s.ingest(events),
@@ -559,6 +609,21 @@ fn dispatch(request: Request, serving: &Backend, shutdown: &AtomicBool) -> Strin
                     }),
                 }
             }
+        },
+        Request::NearestBatch { nodes, k, mode } => match mode {
+            NearestMode::Exact => {
+                let (epoch, results) = serving.nearest_batch(&nodes, k);
+                protocol::nearest_batch_line(epoch, &nodes, &results, None)
+            }
+            NearestMode::Ann { nprobe } => match serving.nearest_batch_ann(&nodes, k, nprobe) {
+                Some((epoch, results, effective)) => {
+                    protocol::nearest_batch_line(epoch, &nodes, &results, Some(effective))
+                }
+                None => protocol::error_line(&ProtocolError {
+                    kind: ErrorKind::Unavailable,
+                    message: "ann index is not enabled on this server (start with --ann)".into(),
+                }),
+            },
         },
         Request::Ingest { events } => {
             if shutdown.load(Ordering::SeqCst) {

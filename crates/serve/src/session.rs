@@ -20,7 +20,7 @@ use crate::epoch::{EmbeddingEpoch, EpochHandle};
 use crate::error::ServeError;
 use crate::queue::{bounded, FlushOutcome, IngestQueue, TrainerInbox, TrainerMsg};
 use glodyne::EmbedderSession;
-use glodyne_ann::{IvfConfig, IvfIndex};
+use glodyne_ann::{IvfConfig, IvfIndex, StorageMode};
 use glodyne_embed::{ConfigError, DynamicEmbedder, Embedding};
 use glodyne_graph::state::GraphEvent;
 use glodyne_graph::NodeId;
@@ -76,6 +76,11 @@ pub struct AnnStats {
     pub default_nprobe: usize,
     /// Wall-clock time the published epoch's index build took.
     pub build: Duration,
+    /// Posting-list storage of the published index (`f32` or `sq8`).
+    pub storage: StorageMode,
+    /// Resident bytes of the published index (summed across shards on
+    /// sharded sessions) — the number `quantize` exists to shrink.
+    pub index_bytes: usize,
 }
 
 /// A point-in-time view of the serving counters (the `stats` command).
@@ -215,6 +220,34 @@ impl ServingSession {
         Some((epoch.epoch, hits))
     }
 
+    /// [`ServingSession::nearest`] for a whole batch of nodes: the
+    /// epoch `Arc` is acquired **once**, every stored row is streamed
+    /// through the cache once for all queries, and the single epoch id
+    /// applies to every answer. Results are positionally parallel to
+    /// `nodes` (empty for unknown nodes) and bit-exact with per-node
+    /// `nearest` calls against the same epoch.
+    pub fn nearest_batch(&self, nodes: &[NodeId], k: usize) -> (u64, Vec<Vec<(NodeId, f32)>>) {
+        let epoch = self.epoch();
+        (epoch.epoch, epoch.embedding.top_k_batch(nodes, k))
+    }
+
+    /// [`ServingSession::nearest_ann`] for a whole batch: one epoch
+    /// acquisition, one index, shared scan scratch. `None` when ANN is
+    /// disabled; per-node results otherwise (empty for unknown nodes).
+    pub fn nearest_batch_ann(
+        &self,
+        nodes: &[NodeId],
+        k: usize,
+        nprobe: Option<usize>,
+    ) -> Option<(u64, Vec<crate::epoch::Neighbours>)> {
+        let settings = self.ann?;
+        let epoch = self.epoch();
+        let (results, _) = epoch
+            .search_ann_batch(nodes, k, nprobe.unwrap_or(settings.default_nprobe))
+            .unwrap_or_else(|| (nodes.iter().map(|_| Vec::new()).collect(), 0));
+        Some((epoch.epoch, results))
+    }
+
     /// Enqueue events in order, blocking when the queue is full.
     /// Returns how many were accepted (all, unless the trainer exits
     /// mid-batch).
@@ -249,6 +282,8 @@ impl ServingSession {
                     cells: index.cells(),
                     default_nprobe: settings.default_nprobe,
                     build: index.build_time(),
+                    storage: index.storage_mode(),
+                    index_bytes: index.index_bytes(),
                 })
             }),
             shards: None,
@@ -531,6 +566,55 @@ mod tests {
         let ann_stats = stats.ann.expect("ann stats surface the index");
         assert_eq!(ann_stats.cells, 4);
         assert_eq!(ann_stats.default_nprobe, 2);
+    }
+
+    #[test]
+    fn nearest_batch_matches_per_query_on_a_quiesced_session() {
+        for quantize in [false, true] {
+            let mut settings = ann_settings(3, 2);
+            settings.config.quantize = quantize;
+            let serving = ServingSession::spawn_with_ann(
+                tiny_session(EpochPolicy::Manual),
+                64,
+                Some(settings),
+            )
+            .unwrap();
+            serving.ingest(&chain_events(9, 0)).unwrap();
+            serving.flush().unwrap();
+            // Trainer quiesced: single and batch reads see one epoch.
+            let nodes = [NodeId(0), NodeId(4), NodeId(777), NodeId(2)];
+            let (be, batch) = serving.nearest_batch(&nodes, 5);
+            for (&n, got) in nodes.iter().zip(&batch) {
+                let (se, single) = serving.nearest(n, 5);
+                assert_eq!(be, se);
+                assert_eq!(got.len(), single.len());
+                for (a, b) in got.iter().zip(&single) {
+                    assert_eq!(a.0, b.0);
+                    assert_eq!(a.1.to_bits(), b.1.to_bits());
+                }
+            }
+            for nprobe in [None, Some(1), Some(usize::MAX)] {
+                let (be, batch) = serving.nearest_batch_ann(&nodes, 5, nprobe).unwrap();
+                for (&n, got) in nodes.iter().zip(&batch) {
+                    let (se, single) = serving.nearest_ann(n, 5, nprobe).unwrap();
+                    assert_eq!(be, se);
+                    assert_eq!(got.len(), single.len(), "quantize={quantize}");
+                    for (a, b) in got.iter().zip(&single) {
+                        assert_eq!(a.0, b.0);
+                        assert_eq!(a.1.to_bits(), b.1.to_bits());
+                    }
+                }
+            }
+            // Stats surface the storage mode and the arena shrink.
+            let ann_stats = serving.stats().ann.expect("ann stats present");
+            let expected = if quantize {
+                StorageMode::Sq8
+            } else {
+                StorageMode::F32
+            };
+            assert_eq!(ann_stats.storage, expected);
+            assert!(ann_stats.index_bytes > 0);
+        }
     }
 
     #[test]

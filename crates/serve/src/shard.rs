@@ -34,6 +34,7 @@ use crate::error::ServeError;
 use crate::queue::{bounded, FlushOutcome, IngestQueue};
 use crate::session::{build_epoch, trainer_loop, AnnSettings, AnnStats, ServeStats};
 use glodyne::EmbedderSession;
+use glodyne_ann::{SearchScratch, StorageMode};
 use glodyne_embed::{ConfigError, DynamicEmbedder};
 use glodyne_graph::state::GraphEvent;
 use glodyne_graph::NodeId;
@@ -290,6 +291,89 @@ impl ShardedSession {
         Some((epoch, hits, effective))
     }
 
+    /// [`ShardedSession::nearest`] for a whole batch: **one** router
+    /// read and **one** epoch snapshot serve every query — the fan-out
+    /// views are built once per batch, not per node. The reported
+    /// epoch is the maximum shard epoch of the snapshot (the same
+    /// session-level epoch `stats`/`flush` report); per-node `None`
+    /// still means "no owned vector", exactly like the single-node
+    /// call. Each `Some` entry is bit-exact with the single-node call
+    /// against the same frozen snapshot.
+    #[allow(clippy::type_complexity)]
+    pub fn nearest_batch(
+        &self,
+        nodes: &[NodeId],
+        k: usize,
+    ) -> (u64, Vec<Option<Vec<(NodeId, f32)>>>) {
+        let router = self.router.read().unwrap_or_else(PoisonError::into_inner);
+        let epochs = self.epochs();
+        let views = Self::views(&epochs);
+        let owner = |id: NodeId| router.owner(id);
+        let results = nodes
+            .iter()
+            .map(|&node| {
+                let shard = owner(node)?;
+                epochs[shard as usize].embedding.get(node)?;
+                Some(fanout::nearest_exact(&views, owner, node, k))
+            })
+            .collect();
+        (epochs.iter().map(|e| e.epoch).max().unwrap_or(0), results)
+    }
+
+    /// [`ShardedSession::nearest_ann`] for a whole batch: one router
+    /// read, one epoch snapshot, and scan scratch shared across every
+    /// query. `None` when ANN is disabled on this session.
+    #[allow(clippy::type_complexity)]
+    pub fn nearest_batch_ann(
+        &self,
+        nodes: &[NodeId],
+        k: usize,
+        nprobe: Option<usize>,
+    ) -> Option<(u64, Vec<Option<Vec<(NodeId, f32)>>>, usize)> {
+        let settings = self.ann?;
+        let effective = nprobe
+            .unwrap_or(settings.default_nprobe)
+            .clamp(1, settings.config.cells);
+        let router = self.router.read().unwrap_or_else(PoisonError::into_inner);
+        let epochs = self.epochs();
+        let views = Self::views(&epochs);
+        let owner = |id: NodeId| router.owner(id);
+        let mut scratch = SearchScratch::new();
+        let results = nodes
+            .iter()
+            .map(|&node| {
+                let shard = owner(node)?;
+                epochs[shard as usize].embedding.get(node)?;
+                Some(fanout::nearest_approx_with(
+                    &views,
+                    owner,
+                    node,
+                    k,
+                    effective,
+                    &mut scratch,
+                ))
+            })
+            .collect();
+        Some((
+            epochs.iter().map(|e| e.epoch).max().unwrap_or(0),
+            results,
+            effective,
+        ))
+    }
+
+    /// The fan-out views over one epoch snapshot.
+    fn views(epochs: &[Arc<EmbeddingEpoch>]) -> Vec<ShardView<'_>> {
+        epochs
+            .iter()
+            .enumerate()
+            .map(|(shard, epoch)| ShardView {
+                shard: shard as u32,
+                embedding: &epoch.embedding,
+                index: epoch.index.as_ref(),
+            })
+            .collect()
+    }
+
     /// Shared read-path skeleton: snapshot ownership and every shard
     /// epoch once, report the owner shard's epoch id, and distinguish
     /// "node unknown" (`None`) from "no candidates" (`Some(empty)`).
@@ -299,15 +383,7 @@ impl ShardedSession {
     {
         let router = self.router.read().unwrap_or_else(PoisonError::into_inner);
         let epochs = self.epochs();
-        let views: Vec<ShardView<'_>> = epochs
-            .iter()
-            .enumerate()
-            .map(|(shard, epoch)| ShardView {
-                shard: shard as u32,
-                embedding: &epoch.embedding,
-                index: epoch.index.as_ref(),
-            })
-            .collect();
+        let views = Self::views(&epochs);
         let owner = |id: NodeId| router.owner(id);
         let Some(shard) = owner(node) else {
             return (0, None);
@@ -355,6 +431,16 @@ impl ShardedSession {
                     .filter_map(|s| s.ann_build)
                     .max()
                     .unwrap_or_default(),
+                storage: if settings.config.quantize {
+                    StorageMode::Sq8
+                } else {
+                    StorageMode::F32
+                },
+                index_bytes: epochs
+                    .iter()
+                    .filter_map(|e| e.index.as_ref())
+                    .map(glodyne_ann::IvfIndex::index_bytes)
+                    .sum(),
             }),
             shards: Some(per_shard),
         }
@@ -533,6 +619,84 @@ mod tests {
         let none = sharded(2, None);
         assert!(none.nearest_ann(NodeId(0), 3, None).is_none());
         serving.shutdown();
+    }
+
+    #[test]
+    fn nearest_batch_matches_per_query_across_shards() {
+        for quantize in [false, true] {
+            let settings = AnnSettings {
+                config: IvfConfig {
+                    cells: 4,
+                    quantize,
+                    ..Default::default()
+                },
+                default_nprobe: 2,
+            };
+            let serving = sharded(2, Some(settings));
+            serving.ingest(&community_events()).unwrap();
+            serving.flush().unwrap();
+
+            // Unknown probe in the middle; known nodes across both
+            // communities (and so, typically, both shards).
+            let nodes: Vec<NodeId> = [0u32, 5, 999, 10, 15].map(NodeId).to_vec();
+
+            // Exact batch ≡ per-query exact, bit for bit, with the
+            // None-vs-Some(empty) distinction preserved.
+            let (batch_epoch, batch) = serving.nearest_batch(&nodes, 6);
+            assert_eq!(batch.len(), nodes.len());
+            assert_eq!(batch_epoch, serving.stats().epoch);
+            for (&node, got) in nodes.iter().zip(&batch) {
+                let (_, single) = serving.nearest(node, 6);
+                match (got, &single) {
+                    (Some(g), Some(s)) => {
+                        assert_eq!(g.len(), s.len());
+                        for (a, b) in g.iter().zip(s) {
+                            assert_eq!(a.0, b.0);
+                            assert_eq!(a.1.to_bits(), b.1.to_bits());
+                        }
+                    }
+                    (None, None) => assert_eq!(node, NodeId(999)),
+                    _ => panic!("batch/single disagree on {node:?} presence"),
+                }
+            }
+
+            // ANN batch ≡ per-query ANN for narrow and saturating
+            // probes (scratch reuse must not change results).
+            for nprobe in [None, Some(1), Some(usize::MAX)] {
+                let (_, batch, eff) = serving.nearest_batch_ann(&nodes, 5, nprobe).unwrap();
+                for (&node, got) in nodes.iter().zip(&batch) {
+                    let (_, single, single_eff) = serving.nearest_ann(node, 5, nprobe).unwrap();
+                    assert_eq!(eff, single_eff);
+                    match (got, &single) {
+                        (Some(g), Some(s)) => {
+                            assert_eq!(g.len(), s.len());
+                            for (a, b) in g.iter().zip(s) {
+                                assert_eq!(a.0, b.0);
+                                assert_eq!(a.1.to_bits(), b.1.to_bits());
+                            }
+                        }
+                        (None, None) => assert_eq!(node, NodeId(999)),
+                        _ => panic!("ann batch/single disagree on {node:?} presence"),
+                    }
+                }
+            }
+
+            // Stats report the configured storage mode and the summed
+            // per-shard index footprint.
+            let ann = serving.stats().ann.expect("ann enabled");
+            let expected = if quantize {
+                StorageMode::Sq8
+            } else {
+                StorageMode::F32
+            };
+            assert_eq!(ann.storage, expected);
+            assert!(ann.index_bytes > 0);
+
+            // ANN-disabled sessions refuse the batch too.
+            let none = sharded(2, None);
+            assert!(none.nearest_batch_ann(&nodes, 5, None).is_none());
+            serving.shutdown();
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! fan-out result is **bit-exact** with an unsharded exact scan of the
 //! owner-filtered union. Property-pinned in `tests/prop.rs`.
 
-use glodyne_ann::IvfIndex;
+use glodyne_ann::{IvfIndex, SearchScratch};
 use glodyne_embed::embedding::norm_cosine;
 use glodyne_embed::{Embedding, TopKSelector};
 use glodyne_graph::NodeId;
@@ -90,6 +90,22 @@ pub fn nearest_approx(
     k: usize,
     nprobe: usize,
 ) -> Vec<(NodeId, f32)> {
+    nearest_approx_with(views, owner, node, k, nprobe, &mut SearchScratch::new())
+}
+
+/// [`nearest_approx`] with caller-owned scan scratch — the batched
+/// fan-out threads one scratch through every query of a batch.
+/// Per-shard scans go through `IvfIndex::search_in` against the
+/// shard's own embedding, so SQ8-quantized shards re-rank with the
+/// exact kernel before the merge.
+pub fn nearest_approx_with(
+    views: &[ShardView<'_>],
+    owner: impl Fn(NodeId) -> Option<u32>,
+    node: NodeId,
+    k: usize,
+    nprobe: usize,
+    scratch: &mut SearchScratch,
+) -> Vec<(NodeId, f32)> {
     let Some((q, _)) = owned_query(views, &owner, node) else {
         return Vec::new();
     };
@@ -99,13 +115,53 @@ pub fn nearest_approx(
     let mut select = TopKSelector::new(k);
     for view in views {
         let Some(index) = view.index else { continue };
-        for (id, sim) in index.search(q, k.saturating_mul(2), nprobe, Some(node)) {
+        for (id, sim) in index.search_in_with(
+            view.embedding,
+            q,
+            k.saturating_mul(2),
+            nprobe,
+            Some(node),
+            scratch,
+        ) {
             if owner(id) == Some(view.shard) {
                 select.push((id, sim));
             }
         }
     }
     select.into_sorted()
+}
+
+/// [`nearest_exact`] for a whole batch of probe nodes against **one**
+/// set of shard views: the caller snapshots router + epochs once, and
+/// every query of the batch reads the same frozen views. Results are
+/// positionally parallel to `nodes`; each entry is bit-exact with the
+/// corresponding single-query [`nearest_exact`] over the same views.
+pub fn nearest_exact_batch(
+    views: &[ShardView<'_>],
+    owner: impl Fn(NodeId) -> Option<u32>,
+    nodes: &[NodeId],
+    k: usize,
+) -> Vec<Vec<(NodeId, f32)>> {
+    nodes
+        .iter()
+        .map(|&node| nearest_exact(views, &owner, node, k))
+        .collect()
+}
+
+/// [`nearest_approx`] for a whole batch against one set of shard
+/// views, sharing scan scratch across the queries.
+pub fn nearest_approx_batch(
+    views: &[ShardView<'_>],
+    owner: impl Fn(NodeId) -> Option<u32>,
+    nodes: &[NodeId],
+    k: usize,
+    nprobe: usize,
+) -> Vec<Vec<(NodeId, f32)>> {
+    let mut scratch = SearchScratch::new();
+    nodes
+        .iter()
+        .map(|&node| nearest_approx_with(views, &owner, node, k, nprobe, &mut scratch))
+        .collect()
 }
 
 /// Materialise the sharded global view: every owned row of every
