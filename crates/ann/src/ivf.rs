@@ -5,7 +5,7 @@ use crate::kmeans;
 use crate::sq8::Sq8Arena;
 use glodyne_embed::embedding::{l2_norm, norm_cosine};
 use glodyne_embed::kernel::scaled_dot_fast;
-use glodyne_embed::{ConfigError, Embedding, TopKSelector};
+use glodyne_embed::{AlignedBuf, ConfigError, Embedding, TopKSelector};
 use glodyne_graph::NodeId;
 use std::time::{Duration, Instant};
 
@@ -84,10 +84,12 @@ impl StorageMode {
     }
 }
 
-/// The posting-list arena in one of the two storage modes.
+/// The posting-list arena in one of the two storage modes. The f32
+/// arena is cache-line aligned: partial-probe scans sweep it with the
+/// SIMD-shaped fast kernel.
 #[derive(Debug, Clone)]
 enum PostingStorage {
-    F32(Vec<f32>),
+    F32(AlignedBuf<f32>),
     Sq8(Sq8Arena),
 }
 
@@ -171,7 +173,7 @@ impl IvfIndex {
                 storage: if config.quantize {
                     PostingStorage::Sq8(Sq8Arena::quantize(&[]))
                 } else {
-                    PostingStorage::F32(Vec::new())
+                    PostingStorage::F32(AlignedBuf::new())
                 },
                 norms: Vec::new(),
                 inv_norms: Vec::new(),
@@ -206,7 +208,7 @@ impl IvfIndex {
         }
         let mut cursor: Vec<u32> = cell_offsets[..c].to_vec();
         let mut ids = vec![NodeId(0); n];
-        let mut vectors = vec![0.0f32; n * dim];
+        let mut vectors = AlignedBuf::<f32>::zeroed(n * dim);
         let mut norms = vec![0.0f32; n];
         for (i, &cell) in clustering.assignment.iter().enumerate() {
             let pos = cursor[cell as usize] as usize;

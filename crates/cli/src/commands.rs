@@ -3,6 +3,10 @@
 use crate::opts::Opts;
 use crate::CliError;
 use glodyne::{EmbedderSession, EpochPolicy, GloDyNE, GloDyNEConfig, IvfConfig, StepReport};
+use glodyne_durable::{
+    list_segments, list_snapshots, load_snapshot, replay, DurableConfig, DurableSession,
+    FsyncPolicy, WalRecord, PAYLOAD_ROUTER, PAYLOAD_SESSION,
+};
 use glodyne_embed::persist;
 use glodyne_embed::traits::{run_over_reports, step_with, DynamicEmbedder};
 use glodyne_embed::walks::WalkConfig;
@@ -17,7 +21,7 @@ use glodyne_tasks::gr::mean_precision_at_k;
 use glodyne_tasks::lp::{build_test_set, link_prediction_auc};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Load an edge stream file.
 fn load_stream(path: &str) -> Result<Vec<TimedEdge>, CliError> {
@@ -218,6 +222,28 @@ fn shard_sessions(
         .collect()
 }
 
+/// Shared durability parsing for `serve`: `None` without `--data-dir`;
+/// with it, `--fsync` (`flush`, `off`, `every:<n>`), `--snapshot-every`,
+/// `--keep-snapshots`, and `--segment-bytes` tune the lineage.
+fn parse_durable(opts: &Opts) -> Result<Option<(PathBuf, DurableConfig)>, CliError> {
+    let Some(dir) = opts.get_opt::<String>("data-dir")? else {
+        return Ok(None);
+    };
+    let defaults = DurableConfig::default();
+    let fsync = match opts.get_opt::<String>("fsync")? {
+        None => defaults.fsync,
+        Some(spec) => FsyncPolicy::parse(&spec)
+            .map_err(|e| CliError::Usage(format!("invalid --fsync `{spec}`: {e}")))?,
+    };
+    let cfg = DurableConfig {
+        segment_bytes: opts.get("segment-bytes", defaults.segment_bytes).max(1),
+        fsync,
+        snapshot_every: opts.get("snapshot-every", defaults.snapshot_every),
+        keep_snapshots: opts.get("keep-snapshots", defaults.keep_snapshots).max(1),
+    };
+    Ok(Some((PathBuf::from(dir), cfg)))
+}
+
 /// Shared `--policy` parsing for `stream` and `serve`.
 fn parse_policy(opts: &Opts) -> Result<EpochPolicy, CliError> {
     match opts.get_str("policy", "timestamp") {
@@ -397,48 +423,183 @@ pub fn start_server(opts: &Opts) -> Result<(Server, String), CliError> {
         ann,
         ..ServerConfig::default()
     };
+    let durable = parse_durable(opts)?;
     let bind_err = |e: ServeError| match e {
         ServeError::Bind { addr, source } => CliError::Io {
             context: format!("cannot bind {addr}"),
+            source,
+        },
+        ServeError::Durability(source) => CliError::Io {
+            context: "durable lineage failure".to_string(),
             source,
         },
         other => CliError::Usage(other.to_string()),
     };
 
     let mut preamble = String::new();
+    if durable.is_some() {
+        // Replay determinism requires single-threaded SGNS: a parallel
+        // reduction reorders float adds and the recovered state would
+        // drift from the logged run.
+        preamble.push_str("durable: sgns forced single-threaded for deterministic replay\n");
+    }
     let server = if let Some(shard_cfg) = shard_cfg {
-        // Sharded mode: the per-shard IVF indexes come from the serve
-        // layer (ServerConfig.ann), not the sessions.
-        let sessions = shard_sessions(opts, policy, shard_cfg.shards, None)?;
-        let server = Server::bind_sharded(sessions, shard_cfg, bind, cfg).map_err(bind_err)?;
-        // Warm start rides the running session's router: ingest +
-        // flush complete before the preamble (and hence the operator's
-        // go-ahead) is printed.
-        if let Ok(Some(input)) = opts.get_opt::<String>("input") {
-            let mut events = load_stream(&input)?;
-            events.sort_by_key(|te| te.time);
-            let gevents: Vec<glodyne_graph::GraphEvent> =
-                events.iter().map(|&te| te.into()).collect();
-            let sharded = server.sharded().expect("sharded server");
-            sharded
-                .ingest(&gevents)
-                .and_then(|_| sharded.flush())
-                .map_err(|e| CliError::Usage(e.to_string()))?;
-            let stats = server.stats();
+        if let Some((dir, dcfg)) = &durable {
+            glodyne_config(opts)?; // surface config errors before touching disk
+            let make = |shard: usize| {
+                let mut mcfg = glodyne_config(opts).expect("embedder config validated above");
+                mcfg.sgns.parallel = false;
+                mcfg.walk.seed = mcfg.walk.seed.wrapping_add(shard as u64);
+                mcfg.sgns.seed = mcfg.sgns.seed.wrapping_add(shard as u64);
+                GloDyNE::new(mcfg).expect("embedder config validated above")
+            };
+            let (server, recovered) =
+                Server::bind_sharded_durable(dir, shard_cfg, *dcfg, policy, bind, cfg, make)
+                    .map_err(bind_err)?;
+            match &recovered {
+                Some(provenance) => {
+                    preamble.push_str(&format!("durable: recovered from {provenance}\n"));
+                    if opts.get_opt::<String>("input")?.is_some() {
+                        preamble.push_str(
+                            "warm start skipped: existing durable lineage takes precedence\n",
+                        );
+                    }
+                }
+                None => {
+                    preamble.push_str(&format!(
+                        "durable: fresh sharded lineage at {} \
+                         (fsync={}, snapshot every {} epoch(s))\n",
+                        dir.display(),
+                        dcfg.fsync,
+                        dcfg.snapshot_every,
+                    ));
+                    // A fresh lineage warm-starts through the running
+                    // router so the edge file lands in the WAL too.
+                    if let Some(input) = opts.get_opt::<String>("input")? {
+                        let mut events = load_stream(&input)?;
+                        events.sort_by_key(|te| te.time);
+                        let gevents: Vec<glodyne_graph::GraphEvent> =
+                            events.iter().map(|&te| te.into()).collect();
+                        let sharded = server.sharded().expect("sharded server");
+                        sharded
+                            .ingest(&gevents)
+                            .and_then(|_| sharded.flush())
+                            .map_err(|e| CliError::Usage(e.to_string()))?;
+                        preamble.push_str(&format!(
+                            "warm start: {} events -> epoch {} across {} shards\n",
+                            events.len(),
+                            server.stats().epoch,
+                            shard_cfg.shards,
+                        ));
+                    }
+                }
+            }
             preamble.push_str(&format!(
-                "warm start: {} events -> epoch {} across {} shards, {} live nodes\n",
-                events.len(),
-                stats.epoch,
-                shard_cfg.shards,
-                stats.nodes,
+                "sharded: {} partition-routed shards (epsilon={} seed={}; \
+                 stats reports a per-shard break-down)\n",
+                shard_cfg.shards, shard_cfg.epsilon, shard_cfg.seed
             ));
+            server
+        } else {
+            // Sharded mode: the per-shard IVF indexes come from the
+            // serve layer (ServerConfig.ann), not the sessions.
+            let sessions = shard_sessions(opts, policy, shard_cfg.shards, None)?;
+            let server = Server::bind_sharded(sessions, shard_cfg, bind, cfg).map_err(bind_err)?;
+            // Warm start rides the running session's router: ingest +
+            // flush complete before the preamble (and hence the
+            // operator's go-ahead) is printed.
+            if let Ok(Some(input)) = opts.get_opt::<String>("input") {
+                let mut events = load_stream(&input)?;
+                events.sort_by_key(|te| te.time);
+                let gevents: Vec<glodyne_graph::GraphEvent> =
+                    events.iter().map(|&te| te.into()).collect();
+                let sharded = server.sharded().expect("sharded server");
+                sharded
+                    .ingest(&gevents)
+                    .and_then(|_| sharded.flush())
+                    .map_err(|e| CliError::Usage(e.to_string()))?;
+                let stats = server.stats();
+                preamble.push_str(&format!(
+                    "warm start: {} events -> epoch {} across {} shards, {} live nodes\n",
+                    events.len(),
+                    stats.epoch,
+                    shard_cfg.shards,
+                    stats.nodes,
+                ));
+            }
+            preamble.push_str(&format!(
+                "sharded: {} partition-routed shards (epsilon={} seed={}; \
+                 stats reports a per-shard break-down)\n",
+                shard_cfg.shards, shard_cfg.epsilon, shard_cfg.seed
+            ));
+            server
         }
-        preamble.push_str(&format!(
-            "sharded: {} partition-routed shards (epsilon={} seed={}; \
-             stats reports a per-shard break-down)\n",
-            shard_cfg.shards, shard_cfg.epsilon, shard_cfg.seed
-        ));
-        server
+    } else if let Some((dir, dcfg)) = &durable {
+        let mut mcfg = glodyne_config(opts)?;
+        mcfg.sgns.parallel = false;
+        let inspect_err = |source: std::io::Error| CliError::Io {
+            context: format!("cannot inspect {}", dir.display()),
+            source,
+        };
+        let has_lineage = !list_snapshots(dir).map_err(&inspect_err)?.is_empty()
+            || !list_segments(dir).map_err(&inspect_err)?.is_empty();
+        if has_lineage {
+            let make = || {
+                let mut mcfg = glodyne_config(opts).expect("embedder config validated above");
+                mcfg.sgns.parallel = false;
+                GloDyNE::new(mcfg).expect("embedder config validated above")
+            };
+            let (durable_session, report) =
+                DurableSession::recover(dir, *dcfg, policy, false, make).map_err(|source| {
+                    CliError::Io {
+                        context: format!("cannot recover {}", dir.display()),
+                        source,
+                    }
+                })?;
+            preamble.push_str(&format!(
+                "durable: recovered from {}\n",
+                report.recovered_from
+            ));
+            if !report.wal_clean {
+                preamble.push_str("durable: wal tail was torn and has been healed\n");
+            }
+            if opts.get_opt::<String>("input")?.is_some() {
+                preamble
+                    .push_str("warm start skipped: existing durable lineage takes precedence\n");
+            }
+            Server::bind_durable(durable_session, Some(report.recovered_from), bind, cfg)
+                .map_err(bind_err)?
+        } else {
+            let model = GloDyNE::new(mcfg)?;
+            let mut session = EmbedderSession::new(model, policy)?;
+            // Warm start before the lineage exists: the edge file is
+            // committed and then frozen into the initial snapshot, so
+            // it never needs to be replayed from the WAL.
+            if let Ok(Some(input)) = opts.get_opt::<String>("input") {
+                let mut events = load_stream(&input)?;
+                events.sort_by_key(|te| te.time);
+                session.ingest(&events);
+                session.flush();
+                preamble.push_str(&format!(
+                    "warm start: {} events -> {} steps, {} embedded nodes\n",
+                    events.len(),
+                    session.steps(),
+                    session.embedding().len()
+                ));
+            }
+            let durable_session =
+                DurableSession::create(dir, session, *dcfg).map_err(|source| CliError::Io {
+                    context: format!("cannot create durable lineage in {}", dir.display()),
+                    source,
+                })?;
+            preamble.push_str(&format!(
+                "durable: fresh lineage at {} (fsync={}, snapshot every {} epoch(s))\n",
+                dir.display(),
+                dcfg.fsync,
+                dcfg.snapshot_every,
+            ));
+            Server::bind_durable(durable_session, None, bind, cfg).map_err(bind_err)?
+        }
     } else {
         let model = GloDyNE::new(glodyne_config(opts)?)?;
         let mut session = EmbedderSession::new(model, policy)?;
@@ -490,6 +651,110 @@ pub fn serve(opts: &Opts) -> Result<String, CliError> {
     std::io::Write::flush(&mut std::io::stdout())?;
     let served = server.join();
     Ok(format!("shut down cleanly after {served} connection(s)\n"))
+}
+
+/// One lineage directory's health: every snapshot's integrity, the WAL
+/// segment/record totals, and how much a restart would replay.
+fn inspect_lineage(label: &str, dir: &Path) -> Result<String, CliError> {
+    let ioerr = |source: std::io::Error| CliError::Io {
+        context: format!("cannot inspect {}", dir.display()),
+        source,
+    };
+    let mut out = format!("[{label}]\n");
+    let snapshots = list_snapshots(dir).map_err(&ioerr)?;
+    let mut floor = 0u64;
+    if snapshots.is_empty() {
+        out.push_str("  no snapshots\n");
+    }
+    for (seq, path) in &snapshots {
+        match load_snapshot(path) {
+            Ok(snap) => {
+                let kind = match snap.kind {
+                    PAYLOAD_SESSION => "session",
+                    PAYLOAD_ROUTER => "router",
+                    _ => "unknown",
+                };
+                floor = floor.max(snap.seq);
+                out.push_str(&format!(
+                    "  snapshot seq={} epoch={} kind={kind} payload={}B ok\n",
+                    snap.seq,
+                    snap.epoch,
+                    snap.payload.len()
+                ));
+            }
+            Err(e) => out.push_str(&format!(
+                "  snapshot seq={seq} CORRUPT ({e}) — recovery falls back to an older one\n"
+            )),
+        }
+    }
+    let segments = list_segments(dir).map_err(&ioerr)?;
+    let replayed = replay(dir).map_err(&ioerr)?;
+    let events = replayed
+        .records
+        .iter()
+        .filter(|(_, r)| matches!(r, WalRecord::Event(_)))
+        .count();
+    let flushes = replayed.records.len() - events;
+    let pending = replayed
+        .records
+        .iter()
+        .filter(|&&(seq, r)| seq > floor && matches!(r, WalRecord::Event(_)))
+        .count();
+    out.push_str(&format!(
+        "  wal: {} segment(s), {events} event(s) + {flushes} flush marker(s), {}\n",
+        segments.len(),
+        if replayed.clean {
+            "clean tail"
+        } else {
+            "torn tail (healed on recovery)"
+        },
+    ));
+    out.push_str(&format!(
+        "  restart replays {pending} event(s) past snapshot seq {floor}\n"
+    ));
+    Ok(out)
+}
+
+/// `glodyne recover`: inspect a `--data-dir` without serving from it —
+/// read-only, so it is safe to run next to a live server.
+pub fn recover(opts: &Opts) -> Result<String, CliError> {
+    let dir = PathBuf::from(opts.require("data-dir")?);
+    if !dir.is_dir() {
+        return Err(CliError::Usage(format!(
+            "--data-dir {}: not a directory",
+            dir.display()
+        )));
+    }
+    let mut out = String::new();
+    let router = dir.join("router");
+    if router.is_dir() {
+        out.push_str(&format!("sharded durable lineage at {}\n", dir.display()));
+        out.push_str(&inspect_lineage("router", &router)?);
+        let mut shards: Vec<(usize, PathBuf)> = std::fs::read_dir(&dir)
+            .map_err(|source| CliError::Io {
+                context: format!("cannot read {}", dir.display()),
+                source,
+            })?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| {
+                let shard = e
+                    .file_name()
+                    .to_str()?
+                    .strip_prefix("shard-")?
+                    .parse::<usize>()
+                    .ok()?;
+                Some((shard, e.path()))
+            })
+            .collect();
+        shards.sort_unstable_by_key(|&(shard, _)| shard);
+        for (shard, path) in &shards {
+            out.push_str(&inspect_lineage(&format!("shard-{shard}"), path)?);
+        }
+    } else {
+        out.push_str(&format!("durable lineage at {}\n", dir.display()));
+        out.push_str(&inspect_lineage("session", &dir)?);
+    }
+    Ok(out)
 }
 
 /// `glodyne partition`: balanced k-way partition of the final snapshot.
@@ -1003,6 +1268,187 @@ mod tests {
             Err(err) => assert!(matches!(err, CliError::Config(_)), "{err}"),
             Ok(_) => panic!("nprobe = 0 must be rejected"),
         }
+    }
+
+    fn durable_args(input: &std::path::Path, data_dir: &std::path::Path) -> Vec<String> {
+        [
+            "--bind",
+            "127.0.0.1:0",
+            "--input",
+            &input.display().to_string(),
+            "--policy",
+            "manual",
+            "--dim",
+            "8",
+            "--walks",
+            "2",
+            "--walk-length",
+            "8",
+            "--epochs",
+            "1",
+            "--data-dir",
+            &data_dir.display().to_string(),
+            "--snapshot-every",
+            "1",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    }
+
+    #[test]
+    fn serve_command_durable_restart_and_recover_report() {
+        use std::io::{BufRead, BufReader, Write};
+        let input = write_fixture("glodyne_cli_serve_durable");
+        let data_dir = std::env::temp_dir().join(format!(
+            "glodyne_cli_durable_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&data_dir);
+        let opts = Opts::parse(&durable_args(&input, &data_dir));
+
+        let round_trip = |server: &Server, req: &str| {
+            let stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut w = stream.try_clone().unwrap();
+            w.write_all(req.as_bytes()).unwrap();
+            w.write_all(b"\n").unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            line
+        };
+
+        let (server, preamble) = start_server(&opts).unwrap();
+        assert!(preamble.contains("durable: fresh lineage"), "{preamble}");
+        assert!(preamble.contains("single-threaded"), "{preamble}");
+        assert!(preamble.contains("warm start"), "{preamble}");
+        let q_before = round_trip(&server, r#"{"cmd":"query","node":0}"#);
+        assert!(q_before.contains("\"ok\":true"), "{q_before}");
+        let stats = round_trip(&server, r#"{"cmd":"stats"}"#);
+        assert!(stats.contains("\"durability\":{"), "{stats}");
+        assert!(stats.contains("\"recovered_from\":null"), "{stats}");
+        round_trip(&server, r#"{"cmd":"shutdown"}"#);
+        server.join();
+
+        // Same options, same directory: the lineage is recovered, the
+        // warm start skipped, and reads come back byte-identical.
+        let (server, preamble) = start_server(&opts).unwrap();
+        assert!(
+            preamble.contains("durable: recovered from snapshot seq"),
+            "{preamble}"
+        );
+        assert!(preamble.contains("warm start skipped"), "{preamble}");
+        let q_after = round_trip(&server, r#"{"cmd":"query","node":0}"#);
+        assert_eq!(q_before, q_after, "restart must be bit-exact");
+        let stats = round_trip(&server, r#"{"cmd":"stats"}"#);
+        assert!(
+            stats.contains("\"recovered_from\":\"snapshot seq"),
+            "{stats}"
+        );
+        round_trip(&server, r#"{"cmd":"shutdown"}"#);
+        server.join();
+
+        // The inspection command reports the same directory's health.
+        let report = recover(&Opts::parse(&[
+            "--data-dir".into(),
+            data_dir.display().to_string(),
+        ]))
+        .unwrap();
+        assert!(report.contains("durable lineage at"), "{report}");
+        assert!(report.contains("snapshot seq="), "{report}");
+        assert!(report.contains("clean tail"), "{report}");
+        assert!(report.contains("restart replays 0 event(s)"), "{report}");
+
+        let err = recover(&Opts::parse(&[
+            "--data-dir".into(),
+            "/nonexistent/xyz".into(),
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        let _ = std::fs::remove_dir_all(&data_dir);
+    }
+
+    #[test]
+    fn serve_command_sharded_durable_restart() {
+        use std::io::{BufRead, BufReader, Write};
+        let input = write_fixture("glodyne_cli_serve_shdur");
+        let data_dir = std::env::temp_dir().join(format!(
+            "glodyne_cli_shdur_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&data_dir);
+        let mut args = durable_args(&input, &data_dir);
+        args.extend(["--shards".into(), "2".into()]);
+        let opts = Opts::parse(&args);
+
+        let round_trip = |server: &Server, req: &str| {
+            let stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut w = stream.try_clone().unwrap();
+            w.write_all(req.as_bytes()).unwrap();
+            w.write_all(b"\n").unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            line
+        };
+
+        let (server, preamble) = start_server(&opts).unwrap();
+        assert!(
+            preamble.contains("durable: fresh sharded lineage"),
+            "{preamble}"
+        );
+        assert!(preamble.contains("warm start"), "{preamble}");
+        let q_before = round_trip(&server, r#"{"cmd":"query","node":0}"#);
+        assert!(q_before.contains("\"ok\":true"), "{q_before}");
+        round_trip(&server, r#"{"cmd":"shutdown"}"#);
+        server.join();
+
+        let (server, preamble) = start_server(&opts).unwrap();
+        assert!(preamble.contains("durable: recovered from"), "{preamble}");
+        assert!(preamble.contains("warm start skipped"), "{preamble}");
+        let q_after = round_trip(&server, r#"{"cmd":"query","node":0}"#);
+        assert_eq!(q_before, q_after, "sharded restart must be bit-exact");
+        round_trip(&server, r#"{"cmd":"shutdown"}"#);
+        server.join();
+
+        let report = recover(&Opts::parse(&[
+            "--data-dir".into(),
+            data_dir.display().to_string(),
+        ]))
+        .unwrap();
+        assert!(report.contains("sharded durable lineage"), "{report}");
+        assert!(report.contains("[router]"), "{report}");
+        assert!(report.contains("[shard-0]"), "{report}");
+        assert!(report.contains("[shard-1]"), "{report}");
+        let _ = std::fs::remove_dir_all(&data_dir);
+    }
+
+    #[test]
+    fn parse_durable_flags() {
+        assert!(parse_durable(&Opts::parse(&[])).unwrap().is_none());
+        let opts = Opts::parse(&[
+            "--data-dir".into(),
+            "/tmp/x".into(),
+            "--fsync".into(),
+            "every:8".into(),
+            "--snapshot-every".into(),
+            "2".into(),
+        ]);
+        let (dir, cfg) = parse_durable(&opts).unwrap().unwrap();
+        assert_eq!(dir, PathBuf::from("/tmp/x"));
+        assert_eq!(cfg.fsync, FsyncPolicy::EveryNEvents(8));
+        assert_eq!(cfg.snapshot_every, 2);
+
+        let bad = Opts::parse(&[
+            "--data-dir".into(),
+            "/tmp/x".into(),
+            "--fsync".into(),
+            "sometimes".into(),
+        ]);
+        let err = parse_durable(&bad).unwrap_err();
+        assert!(err.to_string().contains("--fsync"), "{err}");
     }
 
     #[test]

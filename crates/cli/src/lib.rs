@@ -88,6 +88,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "embed" => commands::embed(&opts::Opts::parse(rest)),
         "stream" => commands::stream(&opts::Opts::parse(rest)),
         "serve" => commands::serve(&opts::Opts::parse(rest)),
+        "recover" => commands::recover(&opts::Opts::parse(rest)),
         "partition" => commands::partition_cmd(&opts::Opts::parse(rest)),
         "evaluate" => commands::evaluate(&opts::Opts::parse(rest)),
         "help" | "--help" | "-h" => Ok(usage()),
@@ -117,6 +118,10 @@ USAGE:
                     [--shards N] [--shard-epsilon 0.1] [--shard-seed 0]
                     [--drift 0.25]
                     [--input <edges.txt>] [--alpha 0.1] [--dim 128] [--seed 0]
+                    [--data-dir <dir>] [--fsync flush|off|every:<n>]
+                    [--snapshot-every 4] [--keep-snapshots 2]
+                    [--segment-bytes 4194304]
+  glodyne recover   --data-dir <dir>
   glodyne partition --input <edges.txt> [--k 8] [--epsilon 0.1] [--seed 0]
   glodyne evaluate  --input <edges.txt> [--snapshots 10] [--alpha 0.1]
                     [--dim 128] [--seed 0]
@@ -141,6 +146,18 @@ With --shards N, `stream` and `serve` partition the event stream into N
   cross-shard edges are mirrored to both sides as halo edges, `nearest`
   fans out across shards and merges owned hits, and `stats` reports a
   per-shard \"shards\" array.
+With --data-dir, `serve` becomes crash-recoverable: every ingested
+  event is appended to a segmented write-ahead log under the directory
+  and committed epochs are periodically frozen into snapshot files.
+  Restarting with the same --data-dir resumes the embedding bit-exactly
+  (a clean `shutdown` replays zero events; after a crash the WAL suffix
+  is replayed). --fsync trades durability for throughput (`flush` syncs
+  at epoch boundaries, `every:<n>` after every n events, `off` leaves
+  it to the OS); SGNS training is forced single-threaded so replay is
+  deterministic. Warm-start --input is skipped when an existing lineage
+  is recovered.
+`recover` inspects a --data-dir without serving: snapshot integrity,
+  WAL segment health, and how much a restart would replay.
 `partition` prints `node part` lines for the final snapshot.
 `evaluate` reports graph-reconstruction MeanP@k and link-prediction AUC.
 "

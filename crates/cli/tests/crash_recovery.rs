@@ -1,0 +1,218 @@
+//! Hard-crash smoke test against the real `glodyne` binary: run
+//! `glodyne serve --data-dir … --fsync every:1`, pump ~10k events over
+//! the wire, `SIGKILL` the process mid-lineage, restart it on the same
+//! directory, and check the recovered server answers with the same
+//! committed epoch and byte-identical `nearest` responses.
+//!
+//! Ignored by default (it forks real processes and fsyncs ~10k times);
+//! run it explicitly with
+//! `cargo test -p glodyne-cli --test crash_recovery -- --ignored`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn data_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "glodyne-crash-smoke-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+struct ServerProc {
+    child: Child,
+    stdout: BufReader<std::process::ChildStdout>,
+    addr: String,
+    preamble: String,
+}
+
+/// Spawn `glodyne serve` on the data dir and wait for its preamble to
+/// announce the bound address.
+fn spawn_server(dir: &std::path::Path) -> ServerProc {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_glodyne"))
+        .args([
+            "serve",
+            "--bind",
+            "127.0.0.1:0",
+            "--policy",
+            "manual",
+            "--dim",
+            "8",
+            "--walks",
+            "2",
+            "--walk-length",
+            "8",
+            "--epochs",
+            "1",
+            "--data-dir",
+            &dir.display().to_string(),
+            "--fsync",
+            "every:1",
+            "--snapshot-every",
+            "1",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn glodyne serve");
+    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut preamble = String::new();
+    let addr = loop {
+        let mut line = String::new();
+        if stdout.read_line(&mut line).expect("read preamble") == 0 {
+            panic!("server exited before announcing its address:\n{preamble}");
+        }
+        preamble.push_str(&line);
+        if let Some(rest) = line.strip_prefix("serving on ") {
+            break rest
+                .split_whitespace()
+                .next()
+                .expect("address token")
+                .to_string();
+        }
+    };
+    ServerProc {
+        child,
+        stdout,
+        addr,
+        preamble,
+    }
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn round_trip(&mut self, request: &str) -> String {
+        self.writer.write_all(request.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        self.writer.flush().unwrap();
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read response");
+        assert!(!line.is_empty(), "server hung up on {request}");
+        line.trim_end().to_string()
+    }
+}
+
+/// Pull `"epoch":N` out of a stats line.
+fn epoch_of(stats: &str) -> u64 {
+    let tail = &stats[stats.find("\"epoch\":").expect("epoch field") + 8..];
+    tail.chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("epoch digits")
+}
+
+/// Byte-exact read surface: `nearest` for a handful of probes.
+fn nearest_surface(client: &mut Client) -> Vec<String> {
+    [0u32, 5, 17, 63]
+        .iter()
+        .map(|n| client.round_trip(&format!(r#"{{"cmd":"nearest","node":{n},"k":5}}"#)))
+        .collect()
+}
+
+#[test]
+#[ignore = "forks real server processes and fsyncs per event; run with -- --ignored"]
+fn sigkill_mid_stream_recovers_committed_epoch_bit_exact() {
+    let dir = data_dir();
+    let mut server = spawn_server(&dir);
+    assert!(
+        server.preamble.contains("durable: fresh lineage"),
+        "{}",
+        server.preamble
+    );
+    let mut client = Client::connect(&server.addr);
+
+    // ~10k events in committed batches: ingest + flush per batch so the
+    // final committed epoch is well past the initial snapshot.
+    let mut sent = 0u64;
+    for batch in 0..4u32 {
+        let edges: Vec<String> = (0..2500u32)
+            .map(|i| {
+                // Distinct (u, v) pairs over 512 nodes for every e in
+                // 0..10000, so each batch grows the graph and each
+                // flush commits a real epoch.
+                let e = batch * 2500 + i;
+                let u = e % 512;
+                let v = (e / 512 + 1 + u) % 512;
+                format!("[{u},{v},{batch}]")
+            })
+            .collect();
+        let resp = client.round_trip(&format!(
+            r#"{{"cmd":"ingest","edges":[{}]}}"#,
+            edges.join(",")
+        ));
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        sent += 2500;
+        let resp = client.round_trip(r#"{"cmd":"flush"}"#);
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+    }
+    assert_eq!(sent, 10_000);
+
+    let stats = client.round_trip(r#"{"cmd":"stats"}"#);
+    let committed_epoch = epoch_of(&stats);
+    assert!(committed_epoch >= 4, "{stats}");
+    let before = nearest_surface(&mut client);
+
+    // Un-flushed tail the crash may tear — it must not disturb the
+    // committed read surface either way.
+    let resp = client.round_trip(r#"{"cmd":"ingest","edges":[[1,2,9],[3,4,9],[5,6,9]]}"#);
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+
+    // Hard kill: SIGKILL, no shutdown handshake, no final snapshot.
+    server.child.kill().expect("SIGKILL server");
+    server.child.wait().expect("reap server");
+    drop(client);
+
+    // Restart on the same directory.
+    let mut server = spawn_server(&dir);
+    assert!(
+        server.preamble.contains("durable: recovered from"),
+        "{}",
+        server.preamble
+    );
+    let mut client = Client::connect(&server.addr);
+    let stats = client.round_trip(r#"{"cmd":"stats"}"#);
+    assert_eq!(
+        epoch_of(&stats),
+        committed_epoch,
+        "recovered committed epoch must match: {stats}"
+    );
+    assert!(stats.contains("\"recovered_from\":\""), "{stats}");
+    assert_eq!(
+        nearest_surface(&mut client),
+        before,
+        "nearest responses must be byte-identical after SIGKILL recovery"
+    );
+
+    // Clean stop this time; the binary should exit on its own.
+    let bye = client.round_trip(r#"{"cmd":"shutdown"}"#);
+    assert!(bye.contains("\"ok\":true"), "{bye}");
+    let mut remainder = String::new();
+    let _ = server.stdout.read_to_string(&mut remainder);
+    let status = server.child.wait().expect("reap server");
+    assert!(
+        status.success(),
+        "clean shutdown exit: {status:?}\n{remainder}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -69,9 +69,9 @@ pub mod variants;
 
 pub use glodyne_ann::{IvfConfig, IvfIndex};
 pub use glodyne_embed::config::ConfigError;
-pub use glodyne_embed::traits::{PhaseTimes, StepContext, StepReport};
+pub use glodyne_embed::traits::{CheckpointEmbedder, PhaseTimes, StepContext, StepReport};
 pub use model::{GloDyNE, GloDyNEConfig, GloDyNEConfigBuilder};
 pub use reservoir::Reservoir;
 pub use select::Strategy;
-pub use session::{EmbedderSession, EpochPolicy};
+pub use session::{EmbedderSession, EpochPolicy, SessionCheckpoint};
 pub use variants::{SgnsIncrement, SgnsRetrain, SgnsStatic};

@@ -3,7 +3,9 @@
 use crate::reservoir::Reservoir;
 use crate::select::{select_nodes, Strategy};
 use glodyne_embed::config::ConfigError;
-use glodyne_embed::traits::{DynamicEmbedder, PhaseTimes, StepContext, StepReport};
+use glodyne_embed::traits::{
+    CheckpointEmbedder, DynamicEmbedder, PhaseTimes, StepContext, StepReport,
+};
 use glodyne_embed::walks::{generate_corpus, generate_corpus_all, WalkConfig};
 use glodyne_embed::{Embedding, SgnsConfig, SgnsModel};
 use glodyne_graph::{Snapshot, SnapshotDiff};
@@ -264,6 +266,137 @@ impl DynamicEmbedder for GloDyNE {
     }
 }
 
+/// Magic bytes of the GloDyNE hidden-state checkpoint format.
+const STATE_MAGIC: &[u8; 4] = b"GDYN";
+/// Version of the hidden-state checkpoint format.
+const STATE_VERSION: u32 = 1;
+
+/// A little-endian byte cursor for parsing checkpoint state without
+/// ever panicking on truncated or corrupt input.
+struct StateReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> StateReader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| "truncated GloDyNE state".to_string())?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f32(&mut self) -> Result<f32, String> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+}
+
+impl CheckpointEmbedder for GloDyNE {
+    /// Serialise everything the persisted embedding cannot reconstruct:
+    /// the step counter, both RNG keystream positions, the SGNS row
+    /// order and context matrix, and the reservoir. The SGNS *input*
+    /// matrix is exactly the embedding (row `i` = vector of `ids[i]`),
+    /// so it travels via the persist layer instead of being duplicated
+    /// here.
+    fn export_state(&self) -> Vec<u8> {
+        let ids = self.model.ids();
+        let output = self.model.output_weights();
+        let reservoir = self.reservoir.entries();
+        let mut out =
+            Vec::with_capacity(44 + ids.len() * 4 + output.len() * 4 + reservoir.len() * 12);
+        out.extend_from_slice(STATE_MAGIC);
+        out.extend_from_slice(&STATE_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.step as u64).to_le_bytes());
+        out.extend_from_slice(&self.rng.word_pos().to_le_bytes());
+        out.extend_from_slice(&self.model.init_rng_word_pos().to_le_bytes());
+        out.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+        for id in ids {
+            out.extend_from_slice(&id.0.to_le_bytes());
+        }
+        for &w in output {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out.extend_from_slice(&(reservoir.len() as u32).to_le_bytes());
+        for (id, change) in reservoir {
+            out.extend_from_slice(&id.0.to_le_bytes());
+            out.extend_from_slice(&change.to_le_bytes());
+        }
+        out
+    }
+
+    /// Restore from [`CheckpointEmbedder::export_state`] bytes plus the
+    /// embedding persisted alongside them. The receiver's configuration
+    /// must match the exporter's (same seeds, same dimensions) for the
+    /// bit-exact resumption guarantee to hold.
+    fn import_state(&mut self, bytes: &[u8], embedding: &Embedding) -> Result<(), String> {
+        let mut r = StateReader { bytes, pos: 0 };
+        if r.take(4)? != STATE_MAGIC {
+            return Err("not a GloDyNE state checkpoint (bad magic)".to_string());
+        }
+        let version = r.u32()?;
+        if version != STATE_VERSION {
+            return Err(format!("unsupported GloDyNE state version {version}"));
+        }
+        let step = r.u64()?;
+        let select_pos = r.u64()?;
+        let init_pos = r.u64()?;
+        let dim = self.cfg.sgns.dim;
+        if embedding.dim() != dim {
+            return Err(format!(
+                "embedding dim {} does not match configured dim {dim}",
+                embedding.dim()
+            ));
+        }
+        let vocab_len = r.u32()? as usize;
+        let mut ids = Vec::with_capacity(vocab_len);
+        for _ in 0..vocab_len {
+            ids.push(glodyne_graph::NodeId(r.u32()?));
+        }
+        let mut input = Vec::with_capacity(vocab_len * dim);
+        for &id in &ids {
+            let row = embedding
+                .get(id)
+                .ok_or_else(|| format!("embedding is missing a row for {id}"))?;
+            input.extend_from_slice(row);
+        }
+        let mut output = Vec::with_capacity(vocab_len * dim);
+        for _ in 0..vocab_len * dim {
+            output.push(r.f32()?);
+        }
+        let reservoir_len = r.u32()? as usize;
+        let mut entries = Vec::with_capacity(reservoir_len);
+        for _ in 0..reservoir_len {
+            let id = glodyne_graph::NodeId(r.u32()?);
+            entries.push((id, r.u64()?));
+        }
+        if r.pos != bytes.len() {
+            return Err("trailing bytes after GloDyNE state".to_string());
+        }
+
+        let model = SgnsModel::restore(self.cfg.sgns.clone(), ids, input, output, init_pos)
+            .map_err(|e| e.to_string())?;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.cfg.seed ^ 0x610D_19E5);
+        rng.set_word_pos(select_pos);
+        self.model = model;
+        self.reservoir = Reservoir::from_entries(entries);
+        self.rng = rng;
+        self.step = step as usize;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -405,6 +538,58 @@ mod tests {
                 .param(),
             "dim"
         );
+    }
+
+    #[test]
+    fn checkpoint_round_trip_resumes_bit_exactly() {
+        // Export after the online step at t=1, import into a fresh
+        // instance, then run t=2 on both: every embedding row must
+        // agree bit for bit (deterministic config: parallel=false).
+        let snaps = [
+            ring(20, &[]),
+            ring(20, &[(0, 20), (20, 21)]),
+            ring(20, &[(0, 20), (20, 21), (21, 22), (5, 11)]),
+        ];
+        let mut original = GloDyNE::new(small_cfg()).unwrap();
+        step_with(&mut original, None, &snaps[0]);
+        step_with(&mut original, Some(&snaps[0]), &snaps[1]);
+
+        let state = original.export_state();
+        let emb = original.embedding();
+        let mut restored = GloDyNE::new(small_cfg()).unwrap();
+        restored.import_state(&state, &emb).unwrap();
+        assert_eq!(
+            restored.reservoir().total(),
+            original.reservoir().total(),
+            "reservoir mass must survive the round trip"
+        );
+
+        step_with(&mut original, Some(&snaps[1]), &snaps[2]);
+        step_with(&mut restored, Some(&snaps[1]), &snaps[2]);
+        let (a, b) = (original.embedding(), restored.embedding());
+        assert_eq!(a.len(), b.len());
+        for (id, va) in a.iter() {
+            assert_eq!(va, b.get(id).unwrap(), "row {id} diverged after resume");
+        }
+    }
+
+    #[test]
+    fn import_state_rejects_corrupt_bytes() {
+        let mut m = GloDyNE::new(small_cfg()).unwrap();
+        step_with(&mut m, None, &ring(10, &[]));
+        let state = m.export_state();
+        let emb = m.embedding();
+        for cut in [0usize, 3, 10, state.len() - 1] {
+            let mut r = GloDyNE::new(small_cfg()).unwrap();
+            assert!(r.import_state(&state[..cut], &emb).is_err(), "cut at {cut}");
+        }
+        let mut bad_magic = state.clone();
+        bad_magic[0] ^= 0xFF;
+        let mut r = GloDyNE::new(small_cfg()).unwrap();
+        assert!(r.import_state(&bad_magic, &emb).is_err());
+        // Missing embedding row: valid bytes, wrong embedding.
+        let mut r = GloDyNE::new(small_cfg()).unwrap();
+        assert!(r.import_state(&state, &Embedding::new(16)).is_err());
     }
 
     #[test]

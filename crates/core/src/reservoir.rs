@@ -62,6 +62,21 @@ impl Reservoir {
         self.changes.values().sum()
     }
 
+    /// All `(node, accumulated change)` entries sorted by node id — a
+    /// canonical order for checkpoint serialisation.
+    pub fn entries(&self) -> Vec<(NodeId, u64)> {
+        let mut out: Vec<(NodeId, u64)> = self.changes.iter().map(|(&k, &v)| (k, v)).collect();
+        out.sort_unstable_by_key(|&(id, _)| id);
+        out
+    }
+
+    /// Rebuild a reservoir from checkpointed entries.
+    pub fn from_entries(entries: impl IntoIterator<Item = (NodeId, u64)>) -> Self {
+        Reservoir {
+            changes: entries.into_iter().collect(),
+        }
+    }
+
     /// The scoring function of Eq. 3 for a node in the current snapshot:
     ///
     /// `S(v) = (|ΔE^t_v| + R^{t-1}_v) / Deg^{t-1}(v)`

@@ -14,7 +14,7 @@
 
 use glodyne_ann::{IvfConfig, IvfIndex};
 use glodyne_embed::config::ConfigError;
-use glodyne_embed::traits::{DynamicEmbedder, StepContext, StepReport};
+use glodyne_embed::traits::{CheckpointEmbedder, DynamicEmbedder, StepContext, StepReport};
 use glodyne_embed::Embedding;
 use glodyne_graph::id::TimedEdge;
 use glodyne_graph::state::{GraphEvent, GraphState};
@@ -378,6 +378,86 @@ impl<E: DynamicEmbedder> EmbedderSession<E> {
     }
 }
 
+/// Everything beyond the embedding rows that a durable snapshot must
+/// carry to resurrect an [`EmbedderSession`] at a committed boundary.
+///
+/// Produced by [`EmbedderSession::checkpoint`], consumed by
+/// [`EmbedderSession::resume`]. The embedding itself travels separately
+/// through the persist layer's binary format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionCheckpoint {
+    /// Committed epoch count at the checkpoint.
+    pub epoch: u64,
+    /// Highest event timestamp ingested so far.
+    pub current_time: Option<u64>,
+    /// Whether snapshots reduce to the largest connected component.
+    pub lcc_only: bool,
+    /// Canonical edge list of the committed graph state (nodes exist
+    /// iff they carry at least one edge, so edges describe it fully).
+    pub edges: Vec<(NodeId, NodeId)>,
+    /// The embedder's opaque hidden state
+    /// ([`CheckpointEmbedder::export_state`]).
+    pub embedder_state: Vec<u8>,
+}
+
+impl<E: CheckpointEmbedder> EmbedderSession<E> {
+    /// Capture the session at its current committed boundary. `None`
+    /// while effective events are pending — checkpoints only ever
+    /// describe committed state, never a half-applied epoch (the
+    /// bit-exact resume contract is defined at boundaries).
+    pub fn checkpoint(&self) -> Option<SessionCheckpoint> {
+        if self.pending != 0 {
+            return None;
+        }
+        Some(SessionCheckpoint {
+            epoch: self.steps() as u64,
+            current_time: self.current_time,
+            lcc_only: self.lcc_only,
+            edges: self.state.edges().map(|e| (e.u, e.v)).collect(),
+            embedder_state: self.embedder.export_state(),
+        })
+    }
+
+    /// Resurrect a session from a checkpoint and the embedding that was
+    /// persisted with it. `embedder` must be freshly constructed from
+    /// the *same configuration* the checkpointed one used; its hidden
+    /// state is overwritten from the checkpoint.
+    ///
+    /// The resumed session continues bit-exactly: its next committed
+    /// epoch (over the same subsequent events, with deterministic
+    /// training configured) equals what the uninterrupted session would
+    /// have produced. Step reports before the checkpoint are not
+    /// persisted — they refill with defaults so `steps()` stays honest.
+    pub fn resume(
+        mut embedder: E,
+        policy: EpochPolicy,
+        checkpoint: &SessionCheckpoint,
+        embedding: &Embedding,
+    ) -> Result<Self, String> {
+        embedder.import_state(&checkpoint.embedder_state, embedding)?;
+        let mut session = EmbedderSession::new(embedder, policy).map_err(|e| e.to_string())?;
+        session.lcc_only = checkpoint.lcc_only;
+        for &(a, b) in &checkpoint.edges {
+            session.state.add_edge(a, b);
+        }
+        if checkpoint.epoch > 0 {
+            // Recompute the previous-boundary snapshot from the restored
+            // state — `commit` is deterministic in the state, so the
+            // diff of the next online step is identical to the
+            // uninterrupted run's.
+            session.prev = Some(if session.lcc_only {
+                session.state.commit_lcc()
+            } else {
+                session.state.commit()
+            });
+        }
+        session.latest = session.embedder.embedding();
+        session.reports = vec![StepReport::default(); checkpoint.epoch as usize];
+        session.current_time = checkpoint.current_time;
+        Ok(session)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -684,6 +764,62 @@ mod tests {
             r1.selected < s.last_snapshot().unwrap().num_nodes(),
             "online step selects a fraction"
         );
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_exact() {
+        let mut s = EmbedderSession::new(tiny_model(), EpochPolicy::Manual).unwrap();
+        s.ingest(&chain(&[0, 0, 0, 0, 0]));
+        s.flush().unwrap();
+        s.ingest(&[TimedEdge::new(NodeId(0), NodeId(9), 1)]);
+        assert!(
+            s.checkpoint().is_none(),
+            "pending events forbid checkpoints"
+        );
+        s.flush().unwrap();
+
+        let ckpt = s.checkpoint().unwrap();
+        assert_eq!(ckpt.epoch, 2);
+        let emb = s.embedding().clone();
+        let mut r =
+            EmbedderSession::resume(tiny_model(), EpochPolicy::Manual, &ckpt, &emb).unwrap();
+        assert_eq!(r.steps(), s.steps());
+        assert_eq!(r.current_time(), s.current_time());
+        assert_eq!(r.graph(), s.graph());
+
+        // Drive both through the same suffix: committed state must
+        // stay bit-identical, including the embedding's row order (the
+        // persist layer serialises rows in iteration order).
+        let suffix = [
+            TimedEdge::new(NodeId(2), NodeId(7), 2),
+            TimedEdge::new(NodeId(3), NodeId(8), 2),
+        ];
+        s.ingest(&suffix);
+        s.flush().unwrap();
+        r.ingest(&suffix);
+        r.flush().unwrap();
+        let (a, b) = (s.embedding(), r.embedding());
+        assert_eq!(a.len(), b.len());
+        for ((ida, va), (idb, vb)) in a.iter().zip(b.iter()) {
+            assert_eq!(ida, idb, "row order diverged");
+            assert_eq!(va, vb, "row {ida} diverged");
+        }
+    }
+
+    #[test]
+    fn epoch_zero_checkpoint_resumes_before_first_commit() {
+        let s = EmbedderSession::new(tiny_model(), EpochPolicy::Manual).unwrap();
+        let ckpt = s.checkpoint().unwrap();
+        assert_eq!(ckpt.epoch, 0);
+        let mut r =
+            EmbedderSession::resume(tiny_model(), EpochPolicy::Manual, &ckpt, &Embedding::new(8))
+                .unwrap();
+        assert_eq!(r.steps(), 0);
+        assert!(r.last_snapshot().is_none(), "no boundary committed yet");
+        // The first flush after resume is still the offline stage.
+        r.ingest(&chain(&[0, 0, 0]));
+        let report = r.flush().unwrap();
+        assert_eq!(report.selected, r.last_snapshot().unwrap().num_nodes());
     }
 
     #[test]

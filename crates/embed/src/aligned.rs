@@ -1,0 +1,296 @@
+//! A cache-line-aligned growable buffer for the hot numeric arenas.
+//!
+//! The SIMD-shaped kernels scan the walk-corpus token arena and the IVF
+//! posting arena in long contiguous sweeps; starting those sweeps on a
+//! 64-byte boundary keeps every cache line they touch fully used and
+//! lets aligned vector loads kick in from the first element. `Vec`'s
+//! allocator only guarantees the element type's own alignment, so the
+//! arenas use this buffer instead: a minimal `Vec`-alike over a
+//! 64-byte-aligned allocation.
+//!
+//! Only the operations the arenas actually perform are provided
+//! (`push`, `extend_from_slice`, zero-filled construction, slice
+//! views). `T: Copy` keeps drop handling trivial — the arenas hold
+//! `u32` tokens and `f32` components.
+
+use std::alloc::{alloc, alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::marker::PhantomData;
+use std::ptr::NonNull;
+
+/// The alignment every [`AlignedBuf`] allocation starts on.
+pub const CACHE_LINE: usize = 64;
+
+/// A growable buffer whose backing allocation is 64-byte aligned.
+pub struct AlignedBuf<T: Copy> {
+    ptr: NonNull<T>,
+    len: usize,
+    cap: usize,
+    _marker: PhantomData<T>,
+}
+
+// SAFETY: the buffer uniquely owns its allocation of `T: Copy` values;
+// sending or sharing it is no different from a `Vec<T>`.
+unsafe impl<T: Copy + Send> Send for AlignedBuf<T> {}
+unsafe impl<T: Copy + Sync> Sync for AlignedBuf<T> {}
+
+impl<T: Copy> AlignedBuf<T> {
+    /// An empty buffer. No allocation until the first push.
+    pub fn new() -> Self {
+        AlignedBuf {
+            ptr: NonNull::dangling(),
+            len: 0,
+            cap: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    /// An empty buffer with room for `cap` elements.
+    pub fn with_capacity(cap: usize) -> Self {
+        let mut buf = Self::new();
+        if cap > 0 {
+            buf.grow_to(cap, false);
+        }
+        buf
+    }
+
+    /// A buffer of `len` zeroed elements (all-zero bytes are a valid
+    /// value for the `u32`/`f32` element types the arenas use).
+    pub fn zeroed(len: usize) -> Self {
+        let mut buf = Self::new();
+        if len > 0 {
+            buf.grow_to(len, true);
+            buf.len = len;
+        }
+        buf
+    }
+
+    fn layout(cap: usize) -> Layout {
+        let bytes = cap
+            .checked_mul(std::mem::size_of::<T>())
+            .expect("AlignedBuf capacity overflows usize");
+        Layout::from_size_align(bytes, CACHE_LINE.max(std::mem::align_of::<T>()))
+            .expect("invalid AlignedBuf layout")
+    }
+
+    /// Reallocate to exactly `new_cap` (> current capacity), copying
+    /// the live prefix across.
+    fn grow_to(&mut self, new_cap: usize, zero: bool) {
+        debug_assert!(new_cap > self.cap);
+        let layout = Self::layout(new_cap);
+        let raw = unsafe {
+            if zero {
+                alloc_zeroed(layout)
+            } else {
+                alloc(layout)
+            }
+        };
+        let Some(new_ptr) = NonNull::new(raw as *mut T) else {
+            handle_alloc_error(layout)
+        };
+        debug_assert_eq!(
+            new_ptr.as_ptr() as usize % CACHE_LINE,
+            0,
+            "AlignedBuf allocation is not cache-line aligned"
+        );
+        if self.cap > 0 {
+            unsafe {
+                std::ptr::copy_nonoverlapping(self.ptr.as_ptr(), new_ptr.as_ptr(), self.len);
+                dealloc(self.ptr.as_ptr() as *mut u8, Self::layout(self.cap));
+            }
+        }
+        self.ptr = new_ptr;
+        self.cap = new_cap;
+    }
+
+    /// Ensure room for `extra` more elements, doubling like `Vec`.
+    fn reserve(&mut self, extra: usize) {
+        let needed = self.len.checked_add(extra).expect("AlignedBuf overflow");
+        if needed <= self.cap {
+            return;
+        }
+        let new_cap = needed.max(self.cap * 2).max(16);
+        self.grow_to(new_cap, false);
+    }
+
+    /// Number of live elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append one element.
+    pub fn push(&mut self, value: T) {
+        self.reserve(1);
+        unsafe { self.ptr.as_ptr().add(self.len).write(value) };
+        self.len += 1;
+    }
+
+    /// Append a slice of elements.
+    pub fn extend_from_slice(&mut self, values: &[T]) {
+        self.reserve(values.len());
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                values.as_ptr(),
+                self.ptr.as_ptr().add(self.len),
+                values.len(),
+            );
+        }
+        self.len += values.len();
+    }
+
+    /// The live elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        if self.cap == 0 {
+            &[]
+        } else {
+            unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+        }
+    }
+
+    /// The live elements as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        if self.cap == 0 {
+            &mut []
+        } else {
+            unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+        }
+    }
+}
+
+impl<T: Copy> Default for AlignedBuf<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy> Drop for AlignedBuf<T> {
+    fn drop(&mut self) {
+        if self.cap > 0 {
+            unsafe { dealloc(self.ptr.as_ptr() as *mut u8, Self::layout(self.cap)) };
+        }
+    }
+}
+
+impl<T: Copy> Clone for AlignedBuf<T> {
+    fn clone(&self) -> Self {
+        let mut out = Self::with_capacity(self.len);
+        out.extend_from_slice(self.as_slice());
+        out
+    }
+}
+
+impl<T: Copy + std::fmt::Debug> std::fmt::Debug for AlignedBuf<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice().iter()).finish()
+    }
+}
+
+impl<T: Copy + PartialEq> PartialEq for AlignedBuf<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy> From<&[T]> for AlignedBuf<T> {
+    fn from(values: &[T]) -> Self {
+        let mut out = Self::with_capacity(values.len());
+        out.extend_from_slice(values);
+        out
+    }
+}
+
+impl<T: Copy> std::ops::Deref for AlignedBuf<T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy> std::ops::DerefMut for AlignedBuf<T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_cache_line_aligned() {
+        for n in [1usize, 3, 16, 17, 1000] {
+            let mut buf = AlignedBuf::<f32>::with_capacity(n);
+            buf.push(1.0);
+            assert_eq!(buf.as_slice().as_ptr() as usize % CACHE_LINE, 0);
+            let z = AlignedBuf::<u32>::zeroed(n);
+            assert_eq!(z.as_slice().as_ptr() as usize % CACHE_LINE, 0);
+        }
+    }
+
+    #[test]
+    fn zeroed_is_zero_filled() {
+        let z = AlignedBuf::<u32>::zeroed(37);
+        assert_eq!(z.len(), 37);
+        assert!(z.as_slice().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn push_and_extend_match_vec_semantics() {
+        let mut buf = AlignedBuf::new();
+        let mut reference = Vec::new();
+        for i in 0..100u32 {
+            if i % 3 == 0 {
+                buf.push(i);
+                reference.push(i);
+            } else {
+                buf.extend_from_slice(&[i, i + 1]);
+                reference.extend_from_slice(&[i, i + 1]);
+            }
+        }
+        assert_eq!(buf.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn growth_preserves_contents_across_reallocation() {
+        let mut buf = AlignedBuf::with_capacity(2);
+        for i in 0..1000u32 {
+            buf.push(i);
+        }
+        assert_eq!(buf.len(), 1000);
+        assert!(buf
+            .as_slice()
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v == i as u32));
+        assert_eq!(buf.as_slice().as_ptr() as usize % CACHE_LINE, 0);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut a = AlignedBuf::from(&[1u32, 2, 3][..]);
+        let b = a.clone();
+        a.push(4);
+        assert_eq!(b.as_slice(), &[1, 2, 3]);
+        assert_eq!(a.as_slice(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_buffer_views_are_empty() {
+        let mut buf = AlignedBuf::<f32>::new();
+        assert!(buf.is_empty());
+        assert!(buf.as_slice().is_empty());
+        assert!(buf.as_mut_slice().is_empty());
+    }
+
+    #[test]
+    fn mutation_through_slice_sticks() {
+        let mut buf = AlignedBuf::<f32>::zeroed(8);
+        buf.as_mut_slice()[3] = 2.5;
+        assert_eq!(buf.as_slice()[3], 2.5);
+    }
+}

@@ -25,6 +25,7 @@
 //!   shared by every method's constructor.
 
 pub mod alias;
+pub mod aligned;
 pub mod biased_walks;
 pub mod config;
 pub mod corpus;
@@ -37,8 +38,9 @@ pub mod traits;
 pub mod walks;
 pub mod weighted_walks;
 
+pub use aligned::AlignedBuf;
 pub use config::ConfigError;
 pub use corpus::WalkCorpus;
 pub use embedding::{rank_similarity, reference_top_k, Embedding, TopKSelector};
 pub use sgns::{SgnsConfig, SgnsModel};
-pub use traits::{DynamicEmbedder, PhaseTimes, StepContext, StepReport};
+pub use traits::{CheckpointEmbedder, DynamicEmbedder, PhaseTimes, StepContext, StepReport};

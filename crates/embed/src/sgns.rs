@@ -143,6 +143,81 @@ impl SgnsModel {
         self.ids.len()
     }
 
+    /// Node ids in model-row order: row `i` of both weight matrices
+    /// belongs to `ids()[i]` (= interning order).
+    pub fn ids(&self) -> &[NodeId] {
+        &self.ids
+    }
+
+    /// The context ("output") matrix, row-major `n × d`. Exposed for
+    /// checkpointing: the input matrix round-trips through the
+    /// persisted embedding, but warm-started training also needs the
+    /// context rows to resume bit-exactly.
+    pub fn output_weights(&self) -> &[f32] {
+        &self.output
+    }
+
+    /// Keystream position of the row-initialisation RNG. Checkpointing
+    /// this position (instead of the raw cipher state) keeps the
+    /// snapshot format independent of the RNG internals: restore
+    /// reseeds from the config seed and fast-forwards.
+    pub fn init_rng_word_pos(&self) -> u64 {
+        self.init_rng.word_pos()
+    }
+
+    /// Rebuild a model from checkpointed state: `ids` in row order,
+    /// both weight matrices, and the init-RNG keystream position.
+    ///
+    /// `counts` restores zeroed — it is per-call scratch that every
+    /// [`SgnsModel::train_corpus`] resets before use (Eq. 9 samples
+    /// negatives from the *current* corpus only), so it carries no
+    /// state across steps. The restored model continues training
+    /// bit-exactly where the checkpointed one left off (sequential
+    /// mode).
+    pub fn restore(
+        cfg: SgnsConfig,
+        ids: Vec<NodeId>,
+        input: Vec<f32>,
+        output: Vec<f32>,
+        init_rng_word_pos: u64,
+    ) -> Result<Self, crate::config::ConfigError> {
+        use crate::config::require;
+        cfg.validate()?;
+        let expect = ids.len() * cfg.dim;
+        require(
+            input.len() == expect,
+            "input",
+            format!("expected {expect} weights for {} rows", ids.len()),
+        )?;
+        require(
+            output.len() == expect,
+            "output",
+            format!("expected {expect} weights for {} rows", ids.len()),
+        )?;
+        let vocab: HashMap<NodeId, u32> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i as u32))
+            .collect();
+        require(
+            vocab.len() == ids.len(),
+            "ids",
+            "duplicate node id in checkpoint",
+        )?;
+        let mut init_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xD1F3_5A7E);
+        init_rng.set_word_pos(init_rng_word_pos);
+        let counts = vec![0; ids.len()];
+        Ok(SgnsModel {
+            cfg,
+            vocab,
+            ids,
+            input,
+            output,
+            counts,
+            init_rng,
+        })
+    }
+
     /// Register `id`, creating a randomly-initialised row on first sight
     /// (word2vec init: input uniform in ±0.5/d, output zero).
     fn intern(&mut self, id: NodeId) -> u32 {
@@ -613,6 +688,55 @@ mod tests {
             .sum();
         assert!(drift < 1.0, "warm-start drift too large: {drift}");
         assert!(after.get(NodeId(100)).is_some());
+    }
+
+    #[test]
+    fn restore_resumes_training_bit_exactly() {
+        // Checkpoint after step 1, restore, run step 2 on both the
+        // original and the restored model. Step 2 introduces a brand
+        // new node, so the restored init-RNG must be at the exact
+        // keystream position the original left it at.
+        let step1 = two_community_walks();
+        let step2 = vec![vec![NodeId(0), NodeId(42), NodeId(9), NodeId(42)]];
+        let mut original = SgnsModel::new(seq_cfg(8));
+        original.train(&step1);
+
+        let ids = original.ids().to_vec();
+        let emb = original.embedding();
+        let input: Vec<f32> = ids
+            .iter()
+            .flat_map(|&id| emb.get(id).unwrap().iter().copied())
+            .collect();
+        let mut restored = SgnsModel::restore(
+            seq_cfg(8),
+            ids,
+            input,
+            original.output_weights().to_vec(),
+            original.init_rng_word_pos(),
+        )
+        .unwrap();
+
+        original.train(&step2);
+        restored.train(&step2);
+        assert_eq!(original.vocab_len(), restored.vocab_len());
+        for (id, va) in original.embedding().iter() {
+            assert_eq!(va, restored.embedding().get(id).unwrap(), "row {id}");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_weights() {
+        assert!(
+            SgnsModel::restore(seq_cfg(8), vec![NodeId(1)], vec![0.0; 4], vec![0.0; 8], 0).is_err()
+        );
+        assert!(SgnsModel::restore(
+            seq_cfg(8),
+            vec![NodeId(1), NodeId(1)],
+            vec![0.0; 16],
+            vec![0.0; 16],
+            0
+        )
+        .is_err());
     }
 
     #[test]

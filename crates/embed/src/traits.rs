@@ -155,6 +155,32 @@ pub trait DynamicEmbedder {
     fn name(&self) -> &'static str;
 }
 
+/// A [`DynamicEmbedder`] whose hidden state can round-trip through a
+/// byte checkpoint — the contract the durability layer snapshots
+/// against.
+///
+/// The pinned property is *bit-exact resumption*: restore a method
+/// from `(export_state(), embedding())` and drive both the original
+/// and the restored instance through the same subsequent steps (with
+/// deterministic training configured) — every later `embedding()` must
+/// agree bit for bit.
+///
+/// The embedding rows themselves travel separately (via the persist
+/// layer's binary format, which snapshots already write); the exported
+/// state carries only what the embedding cannot reconstruct — RNG
+/// stream positions, auxiliary matrices, method-internal counters.
+pub trait CheckpointEmbedder: DynamicEmbedder {
+    /// Serialise the method's hidden state. The format is private to
+    /// the method; only [`CheckpointEmbedder::import_state`] reads it.
+    fn export_state(&self) -> Vec<u8>;
+
+    /// Restore hidden state exported by the same method, paired with
+    /// the embedding that was persisted alongside it. Fails on
+    /// malformed or mismatching bytes (wrong method, wrong config
+    /// shape) — never panics on corrupt input.
+    fn import_state(&mut self, bytes: &[u8], embedding: &Embedding) -> Result<(), String>;
+}
+
 /// Run one step over a `(prev, curr)` snapshot pair — the batch adapter
 /// from the old `advance(prev, curr)` call shape to [`StepContext`].
 /// The diff is provided lazily: only methods that read it pay for it.

@@ -151,12 +151,12 @@ pub fn generate_corpus(g: &Snapshot, starts: &[u32], cfg: &WalkConfig) -> WalkCo
             offsets.push(total);
         }
     }
-    let mut tokens = vec![0u32; total];
+    let mut tokens = crate::aligned::AlignedBuf::zeroed(total);
 
     // Carve the arena into one disjoint slice per walk, then fill the
     // slices in parallel.
     let mut slices: Vec<&mut [u32]> = Vec::with_capacity(num_walks);
-    let mut rest: &mut [u32] = &mut tokens;
+    let mut rest: &mut [u32] = tokens.as_mut_slice();
     for w in 0..num_walks {
         let len = offsets[w + 1] - offsets[w];
         let (head, tail) = rest.split_at_mut(len);

@@ -26,6 +26,9 @@ pub enum ServeError {
     /// flush can no longer be accepted, though reads keep working off
     /// the last published epoch.
     Closed,
+    /// A durability lineage could not be created or recovered (data
+    /// directory I/O, corrupt state beyond what recovery tolerates).
+    Durability(io::Error),
 }
 
 impl fmt::Display for ServeError {
@@ -34,6 +37,7 @@ impl fmt::Display for ServeError {
             ServeError::Bind { addr, source } => write!(f, "cannot bind {addr}: {source}"),
             ServeError::Config(e) => write!(f, "invalid server configuration: {e}"),
             ServeError::Closed => write!(f, "serving session is shut down"),
+            ServeError::Durability(e) => write!(f, "durable lineage failure: {e}"),
         }
     }
 }
@@ -44,6 +48,7 @@ impl Error for ServeError {
             ServeError::Bind { source, .. } => Some(source),
             ServeError::Config(e) => Some(e),
             ServeError::Closed => None,
+            ServeError::Durability(e) => Some(e),
         }
     }
 }

@@ -40,5 +40,5 @@ pub use error::ServeError;
 pub use protocol::{ErrorKind, NearestMode, ProtocolError, Request};
 pub use queue::{FlushOutcome, IngestQueue};
 pub use server::{Server, ServerConfig};
-pub use session::{AnnSettings, AnnStats, ServeStats, ServingSession};
+pub use session::{AnnSettings, AnnStats, DurabilityStats, ServeStats, ServingSession};
 pub use shard::{ShardEpochStats, ShardedSession};

@@ -598,6 +598,40 @@ pub fn stats_line(s: &ServeStats) -> String {
                     ),
                 },
             ),
+            // Durability counters; null on in-memory servers, so a
+            // pre-durability client that never reads the key parses
+            // the response unchanged.
+            (
+                "durability".to_string(),
+                match &s.durability {
+                    None => Json::Null,
+                    Some(d) => Json::Obj(vec![
+                        ("wal_segments".to_string(), Json::Num(d.wal_segments as f64)),
+                        ("wal_bytes".to_string(), Json::Num(d.wal_bytes as f64)),
+                        (
+                            "last_snapshot_epoch".to_string(),
+                            match d.last_snapshot_epoch {
+                                None => Json::Null,
+                                Some(epoch) => Json::Num(epoch as f64),
+                            },
+                        ),
+                        (
+                            "last_fsync_ms".to_string(),
+                            match d.last_fsync_ms {
+                                None => Json::Null,
+                                Some(ms) => Json::Num(ms as f64),
+                            },
+                        ),
+                        (
+                            "recovered_from".to_string(),
+                            match &d.recovered_from {
+                                None => Json::Null,
+                                Some(from) => Json::Str(from.clone()),
+                            },
+                        ),
+                    ]),
+                },
+            ),
         ],
     )
 }
@@ -797,6 +831,7 @@ mod tests {
             events_accepted: 5,
             ann: None,
             shards: None,
+            durability: None,
         };
         assert!(stats_line(&base).contains(r#""ann":null"#));
         let with_ann = ServeStats {
@@ -910,6 +945,7 @@ mod tests {
             events_accepted: 9,
             ann: None,
             shards: None,
+            durability: None,
         };
         // Regression: an unsharded server renders "shards":null and
         // every pre-sharding field exactly as before, so a client
@@ -962,6 +998,67 @@ mod tests {
             "{line}"
         );
         assert!(line.contains(r#""ann_build_ms":null"#), "{line}");
+        json::parse(&line).unwrap();
+    }
+
+    #[test]
+    fn stats_durability_object_and_pre_durability_compatibility() {
+        let base = ServeStats {
+            epoch: 1,
+            nodes: 4,
+            dim: 8,
+            queue_depth: 0,
+            queue_capacity: 16,
+            events_accepted: 3,
+            ann: None,
+            shards: None,
+            durability: None,
+        };
+        // Regression: an in-memory server renders "durability":null
+        // and every pre-durability field exactly as before, so a
+        // client written against the earlier protocol parses the
+        // response unchanged.
+        let line = stats_line(&base);
+        assert!(line.contains(r#""durability":null"#), "{line}");
+        let parsed = json::parse(&line).unwrap();
+        for key in [
+            "epoch",
+            "nodes",
+            "dim",
+            "queue_depth",
+            "queue_capacity",
+            "events_accepted",
+            "ann",
+            "shards",
+        ] {
+            assert!(
+                parsed.get(key).is_some(),
+                "pre-durability field {key}: {line}"
+            );
+        }
+        assert_eq!(parsed.get("durability"), Some(&Json::Null));
+
+        let durable = ServeStats {
+            durability: Some(crate::session::DurabilityStats {
+                wal_segments: 3,
+                wal_bytes: 4096,
+                last_snapshot_epoch: Some(7),
+                last_fsync_ms: None,
+                recovered_from: Some("snapshot seq 40 (epoch 7) + 2 wal events".into()),
+            }),
+            ..base
+        };
+        let line = stats_line(&durable);
+        assert!(
+            line.contains(
+                r#""durability":{"wal_segments":3,"wal_bytes":4096,"last_snapshot_epoch":7,"last_fsync_ms":null"#
+            ),
+            "{line}"
+        );
+        assert!(
+            line.contains(r#""recovered_from":"snapshot seq 40 (epoch 7) + 2 wal events""#),
+            "{line}"
+        );
         json::parse(&line).unwrap();
     }
 }

@@ -16,10 +16,16 @@ use std::sync::Arc;
 
 /// What the trainer sees on its inbox.
 pub(crate) enum TrainerMsg {
-    /// One graph event to apply.
-    Event(GraphEvent),
+    /// One graph event to apply. `seq` is the durable WAL sequence
+    /// number: `0` on non-durable and unsharded-durable sessions
+    /// (the trainer assigns its own), the client event's sequence on
+    /// sharded-durable sessions (every lineage logs the same number).
+    Event { seq: u64, event: GraphEvent },
     /// Commit now; reply with the outcome on the enclosed channel.
     Flush(mpsc::Sender<FlushOutcome>),
+    /// Durable barrier: freeze a snapshot stamped with this sequence
+    /// number, then ack. Non-durable trainers ack without snapshotting.
+    Checkpoint { seq: u64, ack: mpsc::Sender<()> },
     /// Drain nothing further and exit.
     Shutdown,
 }
@@ -68,8 +74,15 @@ impl IngestQueue {
     /// Enqueue one event, blocking while the queue is full
     /// (back-pressure). [`ServeError::Closed`] once the trainer exits.
     pub fn send_event(&self, event: GraphEvent) -> Result<(), ServeError> {
+        self.send_event_seq(0, event)
+    }
+
+    /// [`IngestQueue::send_event`] tagged with an explicit durable
+    /// sequence number (sharded-durable ingest, where the router
+    /// assigns one client sequence across every lineage).
+    pub(crate) fn send_event_seq(&self, seq: u64, event: GraphEvent) -> Result<(), ServeError> {
         self.depth.fetch_add(1, Ordering::Relaxed);
-        match self.tx.send(TrainerMsg::Event(event)) {
+        match self.tx.send(TrainerMsg::Event { seq, event }) {
             Ok(()) => {
                 self.accepted.fetch_add(1, Ordering::Relaxed);
                 Ok(())
@@ -87,6 +100,16 @@ impl IngestQueue {
         let (ack_tx, ack_rx) = mpsc::channel();
         self.tx
             .send(TrainerMsg::Flush(ack_tx))
+            .map_err(|_| ServeError::Closed)?;
+        ack_rx.recv().map_err(|_| ServeError::Closed)
+    }
+
+    /// Enqueue a durable barrier checkpoint stamped `seq` and wait for
+    /// the trainer to freeze (or skip, when non-durable) its snapshot.
+    pub(crate) fn request_checkpoint(&self, seq: u64) -> Result<(), ServeError> {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        self.tx
+            .send(TrainerMsg::Checkpoint { seq, ack: ack_tx })
             .map_err(|_| ServeError::Closed)?;
         ack_rx.recv().map_err(|_| ServeError::Closed)
     }
@@ -116,7 +139,7 @@ impl TrainerInbox {
     /// Next message, or `None` when every producer handle is gone.
     pub(crate) fn recv(&self) -> Option<TrainerMsg> {
         let msg = self.rx.recv().ok()?;
-        if matches!(msg, TrainerMsg::Event(_)) {
+        if matches!(msg, TrainerMsg::Event { .. }) {
             self.depth.fetch_sub(1, Ordering::Relaxed);
         }
         Some(msg)
@@ -140,7 +163,7 @@ mod tests {
         q.send_event(ev(1)).unwrap();
         assert_eq!(q.depth(), 2);
         assert_eq!(q.accepted(), 2);
-        assert!(matches!(inbox.recv(), Some(TrainerMsg::Event(_))));
+        assert!(matches!(inbox.recv(), Some(TrainerMsg::Event { .. })));
         assert_eq!(q.depth(), 1);
         assert_eq!(q.accepted(), 2, "accepted is cumulative");
     }
@@ -158,9 +181,29 @@ mod tests {
             !sender.is_finished(),
             "send should be blocked on full queue"
         );
-        assert!(matches!(inbox.recv(), Some(TrainerMsg::Event(_))));
+        assert!(matches!(inbox.recv(), Some(TrainerMsg::Event { .. })));
         sender.join().unwrap().unwrap();
         assert_eq!(q.accepted(), 3);
+    }
+
+    #[test]
+    fn checkpoint_rides_behind_events_and_carries_its_seq() {
+        let (q, inbox) = bounded(8);
+        q.send_event_seq(7, ev(0)).unwrap();
+        let q2 = q.clone();
+        let barrier = std::thread::spawn(move || q2.request_checkpoint(7));
+        match inbox.recv() {
+            Some(TrainerMsg::Event { seq, .. }) => assert_eq!(seq, 7),
+            _ => panic!("expected event message"),
+        }
+        match inbox.recv() {
+            Some(TrainerMsg::Checkpoint { seq, ack }) => {
+                assert_eq!(seq, 7);
+                ack.send(()).unwrap();
+            }
+            _ => panic!("expected checkpoint message"),
+        }
+        barrier.join().unwrap().unwrap();
     }
 
     #[test]
@@ -180,7 +223,7 @@ mod tests {
         let q2 = q.clone();
         let flusher = std::thread::spawn(move || q2.request_flush());
         // The trainer side sees the event first, then the flush.
-        assert!(matches!(inbox.recv(), Some(TrainerMsg::Event(_))));
+        assert!(matches!(inbox.recv(), Some(TrainerMsg::Event { .. })));
         match inbox.recv() {
             Some(TrainerMsg::Flush(ack)) => ack
                 .send(FlushOutcome {

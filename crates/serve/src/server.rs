@@ -19,13 +19,16 @@ use crate::protocol::{self, ErrorKind, NearestMode, ProtocolError, Request};
 use crate::queue::FlushOutcome;
 use crate::session::{AnnSettings, ServeStats, ServingSession};
 use crate::shard::ShardedSession;
-use glodyne::EmbedderSession;
+use glodyne::{EmbedderSession, EpochPolicy};
+use glodyne_durable::{DurableConfig, DurableSession};
+use glodyne_embed::traits::CheckpointEmbedder;
 use glodyne_embed::DynamicEmbedder;
 use glodyne_graph::state::GraphEvent;
 use glodyne_graph::NodeId;
 use glodyne_shard::ShardConfig;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::{self, JoinHandle};
@@ -60,6 +63,9 @@ impl Default for ServerConfig {
 /// one per shard (see [`Server::bind_sharded`]). Both expose the same
 /// wire surface; `dispatch` is written against this enum so the two
 /// modes cannot drift apart.
+// One Backend is allocated per server and lives behind an Arc, so the
+// size gap between the two variants is never paid per-message.
+#[allow(clippy::large_enum_variant)]
 pub(crate) enum Backend {
     /// One global session on one trainer thread.
     Single(ServingSession),
@@ -258,6 +264,61 @@ impl Server {
                 .map_err(ServeError::Config)?,
         );
         Server::bind_backend(backend, addr, &cfg)
+    }
+
+    /// Serve a crash-recoverable unsharded session: `durable` comes
+    /// from [`DurableSession::create`] (fresh lineage) or
+    /// [`DurableSession::recover`] (restart), `recovered_from` is the
+    /// recovery report's provenance to surface through `stats`. The
+    /// wire `shutdown` command drains the ingest queue, fsyncs the
+    /// WAL, and writes a final snapshot before [`Server::join`]
+    /// returns, so a clean stop never needs replay.
+    pub fn bind_durable<E>(
+        durable: DurableSession<E>,
+        recovered_from: Option<String>,
+        addr: &str,
+        cfg: ServerConfig,
+    ) -> Result<Server, ServeError>
+    where
+        E: CheckpointEmbedder + Send + 'static,
+    {
+        let backend = Backend::Single(
+            ServingSession::spawn_durable(durable, recovered_from, cfg.queue_capacity, cfg.ann)
+                .map_err(ServeError::Config)?,
+        );
+        Server::bind_backend(backend, addr, &cfg)
+    }
+
+    /// Serve a crash-recoverable sharded session rooted at `dir` (see
+    /// [`ShardedSession::spawn_durable`] for the lineage layout and
+    /// recovery semantics). Also returns the recovery provenance,
+    /// `None` when the directory was fresh.
+    #[allow(clippy::too_many_arguments)]
+    pub fn bind_sharded_durable<E, F>(
+        dir: &Path,
+        shard_cfg: ShardConfig,
+        durable_cfg: DurableConfig,
+        policy: EpochPolicy,
+        addr: &str,
+        cfg: ServerConfig,
+        make_embedder: F,
+    ) -> Result<(Server, Option<String>), ServeError>
+    where
+        E: CheckpointEmbedder + Send + 'static,
+        F: Fn(usize) -> E,
+    {
+        let (session, recovered) = ShardedSession::spawn_durable(
+            dir,
+            shard_cfg,
+            durable_cfg,
+            policy,
+            cfg.queue_capacity,
+            cfg.ann,
+            make_embedder,
+        )
+        .map_err(ServeError::Durability)?;
+        let server = Server::bind_backend(Backend::Sharded(session), addr, &cfg)?;
+        Ok((server, recovered))
     }
 
     fn bind_backend(

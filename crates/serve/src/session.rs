@@ -21,12 +21,14 @@ use crate::error::ServeError;
 use crate::queue::{bounded, FlushOutcome, IngestQueue, TrainerInbox, TrainerMsg};
 use glodyne::EmbedderSession;
 use glodyne_ann::{IvfConfig, IvfIndex, StorageMode};
+use glodyne_durable::{DurabilityCounters, DurableSession};
+use glodyne_embed::traits::CheckpointEmbedder;
 use glodyne_embed::{ConfigError, DynamicEmbedder, Embedding};
 use glodyne_graph::state::GraphEvent;
 use glodyne_graph::NodeId;
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Default bound on the ingest queue.
 pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
@@ -83,6 +85,71 @@ pub struct AnnStats {
     pub index_bytes: usize,
 }
 
+/// Durability counters of a durable serving session, surfaced through
+/// the `stats` op's `"durability"` object (`null` when serving
+/// in-memory).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// Live WAL segment files (summed across lineages when sharded).
+    pub wal_segments: u64,
+    /// Bytes across live WAL segments (summed when sharded).
+    pub wal_bytes: u64,
+    /// Committed epoch of the newest snapshot barrier, if any.
+    pub last_snapshot_epoch: Option<u64>,
+    /// Milliseconds since the last fsync completed; `None` before the
+    /// first explicit sync.
+    pub last_fsync_ms: Option<u64>,
+    /// Recovery provenance of this boot (e.g. which snapshot was
+    /// resumed, how many events replayed); `None` on a fresh lineage.
+    pub recovered_from: Option<String>,
+}
+
+/// The live gauge behind [`DurabilityStats`]: the trainer thread owns
+/// the [`DurableSession`] and pushes its counters here after every
+/// message; `stats` reads take a snapshot. A mutex (not atomics)
+/// because stats reads are rare and the update writes several fields
+/// that must stay mutually consistent.
+pub(crate) struct DurabilityShared {
+    live: Mutex<DurabilityLive>,
+}
+
+struct DurabilityLive {
+    counters: DurabilityCounters,
+    recovered_from: Option<String>,
+}
+
+impl DurabilityShared {
+    pub(crate) fn new(counters: DurabilityCounters, recovered_from: Option<String>) -> Self {
+        DurabilityShared {
+            live: Mutex::new(DurabilityLive {
+                counters,
+                recovered_from,
+            }),
+        }
+    }
+
+    pub(crate) fn update(&self, counters: DurabilityCounters) {
+        self.live
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .counters = counters;
+    }
+
+    pub(crate) fn snapshot(&self) -> DurabilityStats {
+        let live = self.live.lock().unwrap_or_else(PoisonError::into_inner);
+        DurabilityStats {
+            wal_segments: live.counters.wal_segments,
+            wal_bytes: live.counters.wal_bytes,
+            last_snapshot_epoch: live.counters.last_snapshot_epoch,
+            last_fsync_ms: live
+                .counters
+                .last_fsync
+                .map(|at| Instant::now().saturating_duration_since(at).as_millis() as u64),
+            recovered_from: live.recovered_from.clone(),
+        }
+    }
+}
+
 /// A point-in-time view of the serving counters (the `stats` command).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeStats {
@@ -109,6 +176,9 @@ pub struct ServeStats {
     /// `stats` renders it as `"shards":null`, which pre-sharding
     /// clients never look at).
     pub shards: Option<Vec<crate::shard::ShardEpochStats>>,
+    /// Durability counters; `None` when serving in-memory (rendered
+    /// `"durability":null`, invisible to pre-durability clients).
+    pub durability: Option<DurabilityStats>,
 }
 
 /// The concurrent wrapper around a moved-away `EmbedderSession`.
@@ -120,6 +190,7 @@ pub struct ServingSession {
     epochs: EpochHandle,
     trainer: Mutex<Option<JoinHandle<()>>>,
     ann: Option<AnnSettings>,
+    durability: Option<Arc<DurabilityShared>>,
 }
 
 impl ServingSession {
@@ -172,6 +243,51 @@ impl ServingSession {
             epochs,
             trainer: Mutex::new(Some(trainer)),
             ann,
+            durability: None,
+        })
+    }
+
+    /// Like [`ServingSession::spawn_with_ann`], but around a
+    /// [`DurableSession`] (from [`DurableSession::create`] or
+    /// [`DurableSession::recover`]): every ingested event is WAL-logged
+    /// before application, committed epochs are periodically frozen
+    /// into snapshots, and shutdown finalizes the lineage so a restart
+    /// replays nothing. `recovered_from` is the recovery report's
+    /// provenance string when this session was recovered, surfaced
+    /// through `stats`.
+    pub fn spawn_durable<E>(
+        durable: DurableSession<E>,
+        recovered_from: Option<String>,
+        queue_capacity: usize,
+        ann: Option<AnnSettings>,
+    ) -> Result<ServingSession, ConfigError>
+    where
+        E: CheckpointEmbedder + Send + 'static,
+    {
+        if let Some(settings) = &ann {
+            settings.validate()?;
+        }
+        let session = durable.session();
+        let epochs = EpochHandle::new(build_epoch(
+            session.steps() as u64,
+            session.embedding().clone(),
+            session.reports().last().copied(),
+            ann.as_ref(),
+        ));
+        let shared = Arc::new(DurabilityShared::new(durable.counters(), recovered_from));
+        let (queue, inbox) = bounded(queue_capacity);
+        let publisher = epochs.clone();
+        let gauge = Arc::clone(&shared);
+        let trainer = thread::Builder::new()
+            .name("glodyne-trainer".into())
+            .spawn(move || trainer_loop_durable(durable, inbox, publisher, ann, gauge))
+            .expect("spawn trainer thread");
+        Ok(ServingSession {
+            queue,
+            epochs,
+            trainer: Mutex::new(Some(trainer)),
+            ann,
+            durability: Some(shared),
         })
     }
 
@@ -287,6 +403,7 @@ impl ServingSession {
                 })
             }),
             shards: None,
+            durability: self.durability.as_ref().map(|d| d.snapshot()),
         }
     }
 
@@ -328,7 +445,7 @@ pub(crate) fn trainer_loop<E: DynamicEmbedder>(
 ) {
     while let Some(msg) = inbox.recv() {
         match msg {
-            TrainerMsg::Event(event) => {
+            TrainerMsg::Event { event, .. } => {
                 // The policy may commit on its own (timestamp / every-n
                 // boundaries); publish whenever it does.
                 if session.apply(event) {
@@ -345,9 +462,87 @@ pub(crate) fn trainer_loop<E: DynamicEmbedder>(
                     epoch: session.steps() as u64,
                 });
             }
+            // Barrier checkpoints only mean something durable; a
+            // non-durable trainer just acks so mixed fleets drain.
+            TrainerMsg::Checkpoint { ack, .. } => {
+                let _ = ack.send(());
+            }
             TrainerMsg::Shutdown => break,
         }
     }
+}
+
+/// The durable trainer thread: every event is WAL-logged before it is
+/// applied, flushes log a boundary marker and honour the fsync policy,
+/// committed epochs periodically freeze into snapshots, and loop exit —
+/// explicit shutdown *or* every producer handle dropping — finalizes
+/// the lineage so a restart replays nothing. WAL/snapshot I/O errors
+/// are logged and serving continues: losing durability must not take
+/// the read path down.
+pub(crate) fn trainer_loop_durable<E: CheckpointEmbedder>(
+    mut durable: DurableSession<E>,
+    inbox: TrainerInbox,
+    epochs: EpochHandle,
+    ann: Option<AnnSettings>,
+    shared: Arc<DurabilityShared>,
+) {
+    while let Some(msg) = inbox.recv() {
+        match msg {
+            TrainerMsg::Event { seq, event } => {
+                // Unsharded ingest sends seq 0: the lineage assigns its
+                // own. Sharded ingest stamps the router's client seq.
+                let seq = if seq == 0 {
+                    durable.last_seq() + 1
+                } else {
+                    seq
+                };
+                match durable.apply(seq, event) {
+                    Ok(stepped) => {
+                        if stepped {
+                            publish(durable.session(), &epochs, ann.as_ref());
+                            if let Err(e) = durable.maybe_snapshot() {
+                                eprintln!("glodyne-serve: snapshot failed: {e}");
+                            }
+                        }
+                    }
+                    Err(e) => eprintln!("glodyne-serve: wal append failed: {e}"),
+                }
+            }
+            TrainerMsg::Flush(ack) => {
+                let stepped = match durable.flush() {
+                    Ok(report) => report.is_some(),
+                    Err(e) => {
+                        eprintln!("glodyne-serve: wal flush failed: {e}");
+                        false
+                    }
+                };
+                if stepped {
+                    publish(durable.session(), &epochs, ann.as_ref());
+                    if let Err(e) = durable.maybe_snapshot() {
+                        eprintln!("glodyne-serve: snapshot failed: {e}");
+                    }
+                }
+                let _ = ack.send(FlushOutcome {
+                    stepped,
+                    epoch: durable.session().steps() as u64,
+                });
+            }
+            TrainerMsg::Checkpoint { seq, ack } => {
+                if let Err(e) = durable.snapshot_at(seq) {
+                    eprintln!("glodyne-serve: barrier snapshot failed: {e}");
+                }
+                let _ = ack.send(());
+            }
+            TrainerMsg::Shutdown => break,
+        }
+        shared.update(durable.counters());
+    }
+    // Clean stop (or all producers gone): flush, fsync, final snapshot.
+    if let Err(e) = durable.finalize() {
+        eprintln!("glodyne-serve: finalize failed: {e}");
+    }
+    publish(durable.session(), &epochs, ann.as_ref());
+    shared.update(durable.counters());
 }
 
 fn publish<E: DynamicEmbedder>(
@@ -388,7 +583,7 @@ mod tests {
     use glodyne_embed::SgnsConfig;
     use glodyne_graph::id::TimedEdge;
 
-    fn tiny_session(policy: EpochPolicy) -> EmbedderSession<GloDyNE> {
+    fn tiny_model() -> GloDyNE {
         let cfg = GloDyNEConfig {
             alpha: 0.5,
             walk: WalkConfig {
@@ -406,7 +601,11 @@ mod tests {
             },
             ..Default::default()
         };
-        EmbedderSession::new(GloDyNE::new(cfg).unwrap(), policy).unwrap()
+        GloDyNE::new(cfg).unwrap()
+    }
+
+    fn tiny_session(policy: EpochPolicy) -> EmbedderSession<GloDyNE> {
+        EmbedderSession::new(tiny_model(), policy).unwrap()
     }
 
     fn chain_events(n: u32, t: u64) -> Vec<GraphEvent> {
@@ -513,6 +712,89 @@ mod tests {
         assert_eq!(stats.events_accepted, 5);
         assert_eq!(stats.queue_depth, 0, "flush drained the queue");
         assert_eq!(stats.ann, None, "ann disabled by default");
+        assert_eq!(stats.durability, None, "in-memory session has no lineage");
+    }
+
+    fn durable_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "glodyne-serve-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn durable_restart_resumes_epoch_and_stats_surface_durability() {
+        use glodyne_durable::{DurableConfig, FsyncPolicy};
+        let dir = durable_dir("restart");
+        let cfg = DurableConfig {
+            fsync: FsyncPolicy::Off,
+            ..DurableConfig::default()
+        };
+        let durable = DurableSession::create(&dir, tiny_session(EpochPolicy::Manual), cfg).unwrap();
+        let serving = ServingSession::spawn_durable(durable, None, 64, None).unwrap();
+        serving.ingest(&chain_events(8, 0)).unwrap();
+        assert!(serving.flush().unwrap().stepped);
+        let stats = serving.stats();
+        let dur = stats.durability.expect("durable session surfaces stats");
+        assert!(dur.wal_segments >= 1);
+        assert_eq!(dur.recovered_from, None, "fresh lineage, no recovery");
+        let (epoch_before, row_before) = serving.query(NodeId(0));
+        serving.shutdown(); // finalize(): a restart must replay nothing
+
+        let (recovered, report) =
+            DurableSession::recover(&dir, cfg, EpochPolicy::Manual, false, tiny_model).unwrap();
+        assert_eq!(report.replayed_events, 0, "final snapshot covers the log");
+        let serving2 =
+            ServingSession::spawn_durable(recovered, Some(report.recovered_from.clone()), 64, None)
+                .unwrap();
+        let (epoch_after, row_after) = serving2.query(NodeId(0));
+        assert_eq!(epoch_after, epoch_before);
+        let (a, b) = (row_before.unwrap(), row_after.unwrap());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let dur = serving2.stats().durability.unwrap();
+        assert_eq!(
+            dur.recovered_from.as_deref(),
+            Some(report.recovered_from.as_str())
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_policy_epochs_snapshot_and_drop_without_shutdown_finalizes() {
+        use glodyne_durable::{DurableConfig, FsyncPolicy};
+        let dir = durable_dir("policy");
+        let cfg = DurableConfig {
+            fsync: FsyncPolicy::EveryNEvents(1),
+            snapshot_every: 1,
+            ..DurableConfig::default()
+        };
+        let durable =
+            DurableSession::create(&dir, tiny_session(EpochPolicy::EveryNEvents(4)), cfg).unwrap();
+        let serving = ServingSession::spawn_durable(durable, None, 16, None).unwrap();
+        serving.ingest(&chain_events(8, 0)).unwrap();
+        serving.flush().unwrap(); // barrier: both policy epochs committed
+        assert_eq!(serving.epoch().epoch, 2);
+        let dur = serving.stats().durability.unwrap();
+        assert_eq!(
+            dur.last_snapshot_epoch,
+            Some(2),
+            "snapshot_every=1 froze it"
+        );
+        assert!(dur.last_fsync_ms.is_some(), "per-event fsync recorded");
+        drop(serving); // Drop -> shutdown -> trainer finalize
+        let (recovered, report) =
+            DurableSession::recover(&dir, cfg, EpochPolicy::EveryNEvents(4), false, tiny_model)
+                .unwrap();
+        assert_eq!(report.replayed_events, 0);
+        assert_eq!(recovered.session().steps(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     fn ann_settings(cells: usize, nprobe: usize) -> AnnSettings {

@@ -32,17 +32,28 @@
 use crate::epoch::{EmbeddingEpoch, EpochHandle};
 use crate::error::ServeError;
 use crate::queue::{bounded, FlushOutcome, IngestQueue};
-use crate::session::{build_epoch, trainer_loop, AnnSettings, AnnStats, ServeStats};
-use glodyne::EmbedderSession;
+use crate::session::{
+    build_epoch, trainer_loop, trainer_loop_durable, AnnSettings, AnnStats, DurabilityShared,
+    DurabilityStats, ServeStats,
+};
+use glodyne::{EmbedderSession, EpochPolicy};
 use glodyne_ann::{SearchScratch, StorageMode};
+use glodyne_durable::{
+    decode_session_payload, list_snapshots, load_snapshot, prune_snapshots, remove_all_segments,
+    replay_and_heal, write_snapshot, DurableConfig, DurableSession, FsyncPolicy, WalRecord,
+    WalWriter, PAYLOAD_ROUTER, PAYLOAD_SESSION,
+};
+use glodyne_embed::traits::CheckpointEmbedder;
 use glodyne_embed::{ConfigError, DynamicEmbedder};
 use glodyne_graph::state::GraphEvent;
 use glodyne_graph::NodeId;
 use glodyne_shard::{fanout, ShardConfig, ShardRouter, ShardView};
+use std::io;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One shard's slice of a `stats` response.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +81,35 @@ struct ShardHandle {
     epochs: EpochHandle,
 }
 
+/// The session-level durability state of a sharded session: the
+/// authoritative router lineage (client-event WAL + `PAYLOAD_ROUTER`
+/// snapshots under `dir/router`) plus the per-shard lineage gauges.
+///
+/// The router log records every *client* event, in acceptance order,
+/// with explicit flush markers; the per-shard WALs (`dir/shard-<i>`)
+/// are derived, regenerated at recovery by re-routing the router log —
+/// a crash can tear a shard WAL mid frame-group (one client event
+/// fanning out to several shards), so only the router log is trusted.
+/// A consistent cut restored from disk: the router plus every shard's
+/// `(session, epoch)`, all frozen at barrier `(seq, epoch)`.
+type RestoredBarrier<E> = (ShardRouter, Vec<(EmbedderSession<E>, u64)>, u64, u64);
+
+struct ShardedDurable {
+    router_dir: PathBuf,
+    /// The router-lineage WAL. Appends happen under `write_order`, so
+    /// this mutex is uncontended; it exists so `stats` can read.
+    wal: Mutex<WalWriter>,
+    cfg: DurableConfig,
+    /// Last client sequence assigned (mutated only under
+    /// `write_order`; atomic so `stats`/barriers read without it).
+    seq: AtomicU64,
+    /// Epoch stamped on the newest barrier snapshot.
+    last_snapshot_epoch: Mutex<Option<u64>>,
+    recovered_from: Option<String>,
+    /// Per-shard lineage counters, fed by each durable trainer loop.
+    gauges: Vec<Arc<DurabilityShared>>,
+}
+
 /// The concurrent sharded session (see the module docs).
 pub struct ShardedSession {
     router: RwLock<ShardRouter>,
@@ -85,6 +125,8 @@ pub struct ShardedSession {
     /// Client events accepted (each counted once, however many shards
     /// it mirrored to).
     accepted: AtomicU64,
+    /// Durability lineages; `None` when serving in-memory.
+    durable: Option<ShardedDurable>,
 }
 
 impl ShardedSession {
@@ -151,7 +193,231 @@ impl ShardedSession {
             ann,
             write_order: Mutex::new(()),
             accepted: AtomicU64::new(0),
+            durable: None,
         })
+    }
+
+    /// Spawn (or recover) a crash-recoverable sharded session rooted at
+    /// `dir`: the router lineage lives in `dir/router`, shard `i`'s in
+    /// `dir/shard-<i>`. On a fresh directory this starts empty; on an
+    /// existing one it resumes from the newest *common barrier* — the
+    /// highest sequence at which a valid router snapshot and a valid
+    /// session snapshot in **every** shard directory coexist — then
+    /// re-routes the router WAL suffix through the normal ingest path
+    /// (routing is deterministic, so the rebuilt placement, migrations,
+    /// and shard states are bit-exact with the pre-crash run). Returns
+    /// the session and the recovery provenance (`None` when nothing
+    /// was on disk).
+    ///
+    /// `make_embedder` receives the shard index and must rebuild each
+    /// shard's embedder with the configuration the lineage was created
+    /// with.
+    #[allow(clippy::too_many_arguments)]
+    pub fn spawn_durable<E, F>(
+        dir: &Path,
+        shard_cfg: ShardConfig,
+        durable_cfg: DurableConfig,
+        policy: EpochPolicy,
+        queue_capacity: usize,
+        ann: Option<AnnSettings>,
+        make_embedder: F,
+    ) -> io::Result<(ShardedSession, Option<String>)>
+    where
+        E: CheckpointEmbedder + Send + 'static,
+        F: Fn(usize) -> E,
+    {
+        let cfg_io = |e: ConfigError| io::Error::new(io::ErrorKind::InvalidInput, e.to_string());
+        if let Some(settings) = &ann {
+            settings.validate().map_err(cfg_io)?;
+        }
+        let router_dir = dir.join("router");
+        std::fs::create_dir_all(&router_dir)?;
+        let shard_dirs: Vec<PathBuf> = (0..shard_cfg.shards)
+            .map(|i| dir.join(format!("shard-{i}")))
+            .collect();
+        for sdir in &shard_dirs {
+            std::fs::create_dir_all(sdir)?;
+        }
+        // Per-shard lineages snapshot *only* at barrier checkpoints: a
+        // shard-local periodic snapshot would sit at a sequence the
+        // other lineages never froze at, and its pruning could evict
+        // the common barrier snapshot recovery depends on.
+        let shard_durable_cfg = DurableConfig {
+            snapshot_every: 0,
+            ..durable_cfg
+        };
+
+        // Newest common barrier C*: walk router snapshots newest-first
+        // and accept the first whose sequence every shard can resume.
+        let mut restored: Option<RestoredBarrier<E>> = None;
+        'candidates: for (seq, path) in list_snapshots(&router_dir)?.into_iter().rev() {
+            let Ok(snap) = load_snapshot(&path) else {
+                continue;
+            };
+            if snap.kind != PAYLOAD_ROUTER {
+                continue;
+            }
+            let Ok(router) = ShardRouter::restore(shard_cfg, &snap.payload) else {
+                continue;
+            };
+            let mut sessions = Vec::with_capacity(shard_dirs.len());
+            for (i, sdir) in shard_dirs.iter().enumerate() {
+                let Some((_, spath)) = list_snapshots(sdir)?.into_iter().find(|&(s, _)| s == seq)
+                else {
+                    continue 'candidates;
+                };
+                let Ok(ssnap) = load_snapshot(&spath) else {
+                    continue 'candidates;
+                };
+                if ssnap.kind != PAYLOAD_SESSION {
+                    continue 'candidates;
+                }
+                let Ok((ckpt, embedding)) = decode_session_payload(&ssnap.payload) else {
+                    continue 'candidates;
+                };
+                let Ok(session) =
+                    EmbedderSession::resume(make_embedder(i), policy, &ckpt, &embedding)
+                else {
+                    continue 'candidates;
+                };
+                sessions.push((session, ssnap.epoch));
+            }
+            restored = Some((router, sessions, seq, snap.epoch));
+            break;
+        }
+
+        let (mut router, mut durables, barrier, initial_epoch) = match restored {
+            Some((router, sessions, seq, epoch)) => {
+                let mut durables = Vec::with_capacity(sessions.len());
+                for (i, (session, shard_epoch)) in sessions.into_iter().enumerate() {
+                    // The shard WAL tail may be torn mid frame-group;
+                    // replay of the authoritative router log rebuilds
+                    // it deterministically.
+                    remove_all_segments(&shard_dirs[i])?;
+                    durables.push(DurableSession::attach(
+                        &shard_dirs[i],
+                        session,
+                        shard_durable_cfg,
+                        seq,
+                        Some((seq, shard_epoch)),
+                    )?);
+                }
+                (router, durables, Some(seq), Some(epoch))
+            }
+            None => {
+                let router = ShardRouter::new(shard_cfg).map_err(cfg_io)?;
+                let mut durables = Vec::with_capacity(shard_dirs.len());
+                for (i, sdir) in shard_dirs.iter().enumerate() {
+                    let session = EmbedderSession::new(make_embedder(i), policy)
+                        .map_err(cfg_io)?
+                        .keep_full_graph();
+                    remove_all_segments(sdir)?;
+                    durables.push(DurableSession::attach(
+                        sdir,
+                        session,
+                        shard_durable_cfg,
+                        0,
+                        None,
+                    )?);
+                }
+                (router, durables, None, None)
+            }
+        };
+
+        // Re-route the router log suffix exactly as live ingest/flush
+        // would have.
+        let replayed = replay_and_heal(&router_dir)?;
+        let floor = barrier.unwrap_or(0);
+        let mut last_seq = floor;
+        let mut replayed_events = 0u64;
+        for (seq, record) in &replayed.records {
+            if *seq <= floor {
+                continue;
+            }
+            match record {
+                WalRecord::Event(event) => {
+                    let routed = router.route(*event);
+                    let migrations = router.maybe_rebalance().map(|rb| rb.events);
+                    for (shard, ev) in routed {
+                        durables[shard as usize].apply(*seq, ev)?;
+                    }
+                    for (shard, ev) in migrations.into_iter().flatten() {
+                        durables[shard as usize].apply(*seq, ev)?;
+                    }
+                    replayed_events += 1;
+                }
+                WalRecord::Flush => {
+                    let migrations = router.maybe_rebalance().map(|rb| rb.events);
+                    for (shard, ev) in migrations.into_iter().flatten() {
+                        durables[shard as usize].apply(*seq, ev)?;
+                    }
+                    for durable in &mut durables {
+                        durable.flush()?;
+                    }
+                }
+            }
+            last_seq = last_seq.max(*seq);
+        }
+        let recovered_from = match barrier {
+            Some(seq) => Some(format!(
+                "barrier seq {seq} (epoch {}) + {replayed_events} router events",
+                initial_epoch.unwrap_or(0)
+            )),
+            None if !replayed.records.is_empty() => {
+                Some(format!("router wal replay only ({replayed_events} events)"))
+            }
+            None => None,
+        };
+
+        let wal = WalWriter::open(
+            &router_dir,
+            last_seq + 1,
+            durable_cfg.segment_bytes,
+            durable_cfg.fsync,
+        )?;
+        let mut shards = Vec::with_capacity(durables.len());
+        let mut trainers = Vec::with_capacity(durables.len());
+        let mut gauges = Vec::with_capacity(durables.len());
+        for (i, durable) in durables.into_iter().enumerate() {
+            let session = durable.session();
+            let epochs = EpochHandle::new(build_epoch(
+                session.steps() as u64,
+                session.embedding().clone(),
+                session.reports().last().copied(),
+                ann.as_ref(),
+            ));
+            let gauge = Arc::new(DurabilityShared::new(durable.counters(), None));
+            let (queue, inbox) = bounded(queue_capacity);
+            let publisher = epochs.clone();
+            let feed = Arc::clone(&gauge);
+            let trainer = thread::Builder::new()
+                .name(format!("glodyne-trainer-{i}"))
+                .spawn(move || trainer_loop_durable(durable, inbox, publisher, ann, feed))
+                .expect("spawn shard trainer thread");
+            shards.push(ShardHandle { queue, epochs });
+            trainers.push(trainer);
+            gauges.push(gauge);
+        }
+        Ok((
+            ShardedSession {
+                router: RwLock::new(router),
+                shards,
+                trainers: Mutex::new(trainers),
+                ann,
+                write_order: Mutex::new(()),
+                accepted: AtomicU64::new(0),
+                durable: Some(ShardedDurable {
+                    router_dir,
+                    wal: Mutex::new(wal),
+                    cfg: durable_cfg,
+                    seq: AtomicU64::new(last_seq),
+                    last_snapshot_epoch: Mutex::new(initial_epoch),
+                    recovered_from: recovered_from.clone(),
+                    gauges,
+                }),
+            },
+            recovered_from,
+        ))
     }
 
     /// Number of shards.
@@ -187,17 +453,33 @@ impl ShardedSession {
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         for &event in events {
+            // Durable sessions log the client event to the router WAL
+            // *before* routing (write-ahead): every event any shard
+            // applies is recoverable by re-routing the router log.
+            let seq = match &self.durable {
+                Some(d) => {
+                    let next = d.seq.load(Ordering::Relaxed) + 1;
+                    let mut wal = d.wal.lock().unwrap_or_else(PoisonError::into_inner);
+                    if let Err(e) = wal.append(next, &event) {
+                        eprintln!("glodyne-serve: router wal append failed: {e}");
+                    }
+                    drop(wal);
+                    d.seq.store(next, Ordering::Relaxed);
+                    next
+                }
+                None => 0,
+            };
             let (routed, migrations) = {
                 let mut router = self.router.write().unwrap_or_else(PoisonError::into_inner);
                 let routed = router.route(event);
                 (routed, router.maybe_rebalance().map(|rb| rb.events))
             };
             for (shard, ev) in routed {
-                self.shards[shard as usize].queue.send_event(ev)?;
+                self.shards[shard as usize].queue.send_event_seq(seq, ev)?;
             }
             self.accepted.fetch_add(1, Ordering::Relaxed);
             for (shard, ev) in migrations.into_iter().flatten() {
-                self.shards[shard as usize].queue.send_event(ev)?;
+                self.shards[shard as usize].queue.send_event_seq(seq, ev)?;
             }
         }
         Ok(events.len())
@@ -216,6 +498,24 @@ impl ShardedSession {
                 .write_order
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner);
+            let seq = match &self.durable {
+                Some(d) => {
+                    // Log the flush boundary so recovery replays the
+                    // same rebalance-then-commit at the same point.
+                    let seq = d.seq.load(Ordering::Relaxed);
+                    let mut wal = d.wal.lock().unwrap_or_else(PoisonError::into_inner);
+                    if let Err(e) = wal.append_flush(seq) {
+                        eprintln!("glodyne-serve: router wal flush marker failed: {e}");
+                    }
+                    if d.cfg.fsync == FsyncPolicy::EveryFlush {
+                        if let Err(e) = wal.sync() {
+                            eprintln!("glodyne-serve: router wal fsync failed: {e}");
+                        }
+                    }
+                    seq
+                }
+                None => 0,
+            };
             let migrations = self
                 .router
                 .write()
@@ -223,7 +523,7 @@ impl ShardedSession {
                 .maybe_rebalance()
                 .map(|rb| rb.events);
             for (shard, ev) in migrations.into_iter().flatten() {
-                self.shards[shard as usize].queue.send_event(ev)?;
+                self.shards[shard as usize].queue.send_event_seq(seq, ev)?;
             }
         }
         let mut outcome = FlushOutcome {
@@ -235,7 +535,74 @@ impl ShardedSession {
             outcome.stepped |= one.stepped;
             outcome.epoch = outcome.epoch.max(one.epoch);
         }
+        if let Some(d) = &self.durable {
+            if d.cfg.snapshot_every > 0 {
+                let base = d
+                    .last_snapshot_epoch
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .unwrap_or(0);
+                if outcome.epoch.saturating_sub(base) >= d.cfg.snapshot_every {
+                    if let Err(e) = self.barrier_checkpoint() {
+                        eprintln!("glodyne-serve: barrier checkpoint failed: {e}");
+                    }
+                }
+            }
+        }
         Ok(outcome)
+    }
+
+    /// Freeze a common barrier across every lineage: all shards
+    /// snapshot at the current client sequence, then the router
+    /// snapshots its state at the same sequence and prunes the covered
+    /// router WAL prefix. Shards go first — a crash in between leaves
+    /// shard snapshots without a matching router snapshot, and recovery
+    /// simply falls back to the previous complete barrier (which every
+    /// lineage still retains).
+    fn barrier_checkpoint(&self) -> io::Result<()> {
+        let Some(d) = &self.durable else {
+            return Ok(());
+        };
+        let _order = self
+            .write_order
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let seq = d.seq.load(Ordering::Relaxed);
+        let payload = self
+            .router
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .export_state();
+        // Checkpoint messages ride each shard queue behind everything
+        // already enqueued, so each lineage freezes exactly the
+        // barrier prefix.
+        for shard in &self.shards {
+            shard
+                .queue
+                .request_checkpoint(seq)
+                .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "shard trainer is gone"))?;
+        }
+        let epoch = self
+            .epochs()
+            .iter()
+            .map(|e| e.epoch)
+            .max()
+            .unwrap_or_default();
+        write_snapshot(&d.router_dir, seq, epoch, PAYLOAD_ROUTER, &payload)?;
+        prune_snapshots(&d.router_dir, d.cfg.keep_snapshots)?;
+        // Keep router WAL back to the *oldest* retained router
+        // snapshot, mirroring the unsharded lineage's fallback rule.
+        let floor = list_snapshots(&d.router_dir)?
+            .first()
+            .map_or(seq, |&(s, _)| s);
+        d.wal
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .prune_covered(floor)?;
+        *d.last_snapshot_epoch
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(epoch);
+        Ok(())
     }
 
     /// Every shard's currently served epoch (cloned `Arc`s; frozen for
@@ -443,6 +810,32 @@ impl ShardedSession {
                     .sum(),
             }),
             shards: Some(per_shard),
+            durability: self.durable.as_ref().map(|d| {
+                let wal = d.wal.lock().unwrap_or_else(PoisonError::into_inner).stats();
+                let mut agg = DurabilityStats {
+                    wal_segments: wal.segments,
+                    wal_bytes: wal.bytes,
+                    last_snapshot_epoch: *d
+                        .last_snapshot_epoch
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner),
+                    last_fsync_ms: wal
+                        .last_fsync
+                        .map(|at| Instant::now().saturating_duration_since(at).as_millis() as u64),
+                    recovered_from: d.recovered_from.clone(),
+                };
+                for gauge in &d.gauges {
+                    let shard = gauge.snapshot();
+                    agg.wal_segments += shard.wal_segments;
+                    agg.wal_bytes += shard.wal_bytes;
+                    // Most recent fsync across lineages = smallest age.
+                    agg.last_fsync_ms = match (agg.last_fsync_ms, shard.last_fsync_ms) {
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                        (a, b) => a.or(b),
+                    };
+                }
+                agg
+            }),
         }
     }
 
@@ -450,6 +843,14 @@ impl ShardedSession {
     /// working off the last published epochs, writes return
     /// [`ServeError::Closed`].
     pub fn shutdown(&self) {
+        // Durable clean stop: commit pending work, then freeze a final
+        // barrier so a restart replays nothing. If the trainers are
+        // already gone (second call), both steps no-op.
+        if self.durable.is_some() && self.flush().is_ok() {
+            if let Err(e) = self.barrier_checkpoint() {
+                eprintln!("glodyne-serve: final barrier failed: {e}");
+            }
+        }
         for shard in &self.shards {
             shard.queue.send_shutdown();
         }
@@ -476,7 +877,7 @@ mod tests {
     use glodyne_embed::walks::WalkConfig;
     use glodyne_embed::SgnsConfig;
 
-    fn tiny_session(seed: u64) -> EmbedderSession<GloDyNE> {
+    fn tiny_model(seed: u64) -> GloDyNE {
         let cfg = GloDyNEConfig {
             alpha: 0.5,
             walk: WalkConfig {
@@ -495,7 +896,11 @@ mod tests {
             },
             ..Default::default()
         };
-        EmbedderSession::new(GloDyNE::new(cfg).unwrap(), EpochPolicy::Manual).unwrap()
+        GloDyNE::new(cfg).unwrap()
+    }
+
+    fn tiny_session(seed: u64) -> EmbedderSession<GloDyNE> {
+        EmbedderSession::new(tiny_model(seed), EpochPolicy::Manual).unwrap()
     }
 
     fn sharded(shards: usize, ann: Option<AnnSettings>) -> ShardedSession {
@@ -737,5 +1142,135 @@ mod tests {
             Err(ServeError::Closed)
         ));
         assert!(matches!(serving.flush(), Err(ServeError::Closed)));
+    }
+
+    fn durable_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "glodyne-shard-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn spawn_sharded_durable(dir: &Path, dcfg: DurableConfig) -> (ShardedSession, Option<String>) {
+        ShardedSession::spawn_durable(
+            dir,
+            ShardConfig {
+                shards: 2,
+                min_partition_nodes: 8,
+                ..Default::default()
+            },
+            dcfg,
+            EpochPolicy::Manual,
+            64,
+            None,
+            |i| tiny_model(i as u64),
+        )
+        .unwrap()
+    }
+
+    /// One node's (id, owner shard, epoch, row bits).
+    type NodeState = (u32, Option<u32>, u64, Option<Vec<u32>>);
+
+    /// Every owned node's state — what a restart must reproduce exactly.
+    fn full_state(serving: &ShardedSession) -> Vec<NodeState> {
+        let router = serving.router.read().unwrap();
+        (0..25u32)
+            .map(|n| {
+                let owner = router.owner(NodeId(n));
+                let (epoch, row) = serving.query(NodeId(n));
+                (
+                    n,
+                    owner,
+                    epoch,
+                    row.map(|v| v.iter().map(|x| x.to_bits()).collect()),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_durable_clean_restart_is_bit_exact() {
+        let dir = durable_dir("restart");
+        let dcfg = DurableConfig {
+            fsync: FsyncPolicy::Off,
+            snapshot_every: 1,
+            ..DurableConfig::default()
+        };
+        let (serving, recovered) = spawn_sharded_durable(&dir, dcfg);
+        assert!(recovered.is_none(), "fresh directory has no lineage");
+        serving.ingest(&community_events()).unwrap();
+        assert!(serving.flush().unwrap().stepped);
+        let dur = serving.stats().durability.expect("sharded durable stats");
+        assert!(
+            dur.wal_segments >= 3,
+            "router + one lineage per shard: {dur:?}"
+        );
+        assert!(dur.last_snapshot_epoch.is_some(), "barrier after flush");
+        let before = full_state(&serving);
+        serving.shutdown();
+        drop(serving);
+
+        let (restarted, recovered) = spawn_sharded_durable(&dir, dcfg);
+        let provenance = recovered.expect("lineage found on disk");
+        assert!(
+            provenance.contains("+ 0 router events"),
+            "clean shutdown replays nothing: {provenance}"
+        );
+        assert_eq!(full_state(&restarted), before, "owners, epochs, and rows");
+        assert_eq!(
+            restarted
+                .stats()
+                .durability
+                .unwrap()
+                .recovered_from
+                .as_deref(),
+            Some(provenance.as_str())
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_durable_router_wal_replay_rebuilds_lost_snapshots() {
+        let dir = durable_dir("replay");
+        // snapshot_every: 0 — no mid-run barriers, so the router WAL
+        // keeps the full event history for this test.
+        let dcfg = DurableConfig {
+            fsync: FsyncPolicy::EveryNEvents(1),
+            snapshot_every: 0,
+            ..DurableConfig::default()
+        };
+        let (serving, _) = spawn_sharded_durable(&dir, dcfg);
+        let events = community_events();
+        serving.ingest(&events[..events.len() / 2]).unwrap();
+        serving.flush().unwrap();
+        serving.ingest(&events[events.len() / 2..]).unwrap();
+        serving.flush().unwrap();
+        let before = full_state(&serving);
+        serving.shutdown(); // final barrier written...
+        drop(serving);
+
+        // ...then every snapshot "corrupts away": recovery must fall
+        // back to re-routing the full router WAL from scratch and
+        // still land bit-exactly, flush boundaries included.
+        for sub in ["router", "shard-0", "shard-1"] {
+            for entry in std::fs::read_dir(dir.join(sub)).unwrap() {
+                let path = entry.unwrap().path();
+                if path.extension().is_some_and(|e| e == "glo") {
+                    std::fs::remove_file(&path).unwrap();
+                }
+            }
+        }
+        let (restarted, recovered) = spawn_sharded_durable(&dir, dcfg);
+        let provenance = recovered.expect("router wal found");
+        assert!(
+            provenance.contains("router wal replay only"),
+            "{provenance}"
+        );
+        assert_eq!(full_state(&restarted), before, "owners, epochs, and rows");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
