@@ -21,11 +21,24 @@
 //! (f32 or SQ8) lands below `t` — CI's bench-smoke uses this to pin
 //! the quantized re-rank contract.
 //!
+//! Two serving-observability sections ride the largest size tier:
+//!
+//! - `telemetry_overhead`: the same query loop with and without the
+//!   per-request instrumentation the server performs (an `Instant`
+//!   pair plus one lock-free histogram record), best-of-3 passes each;
+//!   `--assert-telemetry-overhead <pct>` exits nonzero if the q/s
+//!   regression exceeds `pct` percent.
+//! - `probe_recall_at_10`: the serving layer's quality-probe
+//!   definition (`glodyne_serve::probe_recall`) evaluated offline on
+//!   the clustered embedding + IVF epoch; `--assert-probe-recall <t>`
+//!   pins its floor in CI.
+//!
 //! ```text
 //! cargo run --release -p glodyne-bench --bin bench_nearest
 //! cargo run --release -p glodyne-bench --bin bench_nearest -- \
 //!     --sizes 1000,10000,100000 --dim 128 --queries 200 \
-//!     --assert-recall 0.95 --out BENCH_nearest.json
+//!     --assert-recall 0.95 --assert-probe-recall 0.9 \
+//!     --assert-telemetry-overhead 3 --out BENCH_nearest.json
 //! ```
 
 use glodyne_ann::{IvfConfig, IvfIndex, SearchScratch};
@@ -34,6 +47,8 @@ use glodyne_embed::kernel::{dot_exact, dot_fast};
 use glodyne_embed::walks::splitmix64_next;
 use glodyne_embed::Embedding;
 use glodyne_graph::NodeId;
+use glodyne_serve::{probe_recall, EmbeddingEpoch};
+use glodyne_telemetry::Registry;
 use std::time::Instant;
 
 const K: usize = 10;
@@ -180,6 +195,57 @@ fn batched_qps(
     probes.len() as f64 / start.elapsed().as_secs_f64()
 }
 
+struct TelemetryOverhead {
+    plain_qps: f64,
+    instrumented_qps: f64,
+    /// Percent q/s lost to instrumentation (negative = noise favoured
+    /// the instrumented pass).
+    overhead_pct: f64,
+}
+
+/// The serving hot path's per-request telemetry cost, isolated: the
+/// identical ANN query loop, plain vs wrapped in exactly what
+/// `Server::handle_connection` adds per request — one `Instant` pair
+/// and one lock-free histogram record. Best-of-3 passes each, so the
+/// comparison pits peak against peak rather than noise against noise.
+fn bench_telemetry_overhead(
+    index: &IvfIndex,
+    emb: &Embedding,
+    probes: &[NodeId],
+    nprobe: usize,
+) -> TelemetryOverhead {
+    let registry = Registry::new();
+    let hist = registry.histogram(
+        "glodyne_wire_latency_us",
+        "request wall time",
+        &[("cmd", "nearest")],
+    );
+    let pass = |instrumented: bool| {
+        let mut scratch = SearchScratch::new();
+        let start = Instant::now();
+        for &p in probes {
+            let t = instrumented.then(Instant::now);
+            let hits =
+                index.search_in_with(emb, emb.get(p).unwrap(), K, nprobe, Some(p), &mut scratch);
+            std::hint::black_box(hits);
+            if let Some(t) = t {
+                hist.record_duration(t.elapsed());
+            }
+        }
+        probes.len() as f64 / start.elapsed().as_secs_f64()
+    };
+    // Warm both paths, then alternate timed passes.
+    pass(false);
+    pass(true);
+    let plain_qps = (0..3).map(|_| pass(false)).fold(0.0f64, f64::max);
+    let instrumented_qps = (0..3).map(|_| pass(true)).fold(0.0f64, f64::max);
+    TelemetryOverhead {
+        plain_qps,
+        instrumented_qps,
+        overhead_pct: (1.0 - instrumented_qps / plain_qps) * 100.0,
+    }
+}
+
 fn bench_one(n: usize, dim: usize, clusters: usize, queries: usize, seed: u64) -> SizeResult {
     let emb = clustered_embedding(n, dim, clusters, seed);
     // √n coarse cells, probing ~a tenth of them (at least 4): the
@@ -271,6 +337,8 @@ fn main() {
     let queries: usize = args.get("queries", 400);
     let seed: u64 = args.get("seed", 0);
     let assert_recall: f64 = args.get("assert-recall", 0.0);
+    let assert_probe_recall: f64 = args.get("assert-probe-recall", 0.0);
+    let assert_telemetry_overhead: f64 = args.get("assert-telemetry-overhead", 0.0);
     let out = args.get("out", "BENCH_nearest.json".to_string());
     let raw_sizes = args.get("sizes", "1000,10000,100000".to_string());
     let sizes: Vec<usize> = raw_sizes
@@ -315,6 +383,39 @@ fn main() {
         results.push(r);
     }
 
+    // Observability sections on the largest tier: the telemetry
+    // hot-path overhead and the serving probe's recall definition.
+    let n_big = *sizes.iter().max().unwrap();
+    let emb = clustered_embedding(n_big, dim, clusters, seed);
+    let cells = (n_big as f64).sqrt().round() as usize;
+    let nprobe = (cells / 10).max(4);
+    let index = IvfIndex::build(
+        &emb,
+        &IvfConfig {
+            cells,
+            seed,
+            ..Default::default()
+        },
+    );
+    let probes: Vec<NodeId> = (0..queries)
+        .map(|i| NodeId(((i * 37) % n_big) as u32))
+        .collect();
+    let overhead = bench_telemetry_overhead(&index, &emb, &probes, nprobe);
+    println!(
+        "telemetry overhead (n={n_big}): plain={:.0} q/s  instrumented={:.0} q/s  \
+         overhead={:.2}%",
+        overhead.plain_qps, overhead.instrumented_qps, overhead.overhead_pct
+    );
+    let epoch = EmbeddingEpoch {
+        epoch: 1,
+        embedding: emb,
+        report: None,
+        index: Some(index),
+    };
+    let probed = probe_recall(&epoch, K, 32, seed.wrapping_add(1), nprobe)
+        .expect("clustered epoch with an index is always measurable");
+    println!("probe recall@{K} (n={n_big}, 32 sampled nodes): {probed:.4}");
+
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"nearest\",\n");
     json.push_str(&format!("  \"dim\": {dim},\n  \"k\": {K},\n"));
@@ -324,6 +425,15 @@ fn main() {
     json.push_str(&format!(
         "  \"kernel\": {{\"rows\": {}, \"gbps_exact\": {:.2}, \"gbps_fast\": {:.2}}},\n",
         kernel.rows, kernel.gbps_exact, kernel.gbps_fast
+    ));
+    json.push_str(&format!(
+        "  \"telemetry_overhead\": {{\"n\": {n_big}, \"plain_qps\": {:.1}, \
+         \"instrumented_qps\": {:.1}, \"overhead_pct\": {:.2}}},\n",
+        overhead.plain_qps, overhead.instrumented_qps, overhead.overhead_pct
+    ));
+    json.push_str(&format!(
+        "  \"probe_recall_at_10\": {{\"n\": {n_big}, \"sample\": 32, \"nprobe\": {nprobe}, \
+         \"recall\": {probed:.4}}},\n"
     ));
     json.push_str("  \"sizes\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -378,5 +488,29 @@ fn main() {
             std::process::exit(1);
         }
         println!("recall floor {assert_recall:.4} held (worst observed {worst:.4})");
+    }
+    if assert_probe_recall > 0.0 {
+        if probed < assert_probe_recall {
+            eprintln!(
+                "bench_nearest: probe recall@{K} {probed:.4} fell below the \
+                 --assert-probe-recall floor {assert_probe_recall:.4}"
+            );
+            std::process::exit(1);
+        }
+        println!("probe recall floor {assert_probe_recall:.4} held ({probed:.4})");
+    }
+    if assert_telemetry_overhead > 0.0 {
+        if overhead.overhead_pct > assert_telemetry_overhead {
+            eprintln!(
+                "bench_nearest: telemetry overhead {:.2}% exceeded the \
+                 --assert-telemetry-overhead ceiling {assert_telemetry_overhead:.2}%",
+                overhead.overhead_pct
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "telemetry overhead ceiling {assert_telemetry_overhead:.2}% held ({:.2}%)",
+            overhead.overhead_pct
+        );
     }
 }

@@ -15,7 +15,8 @@ use glodyne_graph::id::TimedEdge;
 use glodyne_graph::io::read_edge_stream;
 use glodyne_graph::{DynamicNetwork, NodeId};
 use glodyne_partition::{partition, PartitionConfig};
-use glodyne_serve::{AnnSettings, ServeError, Server, ServerConfig};
+use glodyne_serve::json::Json;
+use glodyne_serve::{json, AnnSettings, ProbeSettings, ServeError, Server, ServerConfig};
 use glodyne_shard::{ShardConfig, ShardedState};
 use glodyne_tasks::gr::mean_precision_at_k;
 use glodyne_tasks::lp::{build_test_set, link_prediction_auc};
@@ -244,6 +245,32 @@ fn parse_durable(opts: &Opts) -> Result<Option<(PathBuf, DurableConfig)>, CliErr
     Ok(Some((PathBuf::from(dir), cfg)))
 }
 
+/// Shared telemetry parsing for `serve`: `--telemetry` switches the
+/// metrics registry on (any probe or slow-query flag implies it), the
+/// probe cadence rides `--probe-every <ms>` / `--probe-k` /
+/// `--probe-sample` / `--probe-seed`, and `--slow-us` sets the
+/// slow-query ring threshold. Returns `(telemetry, probe, slow_us)`
+/// ready to drop into a [`ServerConfig`].
+fn parse_telemetry(opts: &Opts) -> Result<(bool, Option<ProbeSettings>, Option<u64>), CliError> {
+    let probe_flags = opts.get_opt::<u64>("probe-every")?.is_some()
+        || opts.get_opt::<usize>("probe-k")?.is_some()
+        || opts.get_opt::<usize>("probe-sample")?.is_some();
+    let slow_us = opts.get_opt::<u64>("slow-us")?;
+    let telemetry = opts.get("telemetry", false) || probe_flags || slow_us.is_some();
+    if !telemetry {
+        return Ok((false, None, None));
+    }
+    let defaults = ProbeSettings::default();
+    let probe = ProbeSettings {
+        period_ms: opts.get("probe-every", defaults.period_ms),
+        k: opts.get("probe-k", defaults.k),
+        sample: opts.get("probe-sample", defaults.sample),
+        seed: opts.get("probe-seed", defaults.seed),
+    };
+    probe.validate().map_err(CliError::Config)?;
+    Ok((true, Some(probe), slow_us))
+}
+
 /// Shared `--policy` parsing for `stream` and `serve`.
 fn parse_policy(opts: &Opts) -> Result<EpochPolicy, CliError> {
     match opts.get_str("policy", "timestamp") {
@@ -417,11 +444,16 @@ pub fn start_server(opts: &Opts) -> Result<(Server, String), CliError> {
     let policy = parse_policy(opts)?;
     let ann = parse_ann(opts)?;
     let shard_cfg = parse_shards(opts)?;
+    let (telemetry, probe, slow_us) = parse_telemetry(opts)?;
+    let defaults = ServerConfig::default();
     let cfg = ServerConfig {
         max_connections: opts.get("threads", 64usize).max(1),
         queue_capacity: opts.get("queue", 1024usize).max(1),
         ann,
-        ..ServerConfig::default()
+        telemetry,
+        probe,
+        slow_query_us: slow_us.unwrap_or(defaults.slow_query_us),
+        ..defaults
     };
     let durable = parse_durable(opts)?;
     let bind_err = |e: ServeError| match e {
@@ -634,6 +666,23 @@ pub fn start_server(opts: &Opts) -> Result<(Server, String), CliError> {
             settings.config.cells, settings.default_nprobe
         ));
     }
+    if telemetry {
+        preamble.push_str(
+            "telemetry: metrics registry on \
+             ({\"cmd\":\"metrics\"} scrapes Prometheus text, stats carries a telemetry object)\n",
+        );
+        if let Some(p) = &probe {
+            if ann.is_some() {
+                preamble.push_str(&format!(
+                    "telemetry: quality probe every {}ms \
+                     (recall@{} over {} sampled nodes, seed {})\n",
+                    p.period_ms, p.k, p.sample, p.seed
+                ));
+            } else {
+                preamble.push_str("telemetry: quality probe idle (no --ann index to probe)\n");
+            }
+        }
+    }
     preamble.push_str(&format!(
         "serving on {} (line-delimited JSON; send {{\"cmd\":\"shutdown\"}} to stop)\n",
         server.local_addr()
@@ -651,6 +700,178 @@ pub fn serve(opts: &Opts) -> Result<String, CliError> {
     std::io::Write::flush(&mut std::io::stdout())?;
     let served = server.join();
     Ok(format!("shut down cleanly after {served} connection(s)\n"))
+}
+
+/// One wire round-trip: fetch the `stats` object from a running server.
+fn fetch_stats(addr: &str) -> Result<Json, CliError> {
+    use std::io::{BufRead, Write};
+    let conn_err = |source: std::io::Error| CliError::Io {
+        context: format!("cannot reach server at {addr}"),
+        source,
+    };
+    let stream = std::net::TcpStream::connect(addr).map_err(conn_err)?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .map_err(conn_err)?;
+    let mut writer = stream.try_clone().map_err(conn_err)?;
+    writer
+        .write_all(b"{\"cmd\":\"stats\"}\n")
+        .map_err(conn_err)?;
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(conn_err)?;
+    if line.is_empty() {
+        return Err(CliError::Parse(format!("{addr}: connection closed")));
+    }
+    json::parse(line.trim_end())
+        .map_err(|e| CliError::Parse(format!("bad stats response from {addr}: {e}")))
+}
+
+fn stat_u64(v: &Json, key: &str) -> u64 {
+    v.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+/// `n=<count> p50=<..> p99=<..> max=<..>` for one histogram snapshot
+/// object out of the stats telemetry section.
+fn fmt_hist(h: &Json) -> String {
+    format!(
+        "n={} p50={} p99={} max={}",
+        stat_u64(h, "count"),
+        stat_u64(h, "p50"),
+        stat_u64(h, "p99"),
+        stat_u64(h, "max"),
+    )
+}
+
+/// Render one `stats` response for the terminal: the core serving
+/// counters always, the telemetry section when the server runs with
+/// `--telemetry` (and within it, only the sub-sections that exist).
+fn render_stats(stats: &Json) -> String {
+    let mut out = format!(
+        "epoch {}  nodes {}  dim {}\n\
+         queue: depth {}/{}  high-water {}  accepted {}\n",
+        stat_u64(stats, "epoch"),
+        stat_u64(stats, "nodes"),
+        stat_u64(stats, "dim"),
+        stat_u64(stats, "queue_depth"),
+        stat_u64(stats, "queue_capacity"),
+        stat_u64(stats, "queue_high_water"),
+        stat_u64(stats, "events_accepted"),
+    );
+    if let Some(ann) = stats.get("ann").filter(|a| **a != Json::Null) {
+        out.push_str(&format!(
+            "ann: cells={} nprobe={} storage={} index={}B\n",
+            stat_u64(ann, "cells"),
+            stat_u64(ann, "nprobe_default"),
+            ann.get("storage").and_then(Json::as_str).unwrap_or("?"),
+            stat_u64(ann, "index_bytes"),
+        ));
+    }
+    if let Some(shards) = stats.get("shards").and_then(Json::as_arr) {
+        out.push_str(&format!("shards: {}\n", shards.len()));
+        for sh in shards {
+            out.push_str(&format!(
+                "  shard {}: epoch {} nodes {} queue {} accepted {}\n",
+                stat_u64(sh, "shard"),
+                stat_u64(sh, "epoch"),
+                stat_u64(sh, "nodes"),
+                stat_u64(sh, "queue_depth"),
+                stat_u64(sh, "events_accepted"),
+            ));
+        }
+    }
+    let Some(t) = stats.get("telemetry").filter(|t| **t != Json::Null) else {
+        out.push_str("telemetry: off (serve with --telemetry)\n");
+        return out;
+    };
+    out.push_str("telemetry:\n");
+    if let Some(Json::Obj(cmds)) = t.get("wire_latency_us") {
+        out.push_str("  wire latency (us):\n");
+        for (cmd, h) in cmds {
+            out.push_str(&format!("    {cmd:<14} {}\n", fmt_hist(h)));
+        }
+    }
+    if let Some(Json::Obj(stages)) = t.get("stage_us") {
+        out.push_str("  trainer stages (us):\n");
+        for (stage, h) in stages {
+            out.push_str(&format!("    {stage:<14} {}\n", fmt_hist(h)));
+        }
+    }
+    if let Some(h) = t.get("queue_wait_us") {
+        out.push_str(&format!("  queue wait (us): {}\n", fmt_hist(h)));
+    }
+    if let Some(h) = t.get("freshness_lag_us") {
+        out.push_str(&format!("  freshness lag (us): {}\n", fmt_hist(h)));
+    }
+    if let Some(d) = t.get("durability").filter(|d| **d != Json::Null) {
+        out.push_str("  durability (us):\n");
+        for (key, label) in [
+            ("wal_append_us", "wal append"),
+            ("wal_fsync_us", "wal fsync"),
+            ("snapshot_write_us", "snapshot"),
+        ] {
+            if let Some(h) = d.get(key) {
+                out.push_str(&format!("    {label:<14} {}\n", fmt_hist(h)));
+            }
+        }
+    }
+    if let Some(p) = t.get("probe").filter(|p| **p != Json::Null) {
+        out.push_str(&format!(
+            "  probe: recall@{} = {:.4} over {} round(s), latency {}\n",
+            stat_u64(p, "k"),
+            p.get("recall").and_then(Json::as_f64).unwrap_or(0.0),
+            stat_u64(p, "runs"),
+            p.get("latency_us").map(fmt_hist).unwrap_or_default(),
+        ));
+    }
+    if let Some(slow) = t.get("slow_queries").and_then(Json::as_arr) {
+        if slow.is_empty() {
+            out.push_str("  slow queries: none\n");
+        } else {
+            out.push_str(&format!("  slow queries (last {}):\n", slow.len()));
+            for q in slow {
+                out.push_str(&format!(
+                    "    {:<14} nodes={} epoch={} {}us\n",
+                    q.get("cmd").and_then(Json::as_str).unwrap_or("?"),
+                    stat_u64(q, "nodes"),
+                    stat_u64(q, "epoch"),
+                    stat_u64(q, "micros"),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// `glodyne stats`: one-shot (or `--watch` periodic) pretty-printed
+/// snapshot of a running server's `stats` object.
+pub fn stats_cmd(opts: &Opts) -> Result<String, CliError> {
+    let addr = opts.get_str("addr", "127.0.0.1:7878");
+    if !opts.get("watch", false) {
+        return Ok(render_stats(&fetch_stats(addr)?));
+    }
+    let interval = std::time::Duration::from_millis(opts.get("interval-ms", 2000u64).max(1));
+    let mut frames = 0u64;
+    loop {
+        match fetch_stats(addr) {
+            Ok(stats) => {
+                frames += 1;
+                print!("{}", render_stats(&stats));
+                println!("---");
+                std::io::Write::flush(&mut std::io::stdout())?;
+            }
+            // The first fetch failing is an error; the server going
+            // away mid-watch is a clean exit.
+            Err(e) if frames == 0 => return Err(e),
+            Err(_) => {
+                return Ok(format!(
+                    "server at {addr} went away after {frames} frame(s)\n"
+                ));
+            }
+        }
+        std::thread::sleep(interval);
+    }
 }
 
 /// One lineage directory's health: every snapshot's integrity, the WAL
@@ -1485,5 +1706,139 @@ mod tests {
         let err = embed(&opts).unwrap_err();
         assert!(err.to_string().contains("cannot open"));
         assert!(matches!(err, CliError::Io { .. }));
+    }
+
+    #[test]
+    fn parse_telemetry_flags() {
+        // Off by default.
+        let (on, probe, slow) = parse_telemetry(&Opts::parse(&[])).unwrap();
+        assert!(!on && probe.is_none() && slow.is_none());
+        // --telemetry alone uses probe defaults.
+        let (on, probe, _) = parse_telemetry(&Opts::parse(&["--telemetry".into()])).unwrap();
+        assert!(on);
+        assert_eq!(probe.unwrap(), ProbeSettings::default());
+        // Any probe flag implies --telemetry.
+        let (on, probe, slow) = parse_telemetry(&Opts::parse(&[
+            "--probe-every".into(),
+            "250".into(),
+            "--probe-k".into(),
+            "5".into(),
+            "--slow-us".into(),
+            "500".into(),
+        ]))
+        .unwrap();
+        assert!(on);
+        let probe = probe.unwrap();
+        assert_eq!(probe.period_ms, 250);
+        assert_eq!(probe.k, 5);
+        assert_eq!(slow, Some(500));
+        // Degenerate probe parameters are config errors.
+        let err = parse_telemetry(&Opts::parse(&["--probe-k".into(), "0".into()])).unwrap_err();
+        assert!(matches!(err, CliError::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn serve_command_with_telemetry_and_stats_watch() {
+        use std::io::{BufRead, BufReader, Write};
+        let input = write_fixture("glodyne_cli_serve_telemetry");
+        let opts = Opts::parse(&[
+            "--bind".into(),
+            "127.0.0.1:0".into(),
+            "--input".into(),
+            input.display().to_string(),
+            "--policy".into(),
+            "manual".into(),
+            "--dim".into(),
+            "8".into(),
+            "--walks".into(),
+            "2".into(),
+            "--walk-length".into(),
+            "8".into(),
+            "--epochs".into(),
+            "1".into(),
+            "--ann".into(),
+            "--cells".into(),
+            "4".into(),
+            "--nprobe".into(),
+            "4".into(),
+            "--telemetry".into(),
+            "--probe-every".into(),
+            "10".into(),
+            "--probe-k".into(),
+            "3".into(),
+        ]);
+        let (server, preamble) = start_server(&opts).unwrap();
+        assert!(
+            preamble.contains("telemetry: metrics registry on"),
+            "{preamble}"
+        );
+        assert!(
+            preamble.contains("quality probe every 10ms (recall@3"),
+            "{preamble}"
+        );
+        let addr = server.local_addr().to_string();
+
+        // The one-shot pretty-printer sees the live telemetry section.
+        let rendered = stats_cmd(&Opts::parse(&["--addr".into(), addr.clone()])).unwrap();
+        assert!(rendered.contains("telemetry:"), "{rendered}");
+        assert!(rendered.contains("wire latency (us):"), "{rendered}");
+        assert!(rendered.contains("ann: cells=4"), "{rendered}");
+
+        // The metrics op scrapes Prometheus text over the same wire
+        // (pipeline a stats request behind it as the terminator).
+        let stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut w = stream.try_clone().unwrap();
+        w.write_all(b"{\"cmd\":\"metrics\"}\n{\"cmd\":\"stats\"}\n")
+            .unwrap();
+        let mut text = String::new();
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            if line.starts_with(r#"{"ok":true,"cmd":"stats""#) {
+                break;
+            }
+            text.push_str(&line);
+        }
+        assert!(text.contains("# TYPE glodyne_wire_latency_us"), "{text}");
+        assert!(text.contains("glodyne_probe_recall_at_k"), "{text}");
+
+        // --watch keeps printing frames and exits cleanly when the
+        // server goes away.
+        let watcher = std::thread::spawn(move || {
+            stats_cmd(&Opts::parse(&[
+                "--addr".into(),
+                addr,
+                "--watch".into(),
+                "--interval-ms".into(),
+                "20".into(),
+            ]))
+        });
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        w.write_all(b"{\"cmd\":\"shutdown\"}\n").unwrap();
+        let mut bye = String::new();
+        reader.read_line(&mut bye).unwrap();
+        server.join();
+        let report = watcher.join().unwrap().unwrap();
+        assert!(report.contains("went away"), "{report}");
+
+        // Against a dead address, the first fetch is a clean error.
+        let err = stats_cmd(&Opts::parse(&["--addr".into(), "127.0.0.1:1".into()])).unwrap_err();
+        assert!(matches!(err, CliError::Io { .. }), "{err}");
+    }
+
+    #[test]
+    fn render_stats_handles_telemetry_off() {
+        let stats = glodyne_serve::json::parse(
+            r#"{"ok":true,"cmd":"stats","epoch":2,"nodes":9,"dim":8,
+                "queue_depth":0,"queue_capacity":64,"queue_high_water":3,
+                "events_accepted":17,"ann":null,"shards":null,"telemetry":null}"#,
+        )
+        .unwrap();
+        let out = render_stats(&stats);
+        assert!(out.contains("epoch 2  nodes 9  dim 8"), "{out}");
+        assert!(out.contains("high-water 3"), "{out}");
+        assert!(out.contains("telemetry: off"), "{out}");
+        assert!(!out.contains("ann:"), "{out}");
     }
 }

@@ -88,6 +88,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "embed" => commands::embed(&opts::Opts::parse(rest)),
         "stream" => commands::stream(&opts::Opts::parse(rest)),
         "serve" => commands::serve(&opts::Opts::parse(rest)),
+        "stats" => commands::stats_cmd(&opts::Opts::parse(rest)),
         "recover" => commands::recover(&opts::Opts::parse(rest)),
         "partition" => commands::partition_cmd(&opts::Opts::parse(rest)),
         "evaluate" => commands::evaluate(&opts::Opts::parse(rest)),
@@ -121,6 +122,9 @@ USAGE:
                     [--data-dir <dir>] [--fsync flush|off|every:<n>]
                     [--snapshot-every 4] [--keep-snapshots 2]
                     [--segment-bytes 4194304]
+                    [--telemetry] [--probe-every 1000] [--probe-k 10]
+                    [--probe-sample 16] [--probe-seed 42] [--slow-us 10000]
+  glodyne stats     [--addr 127.0.0.1:7878] [--watch] [--interval-ms 2000]
   glodyne recover   --data-dir <dir>
   glodyne partition --input <edges.txt> [--k 8] [--epsilon 0.1] [--seed 0]
   glodyne evaluate  --input <edges.txt> [--snapshots 10] [--alpha 0.1]
@@ -156,6 +160,18 @@ With --data-dir, `serve` becomes crash-recoverable: every ingested
   it to the OS); SGNS training is forced single-threaded so replay is
   deterministic. Warm-start --input is skipped when an existing lineage
   is recovered.
+With --telemetry (implied by any probe or --slow-us flag), `serve`
+  keeps lock-free latency histograms for every pipeline stage, answers
+  the `metrics` op with Prometheus-style text (scrapable with nc), adds
+  a \"telemetry\" object to `stats`, and keeps a ring of the last 32
+  requests slower than --slow-us microseconds. With --ann it also runs
+  a background quality probe every --probe-every ms: recall@--probe-k
+  of the IVF index against an exact scan over --probe-sample sampled
+  nodes, published as a live gauge. The probe reads the same immutable
+  epoch snapshots as queries and never blocks serving.
+`stats` connects to a running server and pretty-prints its `stats`
+  object once, or every --interval-ms with --watch (exits when the
+  server goes away).
 `recover` inspects a --data-dir without serving: snapshot integrity,
   WAL segment health, and how much a restart would replay.
 `partition` prints `node part` lines for the final snapshot.

@@ -23,6 +23,7 @@
 pub mod crc;
 pub mod session;
 pub mod snapshot;
+pub mod timing;
 pub mod wal;
 
 pub use crc::crc32;
@@ -34,6 +35,7 @@ pub use snapshot::{
     list_snapshots, load_newest_valid, load_snapshot, prune_snapshots, write_snapshot,
     SnapshotFile, PAYLOAD_ROUTER, PAYLOAD_SESSION,
 };
+pub use timing::DurableTiming;
 pub use wal::{
     encode_flush_frame, encode_frame, list_segments, remove_all_segments, replay, replay_and_heal,
     FsyncPolicy, ReplayedWal, WalRecord, WalStats, WalWriter,

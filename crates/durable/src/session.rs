@@ -14,6 +14,7 @@
 use crate::snapshot::{
     list_snapshots, load_snapshot, prune_snapshots, write_snapshot, PAYLOAD_SESSION,
 };
+use crate::timing::{timed, DurableTiming};
 use crate::wal::{replay_and_heal, FsyncPolicy, WalRecord, WalStats, WalWriter};
 use bytes::Bytes;
 use glodyne::{EmbedderSession, EpochPolicy, SessionCheckpoint};
@@ -24,6 +25,7 @@ use glodyne_graph::state::GraphEvent;
 use glodyne_graph::NodeId;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Durability knobs for one lineage (one data directory).
 #[derive(Debug, Clone, Copy)]
@@ -192,6 +194,7 @@ pub struct DurableSession<E: CheckpointEmbedder> {
     last_seq: u64,
     last_snapshot_seq: Option<u64>,
     last_snapshot_epoch: Option<u64>,
+    timing: Option<Arc<DurableTiming>>,
 }
 
 impl<E: CheckpointEmbedder> DurableSession<E> {
@@ -216,6 +219,7 @@ impl<E: CheckpointEmbedder> DurableSession<E> {
             last_seq: 0,
             last_snapshot_seq: None,
             last_snapshot_epoch: None,
+            timing: None,
         };
         durable.snapshot()?;
         Ok(durable)
@@ -245,7 +249,14 @@ impl<E: CheckpointEmbedder> DurableSession<E> {
             last_seq,
             last_snapshot_seq: last_snapshot.map(|(seq, _)| seq),
             last_snapshot_epoch: last_snapshot.map(|(_, epoch)| epoch),
+            timing: None,
         })
+    }
+
+    /// Attach I/O timing sinks (WAL append/fsync, snapshot writes).
+    pub fn set_timing(&mut self, timing: Arc<DurableTiming>) {
+        self.wal.set_timing(Arc::clone(&timing));
+        self.timing = Some(timing);
     }
 
     /// Recover a lineage from `dir`: load the newest valid session
@@ -346,6 +357,7 @@ impl<E: CheckpointEmbedder> DurableSession<E> {
                 last_seq,
                 last_snapshot_seq: snapshot_seq,
                 last_snapshot_epoch: snapshot_epoch,
+                timing: None,
             },
             report,
         ))
@@ -412,13 +424,19 @@ impl<E: CheckpointEmbedder> DurableSession<E> {
         // Everything the snapshot covers must be durable in the log
         // first, so a crash between here and the rename loses nothing.
         self.wal.sync()?;
-        let payload = encode_session_payload(&ckpt, self.session.embedding());
-        write_snapshot(
-            &self.dir,
-            self.last_seq,
-            ckpt.epoch,
-            PAYLOAD_SESSION,
-            &payload,
+        timed(
+            &self.timing,
+            |t| &t.snapshot_write,
+            || {
+                let payload = encode_session_payload(&ckpt, self.session.embedding());
+                write_snapshot(
+                    &self.dir,
+                    self.last_seq,
+                    ckpt.epoch,
+                    PAYLOAD_SESSION,
+                    &payload,
+                )
+            },
         )?;
         prune_snapshots(&self.dir, self.cfg.keep_snapshots)?;
         // Retain WAL back to the *oldest* kept snapshot, not the one

@@ -1,0 +1,88 @@
+//! Optional durability I/O timing: histograms attributing wall time to
+//! WAL appends, fsyncs, and snapshot freezes.
+//!
+//! The serving layer owns the metric registry; this crate only needs
+//! somewhere to record. A [`DurableTiming`] bundles the three handles
+//! and travels behind an `Option<Arc<..>>` — un-instrumented sessions
+//! pay one `Option` check per I/O call and nothing else.
+
+use glodyne_telemetry::Histogram;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Histogram sinks for durability I/O wall times (micros).
+#[derive(Debug, Clone)]
+pub struct DurableTiming {
+    /// One WAL record append (buffered write, not the fsync).
+    pub wal_append: Arc<Histogram>,
+    /// One WAL fsync (`sync_data`), whatever triggered it.
+    pub wal_fsync: Arc<Histogram>,
+    /// One snapshot freeze: serialize + write + fsync + rename.
+    pub snapshot_write: Arc<Histogram>,
+}
+
+/// Run `f`, recording its wall time into `timing`'s `pick`ed histogram
+/// when timing is attached — the shared shape of every instrumented
+/// I/O call in this crate.
+pub(crate) fn timed<T>(
+    timing: &Option<Arc<DurableTiming>>,
+    pick: impl Fn(&DurableTiming) -> &Histogram,
+    f: impl FnOnce() -> std::io::Result<T>,
+) -> std::io::Result<T> {
+    match timing {
+        None => f(),
+        Some(t) => {
+            let start = Instant::now();
+            let out = f();
+            pick(t).record_duration(start.elapsed());
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> Arc<DurableTiming> {
+        Arc::new(DurableTiming {
+            wal_append: Arc::new(Histogram::new()),
+            wal_fsync: Arc::new(Histogram::new()),
+            snapshot_write: Arc::new(Histogram::new()),
+        })
+    }
+
+    #[test]
+    fn timed_records_only_when_attached() {
+        let none: Option<Arc<DurableTiming>> = None;
+        timed(&none, |t| &t.wal_append, || Ok(())).unwrap();
+
+        let timing = fresh();
+        let some = Some(Arc::clone(&timing));
+        timed(
+            &some,
+            |t| &t.wal_append,
+            || {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(timing.wal_append.count(), 1);
+        assert!(timing.wal_append.sum() >= 1_000, "slept 1ms (micros)");
+        assert_eq!(timing.wal_fsync.count(), 0);
+    }
+
+    #[test]
+    fn timed_records_failures_too() {
+        let timing = fresh();
+        let some = Some(Arc::clone(&timing));
+        let err = timed(
+            &some,
+            |t| &t.wal_fsync,
+            || Err::<(), _>(std::io::Error::other("boom")),
+        );
+        assert!(err.is_err());
+        assert_eq!(timing.wal_fsync.count(), 1, "failed I/O still took time");
+    }
+}

@@ -26,11 +26,13 @@
 //! truncates the torn tail so the lineage can continue appending.
 
 use crate::crc::crc32;
+use crate::timing::{timed, DurableTiming};
 use glodyne_graph::state::{GraphEvent, GraphEventKind};
 use glodyne_graph::NodeId;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Magic bytes opening every WAL segment.
@@ -224,6 +226,7 @@ pub struct WalWriter {
     segments: u64,
     since_sync: u64,
     last_fsync: Option<Instant>,
+    timing: Option<Arc<DurableTiming>>,
 }
 
 impl WalWriter {
@@ -264,7 +267,14 @@ impl WalWriter {
             segments: existing.len() as u64 + 1,
             since_sync: 0,
             last_fsync: None,
+            timing: None,
         })
+    }
+
+    /// Attach I/O timing sinks: from now on every append and fsync
+    /// records its wall time.
+    pub fn set_timing(&mut self, timing: Arc<DurableTiming>) {
+        self.timing = Some(timing);
     }
 
     /// Append one event frame; rotates to a new segment first when the
@@ -295,7 +305,8 @@ impl WalWriter {
         if self.current_len >= self.segment_bytes {
             self.rotate(seq)?;
         }
-        self.file.write_all(&frame)?;
+        let timing = self.timing.clone();
+        timed(&timing, |t| &t.wal_append, || self.file.write_all(&frame))?;
         self.current_len += frame.len() as u64;
         self.total_bytes += frame.len() as u64;
         Ok(())
@@ -327,7 +338,7 @@ impl WalWriter {
     /// snapshots, shutdown — regardless of policy, except that `Off`
     /// honours explicit calls too: they are barriers, not policy).
     pub fn sync(&mut self) -> io::Result<()> {
-        self.file.sync_data()?;
+        timed(&self.timing, |t| &t.wal_fsync, || self.file.sync_data())?;
         self.since_sync = 0;
         self.last_fsync = Some(Instant::now());
         Ok(())

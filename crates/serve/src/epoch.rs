@@ -12,7 +12,10 @@
 use glodyne::StepReport;
 use glodyne_ann::IvfIndex;
 use glodyne_embed::Embedding;
-use std::sync::{Arc, PoisonError, RwLock};
+use glodyne_telemetry::Histogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, PoisonError, RwLock};
+use std::time::Instant;
 
 /// One node's ranked neighbour list — the unit every `nearest`
 /// surface returns.
@@ -115,6 +118,34 @@ impl EmbeddingEpoch {
 #[derive(Debug, Clone)]
 pub struct EpochHandle {
     current: Arc<RwLock<Arc<EmbeddingEpoch>>>,
+    freshness: Arc<Freshness>,
+}
+
+/// Publish-to-first-read freshness tracking, armed only when a
+/// telemetry histogram is attached. `pending` holds the nanoseconds
+/// (since `base`, offset by +1 so 0 means "nothing pending") of the
+/// last publish no reader has observed yet; the first `load` after a
+/// publish consumes it and records the lag. Lock-free on both sides —
+/// an un-instrumented handle pays one relaxed load per read.
+#[derive(Debug)]
+struct Freshness {
+    base: Instant,
+    pending: AtomicU64,
+    histogram: OnceLock<Arc<Histogram>>,
+}
+
+impl Freshness {
+    fn new() -> Self {
+        Freshness {
+            base: Instant::now(),
+            pending: AtomicU64::new(0),
+            histogram: OnceLock::new(),
+        }
+    }
+
+    fn nanos_since_base(&self) -> u64 {
+        self.base.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
 }
 
 impl EpochHandle {
@@ -122,13 +153,33 @@ impl EpochHandle {
     pub fn new(initial: EmbeddingEpoch) -> Self {
         EpochHandle {
             current: Arc::new(RwLock::new(Arc::new(initial))),
+            freshness: Arc::new(Freshness::new()),
         }
+    }
+
+    /// Attach a freshness histogram: from now on, the lag between each
+    /// `publish` and the *first* `load` that observes it is recorded
+    /// (micros). One-shot — later calls are ignored.
+    pub fn set_freshness_histogram(&self, histogram: Arc<Histogram>) {
+        let _ = self.freshness.histogram.set(histogram);
     }
 
     /// The current epoch. The returned `Arc` stays valid (and
     /// unchanged) for as long as the caller holds it, regardless of
     /// how many epochs are published after.
     pub fn load(&self) -> Arc<EmbeddingEpoch> {
+        if self.freshness.pending.load(Ordering::Relaxed) != 0 {
+            let stamped = self.freshness.pending.swap(0, Ordering::Relaxed);
+            if stamped != 0 {
+                if let Some(hist) = self.freshness.histogram.get() {
+                    let lag_nanos = self
+                        .freshness
+                        .nanos_since_base()
+                        .saturating_sub(stamped - 1);
+                    hist.record(lag_nanos / 1_000);
+                }
+            }
+        }
         // A trainer panic while publishing poisons the lock; the stored
         // Arc is still a complete epoch, so serve it rather than
         // cascading the panic into every reader thread.
@@ -138,9 +189,24 @@ impl EpochHandle {
             .clone()
     }
 
+    /// The current epoch *without* consuming the freshness-lag stamp —
+    /// for background observers (the quality probe) whose reads must
+    /// not masquerade as a client's first sight of the epoch.
+    pub fn load_untracked(&self) -> Arc<EmbeddingEpoch> {
+        self.current
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
     /// Swap in a freshly trained epoch (trainer-side).
     pub fn publish(&self, epoch: EmbeddingEpoch) {
         *self.current.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(epoch);
+        if self.freshness.histogram.get().is_some() {
+            self.freshness
+                .pending
+                .store(self.freshness.nanos_since_base() + 1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -172,6 +238,35 @@ mod tests {
         assert_eq!(after.epoch, 1);
         assert_eq!(after.embedding.len(), 1);
         assert!(after.report.is_some());
+    }
+
+    #[test]
+    fn freshness_lag_is_recorded_on_first_read_only() {
+        let handle = EpochHandle::new(EmbeddingEpoch::initial(2));
+        let hist = Arc::new(Histogram::new());
+        handle.set_freshness_histogram(Arc::clone(&hist));
+
+        // Loads before any publish record nothing.
+        handle.load();
+        assert_eq!(hist.count(), 0);
+
+        handle.publish(EmbeddingEpoch::initial(2));
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        // A background observer (the probe) reads without consuming
+        // the pending stamp...
+        handle.load_untracked();
+        assert_eq!(hist.count(), 0, "untracked reads record nothing");
+        // ...so the first *client* read still measures the real lag.
+        handle.load();
+        assert_eq!(hist.count(), 1, "first read after publish records lag");
+        assert!(hist.sum() >= 2_000, "lag covers the 2ms gap (micros)");
+        handle.load();
+        handle.load();
+        assert_eq!(hist.count(), 1, "later reads of the same epoch do not");
+
+        handle.publish(EmbeddingEpoch::initial(2));
+        handle.load();
+        assert_eq!(hist.count(), 2, "each publish arms one measurement");
     }
 
     #[test]

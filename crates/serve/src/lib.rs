@@ -29,16 +29,22 @@
 pub mod epoch;
 pub mod error;
 pub mod json;
+pub mod probe;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod session;
 pub mod shard;
+pub mod telemetry;
 
 pub use epoch::{EmbeddingEpoch, EpochHandle};
 pub use error::ServeError;
+pub use probe::{probe_recall, ProbeSettings};
 pub use protocol::{ErrorKind, NearestMode, ProtocolError, Request};
 pub use queue::{FlushOutcome, IngestQueue};
 pub use server::{Server, ServerConfig};
 pub use session::{AnnSettings, AnnStats, DurabilityStats, ServeStats, ServingSession};
 pub use shard::{ShardEpochStats, ShardedSession};
+pub use telemetry::{
+    DurabilityTelemetry, ProbeTelemetry, ServeTelemetry, SlowQuery, TelemetryStats,
+};

@@ -16,6 +16,7 @@
 //! | `{"cmd":"ingest","events":[{"op":"remove_node","node":4,"t":9},...]}` | same |
 //! | `{"cmd":"flush"}` | `{"ok":true,"cmd":"flush","stepped":true,"epoch":3}` |
 //! | `{"cmd":"stats"}` | `{"ok":true,"cmd":"stats","epoch":3,"nodes":...,...}` |
+//! | `{"cmd":"metrics"}` | Prometheus text exposition (multi-line, **not** JSON; `unavailable` error when telemetry is off) |
 //! | `{"cmd":"shutdown"}` | `{"ok":true,"cmd":"shutdown"}` then the server drains and exits |
 //!
 //! Reads (`query`/`nearest`) are answered from the most recently
@@ -25,8 +26,10 @@
 use crate::json::{self, Json};
 use crate::queue::FlushOutcome;
 use crate::session::ServeStats;
+use crate::telemetry::TelemetryStats;
 use glodyne_graph::state::GraphEvent;
 use glodyne_graph::NodeId;
+use glodyne_telemetry::HistogramSnapshot;
 use std::fmt;
 
 /// Cap on one request line; longer lines are rejected with a
@@ -83,6 +86,10 @@ pub enum Request {
     Flush,
     /// Serving counters and the current epoch id.
     Stats,
+    /// Prometheus text exposition of every telemetry series. The only
+    /// non-JSON response in the protocol — raw multi-line text, so
+    /// `nc host port <<< '{"cmd":"metrics"}'` is a scrape.
+    Metrics,
     /// Graceful shutdown sentinel: stop accepting, stop the trainer.
     Shutdown,
 }
@@ -220,10 +227,11 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         "ingest" => parse_ingest(&value),
         "flush" => Ok(Request::Flush),
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(ProtocolError::bad(format!(
             "unknown cmd `{other}` (expected query, nearest, nearest_batch, ingest, flush, \
-             stats, or shutdown)"
+             stats, metrics, or shutdown)"
         ))),
     }
 }
@@ -540,6 +548,10 @@ pub fn stats_line(s: &ServeStats) -> String {
                 Json::Num(s.queue_capacity as f64),
             ),
             (
+                "queue_high_water".to_string(),
+                Json::Num(s.queue_high_water as f64),
+            ),
+            (
                 "events_accepted".to_string(),
                 Json::Num(s.events_accepted as f64),
             ),
@@ -632,8 +644,106 @@ pub fn stats_line(s: &ServeStats) -> String {
                     ]),
                 },
             ),
+            // Telemetry snapshot; null when the server runs without
+            // instrumentation, so a pre-telemetry client that never
+            // reads the key parses the response unchanged.
+            (
+                "telemetry".to_string(),
+                match &s.telemetry {
+                    None => Json::Null,
+                    Some(t) => telemetry_json(t),
+                },
+            ),
         ],
     )
+}
+
+/// Histogram snapshot as a JSON object (all micros).
+fn hist_json(h: &HistogramSnapshot) -> Json {
+    Json::Obj(vec![
+        ("count".to_string(), Json::Num(h.count as f64)),
+        ("sum".to_string(), Json::Num(h.sum as f64)),
+        ("max".to_string(), Json::Num(h.max as f64)),
+        ("p50".to_string(), Json::Num(h.p50 as f64)),
+        ("p90".to_string(), Json::Num(h.p90 as f64)),
+        ("p99".to_string(), Json::Num(h.p99 as f64)),
+    ])
+}
+
+/// The `"telemetry"` object of the `stats` response.
+fn telemetry_json(t: &TelemetryStats) -> Json {
+    Json::Obj(vec![
+        ("queue_depth".to_string(), Json::Num(t.queue_depth as f64)),
+        (
+            "queue_high_water".to_string(),
+            Json::Num(t.queue_high_water as f64),
+        ),
+        ("queue_wait_us".to_string(), hist_json(&t.queue_wait)),
+        (
+            "wire_latency_us".to_string(),
+            Json::Obj(
+                t.wire
+                    .iter()
+                    .map(|(cmd, h)| ((*cmd).to_string(), hist_json(h)))
+                    .collect(),
+            ),
+        ),
+        (
+            "stage_us".to_string(),
+            Json::Obj(
+                t.stages
+                    .iter()
+                    .map(|(stage, h)| ((*stage).to_string(), hist_json(h)))
+                    .collect(),
+            ),
+        ),
+        ("freshness_lag_us".to_string(), hist_json(&t.freshness)),
+        (
+            "durability".to_string(),
+            match &t.durability {
+                None => Json::Null,
+                Some(d) => Json::Obj(vec![
+                    ("wal_append_us".to_string(), hist_json(&d.wal_append)),
+                    ("wal_fsync_us".to_string(), hist_json(&d.wal_fsync)),
+                    (
+                        "snapshot_write_us".to_string(),
+                        hist_json(&d.snapshot_write),
+                    ),
+                ]),
+            },
+        ),
+        (
+            "probe".to_string(),
+            match &t.probe {
+                None => Json::Null,
+                Some(p) => Json::Obj(vec![
+                    (
+                        "recall".to_string(),
+                        Json::Num(p.recall_bp as f64 / 10_000.0),
+                    ),
+                    ("k".to_string(), Json::Num(p.k as f64)),
+                    ("runs".to_string(), Json::Num(p.runs as f64)),
+                    ("latency_us".to_string(), hist_json(&p.latency)),
+                ]),
+            },
+        ),
+        (
+            "slow_queries".to_string(),
+            Json::Arr(
+                t.slow
+                    .iter()
+                    .map(|q| {
+                        Json::Obj(vec![
+                            ("cmd".to_string(), Json::Str(q.cmd.to_string())),
+                            ("nodes".to_string(), Json::Num(q.nodes as f64)),
+                            ("epoch".to_string(), Json::Num(q.epoch as f64)),
+                            ("micros".to_string(), Json::Num(q.micros as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 /// Render a successful `shutdown` acknowledgement.
@@ -828,10 +938,12 @@ mod tests {
             dim: 8,
             queue_depth: 0,
             queue_capacity: 16,
+            queue_high_water: 0,
             events_accepted: 5,
             ann: None,
             shards: None,
             durability: None,
+            telemetry: None,
         };
         assert!(stats_line(&base).contains(r#""ann":null"#));
         let with_ann = ServeStats {
@@ -942,10 +1054,12 @@ mod tests {
             dim: 8,
             queue_depth: 1,
             queue_capacity: 16,
+            queue_high_water: 4,
             events_accepted: 9,
             ann: None,
             shards: None,
             durability: None,
+            telemetry: None,
         };
         // Regression: an unsharded server renders "shards":null and
         // every pre-sharding field exactly as before, so a client
@@ -1009,10 +1123,12 @@ mod tests {
             dim: 8,
             queue_depth: 0,
             queue_capacity: 16,
+            queue_high_water: 0,
             events_accepted: 3,
             ann: None,
             shards: None,
             durability: None,
+            telemetry: None,
         };
         // Regression: an in-memory server renders "durability":null
         // and every pre-durability field exactly as before, so a
@@ -1060,5 +1176,98 @@ mod tests {
             "{line}"
         );
         json::parse(&line).unwrap();
+    }
+
+    #[test]
+    fn metrics_command_parses() {
+        assert_eq!(
+            parse_request(r#"{"cmd":"metrics"}"#).unwrap(),
+            Request::Metrics
+        );
+        // The unknown-cmd hint names the new op.
+        let err = parse_request(r#"{"cmd":"warp"}"#).unwrap_err();
+        assert!(err.message.contains("metrics"), "{err}");
+    }
+
+    #[test]
+    fn stats_telemetry_object_and_pre_telemetry_compatibility() {
+        let base = ServeStats {
+            epoch: 2,
+            nodes: 6,
+            dim: 8,
+            queue_depth: 1,
+            queue_capacity: 16,
+            queue_high_water: 5,
+            events_accepted: 7,
+            ann: None,
+            shards: None,
+            durability: None,
+            telemetry: None,
+        };
+        // Regression (wire compat): with telemetry disabled the
+        // response renders "telemetry":null and every pre-telemetry
+        // field exactly as before, so an older client parses it
+        // unchanged.
+        let line = stats_line(&base);
+        assert!(line.contains(r#""telemetry":null"#), "{line}");
+        assert!(line.contains(r#""queue_high_water":5"#), "{line}");
+        let parsed = json::parse(&line).unwrap();
+        for key in [
+            "epoch",
+            "nodes",
+            "dim",
+            "queue_depth",
+            "queue_capacity",
+            "events_accepted",
+            "ann",
+            "shards",
+            "durability",
+        ] {
+            assert!(
+                parsed.get(key).is_some(),
+                "pre-telemetry field {key}: {line}"
+            );
+        }
+        assert_eq!(parsed.get("telemetry"), Some(&Json::Null));
+
+        // An instrumented server inlines the full snapshot.
+        let hub = crate::telemetry::ServeTelemetry::new(100);
+        hub.observe_request("nearest", 1, 2, 250);
+        let _timing = hub.durable_timing();
+        let instrumented = ServeStats {
+            telemetry: Some(hub.stats(1, 5)),
+            ..base
+        };
+        let line = stats_line(&instrumented);
+        let parsed = json::parse(&line).unwrap();
+        let t = parsed.get("telemetry").expect("telemetry object");
+        assert!(t.get("queue_wait_us").is_some(), "{line}");
+        assert!(t.get("freshness_lag_us").is_some(), "{line}");
+        assert!(
+            t.get("wire_latency_us")
+                .and_then(|w| w.get("nearest"))
+                .and_then(|h| h.get("count"))
+                .and_then(Json::as_u64)
+                == Some(1),
+            "{line}"
+        );
+        assert!(
+            t.get("stage_us").and_then(|s| s.get("train")).is_some(),
+            "{line}"
+        );
+        assert!(
+            t.get("durability")
+                .and_then(|d| d.get("wal_fsync_us"))
+                .is_some(),
+            "{line}"
+        );
+        assert_eq!(t.get("probe"), Some(&Json::Null), "no probe attached");
+        // The over-threshold request landed in the slow ring.
+        let slow = t.get("slow_queries").and_then(Json::as_arr).unwrap();
+        assert_eq!(slow.len(), 1, "{line}");
+        assert!(
+            slow[0].get("micros").and_then(Json::as_u64) == Some(250),
+            "{line}"
+        );
     }
 }

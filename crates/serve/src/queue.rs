@@ -10,9 +10,11 @@
 
 use crate::error::ServeError;
 use glodyne_graph::state::GraphEvent;
+use glodyne_telemetry::Histogram;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// What the trainer sees on its inbox.
 pub(crate) enum TrainerMsg {
@@ -20,7 +22,13 @@ pub(crate) enum TrainerMsg {
     /// number: `0` on non-durable and unsharded-durable sessions
     /// (the trainer assigns its own), the client event's sequence on
     /// sharded-durable sessions (every lineage logs the same number).
-    Event { seq: u64, event: GraphEvent },
+    /// `queued` stamps enqueue time so the trainer can attribute queue
+    /// wait to telemetry.
+    Event {
+        seq: u64,
+        event: GraphEvent,
+        queued: Instant,
+    },
     /// Commit now; reply with the outcome on the enclosed channel.
     Flush(mpsc::Sender<FlushOutcome>),
     /// Durable barrier: freeze a snapshot stamped with this sequence
@@ -45,6 +53,7 @@ pub struct FlushOutcome {
 pub struct IngestQueue {
     tx: SyncSender<TrainerMsg>,
     depth: Arc<AtomicUsize>,
+    high_water: Arc<AtomicUsize>,
     accepted: Arc<AtomicU64>,
     capacity: usize,
 }
@@ -53,20 +62,35 @@ pub struct IngestQueue {
 pub(crate) struct TrainerInbox {
     rx: Receiver<TrainerMsg>,
     depth: Arc<AtomicUsize>,
+    /// When present, each popped event's time-in-queue is recorded
+    /// here (micros between enqueue and the trainer picking it up).
+    wait: Option<Arc<Histogram>>,
 }
 
-/// A bounded queue of `capacity` in-flight messages.
+/// A bounded queue of `capacity` in-flight messages (tests; production
+/// paths go through [`bounded_instrumented`], possibly with no sink).
+#[cfg(test)]
 pub(crate) fn bounded(capacity: usize) -> (IngestQueue, TrainerInbox) {
+    bounded_instrumented(capacity, None)
+}
+
+/// [`bounded`] with an optional queue-wait histogram attached to the
+/// trainer side.
+pub(crate) fn bounded_instrumented(
+    capacity: usize,
+    wait: Option<Arc<Histogram>>,
+) -> (IngestQueue, TrainerInbox) {
     let (tx, rx) = mpsc::sync_channel(capacity.max(1));
     let depth = Arc::new(AtomicUsize::new(0));
     (
         IngestQueue {
             tx,
             depth: Arc::clone(&depth),
+            high_water: Arc::new(AtomicUsize::new(0)),
             accepted: Arc::new(AtomicU64::new(0)),
             capacity: capacity.max(1),
         },
-        TrainerInbox { rx, depth },
+        TrainerInbox { rx, depth, wait },
     )
 }
 
@@ -81,8 +105,15 @@ impl IngestQueue {
     /// sequence number (sharded-durable ingest, where the router
     /// assigns one client sequence across every lineage).
     pub(crate) fn send_event_seq(&self, seq: u64, event: GraphEvent) -> Result<(), ServeError> {
-        self.depth.fetch_add(1, Ordering::Relaxed);
-        match self.tx.send(TrainerMsg::Event { seq, event }) {
+        let depth = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        // The high-water mark survives between polls: back-pressure
+        // incidents show up in `stats` even after the queue drains.
+        self.high_water.fetch_max(depth, Ordering::Relaxed);
+        match self.tx.send(TrainerMsg::Event {
+            seq,
+            event,
+            queued: Instant::now(),
+        }) {
             Ok(()) => {
                 self.accepted.fetch_add(1, Ordering::Relaxed);
                 Ok(())
@@ -124,6 +155,12 @@ impl IngestQueue {
         self.depth.load(Ordering::Relaxed)
     }
 
+    /// The deepest the queue has ever been (back-pressure high-water
+    /// mark; never resets).
+    pub fn depth_high_water(&self) -> usize {
+        self.high_water.load(Ordering::Relaxed)
+    }
+
     /// The queue's bound.
     pub fn capacity(&self) -> usize {
         self.capacity
@@ -139,8 +176,11 @@ impl TrainerInbox {
     /// Next message, or `None` when every producer handle is gone.
     pub(crate) fn recv(&self) -> Option<TrainerMsg> {
         let msg = self.rx.recv().ok()?;
-        if matches!(msg, TrainerMsg::Event { .. }) {
+        if let TrainerMsg::Event { queued, .. } = &msg {
             self.depth.fetch_sub(1, Ordering::Relaxed);
+            if let Some(wait) = &self.wait {
+                wait.record_duration(queued.elapsed());
+            }
         }
         Some(msg)
     }
@@ -166,6 +206,37 @@ mod tests {
         assert!(matches!(inbox.recv(), Some(TrainerMsg::Event { .. })));
         assert_eq!(q.depth(), 1);
         assert_eq!(q.accepted(), 2, "accepted is cumulative");
+    }
+
+    #[test]
+    fn high_water_mark_outlives_the_drain() {
+        let (q, inbox) = bounded(8);
+        q.send_event(ev(0)).unwrap();
+        q.send_event(ev(1)).unwrap();
+        q.send_event(ev(2)).unwrap();
+        assert_eq!(q.depth_high_water(), 3);
+        for _ in 0..3 {
+            inbox.recv();
+        }
+        assert_eq!(q.depth(), 0, "queue drained");
+        assert_eq!(
+            q.depth_high_water(),
+            3,
+            "high-water mark records the back-pressure peak after the fact"
+        );
+        q.send_event(ev(3)).unwrap();
+        assert_eq!(q.depth_high_water(), 3, "shallower refills don't move it");
+    }
+
+    #[test]
+    fn instrumented_inbox_records_queue_wait() {
+        let wait = Arc::new(Histogram::new());
+        let (q, inbox) = bounded_instrumented(8, Some(Arc::clone(&wait)));
+        q.send_event(ev(0)).unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+        inbox.recv();
+        assert_eq!(wait.count(), 1);
+        assert!(wait.sum() >= 2_000, "waited at least the slept 2ms");
     }
 
     #[test]

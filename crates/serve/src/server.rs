@@ -14,11 +14,14 @@
 //! their clients disconnect — reads still work off the final epoch,
 //! writes get structured `shutting_down` errors.
 
+use crate::epoch::EmbeddingEpoch;
 use crate::error::ServeError;
+use crate::probe::{run_probe_round, ProbeSettings};
 use crate::protocol::{self, ErrorKind, NearestMode, ProtocolError, Request};
 use crate::queue::FlushOutcome;
 use crate::session::{AnnSettings, ServeStats, ServingSession};
 use crate::shard::ShardedSession;
+use crate::telemetry::ServeTelemetry;
 use glodyne::{EmbedderSession, EpochPolicy};
 use glodyne_durable::{DurableConfig, DurableSession};
 use glodyne_embed::traits::CheckpointEmbedder;
@@ -32,6 +35,7 @@ use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
 
 /// Tunables for [`Server::bind`].
 #[derive(Debug, Clone)]
@@ -46,6 +50,20 @@ pub struct ServerConfig {
     /// `"mode":"ann"` on `nearest`; without it ANN requests get an
     /// `unavailable` error.
     pub ann: Option<AnnSettings>,
+    /// Instrument the whole serving path (wire latency, queue wait,
+    /// trainer stages, freshness lag, durability I/O): `stats` gains a
+    /// `"telemetry"` object and the `metrics` op exposes Prometheus
+    /// text. Off by default — the un-instrumented hot path records
+    /// nothing.
+    pub telemetry: bool,
+    /// Run the background quality probe (requires `telemetry` *and*
+    /// ANN): every `period_ms` it samples live nodes from the published
+    /// epoch and measures ANN recall@k against the exact scan. Silently
+    /// idle when ANN is off — there is nothing approximate to measure.
+    pub probe: Option<ProbeSettings>,
+    /// Requests at or above this wall time (micros) land in the
+    /// telemetry slow-query ring.
+    pub slow_query_us: u64,
 }
 
 impl Default for ServerConfig {
@@ -55,7 +73,19 @@ impl Default for ServerConfig {
             max_line_bytes: protocol::MAX_LINE_BYTES,
             queue_capacity: crate::session::DEFAULT_QUEUE_CAPACITY,
             ann: None,
+            telemetry: false,
+            probe: None,
+            slow_query_us: crate::telemetry::DEFAULT_SLOW_THRESHOLD_US,
         }
+    }
+}
+
+impl ServerConfig {
+    /// Build the telemetry hub this config asks for (`None` when
+    /// telemetry is off).
+    fn hub(&self) -> Option<Arc<ServeTelemetry>> {
+        self.telemetry
+            .then(|| Arc::new(ServeTelemetry::new(self.slow_query_us)))
     }
 }
 
@@ -203,6 +233,40 @@ impl Backend {
         }
     }
 
+    fn telemetry(&self) -> Option<&Arc<ServeTelemetry>> {
+        match self {
+            Backend::Single(s) => s.telemetry(),
+            Backend::Sharded(s) => s.telemetry(),
+        }
+    }
+
+    fn ann(&self) -> Option<AnnSettings> {
+        match self {
+            Backend::Single(s) => s.ann(),
+            Backend::Sharded(s) => s.ann(),
+        }
+    }
+
+    /// Every served epoch without consuming the freshness-lag stamps
+    /// (one on unsharded servers, one per shard otherwise).
+    fn probe_epochs(&self) -> Vec<Arc<EmbeddingEpoch>> {
+        match self {
+            Backend::Single(s) => vec![s.probe_epoch()],
+            Backend::Sharded(s) => s.probe_epochs(),
+        }
+    }
+
+    /// The epoch id a slow-query entry is attributed to (the max over
+    /// shards in sharded mode). Untracked read — attribution must not
+    /// eat a freshness measurement.
+    fn epoch_id(&self) -> u64 {
+        self.probe_epochs()
+            .iter()
+            .map(|e| e.epoch)
+            .max()
+            .unwrap_or(0)
+    }
+
     fn stop(&self) {
         match self {
             Backend::Single(s) => s.shutdown(),
@@ -217,6 +281,7 @@ pub struct Server {
     backend: Arc<Backend>,
     shutdown: Arc<AtomicBool>,
     accept: Option<JoinHandle<u64>>,
+    probe: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -238,7 +303,7 @@ impl Server {
             settings.validate().map_err(ServeError::Config)?;
         }
         let backend = Backend::Single(
-            ServingSession::spawn_with_ann(session, cfg.queue_capacity, cfg.ann)
+            ServingSession::spawn_instrumented(session, cfg.queue_capacity, cfg.ann, cfg.hub())
                 .map_err(ServeError::Config)?,
         );
         Server::bind_backend(backend, addr, &cfg)
@@ -260,8 +325,14 @@ impl Server {
         E: DynamicEmbedder + Send + 'static,
     {
         let backend = Backend::Sharded(
-            ShardedSession::spawn_with_ann(sessions, shard_cfg, cfg.queue_capacity, cfg.ann)
-                .map_err(ServeError::Config)?,
+            ShardedSession::spawn_instrumented(
+                sessions,
+                shard_cfg,
+                cfg.queue_capacity,
+                cfg.ann,
+                cfg.hub(),
+            )
+            .map_err(ServeError::Config)?,
         );
         Server::bind_backend(backend, addr, &cfg)
     }
@@ -283,8 +354,14 @@ impl Server {
         E: CheckpointEmbedder + Send + 'static,
     {
         let backend = Backend::Single(
-            ServingSession::spawn_durable(durable, recovered_from, cfg.queue_capacity, cfg.ann)
-                .map_err(ServeError::Config)?,
+            ServingSession::spawn_durable_instrumented(
+                durable,
+                recovered_from,
+                cfg.queue_capacity,
+                cfg.ann,
+                cfg.hub(),
+            )
+            .map_err(ServeError::Config)?,
         );
         Server::bind_backend(backend, addr, &cfg)
     }
@@ -307,7 +384,7 @@ impl Server {
         E: CheckpointEmbedder + Send + 'static,
         F: Fn(usize) -> E,
     {
-        let (session, recovered) = ShardedSession::spawn_durable(
+        let (session, recovered) = ShardedSession::spawn_durable_instrumented(
             dir,
             shard_cfg,
             durable_cfg,
@@ -315,6 +392,7 @@ impl Server {
             cfg.queue_capacity,
             cfg.ann,
             make_embedder,
+            cfg.hub(),
         )
         .map_err(ServeError::Durability)?;
         let server = Server::bind_backend(Backend::Sharded(session), addr, &cfg)?;
@@ -326,6 +404,9 @@ impl Server {
         addr: &str,
         cfg: &ServerConfig,
     ) -> Result<Server, ServeError> {
+        if let Some(settings) = &cfg.probe {
+            settings.validate().map_err(ServeError::Config)?;
+        }
         let listener = TcpListener::bind(addr).map_err(|source| ServeError::Bind {
             addr: addr.to_string(),
             source,
@@ -383,12 +464,49 @@ impl Server {
                 })
                 .expect("spawn accept thread")
         };
+        let probe = Server::spawn_probe(&serving, &shutdown, cfg.probe);
         Ok(Server {
             addr: local,
             backend: serving,
             shutdown,
             accept: Some(accept),
+            probe,
         })
+    }
+
+    /// Start the background quality probe when telemetry, probe
+    /// settings, and ANN are all present. The probe only ever clones
+    /// published epoch `Arc`s — the same read path queries take — so a
+    /// round in flight never blocks the trainer or a request.
+    fn spawn_probe(
+        serving: &Arc<Backend>,
+        shutdown: &Arc<AtomicBool>,
+        settings: Option<ProbeSettings>,
+    ) -> Option<JoinHandle<()>> {
+        let settings = settings?;
+        let telemetry = Arc::clone(serving.telemetry()?);
+        // Without an index there is nothing approximate to measure.
+        let nprobe = serving.ann()?.default_nprobe;
+        telemetry.set_probe_k(settings.k);
+        let serving = Arc::clone(serving);
+        let shutdown = Arc::clone(shutdown);
+        let handle = thread::Builder::new()
+            .name("glodyne-probe".into())
+            .spawn(move || {
+                while !shutdown.load(Ordering::SeqCst) {
+                    run_probe_round(&serving.probe_epochs(), &settings, nprobe, &telemetry);
+                    // Sleep in short slices so shutdown stays prompt
+                    // even with a long probe period.
+                    let mut left = settings.period_ms;
+                    while left > 0 && !shutdown.load(Ordering::SeqCst) {
+                        let chunk = left.min(50);
+                        thread::sleep(Duration::from_millis(chunk));
+                        left -= chunk;
+                    }
+                }
+            })
+            .expect("spawn probe thread");
+        Some(handle)
     }
 
     /// The bound address (useful with port 0).
@@ -433,6 +551,9 @@ impl Server {
             Some(handle) => handle.join().unwrap_or(0),
             None => 0,
         };
+        if let Some(handle) = self.probe.take() {
+            let _ = handle.join();
+        }
         self.backend.stop();
         served
     }
@@ -442,6 +563,9 @@ impl Drop for Server {
     fn drop(&mut self) {
         if let Some(handle) = self.accept.take() {
             self.request_shutdown();
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.probe.take() {
             let _ = handle.join();
         }
         self.backend.stop();
@@ -624,7 +748,18 @@ fn handle_connection(
             }
         };
         let wants_shutdown = request == Request::Shutdown;
-        respond(&mut writer, &dispatch(request, serving, shutdown))?;
+        let wire = wire_command(&request);
+        let started = Instant::now();
+        let response = dispatch(request, serving, shutdown);
+        if let (Some(telemetry), Some((cmd, nodes))) = (serving.telemetry(), wire) {
+            telemetry.observe_request(
+                cmd,
+                nodes,
+                serving.epoch_id(),
+                started.elapsed().as_micros().min(u64::MAX as u128) as u64,
+            );
+        }
+        respond(&mut writer, &response)?;
         if wants_shutdown {
             initiate_shutdown(shutdown, local);
             return Ok(());
@@ -707,7 +842,34 @@ fn dispatch(request: Request, serving: &Backend, shutdown: &AtomicBool) -> Strin
             }
         }
         Request::Stats => protocol::stats_line(&serving.stats()),
+        Request::Metrics => match serving.telemetry() {
+            Some(telemetry) => {
+                // `stats()` refreshes the queue gauges as a side effect
+                // of snapshotting telemetry, so the scrape sees live
+                // depth/high-water values.
+                let _ = serving.stats();
+                telemetry.render_prometheus().trim_end().to_string()
+            }
+            None => protocol::error_line(&ProtocolError {
+                kind: ErrorKind::Unavailable,
+                message: "telemetry is not enabled on this server (start with --telemetry)".into(),
+            }),
+        },
         Request::Shutdown => protocol::shutdown_line(),
+    }
+}
+
+/// The telemetry name and touched-node count of a request, `None` for
+/// ops without a wire-latency series (`metrics` itself, `shutdown`).
+fn wire_command(request: &Request) -> Option<(&'static str, usize)> {
+    match request {
+        Request::Query { .. } => Some(("query", 1)),
+        Request::Nearest { .. } => Some(("nearest", 1)),
+        Request::NearestBatch { nodes, .. } => Some(("nearest_batch", nodes.len())),
+        Request::Ingest { events } => Some(("ingest", events.len())),
+        Request::Flush => Some(("flush", 0)),
+        Request::Stats => Some(("stats", 0)),
+        Request::Metrics | Request::Shutdown => None,
     }
 }
 

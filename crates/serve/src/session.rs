@@ -18,7 +18,8 @@
 
 use crate::epoch::{EmbeddingEpoch, EpochHandle};
 use crate::error::ServeError;
-use crate::queue::{bounded, FlushOutcome, IngestQueue, TrainerInbox, TrainerMsg};
+use crate::queue::{bounded_instrumented, FlushOutcome, IngestQueue, TrainerInbox, TrainerMsg};
+use crate::telemetry::{ServeTelemetry, TelemetryStats, TrainerStages};
 use glodyne::EmbedderSession;
 use glodyne_ann::{IvfConfig, IvfIndex, StorageMode};
 use glodyne_durable::{DurabilityCounters, DurableSession};
@@ -166,6 +167,11 @@ pub struct ServeStats {
     pub queue_depth: usize,
     /// The ingest queue's bound (per shard when sharded).
     pub queue_capacity: usize,
+    /// The deepest the ingest queue has ever been (back-pressure
+    /// high-water mark — the instantaneous `queue_depth` misses
+    /// incidents that drained before the poll; this doesn't). Sharded
+    /// sessions report the maximum across shards.
+    pub queue_high_water: usize,
     /// Events accepted since the session was spawned (client events,
     /// not per-shard mirror copies).
     pub events_accepted: u64,
@@ -179,6 +185,10 @@ pub struct ServeStats {
     /// Durability counters; `None` when serving in-memory (rendered
     /// `"durability":null`, invisible to pre-durability clients).
     pub durability: Option<DurabilityStats>,
+    /// Full telemetry snapshot; `None` when telemetry is disabled
+    /// (rendered `"telemetry":null` on the wire, invisible to
+    /// pre-telemetry clients).
+    pub telemetry: Option<TelemetryStats>,
 }
 
 /// The concurrent wrapper around a moved-away `EmbedderSession`.
@@ -191,6 +201,7 @@ pub struct ServingSession {
     trainer: Mutex<Option<JoinHandle<()>>>,
     ann: Option<AnnSettings>,
     durability: Option<Arc<DurabilityShared>>,
+    telemetry: Option<Arc<ServeTelemetry>>,
 }
 
 impl ServingSession {
@@ -223,6 +234,24 @@ impl ServingSession {
     where
         E: DynamicEmbedder + Send + 'static,
     {
+        ServingSession::spawn_instrumented(session, queue_capacity, ann, None)
+    }
+
+    /// Like [`ServingSession::spawn_with_ann`], additionally wiring
+    /// every pipeline stage into `telemetry` when present: queue wait
+    /// and depth, trainer step phases, index build time, and the
+    /// epoch publish-to-first-read freshness lag. All recording is
+    /// wait-free; a `None` telemetry spawns an identical un-instrumented
+    /// session.
+    pub fn spawn_instrumented<E>(
+        session: EmbedderSession<E>,
+        queue_capacity: usize,
+        ann: Option<AnnSettings>,
+        telemetry: Option<Arc<ServeTelemetry>>,
+    ) -> Result<ServingSession, ConfigError>
+    where
+        E: DynamicEmbedder + Send + 'static,
+    {
         if let Some(settings) = &ann {
             settings.validate()?;
         }
@@ -232,11 +261,18 @@ impl ServingSession {
             session.reports().last().copied(),
             ann.as_ref(),
         ));
-        let (queue, inbox) = bounded(queue_capacity);
+        let (queue, inbox) = bounded_instrumented(
+            queue_capacity,
+            telemetry.as_ref().map(|t| Arc::clone(&t.queue_wait)),
+        );
+        if let Some(t) = &telemetry {
+            epochs.set_freshness_histogram(Arc::clone(&t.freshness));
+        }
+        let stages = telemetry.as_ref().map(|t| t.trainer_stages());
         let publisher = epochs.clone();
         let trainer = thread::Builder::new()
             .name("glodyne-trainer".into())
-            .spawn(move || trainer_loop(session, inbox, publisher, ann))
+            .spawn(move || trainer_loop(session, inbox, publisher, ann, stages))
             .expect("spawn trainer thread");
         Ok(ServingSession {
             queue,
@@ -244,6 +280,7 @@ impl ServingSession {
             trainer: Mutex::new(Some(trainer)),
             ann,
             durability: None,
+            telemetry,
         })
     }
 
@@ -264,8 +301,33 @@ impl ServingSession {
     where
         E: CheckpointEmbedder + Send + 'static,
     {
+        ServingSession::spawn_durable_instrumented(
+            durable,
+            recovered_from,
+            queue_capacity,
+            ann,
+            None,
+        )
+    }
+
+    /// [`ServingSession::spawn_durable`] with telemetry: everything
+    /// [`ServingSession::spawn_instrumented`] wires, plus WAL
+    /// append/fsync and snapshot write timings from the lineage.
+    pub fn spawn_durable_instrumented<E>(
+        mut durable: DurableSession<E>,
+        recovered_from: Option<String>,
+        queue_capacity: usize,
+        ann: Option<AnnSettings>,
+        telemetry: Option<Arc<ServeTelemetry>>,
+    ) -> Result<ServingSession, ConfigError>
+    where
+        E: CheckpointEmbedder + Send + 'static,
+    {
         if let Some(settings) = &ann {
             settings.validate()?;
+        }
+        if let Some(t) = &telemetry {
+            durable.set_timing(t.durable_timing());
         }
         let session = durable.session();
         let epochs = EpochHandle::new(build_epoch(
@@ -275,12 +337,19 @@ impl ServingSession {
             ann.as_ref(),
         ));
         let shared = Arc::new(DurabilityShared::new(durable.counters(), recovered_from));
-        let (queue, inbox) = bounded(queue_capacity);
+        let (queue, inbox) = bounded_instrumented(
+            queue_capacity,
+            telemetry.as_ref().map(|t| Arc::clone(&t.queue_wait)),
+        );
+        if let Some(t) = &telemetry {
+            epochs.set_freshness_histogram(Arc::clone(&t.freshness));
+        }
+        let stages = telemetry.as_ref().map(|t| t.trainer_stages());
         let publisher = epochs.clone();
         let gauge = Arc::clone(&shared);
         let trainer = thread::Builder::new()
             .name("glodyne-trainer".into())
-            .spawn(move || trainer_loop_durable(durable, inbox, publisher, ann, gauge))
+            .spawn(move || trainer_loop_durable(durable, inbox, publisher, ann, gauge, stages))
             .expect("spawn trainer thread");
         Ok(ServingSession {
             queue,
@@ -288,6 +357,7 @@ impl ServingSession {
             trainer: Mutex::new(Some(trainer)),
             ann,
             durability: Some(shared),
+            telemetry,
         })
     }
 
@@ -296,9 +366,20 @@ impl ServingSession {
         self.ann
     }
 
+    /// The session's telemetry hub, when instrumented.
+    pub fn telemetry(&self) -> Option<&Arc<ServeTelemetry>> {
+        self.telemetry.as_ref()
+    }
+
     /// The currently served epoch (frozen; see [`EpochHandle::load`]).
     pub fn epoch(&self) -> Arc<EmbeddingEpoch> {
         self.epochs.load()
+    }
+
+    /// The served epoch for background observers: same `Arc`, but the
+    /// freshness-lag stamp is left for the first *client* read.
+    pub fn probe_epoch(&self) -> Arc<EmbeddingEpoch> {
+        self.epochs.load_untracked()
     }
 
     /// The embedding vector of `node` in the served epoch, with the
@@ -392,6 +473,7 @@ impl ServingSession {
             dim: epoch.embedding.dim(),
             queue_depth: self.queue.depth(),
             queue_capacity: self.queue.capacity(),
+            queue_high_water: self.queue.depth_high_water(),
             events_accepted: self.queue.accepted(),
             ann: self.ann.as_ref().and_then(|settings| {
                 epoch.index.as_ref().map(|index| AnnStats {
@@ -404,6 +486,10 @@ impl ServingSession {
             }),
             shards: None,
             durability: self.durability.as_ref().map(|d| d.snapshot()),
+            telemetry: self
+                .telemetry
+                .as_ref()
+                .map(|t| t.stats(self.queue.depth(), self.queue.depth_high_water())),
         }
     }
 
@@ -442,6 +528,7 @@ pub(crate) fn trainer_loop<E: DynamicEmbedder>(
     inbox: TrainerInbox,
     epochs: EpochHandle,
     ann: Option<AnnSettings>,
+    stages: Option<TrainerStages>,
 ) {
     while let Some(msg) = inbox.recv() {
         match msg {
@@ -449,13 +536,13 @@ pub(crate) fn trainer_loop<E: DynamicEmbedder>(
                 // The policy may commit on its own (timestamp / every-n
                 // boundaries); publish whenever it does.
                 if session.apply(event) {
-                    publish(&session, &epochs, ann.as_ref());
+                    publish(&session, &epochs, ann.as_ref(), stages.as_ref());
                 }
             }
             TrainerMsg::Flush(ack) => {
                 let stepped = session.flush().is_some();
                 if stepped {
-                    publish(&session, &epochs, ann.as_ref());
+                    publish(&session, &epochs, ann.as_ref(), stages.as_ref());
                 }
                 let _ = ack.send(FlushOutcome {
                     stepped,
@@ -485,10 +572,11 @@ pub(crate) fn trainer_loop_durable<E: CheckpointEmbedder>(
     epochs: EpochHandle,
     ann: Option<AnnSettings>,
     shared: Arc<DurabilityShared>,
+    stages: Option<TrainerStages>,
 ) {
     while let Some(msg) = inbox.recv() {
         match msg {
-            TrainerMsg::Event { seq, event } => {
+            TrainerMsg::Event { seq, event, .. } => {
                 // Unsharded ingest sends seq 0: the lineage assigns its
                 // own. Sharded ingest stamps the router's client seq.
                 let seq = if seq == 0 {
@@ -499,7 +587,7 @@ pub(crate) fn trainer_loop_durable<E: CheckpointEmbedder>(
                 match durable.apply(seq, event) {
                     Ok(stepped) => {
                         if stepped {
-                            publish(durable.session(), &epochs, ann.as_ref());
+                            publish(durable.session(), &epochs, ann.as_ref(), stages.as_ref());
                             if let Err(e) = durable.maybe_snapshot() {
                                 eprintln!("glodyne-serve: snapshot failed: {e}");
                             }
@@ -517,7 +605,7 @@ pub(crate) fn trainer_loop_durable<E: CheckpointEmbedder>(
                     }
                 };
                 if stepped {
-                    publish(durable.session(), &epochs, ann.as_ref());
+                    publish(durable.session(), &epochs, ann.as_ref(), stages.as_ref());
                     if let Err(e) = durable.maybe_snapshot() {
                         eprintln!("glodyne-serve: snapshot failed: {e}");
                     }
@@ -541,7 +629,7 @@ pub(crate) fn trainer_loop_durable<E: CheckpointEmbedder>(
     if let Err(e) = durable.finalize() {
         eprintln!("glodyne-serve: finalize failed: {e}");
     }
-    publish(durable.session(), &epochs, ann.as_ref());
+    publish(durable.session(), &epochs, ann.as_ref(), stages.as_ref());
     shared.update(durable.counters());
 }
 
@@ -549,13 +637,20 @@ fn publish<E: DynamicEmbedder>(
     session: &EmbedderSession<E>,
     epochs: &EpochHandle,
     ann: Option<&AnnSettings>,
+    stages: Option<&TrainerStages>,
 ) {
-    epochs.publish(build_epoch(
+    let epoch = build_epoch(
         session.steps() as u64,
         session.embedding().clone(),
         session.reports().last().copied(),
         ann,
-    ));
+    );
+    // Stage attribution happens on the trainer thread, before the swap:
+    // by the time readers can see the epoch its cost is already booked.
+    if let Some(stages) = stages {
+        stages.record(epoch.report.as_ref(), epoch.index.as_ref());
+    }
+    epochs.publish(epoch);
 }
 
 /// Assemble one publishable epoch; the IVF build (when ANN is on)
@@ -711,8 +806,53 @@ mod tests {
         assert_eq!(stats.queue_capacity, 16);
         assert_eq!(stats.events_accepted, 5);
         assert_eq!(stats.queue_depth, 0, "flush drained the queue");
+        assert!(
+            stats.queue_high_water >= 1,
+            "the 5-event burst left a high-water mark"
+        );
         assert_eq!(stats.ann, None, "ann disabled by default");
         assert_eq!(stats.durability, None, "in-memory session has no lineage");
+        assert_eq!(stats.telemetry, None, "telemetry off by default");
+    }
+
+    #[test]
+    fn instrumented_session_records_stages_queue_and_freshness() {
+        let hub = Arc::new(ServeTelemetry::new(u64::MAX));
+        let serving = ServingSession::spawn_instrumented(
+            tiny_session(EpochPolicy::Manual),
+            16,
+            Some(AnnSettings {
+                config: IvfConfig {
+                    cells: 2,
+                    ..Default::default()
+                },
+                default_nprobe: 2,
+            }),
+            Some(Arc::clone(&hub)),
+        )
+        .unwrap();
+        serving.ingest(&chain_events(6, 0)).unwrap();
+        serving.flush().unwrap();
+        // First read after the publish books the freshness lag.
+        let _ = serving.query(NodeId(0));
+
+        let stats = serving.stats();
+        let t = stats.telemetry.expect("instrumented session");
+        assert!(t.queue_high_water >= 1);
+        assert!(
+            t.queue_wait.count >= 6,
+            "every queued event recorded its wait"
+        );
+        for stage in ["select", "walks", "train", "index_build"] {
+            let (_, h) = t.stages.iter().find(|(s, _)| *s == stage).unwrap();
+            assert!(h.count >= 1, "stage {stage} recorded on the trainer step");
+        }
+        assert!(t.freshness.count >= 1, "first read measured the lag");
+        assert_eq!(t.durability, None, "in-memory session");
+        // And the same numbers are scrapeable as Prometheus text.
+        let text = hub.render_prometheus();
+        assert!(text.contains("glodyne_stage_us_count{stage=\"train\"} "));
+        serving.shutdown();
     }
 
     fn durable_dir(tag: &str) -> std::path::PathBuf {

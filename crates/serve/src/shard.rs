@@ -31,11 +31,12 @@
 
 use crate::epoch::{EmbeddingEpoch, EpochHandle};
 use crate::error::ServeError;
-use crate::queue::{bounded, FlushOutcome, IngestQueue};
+use crate::queue::{bounded_instrumented, FlushOutcome, IngestQueue};
 use crate::session::{
     build_epoch, trainer_loop, trainer_loop_durable, AnnSettings, AnnStats, DurabilityShared,
     DurabilityStats, ServeStats,
 };
+use crate::telemetry::ServeTelemetry;
 use glodyne::{EmbedderSession, EpochPolicy};
 use glodyne_ann::{SearchScratch, StorageMode};
 use glodyne_durable::{
@@ -127,6 +128,8 @@ pub struct ShardedSession {
     accepted: AtomicU64,
     /// Durability lineages; `None` when serving in-memory.
     durable: Option<ShardedDurable>,
+    /// Metrics hub; `None` when telemetry is disabled.
+    telemetry: Option<Arc<ServeTelemetry>>,
 }
 
 impl ShardedSession {
@@ -157,6 +160,24 @@ impl ShardedSession {
     where
         E: DynamicEmbedder + Send + 'static,
     {
+        ShardedSession::spawn_instrumented(sessions, shard_cfg, queue_capacity, ann, None)
+    }
+
+    /// Like [`ShardedSession::spawn_with_ann`] with telemetry: each
+    /// shard's trainer records its step phases under a `shard="<i>"`
+    /// label (and into the global stage series), all queues share the
+    /// queue-wait histogram, and every shard's epoch handle feeds the
+    /// freshness-lag series.
+    pub fn spawn_instrumented<E>(
+        sessions: Vec<EmbedderSession<E>>,
+        shard_cfg: ShardConfig,
+        queue_capacity: usize,
+        ann: Option<AnnSettings>,
+        telemetry: Option<Arc<ServeTelemetry>>,
+    ) -> Result<ShardedSession, ConfigError>
+    where
+        E: DynamicEmbedder + Send + 'static,
+    {
         if let Some(settings) = &ann {
             settings.validate()?;
         }
@@ -177,11 +198,18 @@ impl ShardedSession {
                 session.reports().last().copied(),
                 ann.as_ref(),
             ));
-            let (queue, inbox) = bounded(queue_capacity);
+            let (queue, inbox) = bounded_instrumented(
+                queue_capacity,
+                telemetry.as_ref().map(|t| Arc::clone(&t.queue_wait)),
+            );
+            if let Some(t) = &telemetry {
+                epochs.set_freshness_histogram(Arc::clone(&t.freshness));
+            }
+            let stages = telemetry.as_ref().map(|t| t.shard_trainer_stages(i));
             let publisher = epochs.clone();
             let trainer = thread::Builder::new()
                 .name(format!("glodyne-trainer-{i}"))
-                .spawn(move || trainer_loop(session, inbox, publisher, ann))
+                .spawn(move || trainer_loop(session, inbox, publisher, ann, stages))
                 .expect("spawn shard trainer thread");
             shards.push(ShardHandle { queue, epochs });
             trainers.push(trainer);
@@ -194,6 +222,7 @@ impl ShardedSession {
             write_order: Mutex::new(()),
             accepted: AtomicU64::new(0),
             durable: None,
+            telemetry,
         })
     }
 
@@ -221,6 +250,37 @@ impl ShardedSession {
         queue_capacity: usize,
         ann: Option<AnnSettings>,
         make_embedder: F,
+    ) -> io::Result<(ShardedSession, Option<String>)>
+    where
+        E: CheckpointEmbedder + Send + 'static,
+        F: Fn(usize) -> E,
+    {
+        ShardedSession::spawn_durable_instrumented(
+            dir,
+            shard_cfg,
+            durable_cfg,
+            policy,
+            queue_capacity,
+            ann,
+            make_embedder,
+            None,
+        )
+    }
+
+    /// Like [`ShardedSession::spawn_durable`] with telemetry: on top of
+    /// the in-memory instrumentation, the router WAL and every shard's
+    /// durable lineage report append/fsync/snapshot wall times into the
+    /// shared durability histograms.
+    #[allow(clippy::too_many_arguments)]
+    pub fn spawn_durable_instrumented<E, F>(
+        dir: &Path,
+        shard_cfg: ShardConfig,
+        durable_cfg: DurableConfig,
+        policy: EpochPolicy,
+        queue_capacity: usize,
+        ann: Option<AnnSettings>,
+        make_embedder: F,
+        telemetry: Option<Arc<ServeTelemetry>>,
     ) -> io::Result<(ShardedSession, Option<String>)>
     where
         E: CheckpointEmbedder + Send + 'static,
@@ -369,16 +429,22 @@ impl ShardedSession {
             None => None,
         };
 
-        let wal = WalWriter::open(
+        let mut wal = WalWriter::open(
             &router_dir,
             last_seq + 1,
             durable_cfg.segment_bytes,
             durable_cfg.fsync,
         )?;
+        if let Some(t) = &telemetry {
+            wal.set_timing(t.durable_timing());
+        }
         let mut shards = Vec::with_capacity(durables.len());
         let mut trainers = Vec::with_capacity(durables.len());
         let mut gauges = Vec::with_capacity(durables.len());
-        for (i, durable) in durables.into_iter().enumerate() {
+        for (i, mut durable) in durables.into_iter().enumerate() {
+            if let Some(t) = &telemetry {
+                durable.set_timing(t.durable_timing());
+            }
             let session = durable.session();
             let epochs = EpochHandle::new(build_epoch(
                 session.steps() as u64,
@@ -387,12 +453,19 @@ impl ShardedSession {
                 ann.as_ref(),
             ));
             let gauge = Arc::new(DurabilityShared::new(durable.counters(), None));
-            let (queue, inbox) = bounded(queue_capacity);
+            let (queue, inbox) = bounded_instrumented(
+                queue_capacity,
+                telemetry.as_ref().map(|t| Arc::clone(&t.queue_wait)),
+            );
+            if let Some(t) = &telemetry {
+                epochs.set_freshness_histogram(Arc::clone(&t.freshness));
+            }
+            let stages = telemetry.as_ref().map(|t| t.shard_trainer_stages(i));
             let publisher = epochs.clone();
             let feed = Arc::clone(&gauge);
             let trainer = thread::Builder::new()
                 .name(format!("glodyne-trainer-{i}"))
-                .spawn(move || trainer_loop_durable(durable, inbox, publisher, ann, feed))
+                .spawn(move || trainer_loop_durable(durable, inbox, publisher, ann, feed, stages))
                 .expect("spawn shard trainer thread");
             shards.push(ShardHandle { queue, epochs });
             trainers.push(trainer);
@@ -406,6 +479,7 @@ impl ShardedSession {
                 ann,
                 write_order: Mutex::new(()),
                 accepted: AtomicU64::new(0),
+                telemetry,
                 durable: Some(ShardedDurable {
                     router_dir,
                     wal: Mutex::new(wal),
@@ -611,6 +685,16 @@ impl ShardedSession {
         self.shards.iter().map(|s| s.epochs.load()).collect()
     }
 
+    /// Every shard's served epoch for background observers: same
+    /// `Arc`s, but the freshness-lag stamps are left for the first
+    /// *client* reads.
+    pub fn probe_epochs(&self) -> Vec<Arc<EmbeddingEpoch>> {
+        self.shards
+            .iter()
+            .map(|s| s.epochs.load_untracked())
+            .collect()
+    }
+
     /// The embedding vector of `node` in its owner shard's served
     /// epoch, with that epoch's id (0 when the node has no owner).
     pub fn query(&self, node: NodeId) -> (u64, Option<Vec<f32>>) {
@@ -789,6 +873,14 @@ impl ShardedSession {
             dim: epochs.first().map_or(0, |e| e.embedding.dim()),
             queue_depth: per_shard.iter().map(|s| s.queue_depth).sum(),
             queue_capacity: self.shards.first().map_or(0, |s| s.queue.capacity()),
+            // The worst backlog any one shard ever saw — a summed
+            // high-water would mix moments that never coexisted.
+            queue_high_water: self
+                .shards
+                .iter()
+                .map(|s| s.queue.depth_high_water())
+                .max()
+                .unwrap_or(0),
             events_accepted: self.accepted.load(Ordering::Relaxed),
             ann: self.ann.as_ref().map(|settings| AnnStats {
                 cells: settings.config.cells,
@@ -836,7 +928,22 @@ impl ShardedSession {
                 }
                 agg
             }),
+            telemetry: self.telemetry.as_ref().map(|t| {
+                t.stats(
+                    self.shards.iter().map(|s| s.queue.depth()).sum(),
+                    self.shards
+                        .iter()
+                        .map(|s| s.queue.depth_high_water())
+                        .max()
+                        .unwrap_or(0),
+                )
+            }),
         }
+    }
+
+    /// The telemetry hub, when instrumentation is on.
+    pub fn telemetry(&self) -> Option<&Arc<ServeTelemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// Stop every trainer and wait for them. Idempotent; reads keep

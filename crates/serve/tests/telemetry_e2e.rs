@@ -1,0 +1,293 @@
+//! End-to-end telemetry over a real `TcpStream`: an instrumented
+//! server with ANN and the quality probe running, scraped via the
+//! `metrics` op and the `stats` telemetry object, while requests keep
+//! being served — the probe must never block the read or write path.
+
+use glodyne::IvfConfig;
+use glodyne::{EmbedderSession, EpochPolicy, GloDyNE, GloDyNEConfig};
+use glodyne_embed::walks::WalkConfig;
+use glodyne_embed::SgnsConfig;
+use glodyne_serve::json::Json;
+use glodyne_serve::{json, AnnSettings, ProbeSettings, Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn tiny_session() -> EmbedderSession<GloDyNE> {
+    let cfg = GloDyNEConfig {
+        alpha: 0.5,
+        walk: WalkConfig {
+            walks_per_node: 2,
+            walk_length: 8,
+            seed: 3,
+        },
+        sgns: SgnsConfig {
+            dim: 8,
+            window: 2,
+            negatives: 2,
+            epochs: 1,
+            parallel: false,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    EmbedderSession::new(GloDyNE::new(cfg).unwrap(), EpochPolicy::Manual).unwrap()
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn round_trip(&mut self, request: &str) -> Json {
+        self.writer.write_all(request.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        self.writer.flush().unwrap();
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read response");
+        json::parse(line.trim_end()).unwrap_or_else(|e| panic!("bad response {line:?}: {e}"))
+    }
+
+    /// Scrape the `metrics` op. The exposition is raw multi-line text
+    /// with no terminator, so pipeline a `stats` request behind it and
+    /// collect lines until the stats response arrives.
+    fn scrape_metrics(&mut self) -> String {
+        self.writer
+            .write_all(b"{\"cmd\":\"metrics\"}\n{\"cmd\":\"stats\"}\n")
+            .unwrap();
+        self.writer.flush().unwrap();
+        let mut text = String::new();
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("read exposition");
+            if line.starts_with(r#"{"ok":true,"cmd":"stats""#) {
+                return text;
+            }
+            text.push_str(&line);
+        }
+    }
+}
+
+fn is_ok(v: &Json) -> bool {
+    v.get("ok") == Some(&Json::Bool(true))
+}
+
+fn instrumented_config() -> ServerConfig {
+    ServerConfig {
+        ann: Some(AnnSettings {
+            config: IvfConfig {
+                cells: 4,
+                ..Default::default()
+            },
+            default_nprobe: 4,
+        }),
+        telemetry: true,
+        probe: Some(ProbeSettings {
+            period_ms: 5,
+            k: 5,
+            sample: 8,
+            seed: 42,
+        }),
+        slow_query_us: 0, // every request is "slow": exercises the ring
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn metrics_without_telemetry_is_unavailable() {
+    let server = Server::bind(tiny_session(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr());
+    let resp = client.round_trip(r#"{"cmd":"metrics"}"#);
+    assert!(!is_ok(&resp));
+    assert_eq!(resp.get("kind").and_then(Json::as_str), Some("unavailable"));
+    // The stats object renders "telemetry":null — pre-telemetry wire
+    // compatibility on a live server.
+    let stats = client.round_trip(r#"{"cmd":"stats"}"#);
+    assert_eq!(stats.get("telemetry"), Some(&Json::Null), "{stats}");
+    assert!(stats.get("queue_high_water").is_some(), "{stats}");
+    client.round_trip(r#"{"cmd":"shutdown"}"#);
+    server.join();
+}
+
+#[test]
+fn instrumented_server_probes_scrapes_and_never_blocks() {
+    let server = Server::bind(tiny_session(), "127.0.0.1:0", instrumented_config()).unwrap();
+    let mut client = Client::connect(server.local_addr());
+
+    // Two 6-cliques + bridge: clustered enough for the IVF probe.
+    let mut edges = Vec::new();
+    for c in 0..2u32 {
+        let base = c * 6;
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                edges.push(format!("[{},{},0]", base + i, base + j));
+            }
+        }
+    }
+    edges.push("[0,6,0]".to_string());
+    let ingest = client.round_trip(&format!(
+        r#"{{"cmd":"ingest","edges":[{}]}}"#,
+        edges.join(",")
+    ));
+    assert!(is_ok(&ingest), "{ingest}");
+    let flush = client.round_trip(r#"{"cmd":"flush"}"#);
+    assert!(is_ok(&flush), "{flush}");
+
+    // The probe runs continuously in the background (5ms period). While
+    // it does, a burst of reads and writes must keep being answered —
+    // the probe only clones epoch Arcs, it takes no lock a request
+    // needs. Generous bound: seconds would mean a stuck path.
+    let burst = Instant::now();
+    for _ in 0..20 {
+        let near = client.round_trip(r#"{"cmd":"nearest","node":2,"k":4,"mode":"ann"}"#);
+        assert!(is_ok(&near), "{near}");
+        let q = client.round_trip(r#"{"cmd":"query","node":7}"#);
+        assert!(is_ok(&q), "{q}");
+    }
+    client.round_trip(r#"{"cmd":"ingest","edges":[[6,11,1]]}"#);
+    let flush = client.round_trip(r#"{"cmd":"flush"}"#);
+    assert!(is_ok(&flush), "writes work mid-probe: {flush}");
+    assert!(
+        burst.elapsed() < Duration::from_secs(20),
+        "requests stalled while the probe ran"
+    );
+
+    // Wait until at least one probe round has completed.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let probe = loop {
+        let stats = client.round_trip(r#"{"cmd":"stats"}"#);
+        let t = stats.get("telemetry").cloned().expect("telemetry object");
+        assert_ne!(t, Json::Null, "{stats}");
+        let probe = t.get("probe").cloned().expect("probe section");
+        if probe.get("runs").and_then(Json::as_u64).unwrap_or(0) >= 1 {
+            break probe;
+        }
+        assert!(Instant::now() < deadline, "no probe round within 10s");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let recall = probe.get("recall").and_then(Json::as_f64).unwrap();
+    assert!(
+        (0.0..=1.0).contains(&recall) && recall > 0.0,
+        "live recall gauge in range: {recall}"
+    );
+    assert_eq!(probe.get("k").and_then(Json::as_u64), Some(5));
+
+    // The full telemetry object is populated: wire latencies, stages,
+    // queue wait, and — with slow_query_us=0 — the slow-query ring.
+    let stats = client.round_trip(r#"{"cmd":"stats"}"#);
+    let t = stats.get("telemetry").cloned().unwrap();
+    let wire = t.get("wire_latency_us").cloned().unwrap();
+    for cmd in ["query", "nearest", "ingest", "flush", "stats"] {
+        let count = wire
+            .get(cmd)
+            .and_then(|h| h.get("count"))
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert!(count >= 1, "wire series {cmd} recorded: {stats}");
+    }
+    let train = t
+        .get("stage_us")
+        .and_then(|s| s.get("train"))
+        .and_then(|h| h.get("count"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(train >= 1, "trainer stage recorded");
+    let slow = t.get("slow_queries").and_then(Json::as_arr).unwrap();
+    assert!(!slow.is_empty(), "zero threshold fills the ring");
+    assert!(slow.len() <= 32, "ring is bounded");
+    for entry in slow {
+        assert!(entry.get("cmd").is_some() && entry.get("micros").is_some());
+    }
+
+    // Prometheus scrape over the wire: every serving series is named,
+    // including the live recall gauge.
+    let text = client.scrape_metrics();
+    for name in [
+        "glodyne_wire_latency_us",
+        "glodyne_queue_depth",
+        "glodyne_queue_depth_high_water",
+        "glodyne_queue_wait_us",
+        "glodyne_stage_us",
+        "glodyne_freshness_lag_us",
+        "glodyne_probe_recall_at_k",
+        "glodyne_probe_latency_us",
+        "glodyne_probes_total",
+        "glodyne_slow_queries_total",
+    ] {
+        assert!(text.contains(&format!("# TYPE {name}")), "missing {name}");
+    }
+    assert!(
+        text.contains("glodyne_wire_latency_us_count{cmd=\"nearest\"}"),
+        "per-command series:\n{text}"
+    );
+
+    client.round_trip(r#"{"cmd":"shutdown"}"#);
+    server.join();
+}
+
+#[test]
+fn sharded_instrumented_server_reports_per_shard_stages() {
+    use glodyne_shard::ShardConfig;
+    let server = Server::bind_sharded(
+        vec![tiny_session(), tiny_session()],
+        ShardConfig {
+            shards: 2,
+            min_partition_nodes: 8,
+            ..Default::default()
+        },
+        "127.0.0.1:0",
+        instrumented_config(),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr());
+
+    let mut edges = Vec::new();
+    for c in 0..2u32 {
+        let base = c * 6;
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                edges.push(format!("[{},{},0]", base + i, base + j));
+            }
+        }
+    }
+    edges.push("[0,6,0]".to_string());
+    client.round_trip(&format!(
+        r#"{{"cmd":"ingest","edges":[{}]}}"#,
+        edges.join(",")
+    ));
+    let flush = client.round_trip(r#"{"cmd":"flush"}"#);
+    assert!(is_ok(&flush), "{flush}");
+
+    let stats = client.round_trip(r#"{"cmd":"stats"}"#);
+    let t = stats.get("telemetry").cloned().expect("telemetry object");
+    assert_ne!(t, Json::Null, "{stats}");
+    assert!(stats.get("queue_high_water").is_some());
+
+    // The scrape carries both the global and the shard-labelled stage
+    // series (each shard's trainer records into both).
+    let text = client.scrape_metrics();
+    assert!(
+        text.contains("glodyne_stage_us_count{stage=\"train\"}"),
+        "global stage series:\n{text}"
+    );
+    assert!(
+        text.contains("stage=\"train\",shard=\"0\"")
+            || text.contains("stage=\"train\",shard=\"1\""),
+        "per-shard stage series:\n{text}"
+    );
+
+    client.round_trip(r#"{"cmd":"shutdown"}"#);
+    server.join();
+}
