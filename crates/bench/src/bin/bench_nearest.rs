@@ -32,6 +32,11 @@
 //!   definition (`glodyne_serve::probe_recall`) evaluated offline on
 //!   the clustered embedding + IVF epoch; `--assert-probe-recall <t>`
 //!   pins its floor in CI.
+//! - `chaos_overhead`: the same loop with and without the *disarmed*
+//!   failpoint checks the serving hot path now carries (one
+//!   `fail_io` + one `shed` per request — each a relaxed atomic load
+//!   when no failpoint is armed); `--assert-chaos-overhead <pct>`
+//!   pins the fault-injection layer to near-zero production cost.
 //!
 //! ```text
 //! cargo run --release -p glodyne-bench --bin bench_nearest
@@ -246,6 +251,58 @@ fn bench_telemetry_overhead(
     }
 }
 
+struct ChaosOverhead {
+    plain_qps: f64,
+    failpoint_qps: f64,
+    /// Percent q/s lost to disarmed failpoint checks (negative = noise
+    /// favoured the instrumented pass).
+    overhead_pct: f64,
+}
+
+/// The cost of the fault-injection layer when *nothing is armed*: the
+/// identical ANN query loop, plain vs carrying the failpoint checks a
+/// served request passes through (`fail_io` on the socket sites plus a
+/// `shed` on the ingest site — each one relaxed atomic load). This is
+/// the whole production price of shipping failpoints compiled in.
+fn bench_chaos_overhead(
+    index: &IvfIndex,
+    emb: &Embedding,
+    probes: &[NodeId],
+    nprobe: usize,
+) -> ChaosOverhead {
+    glodyne_chaos::disarm();
+    let pass = |with_failpoints: bool| {
+        let mut scratch = SearchScratch::new();
+        let start = Instant::now();
+        for &p in probes {
+            if with_failpoints {
+                glodyne_chaos::fail_io(glodyne_chaos::sites::SOCKET_READ)
+                    .expect("disarmed failpoint never fires");
+                if glodyne_chaos::shed(glodyne_chaos::sites::INGEST_ENQUEUE) {
+                    unreachable!("disarmed failpoint never sheds");
+                }
+            }
+            let hits =
+                index.search_in_with(emb, emb.get(p).unwrap(), K, nprobe, Some(p), &mut scratch);
+            std::hint::black_box(hits);
+            if with_failpoints {
+                glodyne_chaos::fail_io(glodyne_chaos::sites::SOCKET_WRITE)
+                    .expect("disarmed failpoint never fires");
+            }
+        }
+        probes.len() as f64 / start.elapsed().as_secs_f64()
+    };
+    pass(false);
+    pass(true);
+    let plain_qps = (0..3).map(|_| pass(false)).fold(0.0f64, f64::max);
+    let failpoint_qps = (0..3).map(|_| pass(true)).fold(0.0f64, f64::max);
+    ChaosOverhead {
+        plain_qps,
+        failpoint_qps,
+        overhead_pct: (1.0 - failpoint_qps / plain_qps) * 100.0,
+    }
+}
+
 fn bench_one(n: usize, dim: usize, clusters: usize, queries: usize, seed: u64) -> SizeResult {
     let emb = clustered_embedding(n, dim, clusters, seed);
     // √n coarse cells, probing ~a tenth of them (at least 4): the
@@ -339,6 +396,7 @@ fn main() {
     let assert_recall: f64 = args.get("assert-recall", 0.0);
     let assert_probe_recall: f64 = args.get("assert-probe-recall", 0.0);
     let assert_telemetry_overhead: f64 = args.get("assert-telemetry-overhead", 0.0);
+    let assert_chaos_overhead: f64 = args.get("assert-chaos-overhead", 0.0);
     let out = args.get("out", "BENCH_nearest.json".to_string());
     let raw_sizes = args.get("sizes", "1000,10000,100000".to_string());
     let sizes: Vec<usize> = raw_sizes
@@ -406,6 +464,12 @@ fn main() {
          overhead={:.2}%",
         overhead.plain_qps, overhead.instrumented_qps, overhead.overhead_pct
     );
+    let chaos = bench_chaos_overhead(&index, &emb, &probes, nprobe);
+    println!(
+        "chaos overhead (n={n_big}, disarmed): plain={:.0} q/s  failpoints={:.0} q/s  \
+         overhead={:.2}%",
+        chaos.plain_qps, chaos.failpoint_qps, chaos.overhead_pct
+    );
     let epoch = EmbeddingEpoch {
         epoch: 1,
         embedding: emb,
@@ -430,6 +494,11 @@ fn main() {
         "  \"telemetry_overhead\": {{\"n\": {n_big}, \"plain_qps\": {:.1}, \
          \"instrumented_qps\": {:.1}, \"overhead_pct\": {:.2}}},\n",
         overhead.plain_qps, overhead.instrumented_qps, overhead.overhead_pct
+    ));
+    json.push_str(&format!(
+        "  \"chaos_overhead\": {{\"n\": {n_big}, \"plain_qps\": {:.1}, \
+         \"failpoint_qps\": {:.1}, \"overhead_pct\": {:.2}}},\n",
+        chaos.plain_qps, chaos.failpoint_qps, chaos.overhead_pct
     ));
     json.push_str(&format!(
         "  \"probe_recall_at_10\": {{\"n\": {n_big}, \"sample\": 32, \"nprobe\": {nprobe}, \
@@ -511,6 +580,20 @@ fn main() {
         println!(
             "telemetry overhead ceiling {assert_telemetry_overhead:.2}% held ({:.2}%)",
             overhead.overhead_pct
+        );
+    }
+    if assert_chaos_overhead > 0.0 {
+        if chaos.overhead_pct > assert_chaos_overhead {
+            eprintln!(
+                "bench_nearest: disarmed-failpoint overhead {:.2}% exceeded the \
+                 --assert-chaos-overhead ceiling {assert_chaos_overhead:.2}%",
+                chaos.overhead_pct
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "chaos overhead ceiling {assert_chaos_overhead:.2}% held ({:.2}%)",
+            chaos.overhead_pct
         );
     }
 }

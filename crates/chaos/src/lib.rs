@@ -1,0 +1,582 @@
+//! glodyne-chaos: deterministic, seeded failpoints for the serving
+//! stack.
+//!
+//! A *failpoint* is a named site compiled into production code paths
+//! (WAL append, fsync, snapshot write, ingest enqueue, trainer step,
+//! socket I/O). In normal operation every site is a single relaxed
+//! atomic load — the global armed flag — and nothing else: no lock, no
+//! map lookup, no branch-heavy schedule evaluation. Tests (and the
+//! `GLODYNE_CHAOS` environment variable) arm sites with [`Rule`]s that
+//! fire [`Action`]s: return an injected error, sleep, stall until
+//! released, or panic.
+//!
+//! Everything is deterministic: probabilistic rules draw from a
+//! seeded splitmix64 stream per site, and hit/fired counters let a
+//! harness assert exactly how many injections landed. The registry is
+//! process-global, so tests that arm overlapping sites must serialize
+//! (the serving crate's chaos suite holds a shared lock) or use
+//! distinct site names.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Canonical site names threaded through the stack. A site name is
+/// just a string key — crates may mint their own — but the shared
+/// surfaces live here so tests and docs agree on spelling.
+pub mod sites {
+    /// One WAL record append (buffered write).
+    pub const WAL_APPEND: &str = "wal.append";
+    /// One WAL fsync (`sync_data`).
+    pub const WAL_FSYNC: &str = "wal.fsync";
+    /// One snapshot container write (serialize + write + rename).
+    pub const SNAPSHOT_WRITE: &str = "snapshot.write";
+    /// One event handed to the ingest queue.
+    pub const INGEST_ENQUEUE: &str = "ingest.enqueue";
+    /// One trainer-loop message about to be processed.
+    pub const TRAINER_STEP: &str = "trainer.step";
+    /// One line read from a client socket.
+    pub const SOCKET_READ: &str = "socket.read";
+    /// One response written to a client socket.
+    pub const SOCKET_WRITE: &str = "socket.write";
+}
+
+/// What a fired failpoint does to the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Return an injected error ([`injected_error`]).
+    Fail,
+    /// Sleep this many milliseconds, then proceed normally.
+    Delay(u64),
+    /// Block until the site is cleared, the registry is disarmed, or
+    /// the safety cap ([`MAX_STALL`]) expires.
+    Stall,
+    /// Panic (`panic!`) — exercises the watchdog / catch-unwind paths.
+    Panic,
+}
+
+/// When a site's action fires.
+#[derive(Debug, Clone)]
+pub enum Rule {
+    /// Never fire (same as an unconfigured site).
+    Off,
+    /// Fire on every hit.
+    Always(Action),
+    /// Fire on the first `n` hits, then go quiet.
+    Times(Action, u64),
+    /// Fire on hits `n`, `2n`, `3n`, …
+    EveryNth(Action, u64),
+    /// Fire with probability `permille`/1000 per hit, drawn from a
+    /// splitmix64 stream seeded with `seed` — the same seed always
+    /// yields the same firing pattern.
+    Prob(Action, u32, u64),
+}
+
+/// Stalls self-release after this long even if never cleared, so a
+/// forgotten failpoint degrades a test run instead of deadlocking it.
+pub const MAX_STALL: Duration = Duration::from_secs(30);
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+struct Site {
+    rule: Rule,
+    hits: u64,
+    fired: u64,
+    rng: u64,
+}
+
+struct Registry {
+    sites: Mutex<HashMap<String, Site>>,
+    /// Stall release: bump the generation + notify to wake stalled
+    /// threads. Every mutation of the registry releases stalls, so a
+    /// stalled thread re-checks the world after any `set`/`clear`.
+    release: Mutex<u64>,
+    released: Condvar,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        sites: Mutex::new(HashMap::new()),
+        release: Mutex::new(0),
+        released: Condvar::new(),
+    })
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Whether any site is armed. One relaxed load — the entire cost of a
+/// failpoint in production.
+#[inline]
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Evaluate `site`: `None` when nothing fires (including the disarmed
+/// fast path), `Some(action)` when the armed rule fires on this hit.
+/// The registry lock is held only for the evaluation; the action's
+/// side effect (sleep, stall, panic) is the caller's — use the
+/// [`fail_io`]/[`shed`]/[`slow`] wrappers unless the call site needs
+/// custom handling.
+#[inline]
+pub fn hit(site: &str) -> Option<Action> {
+    if !armed() {
+        return None;
+    }
+    hit_slow(site)
+}
+
+fn hit_slow(site: &str) -> Option<Action> {
+    let mut sites = registry()
+        .sites
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    let state = sites.get_mut(site)?;
+    state.hits += 1;
+    let fire = match &mut state.rule {
+        Rule::Off => None,
+        Rule::Always(a) => Some(*a),
+        Rule::Times(a, n) => {
+            if *n > 0 {
+                *n -= 1;
+                Some(*a)
+            } else {
+                None
+            }
+        }
+        Rule::EveryNth(a, n) => {
+            if *n > 0 && state.hits % *n == 0 {
+                Some(*a)
+            } else {
+                None
+            }
+        }
+        Rule::Prob(a, permille, _) => {
+            if splitmix64(&mut state.rng) % 1000 < u64::from(*permille) {
+                Some(*a)
+            } else {
+                None
+            }
+        }
+    };
+    if fire.is_some() {
+        state.fired += 1;
+    }
+    fire
+}
+
+/// The error every [`Action::Fail`] surfaces: `io::ErrorKind::Other`,
+/// message naming the site, so injected failures are unmistakable in
+/// logs and assertions.
+pub fn injected_error(site: &str) -> io::Error {
+    io::Error::other(format!("chaos: injected failure at {site}"))
+}
+
+/// Block until the registry changes or [`MAX_STALL`] expires.
+fn stall() {
+    let reg = registry();
+    let mut gen = reg.release.lock().unwrap_or_else(PoisonError::into_inner);
+    let g0 = *gen;
+    let start = Instant::now();
+    while *gen == g0 && armed() {
+        if start.elapsed() >= MAX_STALL {
+            eprintln!("glodyne-chaos: stall exceeded {MAX_STALL:?}; releasing");
+            break;
+        }
+        let (g, _) = reg
+            .released
+            .wait_timeout(gen, Duration::from_millis(50))
+            .unwrap_or_else(PoisonError::into_inner);
+        gen = g;
+    }
+}
+
+fn apply_side_effect(site: &str, action: Action) {
+    match action {
+        Action::Fail => {}
+        Action::Delay(ms) => std::thread::sleep(Duration::from_millis(ms)),
+        Action::Stall => stall(),
+        Action::Panic => panic!("chaos: injected panic at {site}"),
+    }
+}
+
+/// Failpoint for I/O paths: fires delays/stalls/panics in place and
+/// turns [`Action::Fail`] into an `Err` the caller propagates.
+#[inline]
+pub fn fail_io(site: &str) -> io::Result<()> {
+    match hit(site) {
+        None => Ok(()),
+        Some(Action::Fail) => Err(injected_error(site)),
+        Some(other) => {
+            apply_side_effect(site, other);
+            Ok(())
+        }
+    }
+}
+
+/// Failpoint for load-shed paths: returns `true` when the caller
+/// should reject this unit of work ([`Action::Fail`] fired); delays,
+/// stalls, and panics take effect in place.
+#[inline]
+pub fn shed(site: &str) -> bool {
+    match hit(site) {
+        None => false,
+        Some(Action::Fail) => true,
+        Some(other) => {
+            apply_side_effect(site, other);
+            false
+        }
+    }
+}
+
+/// Failpoint for paths with no error channel: delays, stalls, and
+/// panics take effect; [`Action::Fail`] is a no-op.
+#[inline]
+pub fn slow(site: &str) {
+    if let Some(action) = hit(site) {
+        if action != Action::Fail {
+            apply_side_effect(site, action);
+        }
+    }
+}
+
+fn release_stalls() {
+    let reg = registry();
+    *reg.release.lock().unwrap_or_else(PoisonError::into_inner) += 1;
+    reg.released.notify_all();
+}
+
+fn recount_armed(sites: &HashMap<String, Site>) {
+    let any = sites.values().any(|s| !matches!(s.rule, Rule::Off));
+    ARMED.store(any, Ordering::Relaxed);
+}
+
+/// Arm `site` with `rule` (replacing any prior rule; counters reset).
+/// Probabilistic rules are seeded from the rule itself.
+pub fn set(site: &str, rule: Rule) {
+    let reg = registry();
+    {
+        let mut sites = reg.sites.lock().unwrap_or_else(PoisonError::into_inner);
+        let seed = match &rule {
+            Rule::Prob(_, _, seed) => *seed,
+            _ => 0,
+        };
+        sites.insert(
+            site.to_string(),
+            Site {
+                rule,
+                hits: 0,
+                fired: 0,
+                rng: seed,
+            },
+        );
+        recount_armed(&sites);
+    }
+    release_stalls();
+}
+
+/// Disarm one site (its counters are dropped too).
+pub fn clear(site: &str) {
+    let reg = registry();
+    {
+        let mut sites = reg.sites.lock().unwrap_or_else(PoisonError::into_inner);
+        sites.remove(site);
+        recount_armed(&sites);
+    }
+    release_stalls();
+}
+
+/// Disarm every site and wake every stalled thread — the harness
+/// teardown call.
+pub fn disarm() {
+    let reg = registry();
+    {
+        let mut sites = reg.sites.lock().unwrap_or_else(PoisonError::into_inner);
+        sites.clear();
+        ARMED.store(false, Ordering::Relaxed);
+    }
+    release_stalls();
+}
+
+/// Evaluations of `site` since it was armed.
+pub fn hits(site: &str) -> u64 {
+    let sites = registry()
+        .sites
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    sites.get(site).map_or(0, |s| s.hits)
+}
+
+/// Actions fired at `site` since it was armed.
+pub fn fired(site: &str) -> u64 {
+    let sites = registry()
+        .sites
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    sites.get(site).map_or(0, |s| s.fired)
+}
+
+/// Parse one rule spec (the part after `=` in [`configure_from_spec`]).
+///
+/// Grammar: `off`, or `ACTION[MODIFIER]` where `ACTION` is `fail`,
+/// `panic`, `stall`, or `delay(<ms>)`, and `MODIFIER` is `*<n>` (first
+/// n hits), `/<n>` (every nth hit), or `%<permille>[@<seed>]` (seeded
+/// probability, seed defaults to 0).
+pub fn parse_rule(spec: &str) -> Result<Rule, String> {
+    let spec = spec.trim();
+    if spec == "off" {
+        return Ok(Rule::Off);
+    }
+    let bad = |what: &str| format!("invalid failpoint rule '{spec}': {what}");
+    let (action_str, modifier) = match spec.find(['*', '/', '%']) {
+        Some(i) => (&spec[..i], Some((spec.as_bytes()[i], &spec[i + 1..]))),
+        None => (spec, None),
+    };
+    let action = if action_str == "fail" {
+        Action::Fail
+    } else if action_str == "panic" {
+        Action::Panic
+    } else if action_str == "stall" {
+        Action::Stall
+    } else if let Some(ms) = action_str
+        .strip_prefix("delay(")
+        .and_then(|s| s.strip_suffix(')'))
+    {
+        let ms = ms.parse::<u64>().map_err(|_| bad("bad delay millis"))?;
+        Action::Delay(ms)
+    } else {
+        return Err(bad(
+            "unknown action (expected fail, panic, stall, delay(<ms>))",
+        ));
+    };
+    match modifier {
+        None => Ok(Rule::Always(action)),
+        Some((b'*', n)) => {
+            let n = n
+                .parse::<u64>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| bad("bad '*<n>' count"))?;
+            Ok(Rule::Times(action, n))
+        }
+        Some((b'/', n)) => {
+            let n = n
+                .parse::<u64>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| bad("bad '/<n>' stride"))?;
+            Ok(Rule::EveryNth(action, n))
+        }
+        Some((b'%', rest)) => {
+            let (p, seed) = match rest.split_once('@') {
+                Some((p, seed)) => (p, seed.parse::<u64>().map_err(|_| bad("bad '@<seed>'"))?),
+                None => (rest, 0),
+            };
+            let p = p
+                .parse::<u32>()
+                .ok()
+                .filter(|&p| p <= 1000)
+                .ok_or_else(|| bad("bad '%<permille>' (0..=1000)"))?;
+            Ok(Rule::Prob(action, p, seed))
+        }
+        Some(_) => unreachable!("find limited to * / %"),
+    }
+}
+
+/// Arm sites from a `site=rule[;site=rule…]` spec — the wire format of
+/// the `GLODYNE_CHAOS` environment variable and any CLI flag.
+pub fn configure_from_spec(spec: &str) -> Result<(), String> {
+    // Validate everything before arming anything.
+    let mut parsed = Vec::new();
+    for part in spec.split(';') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (site, rule) = part
+            .split_once('=')
+            .ok_or_else(|| format!("invalid failpoint spec '{part}': expected site=rule"))?;
+        parsed.push((site.trim().to_string(), parse_rule(rule)?));
+    }
+    for (site, rule) in parsed {
+        set(&site, rule);
+    }
+    Ok(())
+}
+
+/// Arm sites from `GLODYNE_CHAOS` when it is set. Returns whether
+/// anything was armed.
+pub fn configure_from_env() -> Result<bool, String> {
+    match std::env::var("GLODYNE_CHAOS") {
+        Ok(spec) if !spec.trim().is_empty() => {
+            configure_from_spec(&spec)?;
+            Ok(true)
+        }
+        _ => Ok(false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global; each test uses its own site
+    // names so the suite can run in parallel.
+
+    #[test]
+    fn disarmed_site_never_fires() {
+        assert!(!armed() || hit("t.unconfigured").is_none());
+        assert_eq!(hit("t.unconfigured"), None);
+        assert!(fail_io("t.unconfigured").is_ok());
+        assert!(!shed("t.unconfigured"));
+    }
+
+    #[test]
+    fn times_rule_fires_exactly_n() {
+        set("t.times", Rule::Times(Action::Fail, 3));
+        let fired_now: Vec<bool> = (0..6).map(|_| hit("t.times").is_some()).collect();
+        assert_eq!(fired_now, [true, true, true, false, false, false]);
+        assert_eq!(hits("t.times"), 6);
+        assert_eq!(fired("t.times"), 3);
+        clear("t.times");
+    }
+
+    #[test]
+    fn every_nth_rule_fires_on_stride() {
+        set("t.nth", Rule::EveryNth(Action::Fail, 3));
+        let fired_now: Vec<bool> = (0..7).map(|_| hit("t.nth").is_some()).collect();
+        assert_eq!(fired_now, [false, false, true, false, false, true, false]);
+        clear("t.nth");
+    }
+
+    #[test]
+    fn prob_rule_is_deterministic_per_seed() {
+        set("t.prob-a", Rule::Prob(Action::Fail, 500, 42));
+        let a: Vec<bool> = (0..64).map(|_| hit("t.prob-a").is_some()).collect();
+        set("t.prob-a", Rule::Prob(Action::Fail, 500, 42));
+        let b: Vec<bool> = (0..64).map(|_| hit("t.prob-a").is_some()).collect();
+        assert_eq!(a, b, "same seed, same firing pattern");
+        assert!(a.iter().any(|&f| f) && a.iter().any(|&f| !f));
+        clear("t.prob-a");
+    }
+
+    #[test]
+    fn fail_io_surfaces_injected_error() {
+        set("t.io", Rule::Always(Action::Fail));
+        let err = fail_io("t.io").unwrap_err();
+        assert!(err.to_string().contains("t.io"));
+        clear("t.io");
+        assert!(fail_io("t.io").is_ok());
+    }
+
+    #[test]
+    fn delay_action_sleeps() {
+        set("t.delay", Rule::Always(Action::Delay(20)));
+        let start = Instant::now();
+        fail_io("t.delay").unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        clear("t.delay");
+    }
+
+    #[test]
+    fn stall_blocks_until_cleared() {
+        set("t.stall", Rule::Times(Action::Stall, 1));
+        let handle = std::thread::spawn(|| {
+            let start = Instant::now();
+            slow("t.stall");
+            start.elapsed()
+        });
+        std::thread::sleep(Duration::from_millis(60));
+        clear("t.stall");
+        let stalled_for = handle.join().unwrap();
+        assert!(
+            stalled_for >= Duration::from_millis(50),
+            "stall held until release ({stalled_for:?})"
+        );
+    }
+
+    #[test]
+    fn shed_reports_fail_and_applies_delay() {
+        set("t.shed", Rule::Times(Action::Fail, 1));
+        assert!(shed("t.shed"));
+        assert!(!shed("t.shed"));
+        clear("t.shed");
+    }
+
+    #[test]
+    fn rule_spec_round_trips() {
+        assert!(matches!(parse_rule("off").unwrap(), Rule::Off));
+        assert!(matches!(
+            parse_rule("fail").unwrap(),
+            Rule::Always(Action::Fail)
+        ));
+        assert!(matches!(
+            parse_rule("delay(15)*2").unwrap(),
+            Rule::Times(Action::Delay(15), 2)
+        ));
+        assert!(matches!(
+            parse_rule("panic/4").unwrap(),
+            Rule::EveryNth(Action::Panic, 4)
+        ));
+        assert!(matches!(
+            parse_rule("stall%250@9").unwrap(),
+            Rule::Prob(Action::Stall, 250, 9)
+        ));
+        assert!(matches!(
+            parse_rule("fail%250").unwrap(),
+            Rule::Prob(Action::Fail, 250, 0)
+        ));
+        for bad in [
+            "explode",
+            "delay(x)",
+            "fail*0",
+            "fail/0",
+            "fail%1001",
+            "fail%10@x",
+        ] {
+            assert!(parse_rule(bad).is_err(), "'{bad}' must be rejected");
+        }
+    }
+
+    #[test]
+    fn spec_arms_multiple_sites_or_nothing() {
+        configure_from_spec("t.spec-a=fail*1; t.spec-b=delay(1)").unwrap();
+        assert!(hit("t.spec-a").is_some());
+        assert!(hit("t.spec-b").is_some());
+        clear("t.spec-a");
+        clear("t.spec-b");
+        assert!(configure_from_spec("t.spec-c=fail; t.spec-d").is_err());
+        // The invalid spec armed nothing, including the valid prefix.
+        assert_eq!(hits("t.spec-c"), 0);
+    }
+
+    #[test]
+    fn disabled_fast_path_is_cheap() {
+        // Not a benchmark — a smoke bound that an unfired site costs
+        // nanoseconds per evaluation (one relaxed load when the whole
+        // registry is disarmed; at worst a lock + empty map probe when
+        // a parallel test armed some other site). 10M evaluations in
+        // seconds leaves a wide margin either way.
+        let start = Instant::now();
+        let mut acc = 0u64;
+        for _ in 0..10_000_000u64 {
+            if hit("t.fast").is_some() {
+                acc += 1;
+            }
+        }
+        assert_eq!(acc, 0);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "unfired hit() took {:?} for 10M calls",
+            start.elapsed()
+        );
+    }
+}

@@ -290,6 +290,9 @@ pub fn stream(opts: &Opts) -> Result<String, CliError> {
     let mut events = load_stream(input)?;
     events.sort_by_key(|te| te.time);
 
+    if let Some(addr) = opts.get_opt::<String>("addr")? {
+        return stream_remote(opts, &addr, &events);
+    }
     let policy = parse_policy(opts)?;
     let ann = parse_ann(opts)?;
     if let Some(shard_cfg) = parse_shards(opts)? {
@@ -370,6 +373,87 @@ pub fn stream(opts: &Opts) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `glodyne stream --addr HOST:PORT`: feed the edge file to a running
+/// server over the wire instead of embedding locally — ingest in
+/// batches, flush, then answer `--query` probes with wire `nearest`.
+/// Connect failures and `overloaded` sheds retry under one jittered
+/// exponential-backoff budget (`--retry-budget` attempts); a partial
+/// accept (server shed mid-batch) resumes from the first refused event
+/// after a backoff delay.
+fn stream_remote(opts: &Opts, addr: &str, events: &[TimedEdge]) -> Result<String, CliError> {
+    let budget = opts.get("retry-budget", 5u32);
+    let mut backoff = Backoff::new(budget);
+    let mut sent = 0usize;
+    while sent < events.len() {
+        let chunk = &events[sent..(sent + 4096).min(events.len())];
+        let mut line = String::from("{\"cmd\":\"ingest\",\"edges\":[");
+        for (i, e) in chunk.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!("[{},{},{}]", e.edge.u.0, e.edge.v.0, e.time));
+        }
+        line.push_str("]}");
+        let resp = wire_roundtrip_backoff(addr, &line, &mut backoff)?;
+        if resp.get("ok") != Some(&Json::Bool(true)) {
+            return Err(CliError::Parse(format!(
+                "{addr}: ingest failed: {}",
+                resp.get("error").and_then(Json::as_str).unwrap_or("?")
+            )));
+        }
+        let accepted = resp
+            .get("accepted")
+            .and_then(Json::as_u64)
+            .unwrap_or(chunk.len() as u64) as usize;
+        sent += accepted;
+        if accepted < chunk.len() {
+            // Partial accept: the server shed the tail. Pay a backoff
+            // delay before resuming from the first refused event.
+            match backoff.next_delay() {
+                Some(delay) => std::thread::sleep(delay),
+                None => {
+                    return Err(CliError::Parse(format!(
+                        "{addr}: server still overloaded after {budget} \
+                         backoff attempt(s); {sent}/{} events ingested",
+                        events.len()
+                    )))
+                }
+            }
+        }
+    }
+    let flush = wire_roundtrip_backoff(addr, "{\"cmd\":\"flush\"}", &mut backoff)?;
+    let mut out = format!(
+        "{} events -> epoch {} at {addr}\n",
+        events.len(),
+        flush.get("epoch").and_then(Json::as_u64).unwrap_or(0),
+    );
+    if let Some(nodes) = parse_query_nodes(opts)? {
+        let k = opts.get("top-k", 10usize);
+        for node in nodes {
+            let req = format!("{{\"cmd\":\"nearest\",\"node\":{},\"k\":{k}}}", node.0);
+            let resp = wire_roundtrip_backoff(addr, &req, &mut backoff)?;
+            if resp.get("ok") != Some(&Json::Bool(true)) {
+                out.push_str(&format!(
+                    "node {}: {}\n",
+                    node.0,
+                    resp.get("error").and_then(Json::as_str).unwrap_or("?")
+                ));
+                continue;
+            }
+            out.push_str(&format!("nearest neighbours of {} (wire):\n", node.0));
+            for hit in resp.get("neighbours").and_then(Json::as_arr).unwrap_or(&[]) {
+                let pair = hit.as_arr().unwrap_or(&[]);
+                out.push_str(&format!(
+                    "  {:>10}  cos={:.4}\n",
+                    pair.first().and_then(Json::as_u64).unwrap_or(0),
+                    pair.get(1).and_then(Json::as_f64).unwrap_or(f64::NAN),
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// `glodyne stream --shards N`: drive a [`ShardedState`] — partition-
 /// routed per-shard sessions with halo-mirrored boundary edges — over
 /// the edge file and report the per-shard outcome; `--query` answers
@@ -440,6 +524,11 @@ fn stream_sharded(
 /// Split from [`serve`] so tests can bind port 0, read the actual
 /// address off the [`Server`], and drive the wire protocol directly.
 pub fn start_server(opts: &Opts) -> Result<(Server, String), CliError> {
+    // Fault injection opt-in: GLODYNE_CHAOS="site=rule;..." arms the
+    // failpoint registry for the whole process. Off (one relaxed
+    // atomic load per site) unless the variable is set.
+    let chaos_armed = glodyne_chaos::configure_from_env()
+        .map_err(|e| CliError::Usage(format!("bad GLODYNE_CHAOS spec: {e}")))?;
     let bind = opts.get_str("bind", "127.0.0.1:7878");
     let policy = parse_policy(opts)?;
     let ann = parse_ann(opts)?;
@@ -453,6 +542,13 @@ pub fn start_server(opts: &Opts) -> Result<(Server, String), CliError> {
         telemetry,
         probe,
         slow_query_us: slow_us.unwrap_or(defaults.slow_query_us),
+        fast_fail: opts.get("fast-fail", false),
+        default_deadline_ms: opts.get_opt("deadline-ms")?,
+        stall_after_ms: opts.get("stall-after-ms", defaults.stall_after_ms),
+        write_timeout_ms: opts
+            .get_opt("write-timeout-ms")?
+            .map(Some)
+            .unwrap_or(defaults.write_timeout_ms),
         ..defaults
     };
     let durable = parse_durable(opts)?;
@@ -469,6 +565,10 @@ pub fn start_server(opts: &Opts) -> Result<(Server, String), CliError> {
     };
 
     let mut preamble = String::new();
+    if chaos_armed {
+        preamble
+            .push_str("chaos: failpoints ARMED from GLODYNE_CHAOS — not for production serving\n");
+    }
     if durable.is_some() {
         // Replay determinism requires single-threaded SGNS: a parallel
         // reduction reorders float adds and the recovered state would
@@ -702,21 +802,70 @@ pub fn serve(opts: &Opts) -> Result<String, CliError> {
     Ok(format!("shut down cleanly after {served} connection(s)\n"))
 }
 
-/// One wire round-trip: fetch the `stats` object from a running server.
-fn fetch_stats(addr: &str) -> Result<Json, CliError> {
+/// Jittered exponential backoff with a retry budget, for wire requests
+/// against a server that is down (connect refused) or shedding load
+/// (`overloaded` responses). Full jitter — the delay is uniform in
+/// `[base/2, base)` per doubling — so a fleet of retrying clients does
+/// not re-converge on the same instant.
+struct Backoff {
+    attempt: u32,
+    budget: u32,
+    rng: u64,
+}
+
+/// SplitMix64 step: cheap, decent jitter without a rand dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Backoff {
+    const BASE_MS: u64 = 100;
+    const CAP_DOUBLINGS: u32 = 6; // 100ms .. 6.4s
+
+    fn new(budget: u32) -> Self {
+        Backoff {
+            attempt: 0,
+            budget,
+            // Seed per process so concurrent CLI invocations jitter
+            // differently; determinism is not a goal on this path.
+            rng: 0x5eed ^ u64::from(std::process::id()),
+        }
+    }
+
+    /// The next delay to sleep before retrying, `None` once the budget
+    /// is spent.
+    fn next_delay(&mut self) -> Option<std::time::Duration> {
+        if self.attempt >= self.budget {
+            return None;
+        }
+        let full = Self::BASE_MS << self.attempt.min(Self::CAP_DOUBLINGS);
+        self.attempt += 1;
+        let half = (full / 2).max(1);
+        let jitter = splitmix64(&mut self.rng) % half;
+        Some(std::time::Duration::from_millis(half + jitter))
+    }
+}
+
+/// One wire round-trip: connect, send one request line, parse the one
+/// response line.
+fn wire_roundtrip(addr: &str, request: &str) -> Result<Json, CliError> {
     use std::io::{BufRead, Write};
     let conn_err = |source: std::io::Error| CliError::Io {
         context: format!("cannot reach server at {addr}"),
         source,
     };
     let stream = std::net::TcpStream::connect(addr).map_err(conn_err)?;
+    let _ = stream.set_nodelay(true); // one-line round-trips: avoid Nagle stalls
     stream
         .set_read_timeout(Some(std::time::Duration::from_secs(10)))
         .map_err(conn_err)?;
     let mut writer = stream.try_clone().map_err(conn_err)?;
-    writer
-        .write_all(b"{\"cmd\":\"stats\"}\n")
-        .map_err(conn_err)?;
+    writer.write_all(request.as_bytes()).map_err(conn_err)?;
+    writer.write_all(b"\n").map_err(conn_err)?;
     let mut line = String::new();
     BufReader::new(stream)
         .read_line(&mut line)
@@ -725,7 +874,43 @@ fn fetch_stats(addr: &str) -> Result<Json, CliError> {
         return Err(CliError::Parse(format!("{addr}: connection closed")));
     }
     json::parse(line.trim_end())
-        .map_err(|e| CliError::Parse(format!("bad stats response from {addr}: {e}")))
+        .map_err(|e| CliError::Parse(format!("bad response from {addr}: {e}")))
+}
+
+/// [`wire_roundtrip`] behind a [`Backoff`]: retries connect failures
+/// and `overloaded` responses; every other outcome (including other
+/// structured errors) returns immediately.
+fn wire_roundtrip_backoff(
+    addr: &str,
+    request: &str,
+    backoff: &mut Backoff,
+) -> Result<Json, CliError> {
+    loop {
+        let retry_after = match wire_roundtrip(addr, request) {
+            Ok(resp) => {
+                let kind = resp.get("kind").and_then(Json::as_str);
+                if kind == Some("overloaded") {
+                    backoff.next_delay()
+                } else {
+                    return Ok(resp);
+                }
+            }
+            Err(CliError::Io { .. }) => backoff.next_delay(),
+            Err(e) => return Err(e),
+        };
+        match retry_after {
+            Some(delay) => std::thread::sleep(delay),
+            None => {
+                // Budget spent: surface the final attempt's outcome.
+                return wire_roundtrip(addr, request);
+            }
+        }
+    }
+}
+
+/// One wire round-trip: fetch the `stats` object from a running server.
+fn fetch_stats(addr: &str, backoff: &mut Backoff) -> Result<Json, CliError> {
+    wire_roundtrip_backoff(addr, "{\"cmd\":\"stats\"}", backoff)
 }
 
 fn stat_u64(v: &Json, key: &str) -> u64 {
@@ -780,6 +965,25 @@ fn render_stats(stats: &Json) -> String {
                 stat_u64(sh, "events_accepted"),
             ));
         }
+    }
+    if let Some(h) = stats.get("health").filter(|h| **h != Json::Null) {
+        let degraded = h.get("degraded") == Some(&Json::Bool(true));
+        let alive = h.get("trainer_alive") != Some(&Json::Bool(false));
+        out.push_str(&format!(
+            "health: {}  trainer {}  stale epochs {}  stalled {}ms\n",
+            if degraded { "DEGRADED" } else { "ok" },
+            if alive { "alive" } else { "gone" },
+            stat_u64(h, "stale_epochs"),
+            stat_u64(h, "stalled_ms"),
+        ));
+    }
+    if let Some(r) = stats.get("rebalance").filter(|r| **r != Json::Null) {
+        out.push_str(&format!(
+            "rebalance: {} batch(es)  {} migrated  {} pending\n",
+            stat_u64(r, "rebalance_batches"),
+            stat_u64(r, "migrated_nodes"),
+            stat_u64(r, "pending_migrations"),
+        ));
     }
     let Some(t) = stats.get("telemetry").filter(|t| **t != Json::Null) else {
         out.push_str("telemetry: off (serve with --telemetry)\n");
@@ -848,21 +1052,24 @@ fn render_stats(stats: &Json) -> String {
 /// snapshot of a running server's `stats` object.
 pub fn stats_cmd(opts: &Opts) -> Result<String, CliError> {
     let addr = opts.get_str("addr", "127.0.0.1:7878");
+    let budget = opts.get("retry-budget", 5u32);
     if !opts.get("watch", false) {
-        return Ok(render_stats(&fetch_stats(addr)?));
+        return Ok(render_stats(&fetch_stats(addr, &mut Backoff::new(budget))?));
     }
     let interval = std::time::Duration::from_millis(opts.get("interval-ms", 2000u64).max(1));
     let mut frames = 0u64;
     loop {
-        match fetch_stats(addr) {
+        // Fresh budget per frame: a server that sheds for one scrape
+        // but recovers keeps the watch alive indefinitely.
+        match fetch_stats(addr, &mut Backoff::new(budget)) {
             Ok(stats) => {
                 frames += 1;
                 print!("{}", render_stats(&stats));
                 println!("---");
                 std::io::Write::flush(&mut std::io::stdout())?;
             }
-            // The first fetch failing is an error; the server going
-            // away mid-watch is a clean exit.
+            // The first fetch failing (after its retry budget) is an
+            // error; the server going away mid-watch is a clean exit.
             Err(e) if frames == 0 => return Err(e),
             Err(_) => {
                 return Ok(format!(
@@ -1056,6 +1263,7 @@ pub fn evaluate(opts: &Opts) -> Result<String, CliError> {
 mod tests {
     use super::*;
     use glodyne_graph::NodeId;
+    use std::time::Duration;
 
     fn stream_fixture() -> Vec<TimedEdge> {
         // Growing triangle fan over 30 time units.
@@ -1075,6 +1283,37 @@ mod tests {
         let mut f = std::fs::File::create(&input).unwrap();
         glodyne_graph::io::write_edge_stream(&mut f, &stream_fixture()).unwrap();
         input
+    }
+
+    #[test]
+    fn backoff_delays_double_with_jitter_then_exhaust() {
+        let mut b = Backoff::new(3);
+        let mut prev_half = 0u64;
+        for attempt in 0..3u32 {
+            let d = b.next_delay().expect("within budget");
+            let half = (Backoff::BASE_MS << attempt) / 2;
+            // Full jitter: uniform in [half, 2*half).
+            assert!(d >= Duration::from_millis(half), "attempt {attempt}: {d:?}");
+            assert!(
+                d < Duration::from_millis(half * 2),
+                "attempt {attempt}: {d:?}"
+            );
+            assert!(half > prev_half);
+            prev_half = half;
+        }
+        assert_eq!(b.next_delay(), None, "budget of 3 spent");
+        assert_eq!(b.next_delay(), None, "stays exhausted");
+    }
+
+    #[test]
+    fn backoff_delay_caps_at_max_doublings() {
+        let mut b = Backoff::new(64);
+        let mut last = Duration::ZERO;
+        for _ in 0..20 {
+            last = b.next_delay().unwrap();
+        }
+        let cap_half = (Backoff::BASE_MS << Backoff::CAP_DOUBLINGS) / 2;
+        assert!(last < Duration::from_millis(cap_half * 2));
     }
 
     #[test]

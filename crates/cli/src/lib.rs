@@ -113,6 +113,7 @@ USAGE:
                     [--ann] [--cells 64] [--nprobe 8]
                     [--shards N] [--shard-epsilon 0.1] [--shard-seed 0]
                     [--drift 0.25] [--alpha 0.1] [--dim 128] [--seed 0]
+                    [--addr HOST:PORT] [--retry-budget 5]
   glodyne serve     [--bind 127.0.0.1:7878] [--threads 64] [--queue 1024]
                     [--policy timestamp|every-n|manual] [--every 1000]
                     [--ann] [--cells 64] [--nprobe 8]
@@ -124,7 +125,10 @@ USAGE:
                     [--segment-bytes 4194304]
                     [--telemetry] [--probe-every 1000] [--probe-k 10]
                     [--probe-sample 16] [--probe-seed 42] [--slow-us 10000]
+                    [--fast-fail] [--deadline-ms <ms>] [--stall-after-ms 5000]
+                    [--write-timeout-ms 30000]
   glodyne stats     [--addr 127.0.0.1:7878] [--watch] [--interval-ms 2000]
+                    [--retry-budget 5]
   glodyne recover   --data-dir <dir>
   glodyne partition --input <edges.txt> [--k 8] [--epsilon 0.1] [--seed 0]
   glodyne evaluate  --input <edges.txt> [--snapshots 10] [--alpha 0.1]
@@ -134,7 +138,11 @@ Input: one `u v [timestamp]` edge per line; # and % comments ignored.
 `embed` writes one TSV embedding file per snapshot into --out-dir.
 `stream` feeds the edges event-by-event through an embedder session,
   printing one step report per committed snapshot boundary; with
-  --query it prints the node's nearest neighbours at the end.
+  --query it prints the node's nearest neighbours at the end. With
+  --addr it instead streams the edge file to a running server over the
+  wire (batched ingest, then flush, then --query via wire `nearest`),
+  retrying connect failures and `overloaded` sheds with jittered
+  exponential backoff under a --retry-budget attempt budget.
 `serve` runs a TCP serving process speaking line-delimited JSON
   (query/nearest/ingest/flush/stats/shutdown); reads are answered from
   an immutable epoch snapshot and never wait on training. --threads
@@ -169,9 +177,18 @@ With --telemetry (implied by any probe or --slow-us flag), `serve`
   of the IVF index against an exact scan over --probe-sample sampled
   nodes, published as a live gauge. The probe reads the same immutable
   epoch snapshots as queries and never blocks serving.
+Overload control: --fast-fail makes `serve` shed ingest with a
+  structured `overloaded` error instead of blocking when the queue is
+  full; --deadline-ms bounds every ingest/flush by a default deadline
+  (requests may carry their own `deadline_ms`); --stall-after-ms is how
+  long the trainer may go silent with work pending before `stats`
+  reports health.degraded and writes get `degraded` errors (reads keep
+  serving the last published epoch); --write-timeout-ms disconnects
+  slow consumers instead of letting them wedge a server thread.
 `stats` connects to a running server and pretty-prints its `stats`
   object once, or every --interval-ms with --watch (exits when the
-  server goes away).
+  server goes away); connect failures and `overloaded` responses retry
+  with jittered backoff under --retry-budget attempts.
 `recover` inspects a --data-dir without serving: snapshot integrity,
   WAL segment health, and how much a restart would replay.
 `partition` prints `node part` lines for the final snapshot.

@@ -472,6 +472,15 @@ impl<E: CheckpointEmbedder> DurableSession<E> {
         self.snapshot()
     }
 
+    /// Crash-path shutdown: fsync the WAL and nothing else. A trainer
+    /// that panicked mid-step cannot trust its in-memory session state
+    /// enough to snapshot it, but every *accepted* event is already in
+    /// the log — sealing makes that prefix durable so recovery replays
+    /// it bit-exactly through the normal apply path.
+    pub fn seal(&mut self) -> io::Result<()> {
+        self.wal.sync()
+    }
+
     /// The wrapped session.
     pub fn session(&self) -> &EmbedderSession<E> {
         &self.session

@@ -87,6 +87,7 @@ pub fn write_snapshot(
     kind: u32,
     payload: &[u8],
 ) -> io::Result<PathBuf> {
+    glodyne_chaos::fail_io(glodyne_chaos::sites::SNAPSHOT_WRITE)?;
     fs::create_dir_all(dir)?;
     let mut bytes = Vec::with_capacity(HEADER_BYTES + payload.len() + 4);
     bytes.extend_from_slice(SNAPSHOT_MAGIC);

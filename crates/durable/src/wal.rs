@@ -302,6 +302,7 @@ impl WalWriter {
     }
 
     fn append_frame(&mut self, seq: u64, frame: Vec<u8>) -> io::Result<()> {
+        glodyne_chaos::fail_io(glodyne_chaos::sites::WAL_APPEND)?;
         if self.current_len >= self.segment_bytes {
             self.rotate(seq)?;
         }
@@ -338,6 +339,7 @@ impl WalWriter {
     /// snapshots, shutdown — regardless of policy, except that `Off`
     /// honours explicit calls too: they are barriers, not policy).
     pub fn sync(&mut self) -> io::Result<()> {
+        glodyne_chaos::fail_io(glodyne_chaos::sites::WAL_FSYNC)?;
         timed(&self.timing, |t| &t.wal_fsync, || self.file.sync_data())?;
         self.since_sync = 0;
         self.last_fsync = Some(Instant::now());

@@ -29,6 +29,18 @@ pub enum ServeError {
     /// A durability lineage could not be created or recovered (data
     /// directory I/O, corrupt state beyond what recovery tolerates).
     Durability(io::Error),
+    /// The bounded ingest queue was full and the caller asked to shed
+    /// load instead of blocking (fast-fail ingest). Carries the queue
+    /// gauge at rejection time for the structured wire error.
+    Overloaded {
+        /// Queue depth observed when the event was shed.
+        depth: usize,
+        /// The queue's bound.
+        capacity: usize,
+    },
+    /// A deadline-bounded operation (ingest enqueue, flush ack) ran
+    /// out of time before the trainer made room / answered.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for ServeError {
@@ -38,6 +50,10 @@ impl fmt::Display for ServeError {
             ServeError::Config(e) => write!(f, "invalid server configuration: {e}"),
             ServeError::Closed => write!(f, "serving session is shut down"),
             ServeError::Durability(e) => write!(f, "durable lineage failure: {e}"),
+            ServeError::Overloaded { depth, capacity } => {
+                write!(f, "ingest queue overloaded ({depth}/{capacity})")
+            }
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
         }
     }
 }
@@ -49,6 +65,8 @@ impl Error for ServeError {
             ServeError::Config(e) => Some(e),
             ServeError::Closed => None,
             ServeError::Durability(e) => Some(e),
+            ServeError::Overloaded { .. } => None,
+            ServeError::DeadlineExceeded => None,
         }
     }
 }

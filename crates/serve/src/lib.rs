@@ -43,7 +43,10 @@ pub use probe::{probe_recall, ProbeSettings};
 pub use protocol::{ErrorKind, NearestMode, ProtocolError, Request};
 pub use queue::{FlushOutcome, IngestQueue};
 pub use server::{Server, ServerConfig};
-pub use session::{AnnSettings, AnnStats, DurabilityStats, ServeStats, ServingSession};
+pub use session::{
+    AnnSettings, AnnStats, DurabilityStats, HealthStats, RebalanceStats, ServeStats,
+    ServingSession, DEFAULT_STALL_AFTER,
+};
 pub use shard::{ShardEpochStats, ShardedSession};
 pub use telemetry::{
     DurabilityTelemetry, ProbeTelemetry, ServeTelemetry, SlowQuery, TelemetryStats,

@@ -22,6 +22,14 @@
 //! Reads (`query`/`nearest`) are answered from the most recently
 //! *published* epoch, which may lag the write path by exactly the step
 //! currently training (see the crate docs' consistency model).
+//!
+//! Overload control: `ingest` and `flush` accept an optional
+//! `deadline_ms`; a request that cannot complete in time fails with
+//! `kind:"deadline_exceeded"`. A server in fast-fail mode sheds full
+//! queues with `kind:"overloaded"` instead of blocking, and a stalled
+//! or dead trainer turns writes into `kind:"degraded"` while reads
+//! keep answering from the last published epoch (see the `stats`
+//! response's `health` object).
 
 use crate::json::{self, Json};
 use crate::queue::FlushOutcome;
@@ -81,9 +89,20 @@ pub enum Request {
     Ingest {
         /// Events in arrival order.
         events: Vec<GraphEvent>,
+        /// Per-request deadline (`"deadline_ms"` field): wait at most
+        /// this long for queue headroom before answering
+        /// `deadline_exceeded`. `None` follows the server's overload
+        /// policy (block, or fast-fail when the server runs with
+        /// `fast_fail` on).
+        deadline_ms: Option<u64>,
     },
     /// Commit pending events as an epoch boundary and wait for the step.
-    Flush,
+    Flush {
+        /// Per-request deadline (`"deadline_ms"` field): wait at most
+        /// this long for the trainer's commit acknowledgement. The
+        /// flush stays queued if the deadline fires first.
+        deadline_ms: Option<u64>,
+    },
     /// Serving counters and the current epoch id.
     Stats,
     /// Prometheus text exposition of every telemetry series. The only
@@ -123,6 +142,14 @@ pub enum ErrorKind {
     /// The request needs a capability this server wasn't started with
     /// (e.g. ANN mode without an index).
     Unavailable,
+    /// The ingest queue is full and the server is shedding load
+    /// instead of blocking; retry with backoff.
+    Overloaded,
+    /// The request's `deadline_ms` elapsed before the work completed.
+    DeadlineExceeded,
+    /// The trainer is stalled or gone; reads still answer from the
+    /// last published epoch, writes are refused until it recovers.
+    Degraded,
 }
 
 impl ErrorKind {
@@ -134,6 +161,9 @@ impl ErrorKind {
             ErrorKind::TooLarge => "too_large",
             ErrorKind::ShuttingDown => "shutting_down",
             ErrorKind::Unavailable => "unavailable",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
+            ErrorKind::Degraded => "degraded",
         }
     }
 }
@@ -225,7 +255,9 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             Ok(Request::NearestBatch { nodes, k, mode })
         }
         "ingest" => parse_ingest(&value),
-        "flush" => Ok(Request::Flush),
+        "flush" => Ok(Request::Flush {
+            deadline_ms: parse_deadline(&value)?,
+        }),
         "stats" => Ok(Request::Stats),
         "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
@@ -329,7 +361,25 @@ fn parse_ingest(value: &Json) -> Result<Request, ProtocolError> {
             }
         }
     }
-    Ok(Request::Ingest { events })
+    Ok(Request::Ingest {
+        events,
+        deadline_ms: parse_deadline(value)?,
+    })
+}
+
+/// The optional `deadline_ms` field shared by `ingest` and `flush`.
+/// Zero is rejected — it would mean "fail unless already done", which
+/// a client really asking for fast-fail spells via the server's
+/// overload mode, not a degenerate deadline.
+fn parse_deadline(value: &Json) -> Result<Option<u64>, ProtocolError> {
+    match value.get("deadline_ms") {
+        None => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .filter(|&ms| ms >= 1)
+            .map(Some)
+            .ok_or_else(|| ProtocolError::bad("`deadline_ms` must be a positive integer")),
+    }
 }
 
 fn check_batch(len: usize) -> Result<(), ProtocolError> {
@@ -654,6 +704,42 @@ pub fn stats_line(s: &ServeStats) -> String {
                     Some(t) => telemetry_json(t),
                 },
             ),
+            // Trainer health verdict; null only on stats snapshots that
+            // predate the watchdog, so older clients parse unchanged.
+            (
+                "health".to_string(),
+                match &s.health {
+                    None => Json::Null,
+                    Some(h) => Json::Obj(vec![
+                        ("degraded".to_string(), Json::Bool(h.degraded)),
+                        ("trainer_alive".to_string(), Json::Bool(h.trainer_alive)),
+                        ("stale_epochs".to_string(), Json::Num(h.stale_epochs as f64)),
+                        ("stalled_ms".to_string(), Json::Num(h.stalled_ms as f64)),
+                    ]),
+                },
+            ),
+            // Rebalance throttle counters; null on unsharded servers,
+            // same null-compat convention as `shards`.
+            (
+                "rebalance".to_string(),
+                match &s.rebalance {
+                    None => Json::Null,
+                    Some(r) => Json::Obj(vec![
+                        (
+                            "rebalance_batches".to_string(),
+                            Json::Num(r.rebalance_batches as f64),
+                        ),
+                        (
+                            "migrated_nodes".to_string(),
+                            Json::Num(r.migrated_nodes as f64),
+                        ),
+                        (
+                            "pending_migrations".to_string(),
+                            Json::Num(r.pending_migrations as f64),
+                        ),
+                    ]),
+                },
+            ),
         ],
     )
 }
@@ -777,7 +863,10 @@ mod tests {
                 mode: NearestMode::Exact
             }
         );
-        assert_eq!(parse_request(r#"{"cmd":"flush"}"#).unwrap(), Request::Flush);
+        assert_eq!(
+            parse_request(r#"{"cmd":"flush"}"#).unwrap(),
+            Request::Flush { deadline_ms: None }
+        );
         assert_eq!(parse_request(r#"{"cmd":"stats"}"#).unwrap(), Request::Stats);
         assert_eq!(
             parse_request(r#"{"cmd":"shutdown"}"#).unwrap(),
@@ -835,7 +924,8 @@ mod tests {
                 events: vec![
                     GraphEvent::add_edge(NodeId(0), NodeId(1), 3),
                     GraphEvent::add_edge(NodeId(1), NodeId(2), 0),
-                ]
+                ],
+                deadline_ms: None,
             }
         );
         let r = parse_request(
@@ -854,9 +944,48 @@ mod tests {
                     GraphEvent::add_edge(NodeId(0), NodeId(1), 1),
                     GraphEvent::remove_edge(NodeId(0), NodeId(1), 2),
                     GraphEvent::remove_node(NodeId(9), 3),
-                ]
+                ],
+                deadline_ms: None,
             }
         );
+    }
+
+    #[test]
+    fn deadlines_parse_on_ingest_and_flush() {
+        assert_eq!(
+            parse_request(r#"{"cmd":"ingest","edges":[[0,1]],"deadline_ms":250}"#).unwrap(),
+            Request::Ingest {
+                events: vec![GraphEvent::add_edge(NodeId(0), NodeId(1), 0)],
+                deadline_ms: Some(250),
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"flush","deadline_ms":1000}"#).unwrap(),
+            Request::Flush {
+                deadline_ms: Some(1000),
+            }
+        );
+        for bad in [
+            r#"{"cmd":"flush","deadline_ms":0}"#,
+            r#"{"cmd":"flush","deadline_ms":-5}"#,
+            r#"{"cmd":"flush","deadline_ms":"soon"}"#,
+            r#"{"cmd":"ingest","edges":[[0,1]],"deadline_ms":1.5}"#,
+        ] {
+            let err = parse_request(bad).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::BadRequest, "{bad}");
+        }
+    }
+
+    #[test]
+    fn overload_error_kinds_have_stable_wire_spellings() {
+        assert_eq!(ErrorKind::Overloaded.as_str(), "overloaded");
+        assert_eq!(ErrorKind::DeadlineExceeded.as_str(), "deadline_exceeded");
+        assert_eq!(ErrorKind::Degraded.as_str(), "degraded");
+        let line = error_line(&ProtocolError {
+            kind: ErrorKind::Overloaded,
+            message: "ingest queue overloaded (16/16)".into(),
+        });
+        assert!(line.contains(r#""kind":"overloaded""#), "{line}");
     }
 
     #[test]
@@ -944,6 +1073,8 @@ mod tests {
             shards: None,
             durability: None,
             telemetry: None,
+            health: None,
+            rebalance: None,
         };
         assert!(stats_line(&base).contains(r#""ann":null"#));
         let with_ann = ServeStats {
@@ -1060,6 +1191,8 @@ mod tests {
             shards: None,
             durability: None,
             telemetry: None,
+            health: None,
+            rebalance: None,
         };
         // Regression: an unsharded server renders "shards":null and
         // every pre-sharding field exactly as before, so a client
@@ -1129,6 +1262,8 @@ mod tests {
             shards: None,
             durability: None,
             telemetry: None,
+            health: None,
+            rebalance: None,
         };
         // Regression: an in-memory server renders "durability":null
         // and every pre-durability field exactly as before, so a
@@ -1203,6 +1338,8 @@ mod tests {
             shards: None,
             durability: None,
             telemetry: None,
+            health: None,
+            rebalance: None,
         };
         // Regression (wire compat): with telemetry disabled the
         // response renders "telemetry":null and every pre-telemetry
@@ -1269,5 +1406,77 @@ mod tests {
             slow[0].get("micros").and_then(Json::as_u64) == Some(250),
             "{line}"
         );
+    }
+
+    #[test]
+    fn stats_health_and_rebalance_objects_and_compatibility() {
+        let base = ServeStats {
+            epoch: 2,
+            nodes: 6,
+            dim: 8,
+            queue_depth: 1,
+            queue_capacity: 16,
+            queue_high_water: 5,
+            events_accepted: 7,
+            ann: None,
+            shards: None,
+            durability: None,
+            telemetry: None,
+            health: None,
+            rebalance: None,
+        };
+        // Regression (wire compat): both new keys render null when
+        // absent, appended after every pre-watchdog field, so older
+        // clients parse the response unchanged.
+        let line = stats_line(&base);
+        assert!(line.contains(r#""health":null"#), "{line}");
+        assert!(line.contains(r#""rebalance":null"#), "{line}");
+        let parsed = json::parse(&line).unwrap();
+        for key in [
+            "epoch",
+            "nodes",
+            "dim",
+            "queue_depth",
+            "queue_capacity",
+            "events_accepted",
+            "ann",
+            "shards",
+            "durability",
+            "telemetry",
+        ] {
+            assert!(
+                parsed.get(key).is_some(),
+                "pre-watchdog field {key}: {line}"
+            );
+        }
+
+        let live = ServeStats {
+            health: Some(crate::session::HealthStats {
+                degraded: true,
+                trainer_alive: false,
+                stale_epochs: 3,
+                stalled_ms: 1200,
+            }),
+            rebalance: Some(crate::session::RebalanceStats {
+                rebalance_batches: 2,
+                migrated_nodes: 40,
+                pending_migrations: 5,
+            }),
+            ..base
+        };
+        let line = stats_line(&live);
+        assert!(
+            line.contains(
+                r#""health":{"degraded":true,"trainer_alive":false,"stale_epochs":3,"stalled_ms":1200}"#
+            ),
+            "{line}"
+        );
+        assert!(
+            line.contains(
+                r#""rebalance":{"rebalance_batches":2,"migrated_nodes":40,"pending_migrations":5}"#
+            ),
+            "{line}"
+        );
+        json::parse(&line).unwrap();
     }
 }

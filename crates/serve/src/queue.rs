@@ -12,9 +12,9 @@ use crate::error::ServeError;
 use glodyne_graph::state::GraphEvent;
 use glodyne_telemetry::Histogram;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// What the trainer sees on its inbox.
 pub(crate) enum TrainerMsg {
@@ -98,12 +98,16 @@ impl IngestQueue {
     /// Enqueue one event, blocking while the queue is full
     /// (back-pressure). [`ServeError::Closed`] once the trainer exits.
     pub fn send_event(&self, event: GraphEvent) -> Result<(), ServeError> {
+        self.enqueue_failpoint()?;
         self.send_event_seq(0, event)
     }
 
     /// [`IngestQueue::send_event`] tagged with an explicit durable
-    /// sequence number (sharded-durable ingest, where the router
-    /// assigns one client sequence across every lineage).
+    /// sequence number (sharded ingest, where the router assigns one
+    /// client sequence across every lineage). No failpoint here: the
+    /// sharded path checks `ingest.enqueue` *before* the router WAL
+    /// append — shedding after the event is durable would let recovery
+    /// replay an event the live run never applied.
     pub(crate) fn send_event_seq(&self, seq: u64, event: GraphEvent) -> Result<(), ServeError> {
         let depth = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
         // The high-water mark survives between polls: back-pressure
@@ -125,6 +129,88 @@ impl IngestQueue {
         }
     }
 
+    /// Fast-fail enqueue: never blocks. A full queue sheds the event
+    /// with [`ServeError::Overloaded`] instead of back-pressuring the
+    /// calling thread — the overload-control mode for wire ingest,
+    /// where blocking would hold the connection's reader hostage.
+    pub fn try_send_event(&self, event: GraphEvent) -> Result<(), ServeError> {
+        self.enqueue_failpoint()?;
+        self.try_send_event_seq(0, event)
+    }
+
+    /// [`IngestQueue::try_send_event`] with an explicit sequence (and,
+    /// as with [`IngestQueue::send_event_seq`], no failpoint).
+    pub(crate) fn try_send_event_seq(&self, seq: u64, event: GraphEvent) -> Result<(), ServeError> {
+        let depth = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.high_water.fetch_max(depth, Ordering::Relaxed);
+        match self.tx.try_send(TrainerMsg::Event {
+            seq,
+            event,
+            queued: Instant::now(),
+        }) {
+            Ok(()) => {
+                self.accepted.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(err) => {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                match err {
+                    TrySendError::Full(_) => Err(ServeError::Overloaded {
+                        depth: self.depth(),
+                        capacity: self.capacity,
+                    }),
+                    TrySendError::Disconnected(_) => Err(ServeError::Closed),
+                }
+            }
+        }
+    }
+
+    /// Deadline-bounded enqueue: retries a full queue until `deadline`,
+    /// then gives up with [`ServeError::DeadlineExceeded`]. Bounds how
+    /// long a back-pressured producer can be held, without shedding on
+    /// a transient spike the trainer drains in time.
+    pub fn send_event_deadline(
+        &self,
+        event: GraphEvent,
+        deadline: Instant,
+    ) -> Result<(), ServeError> {
+        self.enqueue_failpoint()?;
+        self.send_event_seq_deadline(0, event, deadline)
+    }
+
+    /// [`IngestQueue::send_event_deadline`] with an explicit sequence.
+    pub(crate) fn send_event_seq_deadline(
+        &self,
+        seq: u64,
+        event: GraphEvent,
+        deadline: Instant,
+    ) -> Result<(), ServeError> {
+        loop {
+            match self.try_send_event_seq(seq, event) {
+                Err(ServeError::Overloaded { .. }) => {
+                    if Instant::now() >= deadline {
+                        return Err(ServeError::DeadlineExceeded);
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// The shared `ingest.enqueue` failpoint: delays and stalls take
+    /// effect in place; an injected failure sheds the event as an
+    /// overload.
+    fn enqueue_failpoint(&self) -> Result<(), ServeError> {
+        if glodyne_chaos::shed(glodyne_chaos::sites::INGEST_ENQUEUE) {
+            return Err(ServeError::Overloaded {
+                depth: self.depth(),
+                capacity: self.capacity,
+            });
+        }
+        Ok(())
+    }
+
     /// Enqueue a flush and wait for the trainer to commit everything
     /// sent before it.
     pub fn request_flush(&self) -> Result<FlushOutcome, ServeError> {
@@ -133,6 +219,24 @@ impl IngestQueue {
             .send(TrainerMsg::Flush(ack_tx))
             .map_err(|_| ServeError::Closed)?;
         ack_rx.recv().map_err(|_| ServeError::Closed)
+    }
+
+    /// [`IngestQueue::request_flush`] that gives up waiting for the
+    /// trainer's ack at `deadline`. The flush itself stays queued — a
+    /// stalled trainer that later recovers still commits it — but the
+    /// caller gets its thread back with
+    /// [`ServeError::DeadlineExceeded`].
+    pub fn request_flush_deadline(&self, deadline: Instant) -> Result<FlushOutcome, ServeError> {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        self.tx
+            .send(TrainerMsg::Flush(ack_tx))
+            .map_err(|_| ServeError::Closed)?;
+        let wait = deadline.saturating_duration_since(Instant::now());
+        match ack_rx.recv_timeout(wait) {
+            Ok(outcome) => Ok(outcome),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(ServeError::DeadlineExceeded),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::Closed),
+        }
     }
 
     /// Enqueue a durable barrier checkpoint stamped `seq` and wait for
@@ -164,6 +268,15 @@ impl IngestQueue {
     /// The queue's bound.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Whether at least `n` slots are currently free (approximate, but
+    /// conservative under a single writer: concurrent trainer drains
+    /// only widen the headroom). The sharded fast-fail pre-check uses
+    /// this to refuse an event *before* WAL-logging it, so a shed event
+    /// is never half-accepted.
+    pub(crate) fn has_free(&self, n: usize) -> bool {
+        self.capacity.saturating_sub(self.depth()) >= n
     }
 
     /// Events accepted over the queue's lifetime.
@@ -276,6 +389,75 @@ mod tests {
         }
         barrier.join().unwrap().unwrap();
     }
+
+    #[test]
+    fn try_send_sheds_on_full_and_reports_the_gauge() {
+        let (q, inbox) = bounded(2);
+        q.try_send_event(ev(0)).unwrap();
+        q.try_send_event(ev(1)).unwrap();
+        match q.try_send_event(ev(2)) {
+            Err(ServeError::Overloaded { depth, capacity }) => {
+                assert_eq!(depth, 2);
+                assert_eq!(capacity, 2);
+            }
+            other => panic!("expected overloaded, got {other:?}"),
+        }
+        assert_eq!(q.depth(), 2, "shed event must not leak depth");
+        assert_eq!(q.accepted(), 2);
+        assert!(!q.has_free(1));
+        inbox.recv();
+        assert!(q.has_free(1));
+        q.try_send_event(ev(3)).unwrap();
+    }
+
+    #[test]
+    fn deadline_send_waits_then_gives_up() {
+        let (q, inbox) = bounded(1);
+        q.send_event(ev(0)).unwrap();
+        // No drain: the deadline expires against a full queue.
+        let deadline = Instant::now() + Duration::from_millis(30);
+        let start = Instant::now();
+        assert!(matches!(
+            q.send_event_deadline(ev(1), deadline),
+            Err(ServeError::DeadlineExceeded)
+        ));
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        // With a drain in flight the same call succeeds.
+        let q2 = q.clone();
+        let sender = std::thread::spawn(move || {
+            q2.send_event_deadline(ev(2), Instant::now() + Duration::from_secs(5))
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        inbox.recv();
+        sender.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn deadline_flush_times_out_without_a_trainer_ack() {
+        let (q, inbox) = bounded(4);
+        let deadline = Instant::now() + Duration::from_millis(20);
+        assert!(matches!(
+            q.request_flush_deadline(deadline),
+            Err(ServeError::DeadlineExceeded)
+        ));
+        // The flush stayed queued: a recovered trainer still sees it.
+        match inbox.recv() {
+            Some(TrainerMsg::Flush(ack)) => {
+                // The requester is gone; the ack send fails silently.
+                assert!(ack
+                    .send(FlushOutcome {
+                        stepped: false,
+                        epoch: 0
+                    })
+                    .is_err());
+            }
+            _ => panic!("expected the timed-out flush to remain queued"),
+        }
+    }
+
+    // The `ingest.enqueue` failpoint is exercised in the serialized
+    // integration chaos suite (tests/chaos.rs): arming the shared
+    // global site here would race the other unit tests' sends.
 
     #[test]
     fn closed_inbox_yields_closed_errors() {

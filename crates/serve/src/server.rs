@@ -64,6 +64,22 @@ pub struct ServerConfig {
     /// Requests at or above this wall time (micros) land in the
     /// telemetry slow-query ring.
     pub slow_query_us: u64,
+    /// Shed ingest instead of blocking on it: with fast-fail on, an
+    /// `ingest` against full queues answers `overloaded` immediately
+    /// rather than parking the connection thread until the trainer
+    /// drains. Reads are unaffected either way — they never touch the
+    /// queue.
+    pub fast_fail: bool,
+    /// Deadline applied to `ingest`/`flush` requests that don't carry
+    /// their own `deadline_ms`; `None` means no implicit deadline.
+    pub default_deadline_ms: Option<u64>,
+    /// How long the trainer may sit on pending work before the health
+    /// watchdog reports the server degraded.
+    pub stall_after_ms: u64,
+    /// Socket write timeout per response line: a slow consumer that
+    /// stops reading gets disconnected instead of pinning the
+    /// connection thread (and its slot) forever. `None` disables.
+    pub write_timeout_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -76,17 +92,63 @@ impl Default for ServerConfig {
             telemetry: false,
             probe: None,
             slow_query_us: crate::telemetry::DEFAULT_SLOW_THRESHOLD_US,
+            fast_fail: false,
+            default_deadline_ms: None,
+            stall_after_ms: crate::session::DEFAULT_STALL_AFTER.as_millis() as u64,
+            write_timeout_ms: Some(30_000),
         }
     }
 }
 
 impl ServerConfig {
+    /// Reject degenerate overload settings before a socket exists.
+    fn validate(&self) -> Result<(), glodyne_embed::ConfigError> {
+        if self.default_deadline_ms == Some(0) {
+            return Err(glodyne_embed::ConfigError::new(
+                "default_deadline_ms",
+                "a zero deadline would fail every write; use fast_fail for shed-on-full",
+            ));
+        }
+        if self.stall_after_ms == 0 {
+            return Err(glodyne_embed::ConfigError::new(
+                "stall_after_ms",
+                "must be at least 1ms, or the watchdog calls every busy trainer stalled",
+            ));
+        }
+        if self.write_timeout_ms == Some(0) {
+            return Err(glodyne_embed::ConfigError::new(
+                "write_timeout_ms",
+                "must be at least 1ms; use None to disable the write timeout",
+            ));
+        }
+        Ok(())
+    }
+
     /// Build the telemetry hub this config asks for (`None` when
     /// telemetry is off).
     fn hub(&self) -> Option<Arc<ServeTelemetry>> {
         self.telemetry
             .then(|| Arc::new(ServeTelemetry::new(self.slow_query_us)))
     }
+
+    /// The per-connection slice of this config.
+    fn conn_policy(&self) -> ConnPolicy {
+        ConnPolicy {
+            max_line: self.max_line_bytes.max(1),
+            write_timeout: self.write_timeout_ms.map(Duration::from_millis),
+            fast_fail: self.fast_fail,
+            default_deadline_ms: self.default_deadline_ms,
+        }
+    }
+}
+
+/// What a connection thread needs from [`ServerConfig`].
+#[derive(Debug, Clone, Copy)]
+struct ConnPolicy {
+    max_line: usize,
+    write_timeout: Option<Duration>,
+    fast_fail: bool,
+    default_deadline_ms: Option<u64>,
 }
 
 /// The serving engine behind a [`Server`]: one trainer (unsharded) or
@@ -219,10 +281,49 @@ impl Backend {
         }
     }
 
+    fn ingest_fast_fail(&self, events: &[GraphEvent]) -> Result<usize, ServeError> {
+        match self {
+            Backend::Single(s) => s.ingest_fast_fail(events),
+            Backend::Sharded(s) => s.ingest_fast_fail(events),
+        }
+    }
+
+    fn ingest_deadline(
+        &self,
+        events: &[GraphEvent],
+        deadline: Instant,
+    ) -> Result<usize, ServeError> {
+        match self {
+            Backend::Single(s) => s.ingest_deadline(events, deadline),
+            Backend::Sharded(s) => s.ingest_deadline(events, deadline),
+        }
+    }
+
     fn flush(&self) -> Result<FlushOutcome, ServeError> {
         match self {
             Backend::Single(s) => s.flush(),
             Backend::Sharded(s) => s.flush(),
+        }
+    }
+
+    fn flush_deadline(&self, deadline: Instant) -> Result<FlushOutcome, ServeError> {
+        match self {
+            Backend::Single(s) => s.flush_deadline(deadline),
+            Backend::Sharded(s) => s.flush_deadline(deadline),
+        }
+    }
+
+    fn health(&self) -> crate::session::HealthStats {
+        match self {
+            Backend::Single(s) => s.health(),
+            Backend::Sharded(s) => s.health(),
+        }
+    }
+
+    fn set_stall_after(&self, stall_after: Duration) {
+        match self {
+            Backend::Single(s) => s.set_stall_after(stall_after),
+            Backend::Sharded(s) => s.set_stall_after(stall_after),
         }
     }
 
@@ -280,6 +381,7 @@ pub struct Server {
     addr: SocketAddr,
     backend: Arc<Backend>,
     shutdown: Arc<AtomicBool>,
+    slots: Arc<Slots>,
     accept: Option<JoinHandle<u64>>,
     probe: Option<JoinHandle<()>>,
 }
@@ -404,9 +506,11 @@ impl Server {
         addr: &str,
         cfg: &ServerConfig,
     ) -> Result<Server, ServeError> {
+        cfg.validate().map_err(ServeError::Config)?;
         if let Some(settings) = &cfg.probe {
             settings.validate().map_err(ServeError::Config)?;
         }
+        backend.set_stall_after(Duration::from_millis(cfg.stall_after_ms));
         let listener = TcpListener::bind(addr).map_err(|source| ServeError::Bind {
             addr: addr.to_string(),
             source,
@@ -417,11 +521,12 @@ impl Server {
         })?;
         let serving = Arc::new(backend);
         let shutdown = Arc::new(AtomicBool::new(false));
+        let slots = Arc::new(Slots::new(cfg.max_connections.max(1)));
         let accept = {
             let serving = Arc::clone(&serving);
             let shutdown = Arc::clone(&shutdown);
-            let slots = Arc::new(Slots::new(cfg.max_connections.max(1)));
-            let max_line = cfg.max_line_bytes.max(1);
+            let slots = Arc::clone(&slots);
+            let policy = cfg.conn_policy();
             thread::Builder::new()
                 .name("glodyne-accept".into())
                 .spawn(move || {
@@ -432,13 +537,19 @@ impl Server {
                             Err(_) if shutdown.load(Ordering::SeqCst) => break,
                             Err(_) => continue,
                         };
+                        // One-line request/response traffic is the
+                        // textbook Nagle + delayed-ACK pathology:
+                        // without this, every round-trip can stall for
+                        // tens of ms waiting for an ACK that is itself
+                        // delayed. Latency protocol — disable batching.
+                        let _ = stream.set_nodelay(true);
                         if shutdown.load(Ordering::SeqCst) {
                             break; // woken by the loopback nudge
                         }
                         // With every slot taken this waits for one to
                         // free up — back-pressure at the door — but
-                        // keeps observing the shutdown flag so a stuck
-                        // client can't pin the accept loop forever.
+                        // still aborts on shutdown: permit releases and
+                        // `Slots::close` both wake the wait.
                         let Some(permit) = slots.acquire(&shutdown) else {
                             break;
                         };
@@ -451,7 +562,7 @@ impl Server {
                                 .spawn(move || {
                                     let _permit = permit;
                                     let _ = handle_connection(
-                                        stream, &serving, &shutdown, local, max_line,
+                                        stream, &serving, &shutdown, local, policy,
                                     );
                                 });
                         // Spawn failure (resource exhaustion): the
@@ -469,6 +580,7 @@ impl Server {
             addr: local,
             backend: serving,
             shutdown,
+            slots,
             accept: Some(accept),
             probe,
         })
@@ -541,6 +653,10 @@ impl Server {
     /// equivalent of the wire `shutdown` command.
     pub fn request_shutdown(&self) {
         initiate_shutdown(&self.shutdown, self.addr);
+        // The accept loop may be parked in `Slots::acquire` rather than
+        // `accept()`; close the semaphore so it observes the flag
+        // without waiting for a permit to free up.
+        self.slots.close();
     }
 
     /// Block until the server shuts down (via the wire command or
@@ -601,24 +717,32 @@ impl Slots {
         }
     }
 
-    /// Wait for a free slot, re-checking `shutdown` while waiting;
-    /// `None` once shutdown is requested.
+    /// Wait for a free slot; `None` once shutdown is requested. The
+    /// wait is a plain (untimed) condvar park: every permit release
+    /// notifies it, and shutdown paths that can't release a permit call
+    /// [`Slots::close`] — no polling.
     fn acquire(self: &Arc<Self>, shutdown: &AtomicBool) -> Option<SlotPermit> {
         let mut free = self.free.lock().unwrap_or_else(PoisonError::into_inner);
-        while *free == 0 {
+        loop {
             if shutdown.load(Ordering::SeqCst) {
                 return None;
             }
-            // Bounded wait: permits are released without a shutdown
-            // signal path into this condvar, so poll the flag.
-            let (guard, _) = self
-                .cv
-                .wait_timeout(free, std::time::Duration::from_millis(100))
-                .unwrap_or_else(PoisonError::into_inner);
-            free = guard;
+            if *free > 0 {
+                break;
+            }
+            free = self.cv.wait(free).unwrap_or_else(PoisonError::into_inner);
         }
         *free -= 1;
         Some(SlotPermit(Arc::clone(self)))
+    }
+
+    /// Wake every waiter so it re-checks the shutdown flag. Callers
+    /// set the flag *before* closing; taking the slot mutex here orders
+    /// this notify after any in-flight flag check, so a waiter can't
+    /// slip past both and park forever.
+    fn close(&self) {
+        let _free = self.free.lock().unwrap_or_else(PoisonError::into_inner);
+        self.cv.notify_all();
     }
 }
 
@@ -711,11 +835,17 @@ fn handle_connection(
     serving: &Backend,
     shutdown: &AtomicBool,
     local: SocketAddr,
-    max_line: usize,
+    policy: ConnPolicy,
 ) -> io::Result<()> {
+    // Slow-consumer guard: a client that stops reading its responses
+    // eventually fills the socket buffer; the timeout turns that from a
+    // permanently pinned slot into a dropped connection.
+    stream.set_write_timeout(policy.write_timeout)?;
+    let max_line = policy.max_line;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     loop {
+        glodyne_chaos::fail_io(glodyne_chaos::sites::SOCKET_READ)?;
         let line = match read_line_limited(&mut reader, max_line)? {
             LineRead::Eof => return Ok(()),
             LineRead::Oversized => {
@@ -750,7 +880,7 @@ fn handle_connection(
         let wants_shutdown = request == Request::Shutdown;
         let wire = wire_command(&request);
         let started = Instant::now();
-        let response = dispatch(request, serving, shutdown);
+        let response = dispatch(request, serving, shutdown, policy);
         if let (Some(telemetry), Some((cmd, nodes))) = (serving.telemetry(), wire) {
             telemetry.observe_request(
                 cmd,
@@ -768,13 +898,19 @@ fn handle_connection(
 }
 
 fn respond(writer: &mut TcpStream, line: &str) -> io::Result<()> {
+    glodyne_chaos::fail_io(glodyne_chaos::sites::SOCKET_WRITE)?;
     writer.write_all(line.as_bytes())?;
     writer.write_all(b"\n")?;
     writer.flush()
 }
 
 /// Turn one request into one response line.
-fn dispatch(request: Request, serving: &Backend, shutdown: &AtomicBool) -> String {
+fn dispatch(
+    request: Request,
+    serving: &Backend,
+    shutdown: &AtomicBool,
+    policy: ConnPolicy,
+) -> String {
     match request {
         Request::Query { node } => {
             // The backend resolves the lookup and the reported epoch id
@@ -821,24 +957,41 @@ fn dispatch(request: Request, serving: &Backend, shutdown: &AtomicBool) -> Strin
                 }),
             },
         },
-        Request::Ingest { events } => {
+        Request::Ingest {
+            events,
+            deadline_ms,
+        } => {
             if shutdown.load(Ordering::SeqCst) {
                 return shutting_down();
             }
-            match serving.ingest(&events) {
+            if let Some(line) = degraded_write_rejection(serving) {
+                return line;
+            }
+            let deadline = write_deadline(deadline_ms, policy);
+            let result = match deadline {
+                Some(at) => serving.ingest_deadline(&events, at),
+                None if policy.fast_fail => serving.ingest_fast_fail(&events),
+                None => serving.ingest(&events),
+            };
+            match result {
                 Ok(accepted) => protocol::ingest_line(accepted),
-                Err(ServeError::Closed) => shutting_down(),
-                Err(e) => protocol::error_line(&ProtocolError::bad(e.to_string())),
+                Err(e) => write_error_line(e, serving),
             }
         }
-        Request::Flush => {
+        Request::Flush { deadline_ms } => {
             if shutdown.load(Ordering::SeqCst) {
                 return shutting_down();
             }
-            match serving.flush() {
+            if let Some(line) = degraded_write_rejection(serving) {
+                return line;
+            }
+            let result = match write_deadline(deadline_ms, policy) {
+                Some(at) => serving.flush_deadline(at),
+                None => serving.flush(),
+            };
+            match result {
                 Ok(outcome) => protocol::flush_line(outcome),
-                Err(ServeError::Closed) => shutting_down(),
-                Err(e) => protocol::error_line(&ProtocolError::bad(e.to_string())),
+                Err(e) => write_error_line(e, serving),
             }
         }
         Request::Stats => protocol::stats_line(&serving.stats()),
@@ -866,10 +1019,66 @@ fn wire_command(request: &Request) -> Option<(&'static str, usize)> {
         Request::Query { .. } => Some(("query", 1)),
         Request::Nearest { .. } => Some(("nearest", 1)),
         Request::NearestBatch { nodes, .. } => Some(("nearest_batch", nodes.len())),
-        Request::Ingest { events } => Some(("ingest", events.len())),
-        Request::Flush => Some(("flush", 0)),
+        Request::Ingest { events, .. } => Some(("ingest", events.len())),
+        Request::Flush { .. } => Some(("flush", 0)),
         Request::Stats => Some(("stats", 0)),
         Request::Metrics | Request::Shutdown => None,
+    }
+}
+
+/// The effective deadline of a write request: the request's own
+/// `deadline_ms`, else the server default, else none.
+fn write_deadline(deadline_ms: Option<u64>, policy: ConnPolicy) -> Option<Instant> {
+    deadline_ms
+        .or(policy.default_deadline_ms)
+        .map(|ms| Instant::now() + Duration::from_millis(ms))
+}
+
+/// `Some(error line)` when the watchdog says writes must be refused.
+/// Blocking an ingest behind a stalled trainer would park the
+/// connection thread (and, on a full queue, every later writer)
+/// indefinitely; failing fast keeps the error structured and the
+/// reader path untouched.
+fn degraded_write_rejection(serving: &Backend) -> Option<String> {
+    let health = serving.health();
+    if !health.degraded {
+        return None;
+    }
+    Some(protocol::error_line(&ProtocolError {
+        kind: ErrorKind::Degraded,
+        message: if health.trainer_alive {
+            format!(
+                "trainer stalled for {}ms with {} uncommitted flush(es); \
+                 reads still serve the last published epoch",
+                health.stalled_ms, health.stale_epochs
+            )
+        } else {
+            "trainer is gone; reads still serve the last published epoch".into()
+        },
+    }))
+}
+
+/// Map a write-path [`ServeError`] to its structured wire error.
+fn write_error_line(e: ServeError, serving: &Backend) -> String {
+    match e {
+        // A closed trainer channel is graceful shutdown *or* a dead
+        // trainer thread; the watchdog tells them apart.
+        ServeError::Closed => {
+            if serving.health().trainer_alive {
+                shutting_down()
+            } else {
+                degraded_write_rejection(serving).unwrap_or_else(shutting_down)
+            }
+        }
+        ServeError::Overloaded { depth, capacity } => protocol::error_line(&ProtocolError {
+            kind: ErrorKind::Overloaded,
+            message: format!("ingest queue overloaded ({depth}/{capacity}); retry with backoff"),
+        }),
+        ServeError::DeadlineExceeded => protocol::error_line(&ProtocolError {
+            kind: ErrorKind::DeadlineExceeded,
+            message: "deadline exceeded before the write completed".into(),
+        }),
+        e => protocol::error_line(&ProtocolError::bad(e.to_string())),
     }
 }
 
@@ -973,12 +1182,37 @@ mod tests {
             thread::spawn(move || slots.acquire(&shutdown).is_none())
         };
         thread::sleep(std::time::Duration::from_millis(30));
-        // The permit is still held; only the flag can release the
-        // waiter.
+        // The permit is still held; the waiter parks untimed, so the
+        // flag flip must be followed by an explicit close() wake.
         shutdown.store(true, Ordering::SeqCst);
+        slots.close();
         assert!(
             waiter.join().unwrap(),
             "acquire must yield None on shutdown instead of waiting for the permit"
+        );
+    }
+
+    #[test]
+    fn released_permit_wakes_a_waiter_that_then_sees_shutdown() {
+        // The wire-shutdown path has no Slots reference: the shutting
+        // connection's own permit release is what wakes the acquire,
+        // which must then observe the flag instead of taking the slot
+        // blindly... unless a slot is genuinely free, in which case the
+        // flag still wins (checked first).
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let slots = Arc::new(Slots::new(1));
+        let held = slots.acquire(&shutdown).unwrap();
+        let waiter = {
+            let slots = Arc::clone(&slots);
+            let shutdown = Arc::clone(&shutdown);
+            thread::spawn(move || slots.acquire(&shutdown).is_none())
+        };
+        thread::sleep(std::time::Duration::from_millis(30));
+        shutdown.store(true, Ordering::SeqCst);
+        drop(held); // permit release is the only wake-up
+        assert!(
+            waiter.join().unwrap(),
+            "a woken waiter must re-check the shutdown flag before taking the freed slot"
         );
     }
 }

@@ -27,6 +27,8 @@ use glodyne_embed::traits::CheckpointEmbedder;
 use glodyne_embed::{ConfigError, DynamicEmbedder, Embedding};
 use glodyne_graph::state::GraphEvent;
 use glodyne_graph::NodeId;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -151,6 +153,136 @@ impl DurabilityShared {
     }
 }
 
+/// How long the trainer may go without observable progress — while
+/// work is pending — before the watchdog declares the server degraded.
+pub const DEFAULT_STALL_AFTER: Duration = Duration::from_secs(5);
+
+/// The watchdog's verdict on the trainer, surfaced through the `stats`
+/// op's `"health"` object and the `glodyne_health_*` Prometheus gauges.
+///
+/// Degraded mode is explicit, not inferred: reads keep serving the
+/// last published epoch (they never blocked on the trainer to begin
+/// with), writes get structured errors, and operators see *why* —
+/// a panicked trainer (`trainer_alive == false`) or a stalled one
+/// (`stalled_ms` past the threshold with work pending).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthStats {
+    /// `true` when the trainer has panicked or stalled with work
+    /// pending. Reads still answer; writes are rejected with a
+    /// structured `degraded` error at the wire.
+    pub degraded: bool,
+    /// `false` once the trainer thread has panicked (its WAL was
+    /// sealed on the way down; recovery replays the committed prefix).
+    pub trainer_alive: bool,
+    /// Flush boundaries accepted but not yet committed by the trainer
+    /// — how many epochs behind the served embedding is.
+    pub stale_epochs: u64,
+    /// Milliseconds since the trainer last made progress, reported
+    /// only while work is pending (0 on an idle, healthy session).
+    pub stalled_ms: u64,
+}
+
+/// The watchdog ledger shared between the trainer thread (heartbeats,
+/// completions, the panic flag) and readers (lazy evaluation on every
+/// `stats`/dispatch — no dedicated watchdog thread to schedule, no
+/// polling interval to tune).
+pub(crate) struct HealthState {
+    base: Instant,
+    /// Microseconds since `base` of the trainer's last progress beat.
+    heartbeat_us: AtomicU64,
+    panicked: AtomicBool,
+    flushes_requested: AtomicU64,
+    flushes_completed: AtomicU64,
+    stall_after_us: AtomicU64,
+}
+
+impl HealthState {
+    pub(crate) fn new(stall_after: Duration) -> Self {
+        let state = HealthState {
+            base: Instant::now(),
+            heartbeat_us: AtomicU64::new(0),
+            panicked: AtomicBool::new(false),
+            flushes_requested: AtomicU64::new(0),
+            flushes_completed: AtomicU64::new(0),
+            stall_after_us: AtomicU64::new(stall_after.as_micros() as u64),
+        };
+        state.beat();
+        state
+    }
+
+    fn now_us(&self) -> u64 {
+        Instant::now()
+            .saturating_duration_since(self.base)
+            .as_micros() as u64
+    }
+
+    /// Trainer-side: record progress (called after every message).
+    pub(crate) fn beat(&self) {
+        self.heartbeat_us.store(self.now_us(), Ordering::Release);
+    }
+
+    /// Trainer-side: the loop unwound — the server is degraded until
+    /// restart, no matter how fresh the last heartbeat was.
+    pub(crate) fn mark_panicked(&self) {
+        self.panicked.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn flush_requested(&self) {
+        self.flushes_requested.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Undo a `flush_requested` whose message never reached the
+    /// trainer (channel closed) — it will never complete, and must not
+    /// count as a stale epoch forever.
+    pub(crate) fn flush_unrequested(&self) {
+        self.flushes_requested.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    pub(crate) fn flush_completed(&self) {
+        self.flushes_completed.fetch_add(1, Ordering::AcqRel);
+    }
+
+    pub(crate) fn set_stall_after(&self, stall_after: Duration) {
+        self.stall_after_us
+            .store(stall_after.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Evaluate the verdict right now. `queue_depth` is the caller's
+    /// view of pending ingest: a silent trainer is only *stalled* when
+    /// there is work it should be making progress on.
+    pub(crate) fn evaluate(&self, queue_depth: usize) -> HealthStats {
+        let panicked = self.panicked.load(Ordering::Acquire);
+        let stale_epochs = self
+            .flushes_requested
+            .load(Ordering::Acquire)
+            .saturating_sub(self.flushes_completed.load(Ordering::Acquire));
+        let age_us = self
+            .now_us()
+            .saturating_sub(self.heartbeat_us.load(Ordering::Acquire));
+        let pending = queue_depth > 0 || stale_epochs > 0;
+        let stalled = pending && age_us > self.stall_after_us.load(Ordering::Relaxed);
+        HealthStats {
+            degraded: panicked || stalled,
+            trainer_alive: !panicked,
+            stale_epochs,
+            stalled_ms: if pending { age_us / 1000 } else { 0 },
+        }
+    }
+}
+
+/// Drift-rebalance throttling counters of a sharded session, surfaced
+/// through the `stats` op's `"rebalance"` object (`null` when serving
+/// unsharded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RebalanceStats {
+    /// Flush boundaries that drained at least one queued migration.
+    pub rebalance_batches: u64,
+    /// Mirror events migrated across shards since spawn.
+    pub migrated_nodes: u64,
+    /// Migrations queued behind the per-flush budget right now.
+    pub pending_migrations: usize,
+}
+
 /// A point-in-time view of the serving counters (the `stats` command).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeStats {
@@ -189,6 +321,13 @@ pub struct ServeStats {
     /// (rendered `"telemetry":null` on the wire, invisible to
     /// pre-telemetry clients).
     pub telemetry: Option<TelemetryStats>,
+    /// Trainer watchdog verdict; always present on live sessions
+    /// (sharded sessions aggregate: any degraded shard degrades the
+    /// whole server, `stale_epochs` is the worst shard's).
+    pub health: Option<HealthStats>,
+    /// Rebalance throttling counters; `None` on unsharded sessions
+    /// (rendered `"rebalance":null` on the wire).
+    pub rebalance: Option<RebalanceStats>,
 }
 
 /// The concurrent wrapper around a moved-away `EmbedderSession`.
@@ -202,6 +341,7 @@ pub struct ServingSession {
     ann: Option<AnnSettings>,
     durability: Option<Arc<DurabilityShared>>,
     telemetry: Option<Arc<ServeTelemetry>>,
+    health: Arc<HealthState>,
 }
 
 impl ServingSession {
@@ -270,9 +410,11 @@ impl ServingSession {
         }
         let stages = telemetry.as_ref().map(|t| t.trainer_stages());
         let publisher = epochs.clone();
+        let health = Arc::new(HealthState::new(DEFAULT_STALL_AFTER));
+        let pulse = Arc::clone(&health);
         let trainer = thread::Builder::new()
             .name("glodyne-trainer".into())
-            .spawn(move || trainer_loop(session, inbox, publisher, ann, stages))
+            .spawn(move || trainer_loop(session, inbox, publisher, ann, stages, pulse))
             .expect("spawn trainer thread");
         Ok(ServingSession {
             queue,
@@ -281,6 +423,7 @@ impl ServingSession {
             ann,
             durability: None,
             telemetry,
+            health,
         })
     }
 
@@ -347,9 +490,13 @@ impl ServingSession {
         let stages = telemetry.as_ref().map(|t| t.trainer_stages());
         let publisher = epochs.clone();
         let gauge = Arc::clone(&shared);
+        let health = Arc::new(HealthState::new(DEFAULT_STALL_AFTER));
+        let pulse = Arc::clone(&health);
         let trainer = thread::Builder::new()
             .name("glodyne-trainer".into())
-            .spawn(move || trainer_loop_durable(durable, inbox, publisher, ann, gauge, stages))
+            .spawn(move || {
+                trainer_loop_durable(durable, inbox, publisher, ann, gauge, stages, pulse)
+            })
             .expect("spawn trainer thread");
         Ok(ServingSession {
             queue,
@@ -358,6 +505,7 @@ impl ServingSession {
             ann,
             durability: Some(shared),
             telemetry,
+            health,
         })
     }
 
@@ -457,11 +605,83 @@ impl ServingSession {
         Ok(events.len())
     }
 
+    /// Enqueue events without ever blocking: the first event that
+    /// finds the queue full sheds the remainder. A full queue on the
+    /// *first* event is [`ServeError::Overloaded`]; mid-batch it is a
+    /// partial accept (`Ok(i)` with `i < events.len()`), the same
+    /// partial-success convention blocking ingest uses when the
+    /// trainer exits mid-batch.
+    pub fn ingest_fast_fail(&self, events: &[GraphEvent]) -> Result<usize, ServeError> {
+        for (i, &event) in events.iter().enumerate() {
+            if let Err(e) = self.queue.try_send_event(event) {
+                return if i == 0 { Err(e) } else { Ok(i) };
+            }
+        }
+        Ok(events.len())
+    }
+
+    /// Enqueue events, blocking at most until `deadline`: a queue
+    /// still full at the deadline yields [`ServeError::DeadlineExceeded`]
+    /// (first event) or a partial accept (mid-batch).
+    pub fn ingest_deadline(
+        &self,
+        events: &[GraphEvent],
+        deadline: Instant,
+    ) -> Result<usize, ServeError> {
+        for (i, &event) in events.iter().enumerate() {
+            if let Err(e) = self.queue.send_event_deadline(event, deadline) {
+                return if i == 0 { Err(e) } else { Ok(i) };
+            }
+        }
+        Ok(events.len())
+    }
+
     /// Commit everything enqueued so far and wait for the step to
     /// finish. (The *next* read observes the new epoch; the call
     /// returning is the visibility barrier.)
     pub fn flush(&self) -> Result<FlushOutcome, ServeError> {
-        self.queue.request_flush()
+        self.health.flush_requested();
+        match self.queue.request_flush() {
+            // The request never reached the trainer: it will never
+            // complete, so it must not count as a stale epoch.
+            Err(e) => {
+                self.health.flush_unrequested();
+                Err(e)
+            }
+            ok => ok,
+        }
+    }
+
+    /// [`ServingSession::flush`], waiting for the commit ack at most
+    /// until `deadline`. On [`ServeError::DeadlineExceeded`] the flush
+    /// *stays queued* — the trainer will still commit it (and the
+    /// watchdog counts it as a stale epoch until it does); only the
+    /// wait is abandoned.
+    pub fn flush_deadline(&self, deadline: Instant) -> Result<FlushOutcome, ServeError> {
+        self.health.flush_requested();
+        match self.queue.request_flush_deadline(deadline) {
+            Err(ServeError::Closed) => {
+                self.health.flush_unrequested();
+                Err(ServeError::Closed)
+            }
+            other => other,
+        }
+    }
+
+    /// Evaluate the trainer watchdog right now (also syncs the
+    /// `glodyne_health_*` Prometheus gauges when instrumented).
+    pub fn health(&self) -> HealthStats {
+        let stats = self.health.evaluate(self.queue.depth());
+        if let Some(t) = &self.telemetry {
+            t.sync_health_gauges(stats.degraded, stats.stale_epochs);
+        }
+        stats
+    }
+
+    /// Tune how long the trainer may go silent — with work pending —
+    /// before [`ServingSession::health`] reports the session degraded.
+    pub fn set_stall_after(&self, stall_after: Duration) {
+        self.health.set_stall_after(stall_after);
     }
 
     /// Serving counters plus the served epoch's identity.
@@ -490,6 +710,8 @@ impl ServingSession {
                 .telemetry
                 .as_ref()
                 .map(|t| t.stats(self.queue.depth(), self.queue.depth_high_water())),
+            health: Some(self.health()),
+            rebalance: None,
         }
     }
 
@@ -529,21 +751,53 @@ pub(crate) fn trainer_loop<E: DynamicEmbedder>(
     epochs: EpochHandle,
     ann: Option<AnnSettings>,
     stages: Option<TrainerStages>,
+    health: Arc<HealthState>,
+) {
+    // AssertUnwindSafe: on panic the session is dropped, never reused —
+    // readers keep the last *published* epoch, which a half-applied
+    // step can't have reached.
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        run_trainer_loop(
+            &mut session,
+            &inbox,
+            &epochs,
+            ann.as_ref(),
+            stages.as_ref(),
+            &health,
+        );
+    }));
+    if run.is_err() {
+        health.mark_panicked();
+        eprintln!(
+            "glodyne-serve: trainer thread panicked; reads continue from the last published epoch"
+        );
+    }
+}
+
+fn run_trainer_loop<E: DynamicEmbedder>(
+    session: &mut EmbedderSession<E>,
+    inbox: &TrainerInbox,
+    epochs: &EpochHandle,
+    ann: Option<&AnnSettings>,
+    stages: Option<&TrainerStages>,
+    health: &HealthState,
 ) {
     while let Some(msg) = inbox.recv() {
+        glodyne_chaos::slow(glodyne_chaos::sites::TRAINER_STEP);
         match msg {
             TrainerMsg::Event { event, .. } => {
                 // The policy may commit on its own (timestamp / every-n
                 // boundaries); publish whenever it does.
                 if session.apply(event) {
-                    publish(&session, &epochs, ann.as_ref(), stages.as_ref());
+                    publish(session, epochs, ann, stages);
                 }
             }
             TrainerMsg::Flush(ack) => {
                 let stepped = session.flush().is_some();
                 if stepped {
-                    publish(&session, &epochs, ann.as_ref(), stages.as_ref());
+                    publish(session, epochs, ann, stages);
                 }
+                health.flush_completed();
                 let _ = ack.send(FlushOutcome {
                     stepped,
                     epoch: session.steps() as u64,
@@ -556,6 +810,7 @@ pub(crate) fn trainer_loop<E: DynamicEmbedder>(
             }
             TrainerMsg::Shutdown => break,
         }
+        health.beat();
     }
 }
 
@@ -573,8 +828,57 @@ pub(crate) fn trainer_loop_durable<E: CheckpointEmbedder>(
     ann: Option<AnnSettings>,
     shared: Arc<DurabilityShared>,
     stages: Option<TrainerStages>,
+    health: Arc<HealthState>,
+) {
+    // AssertUnwindSafe: on panic the in-memory session is untrusted
+    // and never touched again — the outer arm only seals the WAL
+    // (every *accepted* event is already logged) so recovery replays a
+    // committed prefix bit-exactly through the normal apply path.
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        run_trainer_loop_durable(
+            &mut durable,
+            &inbox,
+            &epochs,
+            ann.as_ref(),
+            &shared,
+            stages.as_ref(),
+            &health,
+        );
+    }));
+    match run {
+        Ok(()) => {
+            // Clean stop (or all producers gone): flush, fsync, final
+            // snapshot.
+            if let Err(e) = durable.finalize() {
+                eprintln!("glodyne-serve: finalize failed: {e}");
+            }
+            publish(durable.session(), &epochs, ann.as_ref(), stages.as_ref());
+        }
+        Err(_) => {
+            health.mark_panicked();
+            if let Err(e) = durable.seal() {
+                eprintln!("glodyne-serve: wal seal after trainer panic failed: {e}");
+            }
+            eprintln!(
+                "glodyne-serve: trainer thread panicked; WAL sealed, reads continue degraded \
+                 from the last published epoch"
+            );
+        }
+    }
+    shared.update(durable.counters());
+}
+
+fn run_trainer_loop_durable<E: CheckpointEmbedder>(
+    durable: &mut DurableSession<E>,
+    inbox: &TrainerInbox,
+    epochs: &EpochHandle,
+    ann: Option<&AnnSettings>,
+    shared: &DurabilityShared,
+    stages: Option<&TrainerStages>,
+    health: &HealthState,
 ) {
     while let Some(msg) = inbox.recv() {
+        glodyne_chaos::slow(glodyne_chaos::sites::TRAINER_STEP);
         match msg {
             TrainerMsg::Event { seq, event, .. } => {
                 // Unsharded ingest sends seq 0: the lineage assigns its
@@ -587,7 +891,7 @@ pub(crate) fn trainer_loop_durable<E: CheckpointEmbedder>(
                 match durable.apply(seq, event) {
                     Ok(stepped) => {
                         if stepped {
-                            publish(durable.session(), &epochs, ann.as_ref(), stages.as_ref());
+                            publish(durable.session(), epochs, ann, stages);
                             if let Err(e) = durable.maybe_snapshot() {
                                 eprintln!("glodyne-serve: snapshot failed: {e}");
                             }
@@ -605,11 +909,12 @@ pub(crate) fn trainer_loop_durable<E: CheckpointEmbedder>(
                     }
                 };
                 if stepped {
-                    publish(durable.session(), &epochs, ann.as_ref(), stages.as_ref());
+                    publish(durable.session(), epochs, ann, stages);
                     if let Err(e) = durable.maybe_snapshot() {
                         eprintln!("glodyne-serve: snapshot failed: {e}");
                     }
                 }
+                health.flush_completed();
                 let _ = ack.send(FlushOutcome {
                     stepped,
                     epoch: durable.session().steps() as u64,
@@ -624,13 +929,8 @@ pub(crate) fn trainer_loop_durable<E: CheckpointEmbedder>(
             TrainerMsg::Shutdown => break,
         }
         shared.update(durable.counters());
+        health.beat();
     }
-    // Clean stop (or all producers gone): flush, fsync, final snapshot.
-    if let Err(e) = durable.finalize() {
-        eprintln!("glodyne-serve: finalize failed: {e}");
-    }
-    publish(durable.session(), &epochs, ann.as_ref(), stages.as_ref());
-    shared.update(durable.counters());
 }
 
 fn publish<E: DynamicEmbedder>(
@@ -1047,6 +1347,86 @@ mod tests {
         assert_eq!(serving.ann(), None);
         assert!(serving.nearest_ann(NodeId(0), 3, None).is_none());
         assert!(serving.epoch().index.is_none());
+    }
+
+    #[test]
+    fn health_watchdog_verdicts() {
+        // Zero tolerance, but no pending work: an idle trainer is not
+        // a stalled trainer.
+        let h = HealthState::new(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(2));
+        let s = h.evaluate(0);
+        assert!(!s.degraded);
+        assert!(s.trainer_alive);
+        assert_eq!(s.stale_epochs, 0);
+        assert_eq!(s.stalled_ms, 0, "no pending work, no stall clock");
+
+        // Pending ingest + a silent heartbeat past the threshold.
+        let s = h.evaluate(3);
+        assert!(s.degraded);
+        assert!(s.trainer_alive, "stalled, not dead");
+        assert!(s.stalled_ms >= 1);
+
+        // A generous threshold clears the verdict without a beat.
+        h.set_stall_after(Duration::from_secs(3600));
+        assert!(!h.evaluate(3).degraded);
+
+        // Requested-but-uncommitted flush boundaries are stale epochs.
+        h.flush_requested();
+        h.flush_requested();
+        assert_eq!(h.evaluate(0).stale_epochs, 2);
+        h.flush_completed();
+        assert_eq!(h.evaluate(0).stale_epochs, 1);
+        h.flush_unrequested();
+        assert_eq!(h.evaluate(0).stale_epochs, 0);
+
+        // The panic flag dominates any threshold.
+        h.mark_panicked();
+        let s = h.evaluate(0);
+        assert!(s.degraded);
+        assert!(!s.trainer_alive);
+    }
+
+    #[test]
+    fn live_session_surfaces_healthy_watchdog_in_stats() {
+        let serving = ServingSession::spawn(tiny_session(EpochPolicy::Manual), 64);
+        assert_eq!(
+            serving.ingest_fast_fail(&chain_events(6, 0)).unwrap(),
+            6,
+            "fast-fail accepts everything while the queue has room"
+        );
+        assert!(serving.flush().unwrap().stepped);
+        let health = serving.stats().health.expect("health always surfaced");
+        assert!(!health.degraded);
+        assert!(health.trainer_alive);
+        assert_eq!(health.stale_epochs, 0, "the flush completion was counted");
+        assert_eq!(serving.stats().rebalance, None, "unsharded session");
+        serving.shutdown();
+    }
+
+    #[test]
+    fn deadline_ingest_and_flush_succeed_with_headroom() {
+        let serving = ServingSession::spawn(tiny_session(EpochPolicy::Manual), 64);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        assert_eq!(
+            serving
+                .ingest_deadline(&chain_events(4, 0), deadline)
+                .unwrap(),
+            4
+        );
+        assert!(serving.flush_deadline(deadline).unwrap().stepped);
+        serving.shutdown();
+        // Past shutdown, the deadline paths fail like the blocking ones
+        // — and the never-delivered flush is not counted stale forever.
+        assert!(matches!(
+            serving.ingest_fast_fail(&chain_events(1, 9)),
+            Err(ServeError::Closed)
+        ));
+        assert!(matches!(
+            serving.flush_deadline(Instant::now() + Duration::from_secs(1)),
+            Err(ServeError::Closed)
+        ));
+        assert_eq!(serving.health().stale_epochs, 0);
     }
 
     #[test]

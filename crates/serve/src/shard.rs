@@ -18,11 +18,12 @@
 //!   each shard's current epoch `Arc`, and answer from those frozen
 //!   epochs — they never wait on any trainer. A read can lag each
 //!   shard's write path by at most one epoch, independently per shard.
-//! - **Flush** first lets the router rebalance if drift accumulated
-//!   (migration events ride the queues ahead of the flush barrier),
-//!   then commits every shard and reports `stepped = any`,
-//!   `epoch = max` over shards; `stats` carries the full per-shard
-//!   break-down.
+//! - **Flush** first lets the router rebalance if drift accumulated,
+//!   forwarding at most [`ShardConfig::rebalance_budget`] migration
+//!   events per flush (the backlog carries over, and rides the queues
+//!   ahead of the flush barrier), then commits every shard and reports
+//!   `stepped = any`, `epoch = max` over shards; `stats` carries the
+//!   full per-shard break-down plus rebalance and health objects.
 //!
 //! Global `nearest` is the owner-filtered fan-out of
 //! [`glodyne_shard::fanout`]: exact mode is bit-exact with an
@@ -34,7 +35,7 @@ use crate::error::ServeError;
 use crate::queue::{bounded_instrumented, FlushOutcome, IngestQueue};
 use crate::session::{
     build_epoch, trainer_loop, trainer_loop_durable, AnnSettings, AnnStats, DurabilityShared,
-    DurabilityStats, ServeStats,
+    DurabilityStats, HealthState, HealthStats, RebalanceStats, ServeStats, DEFAULT_STALL_AFTER,
 };
 use crate::telemetry::ServeTelemetry;
 use glodyne::{EmbedderSession, EpochPolicy};
@@ -46,9 +47,10 @@ use glodyne_durable::{
 };
 use glodyne_embed::traits::CheckpointEmbedder;
 use glodyne_embed::{ConfigError, DynamicEmbedder};
-use glodyne_graph::state::GraphEvent;
+use glodyne_graph::state::{GraphEvent, GraphEventKind};
 use glodyne_graph::NodeId;
 use glodyne_shard::{fanout, ShardConfig, ShardRouter, ShardView};
+use std::collections::VecDeque;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -80,6 +82,152 @@ pub struct ShardEpochStats {
 struct ShardHandle {
     queue: IngestQueue,
     epochs: EpochHandle,
+    health: Arc<HealthState>,
+}
+
+/// The flush-scoped rebalance throttle. Drift rebalancing used to run
+/// inline on the ingest hot path; it now happens only at flush
+/// boundaries, and even there forwards at most `budget` migration
+/// events per flush, carrying the remainder here. The pending queue is
+/// persisted inside every router barrier snapshot (and rebuilt by
+/// router-WAL replay), so recovery drains it on exactly the same
+/// schedule as the live run.
+struct RebalanceControl {
+    /// Migration events awaiting budget, in rebalance emission order.
+    /// Mutated only under `write_order`; the mutex lets `stats` peek
+    /// without stalling writers behind it.
+    pending: Mutex<VecDeque<(u32, GraphEvent)>>,
+    /// Flush boundaries that forwarded at least one migration event.
+    batches: AtomicU64,
+    /// Migration events forwarded since spawn.
+    migrated: AtomicU64,
+    /// Per-flush forwarding budget (`0` = unlimited), from
+    /// [`ShardConfig::rebalance_budget`].
+    budget: usize,
+}
+
+impl RebalanceControl {
+    fn new(budget: usize, pending: VecDeque<(u32, GraphEvent)>) -> Self {
+        RebalanceControl {
+            pending: Mutex::new(pending),
+            batches: AtomicU64::new(0),
+            migrated: AtomicU64::new(0),
+            budget,
+        }
+    }
+
+    /// How many events a flush may forward right now.
+    fn drain_quota(&self, queued: usize) -> usize {
+        if self.budget == 0 {
+            queued
+        } else {
+            self.budget.min(queued)
+        }
+    }
+
+    fn stats(&self) -> RebalanceStats {
+        RebalanceStats {
+            rebalance_batches: self.batches.load(Ordering::Relaxed),
+            migrated_nodes: self.migrated.load(Ordering::Relaxed),
+            pending_migrations: self
+                .pending
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len(),
+        }
+    }
+}
+
+/// Magic prefix of a router snapshot payload that carries the pending
+/// migration queue alongside the router state. Legacy payloads are the
+/// bare router export (which starts with its own `GDRT` magic) and
+/// decode as an empty queue.
+const PENDING_MAGIC: &[u8; 4] = b"GDP1";
+
+/// `GDP1 | u64 router_len | router | u64 n | n × (u32 shard, u64 time,
+/// u8 kind, operands)` — the wrapped router snapshot payload.
+fn encode_router_payload(router: &[u8], pending: &VecDeque<(u32, GraphEvent)>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + 8 + router.len() + 8 + pending.len() * 21);
+    out.extend_from_slice(PENDING_MAGIC);
+    out.extend_from_slice(&(router.len() as u64).to_le_bytes());
+    out.extend_from_slice(router);
+    out.extend_from_slice(&(pending.len() as u64).to_le_bytes());
+    for &(shard, event) in pending {
+        out.extend_from_slice(&shard.to_le_bytes());
+        out.extend_from_slice(&event.time.to_le_bytes());
+        match event.kind {
+            GraphEventKind::AddEdge(e) => {
+                out.push(1);
+                out.extend_from_slice(&e.u.0.to_le_bytes());
+                out.extend_from_slice(&e.v.0.to_le_bytes());
+            }
+            GraphEventKind::RemoveEdge(e) => {
+                out.push(2);
+                out.extend_from_slice(&e.u.0.to_le_bytes());
+                out.extend_from_slice(&e.v.0.to_le_bytes());
+            }
+            GraphEventKind::RemoveNode(n) => {
+                out.push(3);
+                out.extend_from_slice(&n.0.to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Split a router snapshot payload back into `(router bytes, pending
+/// queue)`; `None` when a wrapped payload is malformed. A payload
+/// without the wrapper magic is a pre-throttle bare router export.
+#[allow(clippy::type_complexity)]
+fn decode_router_payload(payload: &[u8]) -> Option<(&[u8], VecDeque<(u32, GraphEvent)>)> {
+    if !payload.starts_with(PENDING_MAGIC) {
+        return Some((payload, VecDeque::new()));
+    }
+    let read_u64 = |at: usize| -> Option<u64> {
+        Some(u64::from_le_bytes(
+            payload.get(at..at + 8)?.try_into().ok()?,
+        ))
+    };
+    let read_u32 = |at: usize| -> Option<u32> {
+        Some(u32::from_le_bytes(
+            payload.get(at..at + 4)?.try_into().ok()?,
+        ))
+    };
+    let router_len = read_u64(4)? as usize;
+    let router = payload.get(12..12 + router_len)?;
+    let mut at = 12 + router_len;
+    let n = read_u64(at)? as usize;
+    at += 8;
+    let mut pending = VecDeque::with_capacity(n);
+    for _ in 0..n {
+        let shard = read_u32(at)?;
+        let time = read_u64(at + 4)?;
+        let kind = *payload.get(at + 12)?;
+        at += 13;
+        let event = match kind {
+            1 | 2 => {
+                let u = NodeId(read_u32(at)?);
+                let v = NodeId(read_u32(at + 4)?);
+                at += 8;
+                if kind == 1 {
+                    GraphEvent::add_edge(u, v, time)
+                } else {
+                    GraphEvent::remove_edge(u, v, time)
+                }
+            }
+            3 => {
+                let n = NodeId(read_u32(at)?);
+                at += 4;
+                GraphEvent::remove_node(n, time)
+            }
+            _ => return None,
+        };
+        pending.push_back((shard, event));
+    }
+    if at != payload.len() {
+        return None;
+    }
+    Some((router, pending))
 }
 
 /// The session-level durability state of a sharded session: the
@@ -91,9 +239,16 @@ struct ShardHandle {
 /// are derived, regenerated at recovery by re-routing the router log —
 /// a crash can tear a shard WAL mid frame-group (one client event
 /// fanning out to several shards), so only the router log is trusted.
-/// A consistent cut restored from disk: the router plus every shard's
-/// `(session, epoch)`, all frozen at barrier `(seq, epoch)`.
-type RestoredBarrier<E> = (ShardRouter, Vec<(EmbedderSession<E>, u64)>, u64, u64);
+/// A consistent cut restored from disk: the router, the rebalance
+/// throttle's pending migration queue, and every shard's `(session,
+/// epoch)`, all frozen at barrier `(seq, epoch)`.
+type RestoredBarrier<E> = (
+    ShardRouter,
+    VecDeque<(u32, GraphEvent)>,
+    Vec<(EmbedderSession<E>, u64)>,
+    u64,
+    u64,
+);
 
 struct ShardedDurable {
     router_dir: PathBuf,
@@ -130,6 +285,8 @@ pub struct ShardedSession {
     durable: Option<ShardedDurable>,
     /// Metrics hub; `None` when telemetry is disabled.
     telemetry: Option<Arc<ServeTelemetry>>,
+    /// The flush-scoped rebalance throttle.
+    rebalance: RebalanceControl,
 }
 
 impl ShardedSession {
@@ -207,11 +364,17 @@ impl ShardedSession {
             }
             let stages = telemetry.as_ref().map(|t| t.shard_trainer_stages(i));
             let publisher = epochs.clone();
+            let health = Arc::new(HealthState::new(DEFAULT_STALL_AFTER));
+            let pulse = Arc::clone(&health);
             let trainer = thread::Builder::new()
                 .name(format!("glodyne-trainer-{i}"))
-                .spawn(move || trainer_loop(session, inbox, publisher, ann, stages))
+                .spawn(move || trainer_loop(session, inbox, publisher, ann, stages, pulse))
                 .expect("spawn shard trainer thread");
-            shards.push(ShardHandle { queue, epochs });
+            shards.push(ShardHandle {
+                queue,
+                epochs,
+                health,
+            });
             trainers.push(trainer);
         }
         Ok(ShardedSession {
@@ -223,6 +386,7 @@ impl ShardedSession {
             accepted: AtomicU64::new(0),
             durable: None,
             telemetry,
+            rebalance: RebalanceControl::new(shard_cfg.rebalance_budget, VecDeque::new()),
         })
     }
 
@@ -317,7 +481,10 @@ impl ShardedSession {
             if snap.kind != PAYLOAD_ROUTER {
                 continue;
             }
-            let Ok(router) = ShardRouter::restore(shard_cfg, &snap.payload) else {
+            let Some((router_bytes, pending)) = decode_router_payload(&snap.payload) else {
+                continue;
+            };
+            let Ok(router) = ShardRouter::restore(shard_cfg, router_bytes) else {
                 continue;
             };
             let mut sessions = Vec::with_capacity(shard_dirs.len());
@@ -342,12 +509,12 @@ impl ShardedSession {
                 };
                 sessions.push((session, ssnap.epoch));
             }
-            restored = Some((router, sessions, seq, snap.epoch));
+            restored = Some((router, pending, sessions, seq, snap.epoch));
             break;
         }
 
-        let (mut router, mut durables, barrier, initial_epoch) = match restored {
-            Some((router, sessions, seq, epoch)) => {
+        let (mut router, mut pending, mut durables, barrier, initial_epoch) = match restored {
+            Some((router, pending, sessions, seq, epoch)) => {
                 let mut durables = Vec::with_capacity(sessions.len());
                 for (i, (session, shard_epoch)) in sessions.into_iter().enumerate() {
                     // The shard WAL tail may be torn mid frame-group;
@@ -362,7 +529,7 @@ impl ShardedSession {
                         Some((seq, shard_epoch)),
                     )?);
                 }
-                (router, durables, Some(seq), Some(epoch))
+                (router, pending, durables, Some(seq), Some(epoch))
             }
             None => {
                 let router = ShardRouter::new(shard_cfg).map_err(cfg_io)?;
@@ -380,12 +547,15 @@ impl ShardedSession {
                         None,
                     )?);
                 }
-                (router, durables, None, None)
+                (router, VecDeque::new(), durables, None, None)
             }
         };
 
         // Re-route the router log suffix exactly as live ingest/flush
-        // would have.
+        // would have: events route with no rebalancing; each flush
+        // boundary computes the drift rebalance and drains the pending
+        // queue under the same per-flush budget as the live run.
+        let budget = shard_cfg.rebalance_budget;
         let replayed = replay_and_heal(&router_dir)?;
         let floor = barrier.unwrap_or(0);
         let mut last_seq = floor;
@@ -396,19 +566,22 @@ impl ShardedSession {
             }
             match record {
                 WalRecord::Event(event) => {
-                    let routed = router.route(*event);
-                    let migrations = router.maybe_rebalance().map(|rb| rb.events);
-                    for (shard, ev) in routed {
-                        durables[shard as usize].apply(*seq, ev)?;
-                    }
-                    for (shard, ev) in migrations.into_iter().flatten() {
+                    for (shard, ev) in router.route(*event) {
                         durables[shard as usize].apply(*seq, ev)?;
                     }
                     replayed_events += 1;
                 }
                 WalRecord::Flush => {
-                    let migrations = router.maybe_rebalance().map(|rb| rb.events);
-                    for (shard, ev) in migrations.into_iter().flatten() {
+                    if let Some(rb) = router.maybe_rebalance() {
+                        pending.extend(rb.events);
+                    }
+                    let drain = if budget == 0 {
+                        pending.len()
+                    } else {
+                        budget.min(pending.len())
+                    };
+                    for _ in 0..drain {
+                        let (shard, ev) = pending.pop_front().expect("drain <= len");
                         durables[shard as usize].apply(*seq, ev)?;
                     }
                     for durable in &mut durables {
@@ -463,11 +636,19 @@ impl ShardedSession {
             let stages = telemetry.as_ref().map(|t| t.shard_trainer_stages(i));
             let publisher = epochs.clone();
             let feed = Arc::clone(&gauge);
+            let health = Arc::new(HealthState::new(DEFAULT_STALL_AFTER));
+            let pulse = Arc::clone(&health);
             let trainer = thread::Builder::new()
                 .name(format!("glodyne-trainer-{i}"))
-                .spawn(move || trainer_loop_durable(durable, inbox, publisher, ann, feed, stages))
+                .spawn(move || {
+                    trainer_loop_durable(durable, inbox, publisher, ann, feed, stages, pulse)
+                })
                 .expect("spawn shard trainer thread");
-            shards.push(ShardHandle { queue, epochs });
+            shards.push(ShardHandle {
+                queue,
+                epochs,
+                health,
+            });
             trainers.push(trainer);
             gauges.push(gauge);
         }
@@ -480,6 +661,7 @@ impl ShardedSession {
                 write_order: Mutex::new(()),
                 accepted: AtomicU64::new(0),
                 telemetry,
+                rebalance: RebalanceControl::new(shard_cfg.rebalance_budget, pending),
                 durable: Some(ShardedDurable {
                     router_dir,
                     wal: Mutex::new(wal),
@@ -517,54 +699,157 @@ impl ShardedSession {
     /// trainer is terminal for the session: shut it down rather than
     /// retrying (retries would be swallowed as mirror duplicates).
     ///
-    /// Rebalances lazily on drift as part of the ingest path (the
-    /// check is two integer compares): waiting for an explicit flush
-    /// would leave a long stream running on hash placement — maximal
-    /// cut, maximal halo duplication.
+    /// Rebalancing never runs here: drift is drained at flush
+    /// boundaries under [`ShardConfig::rebalance_budget`] (see
+    /// [`ShardedSession::flush`]), so the ingest hot path stays two
+    /// integer compares away from a pure route-and-enqueue.
     pub fn ingest(&self, events: &[GraphEvent]) -> Result<usize, ServeError> {
         let _order = self
             .write_order
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        for &event in events {
-            // Durable sessions log the client event to the router WAL
-            // *before* routing (write-ahead): every event any shard
-            // applies is recoverable by re-routing the router log.
-            let seq = match &self.durable {
-                Some(d) => {
-                    let next = d.seq.load(Ordering::Relaxed) + 1;
-                    let mut wal = d.wal.lock().unwrap_or_else(PoisonError::into_inner);
-                    if let Err(e) = wal.append(next, &event) {
-                        eprintln!("glodyne-serve: router wal append failed: {e}");
-                    }
-                    drop(wal);
-                    d.seq.store(next, Ordering::Relaxed);
-                    next
-                }
-                None => 0,
-            };
-            let (routed, migrations) = {
-                let mut router = self.router.write().unwrap_or_else(PoisonError::into_inner);
-                let routed = router.route(event);
-                (routed, router.maybe_rebalance().map(|rb| rb.events))
-            };
-            for (shard, ev) in routed {
-                self.shards[shard as usize].queue.send_event_seq(seq, ev)?;
+        for (i, &event) in events.iter().enumerate() {
+            if let Err(e) = self.enqueue_failpoint() {
+                return if i == 0 { Err(e) } else { Ok(i) };
             }
-            self.accepted.fetch_add(1, Ordering::Relaxed);
-            for (shard, ev) in migrations.into_iter().flatten() {
-                self.shards[shard as usize].queue.send_event_seq(seq, ev)?;
-            }
+            self.accept_event(event)?;
         }
         Ok(events.len())
     }
 
-    /// Rebalance if drifted, then commit every shard's pending events
-    /// and wait for all the steps. Migration events enter each shard's
-    /// queue *before* its flush marker, so the committed layout is the
-    /// rebalanced one. `stepped` is true when any shard stepped;
-    /// `epoch` is the maximum shard epoch after the flush.
+    /// [`ShardedSession::ingest`] that never blocks: an event is
+    /// refused — *before* the router WAL sees it — unless every shard
+    /// queue has headroom for its worst-case fan-out. The first refusal
+    /// is [`ServeError::Overloaded`]; mid-batch it is a partial accept.
+    pub fn ingest_fast_fail(&self, events: &[GraphEvent]) -> Result<usize, ServeError> {
+        let _order = self
+            .write_order
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        for (i, &event) in events.iter().enumerate() {
+            if let Some(e) = self.enqueue_failpoint().err().or_else(|| self.shed_check()) {
+                return if i == 0 { Err(e) } else { Ok(i) };
+            }
+            self.accept_event(event)?;
+        }
+        Ok(events.len())
+    }
+
+    /// [`ShardedSession::ingest`] that waits for queue headroom at most
+    /// until `deadline`, then gives up with
+    /// [`ServeError::DeadlineExceeded`] (first event) or a partial
+    /// accept (mid-batch).
+    pub fn ingest_deadline(
+        &self,
+        events: &[GraphEvent],
+        deadline: Instant,
+    ) -> Result<usize, ServeError> {
+        let _order = self
+            .write_order
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        for (i, &event) in events.iter().enumerate() {
+            if let Err(e) = self.enqueue_failpoint() {
+                return if i == 0 { Err(e) } else { Ok(i) };
+            }
+            while self.shed_check().is_some() {
+                if Instant::now() >= deadline {
+                    return if i == 0 {
+                        Err(ServeError::DeadlineExceeded)
+                    } else {
+                        Ok(i)
+                    };
+                }
+                thread::sleep(Duration::from_millis(1));
+            }
+            self.accept_event(event)?;
+        }
+        Ok(events.len())
+    }
+
+    /// The `ingest.enqueue` failpoint, checked *before* the router WAL
+    /// append: shedding after the event is durable would let recovery
+    /// replay an event the live run never applied to any shard.
+    fn enqueue_failpoint(&self) -> Result<(), ServeError> {
+        if glodyne_chaos::shed(glodyne_chaos::sites::INGEST_ENQUEUE) {
+            let e = self.shed_check().unwrap_or(ServeError::Overloaded {
+                depth: self.shards.iter().map(|s| s.queue.depth()).sum(),
+                capacity: self.shards.first().map_or(0, |s| s.queue.capacity()),
+            });
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Overload pre-check for the non-blocking ingest modes: `Some`
+    /// when a shard queue cannot absorb one more event. Each client
+    /// event fans out to at most one copy per shard, so headroom of one
+    /// everywhere is sufficient; headroom only grows while
+    /// `write_order` is held (the trainer side only drains), so the
+    /// blocking sends that follow a `None` cannot stall.
+    fn shed_check(&self) -> Option<ServeError> {
+        let full = self.shards.iter().find(|s| !s.queue.has_free(1))?;
+        Some(ServeError::Overloaded {
+            depth: full.queue.depth(),
+            capacity: full.queue.capacity(),
+        })
+    }
+
+    /// WAL-log (when durable), route, and enqueue one client event.
+    /// Shared by every ingest mode; callers hold `write_order`.
+    fn accept_event(&self, event: GraphEvent) -> Result<(), ServeError> {
+        // Durable sessions log the client event to the router WAL
+        // *before* routing (write-ahead): every event any shard
+        // applies is recoverable by re-routing the router log.
+        let seq = match &self.durable {
+            Some(d) => {
+                let next = d.seq.load(Ordering::Relaxed) + 1;
+                let mut wal = d.wal.lock().unwrap_or_else(PoisonError::into_inner);
+                if let Err(e) = wal.append(next, &event) {
+                    eprintln!("glodyne-serve: router wal append failed: {e}");
+                }
+                drop(wal);
+                d.seq.store(next, Ordering::Relaxed);
+                next
+            }
+            None => 0,
+        };
+        let routed = self
+            .router
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .route(event);
+        for (shard, ev) in routed {
+            self.shards[shard as usize].queue.send_event_seq(seq, ev)?;
+        }
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Queue any drifted-placement migrations, drain at most
+    /// [`ShardConfig::rebalance_budget`] of them, then commit every
+    /// shard's pending events and wait for all the steps. Migration
+    /// events enter each shard's queue *before* its flush marker, so
+    /// the committed layout includes this flush's budget-worth of
+    /// moves; the remainder stays queued for later flushes (and rides
+    /// barrier snapshots, so recovery resumes the same backlog).
+    /// `stepped` is true when any shard stepped; `epoch` is the
+    /// maximum shard epoch after the flush.
     pub fn flush(&self) -> Result<FlushOutcome, ServeError> {
+        self.flush_inner(None)
+    }
+
+    /// [`ShardedSession::flush`] that waits for each shard's commit
+    /// acknowledgement at most until `deadline`. The WAL marker and the
+    /// budgeted rebalance drain always happen (they never wait on the
+    /// trainer); a deadline that fires mid-wait leaves the flush queued
+    /// — the shards still commit, only this caller stops waiting — so
+    /// the epoch staleness accounting stays truthful.
+    pub fn flush_deadline(&self, deadline: Instant) -> Result<FlushOutcome, ServeError> {
+        self.flush_inner(Some(deadline))
+    }
+
+    fn flush_inner(&self, deadline: Option<Instant>) -> Result<FlushOutcome, ServeError> {
         {
             // Writer-order mutex for the send, router lock only for
             // the rebalance decision — reads stay unblocked.
@@ -590,13 +875,30 @@ impl ShardedSession {
                 }
                 None => 0,
             };
-            let migrations = self
+            // Lock order: pending before router (barrier_checkpoint
+            // matches), both under write_order.
+            let mut pending = self
+                .rebalance
+                .pending
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if let Some(rb) = self
                 .router
                 .write()
                 .unwrap_or_else(PoisonError::into_inner)
                 .maybe_rebalance()
-                .map(|rb| rb.events);
-            for (shard, ev) in migrations.into_iter().flatten() {
+            {
+                pending.extend(rb.events);
+            }
+            let quota = self.rebalance.drain_quota(pending.len());
+            if quota > 0 {
+                self.rebalance.batches.fetch_add(1, Ordering::Relaxed);
+                self.rebalance
+                    .migrated
+                    .fetch_add(quota as u64, Ordering::Relaxed);
+            }
+            for _ in 0..quota {
+                let (shard, ev) = pending.pop_front().expect("quota <= pending.len()");
                 self.shards[shard as usize].queue.send_event_seq(seq, ev)?;
             }
         }
@@ -605,7 +907,22 @@ impl ShardedSession {
             epoch: 0,
         };
         for shard in &self.shards {
-            let one = shard.queue.request_flush()?;
+            shard.health.flush_requested();
+            let one = match deadline {
+                None => shard.queue.request_flush(),
+                Some(at) => shard.queue.request_flush_deadline(at),
+            };
+            let one = match one {
+                Ok(one) => one,
+                Err(e) => {
+                    // Only a closed channel un-counts the request: a
+                    // timed-out flush is still queued and will complete.
+                    if matches!(e, ServeError::Closed) {
+                        shard.health.flush_unrequested();
+                    }
+                    return Err(e);
+                }
+            };
             outcome.stepped |= one.stepped;
             outcome.epoch = outcome.epoch.max(one.epoch);
         }
@@ -642,11 +959,23 @@ impl ShardedSession {
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         let seq = d.seq.load(Ordering::Relaxed);
-        let payload = self
-            .router
-            .read()
-            .unwrap_or_else(PoisonError::into_inner)
-            .export_state();
+        // Lock order: pending before router (flush matches). The
+        // undrained migration backlog rides the router snapshot so
+        // recovery resumes with the same queue instead of re-deriving
+        // (and potentially re-applying) moves already committed.
+        let payload = {
+            let pending = self
+                .rebalance
+                .pending
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            let router = self
+                .router
+                .read()
+                .unwrap_or_else(PoisonError::into_inner)
+                .export_state();
+            encode_router_payload(&router, &pending)
+        };
         // Checkpoint messages ride each shard queue behind everything
         // already enqueued, so each lineage freezes exactly the
         // barrier prefix.
@@ -938,6 +1267,40 @@ impl ShardedSession {
                         .unwrap_or(0),
                 )
             }),
+            health: Some(self.health()),
+            rebalance: Some(self.rebalance.stats()),
+        }
+    }
+
+    /// Aggregate trainer health across shards: degraded when *any*
+    /// shard is, alive only when *every* trainer is, staleness and
+    /// stall age from the worst shard.
+    pub fn health(&self) -> HealthStats {
+        let mut agg = HealthStats {
+            degraded: false,
+            trainer_alive: true,
+            stale_epochs: 0,
+            stalled_ms: 0,
+        };
+        for shard in &self.shards {
+            let one = shard.health.evaluate(shard.queue.depth());
+            agg.degraded |= one.degraded;
+            agg.trainer_alive &= one.trainer_alive;
+            agg.stale_epochs = agg.stale_epochs.max(one.stale_epochs);
+            agg.stalled_ms = agg.stalled_ms.max(one.stalled_ms);
+        }
+        if let Some(t) = &self.telemetry {
+            t.sync_health_gauges(agg.degraded, agg.stale_epochs);
+        }
+        agg
+    }
+
+    /// Tune how long every shard's trainer may sit on pending work
+    /// before the watchdog calls it stalled (default
+    /// [`DEFAULT_STALL_AFTER`]).
+    pub fn set_stall_after(&self, stall_after: Duration) {
+        for shard in &self.shards {
+            shard.health.set_stall_after(stall_after);
         }
     }
 

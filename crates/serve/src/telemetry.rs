@@ -17,6 +17,8 @@
 //! | `glodyne_probe_latency_us` | histogram | one probe round's cost |
 //! | `glodyne_probes_total` | counter | probe rounds completed |
 //! | `glodyne_slow_queries_total` | counter | requests over the slow threshold |
+//! | `glodyne_health_degraded` | gauge | 1 while the trainer watchdog holds the server degraded |
+//! | `glodyne_health_stale_epochs` | gauge | flush boundaries accepted but not yet committed |
 //!
 //! Recording is wait-free everywhere a request can touch (see the
 //! `glodyne-telemetry` crate docs); the slow-query ring takes a short
@@ -169,6 +171,8 @@ pub struct ServeTelemetry {
     slow_total: Arc<Counter>,
     slow_threshold_us: u64,
     slow_ring: Mutex<VecDeque<SlowQuery>>,
+    health_degraded: Arc<Gauge>,
+    health_stale_epochs: Arc<Gauge>,
 }
 
 impl ServeTelemetry {
@@ -252,6 +256,16 @@ impl ServeTelemetry {
             ),
             slow_threshold_us,
             slow_ring: Mutex::new(VecDeque::with_capacity(SLOW_RING_CAPACITY)),
+            health_degraded: registry.gauge(
+                "glodyne_health_degraded",
+                "1 while the trainer watchdog holds the server degraded",
+                &[],
+            ),
+            health_stale_epochs: registry.gauge(
+                "glodyne_health_stale_epochs",
+                "Flush boundaries accepted but not yet committed by the trainer",
+                &[],
+            ),
             registry,
         }
     }
@@ -338,6 +352,13 @@ impl ServeTelemetry {
     pub(crate) fn sync_queue_gauges(&self, depth: usize, high_water: usize) {
         self.queue_depth.set(depth as f64);
         self.queue_high_water.set(high_water as f64);
+    }
+
+    /// Refresh the watchdog health gauges (called whenever health is
+    /// evaluated — every `stats` and `metrics` request).
+    pub(crate) fn sync_health_gauges(&self, degraded: bool, stale_epochs: u64) {
+        self.health_degraded.set(if degraded { 1.0 } else { 0.0 });
+        self.health_stale_epochs.set(stale_epochs as f64);
     }
 
     /// Prometheus text exposition of every registered series.
@@ -454,6 +475,8 @@ mod tests {
             "glodyne_probe_latency_us",
             "glodyne_probes_total",
             "glodyne_slow_queries_total",
+            "glodyne_health_degraded",
+            "glodyne_health_stale_epochs",
         ] {
             assert!(text.contains(&format!("# TYPE {name}")), "missing {name}");
         }
@@ -461,6 +484,18 @@ mod tests {
         assert!(text.contains("glodyne_queue_depth_high_water 9"));
         assert!(text.contains("glodyne_probe_recall_at_k 0.91"));
         assert!(text.contains("glodyne_wire_latency_us_count{cmd=\"query\"} 1"));
+    }
+
+    #[test]
+    fn health_gauges_reflect_the_watchdog() {
+        let t = ServeTelemetry::new(DEFAULT_SLOW_THRESHOLD_US);
+        t.sync_health_gauges(true, 3);
+        let text = t.render_prometheus();
+        assert!(text.contains("glodyne_health_degraded 1"));
+        assert!(text.contains("glodyne_health_stale_epochs 3"));
+        t.sync_health_gauges(false, 0);
+        let text = t.render_prometheus();
+        assert!(text.contains("glodyne_health_degraded 0"));
     }
 
     #[test]

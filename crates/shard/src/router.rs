@@ -66,6 +66,15 @@ pub struct ShardConfig {
     /// Don't run the partitioner below this many live nodes (tiny
     /// graphs stay on the hash placement, which is balanced enough).
     pub min_partition_nodes: usize,
+    /// How many queued migration events a serving flush may forward
+    /// per flush boundary when draining a drift rebalance (`0` means
+    /// unlimited). Rebalancing is deferred to flush boundaries and
+    /// spread across them under this budget, so a large re-partition
+    /// cannot monopolise the write path. Recovery replays flush
+    /// boundaries under the *same* budget, which is why this lives in
+    /// the shard config rather than a runtime setter: both runs must
+    /// agree for bit-exact recovery.
+    pub rebalance_budget: usize,
 }
 
 impl Default for ShardConfig {
@@ -76,6 +85,7 @@ impl Default for ShardConfig {
             seed: 0,
             drift_threshold: 0.25,
             min_partition_nodes: 64,
+            rebalance_budget: 256,
         }
     }
 }
