@@ -4,7 +4,7 @@
 use crate::kmeans;
 use crate::sq8::Sq8Arena;
 use glodyne_embed::embedding::{l2_norm, norm_cosine};
-use glodyne_embed::kernel::scaled_dot_fast;
+use glodyne_embed::kernel::{dot_fast_multi, scaled_dot_fast};
 use glodyne_embed::{AlignedBuf, ConfigError, Embedding, TopKSelector};
 use glodyne_graph::NodeId;
 use std::time::{Duration, Instant};
@@ -31,6 +31,23 @@ pub struct IvfConfig {
     /// rescored with the exact f32 kernel). Must be ≥ 1; ignored
     /// without `quantize`.
     pub rerank_factor: usize,
+    /// Drift trigger for [`IvfIndex::update_from`], in **basis points**
+    /// (1/10000, an integer so the config keeps `Eq`): once the rows
+    /// reassigned since the last full k-means — this update's dirty
+    /// rows plus everything already patched before them — exceed this
+    /// fraction of the epoch, the warm-started centroids are considered
+    /// drifted and the update falls back to a full rebuild. In
+    /// `[1, 10000]`; the default 2500 refreshes after a quarter of the
+    /// epoch has churned.
+    pub drift_stale_bp: u32,
+    /// Cell-imbalance drift trigger for [`IvfIndex::update_from`], in
+    /// **tenths** (40 = 4.0×, an integer so the config keeps `Eq`):
+    /// after patching, if the largest posting list exceeds this factor
+    /// times the larger of the previous index's largest list and the
+    /// ideal mean (`n / cells`), churn has piled onto one stale
+    /// centroid and the update falls back to a full rebuild. Must be
+    /// ≥ 10 (1.0×).
+    pub drift_cell_factor_x10: u32,
 }
 
 impl Default for IvfConfig {
@@ -41,6 +58,8 @@ impl Default for IvfConfig {
             seed: 0,
             quantize: false,
             rerank_factor: 4,
+            drift_stale_bp: 2500,
+            drift_cell_factor_x10: 40,
         }
     }
 }
@@ -59,7 +78,41 @@ impl IvfConfig {
         if self.rerank_factor < 1 {
             return Err(ConfigError::new("rerank_factor", "must be >= 1"));
         }
+        if self.drift_stale_bp < 1 || self.drift_stale_bp > 10_000 {
+            return Err(ConfigError::new(
+                "drift_stale_bp",
+                "must be in [1, 10000] basis points",
+            ));
+        }
+        if self.drift_cell_factor_x10 < 10 {
+            return Err(ConfigError::new(
+                "drift_cell_factor_x10",
+                "must be >= 10 (1.0x)",
+            ));
+        }
         Ok(())
+    }
+}
+
+/// How an [`IvfIndex`] came to be — a fresh k-means build or an
+/// incremental patch of the previous epoch's index
+/// ([`IvfIndex::update_from`]). Surfaced through `stats.ann` and the
+/// kind-labelled `index_build` telemetry histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildKind {
+    /// Full spherical k-means over every row.
+    Full,
+    /// Warm-started centroids, only dirty rows reassigned.
+    Incremental,
+}
+
+impl BuildKind {
+    /// Wire/CLI spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BuildKind::Full => "full",
+            BuildKind::Incremental => "incremental",
+        }
     }
 }
 
@@ -103,6 +156,9 @@ pub struct SearchScratch {
     cell_sims: Vec<(NodeId, f32)>,
     /// SQ8 candidate pool awaiting exact re-rank.
     pool: Vec<(NodeId, f32)>,
+    /// Cell-grouped batch scan: `(cell, query index)` probe pairs,
+    /// sorted by cell so each posting list is visited once per batch.
+    probe_pairs: Vec<(u32, u32)>,
 }
 
 impl SearchScratch {
@@ -111,6 +167,19 @@ impl SearchScratch {
     pub fn new() -> Self {
         SearchScratch::default()
     }
+}
+
+/// One query of a cell-grouped batch scan
+/// ([`IvfIndex::search_batch`] / [`IvfIndex::search_in_batch`]): the
+/// query vector plus the per-query self-exclusion the single-query
+/// path takes as an argument.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchQuery<'a> {
+    /// The query vector (`dim` components).
+    pub query: &'a [f32],
+    /// Node id to drop from this query's candidates (the probe node
+    /// itself, matching `Embedding::top_k`'s self-exclusion).
+    pub exclude: Option<NodeId>,
 }
 
 /// An immutable IVF index over one epoch's [`Embedding`].
@@ -150,6 +219,18 @@ pub struct IvfIndex {
     inv_centroid_norms: Vec<f32>,
     /// Wall-clock time [`IvfIndex::build`] took.
     build_time: Duration,
+    /// Whether this index came from a full k-means or an incremental
+    /// patch of the previous epoch's index.
+    build_kind: BuildKind,
+    /// Rows this build reassigned (0 for a fresh full build; for
+    /// [`IvfIndex::update_from`], the changed + added + removed rows it
+    /// actually patched — or the dirty count that tripped a drift
+    /// fallback).
+    dirty_rows: usize,
+    /// Rows reassigned since the last full k-means, cumulative across
+    /// an incremental chain — the centroid-staleness measure behind
+    /// `drift_stale_bp`.
+    stale_rows: usize,
 }
 
 impl IvfIndex {
@@ -179,6 +260,9 @@ impl IvfIndex {
                 inv_norms: Vec::new(),
                 inv_centroid_norms: Vec::new(),
                 build_time: start.elapsed(),
+                build_kind: BuildKind::Full,
+                dirty_rows: 0,
+                stale_rows: 0,
             };
         }
         let c = config.cells.clamp(1, n);
@@ -245,6 +329,241 @@ impl IvfIndex {
             inv_norms,
             inv_centroid_norms,
             build_time: start.elapsed(),
+            build_kind: BuildKind::Full,
+            dirty_rows: 0,
+            stale_rows: 0,
+        }
+    }
+
+    /// Incrementally maintain the index across one epoch: keep `prev`'s
+    /// centroids (warm start — the coarse geometry of an embedding
+    /// changes slowly between steps, the paper's incrementality insight
+    /// applied to the index itself) and reassign only the **dirty**
+    /// rows — nodes the step touched, plus any additions/removals the
+    /// embedding diff implies — to their nearest existing centroid.
+    /// Unchanged rows keep their cell, so the per-epoch index cost is
+    /// proportional to *change*, not to graph size.
+    ///
+    /// `dirty` must contain every node whose vector differs between
+    /// the embedding `prev` was built over and `embedding` (a superset
+    /// is fine and merely reassigns more rows; additions and removals
+    /// are detected from the embedding itself even when unlisted).
+    ///
+    /// Falls back to [`IvfIndex::build`] — a full k-means rebuild —
+    /// when the warm start cannot apply (`prev` empty, dimensionality
+    /// or config changed) or when a **drift trigger** fires:
+    ///
+    /// - *staleness*: cumulative reassigned rows since the last full
+    ///   k-means exceed `drift_stale_bp` basis points of the epoch, or
+    /// - *cell imbalance*: the largest posting list after patching
+    ///   exceeds `drift_cell_factor_x10 / 10 ×` the larger of `prev`'s
+    ///   largest list and the ideal mean.
+    ///
+    /// SQ8 arenas **patch in place** under the same affine domain:
+    /// survivor rows copy their codes byte for byte, changed rows
+    /// quantize into the inherited domain — all cells re-quantize only
+    /// when a changed component falls outside the domain (min/max
+    /// drift). At `nprobe = cells` the result answers identically to a
+    /// fresh full build over `embedding` (full probes scan every row
+    /// with the exact kernel regardless of cell layout) — property-
+    /// pinned in `tests/prop.rs`.
+    pub fn update_from(
+        prev: &IvfIndex,
+        embedding: &Embedding,
+        dirty: &[NodeId],
+        config: &IvfConfig,
+    ) -> IvfIndex {
+        let start = Instant::now();
+        let dim = embedding.dim();
+        let n = embedding.len();
+        let full = |dirty_rows: usize| {
+            let mut ix = IvfIndex::build(embedding, config);
+            ix.dirty_rows = dirty_rows;
+            ix.build_time = start.elapsed();
+            ix
+        };
+        // Warm start needs a compatible previous index: same build
+        // parameters, same dimensionality, and at least one centroid.
+        if n == 0 || prev.is_empty() || prev.dim != dim || prev.config != *config {
+            return full(dirty.len());
+        }
+        let c = prev.cells();
+
+        // Previous layout: id → (cell, prev arena row).
+        let mut prev_pos = std::collections::HashMap::with_capacity(prev.ids.len());
+        for (j, _) in prev.centroid_norms.iter().enumerate() {
+            let (lo, hi) = prev.cell_bounds(j);
+            for i in lo..hi {
+                prev_pos.insert(prev.ids[i], (j as u32, i as u32));
+            }
+        }
+        let dirty_set: std::collections::HashSet<NodeId> = dirty.iter().copied().collect();
+
+        // Churn accounting before committing to the patch: rows this
+        // update must reassign (dirty or newly added) plus removals.
+        let mut surviving = 0usize;
+        let mut reassigned = 0usize;
+        for (id, _) in embedding.iter() {
+            let known = prev_pos.contains_key(&id);
+            if known {
+                surviving += 1;
+            }
+            if !known || dirty_set.contains(&id) {
+                reassigned += 1;
+            }
+        }
+        let removed = prev.len() - surviving;
+        let dirty_rows = reassigned + removed;
+        let stale_rows = prev.stale_rows + dirty_rows;
+        if (stale_rows as u64) * 10_000 > u64::from(config.drift_stale_bp) * n as u64 {
+            return full(dirty_rows);
+        }
+
+        // Assignment: survivors keep their cell, dirty/new rows go to
+        // the nearest warm-started centroid. Row iteration follows
+        // embedding insertion order, exactly like `build`, so the
+        // within-cell order matches what a fresh build with the same
+        // assignment would produce — deterministic.
+        let mut row_ids = Vec::with_capacity(n);
+        let mut data = Vec::with_capacity(n * dim);
+        let mut assignment = Vec::with_capacity(n);
+        // SQ8 in-place patch bookkeeping: prev arena row of each
+        // survivor (u32::MAX = changed row, quantize fresh), and
+        // whether any changed component escapes the inherited domain.
+        let prev_arena = match &prev.storage {
+            PostingStorage::Sq8(a) => Some(a),
+            PostingStorage::F32(_) => None,
+        };
+        let mut prev_row: Vec<u32> = Vec::with_capacity(if prev_arena.is_some() { n } else { 0 });
+        let mut domain_drifted = false;
+        for (id, v) in embedding.iter() {
+            let clean = !dirty_set.contains(&id);
+            let cell = match prev_pos.get(&id) {
+                Some(&(cell, row)) if clean => {
+                    if prev_arena.is_some() {
+                        prev_row.push(row);
+                    }
+                    cell
+                }
+                _ => {
+                    if let Some(arena) = prev_arena {
+                        prev_row.push(u32::MAX);
+                        domain_drifted = domain_drifted || v.iter().any(|&x| !arena.covers(x));
+                    }
+                    kmeans::nearest_centroid(
+                        v,
+                        l2_norm(v),
+                        dim,
+                        &prev.centroids,
+                        &prev.centroid_norms,
+                    )
+                }
+            };
+            row_ids.push(id);
+            data.extend_from_slice(v);
+            assignment.push(cell);
+        }
+
+        // Counting sort into the new flat layout (same recipe as
+        // `build`).
+        let mut cell_offsets = vec![0u32; c + 1];
+        for &cell in &assignment {
+            cell_offsets[cell as usize + 1] += 1;
+        }
+        for j in 0..c {
+            cell_offsets[j + 1] += cell_offsets[j];
+        }
+
+        // Cell-imbalance drift trigger: compare the patched layout's
+        // largest posting list against what the last k-means produced.
+        let max_cell = |offsets: &[u32]| {
+            offsets
+                .windows(2)
+                .map(|w| (w[1] - w[0]) as usize)
+                .max()
+                .unwrap_or(0)
+        };
+        let baseline = max_cell(&prev.cell_offsets).max(n.div_ceil(c));
+        if max_cell(&cell_offsets) * 10
+            > baseline * u64::from(config.drift_cell_factor_x10) as usize
+        {
+            return full(dirty_rows);
+        }
+
+        let mut cursor: Vec<u32> = cell_offsets[..c].to_vec();
+        let mut ids = vec![NodeId(0); n];
+        let mut positions = vec![0u32; n];
+        for (i, &cell) in assignment.iter().enumerate() {
+            let pos = cursor[cell as usize] as usize;
+            cursor[cell as usize] += 1;
+            ids[pos] = row_ids[i];
+            positions[i] = pos as u32;
+        }
+        let mut norms = vec![0.0f32; n];
+        for (i, &pos) in positions.iter().enumerate() {
+            norms[pos as usize] = l2_norm(&data[i * dim..(i + 1) * dim]);
+        }
+
+        let storage = match prev_arena {
+            None => {
+                let mut vectors = AlignedBuf::<f32>::zeroed(n * dim);
+                for (i, &pos) in positions.iter().enumerate() {
+                    let pos = pos as usize;
+                    vectors[pos * dim..(pos + 1) * dim]
+                        .copy_from_slice(&data[i * dim..(i + 1) * dim]);
+                }
+                PostingStorage::F32(vectors)
+            }
+            Some(_) if domain_drifted => {
+                // Min/max domain drift: re-quantize every cell from the
+                // gathered f32 rows under a fresh domain.
+                let mut vectors = vec![0.0f32; n * dim];
+                for (i, &pos) in positions.iter().enumerate() {
+                    let pos = pos as usize;
+                    vectors[pos * dim..(pos + 1) * dim]
+                        .copy_from_slice(&data[i * dim..(i + 1) * dim]);
+                }
+                PostingStorage::Sq8(Sq8Arena::quantize(&vectors))
+            }
+            Some(arena) => {
+                // In-place patch under the inherited domain: survivors
+                // copy codes byte for byte, changed rows encode fresh.
+                let (min, scale) = arena.domain();
+                let mut codes = vec![0u8; n * dim];
+                for (i, &pos) in positions.iter().enumerate() {
+                    let pos = pos as usize;
+                    let dst = &mut codes[pos * dim..(pos + 1) * dim];
+                    match prev_row[i] {
+                        u32::MAX => {
+                            for (code, &x) in dst.iter_mut().zip(&data[i * dim..(i + 1) * dim]) {
+                                *code = arena.encode(x);
+                            }
+                        }
+                        row => dst.copy_from_slice(arena.row(row as usize, dim)),
+                    }
+                }
+                PostingStorage::Sq8(Sq8Arena::from_codes(codes, min, scale))
+            }
+        };
+
+        let inv = |n: &f32| if *n == 0.0 { 0.0 } else { 1.0 / *n };
+        let inv_norms = norms.iter().map(inv).collect();
+        let norms = if config.quantize { Vec::new() } else { norms };
+        IvfIndex {
+            dim,
+            config: *config,
+            centroids: prev.centroids.clone(),
+            centroid_norms: prev.centroid_norms.clone(),
+            cell_offsets,
+            ids,
+            storage,
+            norms,
+            inv_norms,
+            inv_centroid_norms: prev.inv_centroid_norms.clone(),
+            build_time: start.elapsed(),
+            build_kind: BuildKind::Incremental,
+            dirty_rows,
+            stale_rows,
         }
     }
 
@@ -415,6 +734,274 @@ impl IvfIndex {
         select.into_sorted()
     }
 
+    /// [`IvfIndex::search`] over a whole batch with the
+    /// **cell-grouped scan**: the batch's probed cells are grouped so
+    /// each posting list is swept once for *every* query probing it (a
+    /// queries×codes mini-kernel per row), instead of once per query.
+    /// A posting list probed by `q` queries is read from memory once
+    /// rather than `q` times — the batch finally amortizes scan
+    /// traffic. Per query the result is **bit-exact** with
+    /// [`IvfIndex::search_with`]: the per-row kernel expressions are
+    /// identical and [`TopKSelector`]'s total order makes the merged
+    /// result independent of scan order (property-pinned in
+    /// `tests/prop.rs`).
+    pub fn search_batch(
+        &self,
+        queries: &[BatchQuery<'_>],
+        k: usize,
+        nprobe: usize,
+    ) -> Vec<Vec<(NodeId, f32)>> {
+        self.search_batch_with(queries, k, nprobe, &mut SearchScratch::new())
+    }
+
+    /// [`IvfIndex::search_batch`] with caller-owned scratch.
+    pub fn search_batch_with(
+        &self,
+        queries: &[BatchQuery<'_>],
+        k: usize,
+        nprobe: usize,
+        scratch: &mut SearchScratch,
+    ) -> Vec<Vec<(NodeId, f32)>> {
+        if self.ids.is_empty() || k == 0 {
+            return queries.iter().map(|_| Vec::new()).collect();
+        }
+        let nprobe = self.effective_nprobe(nprobe);
+        let full_probe = nprobe == self.cells();
+        let prep = self.prepare_batch(queries, nprobe, scratch);
+
+        let mut selectors: Vec<TopKSelector> =
+            (0..queries.len()).map(|_| TopKSelector::new(k)).collect();
+        match &self.storage {
+            PostingStorage::F32(vectors) => {
+                self.scan_grouped(&scratch.probe_pairs, |lo, hi, run| {
+                    if full_probe {
+                        // Full probes are the bit-exactness surface:
+                        // the exact kernel, one query at a time.
+                        for &(_, qi) in run {
+                            let qi = qi as usize;
+                            let q = queries[qi];
+                            let select = &mut selectors[qi];
+                            for i in lo..hi {
+                                let id = self.ids[i];
+                                if q.exclude == Some(id) {
+                                    continue;
+                                }
+                                let row = &vectors[i * self.dim..(i + 1) * self.dim];
+                                select.push((
+                                    id,
+                                    norm_cosine(q.query, prep[qi].0, row, self.norms[i]),
+                                ));
+                            }
+                        }
+                        return;
+                    }
+                    // Partial probes: sweep the cell once per group of
+                    // up to 4 queries through the fused kernel — each
+                    // query's score is bit-identical to its standalone
+                    // `scaled_dot_fast`, the fusion only interleaves
+                    // independent accumulation chains.
+                    let mut rest = run;
+                    while !rest.is_empty() {
+                        let take = rest.len().min(4);
+                        let (group, tail) = rest.split_at(take);
+                        match take {
+                            4 => scan_fused::<4>(
+                                self,
+                                vectors,
+                                lo..hi,
+                                group,
+                                queries,
+                                &prep,
+                                &mut selectors,
+                            ),
+                            3 => scan_fused::<3>(
+                                self,
+                                vectors,
+                                lo..hi,
+                                group,
+                                queries,
+                                &prep,
+                                &mut selectors,
+                            ),
+                            2 => scan_fused::<2>(
+                                self,
+                                vectors,
+                                lo..hi,
+                                group,
+                                queries,
+                                &prep,
+                                &mut selectors,
+                            ),
+                            _ => scan_fused::<1>(
+                                self,
+                                vectors,
+                                lo..hi,
+                                group,
+                                queries,
+                                &prep,
+                                &mut selectors,
+                            ),
+                        }
+                        rest = tail;
+                    }
+                });
+            }
+            PostingStorage::Sq8(arena) => {
+                self.scan_grouped(&scratch.probe_pairs, |lo, hi, run| {
+                    for &(_, qi) in run {
+                        let qi = qi as usize;
+                        let q = queries[qi];
+                        let select = &mut selectors[qi];
+                        for i in lo..hi {
+                            let id = self.ids[i];
+                            if q.exclude == Some(id) {
+                                continue;
+                            }
+                            select.push((
+                                id,
+                                self.sq8_sim(arena, i, q.query, prep[qi].1, prep[qi].2),
+                            ));
+                        }
+                    }
+                });
+            }
+        }
+        selectors
+            .into_iter()
+            .map(TopKSelector::into_sorted)
+            .collect()
+    }
+
+    /// [`IvfIndex::search_in`] over a whole batch: the cell-grouped
+    /// candidate scan of [`IvfIndex::search_batch`], then — for SQ8
+    /// storage — the same per-query exact re-rank as the single-query
+    /// path. Per query, bit-exact with [`IvfIndex::search_in_with`].
+    pub fn search_in_batch(
+        &self,
+        exact: &Embedding,
+        queries: &[BatchQuery<'_>],
+        k: usize,
+        nprobe: usize,
+    ) -> Vec<Vec<(NodeId, f32)>> {
+        self.search_in_batch_with(exact, queries, k, nprobe, &mut SearchScratch::new())
+    }
+
+    /// [`IvfIndex::search_in_batch`] with caller-owned scratch.
+    pub fn search_in_batch_with(
+        &self,
+        exact: &Embedding,
+        queries: &[BatchQuery<'_>],
+        k: usize,
+        nprobe: usize,
+        scratch: &mut SearchScratch,
+    ) -> Vec<Vec<(NodeId, f32)>> {
+        let PostingStorage::Sq8(arena) = &self.storage else {
+            return self.search_batch_with(queries, k, nprobe, scratch);
+        };
+        if self.ids.is_empty() || k == 0 {
+            return queries.iter().map(|_| Vec::new()).collect();
+        }
+        let nprobe = self.effective_nprobe(nprobe);
+        let prep = self.prepare_batch(queries, nprobe, scratch);
+
+        // Grouped candidate generation in the quantized domain, one
+        // rerank_factor·k pool selector per query.
+        let pool_k = self.config.rerank_factor.saturating_mul(k);
+        let mut pools: Vec<TopKSelector> = (0..queries.len())
+            .map(|_| TopKSelector::new(pool_k))
+            .collect();
+        self.scan_grouped(&scratch.probe_pairs, |lo, hi, run| {
+            for &(_, qi) in run {
+                let qi = qi as usize;
+                let q = queries[qi];
+                let pool = &mut pools[qi];
+                for i in lo..hi {
+                    let id = self.ids[i];
+                    if q.exclude == Some(id) {
+                        continue;
+                    }
+                    pool.push((id, self.sq8_sim(arena, i, q.query, prep[qi].1, prep[qi].2)));
+                }
+            }
+        });
+
+        // Per-query exact re-rank, identical to `search_in_with`.
+        pools
+            .into_iter()
+            .enumerate()
+            .map(|(qi, pool)| {
+                let q = queries[qi];
+                let qn = prep[qi].0;
+                let mut select = TopKSelector::new(k);
+                for (id, sq8_sim) in pool.into_sorted() {
+                    let sim = match (exact.get(id), exact.norm(id)) {
+                        (Some(row), Some(rn)) => norm_cosine(q.query, qn, row, rn),
+                        _ => sq8_sim,
+                    };
+                    select.push((id, sim));
+                }
+                select.into_sorted()
+            })
+            .collect()
+    }
+
+    /// Shared batch preamble: per-query `(qn, inv_qn, qsum)` plus the
+    /// `(cell, query)` probe pairs sorted by cell into
+    /// `scratch.probe_pairs`. A query of the wrong dimensionality gets
+    /// no probe pairs (so its result stays empty, matching the
+    /// single-query contract).
+    fn prepare_batch(
+        &self,
+        queries: &[BatchQuery<'_>],
+        nprobe: usize,
+        scratch: &mut SearchScratch,
+    ) -> Vec<(f32, f32, f32)> {
+        scratch.probe_pairs.clear();
+        let mut prep = Vec::with_capacity(queries.len());
+        for (qi, q) in queries.iter().enumerate() {
+            if q.query.len() != self.dim {
+                prep.push((0.0, 0.0, 0.0));
+                continue;
+            }
+            let qn = l2_norm(q.query);
+            let inv_qn = if qn == 0.0 { 0.0 } else { 1.0 / qn };
+            let qsum: f32 = q.query.iter().sum();
+            prep.push((qn, inv_qn, qsum));
+            self.rank_cells(q.query, inv_qn, scratch);
+            for &(cell, _) in scratch.cell_sims.iter().take(nprobe) {
+                scratch.probe_pairs.push((cell.0, qi as u32));
+            }
+        }
+        scratch.probe_pairs.sort_unstable();
+        prep
+    }
+
+    /// Drive `body` over the sorted `(cell, query)` probe pairs one
+    /// cell at a time: for each probed cell, `body(lo, hi, run)` fires
+    /// once with the cell's posting-row bounds and the slice of pairs
+    /// (the queries probing that cell). The callee sweeps the rows
+    /// once per interested query — the first sweep pulls the posting
+    /// list out of memory, the rest hit cache (a `√n`-cell list is far
+    /// smaller than the arena), so a list probed by `q` queries costs
+    /// one memory pass instead of `q` while each sweep keeps the tight
+    /// single-query inner loop the kernel optimizes for.
+    fn scan_grouped<F>(&self, probe_pairs: &[(u32, u32)], mut body: F)
+    where
+        F: FnMut(usize, usize, &[(u32, u32)]),
+    {
+        let mut p = 0;
+        while p < probe_pairs.len() {
+            let cell = probe_pairs[p].0;
+            let mut end = p + 1;
+            while end < probe_pairs.len() && probe_pairs[end].0 == cell {
+                end += 1;
+            }
+            let (lo, hi) = self.cell_bounds(cell as usize);
+            body(lo, hi, &probe_pairs[p..end]);
+            p = end;
+        }
+    }
+
     /// Rank every cell by centroid similarity into
     /// `scratch.cell_sims`, best first under `rank_similarity` — the
     /// fast kernel, since cell ranking only chooses which posting
@@ -526,6 +1113,62 @@ impl IvfIndex {
     /// layer reports through `stats`.
     pub fn build_time(&self) -> Duration {
         self.build_time
+    }
+
+    /// Whether this index came from a full k-means
+    /// ([`IvfIndex::build`]) or an incremental patch
+    /// ([`IvfIndex::update_from`]) — what `stats.ann.build_kind`
+    /// reports on the wire.
+    pub fn build_kind(&self) -> BuildKind {
+        self.build_kind
+    }
+
+    /// Rows this build reassigned (see the field docs) — what
+    /// `stats.ann.dirty_rows` reports on the wire.
+    pub fn dirty_rows(&self) -> usize {
+        self.dirty_rows
+    }
+
+    /// Cumulative rows reassigned since the last full k-means — the
+    /// staleness measure the `drift_stale_bp` trigger compares against.
+    pub fn stale_rows(&self) -> usize {
+        self.stale_rows
+    }
+}
+
+/// One fused partial-probe sweep of posting rows `lo..hi` for the `N`
+/// queries in `group` (entries are `(cell, query)` probe pairs). Each
+/// row is loaded once and dotted against all `N` queries via
+/// [`dot_fast_multi`], whose per-slot result is bit-identical to a
+/// standalone `dot_fast` — so each query's score here matches the
+/// per-query scan's `scaled_dot_fast` to the bit, and the grouped path
+/// stays bit-exact while hiding FMA latency across independent
+/// accumulator chains.
+fn scan_fused<const N: usize>(
+    index: &IvfIndex,
+    vectors: &[f32],
+    rows: std::ops::Range<usize>,
+    group: &[(u32, u32)],
+    queries: &[BatchQuery<'_>],
+    prep: &[(f32, f32, f32)],
+    selectors: &mut [TopKSelector],
+) {
+    debug_assert_eq!(group.len(), N);
+    let qv: [&[f32]; N] = std::array::from_fn(|j| queries[group[j].1 as usize].query);
+    let dim = index.dim;
+    for i in rows {
+        let id = index.ids[i];
+        let row = &vectors[i * dim..(i + 1) * dim];
+        let dots = dot_fast_multi::<N>(qv, row);
+        for j in 0..N {
+            let qi = group[j].1 as usize;
+            if queries[qi].exclude == Some(id) {
+                continue;
+            }
+            // Same scaling expression as the per-query kernel:
+            // `scaled_dot_fast` computes `dot_fast(q, row) * scale`.
+            selectors[qi].push((id, dots[j] * (prep[qi].1 * index.inv_norms[i])));
+        }
     }
 }
 
@@ -793,6 +1436,238 @@ mod tests {
             assert!(hits.len() <= 5);
             assert!(hits.iter().all(|&(id, _)| id != probe));
         }
+    }
+
+    #[test]
+    fn update_from_reassigns_only_dirty_rows_and_keeps_centroids() {
+        let e0 = pseudo_random_embedding(60, 6, 17);
+        let cfg = IvfConfig {
+            cells: 5,
+            ..Default::default()
+        };
+        let prev = IvfIndex::build(&e0, &cfg);
+        assert_eq!(prev.build_kind(), BuildKind::Full);
+        assert_eq!(prev.dirty_rows(), 0);
+        assert_eq!(prev.stale_rows(), 0);
+
+        // Mutate two rows, add one.
+        let mut e1 = e0.clone();
+        e1.set(NodeId(3), &[1.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        e1.set(NodeId(40), &[0.0, 1.0, 0.0, 0.0, 0.0, 0.0]);
+        e1.set(NodeId(60), &[0.0, 0.0, 1.0, 0.0, 0.0, 0.0]);
+        let dirty = [NodeId(3), NodeId(40)];
+        let ix = IvfIndex::update_from(&prev, &e1, &dirty, &cfg);
+        assert_eq!(ix.build_kind(), BuildKind::Incremental);
+        assert_eq!(ix.dirty_rows(), 3, "2 mutated + 1 added");
+        assert_eq!(ix.stale_rows(), 3);
+        assert_eq!(ix.len(), 61);
+        // Warm start: the centroids are the previous epoch's, bit for
+        // bit.
+        assert_eq!(
+            ix.centroids.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            prev.centroids
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<_>>()
+        );
+        // Full probe answers exactly like a fresh full build.
+        let fresh = IvfIndex::build(&e1, &cfg);
+        for probe in [0u32, 3, 40, 60] {
+            let node = NodeId(probe);
+            let q = e1.get(node).unwrap();
+            assert_bit_exact(
+                &ix.search(q, 10, ix.cells(), Some(node)),
+                &fresh.search(q, 10, fresh.cells(), Some(node)),
+            );
+        }
+        // Chaining accumulates staleness.
+        let mut e2 = e1.clone();
+        e2.set(NodeId(7), &[0.5; 6]);
+        let ix2 = IvfIndex::update_from(&ix, &e2, &[NodeId(7)], &cfg);
+        assert_eq!(ix2.build_kind(), BuildKind::Incremental);
+        assert_eq!(ix2.dirty_rows(), 1);
+        assert_eq!(ix2.stale_rows(), 4);
+    }
+
+    #[test]
+    fn update_from_counts_removed_rows_and_drops_them() {
+        let e0 = pseudo_random_embedding(30, 4, 8);
+        let cfg = IvfConfig {
+            cells: 4,
+            ..Default::default()
+        };
+        let prev = IvfIndex::build(&e0, &cfg);
+        // A shrunken epoch: rebuild the embedding without two nodes
+        // (the sharded repartition path hands the trainer exactly this
+        // shape).
+        let mut e1 = Embedding::new(4);
+        for (id, v) in e0.iter() {
+            if id != NodeId(5) && id != NodeId(20) {
+                e1.set(id, v);
+            }
+        }
+        let ix = IvfIndex::update_from(&prev, &e1, &[], &cfg);
+        assert_eq!(ix.build_kind(), BuildKind::Incremental);
+        assert_eq!(ix.len(), 28);
+        assert_eq!(ix.dirty_rows(), 2, "two removals count as churn");
+        let hits = ix.search(e1.get(NodeId(0)).unwrap(), 30, ix.cells(), Some(NodeId(0)));
+        assert!(hits
+            .iter()
+            .all(|&(id, _)| id != NodeId(5) && id != NodeId(20)));
+        assert_bit_exact(&hits, &e1.top_k(NodeId(0), 30));
+    }
+
+    #[test]
+    fn update_from_falls_back_to_full_on_drift_or_mismatch() {
+        let e = pseudo_random_embedding(40, 5, 12);
+        let cfg = IvfConfig {
+            cells: 4,
+            drift_stale_bp: 100, // 1%: a single dirty row of 40 trips it
+            ..Default::default()
+        };
+        let prev = IvfIndex::build(&e, &cfg);
+        let mut e1 = e.clone();
+        e1.set(NodeId(2), &[9.0, 0.0, 0.0, 0.0, 0.0]);
+        let ix = IvfIndex::update_from(&prev, &e1, &[NodeId(2)], &cfg);
+        assert_eq!(
+            ix.build_kind(),
+            BuildKind::Full,
+            "staleness trigger forces a full rebuild"
+        );
+        assert_eq!(ix.dirty_rows(), 1, "the tripping churn is still reported");
+        assert_eq!(ix.stale_rows(), 0, "a full rebuild resets staleness");
+
+        // A config change also disqualifies the warm start.
+        let recfg = IvfConfig {
+            cells: 8,
+            ..Default::default()
+        };
+        let ix = IvfIndex::update_from(&prev, &e1, &[NodeId(2)], &recfg);
+        assert_eq!(ix.build_kind(), BuildKind::Full);
+        assert_eq!(ix.cells(), 8);
+
+        // An empty previous index (cold start) builds full.
+        let empty = IvfIndex::build(&Embedding::new(5), &cfg);
+        let ix = IvfIndex::update_from(&empty, &e1, &[], &cfg);
+        assert_eq!(ix.build_kind(), BuildKind::Full);
+    }
+
+    #[test]
+    fn update_from_patches_sq8_codes_in_place_under_a_covered_domain() {
+        let e0 = pseudo_random_embedding(50, 8, 33);
+        let cfg = IvfConfig {
+            cells: 4,
+            quantize: true,
+            rerank_factor: 16,
+            ..Default::default()
+        };
+        let prev = IvfIndex::build(&e0, &cfg);
+        let (min0, scale0) = match &prev.storage {
+            PostingStorage::Sq8(a) => a.domain(),
+            PostingStorage::F32(_) => unreachable!(),
+        };
+        // In-domain churn: new values inside the inherited domain keep
+        // it (codes patch in place, no re-quantization).
+        let mut e1 = e0.clone();
+        e1.set(NodeId(10), &[0.25; 8]);
+        let ix = IvfIndex::update_from(&prev, &e1, &[NodeId(10)], &cfg);
+        assert_eq!(ix.build_kind(), BuildKind::Incremental);
+        let (min1, scale1) = match &ix.storage {
+            PostingStorage::Sq8(a) => a.domain(),
+            PostingStorage::F32(_) => unreachable!(),
+        };
+        assert_eq!(min0.to_bits(), min1.to_bits(), "domain inherited");
+        assert_eq!(scale0.to_bits(), scale1.to_bits(), "domain inherited");
+        // ...and still answers exactly like a fresh quantized build at
+        // full probe with a covering pool.
+        for probe in [0u32, 10, 49] {
+            let node = NodeId(probe);
+            let q = e1.get(node).unwrap();
+            assert_bit_exact(
+                &ix.search_in(&e1, q, 10, ix.cells(), Some(node)),
+                &e1.top_k(node, 10),
+            );
+        }
+        // Out-of-domain churn drifts the domain: everything
+        // re-quantizes under a fresh min/scale that covers the new
+        // value.
+        let mut e2 = e0.clone();
+        e2.set(NodeId(10), &[1.0e4; 8]);
+        let ix = IvfIndex::update_from(&prev, &e2, &[NodeId(10)], &cfg);
+        assert_eq!(ix.build_kind(), BuildKind::Incremental);
+        let (_, scale2) = match &ix.storage {
+            PostingStorage::Sq8(a) => a.domain(),
+            PostingStorage::F32(_) => unreachable!(),
+        };
+        assert!(scale2 > scale0, "domain widened to cover the outlier");
+    }
+
+    #[test]
+    fn update_from_is_deterministic() {
+        let e0 = pseudo_random_embedding(40, 6, 2);
+        let cfg = IvfConfig {
+            cells: 5,
+            ..Default::default()
+        };
+        let prev = IvfIndex::build(&e0, &cfg);
+        let mut e1 = e0.clone();
+        e1.set(NodeId(9), &[0.1; 6]);
+        e1.set(NodeId(40), &[0.2; 6]);
+        let dirty = [NodeId(9)];
+        let a = IvfIndex::update_from(&prev, &e1, &dirty, &cfg);
+        let b = IvfIndex::update_from(&prev, &e1, &dirty, &cfg);
+        assert_eq!(a.cell_offsets, b.cell_offsets);
+        assert_eq!(a.ids, b.ids);
+        let q = e1.get(NodeId(4)).unwrap();
+        assert_bit_exact(
+            &a.search(q, 10, 2, Some(NodeId(4))),
+            &b.search(q, 10, 2, Some(NodeId(4))),
+        );
+    }
+
+    #[test]
+    fn drift_config_validation_rejects_degenerates() {
+        let bad = IvfConfig {
+            drift_stale_bp: 0,
+            ..Default::default()
+        };
+        assert_eq!(bad.validate().unwrap_err().param(), "drift_stale_bp");
+        let bad = IvfConfig {
+            drift_stale_bp: 10_001,
+            ..Default::default()
+        };
+        assert_eq!(bad.validate().unwrap_err().param(), "drift_stale_bp");
+        let bad = IvfConfig {
+            drift_cell_factor_x10: 9,
+            ..Default::default()
+        };
+        assert_eq!(bad.validate().unwrap_err().param(), "drift_cell_factor_x10");
+        assert_eq!(BuildKind::Full.as_str(), "full");
+        assert_eq!(BuildKind::Incremental.as_str(), "incremental");
+    }
+
+    #[test]
+    fn batch_scan_on_empty_index_and_k0_returns_per_query_empties() {
+        let e = pseudo_random_embedding(10, 4, 3);
+        let ix = IvfIndex::build(&e, &IvfConfig::default());
+        let q0 = [1.0f32, 0.0, 0.0, 0.0];
+        let queries = [
+            BatchQuery {
+                query: &q0,
+                exclude: None,
+            },
+            BatchQuery {
+                query: &q0,
+                exclude: Some(NodeId(1)),
+            },
+        ];
+        assert_eq!(ix.search_batch(&queries, 0, 2), vec![vec![], vec![]]);
+        let empty_ix = IvfIndex::build(&Embedding::new(4), &IvfConfig::default());
+        assert_eq!(empty_ix.search_batch(&queries, 5, 2), vec![vec![], vec![]]);
+        assert_eq!(
+            empty_ix.search_in_batch(&e, &queries, 5, 2),
+            vec![vec![], vec![]]
+        );
     }
 
     #[test]

@@ -126,9 +126,45 @@ fn init_centroids(data: &[f32], norms: &[f32], dim: usize, c: usize, seed: u64) 
     centroids
 }
 
-/// One assignment pass: each row goes to the centroid of highest
-/// guarded cosine similarity, ties (and all-NaN rows) toward the
-/// smallest centroid index — fully deterministic.
+/// The centroid of highest guarded cosine similarity for one row, ties
+/// (and all-NaN rows) toward the smallest centroid index — fully
+/// deterministic. Shared by the Lloyd assignment passes and the
+/// incremental dirty-row reassignment
+/// ([`IvfIndex::update_from`](crate::IvfIndex::update_from)).
+pub(crate) fn nearest_centroid(
+    row: &[f32],
+    row_norm: f32,
+    dim: usize,
+    centroids: &[f32],
+    centroid_norms: &[f32],
+) -> u32 {
+    let mut best = 0u32;
+    let mut best_sim = f32::NEG_INFINITY;
+    for (j, &cn) in centroid_norms.iter().enumerate() {
+        let sim = norm_cosine_fast(row, row_norm, &centroids[j * dim..(j + 1) * dim], cn);
+        // A NaN similarity is never `>`, so NaN rows stay at cell 0.
+        if sim > best_sim {
+            best_sim = sim;
+            best = j as u32;
+        }
+    }
+    best
+}
+
+/// Rows of independent work below which [`assign`] stays serial: the
+/// scoped-thread spawn cost only pays for itself on epoch-sized inputs.
+const PARALLEL_ASSIGN_MIN_ROWS: usize = 4096;
+
+/// One assignment pass: each row goes to its [`nearest_centroid`].
+///
+/// Rows are independent, so the pass is chunked across threads with the
+/// same contiguous-range idiom as Hogwild training (`chunks_mut` over
+/// disjoint slices of the assignment table — no shared writes, no
+/// reduction). Every slot's value depends only on its own row and the
+/// frozen centroids, so the result is **identical** for any thread
+/// count, and the centroid-mean reduction that follows in [`cluster`]
+/// runs serially over rows in index order — the fixed reduction order
+/// that keeps the full build deterministic and seed-reproducible.
 fn assign(
     data: &[f32],
     norms: &[f32],
@@ -137,25 +173,52 @@ fn assign(
     centroid_norms: &[f32],
     assignment: &mut [u32],
 ) {
-    let c = centroid_norms.len();
-    for (i, slot) in assignment.iter_mut().enumerate() {
-        let row = &data[i * dim..(i + 1) * dim];
-        let rn = norms[i];
-        let mut best = 0u32;
-        let mut best_sim = f32::NEG_INFINITY;
-        for j in 0..c {
-            let sim = norm_cosine_fast(
-                row,
-                rn,
-                &centroids[j * dim..(j + 1) * dim],
-                centroid_norms[j],
-            );
-            // A NaN similarity is never `>`, so NaN rows stay at cell 0.
-            if sim > best_sim {
-                best_sim = sim;
-                best = j as u32;
-            }
+    let n = assignment.len();
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1)
+        .min(8);
+    if threads <= 1 || n < PARALLEL_ASSIGN_MIN_ROWS {
+        assign_range(data, norms, dim, centroids, centroid_norms, assignment, 0);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (t, slots) in assignment.chunks_mut(chunk).enumerate() {
+            scope.spawn(move || {
+                assign_range(
+                    data,
+                    norms,
+                    dim,
+                    centroids,
+                    centroid_norms,
+                    slots,
+                    t * chunk,
+                );
+            });
         }
-        *slot = best;
+    });
+}
+
+/// Assign the rows `start..start + slots.len()` into `slots` — the
+/// serial kernel both the single-threaded and the chunked pass share.
+fn assign_range(
+    data: &[f32],
+    norms: &[f32],
+    dim: usize,
+    centroids: &[f32],
+    centroid_norms: &[f32],
+    slots: &mut [u32],
+    start: usize,
+) {
+    for (off, slot) in slots.iter_mut().enumerate() {
+        let i = start + off;
+        *slot = nearest_centroid(
+            &data[i * dim..(i + 1) * dim],
+            norms[i],
+            dim,
+            centroids,
+            centroid_norms,
+        );
     }
 }

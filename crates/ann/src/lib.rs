@@ -47,4 +47,4 @@ pub mod sq8;
 
 mod kmeans;
 
-pub use ivf::{IvfConfig, IvfIndex, SearchScratch, StorageMode};
+pub use ivf::{BatchQuery, BuildKind, IvfConfig, IvfIndex, SearchScratch, StorageMode};

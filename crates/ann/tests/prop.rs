@@ -3,7 +3,7 @@
 //! the exact scan's answers when every cell is probed.
 
 use glodyne_ann::sq8::Sq8Arena;
-use glodyne_ann::{IvfConfig, IvfIndex};
+use glodyne_ann::{BatchQuery, IvfConfig, IvfIndex};
 use glodyne_embed::{rank_similarity, reference_top_k, Embedding};
 use glodyne_graph::NodeId;
 use proptest::prelude::*;
@@ -71,7 +71,7 @@ proptest! {
         rerank_factor in 1usize..5,
     ) {
         let emb = build_embedding(n, dim, seed);
-        let cfg = IvfConfig { cells, kmeans_iters, seed, quantize, rerank_factor };
+        let cfg = IvfConfig { cells, kmeans_iters, seed, quantize, rerank_factor, ..Default::default() };
         let index = IvfIndex::build(&emb, &cfg);
         prop_assert_eq!(index.len(), n);
         prop_assert!(index.cells() <= cells.max(1));
@@ -212,6 +212,126 @@ proptest! {
             for (a, e) in ann.iter().zip(&exact) {
                 prop_assert_eq!(a.0, e.0);
                 prop_assert_eq!(a.1.to_bits(), e.1.to_bits());
+            }
+        }
+    }
+
+    /// Random churn streams: mutate/add rows step by step, maintain the
+    /// index incrementally (`update_from`), and compare a full probe
+    /// against a fresh full k-means build of the same embedding. At
+    /// `nprobe = cells` both scan every row with the exact kernel, so
+    /// the result sets must be **identical bit for bit** no matter how
+    /// churn redistributed the posting lists — the recall pin of
+    /// incremental maintenance. With the staleness trigger disarmed
+    /// (10000 bp) and gentle churn, the chain must also actually stay
+    /// incremental rather than silently rebuilding.
+    #[test]
+    fn incremental_chain_full_probe_matches_fresh_full_build(
+        n in 12usize..48,
+        dim in 2usize..10,
+        seed in 0u64..200,
+        cells in 1usize..6,
+        steps in 1usize..4,
+        quantize in (0u8..2).prop_map(|b| b == 1),
+    ) {
+        let mut emb = gaussian_embedding(n, dim, seed);
+        let k = 10usize;
+        let cfg = IvfConfig {
+            cells,
+            quantize,
+            // Pool covers any epoch this test grows, so SQ8 full probes
+            // are exact too.
+            rerank_factor: 16,
+            drift_stale_bp: 10_000,
+            ..Default::default()
+        };
+        let mut index = IvfIndex::build(&emb, &cfg);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x9e37_79b9);
+        for _ in 0..steps {
+            // Churn ~10% of rows: mutate existing ids and append a new
+            // one past the current population.
+            let mut dirty = Vec::new();
+            for _ in 0..(n / 10).max(1) {
+                let id = NodeId(rand::Rng::gen_range(&mut rng, 0..emb.len() as u32 + 1));
+                let v: Vec<f32> = (0..dim)
+                    .map(|_| rand::Rng::gen_range(&mut rng, -1.0f32..1.0))
+                    .collect();
+                emb.set(id, &v);
+                dirty.push(id);
+            }
+            index = IvfIndex::update_from(&index, &emb, &dirty, &cfg);
+            let fresh = IvfIndex::build(&emb, &cfg);
+            prop_assert_eq!(index.len(), fresh.len());
+            prop_assert_eq!(index.cells(), fresh.cells());
+            for probe in (0..emb.len() as u32).step_by(4) {
+                let probe = NodeId(probe);
+                let q = emb.get(probe).unwrap();
+                let a = index.search_in(&emb, q, k, index.cells(), Some(probe));
+                let b = fresh.search_in(&emb, q, k, fresh.cells(), Some(probe));
+                prop_assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(&b) {
+                    prop_assert_eq!(x.0, y.0);
+                    prop_assert_eq!(x.1.to_bits(), y.1.to_bits());
+                }
+            }
+        }
+        // ≤ ~40% cumulative churn against a disarmed 100% trigger: the
+        // chain must have stayed incremental (no silent full rebuilds).
+        prop_assert_eq!(index.build_kind(), glodyne_ann::BuildKind::Incremental);
+        prop_assert!(index.stale_rows() > 0);
+    }
+
+    /// The cell-grouped batch scan must be bit-exact per query with the
+    /// per-query scan — same hits, same scores to the bit — for both
+    /// storage modes, partial and full probes, including queries that
+    /// share cells, dimension-mismatched queries, and k > n.
+    #[test]
+    fn grouped_batch_scan_is_bit_exact_with_per_query_scan(
+        (n, dim) in (1usize..40, 1usize..9),
+        seed in 0u64..300,
+        cells in 1usize..10,
+        k in 1usize..20,
+        nprobe in 1usize..12,
+        batch in 1usize..9,
+        quantize in (0u8..2).prop_map(|b| b == 1),
+    ) {
+        let emb = build_embedding(n, dim, seed);
+        let cfg = IvfConfig { cells, quantize, ..Default::default() };
+        let index = IvfIndex::build(&emb, &cfg);
+
+        let bad_dim = vec![0.5f32; dim + 1];
+        let queries: Vec<BatchQuery> = (0..batch)
+            .map(|b| {
+                let probe = NodeId(((b * 13) % n.max(1)) as u32);
+                match emb.get(probe) {
+                    // Every 5th query is dimension-mismatched: its slot
+                    // must come back empty without poisoning the batch.
+                    _ if b % 5 == 4 => BatchQuery { query: &bad_dim, exclude: None },
+                    Some(q) => BatchQuery { query: q, exclude: Some(probe) },
+                    None => BatchQuery { query: &bad_dim[..dim], exclude: None },
+                }
+            })
+            .collect();
+
+        let grouped = index.search_in_batch(&emb, &queries, k, nprobe);
+        prop_assert_eq!(grouped.len(), queries.len());
+        for (q, batch_hits) in queries.iter().zip(&grouped) {
+            let solo = index.search_in(&emb, q.query, k, nprobe, q.exclude);
+            prop_assert_eq!(batch_hits.len(), solo.len());
+            for (x, y) in batch_hits.iter().zip(&solo) {
+                prop_assert_eq!(x.0, y.0);
+                prop_assert_eq!(x.1.to_bits(), y.1.to_bits());
+            }
+        }
+
+        // The storage-level batch entry point honours the same pin.
+        let grouped = index.search_batch(&queries, k, nprobe);
+        for (q, batch_hits) in queries.iter().zip(&grouped) {
+            let solo = index.search(q.query, k, nprobe, q.exclude);
+            prop_assert_eq!(batch_hits.len(), solo.len());
+            for (x, y) in batch_hits.iter().zip(&solo) {
+                prop_assert_eq!(x.0, y.0);
+                prop_assert_eq!(x.1.to_bits(), y.1.to_bits());
             }
         }
     }

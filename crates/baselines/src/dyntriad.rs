@@ -214,6 +214,7 @@ impl DynamicEmbedder for DynTriad {
             selected,
             trained_pairs: edges.len() * self.cfg.epochs,
             corpus_tokens: 0,
+            dirty_rows: 0,
         }
     }
 

@@ -46,7 +46,7 @@
 //!     --assert-telemetry-overhead 3 --out BENCH_nearest.json
 //! ```
 
-use glodyne_ann::{IvfConfig, IvfIndex, SearchScratch};
+use glodyne_ann::{BatchQuery, IvfConfig, IvfIndex, SearchScratch};
 use glodyne_bench::args::Args;
 use glodyne_embed::kernel::{dot_exact, dot_fast};
 use glodyne_embed::walks::splitmix64_next;
@@ -145,6 +145,32 @@ struct BatchPoint {
     sq8_qps: f64,
 }
 
+/// One point of the cell-grouped batch sweep: the same probes answered
+/// through `search_in_batch_with`, which scans each probed posting
+/// list once per batch instead of once per query.
+struct GroupedPoint {
+    batch: usize,
+    f32_qps: f64,
+    sq8_qps: f64,
+}
+
+/// The freshness axis: after perturbing ~1% of rows, a fresh full
+/// rebuild vs an incremental `update_from` patch of the same index.
+struct IncrementalResult {
+    dirty_rows: usize,
+    build_full_ms: f64,
+    build_incr_ms: f64,
+    /// `build_full_ms / build_incr_ms` — how much build time the
+    /// incremental path saves at this churn level.
+    speedup: f64,
+    /// Overlap@10 of the incremental index's answers with the fresh
+    /// full build's answers at the same probe width (parity, not
+    /// absolute recall): 1.0 means the patch lost nothing.
+    recall_at_10: f64,
+    /// `"incremental"` unless a drift trigger forced a full rebuild.
+    build_kind: &'static str,
+}
+
 struct SizeResult {
     n: usize,
     cells: usize,
@@ -164,6 +190,10 @@ struct SizeResult {
     sq8_compression: f64,
     // Scratch-reuse sweep, both storage modes.
     batch: Vec<BatchPoint>,
+    // Cell-grouped batch sweep over the same points.
+    batch_grouped: Vec<GroupedPoint>,
+    // Incremental-maintenance axis (~1% dirty).
+    incremental: IncrementalResult,
 }
 
 fn recall(exact: &[Vec<(NodeId, f32)>], approx: &[Vec<(NodeId, f32)>]) -> f64 {
@@ -198,6 +228,96 @@ fn batched_qps(
         }
     }
     probes.len() as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Queries/sec through the cell-grouped `search_in_batch_with` with
+/// one scratch per `batch` probes — the serving layer's grouped
+/// `nearest_batch` access pattern. Bit-exact with [`batched_qps`]'s
+/// per-query scans; only the posting-list traversal order differs.
+fn grouped_qps(
+    index: &IvfIndex,
+    emb: &Embedding,
+    probes: &[NodeId],
+    nprobe: usize,
+    batch: usize,
+) -> f64 {
+    let start = Instant::now();
+    for chunk in probes.chunks(batch) {
+        let mut scratch = SearchScratch::new();
+        let queries: Vec<BatchQuery<'_>> = chunk
+            .iter()
+            .map(|&p| BatchQuery {
+                query: emb.get(p).unwrap(),
+                exclude: Some(p),
+            })
+            .collect();
+        let hits = index.search_in_batch_with(emb, &queries, K, nprobe, &mut scratch);
+        std::hint::black_box(hits);
+    }
+    probes.len() as f64 / start.elapsed().as_secs_f64()
+}
+
+/// The freshness axis: perturb ~1% of rows (deterministically spread
+/// over the id space), then time a fresh full rebuild against an
+/// incremental `update_from` patch of `index`, and measure how much of
+/// the full build's top-10 the patched index reproduces at the same
+/// probe width.
+fn bench_incremental(
+    index: &IvfIndex,
+    emb: &Embedding,
+    cfg: &IvfConfig,
+    probes: &[NodeId],
+    nprobe: usize,
+    seed: u64,
+) -> IncrementalResult {
+    let n = emb.len();
+    let dirty_count = (n / 100).max(1);
+    let stride = (n / dirty_count).max(1);
+    let mut rng = SplitMix(seed ^ 0xD1F7_BEEF);
+    let mut perturbed = emb.clone();
+    let mut dirty = Vec::with_capacity(dirty_count);
+    for i in 0..dirty_count {
+        let id = NodeId((i * stride) as u32);
+        let mut row = perturbed.get(id).unwrap().to_vec();
+        for x in &mut row {
+            *x += 0.05 * rng.gaussian();
+        }
+        perturbed.set(id, &row);
+        dirty.push(id);
+    }
+
+    let start = Instant::now();
+    let full = IvfIndex::build(&perturbed, cfg);
+    let build_full_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let incr = IvfIndex::update_from(index, &perturbed, &dirty, cfg);
+    let build_incr_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let answers = |ix: &IvfIndex| -> Vec<Vec<(NodeId, f32)>> {
+        let mut scratch = SearchScratch::new();
+        probes
+            .iter()
+            .map(|&p| {
+                ix.search_in_with(
+                    &perturbed,
+                    perturbed.get(p).unwrap(),
+                    K,
+                    nprobe,
+                    Some(p),
+                    &mut scratch,
+                )
+            })
+            .collect()
+    };
+    let recall_at_10 = recall(&answers(&full), &answers(&incr));
+    IncrementalResult {
+        dirty_rows: incr.dirty_rows(),
+        build_full_ms,
+        build_incr_ms,
+        speedup: build_full_ms / build_incr_ms.max(1e-9),
+        recall_at_10,
+        build_kind: incr.build_kind().as_str(),
+    }
 }
 
 struct TelemetryOverhead {
@@ -367,6 +487,15 @@ fn bench_one(n: usize, dim: usize, clusters: usize, queries: usize, seed: u64) -
             sq8_qps: batched_qps(&sq8_index, &emb, &probes, nprobe, b),
         })
         .collect();
+    let batch_grouped = BATCH_SIZES
+        .iter()
+        .map(|&b| GroupedPoint {
+            batch: b,
+            f32_qps: grouped_qps(&index, &emb, &probes, nprobe, b),
+            sq8_qps: grouped_qps(&sq8_index, &emb, &probes, nprobe, b),
+        })
+        .collect();
+    let incremental = bench_incremental(&index, &emb, &cfg, &probes, nprobe, seed);
 
     SizeResult {
         n,
@@ -384,6 +513,8 @@ fn bench_one(n: usize, dim: usize, clusters: usize, queries: usize, seed: u64) -
         sq8_index_bytes: sq8_index.index_bytes(),
         sq8_compression: index.index_bytes() as f64 / sq8_index.index_bytes().max(1) as f64,
         batch,
+        batch_grouped,
+        incremental,
     }
 }
 
@@ -397,6 +528,9 @@ fn main() {
     let assert_probe_recall: f64 = args.get("assert-probe-recall", 0.0);
     let assert_telemetry_overhead: f64 = args.get("assert-telemetry-overhead", 0.0);
     let assert_chaos_overhead: f64 = args.get("assert-chaos-overhead", 0.0);
+    let assert_incr_speedup: f64 = args.get("assert-incr-speedup", 0.0);
+    let assert_incr_recall: f64 = args.get("assert-incr-recall", 0.0);
+    let assert_grouped_speedup: f64 = args.get("assert-grouped-speedup", 0.0);
     let out = args.get("out", "BENCH_nearest.json".to_string());
     let raw_sizes = args.get("sizes", "1000,10000,100000".to_string());
     let sizes: Vec<usize> = raw_sizes
@@ -432,12 +566,24 @@ fn main() {
             "          sq8: {:>9.0} q/s  recall@10={:.4}  bytes={} ({:.2}x smaller)  build={:.1}ms",
             r.sq8_qps, r.sq8_recall_at_10, r.sq8_index_bytes, r.sq8_compression, r.sq8_build_ms
         );
-        for b in &r.batch {
+        for (b, g) in r.batch.iter().zip(&r.batch_grouped) {
             println!(
-                "          batch={:>2}: f32={:>9.0} q/s  sq8={:>9.0} q/s",
-                b.batch, b.f32_qps, b.sq8_qps
+                "          batch={:>2}: f32={:>9.0} q/s  sq8={:>9.0} q/s  \
+                 grouped: f32={:>9.0} q/s  sq8={:>9.0} q/s",
+                b.batch, b.f32_qps, b.sq8_qps, g.f32_qps, g.sq8_qps
             );
         }
+        let inc = &r.incremental;
+        println!(
+            "          incr ({} dirty, {}): full={:.1}ms  incr={:.1}ms  \
+             speedup={:.2}x  parity@10={:.4}",
+            inc.dirty_rows,
+            inc.build_kind,
+            inc.build_full_ms,
+            inc.build_incr_ms,
+            inc.speedup,
+            inc.recall_at_10
+        );
         results.push(r);
     }
 
@@ -520,6 +666,18 @@ fn main() {
             r.recall_at_10,
             r.index_bytes,
         ));
+        let inc = &r.incremental;
+        json.push_str(&format!(
+            "     \"build_full_ms\": {:.2}, \"build_incr_ms\": {:.2}, \
+             \"incremental\": {{\"dirty_rows\": {}, \"speedup\": {:.2}, \
+             \"recall_at_10\": {:.4}, \"build_kind\": \"{}\"}},\n",
+            inc.build_full_ms,
+            inc.build_incr_ms,
+            inc.dirty_rows,
+            inc.speedup,
+            inc.recall_at_10,
+            inc.build_kind,
+        ));
         json.push_str(&format!(
             "     \"sq8\": {{\"build_ms\": {:.2}, \"qps\": {:.1}, \"recall_at_10\": {:.4}, \
              \"index_bytes\": {}, \"compression\": {:.2}}},\n",
@@ -533,6 +691,16 @@ fn main() {
                 b.batch,
                 b.f32_qps,
                 b.sq8_qps
+            ));
+        }
+        json.push_str("],\n     \"batch_grouped\": [");
+        for (j, g) in r.batch_grouped.iter().enumerate() {
+            json.push_str(&format!(
+                "{}{{\"batch\": {}, \"f32_qps\": {:.1}, \"sq8_qps\": {:.1}}}",
+                if j > 0 { ", " } else { "" },
+                g.batch,
+                g.f32_qps,
+                g.sq8_qps
             ));
         }
         json.push_str(&format!(
@@ -580,6 +748,69 @@ fn main() {
         println!(
             "telemetry overhead ceiling {assert_telemetry_overhead:.2}% held ({:.2}%)",
             overhead.overhead_pct
+        );
+    }
+    // The incremental-maintenance and grouped-batch gates read the
+    // largest tier (CI's bench-smoke points them at its 100k tier).
+    let biggest = results
+        .iter()
+        .max_by_key(|r| r.n)
+        .expect("at least one size tier");
+    if assert_incr_speedup > 0.0 {
+        let inc = &biggest.incremental;
+        if inc.speedup < assert_incr_speedup || inc.build_kind != "incremental" {
+            eprintln!(
+                "bench_nearest: incremental build speedup {:.2}x (kind {}) fell below \
+                 the --assert-incr-speedup floor {assert_incr_speedup:.2}x at n={}",
+                inc.speedup, inc.build_kind, biggest.n
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "incremental speedup floor {assert_incr_speedup:.2}x held ({:.2}x at n={})",
+            inc.speedup, biggest.n
+        );
+    }
+    if assert_incr_recall > 0.0 {
+        let inc = &biggest.incremental;
+        if inc.recall_at_10 < assert_incr_recall {
+            eprintln!(
+                "bench_nearest: incremental parity@{K} {:.4} fell below the \
+                 --assert-incr-recall floor {assert_incr_recall:.4} at n={}",
+                inc.recall_at_10, biggest.n
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "incremental parity floor {assert_incr_recall:.4} held ({:.4} at n={})",
+            inc.recall_at_10, biggest.n
+        );
+    }
+    if assert_grouped_speedup > 0.0 {
+        let single = biggest
+            .batch
+            .iter()
+            .find(|b| b.batch == 1)
+            .map(|b| b.f32_qps)
+            .unwrap_or(f64::INFINITY);
+        let grouped = biggest
+            .batch_grouped
+            .iter()
+            .max_by_key(|g| g.batch)
+            .map(|g| g.f32_qps)
+            .unwrap_or(0.0);
+        let ratio = grouped / single;
+        if ratio < assert_grouped_speedup {
+            eprintln!(
+                "bench_nearest: grouped batch q/s ratio {ratio:.2}x fell below the \
+                 --assert-grouped-speedup floor {assert_grouped_speedup:.2}x at n={}",
+                biggest.n
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "grouped batch speedup floor {assert_grouped_speedup:.2}x held ({ratio:.2}x at n={})",
+            biggest.n
         );
     }
     if assert_chaos_overhead > 0.0 {

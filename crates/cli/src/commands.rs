@@ -180,21 +180,24 @@ fn parse_query_nodes(opts: &Opts) -> Result<Option<Vec<NodeId>>, CliError> {
         .map(Some)
 }
 
-/// Shared `--shards`/`--shard-epsilon`/`--shard-seed`/`--drift`
-/// parsing for `stream` and `serve`: `None` without `--shards` (or
-/// with `--shards 1`, the unsharded fast path). The partitioner seed
-/// defaults to the shared `--seed`.
+/// Shared `--shards`/`--shard-epsilon`/`--shard-seed`/`--drift`/
+/// `--ann-overfetch` parsing for `stream` and `serve`: `None` without
+/// `--shards` (or with `--shards 1`, the unsharded fast path). The
+/// partitioner seed defaults to the shared `--seed`; `--ann-overfetch`
+/// trades per-shard scan work for fan-out recall on halo-heavy graphs.
 fn parse_shards(opts: &Opts) -> Result<Option<ShardConfig>, CliError> {
     let shards = opts.get_opt::<usize>("shards")?;
     let Some(shards) = shards.filter(|&s| s != 1) else {
         return Ok(None);
     };
+    let defaults = ShardConfig::default();
     let cfg = ShardConfig {
         shards,
         epsilon: opts.get("shard-epsilon", 0.1),
         seed: opts.get("shard-seed", opts.get("seed", 0u64)),
         drift_threshold: opts.get("drift", 0.25),
-        ..Default::default()
+        ann_overfetch: opts.get("ann-overfetch", defaults.ann_overfetch),
+        ..defaults
     };
     cfg.validate().map_err(CliError::Config)?;
     Ok(Some(cfg))

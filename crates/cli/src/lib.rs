@@ -112,13 +112,14 @@ USAGE:
                     [--every 1000] [--query <node>] [--top-k 10]
                     [--ann] [--cells 64] [--nprobe 8]
                     [--shards N] [--shard-epsilon 0.1] [--shard-seed 0]
-                    [--drift 0.25] [--alpha 0.1] [--dim 128] [--seed 0]
+                    [--drift 0.25] [--ann-overfetch 2]
+                    [--alpha 0.1] [--dim 128] [--seed 0]
                     [--addr HOST:PORT] [--retry-budget 5]
   glodyne serve     [--bind 127.0.0.1:7878] [--threads 64] [--queue 1024]
                     [--policy timestamp|every-n|manual] [--every 1000]
                     [--ann] [--cells 64] [--nprobe 8]
                     [--shards N] [--shard-epsilon 0.1] [--shard-seed 0]
-                    [--drift 0.25]
+                    [--drift 0.25] [--ann-overfetch 2]
                     [--input <edges.txt>] [--alpha 0.1] [--dim 128] [--seed 0]
                     [--data-dir <dir>] [--fsync flush|off|every:<n>]
                     [--snapshot-every 4] [--keep-snapshots 2]
@@ -156,8 +157,10 @@ With --shards N, `stream` and `serve` partition the event stream into N
   when more than a --drift fraction of nodes is hash-placed); each shard
   trains its own session (its own trainer thread under `serve`),
   cross-shard edges are mirrored to both sides as halo edges, `nearest`
-  fans out across shards and merges owned hits, and `stats` reports a
-  per-shard \"shards\" array.
+  fans out across shards and merges owned hits (each shard over-fetched
+  by --ann-overfetch before halo filtering: higher = better fan-out
+  recall, more per-shard scan work), and `stats` reports a per-shard
+  \"shards\" array.
 With --data-dir, `serve` becomes crash-recoverable: every ingested
   event is appended to a segmented write-ahead log under the directory
   and committed epochs are periodically frozen into snapshot files.

@@ -68,6 +68,13 @@ pub struct EmbedderSession<E: DynamicEmbedder> {
     /// Optional approximate-search state; see
     /// [`EmbedderSession::with_ann`].
     ann: Option<AnnState>,
+    /// Nodes whose embedding vector changed since the dirty set was
+    /// last drained — computed by diffing the live embedding at each
+    /// commit (bitwise row compare, so it is exact for any embedder,
+    /// not an estimate). Ordered so drains are deterministic. Fed to
+    /// [`IvfIndex::update_from`] by the lazy index maintenance and by
+    /// external trainers via [`EmbedderSession::take_dirty`].
+    dirty: std::collections::BTreeSet<NodeId>,
 }
 
 /// ANN configuration plus the lazily built index over the latest
@@ -78,6 +85,11 @@ pub struct EmbedderSession<E: DynamicEmbedder> {
 struct AnnState {
     config: IvfConfig,
     index: Option<IvfIndex>,
+    /// The most recently built index, retained across commits as the
+    /// warm start for [`IvfIndex::update_from`]: the next lazy build
+    /// reassigns only the rows the session's dirty set accumulated
+    /// instead of re-running k-means from zero.
+    prev: Option<IvfIndex>,
     /// Index builds performed over the session's lifetime (telemetry;
     /// pins the build-on-first-query contract in tests).
     builds: u64,
@@ -110,6 +122,7 @@ impl<E: DynamicEmbedder> EmbedderSession<E> {
             pending: 0,
             current_time: None,
             ann: None,
+            dirty: std::collections::BTreeSet::new(),
         })
     }
 
@@ -133,6 +146,7 @@ impl<E: DynamicEmbedder> EmbedderSession<E> {
         self.ann = Some(AnnState {
             config,
             index: None,
+            prev: None,
             builds: 0,
         });
         Ok(self)
@@ -185,7 +199,7 @@ impl<E: DynamicEmbedder> EmbedderSession<E> {
         } else {
             self.state.commit()
         };
-        let report = match self.prev.take() {
+        let mut report = match self.prev.take() {
             None => self.embedder.step(StepContext::initial(&snap)),
             Some(prev) => {
                 // Lazy diff: methods that read ΔE^t get it computed
@@ -194,11 +208,36 @@ impl<E: DynamicEmbedder> EmbedderSession<E> {
                     .step(StepContext::transition_lazy(&prev, &snap))
             }
         };
-        self.latest = self.embedder.embedding();
+        // Diff the live embedding across the step (bitwise per row, so
+        // NaN components don't read as perpetual churn) — the exact
+        // dirty set the incremental index maintenance reassigns.
+        // Removed rows aren't listed: `IvfIndex::update_from` detects
+        // them from the embedding itself.
+        let old = std::mem::replace(&mut self.latest, self.embedder.embedding());
+        report.dirty_rows = 0;
+        for (id, v) in self.latest.iter() {
+            let changed = match old.get(id) {
+                Some(prev_row) => {
+                    prev_row.len() != v.len()
+                        || prev_row
+                            .iter()
+                            .zip(v)
+                            .any(|(a, b)| a.to_bits() != b.to_bits())
+                }
+                None => true,
+            };
+            if changed {
+                report.dirty_rows += 1;
+                self.dirty.insert(id);
+            }
+        }
         if let Some(ann) = &mut self.ann {
-            // Only mark the index stale; the rebuild happens lazily on
-            // the first `nearest_approx` of the new epoch.
-            ann.index = None;
+            // Only mark the index stale; the (incremental) rebuild
+            // happens lazily on the first `nearest_approx` of the new
+            // epoch. The last built index is kept as the warm start.
+            if let Some(ix) = ann.index.take() {
+                ann.prev = Some(ix);
+            }
         }
         self.prev = Some(snap);
         self.pending = 0;
@@ -256,10 +295,12 @@ impl<E: DynamicEmbedder> EmbedderSession<E> {
     }
 
     /// [`nearest_approx`](EmbedderSession::nearest_approx) for many
-    /// nodes against one index build: the epoch index is ensured once
-    /// and scan scratch is reused across the whole batch. Results are
-    /// positionally parallel to `nodes`; bit-exact with per-node
-    /// `nearest_approx` calls in the same epoch.
+    /// nodes against one index build, answered with the **cell-grouped
+    /// batch scan**: the batch's probed cells are grouped so each
+    /// posting list is read once for every query probing it, instead
+    /// of once per query. Results are positionally parallel to `nodes`
+    /// (empty for a node without an embedding); bit-exact with
+    /// per-node `nearest_approx` calls in the same epoch.
     pub fn nearest_batch_approx(
         &mut self,
         nodes: &[NodeId],
@@ -271,23 +312,24 @@ impl<E: DynamicEmbedder> EmbedderSession<E> {
             return Some(nodes.iter().map(|_| Vec::new()).collect());
         }
         let index = self.ann.as_ref()?.index.as_ref()?;
+        let mut slots = Vec::with_capacity(nodes.len());
+        let mut queries = Vec::with_capacity(nodes.len());
+        for (i, &node) in nodes.iter().enumerate() {
+            if let Some(query) = self.latest.get(node) {
+                slots.push(i);
+                queries.push(glodyne_ann::BatchQuery {
+                    query,
+                    exclude: Some(node),
+                });
+            }
+        }
         let mut scratch = glodyne_ann::SearchScratch::new();
-        Some(
-            nodes
-                .iter()
-                .map(|&node| match self.latest.get(node) {
-                    Some(query) => index.search_in_with(
-                        &self.latest,
-                        query,
-                        k,
-                        nprobe,
-                        Some(node),
-                        &mut scratch,
-                    ),
-                    None => Vec::new(),
-                })
-                .collect(),
-        )
+        let grouped = index.search_in_batch_with(&self.latest, &queries, k, nprobe, &mut scratch);
+        let mut out = vec![Vec::new(); nodes.len()];
+        for (slot, hits) in slots.into_iter().zip(grouped) {
+            out[slot] = hits;
+        }
+        Some(out)
     }
 
     /// Build the current epoch's ANN index if it is stale and return
@@ -305,9 +347,36 @@ impl<E: DynamicEmbedder> EmbedderSession<E> {
         let ann = self.ann.as_mut()?;
         if ann.index.is_none() {
             ann.builds += 1;
-            ann.index = Some(IvfIndex::build(&self.latest, &ann.config));
+            // Warm-start from the last built index when there is one:
+            // only the rows the dirty set accumulated since that build
+            // are reassigned (`update_from` falls back to a full
+            // k-means on drift). A session that never built — or one
+            // resumed from a checkpoint — builds full.
+            let dirty: Vec<NodeId> = std::mem::take(&mut self.dirty).into_iter().collect();
+            ann.index = Some(match ann.prev.take() {
+                Some(prev) => IvfIndex::update_from(&prev, &self.latest, &dirty, &ann.config),
+                None => IvfIndex::build(&self.latest, &ann.config),
+            });
         }
         ann.index.as_ref()
+    }
+
+    /// Drain the accumulated dirty set: every node whose embedding
+    /// vector changed since the previous drain (or session start), in
+    /// ascending id order. External trainers hand this to
+    /// [`IvfIndex::update_from`] alongside the previous epoch's index;
+    /// the session's own lazy maintenance
+    /// ([`ensure_ann_index`](EmbedderSession::ensure_ann_index)) drains
+    /// the same set, so a session should have one index-building
+    /// consumer.
+    pub fn take_dirty(&mut self) -> Vec<NodeId> {
+        std::mem::take(&mut self.dirty).into_iter().collect()
+    }
+
+    /// Size of the accumulated dirty set (nodes changed since the last
+    /// [`take_dirty`](EmbedderSession::take_dirty) / lazy index build).
+    pub fn dirty_len(&self) -> usize {
+        self.dirty.len()
     }
 
     /// The ANN index of the current epoch, when enabled and already
@@ -717,6 +786,73 @@ mod tests {
         assert!(s.ann_index().is_some(), "no-step flush keeps the index");
         s.nearest_approx(NodeId(0), 3, 2).unwrap();
         assert_eq!(s.ann_builds(), 2);
+    }
+
+    #[test]
+    fn lazy_index_maintenance_is_incremental_and_matches_full_builds() {
+        use glodyne_ann::BuildKind;
+        let cfg = IvfConfig {
+            cells: 3,
+            // Disarm the staleness trigger: tiny test graphs churn a
+            // large fraction of their rows per step.
+            drift_stale_bp: 10_000,
+            ..Default::default()
+        };
+        let mut s = EmbedderSession::new(tiny_model(), EpochPolicy::Manual)
+            .unwrap()
+            .with_ann(cfg)
+            .unwrap();
+        s.ingest(&chain(&[0, 0, 0, 0, 0, 0]));
+        let r = s.flush().unwrap();
+        assert!(r.dirty_rows > 0, "the offline step dirties every row");
+        assert_eq!(r.dirty_rows, s.dirty_len());
+        s.nearest_approx(NodeId(0), 3, 2).unwrap();
+        let first = s.ann_index().unwrap();
+        assert_eq!(first.build_kind(), BuildKind::Full, "cold start is full");
+        assert_eq!(s.dirty_len(), 0, "the build drained the dirty set");
+
+        // Next epoch: the lazy rebuild warm-starts from the first.
+        s.ingest(&[TimedEdge::new(NodeId(0), NodeId(9), 1)]);
+        let r = s.flush().unwrap();
+        assert!(r.dirty_rows > 0);
+        let approx = s.nearest_approx(NodeId(2), 4, usize::MAX).unwrap();
+        let index = s.ann_index().unwrap();
+        assert_eq!(index.build_kind(), BuildKind::Incremental);
+        assert_eq!(index.len(), s.embedding().len());
+        assert!(index.dirty_rows() > 0);
+        // Full probe on the patched index ≡ the exact scan.
+        let exact = s.nearest(NodeId(2), 4);
+        assert_eq!(approx.len(), exact.len());
+        for (a, b) in approx.iter().zip(&exact) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+        assert_eq!(s.ann_builds(), 2);
+    }
+
+    #[test]
+    fn take_dirty_drains_the_diffed_churn() {
+        let mut s = EmbedderSession::new(tiny_model(), EpochPolicy::Manual).unwrap();
+        assert_eq!(s.take_dirty(), Vec::<NodeId>::new());
+        s.ingest(&chain(&[0, 0, 0, 0]));
+        let r = s.flush().unwrap();
+        let dirty = s.take_dirty();
+        assert_eq!(dirty.len(), r.dirty_rows);
+        assert_eq!(
+            dirty.len(),
+            s.embedding().len(),
+            "offline step touches every row"
+        );
+        assert!(dirty.windows(2).all(|w| w[0] < w[1]), "sorted drain order");
+        assert_eq!(s.dirty_len(), 0);
+        // Dirty accumulates across un-drained commits.
+        s.ingest(&[TimedEdge::new(NodeId(0), NodeId(9), 1)]);
+        s.flush().unwrap();
+        s.ingest(&[TimedEdge::new(NodeId(1), NodeId(8), 2)]);
+        s.flush().unwrap();
+        let dirty = s.take_dirty();
+        assert!(!dirty.is_empty());
+        assert!(dirty.len() <= s.embedding().len());
     }
 
     #[test]

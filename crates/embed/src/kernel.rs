@@ -80,6 +80,230 @@ pub fn dot_fast(a: &[f32], b: &[f32]) -> f32 {
     (even + odd) + tail
 }
 
+/// `N` [`dot_fast`] computations sharing one pass over `b`: each of
+/// the `N` queries keeps its own [`LANES`]-lane accumulator block,
+/// scalar remainder, and pairwise reduction — exactly the operation
+/// sequence of a standalone `dot_fast(a[j], b)` call, so every slot of
+/// the result is **bit-identical** to the corresponding single call
+/// (regression-pinned in tests). What fusing buys is instruction-level
+/// parallelism: `N` independent accumulation chains interleave over
+/// one load of each `b` chunk, hiding the FMA latency a single chain
+/// stalls on. This is the mini-kernel under `glodyne-ann`'s
+/// cell-grouped batch scan, where one posting row is scored for every
+/// query probing its cell.
+///
+/// All `N` query slices must have `b`'s length (like `dot_fast`,
+/// enforced by `debug_assert` only).
+#[inline]
+pub fn dot_fast_multi<const N: usize>(a: [&[f32]; N], b: &[f32]) -> [f32; N] {
+    // Specialized bodies for the group widths the cell-grouped scan
+    // emits: the nested `chunks_exact().zip()` shape is the one idiom
+    // the autovectorizer reliably turns into branch-free vector code
+    // (an array of iterators or manual indexing reintroduces bounds
+    // checks and spills the accumulators). Other widths fall back to
+    // per-slot `dot_fast`, which is the same computation by definition.
+    match N {
+        2 => {
+            let (d0, d1) = dot_fast_x2(a[0], a[1], b);
+            let mut out = [0.0f32; N];
+            out[0] = d0;
+            out[1] = d1;
+            out
+        }
+        3 => {
+            let (d0, d1) = dot_fast_x2(a[0], a[1], b);
+            let mut out = [0.0f32; N];
+            out[0] = d0;
+            out[1] = d1;
+            out[2] = dot_fast(a[2], b);
+            out
+        }
+        4 => {
+            let (d0, d1, d2, d3) = dot_fast_x4(a[0], a[1], a[2], a[3], b);
+            let mut out = [0.0f32; N];
+            out[0] = d0;
+            out[1] = d1;
+            out[2] = d2;
+            out[3] = d3;
+            out
+        }
+        _ => std::array::from_fn(|j| dot_fast(a[j], b)),
+    }
+}
+
+/// Finish one fused accumulator block the way `dot_fast` does: the
+/// query's scalar remainder, then the fixed pairwise lane reduction.
+#[inline]
+fn finish_lanes(acc: &[f32; LANES], a: &[f32], b: &[f32], main: usize) -> f32 {
+    let mut tail = 0.0f32;
+    for (&x, &y) in a[main..].iter().zip(&b[main..]) {
+        tail += x * y;
+    }
+    let even = (acc[0] + acc[4]) + (acc[2] + acc[6]);
+    let odd = (acc[1] + acc[5]) + (acc[3] + acc[7]);
+    (even + odd) + tail
+}
+
+/// Two fused [`dot_fast`] chains over one pass of `b`.
+#[inline]
+fn dot_fast_x2(a0: &[f32], a1: &[f32], b: &[f32]) -> (f32, f32) {
+    debug_assert_eq!(a0.len(), b.len());
+    debug_assert_eq!(a1.len(), b.len());
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx") {
+        // SAFETY: the `avx` feature was just detected at runtime.
+        return unsafe { dot_fast_x2_avx(a0, a1, b) };
+    }
+    let main = b.len() - b.len() % LANES;
+    let mut acc0 = [0.0f32; LANES];
+    let mut acc1 = [0.0f32; LANES];
+    for ((c0, c1), cb) in a0[..main]
+        .chunks_exact(LANES)
+        .zip(a1[..main].chunks_exact(LANES))
+        .zip(b[..main].chunks_exact(LANES))
+    {
+        for lane in 0..LANES {
+            acc0[lane] += c0[lane] * cb[lane];
+            acc1[lane] += c1[lane] * cb[lane];
+        }
+    }
+    (
+        finish_lanes(&acc0, a0, b, main),
+        finish_lanes(&acc1, a1, b, main),
+    )
+}
+
+/// AVX body of [`dot_fast_x2`]. One 8-lane `vmulps` + `vaddps` pair
+/// per query per chunk — the exact per-lane IEEE operations of the
+/// scalar loop (deliberately *not* FMA, which would fuse the rounding
+/// step and break bit-identity with [`dot_fast`]) — so results stay
+/// bit-identical to the portable path on every platform.
+///
+/// # Safety
+/// Caller must ensure the `avx` target feature is available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn dot_fast_x2_avx(a0: &[f32], a1: &[f32], b: &[f32]) -> (f32, f32) {
+    use std::arch::x86_64::*;
+    let main = b.len() - b.len() % LANES;
+    let mut v0 = _mm256_setzero_ps();
+    let mut v1 = _mm256_setzero_ps();
+    let mut i = 0;
+    while i < main {
+        // SAFETY: `i + LANES <= main <= len` of every slice, checked
+        // by the debug asserts in the caller and the loop bound.
+        unsafe {
+            let cb = _mm256_loadu_ps(b.as_ptr().add(i));
+            v0 = _mm256_add_ps(v0, _mm256_mul_ps(_mm256_loadu_ps(a0.as_ptr().add(i)), cb));
+            v1 = _mm256_add_ps(v1, _mm256_mul_ps(_mm256_loadu_ps(a1.as_ptr().add(i)), cb));
+        }
+        i += LANES;
+    }
+    let mut acc0 = [0.0f32; LANES];
+    let mut acc1 = [0.0f32; LANES];
+    // SAFETY: `[f32; LANES]` holds exactly one 256-bit vector.
+    unsafe {
+        _mm256_storeu_ps(acc0.as_mut_ptr(), v0);
+        _mm256_storeu_ps(acc1.as_mut_ptr(), v1);
+    }
+    (
+        finish_lanes(&acc0, a0, b, main),
+        finish_lanes(&acc1, a1, b, main),
+    )
+}
+
+/// Four fused [`dot_fast`] chains over one pass of `b`.
+#[inline]
+fn dot_fast_x4(a0: &[f32], a1: &[f32], a2: &[f32], a3: &[f32], b: &[f32]) -> (f32, f32, f32, f32) {
+    debug_assert_eq!(a0.len(), b.len());
+    debug_assert_eq!(a1.len(), b.len());
+    debug_assert_eq!(a2.len(), b.len());
+    debug_assert_eq!(a3.len(), b.len());
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx") {
+        // SAFETY: the `avx` feature was just detected at runtime.
+        return unsafe { dot_fast_x4_avx(a0, a1, a2, a3, b) };
+    }
+    let main = b.len() - b.len() % LANES;
+    let mut acc0 = [0.0f32; LANES];
+    let mut acc1 = [0.0f32; LANES];
+    let mut acc2 = [0.0f32; LANES];
+    let mut acc3 = [0.0f32; LANES];
+    for ((((c0, c1), c2), c3), cb) in a0[..main]
+        .chunks_exact(LANES)
+        .zip(a1[..main].chunks_exact(LANES))
+        .zip(a2[..main].chunks_exact(LANES))
+        .zip(a3[..main].chunks_exact(LANES))
+        .zip(b[..main].chunks_exact(LANES))
+    {
+        for lane in 0..LANES {
+            acc0[lane] += c0[lane] * cb[lane];
+            acc1[lane] += c1[lane] * cb[lane];
+            acc2[lane] += c2[lane] * cb[lane];
+            acc3[lane] += c3[lane] * cb[lane];
+        }
+    }
+    (
+        finish_lanes(&acc0, a0, b, main),
+        finish_lanes(&acc1, a1, b, main),
+        finish_lanes(&acc2, a2, b, main),
+        finish_lanes(&acc3, a3, b, main),
+    )
+}
+
+/// AVX body of [`dot_fast_x4`] — see [`dot_fast_x2_avx`] for why this
+/// is mul+add rather than FMA and why it is bit-identical to the
+/// portable path.
+///
+/// # Safety
+/// Caller must ensure the `avx` target feature is available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn dot_fast_x4_avx(
+    a0: &[f32],
+    a1: &[f32],
+    a2: &[f32],
+    a3: &[f32],
+    b: &[f32],
+) -> (f32, f32, f32, f32) {
+    use std::arch::x86_64::*;
+    let main = b.len() - b.len() % LANES;
+    let mut v0 = _mm256_setzero_ps();
+    let mut v1 = _mm256_setzero_ps();
+    let mut v2 = _mm256_setzero_ps();
+    let mut v3 = _mm256_setzero_ps();
+    let mut i = 0;
+    while i < main {
+        // SAFETY: `i + LANES <= main <= len` of every slice, checked
+        // by the debug asserts in the caller and the loop bound.
+        unsafe {
+            let cb = _mm256_loadu_ps(b.as_ptr().add(i));
+            v0 = _mm256_add_ps(v0, _mm256_mul_ps(_mm256_loadu_ps(a0.as_ptr().add(i)), cb));
+            v1 = _mm256_add_ps(v1, _mm256_mul_ps(_mm256_loadu_ps(a1.as_ptr().add(i)), cb));
+            v2 = _mm256_add_ps(v2, _mm256_mul_ps(_mm256_loadu_ps(a2.as_ptr().add(i)), cb));
+            v3 = _mm256_add_ps(v3, _mm256_mul_ps(_mm256_loadu_ps(a3.as_ptr().add(i)), cb));
+        }
+        i += LANES;
+    }
+    let mut acc0 = [0.0f32; LANES];
+    let mut acc1 = [0.0f32; LANES];
+    let mut acc2 = [0.0f32; LANES];
+    let mut acc3 = [0.0f32; LANES];
+    // SAFETY: `[f32; LANES]` holds exactly one 256-bit vector.
+    unsafe {
+        _mm256_storeu_ps(acc0.as_mut_ptr(), v0);
+        _mm256_storeu_ps(acc1.as_mut_ptr(), v1);
+        _mm256_storeu_ps(acc2.as_mut_ptr(), v2);
+        _mm256_storeu_ps(acc3.as_mut_ptr(), v3);
+    }
+    (
+        finish_lanes(&acc0, a0, b, main),
+        finish_lanes(&acc1, a1, b, main),
+        finish_lanes(&acc2, a2, b, main),
+        finish_lanes(&acc3, a3, b, main),
+    )
+}
+
 /// L2 norm with the one accumulation order every norm cache in this
 /// workspace shares (sum of squares, then one sqrt): the norms stored
 /// by `Embedding::set` and the ones `glodyne-ann` caches per posting
@@ -270,5 +494,28 @@ mod tests {
         assert_eq!(dot_exact(&[], &[]), 0.0);
         assert_eq!(cosine(&[], &[]), 0.0);
         assert_eq!(l2_norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn fused_multi_dot_is_bit_identical_to_single_calls() {
+        // The fused kernel's whole contract: each slot IS dot_fast for
+        // that query, to the last bit, at every width and remainder.
+        for dim in [0usize, 1, 7, 8, 9, 16, 33, 128] {
+            let b = pseudo_random(dim, 99);
+            let qs: Vec<Vec<f32>> = (0..4).map(|s| pseudo_random(dim, s)).collect();
+            let quad = dot_fast_multi::<4>([&qs[0], &qs[1], &qs[2], &qs[3]], &b);
+            let pair = dot_fast_multi::<2>([&qs[0], &qs[1]], &b);
+            let one = dot_fast_multi::<1>([&qs[2]], &b);
+            for j in 0..4 {
+                assert_eq!(
+                    quad[j].to_bits(),
+                    dot_fast(&qs[j], &b).to_bits(),
+                    "dim={dim} j={j}"
+                );
+            }
+            assert_eq!(pair[0].to_bits(), dot_fast(&qs[0], &b).to_bits());
+            assert_eq!(pair[1].to_bits(), dot_fast(&qs[1], &b).to_bits());
+            assert_eq!(one[0].to_bits(), dot_fast(&qs[2], &b).to_bits());
+        }
     }
 }

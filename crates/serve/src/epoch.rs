@@ -79,7 +79,9 @@ impl EmbeddingEpoch {
 
     /// [`EmbeddingEpoch::search_ann`] for a whole batch of nodes
     /// against this one frozen epoch: the caller acquires the epoch
-    /// Arc once, and the scans share one reusable scratch. Results are
+    /// Arc once, and the batch goes through the index's cell-grouped
+    /// scan — every probed posting list is streamed once for all the
+    /// queries probing it instead of once per query. Results are
     /// positionally parallel to `nodes` (empty hits for unknown
     /// nodes); each entry is bit-exact with the single-node call on
     /// the same epoch.
@@ -91,21 +93,26 @@ impl EmbeddingEpoch {
     ) -> Option<(Vec<Neighbours>, usize)> {
         let index = self.index.as_ref()?;
         let effective = index.effective_nprobe(nprobe);
-        let mut scratch = glodyne_ann::SearchScratch::new();
-        let results = nodes
-            .iter()
-            .map(|&node| match self.embedding.get(node) {
-                Some(query) => index.search_in_with(
-                    &self.embedding,
+        // Unknown nodes never reach the index: slot `i` remembers which
+        // result position query `i` scatters back into.
+        let mut slots = Vec::with_capacity(nodes.len());
+        let mut queries = Vec::with_capacity(nodes.len());
+        for (pos, &node) in nodes.iter().enumerate() {
+            if let Some(query) = self.embedding.get(node) {
+                slots.push(pos);
+                queries.push(glodyne_ann::BatchQuery {
                     query,
-                    k,
-                    effective,
-                    Some(node),
-                    &mut scratch,
-                ),
-                None => Vec::new(),
-            })
-            .collect();
+                    exclude: Some(node),
+                });
+            }
+        }
+        let mut scratch = glodyne_ann::SearchScratch::new();
+        let grouped =
+            index.search_in_batch_with(&self.embedding, &queries, k, effective, &mut scratch);
+        let mut results: Vec<Neighbours> = nodes.iter().map(|_| Vec::new()).collect();
+        for (slot, hits) in slots.into_iter().zip(grouped) {
+            results[slot] = hits;
+        }
         Some((results, effective))
     }
 }

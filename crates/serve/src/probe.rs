@@ -174,7 +174,7 @@ mod tests {
             },
             default_nprobe: cells,
         };
-        build_epoch(1, emb, None, Some(&settings))
+        build_epoch(1, emb, None, Some(&settings), None, &[])
     }
 
     #[test]
@@ -195,7 +195,7 @@ mod tests {
     #[test]
     fn unmeasurable_epochs_yield_none() {
         // No index at all.
-        let bare = build_epoch(0, Embedding::new(4), None, None);
+        let bare = build_epoch(0, Embedding::new(4), None, None, None, &[]);
         assert_eq!(probe_recall(&bare, 5, 4, 1, 8), None);
         // Indexed but empty embedding.
         let empty = epoch_with_index(0, 4, 2);
@@ -211,7 +211,7 @@ mod tests {
             ..Default::default()
         };
         // Unmeasurable round: gauge and counter stay untouched.
-        let bare = Arc::new(build_epoch(0, Embedding::new(4), None, None));
+        let bare = Arc::new(build_epoch(0, Embedding::new(4), None, None, None, &[]));
         run_probe_round(&[bare], &settings, 4, &telemetry);
         assert_eq!(telemetry.probes_run.get(), 0);
 

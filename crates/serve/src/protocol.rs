@@ -624,6 +624,13 @@ pub fn stats_line(s: &ServeStats) -> String {
                             Json::Str(a.storage.as_str().to_string()),
                         ),
                         ("index_bytes".to_string(), Json::Num(a.index_bytes as f64)),
+                        // Added keys go last: pre-existing clients
+                        // parse the object's old prefix unchanged.
+                        (
+                            "build_kind".to_string(),
+                            Json::Str(a.build_kind.to_string()),
+                        ),
+                        ("dirty_rows".to_string(), Json::Num(a.dirty_rows as f64)),
                     ]),
                 },
             ),
@@ -652,6 +659,20 @@ pub fn stats_line(s: &ServeStats) -> String {
                                         match sh.ann_build {
                                             None => Json::Null,
                                             Some(build) => Json::Num(build.as_secs_f64() * 1e3),
+                                        },
+                                    ),
+                                    (
+                                        "ann_build_kind".to_string(),
+                                        match sh.ann_build_kind {
+                                            None => Json::Null,
+                                            Some(kind) => Json::Str(kind.to_string()),
+                                        },
+                                    ),
+                                    (
+                                        "ann_dirty_rows".to_string(),
+                                        match sh.ann_dirty_rows {
+                                            None => Json::Null,
+                                            Some(rows) => Json::Num(rows as f64),
                                         },
                                     ),
                                 ])
@@ -1084,6 +1105,8 @@ mod tests {
                 build: std::time::Duration::from_millis(3),
                 storage: glodyne_ann::StorageMode::Sq8,
                 index_bytes: 4096,
+                build_kind: "incremental",
+                dirty_rows: 17,
             }),
             ..base
         };
@@ -1094,7 +1117,63 @@ mod tests {
         );
         assert!(line.contains(r#""storage":"sq8""#), "{line}");
         assert!(line.contains(r#""index_bytes":4096"#), "{line}");
+        assert!(line.contains(r#""build_kind":"incremental""#), "{line}");
+        assert!(line.contains(r#""dirty_rows":17"#), "{line}");
         json::parse(&line).unwrap();
+    }
+
+    /// Regression pin for the additive-keys contract: a pre-existing
+    /// stats consumer that only reads the `"ann"` object's original
+    /// keys (cells, nprobe_default, build_ms, storage, index_bytes)
+    /// must parse a response from this server unchanged — the
+    /// `build_kind`/`dirty_rows` keys are appended *after* them and
+    /// never reorder or rename the old prefix.
+    #[test]
+    fn ann_stats_keys_stay_backward_compatible() {
+        let stats = ServeStats {
+            epoch: 5,
+            nodes: 3,
+            dim: 8,
+            queue_depth: 0,
+            queue_capacity: 16,
+            queue_high_water: 2,
+            events_accepted: 9,
+            ann: Some(crate::session::AnnStats {
+                cells: 8,
+                default_nprobe: 3,
+                build: std::time::Duration::from_millis(1),
+                storage: glodyne_ann::StorageMode::F32,
+                index_bytes: 128,
+                build_kind: "full",
+                dirty_rows: 0,
+            }),
+            shards: None,
+            durability: None,
+            telemetry: None,
+            health: None,
+            rebalance: None,
+        };
+        let line = stats_line(&stats);
+        let parsed = json::parse(&line).unwrap();
+        let ann = parsed.get("ann").expect("ann object present");
+        // Every pre-existing key resolves exactly as before...
+        for key in [
+            "cells",
+            "nprobe_default",
+            "build_ms",
+            "storage",
+            "index_bytes",
+        ] {
+            assert!(ann.get(key).is_some(), "legacy ann key {key}: {line}");
+        }
+        // ...and the old prefix is byte-identical, so even a client
+        // that string-matches the object head keeps working.
+        assert!(
+            line.contains(r#""ann":{"cells":8,"nprobe_default":3,"build_ms":1"#),
+            "{line}"
+        );
+        assert!(ann.get("build_kind").is_some(), "{line}");
+        assert!(ann.get("dirty_rows").is_some(), "{line}");
     }
 
     #[test]
@@ -1225,6 +1304,8 @@ mod tests {
                     queue_depth: 1,
                     events_accepted: 6,
                     ann_build: Some(std::time::Duration::from_millis(2)),
+                    ann_build_kind: Some("full"),
+                    ann_dirty_rows: Some(0),
                 },
                 crate::shard::ShardEpochStats {
                     shard: 1,
@@ -1233,6 +1314,8 @@ mod tests {
                     queue_depth: 0,
                     events_accepted: 5,
                     ann_build: None,
+                    ann_build_kind: None,
+                    ann_dirty_rows: None,
                 },
             ]),
             ..base

@@ -86,6 +86,16 @@ pub struct AnnStats {
     /// Resident bytes of the published index (summed across shards on
     /// sharded sessions) — the number `quantize` exists to shrink.
     pub index_bytes: usize,
+    /// How the published index was produced: `"full"` (k-means from
+    /// scratch) or `"incremental"` (warm-started from the previous
+    /// epoch's index, dirty rows reassigned). Sharded sessions report
+    /// `"incremental"` only when *every* shard's index was incremental.
+    pub build_kind: &'static str,
+    /// Rows the build actually reassigned (mutated, added, or removed
+    /// since the previous index; summed across shards). A full build
+    /// reports the churn that triggered it — 0 for a from-scratch
+    /// build with no prior index.
+    pub dirty_rows: usize,
 }
 
 /// Durability counters of a durable serving session, surfaced through
@@ -384,7 +394,7 @@ impl ServingSession {
     /// wait-free; a `None` telemetry spawns an identical un-instrumented
     /// session.
     pub fn spawn_instrumented<E>(
-        session: EmbedderSession<E>,
+        mut session: EmbedderSession<E>,
         queue_capacity: usize,
         ann: Option<AnnSettings>,
         telemetry: Option<Arc<ServeTelemetry>>,
@@ -395,11 +405,18 @@ impl ServingSession {
         if let Some(settings) = &ann {
             settings.validate()?;
         }
+        // The initial epoch's index is a full build (there is nothing
+        // to warm-start from); drain any pre-spawn churn so the first
+        // trainer build's dirty set starts from this index, not from
+        // state it already covers.
+        let _ = session.take_dirty();
         let epochs = EpochHandle::new(build_epoch(
             session.steps() as u64,
             session.embedding().clone(),
             session.reports().last().copied(),
             ann.as_ref(),
+            None,
+            &[],
         ));
         let (queue, inbox) = bounded_instrumented(
             queue_capacity,
@@ -472,12 +489,17 @@ impl ServingSession {
         if let Some(t) = &telemetry {
             durable.set_timing(t.durable_timing());
         }
+        // Durable recovery has no previous in-memory index, so the
+        // first build after a restart is always a full one.
+        let _ = durable.session_mut().take_dirty();
         let session = durable.session();
         let epochs = EpochHandle::new(build_epoch(
             session.steps() as u64,
             session.embedding().clone(),
             session.reports().last().copied(),
             ann.as_ref(),
+            None,
+            &[],
         ));
         let shared = Arc::new(DurabilityShared::new(durable.counters(), recovered_from));
         let (queue, inbox) = bounded_instrumented(
@@ -702,6 +724,8 @@ impl ServingSession {
                     build: index.build_time(),
                     storage: index.storage_mode(),
                     index_bytes: index.index_bytes(),
+                    build_kind: index.build_kind().as_str(),
+                    dirty_rows: index.dirty_rows(),
                 })
             }),
             shards: None,
@@ -852,7 +876,12 @@ pub(crate) fn trainer_loop_durable<E: CheckpointEmbedder>(
             if let Err(e) = durable.finalize() {
                 eprintln!("glodyne-serve: finalize failed: {e}");
             }
-            publish(durable.session(), &epochs, ann.as_ref(), stages.as_ref());
+            publish(
+                durable.session_mut(),
+                &epochs,
+                ann.as_ref(),
+                stages.as_ref(),
+            );
         }
         Err(_) => {
             health.mark_panicked();
@@ -891,7 +920,7 @@ fn run_trainer_loop_durable<E: CheckpointEmbedder>(
                 match durable.apply(seq, event) {
                     Ok(stepped) => {
                         if stepped {
-                            publish(durable.session(), epochs, ann, stages);
+                            publish(durable.session_mut(), epochs, ann, stages);
                             if let Err(e) = durable.maybe_snapshot() {
                                 eprintln!("glodyne-serve: snapshot failed: {e}");
                             }
@@ -909,7 +938,7 @@ fn run_trainer_loop_durable<E: CheckpointEmbedder>(
                     }
                 };
                 if stepped {
-                    publish(durable.session(), epochs, ann, stages);
+                    publish(durable.session_mut(), epochs, ann, stages);
                     if let Err(e) = durable.maybe_snapshot() {
                         eprintln!("glodyne-serve: snapshot failed: {e}");
                     }
@@ -934,16 +963,28 @@ fn run_trainer_loop_durable<E: CheckpointEmbedder>(
 }
 
 fn publish<E: DynamicEmbedder>(
-    session: &EmbedderSession<E>,
+    session: &mut EmbedderSession<E>,
     epochs: &EpochHandle,
     ann: Option<&AnnSettings>,
     stages: Option<&TrainerStages>,
 ) {
+    // The previous epoch's index (loaded without consuming the
+    // freshness stamp — this is a trainer-side read, not a client's
+    // first sight of the epoch) warm-starts the incremental build;
+    // the session's dirty set says which rows it must reassign.
+    let dirty = if ann.is_some() {
+        session.take_dirty()
+    } else {
+        Vec::new()
+    };
+    let prev = epochs.load_untracked();
     let epoch = build_epoch(
         session.steps() as u64,
         session.embedding().clone(),
         session.reports().last().copied(),
         ann,
+        prev.index.as_ref(),
+        &dirty,
     );
     // Stage attribution happens on the trainer thread, before the swap:
     // by the time readers can see the epoch its cost is already booked.
@@ -955,13 +996,23 @@ fn publish<E: DynamicEmbedder>(
 
 /// Assemble one publishable epoch; the IVF build (when ANN is on)
 /// happens here, on the trainer thread, so it never blocks a reader.
+/// With a previous index the build is incremental — frozen centroids,
+/// only `dirty` rows reassigned — falling back to a full k-means
+/// rebuild when the index's drift triggers fire. The first epoch after
+/// spawn (and the first after a durable recovery, which has no
+/// previous in-memory index) always takes the full path.
 pub(crate) fn build_epoch(
     epoch: u64,
     embedding: Embedding,
     report: Option<glodyne::StepReport>,
     ann: Option<&AnnSettings>,
+    prev_index: Option<&IvfIndex>,
+    dirty: &[glodyne_graph::NodeId],
 ) -> EmbeddingEpoch {
-    let index = ann.map(|settings| IvfIndex::build(&embedding, &settings.config));
+    let index = ann.map(|settings| match prev_index {
+        Some(prev) => IvfIndex::update_from(prev, &embedding, dirty, &settings.config),
+        None => IvfIndex::build(&embedding, &settings.config),
+    });
     EmbeddingEpoch {
         epoch,
         embedding,
@@ -1337,6 +1388,52 @@ mod tests {
             assert_eq!(ann_stats.storage, expected);
             assert!(ann_stats.index_bytes > 0);
         }
+    }
+
+    #[test]
+    fn trainer_publishes_incremental_builds_after_the_first_full_one() {
+        let mut settings = ann_settings(3, 3);
+        // Retraining a tiny graph touches every row, so the default
+        // stale threshold would always trip; disarm it to observe the
+        // incremental path itself.
+        settings.config.drift_stale_bp = 10_000;
+        let serving =
+            ServingSession::spawn_with_ann(tiny_session(EpochPolicy::Manual), 64, Some(settings))
+                .unwrap();
+        serving.ingest(&chain_events(8, 0)).unwrap();
+        serving.flush().unwrap();
+        let first = serving.stats().ann.expect("ann stats present");
+        assert_eq!(
+            first.build_kind, "full",
+            "warm start from the empty initial index falls back to full"
+        );
+
+        // Skip-links are genuinely new edges (a repeat of the chain
+        // would be a graph no-op: nothing pending, no second step).
+        let churn: Vec<GraphEvent> = (0..4)
+            .map(|i| GraphEvent::add_edge(NodeId(i), NodeId(i + 2), 1))
+            .collect();
+        serving.ingest(&churn).unwrap();
+        let outcome = serving.flush().unwrap();
+        assert!(outcome.stepped, "new edges must trigger a second step");
+        let second = serving.stats().ann.expect("ann stats present");
+        assert_eq!(
+            second.build_kind, "incremental",
+            "second publish warm-starts from the first epoch's index"
+        );
+        assert!(second.dirty_rows > 0, "the step's churn was counted");
+
+        // The incremental index still answers the exact wire contract
+        // at full probe, bit for bit.
+        let (e1, ann) = serving.nearest_ann(NodeId(2), 4, Some(3)).unwrap();
+        let (e2, exact) = serving.nearest(NodeId(2), 4);
+        assert_eq!(e1, e2);
+        assert_eq!(ann.len(), exact.len());
+        for (a, b) in ann.iter().zip(&exact) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+        serving.shutdown();
     }
 
     #[test]

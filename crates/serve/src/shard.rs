@@ -39,7 +39,7 @@ use crate::session::{
 };
 use crate::telemetry::ServeTelemetry;
 use glodyne::{EmbedderSession, EpochPolicy};
-use glodyne_ann::{SearchScratch, StorageMode};
+use glodyne_ann::StorageMode;
 use glodyne_durable::{
     decode_session_payload, list_snapshots, load_snapshot, prune_snapshots, remove_all_segments,
     replay_and_heal, write_snapshot, DurableConfig, DurableSession, FsyncPolicy, WalRecord,
@@ -76,6 +76,11 @@ pub struct ShardEpochStats {
     /// Build time of the shard epoch's IVF index, when ANN is on and
     /// the epoch carries one.
     pub ann_build: Option<Duration>,
+    /// How the shard epoch's index was produced (`"full"` /
+    /// `"incremental"`), when it carries one.
+    pub ann_build_kind: Option<&'static str>,
+    /// Rows the shard's index build reassigned, when it carries one.
+    pub ann_dirty_rows: Option<usize>,
 }
 
 /// One shard's write/read plumbing.
@@ -348,12 +353,17 @@ impl ShardedSession {
         let mut shards = Vec::with_capacity(sessions.len());
         let mut trainers = Vec::with_capacity(sessions.len());
         for (i, session) in sessions.into_iter().enumerate() {
-            let session = session.keep_full_graph();
+            let mut session = session.keep_full_graph();
+            // The initial shard index is a full build; drain pre-spawn
+            // churn so the first incremental build starts from it.
+            let _ = session.take_dirty();
             let epochs = EpochHandle::new(build_epoch(
                 session.steps() as u64,
                 session.embedding().clone(),
                 session.reports().last().copied(),
                 ann.as_ref(),
+                None,
+                &[],
             ));
             let (queue, inbox) = bounded_instrumented(
                 queue_capacity,
@@ -618,12 +628,16 @@ impl ShardedSession {
             if let Some(t) = &telemetry {
                 durable.set_timing(t.durable_timing());
             }
+            // Recovery has no previous in-memory index: full build.
+            let _ = durable.session_mut().take_dirty();
             let session = durable.session();
             let epochs = EpochHandle::new(build_epoch(
                 session.steps() as u64,
                 session.embedding().clone(),
                 session.reports().last().copied(),
                 ann.as_ref(),
+                None,
+                &[],
             ));
             let gauge = Arc::new(DurabilityShared::new(durable.counters(), None));
             let (queue, inbox) = bounded_instrumented(
@@ -1065,10 +1079,22 @@ impl ShardedSession {
         let effective = nprobe
             .unwrap_or(settings.default_nprobe)
             .clamp(1, settings.config.cells);
+        let overfetch = self.ann_overfetch();
         let (epoch, hits) = self.fanout(node, |views, owner, _| {
-            fanout::nearest_approx(views, owner, node, k, effective)
+            fanout::nearest_approx(views, owner, node, k, effective, overfetch)
         });
         Some((epoch, hits, effective))
+    }
+
+    /// The configured fan-out over-fetch factor
+    /// ([`ShardConfig::ann_overfetch`]): how many candidates each shard
+    /// is asked for (`k * factor`) before halo filtering.
+    fn ann_overfetch(&self) -> usize {
+        self.router
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .config()
+            .ann_overfetch
     }
 
     /// [`ShardedSession::nearest`] for a whole batch: **one** router
@@ -1115,23 +1141,21 @@ impl ShardedSession {
             .unwrap_or(settings.default_nprobe)
             .clamp(1, settings.config.cells);
         let router = self.router.read().unwrap_or_else(PoisonError::into_inner);
+        let overfetch = router.config().ann_overfetch;
         let epochs = self.epochs();
         let views = Self::views(&epochs);
         let owner = |id: NodeId| router.owner(id);
-        let mut scratch = SearchScratch::new();
+        // One cell-grouped scan per shard serves the whole batch; the
+        // grouped fan-out is bit-exact per query with the single-node
+        // call, so only the known/unknown split happens here.
+        let grouped = fanout::nearest_approx_batch(&views, owner, nodes, k, effective, overfetch);
         let results = nodes
             .iter()
-            .map(|&node| {
+            .zip(grouped)
+            .map(|(&node, hits)| {
                 let shard = owner(node)?;
                 epochs[shard as usize].embedding.get(node)?;
-                Some(fanout::nearest_approx_with(
-                    &views,
-                    owner,
-                    node,
-                    k,
-                    effective,
-                    &mut scratch,
-                ))
+                Some(hits)
             })
             .collect();
         Some((
@@ -1194,6 +1218,8 @@ impl ShardedSession {
                 queue_depth: handle.queue.depth(),
                 events_accepted: handle.queue.accepted(),
                 ann_build: epoch.index.as_ref().map(|ix| ix.build_time()),
+                ann_build_kind: epoch.index.as_ref().map(|ix| ix.build_kind().as_str()),
+                ann_dirty_rows: epoch.index.as_ref().map(|ix| ix.dirty_rows()),
             })
             .collect();
         ServeStats {
@@ -1229,6 +1255,18 @@ impl ShardedSession {
                     .filter_map(|e| e.index.as_ref())
                     .map(glodyne_ann::IvfIndex::index_bytes)
                     .sum(),
+                // A session-level "incremental" only when every shard
+                // took the cheap path — one drift-triggered rebuild is
+                // the cost the operator needs to see.
+                build_kind: if per_shard
+                    .iter()
+                    .all(|s| s.ann_build_kind == Some("incremental"))
+                {
+                    "incremental"
+                } else {
+                    "full"
+                },
+                dirty_rows: per_shard.iter().filter_map(|s| s.ann_dirty_rows).sum(),
             }),
             shards: Some(per_shard),
             durability: self.durable.as_ref().map(|d| {
@@ -1490,6 +1528,16 @@ mod tests {
         // Requested nprobe clamps to the configured cell target.
         let (_, _, wide) = serving.nearest_ann(NodeId(3), 5, Some(999)).unwrap();
         assert_eq!(wide, 4);
+
+        // Every shard's epoch reports how its index was built, and the
+        // session aggregate picks a kind plus the summed churn.
+        let stats = serving.stats();
+        let ann = stats.ann.as_ref().expect("ann enabled");
+        assert!(matches!(ann.build_kind, "full" | "incremental"));
+        let shards = stats.shards.as_ref().expect("sharded break-down");
+        assert!(shards
+            .iter()
+            .all(|s| s.ann_build_kind.is_some() && s.ann_dirty_rows.is_some()));
 
         let none = sharded(2, None);
         assert!(none.nearest_ann(NodeId(0), 3, None).is_none());

@@ -25,7 +25,7 @@
 //! mutex but only for requests that already blew the latency budget.
 
 use glodyne::StepReport;
-use glodyne_ann::IvfIndex;
+use glodyne_ann::{BuildKind, IvfIndex};
 use glodyne_durable::DurableTiming;
 use glodyne_telemetry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 use std::collections::VecDeque;
@@ -72,6 +72,12 @@ pub(crate) struct TrainerStages {
     walks: Vec<Arc<Histogram>>,
     train: Vec<Arc<Histogram>>,
     index_build: Vec<Arc<Histogram>>,
+    /// Kind-split `index_build` series (`kind="full"` /
+    /// `kind="incremental"`) so operators can see the cost gap the
+    /// incremental maintenance buys — the aggregate series above mixes
+    /// cheap patches with the occasional drift-triggered rebuild.
+    index_build_full: Vec<Arc<Histogram>>,
+    index_build_incremental: Vec<Arc<Histogram>>,
 }
 
 impl TrainerStages {
@@ -91,6 +97,13 @@ impl TrainerStages {
         }
         if let Some(index) = index {
             for h in &self.index_build {
+                h.record_duration(index.build_time());
+            }
+            let by_kind = match index.build_kind() {
+                BuildKind::Full => &self.index_build_full,
+                BuildKind::Incremental => &self.index_build_incremental,
+            };
+            for h in by_kind {
                 h.record_duration(index.build_time());
             }
         }
@@ -159,6 +172,9 @@ pub struct ServeTelemetry {
     queue_high_water: Arc<Gauge>,
     pub(crate) queue_wait: Arc<Histogram>,
     stages: [Arc<Histogram>; STAGE_NAMES.len()],
+    /// `glodyne_stage_us{stage="index_build",kind=...}` — `[full,
+    /// incremental]`.
+    index_build_kind: [Arc<Histogram>; 2],
     pub(crate) freshness: Arc<Histogram>,
     wal_append: Arc<Histogram>,
     wal_fsync: Arc<Histogram>,
@@ -194,9 +210,17 @@ impl ServeTelemetry {
                 &[("stage", stage)],
             )
         });
+        let index_build_kind = ["full", "incremental"].map(|kind| {
+            registry.histogram(
+                "glodyne_stage_us",
+                "Trainer pipeline stage wall time (micros)",
+                &[("stage", "index_build"), ("kind", kind)],
+            )
+        });
         ServeTelemetry {
             wire,
             stages,
+            index_build_kind,
             queue_depth: registry.gauge(
                 "glodyne_queue_depth",
                 "Events waiting in the ingest queue",
@@ -277,6 +301,8 @@ impl ServeTelemetry {
             walks: vec![Arc::clone(&self.stages[1])],
             train: vec![Arc::clone(&self.stages[2])],
             index_build: vec![Arc::clone(&self.stages[3])],
+            index_build_full: vec![Arc::clone(&self.index_build_kind[0])],
+            index_build_incremental: vec![Arc::clone(&self.index_build_kind[1])],
         }
     }
 
@@ -296,6 +322,10 @@ impl ServeTelemetry {
             walks: vec![Arc::clone(&self.stages[1]), Arc::clone(&labelled[1])],
             train: vec![Arc::clone(&self.stages[2]), Arc::clone(&labelled[2])],
             index_build: vec![Arc::clone(&self.stages[3]), Arc::clone(&labelled[3])],
+            // Shard trainers feed the global kind-split series; the
+            // per-shard break-down stays on the aggregate stage only.
+            index_build_full: vec![Arc::clone(&self.index_build_kind[0])],
+            index_build_incremental: vec![Arc::clone(&self.index_build_kind[1])],
         }
     }
 

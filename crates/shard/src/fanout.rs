@@ -15,7 +15,7 @@
 //! fan-out result is **bit-exact** with an unsharded exact scan of the
 //! owner-filtered union. Property-pinned in `tests/prop.rs`.
 
-use glodyne_ann::{IvfIndex, SearchScratch};
+use glodyne_ann::{BatchQuery, IvfIndex, SearchScratch};
 use glodyne_embed::embedding::norm_cosine;
 use glodyne_embed::{Embedding, TopKSelector};
 use glodyne_graph::NodeId;
@@ -77,20 +77,31 @@ pub fn nearest_exact(
 /// `nprobe` cells, drop hits the shard doesn't own (halo copies), and
 /// merge the survivors through one bounded `k`-heap. Shards without an
 /// index contribute nothing. Because the ownership filter runs *after*
-/// the per-shard index scan, each shard is over-fetched 2× (`2k`
-/// candidates) so halo hits don't crowd owned rows out of its
-/// contribution; a very boundary-heavy shard can still contribute
-/// fewer than `k` owned candidates — this path is approximate by
-/// contract; its recall is measured in `bench_shard`. Use
-/// [`nearest_exact`] for the exact guarantee.
+/// the per-shard index scan, each shard is over-fetched by the
+/// configured factor (`k * overfetch` candidates,
+/// [`ShardConfig::ann_overfetch`](crate::ShardConfig::ann_overfetch))
+/// so halo hits don't crowd owned rows out of its contribution; a very
+/// boundary-heavy shard can still contribute fewer than `k` owned
+/// candidates — this path is approximate by contract; its recall is
+/// measured in `bench_shard`. Use [`nearest_exact`] for the exact
+/// guarantee.
 pub fn nearest_approx(
     views: &[ShardView<'_>],
     owner: impl Fn(NodeId) -> Option<u32>,
     node: NodeId,
     k: usize,
     nprobe: usize,
+    overfetch: usize,
 ) -> Vec<(NodeId, f32)> {
-    nearest_approx_with(views, owner, node, k, nprobe, &mut SearchScratch::new())
+    nearest_approx_with(
+        views,
+        owner,
+        node,
+        k,
+        nprobe,
+        overfetch,
+        &mut SearchScratch::new(),
+    )
 }
 
 /// [`nearest_approx`] with caller-owned scan scratch — the batched
@@ -104,6 +115,7 @@ pub fn nearest_approx_with(
     node: NodeId,
     k: usize,
     nprobe: usize,
+    overfetch: usize,
     scratch: &mut SearchScratch,
 ) -> Vec<(NodeId, f32)> {
     let Some((q, _)) = owned_query(views, &owner, node) else {
@@ -112,17 +124,12 @@ pub fn nearest_approx_with(
     if k == 0 {
         return Vec::new();
     }
+    let fetch = k.saturating_mul(overfetch.max(1));
     let mut select = TopKSelector::new(k);
     for view in views {
         let Some(index) = view.index else { continue };
-        for (id, sim) in index.search_in_with(
-            view.embedding,
-            q,
-            k.saturating_mul(2),
-            nprobe,
-            Some(node),
-            scratch,
-        ) {
+        for (id, sim) in index.search_in_with(view.embedding, q, fetch, nprobe, Some(node), scratch)
+        {
             if owner(id) == Some(view.shard) {
                 select.push((id, sim));
             }
@@ -149,19 +156,61 @@ pub fn nearest_exact_batch(
 }
 
 /// [`nearest_approx`] for a whole batch against one set of shard
-/// views, sharing scan scratch across the queries.
+/// views, scanned **cell-grouped**: each shard's index groups the
+/// batch's probed cells and walks every posting list once for all
+/// queries probing it, instead of once per query. Per-query candidates
+/// come out of the grouped scan bit-identical to the per-query path
+/// (pinned in the ann crate), and each query's shard contributions
+/// merge through its own `k`-heap in the same view order as
+/// [`nearest_approx_with`] — so every entry is bit-exact with the
+/// corresponding single-query call over the same views. Positionally
+/// parallel to `nodes`; unowned probes yield empty entries.
 pub fn nearest_approx_batch(
     views: &[ShardView<'_>],
     owner: impl Fn(NodeId) -> Option<u32>,
     nodes: &[NodeId],
     k: usize,
     nprobe: usize,
+    overfetch: usize,
 ) -> Vec<Vec<(NodeId, f32)>> {
+    let mut results: Vec<Vec<(NodeId, f32)>> = nodes.iter().map(|_| Vec::new()).collect();
+    if k == 0 {
+        return results;
+    }
+    // Resolve owned query vectors once; unowned probes stay empty.
+    let mut slots = Vec::with_capacity(nodes.len());
+    let mut queries = Vec::with_capacity(nodes.len());
+    for (pos, &node) in nodes.iter().enumerate() {
+        if let Some((q, _)) = owned_query(views, &owner, node) {
+            slots.push(pos);
+            queries.push(BatchQuery {
+                query: q,
+                exclude: Some(node),
+            });
+        }
+    }
+    if queries.is_empty() {
+        return results;
+    }
+    let fetch = k.saturating_mul(overfetch.max(1));
+    let mut selectors: Vec<TopKSelector> = queries.iter().map(|_| TopKSelector::new(k)).collect();
     let mut scratch = SearchScratch::new();
-    nodes
-        .iter()
-        .map(|&node| nearest_approx_with(views, &owner, node, k, nprobe, &mut scratch))
-        .collect()
+    for view in views {
+        let Some(index) = view.index else { continue };
+        let grouped =
+            index.search_in_batch_with(view.embedding, &queries, fetch, nprobe, &mut scratch);
+        for (select, hits) in selectors.iter_mut().zip(grouped) {
+            for (id, sim) in hits {
+                if owner(id) == Some(view.shard) {
+                    select.push((id, sim));
+                }
+            }
+        }
+    }
+    for (slot, select) in slots.into_iter().zip(selectors) {
+        results[slot] = select.into_sorted();
+    }
+    results
 }
 
 /// Materialise the sharded global view: every owned row of every
@@ -325,7 +374,7 @@ mod tests {
             },
         ];
         for probe in [0u32, 3, 9] {
-            let ann = nearest_approx(&views, owner, NodeId(probe), 4, usize::MAX);
+            let ann = nearest_approx(&views, owner, NodeId(probe), 4, usize::MAX, 2);
             let exact = nearest_exact(&views, owner, NodeId(probe), 4);
             assert_bit_exact(&ann, &exact);
         }
@@ -343,7 +392,59 @@ mod tests {
                 index: None,
             },
         ];
-        let hits = nearest_approx(&views, owner, NodeId(0), 10, usize::MAX);
+        let hits = nearest_approx(&views, owner, NodeId(0), 10, usize::MAX, 2);
         assert!(hits.iter().all(|&(id, _)| id.0 % 2 == 0));
+    }
+
+    #[test]
+    fn grouped_batch_fanout_is_bit_exact_with_per_query_calls() {
+        use glodyne_ann::IvfConfig;
+        // Overlapping populations (halos live on both shards) make the
+        // ownership filter do real work inside the grouped scan.
+        let (a, b) = two_views();
+        let cfg = IvfConfig {
+            cells: 3,
+            ..Default::default()
+        };
+        let (ia, ib) = (IvfIndex::build(&a, &cfg), IvfIndex::build(&b, &cfg));
+        let views = [
+            ShardView {
+                shard: 0,
+                embedding: &a,
+                index: Some(&ia),
+            },
+            ShardView {
+                shard: 1,
+                embedding: &b,
+                index: Some(&ib),
+            },
+        ];
+        // Batch mixes owned probes, a repeat, and an unowned id.
+        let nodes: Vec<NodeId> = [0u32, 5, 3, 8, 0, 77].map(NodeId).to_vec();
+        for nprobe in [1usize, 2, usize::MAX] {
+            for overfetch in [1usize, 2, 4] {
+                let batch = nearest_approx_batch(&views, owner, &nodes, 4, nprobe, overfetch);
+                assert_eq!(batch.len(), nodes.len());
+                let mut scratch = SearchScratch::new();
+                for (&node, hits) in nodes.iter().zip(&batch) {
+                    let single = nearest_approx_with(
+                        &views,
+                        owner,
+                        node,
+                        4,
+                        nprobe,
+                        overfetch,
+                        &mut scratch,
+                    );
+                    assert_bit_exact(hits, &single);
+                }
+            }
+        }
+        assert!(
+            nearest_approx_batch(&views, owner, &nodes, 0, 2, 2)
+                .iter()
+                .all(Vec::is_empty),
+            "k = 0 short-circuits"
+        );
     }
 }

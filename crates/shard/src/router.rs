@@ -75,6 +75,14 @@ pub struct ShardConfig {
     /// the shard config rather than a runtime setter: both runs must
     /// agree for bit-exact recovery.
     pub rebalance_budget: usize,
+    /// ANN fan-out over-fetch factor (>= 1): each shard's IVF index is
+    /// asked for `k * ann_overfetch` candidates before the ownership
+    /// filter drops halo copies. Halo hits consume candidate slots, so
+    /// `1` lets a boundary-heavy shard contribute fewer than `k` owned
+    /// rows (lower recall); larger factors recover recall on heavily
+    /// mirrored graphs at a linearly larger per-shard merge cost. The
+    /// default `2` matches the historical hard-coded fan-out.
+    pub ann_overfetch: usize,
 }
 
 impl Default for ShardConfig {
@@ -86,6 +94,7 @@ impl Default for ShardConfig {
             drift_threshold: 0.25,
             min_partition_nodes: 64,
             rebalance_budget: 256,
+            ann_overfetch: 2,
         }
     }
 }
@@ -113,6 +122,9 @@ impl ShardConfig {
         }
         if self.min_partition_nodes < 1 {
             return Err(ConfigError::new("min_partition_nodes", "must be >= 1"));
+        }
+        if self.ann_overfetch < 1 {
+            return Err(ConfigError::new("ann_overfetch", "must be >= 1"));
         }
         Ok(())
     }
@@ -600,6 +612,11 @@ mod tests {
             ..ShardConfig::default()
         };
         assert_eq!(bad.validate().unwrap_err().param(), "min_partition_nodes");
+        bad = ShardConfig {
+            ann_overfetch: 0,
+            ..ShardConfig::default()
+        };
+        assert_eq!(bad.validate().unwrap_err().param(), "ann_overfetch");
         assert!(ShardRouter::new(ShardConfig::with_shards(0)).is_err());
     }
 

@@ -147,7 +147,14 @@ impl<E: DynamicEmbedder> ShardedState<E> {
                 index: s.ann_index(),
             })
             .collect();
-        fanout::nearest_approx(&views, |id| self.router.owner(id), node, k, nprobe)
+        fanout::nearest_approx(
+            &views,
+            |id| self.router.owner(id),
+            node,
+            k,
+            nprobe,
+            self.router.config().ann_overfetch,
+        )
     }
 
     /// The router (owners, drift counters, global mirror).
